@@ -1,0 +1,37 @@
+//! The fourteen graph algorithms of the HPDC'15 behavior study,
+//! implemented as GAS vertex programs (paper §2.1).
+//!
+//! | Domain | Algorithms |
+//! |---|---|
+//! | Graph Analytics | [`cc`] Connected Components, [`kcore`] K-Core, [`tc`] Triangle Counting, [`sssp`] Single-Source Shortest Path, [`pagerank`] PageRank, [`adiam`] Approximate Diameter |
+//! | Clustering | [`kmeans`] K-Means |
+//! | Collaborative Filtering | [`als`] Alternating Least Squares, [`nmf`] Non-negative Matrix Factorization, [`sgd`] Stochastic Gradient Descent, [`svd`] Singular Value Decomposition |
+//! | Linear Solver | [`jacobi`] Jacobi |
+//! | Graphical Models | [`lbp`] Loopy Belief Propagation, [`dd`] Dual Decomposition |
+//!
+//! Every module pairs its vertex program with a plain sequential reference
+//! implementation used for validation, and exposes a `run_*` convenience
+//! entry point returning the domain result plus the behavior [`RunTrace`].
+//! The [`suite`] module provides the uniform `(algorithm, workload) → trace`
+//! dispatch the experiment harness drives.
+//!
+//! [`RunTrace`]: graphmine_engine::RunTrace
+
+pub mod adiam;
+pub mod als;
+pub mod cc;
+pub mod dd;
+pub mod jacobi;
+pub mod kcore;
+pub mod kmeans;
+pub mod lbp;
+pub mod linalg;
+pub mod nmf;
+pub mod pagerank;
+pub mod sgd;
+pub mod sssp;
+pub mod suite;
+pub mod svd;
+pub mod tc;
+
+pub use suite::{run_algorithm, AlgorithmKind, Domain, SuiteConfig, Workload, WorkloadMismatch};

@@ -1,0 +1,200 @@
+//! Tiny dense linear algebra for the CF algorithms.
+//!
+//! ALS solves one `D × D` positive-definite system per vertex per iteration
+//! (D = latent factor rank, 8 by default); this module provides the Cholesky
+//! solve plus the handful of vector helpers the matrix-factorization
+//! programs share. Everything is `f64` and allocation-free on the hot path.
+
+/// Latent-factor rank used by the CF algorithm suite.
+pub const FACTOR_DIM: usize = 8;
+
+/// A latent-factor vector.
+pub type Factor = [f64; FACTOR_DIM];
+
+/// Dot product of two factors.
+#[inline]
+pub fn dot(a: &Factor, b: &Factor) -> f64 {
+    let mut s = 0.0;
+    for i in 0..FACTOR_DIM {
+        s += a[i] * b[i];
+    }
+    s
+}
+
+/// `a += scale * b`.
+#[inline]
+pub fn axpy(a: &mut Factor, scale: f64, b: &Factor) {
+    for i in 0..FACTOR_DIM {
+        a[i] += scale * b[i];
+    }
+}
+
+/// Euclidean norm of the difference of two factors.
+#[inline]
+pub fn distance(a: &Factor, b: &Factor) -> f64 {
+    let mut s = 0.0;
+    for i in 0..FACTOR_DIM {
+        let d = a[i] - b[i];
+        s += d * d;
+    }
+    s.sqrt()
+}
+
+/// Rank-1 update: `m += v vᵀ` on a row-major `D × D` matrix.
+#[inline]
+pub fn rank_one_update(m: &mut [f64; FACTOR_DIM * FACTOR_DIM], v: &Factor) {
+    for i in 0..FACTOR_DIM {
+        for j in 0..FACTOR_DIM {
+            m[i * FACTOR_DIM + j] += v[i] * v[j];
+        }
+    }
+}
+
+/// Solve `(A + ridge·I) x = b` for symmetric positive-definite `A` via
+/// Cholesky decomposition. Returns `None` when the matrix is not positive
+/// definite even after ridging (callers fall back to keeping their old
+/// factors).
+pub fn cholesky_solve(
+    a: &[f64; FACTOR_DIM * FACTOR_DIM],
+    b: &Factor,
+    ridge: f64,
+) -> Option<Factor> {
+    const D: usize = FACTOR_DIM;
+    // L is lower-triangular, built in place.
+    let mut l = [0.0f64; D * D];
+    for i in 0..D {
+        for j in 0..=i {
+            let mut sum = a[i * D + j];
+            if i == j {
+                sum += ridge;
+            }
+            for k in 0..j {
+                sum -= l[i * D + k] * l[j * D + k];
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return None;
+                }
+                l[i * D + j] = sum.sqrt();
+            } else {
+                l[i * D + j] = sum / l[j * D + j];
+            }
+        }
+    }
+    // Forward substitution: L y = b.
+    let mut y = [0.0f64; D];
+    for i in 0..D {
+        let mut sum = b[i];
+        for k in 0..i {
+            sum -= l[i * D + k] * y[k];
+        }
+        y[i] = sum / l[i * D + i];
+    }
+    // Back substitution: Lᵀ x = y.
+    let mut x = [0.0f64; D];
+    for i in (0..D).rev() {
+        let mut sum = y[i];
+        for k in (i + 1)..D {
+            sum -= l[k * D + i] * x[k];
+        }
+        x[i] = sum / l[i * D + i];
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_axpy() {
+        let mut a = [1.0; FACTOR_DIM];
+        let b = [2.0; FACTOR_DIM];
+        assert_eq!(dot(&a, &b), 16.0);
+        axpy(&mut a, 0.5, &b);
+        assert_eq!(a, [2.0; FACTOR_DIM]);
+    }
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = [0.0; FACTOR_DIM];
+        let mut b = [0.0; FACTOR_DIM];
+        b[0] = 3.0;
+        b[1] = 4.0;
+        assert!((distance(&a, &b) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cholesky_solves_identity() {
+        let mut a = [0.0f64; FACTOR_DIM * FACTOR_DIM];
+        for i in 0..FACTOR_DIM {
+            a[i * FACTOR_DIM + i] = 1.0;
+        }
+        let b: Factor = std::array::from_fn(|i| i as f64);
+        let x = cholesky_solve(&a, &b, 0.0).unwrap();
+        for i in 0..FACTOR_DIM {
+            assert!((x[i] - b[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn cholesky_solves_spd_system() {
+        // A = G Gᵀ + I with random-ish G is SPD; verify residual.
+        let mut g = [0.0f64; FACTOR_DIM * FACTOR_DIM];
+        for i in 0..FACTOR_DIM {
+            for j in 0..FACTOR_DIM {
+                g[i * FACTOR_DIM + j] = ((i * 7 + j * 3) % 5) as f64 - 2.0;
+            }
+        }
+        let mut a = [0.0f64; FACTOR_DIM * FACTOR_DIM];
+        for i in 0..FACTOR_DIM {
+            for j in 0..FACTOR_DIM {
+                let mut s = if i == j { 1.0 } else { 0.0 };
+                for k in 0..FACTOR_DIM {
+                    s += g[i * FACTOR_DIM + k] * g[j * FACTOR_DIM + k];
+                }
+                a[i * FACTOR_DIM + j] = s;
+            }
+        }
+        let b: Factor = std::array::from_fn(|i| (i as f64).sin());
+        let x = cholesky_solve(&a, &b, 0.0).unwrap();
+        // Residual A x - b should vanish.
+        for i in 0..FACTOR_DIM {
+            let mut r = -b[i];
+            for j in 0..FACTOR_DIM {
+                r += a[i * FACTOR_DIM + j] * x[j];
+            }
+            assert!(r.abs() < 1e-9, "row {i}: residual {r}");
+        }
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let mut a = [0.0f64; FACTOR_DIM * FACTOR_DIM];
+        a[0] = -1.0; // negative leading pivot
+        for i in 1..FACTOR_DIM {
+            a[i * FACTOR_DIM + i] = 1.0;
+        }
+        assert!(cholesky_solve(&a, &[1.0; FACTOR_DIM], 0.0).is_none());
+    }
+
+    #[test]
+    fn ridge_rescues_singular() {
+        let a = [0.0f64; FACTOR_DIM * FACTOR_DIM]; // all-zero: singular
+        assert!(cholesky_solve(&a, &[1.0; FACTOR_DIM], 0.0).is_none());
+        assert!(cholesky_solve(&a, &[1.0; FACTOR_DIM], 0.1).is_some());
+    }
+
+    #[test]
+    fn rank_one_accumulates() {
+        let mut m = [0.0f64; FACTOR_DIM * FACTOR_DIM];
+        let mut v = [0.0f64; FACTOR_DIM];
+        v[0] = 2.0;
+        v[1] = 3.0;
+        rank_one_update(&mut m, &v);
+        assert_eq!(m[0], 4.0);
+        assert_eq!(m[1], 6.0);
+        assert_eq!(m[FACTOR_DIM], 6.0);
+        assert_eq!(m[FACTOR_DIM + 1], 9.0);
+    }
+}

@@ -1,0 +1,396 @@
+//! Uniform `(algorithm, workload) → behavior trace` dispatch.
+//!
+//! The paper's experiment matrix (Table 2) crosses algorithms with
+//! domain-appropriate synthetic workloads; this module gives the harness a
+//! single entry point for every cell of that matrix.
+
+use crate::{adiam, als, cc, dd, jacobi, kcore, kmeans, lbp, nmf, pagerank, sgd, sssp, svd, tc};
+use graphmine_engine::{ExecutionConfig, RunTrace};
+use graphmine_gen::{
+    gaussian_edge_weights, gaussian_points, mrf_graph, powerlaw_graph, BipartiteConfig, GridMrf,
+    MatrixSystem, MrfConfig, MrfGraph, PowerLawConfig, RatingGraph,
+};
+use graphmine_graph::Graph;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Application domains (paper §2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Domain {
+    /// Graph Analytics.
+    GraphAnalytics,
+    /// Clustering.
+    Clustering,
+    /// Collaborative Filtering.
+    CollaborativeFiltering,
+    /// Linear Solver.
+    LinearSolver,
+    /// Graphical Models.
+    GraphicalModel,
+}
+
+/// The fourteen algorithms of the study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum AlgorithmKind {
+    Cc,
+    Kc,
+    Tc,
+    Sssp,
+    Pr,
+    Ad,
+    Km,
+    Als,
+    Nmf,
+    Sgd,
+    Svd,
+    Jacobi,
+    Lbp,
+    Dd,
+}
+
+impl AlgorithmKind {
+    /// All fourteen algorithms in paper order.
+    pub const ALL: [AlgorithmKind; 14] = [
+        AlgorithmKind::Cc,
+        AlgorithmKind::Kc,
+        AlgorithmKind::Tc,
+        AlgorithmKind::Sssp,
+        AlgorithmKind::Pr,
+        AlgorithmKind::Ad,
+        AlgorithmKind::Km,
+        AlgorithmKind::Als,
+        AlgorithmKind::Nmf,
+        AlgorithmKind::Sgd,
+        AlgorithmKind::Svd,
+        AlgorithmKind::Jacobi,
+        AlgorithmKind::Lbp,
+        AlgorithmKind::Dd,
+    ];
+
+    /// The eleven algorithms the paper's ensemble analysis covers (§5.2):
+    /// Jacobi, LBP, and DD are excluded "because their graph structures do
+    /// not vary".
+    pub const ENSEMBLE: [AlgorithmKind; 11] = [
+        AlgorithmKind::Cc,
+        AlgorithmKind::Kc,
+        AlgorithmKind::Tc,
+        AlgorithmKind::Sssp,
+        AlgorithmKind::Pr,
+        AlgorithmKind::Ad,
+        AlgorithmKind::Km,
+        AlgorithmKind::Als,
+        AlgorithmKind::Nmf,
+        AlgorithmKind::Sgd,
+        AlgorithmKind::Svd,
+    ];
+
+    /// Short paper abbreviation.
+    pub fn abbrev(&self) -> &'static str {
+        match self {
+            AlgorithmKind::Cc => "CC",
+            AlgorithmKind::Kc => "KC",
+            AlgorithmKind::Tc => "TC",
+            AlgorithmKind::Sssp => "SSSP",
+            AlgorithmKind::Pr => "PR",
+            AlgorithmKind::Ad => "AD",
+            AlgorithmKind::Km => "KM",
+            AlgorithmKind::Als => "ALS",
+            AlgorithmKind::Nmf => "NMF",
+            AlgorithmKind::Sgd => "SGD",
+            AlgorithmKind::Svd => "SVD",
+            AlgorithmKind::Jacobi => "Jacobi",
+            AlgorithmKind::Lbp => "LBP",
+            AlgorithmKind::Dd => "DD",
+        }
+    }
+
+    /// Application domain.
+    pub fn domain(&self) -> Domain {
+        match self {
+            AlgorithmKind::Cc
+            | AlgorithmKind::Kc
+            | AlgorithmKind::Tc
+            | AlgorithmKind::Sssp
+            | AlgorithmKind::Pr
+            | AlgorithmKind::Ad => Domain::GraphAnalytics,
+            AlgorithmKind::Km => Domain::Clustering,
+            AlgorithmKind::Als
+            | AlgorithmKind::Nmf
+            | AlgorithmKind::Sgd
+            | AlgorithmKind::Svd => Domain::CollaborativeFiltering,
+            AlgorithmKind::Jacobi => Domain::LinearSolver,
+            AlgorithmKind::Lbp | AlgorithmKind::Dd => Domain::GraphicalModel,
+        }
+    }
+
+    /// Whether the algorithm keeps all vertices active for its whole run
+    /// (the paper's runtime-shortenable set, §5.6, plus Jacobi and DD).
+    pub fn constant_active(&self) -> bool {
+        matches!(
+            self,
+            AlgorithmKind::Ad
+                | AlgorithmKind::Km
+                | AlgorithmKind::Nmf
+                | AlgorithmKind::Sgd
+                | AlgorithmKind::Svd
+                | AlgorithmKind::Jacobi
+                | AlgorithmKind::Dd
+        )
+    }
+}
+
+impl fmt::Display for AlgorithmKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.abbrev())
+    }
+}
+
+/// A generated workload, one variant per input domain (paper §3.2).
+#[derive(Debug, Clone)]
+pub enum Workload {
+    /// Scale-free graph with Gaussian edge weights and 2-D vertex points —
+    /// inputs to Graph Analytics and Clustering.
+    PowerLaw {
+        /// Topology.
+        graph: Graph,
+        /// Per-edge weights (used by SSSP).
+        weights: Vec<f64>,
+        /// Per-vertex 2-D points (used by KM).
+        points: Vec<[f64; 2]>,
+    },
+    /// Bipartite user–item ratings — inputs to Collaborative Filtering.
+    Ratings(RatingGraph),
+    /// Diagonally dominant sparse system — input to Jacobi.
+    Matrix(MatrixSystem),
+    /// Square-grid MRF — input to LBP.
+    Grid(GridMrf),
+    /// General pairwise MRF — input to DD.
+    Mrf(MrfGraph),
+}
+
+impl Workload {
+    /// Generate a power-law workload (GA + Clustering inputs).
+    pub fn powerlaw(nedges: usize, alpha: f64, seed: u64) -> Workload {
+        let graph = powerlaw_graph(&PowerLawConfig::new(nedges, alpha, seed));
+        let weights = gaussian_edge_weights(graph.num_edges(), seed);
+        let points = gaussian_points(graph.num_vertices(), seed);
+        Workload::PowerLaw {
+            graph,
+            weights,
+            points,
+        }
+    }
+
+    /// Generate a Collaborative Filtering ratings workload.
+    pub fn ratings(nedges: usize, alpha: f64, seed: u64) -> Workload {
+        Workload::Ratings(RatingGraph::generate(&BipartiteConfig::new(
+            nedges, alpha, seed,
+        )))
+    }
+
+    /// Generate a Jacobi matrix workload with uniform degree 8.
+    pub fn matrix(nrows: usize, seed: u64) -> Workload {
+        Workload::Matrix(graphmine_gen::matrix_graph(nrows, 8, seed))
+    }
+
+    /// Generate an LBP grid workload (binary labels).
+    pub fn grid(side: usize, seed: u64) -> Workload {
+        Workload::Grid(GridMrf::generate(side, 2, seed))
+    }
+
+    /// Generate a DD MRF workload with an exact edge count.
+    pub fn mrf(nedges: usize, seed: u64) -> Workload {
+        Workload::Mrf(mrf_graph(&MrfConfig::new(nedges, seed)))
+    }
+
+    /// The underlying topology.
+    pub fn graph(&self) -> &Graph {
+        match self {
+            Workload::PowerLaw { graph, .. } => graph,
+            Workload::Ratings(rg) => &rg.graph,
+            Workload::Matrix(sys) => &sys.graph,
+            Workload::Grid(mrf) => &mrf.graph,
+            Workload::Mrf(mrf) => &mrf.graph,
+        }
+    }
+}
+
+/// Suite-level execution knobs.
+#[derive(Debug, Clone)]
+pub struct SuiteConfig {
+    /// Engine configuration (iteration caps, sequential mode).
+    pub exec: ExecutionConfig,
+    /// K for K-Means.
+    pub kmeans_k: usize,
+    /// SSSP source vertex.
+    pub sssp_source: u32,
+}
+
+impl Default for SuiteConfig {
+    fn default() -> SuiteConfig {
+        SuiteConfig {
+            exec: ExecutionConfig::with_max_iterations(500),
+            kmeans_k: 4,
+            sssp_source: 0,
+        }
+    }
+}
+
+/// Mismatch between an algorithm and a workload variant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkloadMismatch {
+    /// The algorithm that was requested.
+    pub algorithm: AlgorithmKind,
+    /// Human-readable description of what it expected.
+    pub expected: &'static str,
+}
+
+impl fmt::Display for WorkloadMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} expects a {} workload", self.algorithm, self.expected)
+    }
+}
+
+impl std::error::Error for WorkloadMismatch {}
+
+/// Run `algorithm` on `workload`, returning the behavior trace.
+///
+/// Results (labels, distances, factors, …) are discarded here; callers that
+/// need them use the per-module `run_*` entry points. The harness only
+/// needs traces.
+pub fn run_algorithm(
+    algorithm: AlgorithmKind,
+    workload: &Workload,
+    config: &SuiteConfig,
+) -> Result<RunTrace, WorkloadMismatch> {
+    let exec = &config.exec;
+    let mismatch = |expected: &'static str| WorkloadMismatch {
+        algorithm,
+        expected,
+    };
+    let trace = match (algorithm, workload) {
+        (AlgorithmKind::Cc, Workload::PowerLaw { graph, .. }) => cc::run_cc(graph, exec).1,
+        (AlgorithmKind::Kc, Workload::PowerLaw { graph, .. }) => kcore::run_kcore(graph, exec).1,
+        (AlgorithmKind::Tc, Workload::PowerLaw { graph, .. }) => tc::run_tc(graph, exec).1,
+        (AlgorithmKind::Sssp, Workload::PowerLaw { graph, weights, .. }) => {
+            let source = config.sssp_source.min(graph.num_vertices() as u32 - 1);
+            sssp::run_sssp(graph, weights, source, exec).1
+        }
+        (AlgorithmKind::Pr, Workload::PowerLaw { graph, .. }) => {
+            pagerank::run_pagerank(graph, exec).1
+        }
+        (AlgorithmKind::Ad, Workload::PowerLaw { graph, .. }) => adiam::run_adiam(graph, exec).1,
+        (AlgorithmKind::Km, Workload::PowerLaw { graph, points, .. }) => {
+            kmeans::run_kmeans(graph, points, config.kmeans_k, exec).1
+        }
+        (AlgorithmKind::Als, Workload::Ratings(rg)) => als::run_als(rg, exec).1,
+        (AlgorithmKind::Nmf, Workload::Ratings(rg)) => nmf::run_nmf(rg, exec).1,
+        (AlgorithmKind::Sgd, Workload::Ratings(rg)) => sgd::run_sgd(rg, exec).1,
+        (AlgorithmKind::Svd, Workload::Ratings(rg)) => svd::run_svd(rg, exec).1,
+        (AlgorithmKind::Jacobi, Workload::Matrix(sys)) => jacobi::run_jacobi(sys, exec).1,
+        (AlgorithmKind::Lbp, Workload::Grid(mrf)) => lbp::run_lbp(mrf, exec).1,
+        (AlgorithmKind::Dd, Workload::Mrf(mrf)) => dd::run_dd(mrf, exec).1,
+        (
+            AlgorithmKind::Cc
+            | AlgorithmKind::Kc
+            | AlgorithmKind::Tc
+            | AlgorithmKind::Sssp
+            | AlgorithmKind::Pr
+            | AlgorithmKind::Ad
+            | AlgorithmKind::Km,
+            _,
+        ) => return Err(mismatch("power-law")),
+        (
+            AlgorithmKind::Als | AlgorithmKind::Nmf | AlgorithmKind::Sgd | AlgorithmKind::Svd,
+            _,
+        ) => return Err(mismatch("ratings")),
+        (AlgorithmKind::Jacobi, _) => return Err(mismatch("matrix")),
+        (AlgorithmKind::Lbp, _) => return Err(mismatch("grid")),
+        (AlgorithmKind::Dd, _) => return Err(mismatch("mrf")),
+    };
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> SuiteConfig {
+        SuiteConfig {
+            exec: ExecutionConfig::with_max_iterations(30),
+            ..SuiteConfig::default()
+        }
+    }
+
+    #[test]
+    fn every_algorithm_runs_on_its_domain_workload() {
+        let pl = Workload::powerlaw(500, 2.5, 1);
+        let ratings = Workload::ratings(400, 2.5, 2);
+        let matrix = Workload::matrix(50, 3);
+        let grid = Workload::grid(6, 4);
+        let mrf = Workload::mrf(40, 5);
+        let cfg = tiny_config();
+        for alg in AlgorithmKind::ALL {
+            let workload = match alg.domain() {
+                Domain::GraphAnalytics | Domain::Clustering => &pl,
+                Domain::CollaborativeFiltering => &ratings,
+                Domain::LinearSolver => &matrix,
+                Domain::GraphicalModel => {
+                    if alg == AlgorithmKind::Lbp {
+                        &grid
+                    } else {
+                        &mrf
+                    }
+                }
+            };
+            let trace = run_algorithm(alg, workload, &cfg)
+                .unwrap_or_else(|e| panic!("{alg}: {e}"));
+            assert!(trace.num_iterations() > 0, "{alg} ran zero iterations");
+        }
+    }
+
+    #[test]
+    fn wrong_workload_is_reported() {
+        let ratings = Workload::ratings(200, 2.5, 2);
+        let err = run_algorithm(AlgorithmKind::Cc, &ratings, &tiny_config()).unwrap_err();
+        assert_eq!(err.algorithm, AlgorithmKind::Cc);
+        assert!(err.to_string().contains("power-law"));
+    }
+
+    #[test]
+    fn constant_active_set_matches_paper() {
+        // §5.6: AD, KM, NMF, SGD, SVD have constant active fraction (plus
+        // Jacobi and DD per §4.4).
+        let constant: Vec<_> = AlgorithmKind::ALL
+            .iter()
+            .filter(|a| a.constant_active())
+            .map(|a| a.abbrev())
+            .collect();
+        assert_eq!(constant, ["AD", "KM", "NMF", "SGD", "SVD", "Jacobi", "DD"]);
+    }
+
+    #[test]
+    fn ensemble_set_excludes_fixed_structure_domains() {
+        assert_eq!(AlgorithmKind::ENSEMBLE.len(), 11);
+        assert!(!AlgorithmKind::ENSEMBLE.contains(&AlgorithmKind::Jacobi));
+        assert!(!AlgorithmKind::ENSEMBLE.contains(&AlgorithmKind::Lbp));
+        assert!(!AlgorithmKind::ENSEMBLE.contains(&AlgorithmKind::Dd));
+    }
+
+    #[test]
+    fn workload_graph_accessor() {
+        let w = Workload::powerlaw(300, 2.5, 9);
+        assert!(w.graph().num_edges() > 0);
+        let w = Workload::matrix(20, 0);
+        assert_eq!(w.graph().num_vertices(), 20);
+    }
+
+    #[test]
+    fn abbreviations_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for a in AlgorithmKind::ALL {
+            assert!(seen.insert(a.abbrev()));
+        }
+    }
+}

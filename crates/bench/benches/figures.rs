@@ -1,0 +1,238 @@
+//! One Criterion bench group per table/figure of the paper.
+//!
+//! Behavior figures (1–13) bench the underlying `<algorithm, graph>` runs
+//! that produce them; ensemble figures (14–23, Table 3) bench the analysis
+//! over the quick-profile run database. Regenerating the printed
+//! tables/series themselves is `graphmine <fig>`; these benches measure the
+//! machinery.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use graphmine_algos::{run_algorithm, AlgorithmKind, SuiteConfig, Workload};
+use graphmine_bench::quick_db;
+use graphmine_core::{
+    best_coverage_ensemble, best_spread_ensemble, frequency_in_top_ensembles,
+    limited_algorithm_pool, top_k_ensembles, BehaviorVector, CoverageSampler, Objective,
+    WorkMetric,
+};
+use graphmine_engine::ExecutionConfig;
+use graphmine_harness::{render_figure, ScaleProfile};
+use std::time::Duration;
+
+fn small_cfg() -> SuiteConfig {
+    SuiteConfig {
+        exec: ExecutionConfig::with_max_iterations(40),
+        ..SuiteConfig::default()
+    }
+}
+
+fn tune(c: &mut Criterion) -> &mut Criterion {
+    c
+}
+
+/// Bench one algorithm on its domain workload (behavior figures 1–12).
+fn bench_algorithm(c: &mut Criterion, group: &str, alg: AlgorithmKind, workload: &Workload) {
+    let mut g = c.benchmark_group(group);
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+    let cfg = small_cfg();
+    g.bench_function(alg.abbrev(), |b| {
+        b.iter(|| run_algorithm(alg, workload, &cfg).expect("domain-consistent"))
+    });
+    g.finish();
+}
+
+fn behavior_figures(c: &mut Criterion) {
+    let pl = Workload::powerlaw(4_000, 2.5, 11);
+    let ratings = Workload::ratings(2_000, 2.5, 12);
+    let matrix = Workload::matrix(300, 13);
+    let grid = Workload::grid(16, 14);
+    let mrf = Workload::mrf(1056, 15);
+
+    // Figure 1: GA active-fraction runs.
+    for alg in [
+        AlgorithmKind::Cc,
+        AlgorithmKind::Kc,
+        AlgorithmKind::Tc,
+        AlgorithmKind::Sssp,
+        AlgorithmKind::Pr,
+        AlgorithmKind::Ad,
+    ] {
+        bench_algorithm(c, "fig01_ga_active", alg, &pl);
+    }
+    // Figures 2–4: KC / TC / PR metric values.
+    bench_algorithm(c, "fig02_kc_metrics", AlgorithmKind::Kc, &pl);
+    bench_algorithm(c, "fig03_tc_metrics", AlgorithmKind::Tc, &pl);
+    bench_algorithm(c, "fig04_pr_metrics", AlgorithmKind::Pr, &pl);
+    // Figures 5–6: KM.
+    bench_algorithm(c, "fig05_km_active", AlgorithmKind::Km, &pl);
+    bench_algorithm(c, "fig06_km_metrics", AlgorithmKind::Km, &pl);
+    // Figures 7–8: ALS.
+    bench_algorithm(c, "fig07_als_active", AlgorithmKind::Als, &ratings);
+    bench_algorithm(c, "fig08_als_metrics", AlgorithmKind::Als, &ratings);
+    // Figures 9–10: SGD / SVD.
+    bench_algorithm(c, "fig09_sgd_metrics", AlgorithmKind::Sgd, &ratings);
+    bench_algorithm(c, "fig10_svd_metrics", AlgorithmKind::Svd, &ratings);
+    // Figure 11: LBP.
+    bench_algorithm(c, "fig11_lbp_active", AlgorithmKind::Lbp, &grid);
+    // Figure 12: Jacobi / LBP / DD.
+    bench_algorithm(c, "fig12_solver_metrics", AlgorithmKind::Jacobi, &matrix);
+    bench_algorithm(c, "fig12_solver_metrics", AlgorithmKind::Lbp, &grid);
+    bench_algorithm(c, "fig12_solver_metrics", AlgorithmKind::Dd, &mrf);
+}
+
+fn pool(db: &graphmine_core::RunDb) -> Vec<BehaviorVector> {
+    let behaviors = db.behaviors(WorkMetric::LogicalOps);
+    let mut vs = Vec::new();
+    for alg in AlgorithmKind::ENSEMBLE {
+        for i in db.indices_of_algorithm(alg.abbrev()) {
+            vs.push(behaviors[i]);
+        }
+    }
+    vs
+}
+
+fn ensemble_figures(c: &mut Criterion) {
+    let db = quick_db();
+    let vs = pool(db);
+    let sampler = CoverageSampler::new(10_000, 1);
+
+    // Figure 13: normalization over the whole database.
+    {
+        let mut g = tune(c).benchmark_group("fig13_all_algos");
+        g.sample_size(20);
+        g.bench_function("normalize_db", |b| {
+            b.iter(|| db.behaviors(WorkMetric::LogicalOps))
+        });
+        g.finish();
+    }
+    // Figures 14/16/18 + Table 3: best-spread search at representative sizes.
+    {
+        let mut g = tune(c).benchmark_group("fig14_spread_single_algo");
+        g.sample_size(10);
+        let cc: Vec<BehaviorVector> = {
+            let behaviors = db.behaviors(WorkMetric::LogicalOps);
+            db.indices_of_algorithm("CC")
+                .into_iter()
+                .map(|i| behaviors[i])
+                .collect()
+        };
+        g.bench_function("best_spread_n5_pool20", |b| {
+            b.iter(|| best_spread_ensemble(&cc, 5))
+        });
+        g.finish();
+    }
+    {
+        let mut g = tune(c).benchmark_group("fig15_cov_single_algo");
+        g.sample_size(10);
+        let behaviors = db.behaviors(WorkMetric::LogicalOps);
+        let cc: Vec<BehaviorVector> = db
+            .indices_of_algorithm("CC")
+            .into_iter()
+            .map(|i| behaviors[i])
+            .collect();
+        g.bench_function("best_coverage_n5_pool20", |b| {
+            b.iter(|| best_coverage_ensemble(&cc, 5, &sampler))
+        });
+        g.finish();
+    }
+    {
+        let mut g = tune(c).benchmark_group("fig16_spread_single_graph");
+        g.sample_size(10);
+        let eleven: Vec<BehaviorVector> = vs.iter().step_by(20).copied().collect();
+        g.bench_function("best_spread_n5_pool11", |b| {
+            b.iter(|| best_spread_ensemble(&eleven, 5))
+        });
+        g.finish();
+    }
+    {
+        let mut g = tune(c).benchmark_group("fig17_cov_single_graph");
+        g.sample_size(10);
+        let eleven: Vec<BehaviorVector> = vs.iter().step_by(20).copied().collect();
+        g.bench_function("best_coverage_n5_pool11", |b| {
+            b.iter(|| best_coverage_ensemble(&eleven, 5, &sampler))
+        });
+        g.finish();
+    }
+    {
+        let mut g = tune(c).benchmark_group("fig18_spread_unrestricted");
+        g.sample_size(10).measurement_time(Duration::from_secs(4));
+        g.bench_function("best_spread_n10_pool220", |b| {
+            b.iter(|| best_spread_ensemble(&vs, 10))
+        });
+        g.finish();
+    }
+    {
+        let mut g = tune(c).benchmark_group("fig19_cov_unrestricted");
+        g.sample_size(10).measurement_time(Duration::from_secs(4));
+        g.bench_function("best_coverage_n10_pool220", |b| {
+            b.iter(|| best_coverage_ensemble(&vs, 10, &sampler))
+        });
+        g.finish();
+    }
+    // Figures 20/21: beam-searched top-k + frequency analysis.
+    {
+        let labels: Vec<String> = AlgorithmKind::ENSEMBLE
+            .iter()
+            .flat_map(|a| std::iter::repeat_n(a.abbrev().to_string(), 20))
+            .collect();
+        let small_sampler = CoverageSampler::new(2_000, 2);
+        let mut g = tune(c).benchmark_group("fig20_freq_spread");
+        g.sample_size(10).measurement_time(Duration::from_secs(4));
+        g.bench_function("top20_size4", |b| {
+            b.iter(|| {
+                let top = top_k_ensembles(&vs, 4, 20, Objective::Spread, &small_sampler);
+                frequency_in_top_ensembles(&top, &labels)
+            })
+        });
+        g.finish();
+        let mut g = tune(c).benchmark_group("fig21_freq_coverage");
+        g.sample_size(10).measurement_time(Duration::from_secs(6));
+        g.bench_function("top10_size3", |b| {
+            b.iter(|| {
+                let top = top_k_ensembles(&vs, 3, 10, Objective::Coverage, &small_sampler);
+                frequency_in_top_ensembles(&top, &labels)
+            })
+        });
+        g.finish();
+    }
+    // Figures 22/23: limited-complexity pools.
+    {
+        let behaviors = db.behaviors(WorkMetric::LogicalOps);
+        let limited = limited_algorithm_pool(db, &["KM", "ALS", "TC"]);
+        let lvs: Vec<BehaviorVector> = limited.iter().map(|&i| behaviors[i]).collect();
+        let mut g = tune(c).benchmark_group("fig22_spread_limited");
+        g.sample_size(10);
+        g.bench_function("best_spread_n10_pool60", |b| {
+            b.iter(|| best_spread_ensemble(&lvs, 10))
+        });
+        g.finish();
+        let mut g = tune(c).benchmark_group("fig23_cov_limited");
+        g.sample_size(10);
+        g.bench_function("best_coverage_n10_pool60", |b| {
+            b.iter(|| best_coverage_ensemble(&lvs, 10, &sampler))
+        });
+        g.finish();
+    }
+    // Tables 2 and 3: full renderer paths.
+    {
+        let mut g = tune(c).benchmark_group("table2_matrix");
+        g.sample_size(20);
+        g.bench_function("render", |b| {
+            b.iter(|| {
+                render_figure("table2", db, ScaleProfile::Quick, WorkMetric::LogicalOps)
+                    .expect("renders")
+            })
+        });
+        g.finish();
+    }
+    {
+        let mut g = tune(c).benchmark_group("table3_best_members");
+        g.sample_size(10).measurement_time(Duration::from_secs(6));
+        g.bench_function("best_spread_n20_pool220", |b| {
+            b.iter(|| best_spread_ensemble(&vs, 20))
+        });
+        g.finish();
+    }
+}
+
+criterion_group!(benches, behavior_figures, ensemble_figures);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Generator benchmarks: the synthetic workload builders behind Table 2.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graphmine_gen::{
+    grid_graph, matrix_graph, mrf_graph, powerlaw_graph, BipartiteConfig, GridMrf, MrfConfig,
+    PowerLawConfig, RatingGraph,
+};
+use std::time::Duration;
+
+fn powerlaw(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gen_powerlaw");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    for nedges in [10_000usize, 100_000] {
+        for alpha in [2.0f64, 3.0] {
+            g.bench_with_input(
+                BenchmarkId::from_parameter(format!("m{nedges}_a{alpha}")),
+                &(nedges, alpha),
+                |b, &(m, a)| b.iter(|| powerlaw_graph(&PowerLawConfig::new(m, a, 1))),
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bipartite(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gen_bipartite");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    for nedges in [10_000usize, 100_000] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(nedges),
+            &nedges,
+            |b, &m| b.iter(|| RatingGraph::generate(&BipartiteConfig::new(m, 2.5, 1))),
+        );
+    }
+    g.finish();
+}
+
+fn structured(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gen_structured");
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+    g.bench_function("matrix_4000x8", |b| b.iter(|| matrix_graph(4_000, 8, 1)));
+    g.bench_function("grid_64", |b| b.iter(|| grid_graph(64)));
+    g.bench_function("grid_mrf_64", |b| b.iter(|| GridMrf::generate(64, 2, 1)));
+    g.bench_function("mrf_1560", |b| b.iter(|| mrf_graph(&MrfConfig::new(1560, 1))));
+    g.finish();
+}
+
+criterion_group!(benches, powerlaw, bipartite, structured);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Shared fixtures for the Criterion benchmarks.
+//!
+//! Every table and figure of the paper has a bench group in
+//! `benches/figures.rs`; this library provides the lazily built quick-scale
+//! run database they analyze, so `cargo bench` completes in minutes while
+//! still exercising the identical code paths the harness uses at full
+//! scale.
+
+use graphmine_core::RunDb;
+use graphmine_harness::{run_matrix, ScaleProfile};
+use std::sync::OnceLock;
+
+/// A quick-profile run database, built once per bench process.
+pub fn quick_db() -> &'static RunDb {
+    static DB: OnceLock<RunDb> = OnceLock::new();
+    DB.get_or_init(|| run_matrix(ScaleProfile::Quick, |_| ()))
+}

@@ -1,0 +1,198 @@
+//! Rank correlation between graph features and behavior metrics.
+//!
+//! Section 4 of the paper makes directional claims — "all metrics of KC are
+//! positively correlated to α, whereas communication intensity of PR is
+//! negatively correlated to α" (Figures 2 and 4) — that its figures show
+//! visually. This module quantifies them: Spearman rank correlation between
+//! a graph feature (α, size) and each behavior metric, per algorithm, which
+//! the `graphmine correlations` command tabulates.
+
+use crate::behavior::{RawBehavior, WorkMetric};
+use crate::rundb::RunDb;
+use serde::{Deserialize, Serialize};
+
+/// Average ranks, with ties sharing their midpoint rank.
+fn ranks(values: &[f64]) -> Vec<f64> {
+    let n = values.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| values[a].total_cmp(&values[b]));
+    let mut out = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && values[order[j + 1]] == values[order[i]] {
+            j += 1;
+        }
+        let rank = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &order[i..=j] {
+            out[k] = rank;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Spearman rank correlation coefficient; `None` when undefined (fewer
+/// than two points or zero variance in either variable).
+pub fn spearman(x: &[f64], y: &[f64]) -> Option<f64> {
+    assert_eq!(x.len(), y.len());
+    let n = x.len();
+    if n < 2 {
+        return None;
+    }
+    let rx = ranks(x);
+    let ry = ranks(y);
+    let mean = (n + 1) as f64 / 2.0;
+    let mut cov = 0.0;
+    let mut var_x = 0.0;
+    let mut var_y = 0.0;
+    for i in 0..n {
+        let dx = rx[i] - mean;
+        let dy = ry[i] - mean;
+        cov += dx * dy;
+        var_x += dx * dx;
+        var_y += dy * dy;
+    }
+    if var_x <= 0.0 || var_y <= 0.0 {
+        return None;
+    }
+    Some(cov / (var_x.sqrt() * var_y.sqrt()))
+}
+
+/// Which graph feature to correlate against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Feature {
+    /// Power-law exponent α.
+    Alpha,
+    /// Configured graph size.
+    Size,
+}
+
+/// Spearman correlations of one algorithm's four behavior metrics against
+/// a graph feature. Entries are `None` when undefined (e.g. the algorithm
+/// has no α, or a metric is constant).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricCorrelations {
+    /// Algorithm abbreviation.
+    pub algorithm: String,
+    /// Correlation of UPDT/edge with the feature.
+    pub updt: Option<f64>,
+    /// Correlation of WORK/edge with the feature.
+    pub work: Option<f64>,
+    /// Correlation of EREAD/edge with the feature.
+    pub eread: Option<f64>,
+    /// Correlation of MSG/edge with the feature.
+    pub msg: Option<f64>,
+}
+
+/// Compute per-algorithm feature↔metric correlations over a run database.
+///
+/// For [`Feature::Alpha`] the correlation is computed within each size
+/// (α varies, size held fixed) and averaged across sizes — the paper's
+/// "change the value of graph features one at a time" isolation — and
+/// symmetrically for [`Feature::Size`].
+pub fn feature_correlations(
+    db: &RunDb,
+    feature: Feature,
+    metric: WorkMetric,
+) -> Vec<MetricCorrelations> {
+    let mut out = Vec::new();
+    for alg in db.algorithms() {
+        let idx = db.indices_of_algorithm(&alg);
+        // Group runs by the *held-fixed* feature.
+        let mut groups: std::collections::BTreeMap<u64, Vec<usize>> = Default::default();
+        for &i in &idx {
+            let r = &db.runs[i];
+            let key = match feature {
+                Feature::Alpha => r.graph.size,
+                Feature::Size => r.graph.alpha.map(|a| (a * 1000.0) as u64).unwrap_or(0),
+            };
+            groups.entry(key).or_default().push(i);
+        }
+        let mut sums = [0.0f64; 4];
+        let mut counts = [0usize; 4];
+        for members in groups.values() {
+            if members.len() < 2 {
+                continue;
+            }
+            let xs: Vec<f64> = members
+                .iter()
+                .map(|&i| match feature {
+                    Feature::Alpha => db.runs[i].graph.alpha.unwrap_or(f64::NAN),
+                    Feature::Size => db.runs[i].graph.size as f64,
+                })
+                .collect();
+            if xs.iter().any(|x| x.is_nan()) {
+                continue;
+            }
+            let behaviors: Vec<RawBehavior> =
+                members.iter().map(|&i| db.runs[i].raw(metric)).collect();
+            for (k, get) in [
+                (0usize, (|b: &RawBehavior| b.updt) as fn(&RawBehavior) -> f64),
+                (1, |b: &RawBehavior| b.work),
+                (2, |b: &RawBehavior| b.eread),
+                (3, |b: &RawBehavior| b.msg),
+            ] {
+                let ys: Vec<f64> = behaviors.iter().map(get).collect();
+                if let Some(rho) = spearman(&xs, &ys) {
+                    sums[k] += rho;
+                    counts[k] += 1;
+                }
+            }
+        }
+        let avg = |k: usize| -> Option<f64> {
+            (counts[k] > 0).then(|| sums[k] / counts[k] as f64)
+        };
+        out.push(MetricCorrelations {
+            algorithm: alg,
+            updt: avg(0),
+            work: avg(1),
+            eread: avg(2),
+            msg: avg(3),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spearman_perfect_monotone() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let inc = [10.0, 20.0, 25.0, 90.0];
+        let dec = [5.0, 4.0, 3.0, -7.0];
+        assert!((spearman(&x, &inc).unwrap() - 1.0).abs() < 1e-12);
+        assert!((spearman(&x, &dec).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_handles_ties() {
+        let x = [1.0, 1.0, 2.0, 2.0];
+        let y = [3.0, 3.0, 5.0, 5.0];
+        let rho = spearman(&x, &y).unwrap();
+        assert!((rho - 1.0).abs() < 1e-12, "rho {rho}");
+    }
+
+    #[test]
+    fn spearman_undefined_cases() {
+        assert!(spearman(&[1.0], &[2.0]).is_none());
+        assert!(spearman(&[1.0, 1.0], &[2.0, 3.0]).is_none()); // zero variance
+    }
+
+    #[test]
+    fn spearman_uncorrelated_near_zero() {
+        // A permutation with no monotone trend.
+        let x: Vec<f64> = (0..8).map(|i| i as f64).collect();
+        let y = [3.0, 7.0, 0.0, 5.0, 1.0, 6.0, 2.0, 4.0];
+        let rho = spearman(&x, &y).unwrap();
+        assert!(rho.abs() < 0.5, "rho {rho}");
+    }
+
+    #[test]
+    fn ranks_midpoint_ties() {
+        let r = ranks(&[10.0, 20.0, 20.0, 30.0]);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+}

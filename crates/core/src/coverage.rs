@@ -1,0 +1,186 @@
+//! The coverage metric (paper §5.1).
+//!
+//! "Coverage of an ensemble is defined as [NS over the summed] minimum
+//! distance from all points in the space to the nearest point in the
+//! ensemble … sample points are taken randomly and uniformly throughout the
+//! space (we use 1 million)." Coverage is the *reciprocal of the mean
+//! minimum distance*: it grows as the ensemble blankets the space, and the
+//! magnitudes reproduce the paper's (≈3.9 for the best 20-member ensemble,
+//! Figure 19).
+
+use crate::behavior::{BehaviorVector, DIMS};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+
+/// A reusable cloud of uniform sample points in `[0, 1]⁴`.
+///
+/// The cloud is deterministic for a given seed so every ensemble in a study
+/// is scored against the *same* samples, exactly as the paper's
+/// retrospective comparison requires.
+#[derive(Debug, Clone)]
+pub struct CoverageSampler {
+    points: Vec<[f64; DIMS]>,
+}
+
+impl CoverageSampler {
+    /// The paper's sample count.
+    pub const PAPER_SAMPLES: usize = 1_000_000;
+
+    /// Create a sampler with `n` uniform points.
+    pub fn new(n: usize, seed: u64) -> CoverageSampler {
+        assert!(n > 0, "need at least one sample point");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let points = (0..n)
+            .map(|_| std::array::from_fn(|_| rng.gen::<f64>()))
+            .collect();
+        CoverageSampler { points }
+    }
+
+    /// Number of sample points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the sampler is empty (never true; constructor enforces > 0).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The raw sample points.
+    pub fn points(&self) -> &[[f64; DIMS]] {
+        &self.points
+    }
+
+    /// Sum over samples of the distance to the nearest of `members`.
+    pub fn total_min_distance(&self, members: &[BehaviorVector]) -> f64 {
+        if members.is_empty() {
+            return f64::INFINITY;
+        }
+        self.points
+            .par_iter()
+            .map(|p| {
+                members
+                    .iter()
+                    .map(|m| m.distance_to_point(p))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .sum()
+    }
+
+    /// Per-sample minimum distances (used by incremental greedy search).
+    pub fn min_distances(&self, members: &[BehaviorVector]) -> Vec<f64> {
+        self.points
+            .par_iter()
+            .map(|p| {
+                members
+                    .iter()
+                    .map(|m| m.distance_to_point(p))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .collect()
+    }
+
+    /// Distances from every sample to one candidate member.
+    pub fn distances_to(&self, candidate: &BehaviorVector) -> Vec<f64> {
+        self.points
+            .par_iter()
+            .map(|p| candidate.distance_to_point(p))
+            .collect()
+    }
+}
+
+/// Coverage of an ensemble: `NS / Σᵢ minₖ d(sampleᵢ, memberₖ)`.
+/// An empty ensemble has coverage 0.
+pub fn coverage(members: &[BehaviorVector], sampler: &CoverageSampler) -> f64 {
+    if members.is_empty() {
+        return 0.0;
+    }
+    let total = sampler.total_min_distance(members);
+    if total <= 0.0 {
+        // All samples coincide with members — unbounded coverage in theory;
+        // report a large sentinel rather than infinity.
+        return f64::MAX;
+    }
+    sampler.len() as f64 / total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bv(a: f64, b: f64, c: f64, d: f64) -> BehaviorVector {
+        BehaviorVector([a, b, c, d])
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let s1 = CoverageSampler::new(100, 9);
+        let s2 = CoverageSampler::new(100, 9);
+        assert_eq!(s1.points(), s2.points());
+        let s3 = CoverageSampler::new(100, 10);
+        assert_ne!(s1.points(), s3.points());
+    }
+
+    #[test]
+    fn empty_ensemble_zero_coverage() {
+        let s = CoverageSampler::new(1000, 1);
+        assert_eq!(coverage(&[], &s), 0.0);
+    }
+
+    #[test]
+    fn supersets_never_lose_coverage() {
+        // Adding members can only shrink per-sample minimum distances.
+        let s = CoverageSampler::new(20_000, 2);
+        let mut members = vec![bv(0.5, 0.5, 0.5, 0.5)];
+        let mut prev = coverage(&members, &s);
+        for extra in [
+            bv(0.1, 0.1, 0.1, 0.1),
+            bv(0.9, 0.9, 0.9, 0.9),
+            bv(0.1, 0.9, 0.1, 0.9),
+            bv(0.9, 0.1, 0.9, 0.1),
+        ] {
+            members.push(extra);
+            let c = coverage(&members, &s);
+            assert!(c >= prev - 1e-12, "coverage dropped: {c} < {prev}");
+            prev = c;
+        }
+        // The full 5-member spread-out ensemble clearly beats the center.
+        assert!(prev > coverage(&[bv(0.5, 0.5, 0.5, 0.5)], &s) * 1.1);
+    }
+
+    #[test]
+    fn centered_beats_cornered_singleton() {
+        let s = CoverageSampler::new(20_000, 3);
+        let center = coverage(&[bv(0.5, 0.5, 0.5, 0.5)], &s);
+        let corner = coverage(&[bv(0.0, 0.0, 0.0, 0.0)], &s);
+        assert!(center > corner);
+    }
+
+    #[test]
+    fn coverage_magnitude_sane() {
+        // Mean distance from a uniform point in [0,1]^4 to the center is
+        // ≈ 0.56 (slightly below sqrt(4/12)), so single-center coverage
+        // ≈ 1/0.56 ≈ 1.78.
+        let s = CoverageSampler::new(50_000, 4);
+        let c = coverage(&[bv(0.5, 0.5, 0.5, 0.5)], &s);
+        assert!((c - 1.78).abs() < 0.1, "coverage {c}");
+    }
+
+    #[test]
+    fn min_distances_consistent_with_total() {
+        let s = CoverageSampler::new(5_000, 5);
+        let members = [bv(0.2, 0.4, 0.6, 0.8), bv(0.8, 0.6, 0.4, 0.2)];
+        let per_sample = s.min_distances(&members);
+        let total: f64 = per_sample.iter().sum();
+        assert!((total - s.total_min_distance(&members)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn duplicate_member_changes_nothing() {
+        let s = CoverageSampler::new(5_000, 6);
+        let a = [bv(0.3, 0.3, 0.3, 0.3)];
+        let aa = [bv(0.3, 0.3, 0.3, 0.3), bv(0.3, 0.3, 0.3, 0.3)];
+        assert!((coverage(&a, &s) - coverage(&aa, &s)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,98 @@
+//! The spread metric and ensemble cost accounting (paper §5.1).
+
+use crate::behavior::BehaviorVector;
+
+/// Spread: mean pairwise Euclidean distance between ensemble members.
+/// An ensemble with fewer than two members has spread 0.
+pub fn spread(members: &[BehaviorVector]) -> f64 {
+    let n = members.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            total += members[i].distance(&members[j]);
+        }
+    }
+    // Mean over ordered pairs N(N-1) equals mean over unordered pairs.
+    total / (n * (n - 1) / 2) as f64
+}
+
+/// Spread of the subset of `pool` selected by `indices`.
+pub fn spread_of(pool: &[BehaviorVector], indices: &[usize]) -> f64 {
+    let n = indices.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            total += pool[indices[i]].distance(&pool[indices[j]]);
+        }
+    }
+    total / (n * (n - 1) / 2) as f64
+}
+
+/// Total benchmarking cost of an ensemble, modeled as the sum of iteration
+/// counts of its runs (the paper's runtime-reduction lever in §5.6).
+pub fn ensemble_cost(iterations: &[usize], indices: &[usize]) -> usize {
+    indices.iter().map(|&i| iterations[i]).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bv(x: f64) -> BehaviorVector {
+        BehaviorVector([x, 0.0, 0.0, 0.0])
+    }
+
+    #[test]
+    fn empty_and_singleton_have_zero_spread() {
+        assert_eq!(spread(&[]), 0.0);
+        assert_eq!(spread(&[bv(0.7)]), 0.0);
+    }
+
+    #[test]
+    fn pair_spread_is_their_distance() {
+        assert!((spread(&[bv(0.0), bv(1.0)]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clustered_lower_than_dispersed() {
+        let clustered = [bv(0.5), bv(0.51), bv(0.49)];
+        let dispersed = [bv(0.0), bv(0.5), bv(1.0)];
+        assert!(spread(&clustered) < spread(&dispersed));
+    }
+
+    #[test]
+    fn permutation_invariant() {
+        let a = [bv(0.1), bv(0.4), bv(0.9)];
+        let b = [bv(0.9), bv(0.1), bv(0.4)];
+        assert!((spread(&a) - spread(&b)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spread_of_matches_spread() {
+        let pool = [bv(0.0), bv(0.3), bv(0.6), bv(1.0)];
+        let idx = [0usize, 2, 3];
+        let subset: Vec<_> = idx.iter().map(|&i| pool[i]).collect();
+        assert!((spread_of(&pool, &idx) - spread(&subset)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplicating_a_member_lowers_spread() {
+        let base = [bv(0.0), bv(1.0)];
+        let dup = [bv(0.0), bv(1.0), bv(1.0)];
+        assert!(spread(&dup) < spread(&base));
+    }
+
+    #[test]
+    fn cost_sums_iterations() {
+        let iters = [10usize, 700, 2, 20];
+        assert_eq!(ensemble_cost(&iters, &[0, 2]), 12);
+        assert_eq!(ensemble_cost(&iters, &[]), 0);
+        assert_eq!(ensemble_cost(&iters, &[1, 3]), 720);
+    }
+}

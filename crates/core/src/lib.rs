@@ -1,0 +1,60 @@
+//! The graph-computation **behavior space** and benchmark-ensemble
+//! methodology — the primary contribution of the HPDC'15 paper.
+//!
+//! A graph computation `GC = <algorithm, graph size, degree distribution>`
+//! is summarized by the vector (paper Eq. 2)
+//!
+//! ```text
+//! Behavior(GC) = <UPDT, WORK, EREAD, MSG>
+//! ```
+//!
+//! where each component is a per-iteration average divided by the number of
+//! edges (§3.4) and then max-normalized over the whole run database so all
+//! dimensions lie in `[0, 1]`. An *ensemble* `{GC₁, GC₂, …}` — a benchmark
+//! suite, or any set of performance experiments — is scored by two metrics
+//! (§5.1):
+//!
+//! * **spread** — mean pairwise distance between member behaviors; high
+//!   spread means the ensemble is dispersed rather than clustered.
+//! * **coverage** — `NS / Σᵢ minₖ d(sampleᵢ, memberₖ)` over `NS` uniform
+//!   random sample points of the space; high coverage means no behavior is
+//!   far from some ensemble member.
+//!
+//! The crate then reproduces the paper's ensemble studies: best ensembles
+//! restricted to a single algorithm (§5.2) or a single graph (§5.3),
+//! unrestricted search (§5.4), diversity/frequency analysis over the 100
+//! best ensembles (§5.5), and complexity-limited suites (§5.6), plus the
+//! empirical upper bounds plotted in Figures 14–19.
+//!
+//! ```
+//! use graphmine_core::{spread, BehaviorVector};
+//!
+//! let a = BehaviorVector([0.0, 0.0, 0.0, 0.0]);
+//! let b = BehaviorVector([1.0, 0.0, 0.0, 0.0]);
+//! assert_eq!(spread(&[a, b]), 1.0);
+//! ```
+
+pub mod behavior;
+pub mod bounds;
+pub mod correlation;
+pub mod coverage;
+pub mod ensemble;
+pub mod limits;
+pub mod model;
+pub mod pareto;
+pub mod rundb;
+pub mod search;
+
+pub use behavior::{normalize_behaviors, BehaviorVector, RawBehavior, WorkMetric, DIMS};
+pub use bounds::{coverage_upper_bound, spread_upper_bound};
+pub use correlation::{feature_correlations, spearman, Feature, MetricCorrelations};
+pub use coverage::{coverage, CoverageSampler};
+pub use ensemble::{ensemble_cost, spread, spread_of};
+pub use limits::{limited_algorithm_pool, limited_graph_pool, runtime_limited_cost};
+pub use model::{features as runtime_features, RuntimeModel};
+pub use pareto::{pareto_front, ParetoEnsemble};
+pub use rundb::{GraphSpec, RunDb, RunRecord};
+pub use search::{
+    best_coverage_ensemble, best_spread_ensemble, frequency_in_top_ensembles, top_k_ensembles,
+    Objective,
+};

@@ -1,0 +1,145 @@
+//! Complexity-limited ensembles (paper §5.6).
+//!
+//! "Because the best ensembles require complex combinations of algorithms
+//! and graphs, it is worthwhile to consider simpler combinations": pools
+//! limited to a few algorithms, pools limited to a few graphs, and
+//! runtime-shortened suites built from the constant-active-fraction
+//! algorithms (AD, KM, NMF, SGD, SVD) whose "constant, repetitive behavior"
+//! lets their runs be truncated without changing per-iteration behavior.
+
+use crate::rundb::RunDb;
+
+/// Indices of runs restricted to the given algorithm abbreviations
+/// (paper: the {KM, ALS, TC} three-algorithm suite).
+pub fn limited_algorithm_pool(db: &RunDb, algorithms: &[&str]) -> Vec<usize> {
+    db.runs
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| algorithms.contains(&r.algorithm.as_str()))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Indices of runs restricted to the given graph structures
+/// `(size, alpha)` (paper: three graphs of sizes 10⁷–10⁹ with α = 2.0).
+pub fn limited_graph_pool(db: &RunDb, structures: &[(u64, Option<f64>)]) -> Vec<usize> {
+    let keys: Vec<(u64, Option<u64>)> = structures
+        .iter()
+        .map(|(s, a)| (*s, a.map(|a| (a * 1000.0) as u64)))
+        .collect();
+    db.runs
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| keys.contains(&r.graph.structure_key()))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Benchmarking cost (total iterations) of an ensemble when the runs of
+/// `shortenable` algorithms are truncated to `cap` iterations — the paper's
+/// runtime-reduction optimization. Because those algorithms have constant
+/// per-iteration behavior, truncation leaves their behavior vectors (and
+/// hence the ensemble's spread/coverage) unchanged.
+pub fn runtime_limited_cost(
+    db: &RunDb,
+    indices: &[usize],
+    shortenable: &[&str],
+    cap: usize,
+) -> usize {
+    indices
+        .iter()
+        .map(|&i| {
+            let r = &db.runs[i];
+            if shortenable.contains(&r.algorithm.as_str()) {
+                r.iterations.min(cap)
+            } else {
+                r.iterations
+            }
+        })
+        .sum()
+}
+
+/// The paper's shortenable set: algorithms with constant active fraction.
+pub const SHORTENABLE: [&str; 5] = ["AD", "KM", "NMF", "SGD", "SVD"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rundb::{GraphSpec, RunRecord};
+    use graphmine_engine::{IterationStats, RunTrace};
+
+    fn record(alg: &str, size: u64, alpha: f64, iters: usize) -> RunRecord {
+        let trace = RunTrace {
+            num_vertices: 4,
+            num_edges: 4,
+            iterations: vec![
+                IterationStats {
+                    active: 4,
+                    updates: 4,
+                    edge_reads: 8,
+                    messages: 2,
+                    apply_ns: 10,
+                    apply_ops: 5,
+                    remote_edge_reads: 0,
+                    remote_messages: 0,
+                };
+                iters
+            ],
+            converged: true,
+        };
+        RunRecord::from_trace(
+            alg,
+            "X",
+            GraphSpec {
+                size,
+                alpha: Some(alpha),
+                label: format!("{size}"),
+            },
+            0,
+            &trace,
+        )
+    }
+
+    fn db() -> RunDb {
+        let mut db = RunDb::new();
+        db.push(record("KM", 100, 2.0, 700)); // 0
+        db.push(record("ALS", 100, 2.0, 60)); // 1
+        db.push(record("TC", 1000, 2.5, 1)); // 2
+        db.push(record("CC", 1000, 2.5, 12)); // 3
+        db
+    }
+
+    #[test]
+    fn algorithm_pool_filters() {
+        let db = db();
+        assert_eq!(limited_algorithm_pool(&db, &["KM", "ALS", "TC"]), vec![0, 1, 2]);
+        assert_eq!(limited_algorithm_pool(&db, &["CC"]), vec![3]);
+        assert!(limited_algorithm_pool(&db, &[]).is_empty());
+    }
+
+    #[test]
+    fn graph_pool_filters() {
+        let db = db();
+        assert_eq!(
+            limited_graph_pool(&db, &[(1000, Some(2.5))]),
+            vec![2, 3]
+        );
+        assert!(limited_graph_pool(&db, &[(5, None)]).is_empty());
+    }
+
+    #[test]
+    fn runtime_cap_only_hits_shortenable() {
+        let db = db();
+        let all = [0usize, 1, 2, 3];
+        let full: usize = 700 + 60 + 1 + 12;
+        assert_eq!(runtime_limited_cost(&db, &all, &[], usize::MAX), full);
+        // KM capped at 20; ALS is NOT shortenable (activity varies).
+        let capped = runtime_limited_cost(&db, &all, &SHORTENABLE, 20);
+        assert_eq!(capped, 20 + 60 + 1 + 12);
+    }
+
+    #[test]
+    fn shortenable_set_matches_paper() {
+        assert_eq!(SHORTENABLE, ["AD", "KM", "NMF", "SGD", "SVD"]);
+    }
+}

@@ -1,0 +1,162 @@
+//! Spread/coverage Pareto analysis — a step toward the paper's closing
+//! question (§7): *"Can we design optimal ensembles?"*
+//!
+//! Spread and coverage pull in different directions: spread rewards rim
+//! points of the behavior space, coverage rewards centroidal placement
+//! (compare the paper's Table 3 best-spread vs best-coverage members).
+//! A benchmark designer therefore faces a genuine trade-off, which this
+//! module makes explicit: enumerate candidate ensembles of a given size
+//! and keep the ones not dominated in `(spread, coverage)`.
+
+use crate::behavior::BehaviorVector;
+use crate::coverage::{coverage, CoverageSampler};
+use crate::ensemble::spread_of;
+use crate::search::{best_coverage_ensemble, best_spread_ensemble, top_k_ensembles, Objective};
+
+/// One point on the spread/coverage Pareto front.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParetoEnsemble {
+    /// Member indices into the pool (sorted).
+    pub members: Vec<usize>,
+    /// Achieved spread.
+    pub spread: f64,
+    /// Achieved coverage.
+    pub coverage: f64,
+}
+
+/// Keep only non-dominated `(spread, coverage)` points, sorted by
+/// descending spread. A point dominates another when it is at least as
+/// good in both objectives and strictly better in one.
+fn pareto_filter(mut candidates: Vec<ParetoEnsemble>) -> Vec<ParetoEnsemble> {
+    candidates.sort_by(|a, b| {
+        b.spread
+            .partial_cmp(&a.spread)
+            .expect("finite spread")
+            .then(b.coverage.partial_cmp(&a.coverage).expect("finite coverage"))
+    });
+    let mut front: Vec<ParetoEnsemble> = Vec::new();
+    let mut best_cov = f64::NEG_INFINITY;
+    for c in candidates {
+        if c.coverage > best_cov + 1e-12 {
+            best_cov = c.coverage;
+            front.push(c);
+        }
+    }
+    front
+}
+
+/// Approximate the spread/coverage Pareto front for ensembles of `size`
+/// members from `pool`.
+///
+/// Candidates are drawn from the strongest available generators: the
+/// dedicated best-spread and best-coverage searches plus the top-`breadth`
+/// beam ensembles of each objective — the same machinery the §5 analyses
+/// use — then filtered for dominance. The result always contains at least
+/// the best-spread and best-coverage ensembles themselves (as front
+/// endpoints), so it is never empty for a non-trivial pool.
+pub fn pareto_front(
+    pool: &[BehaviorVector],
+    size: usize,
+    breadth: usize,
+    sampler: &CoverageSampler,
+) -> Vec<ParetoEnsemble> {
+    if pool.is_empty() || size == 0 {
+        return Vec::new();
+    }
+    let evaluate = |members: Vec<usize>| -> ParetoEnsemble {
+        let vs: Vec<BehaviorVector> = members.iter().map(|&i| pool[i]).collect();
+        ParetoEnsemble {
+            spread: spread_of(pool, &members),
+            coverage: coverage(&vs, sampler),
+            members,
+        }
+    };
+    let mut candidates = Vec::new();
+    candidates.push(evaluate(best_spread_ensemble(pool, size).0));
+    candidates.push(evaluate(best_coverage_ensemble(pool, size, sampler).0));
+    // Candidate *generation* ranks thousands of ensembles, so it runs on a
+    // down-sampled cloud; the front itself is scored with the caller's
+    // sampler above/below.
+    let search_sampler = CoverageSampler::new(sampler.len().min(2_000), 0x5EED);
+    for objective in [Objective::Spread, Objective::Coverage] {
+        for (members, _) in top_k_ensembles(pool, size, breadth, objective, &search_sampler) {
+            candidates.push(evaluate(members));
+        }
+    }
+    pareto_filter(candidates)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bv(a: f64, b: f64) -> BehaviorVector {
+        BehaviorVector([a, b, 0.0, 0.0])
+    }
+
+    fn pool() -> Vec<BehaviorVector> {
+        let mut p = Vec::new();
+        for i in 0..6 {
+            for j in 0..6 {
+                p.push(bv(i as f64 / 5.0, j as f64 / 5.0));
+            }
+        }
+        p
+    }
+
+    #[test]
+    fn front_is_sorted_and_non_dominated() {
+        let sampler = CoverageSampler::new(4_000, 3);
+        let front = pareto_front(&pool(), 4, 10, &sampler);
+        assert!(!front.is_empty());
+        for w in front.windows(2) {
+            assert!(w[0].spread >= w[1].spread);
+            assert!(w[0].coverage <= w[1].coverage + 1e-12);
+        }
+        // No member dominates another.
+        for a in &front {
+            for b in &front {
+                if a.members == b.members {
+                    continue;
+                }
+                let dominates = a.spread >= b.spread
+                    && a.coverage >= b.coverage
+                    && (a.spread > b.spread || a.coverage > b.coverage);
+                assert!(!dominates, "{a:?} dominates {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn endpoints_match_dedicated_searches() {
+        let sampler = CoverageSampler::new(4_000, 4);
+        let p = pool();
+        let front = pareto_front(&p, 3, 10, &sampler);
+        let (_, best_spread) = best_spread_ensemble(&p, 3);
+        let (_, best_cov) = best_coverage_ensemble(&p, 3, &sampler);
+        let max_spread = front.iter().map(|e| e.spread).fold(0.0, f64::max);
+        let max_cov = front.iter().map(|e| e.coverage).fold(0.0, f64::max);
+        assert!((max_spread - best_spread).abs() < 1e-9);
+        assert!(max_cov >= best_cov - 1e-9);
+    }
+
+    #[test]
+    fn trade_off_exists_on_grid() {
+        // On a uniform grid the spread-max ensemble (corners) and the
+        // coverage-max ensemble (centroids) differ, so the front has at
+        // least two points.
+        let sampler = CoverageSampler::new(4_000, 5);
+        let front = pareto_front(&pool(), 4, 20, &sampler);
+        assert!(
+            front.len() >= 2,
+            "expected a trade-off, front = {front:?}"
+        );
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let sampler = CoverageSampler::new(100, 6);
+        assert!(pareto_front(&[], 3, 5, &sampler).is_empty());
+        assert!(pareto_front(&pool(), 0, 5, &sampler).is_empty());
+    }
+}

@@ -1,0 +1,333 @@
+//! The run database: every `<algorithm, graph>` execution the study
+//! produced, with enough metadata to rebuild every figure.
+
+use crate::behavior::{normalize_behaviors, BehaviorVector, RawBehavior, WorkMetric};
+use graphmine_engine::RunTrace;
+use serde::{Deserialize, Serialize};
+use std::io;
+use std::path::Path;
+
+/// The graph configuration of a run (paper Table 2 row).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GraphSpec {
+    /// Configured size parameter: `nedges` for power-law/CF/MRF inputs,
+    /// `nrows` for matrices, grid side for LBP.
+    pub size: u64,
+    /// Power-law exponent, when the input has one.
+    pub alpha: Option<f64>,
+    /// Human-readable size label used in figures ("1e5" etc.).
+    pub label: String,
+}
+
+impl GraphSpec {
+    /// Key identifying a graph structure (size, alpha) for single-graph
+    /// ensembles.
+    pub fn structure_key(&self) -> (u64, Option<u64>) {
+        (self.size, self.alpha.map(|a| (a * 1000.0) as u64))
+    }
+}
+
+/// One run record: `<algorithm, graph>` plus its measured behavior.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunRecord {
+    /// Algorithm abbreviation ("CC", "ALS", …).
+    pub algorithm: String,
+    /// Application domain name.
+    pub domain: String,
+    /// The input graph configuration.
+    pub graph: GraphSpec,
+    /// Generator seed.
+    pub seed: u64,
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Whether the run converged before its cap.
+    pub converged: bool,
+    /// Vertices in the realized graph.
+    pub num_vertices: u64,
+    /// Edges in the realized graph.
+    pub num_edges: u64,
+    /// Active-fraction series (for the Figure 1/5/7/11 plots); truncated to
+    /// at most 512 entries to bound storage.
+    pub active_fraction: Vec<f64>,
+    /// Per-edge behavior with wall-clock WORK.
+    pub behavior_wall: RawBehavior,
+    /// Per-edge behavior with logical-ops WORK.
+    pub behavior_ops: RawBehavior,
+    /// End-to-end wall-clock runtime of the run in milliseconds (0 when
+    /// not measured — e.g. records built directly from traces).
+    #[serde(default)]
+    pub runtime_ms: f64,
+}
+
+impl RunRecord {
+    /// Build a record from a finished trace.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_trace(
+        algorithm: &str,
+        domain: &str,
+        graph: GraphSpec,
+        seed: u64,
+        trace: &RunTrace,
+    ) -> RunRecord {
+        let mut active_fraction = trace.active_fraction();
+        if active_fraction.len() > 512 {
+            active_fraction.truncate(512);
+        }
+        RunRecord {
+            algorithm: algorithm.to_string(),
+            domain: domain.to_string(),
+            graph,
+            seed,
+            iterations: trace.num_iterations(),
+            converged: trace.converged,
+            num_vertices: trace.num_vertices,
+            num_edges: trace.num_edges,
+            active_fraction,
+            behavior_wall: RawBehavior::from_trace(trace, WorkMetric::WallNanos),
+            behavior_ops: RawBehavior::from_trace(trace, WorkMetric::LogicalOps),
+            runtime_ms: 0.0,
+        }
+    }
+
+    /// Attach a measured end-to-end runtime.
+    pub fn with_runtime_ms(mut self, ms: f64) -> RunRecord {
+        self.runtime_ms = ms;
+        self
+    }
+
+    /// The selected raw behavior.
+    pub fn raw(&self, metric: WorkMetric) -> RawBehavior {
+        match metric {
+            WorkMetric::WallNanos => self.behavior_wall,
+            WorkMetric::LogicalOps => self.behavior_ops,
+        }
+    }
+}
+
+/// The full study database.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunDb {
+    /// All recorded runs.
+    pub runs: Vec<RunRecord>,
+}
+
+impl RunDb {
+    /// Create an empty database.
+    pub fn new() -> RunDb {
+        RunDb::default()
+    }
+
+    /// Number of runs.
+    pub fn len(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Whether the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Add a run.
+    pub fn push(&mut self, record: RunRecord) {
+        self.runs.push(record);
+    }
+
+    /// Normalized behavior vectors for all runs (database-level max
+    /// scaling, paper §3.4).
+    pub fn behaviors(&self, metric: WorkMetric) -> Vec<BehaviorVector> {
+        let raw: Vec<RawBehavior> = self.runs.iter().map(|r| r.raw(metric)).collect();
+        normalize_behaviors(&raw)
+    }
+
+    /// Indices of runs of one algorithm.
+    pub fn indices_of_algorithm(&self, algorithm: &str) -> Vec<usize> {
+        self.runs
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.algorithm == algorithm)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Indices of runs on one graph structure (size + alpha).
+    pub fn indices_of_graph(&self, size: u64, alpha: Option<f64>) -> Vec<usize> {
+        let key = (size, alpha.map(|a| (a * 1000.0) as u64));
+        self.runs
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.graph.structure_key() == key)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Distinct algorithm abbreviations, in first-appearance order.
+    pub fn algorithms(&self) -> Vec<String> {
+        let mut seen = Vec::new();
+        for r in &self.runs {
+            if !seen.contains(&r.algorithm) {
+                seen.push(r.algorithm.clone());
+            }
+        }
+        seen
+    }
+
+    /// Distinct graph structures `(size, alpha)` in first-appearance order.
+    pub fn graph_structures(&self) -> Vec<(u64, Option<f64>)> {
+        let mut seen: Vec<(u64, Option<f64>)> = Vec::new();
+        for r in &self.runs {
+            let item = (r.graph.size, r.graph.alpha);
+            if !seen
+                .iter()
+                .any(|s| s.0 == item.0 && s.1.map(|a| (a * 1000.0) as u64) == item.1.map(|a| (a * 1000.0) as u64))
+            {
+                seen.push(item);
+            }
+        }
+        seen
+    }
+
+    /// Algorithm label per run (aligned with `behaviors()` indices).
+    pub fn labels(&self) -> Vec<String> {
+        self.runs.iter().map(|r| r.algorithm.clone()).collect()
+    }
+
+    /// Iteration count per run (for cost accounting).
+    pub fn iteration_counts(&self) -> Vec<usize> {
+        self.runs.iter().map(|r| r.iterations).collect()
+    }
+
+    /// Serialize to pretty JSON at `path`.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let json = serde_json::to_string(self).map_err(io::Error::other)?;
+        std::fs::write(path, json)
+    }
+
+    /// Load from JSON at `path`.
+    pub fn load(path: &Path) -> io::Result<RunDb> {
+        let data = std::fs::read_to_string(path)?;
+        serde_json::from_str(&data).map_err(io::Error::other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphmine_engine::IterationStats;
+
+    fn record(alg: &str, size: u64, alpha: f64, updt: u64) -> RunRecord {
+        let trace = RunTrace {
+            num_vertices: 10,
+            num_edges: 10,
+            iterations: vec![IterationStats {
+                active: 10,
+                updates: updt,
+                edge_reads: 20,
+                messages: 5,
+                apply_ns: 100,
+                apply_ops: 50,
+                    remote_edge_reads: 0,
+                    remote_messages: 0,
+            }],
+            converged: true,
+        };
+        RunRecord::from_trace(
+            alg,
+            "GA",
+            GraphSpec {
+                size,
+                alpha: Some(alpha),
+                label: format!("{size}"),
+            },
+            0,
+            &trace,
+        )
+    }
+
+    fn sample_db() -> RunDb {
+        let mut db = RunDb::new();
+        db.push(record("CC", 100, 2.0, 10));
+        db.push(record("CC", 1000, 2.5, 8));
+        db.push(record("PR", 100, 2.0, 6));
+        db.push(record("ALS", 1000, 2.5, 4));
+        db
+    }
+
+    #[test]
+    fn filters() {
+        let db = sample_db();
+        assert_eq!(db.indices_of_algorithm("CC"), vec![0, 1]);
+        assert_eq!(db.indices_of_algorithm("ALS"), vec![3]);
+        assert_eq!(db.indices_of_graph(100, Some(2.0)), vec![0, 2]);
+        assert_eq!(db.indices_of_graph(999, Some(2.0)), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn distinct_listings() {
+        let db = sample_db();
+        assert_eq!(db.algorithms(), vec!["CC", "PR", "ALS"]);
+        assert_eq!(db.graph_structures().len(), 2);
+    }
+
+    #[test]
+    fn behaviors_normalized() {
+        let db = sample_db();
+        let b = db.behaviors(WorkMetric::LogicalOps);
+        assert_eq!(b.len(), 4);
+        // UPDT dimension: max is run 0 (10 updates / 10 edges = 1.0 raw).
+        assert_eq!(b[0].0[0], 1.0);
+        assert!((b[3].0[0] - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let db = sample_db();
+        let dir = std::env::temp_dir().join("graphmine_rundb_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("db.json");
+        db.save(&path).unwrap();
+        let back = RunDb::load(&path).unwrap();
+        assert_eq!(db, back);
+    }
+
+    #[test]
+    fn labels_and_iterations_aligned() {
+        let db = sample_db();
+        assert_eq!(db.labels().len(), db.len());
+        assert_eq!(db.iteration_counts(), vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn active_fraction_truncated_to_512() {
+        let trace = RunTrace {
+            num_vertices: 2,
+            num_edges: 1,
+            iterations: vec![
+                IterationStats {
+                    active: 1,
+                    updates: 1,
+                    edge_reads: 0,
+                    messages: 0,
+                    apply_ns: 0,
+                    apply_ops: 0,
+                    remote_edge_reads: 0,
+                    remote_messages: 0,
+                };
+                600
+            ],
+            converged: false,
+        };
+        let r = RunRecord::from_trace(
+            "KM",
+            "Clustering",
+            GraphSpec {
+                size: 1,
+                alpha: None,
+                label: "1".into(),
+            },
+            0,
+            &trace,
+        );
+        assert_eq!(r.active_fraction.len(), 512);
+        assert_eq!(r.iterations, 600);
+    }
+}

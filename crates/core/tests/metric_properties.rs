@@ -1,0 +1,112 @@
+//! Property-based tests on the behavior-space metrics.
+
+use graphmine_core::{
+    best_coverage_ensemble, best_spread_ensemble, coverage, normalize_behaviors, spread,
+    BehaviorVector, CoverageSampler, RawBehavior,
+};
+use proptest::prelude::*;
+
+fn arb_behavior() -> impl Strategy<Value = BehaviorVector> {
+    (0.0f64..1.0, 0.0f64..1.0, 0.0f64..1.0, 0.0f64..1.0)
+        .prop_map(|(a, b, c, d)| BehaviorVector([a, b, c, d]))
+}
+
+fn arb_pool(max: usize) -> impl Strategy<Value = Vec<BehaviorVector>> {
+    proptest::collection::vec(arb_behavior(), 2..max)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Spread is symmetric, non-negative, and bounded by the 4-D diameter.
+    #[test]
+    fn spread_bounds(pool in arb_pool(24)) {
+        let s = spread(&pool);
+        prop_assert!(s >= 0.0);
+        prop_assert!(s <= 2.0 + 1e-12); // diameter of [0,1]^4
+        let mut reversed = pool.clone();
+        reversed.reverse();
+        prop_assert!((spread(&reversed) - s).abs() < 1e-12);
+    }
+
+    /// Translating all points together never changes spread.
+    #[test]
+    fn spread_translation_invariant(pool in arb_pool(16), shift in 0.0f64..0.2) {
+        let moved: Vec<BehaviorVector> = pool
+            .iter()
+            .map(|b| BehaviorVector(std::array::from_fn(|i| b.0[i] * 0.8 + shift)))
+            .collect();
+        let scaled = spread(&moved);
+        prop_assert!((scaled - 0.8 * spread(&pool)).abs() < 1e-9);
+    }
+
+    /// Coverage is monotone under adding members (superset property).
+    #[test]
+    fn coverage_monotone(pool in arb_pool(12)) {
+        let sampler = CoverageSampler::new(2_000, 42);
+        let partial = coverage(&pool[..pool.len() - 1], &sampler);
+        let full = coverage(&pool, &sampler);
+        prop_assert!(full >= partial - 1e-12);
+    }
+
+    /// Greedy coverage never does worse than a singleton pick; greedy
+    /// spread never does worse than the farthest pair at size 2.
+    #[test]
+    fn searches_dominate_trivial_choices(pool in arb_pool(18)) {
+        let sampler = CoverageSampler::new(2_000, 7);
+        let (_, best2) = best_spread_ensemble(&pool, 2);
+        // Farthest pair IS the optimum at size 2.
+        let mut far = 0.0f64;
+        for i in 0..pool.len() {
+            for j in (i + 1)..pool.len() {
+                far = far.max(pool[i].distance(&pool[j]));
+            }
+        }
+        prop_assert!((best2 - far).abs() < 1e-9, "{best2} vs {far}");
+        let (_, c2) = best_coverage_ensemble(&pool, 2, &sampler);
+        let c1_best = (0..pool.len())
+            .map(|i| coverage(&pool[i..=i], &sampler))
+            .fold(0.0, f64::max);
+        prop_assert!(c2 >= c1_best - 1e-9);
+    }
+
+    /// Max-normalization is idempotent and scale-invariant.
+    #[test]
+    fn normalization_scale_invariant(
+        raws in proptest::collection::vec(
+            (0.0f64..100.0, 0.0f64..100.0, 0.0f64..100.0, 0.0f64..100.0),
+            2..16,
+        ),
+        scale in 0.1f64..50.0,
+    ) {
+        let a: Vec<RawBehavior> = raws
+            .iter()
+            .map(|&(u, w, e, m)| RawBehavior { updt: u, work: w, eread: e, msg: m })
+            .collect();
+        let b: Vec<RawBehavior> = raws
+            .iter()
+            .map(|&(u, w, e, m)| RawBehavior {
+                updt: u * scale,
+                work: w * scale,
+                eread: e * scale,
+                msg: m * scale,
+            })
+            .collect();
+        let na = normalize_behaviors(&a);
+        let nb = normalize_behaviors(&b);
+        for (x, y) in na.iter().zip(nb.iter()) {
+            for k in 0..4 {
+                prop_assert!((x.0[k] - y.0[k]).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// best_spread_ensemble returns sorted, unique, in-range indices.
+    #[test]
+    fn search_returns_valid_indices(pool in arb_pool(24), size in 1usize..8) {
+        let (members, _) = best_spread_ensemble(&pool, size);
+        prop_assert_eq!(members.len(), size.min(pool.len()));
+        prop_assert!(members.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(members.iter().all(|&i| i < pool.len()));
+    }
+}

@@ -1,0 +1,175 @@
+//! Per-iteration behavior traces — the raw material of the paper's metrics.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters recorded for one synchronous GAS iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IterationStats {
+    /// Vertices active at the start of the iteration.
+    pub active: u64,
+    /// Vertex updates performed (apply calls) — UPDT numerator.
+    pub updates: u64,
+    /// Edge reads performed during gather — EREAD numerator.
+    pub edge_reads: u64,
+    /// Messages sent during scatter (pre-combining) — MSG numerator.
+    pub messages: u64,
+    /// Nanoseconds spent inside user apply functions — WORK numerator.
+    pub apply_ns: u64,
+    /// Logical work units reported by apply (deterministic WORK proxy).
+    pub apply_ops: u64,
+    /// Edge reads whose neighbor lives on another partition (only counted
+    /// when the run is given a partitioning — the cluster simulation).
+    #[serde(default)]
+    pub remote_edge_reads: u64,
+    /// Messages crossing a partition boundary (cluster simulation).
+    #[serde(default)]
+    pub remote_messages: u64,
+}
+
+/// The complete record of one graph-computation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunTrace {
+    /// Number of vertices in the input graph.
+    pub num_vertices: u64,
+    /// Number of edges in the input graph.
+    pub num_edges: u64,
+    /// One entry per executed iteration.
+    pub iterations: Vec<IterationStats>,
+    /// True when the run ended by vote-to-halt or program convergence
+    /// (false when the iteration cap stopped it).
+    pub converged: bool,
+}
+
+impl RunTrace {
+    /// Number of iterations executed.
+    pub fn num_iterations(&self) -> usize {
+        self.iterations.len()
+    }
+
+    /// Active fraction per iteration (paper metric 1).
+    pub fn active_fraction(&self) -> Vec<f64> {
+        let n = self.num_vertices.max(1) as f64;
+        self.iterations
+            .iter()
+            .map(|it| it.active as f64 / n)
+            .collect()
+    }
+
+    fn mean(&self, f: impl Fn(&IterationStats) -> u64) -> f64 {
+        if self.iterations.is_empty() {
+            return 0.0;
+        }
+        let total: u64 = self.iterations.iter().map(f).sum();
+        total as f64 / self.iterations.len() as f64
+    }
+
+    /// UPDT: average vertex updates per iteration (paper metric 2).
+    pub fn updt(&self) -> f64 {
+        self.mean(|it| it.updates)
+    }
+
+    /// WORK: average apply CPU time per iteration, in nanoseconds
+    /// (paper metric 3).
+    pub fn work_ns(&self) -> f64 {
+        self.mean(|it| it.apply_ns)
+    }
+
+    /// Deterministic WORK proxy: average logical apply ops per iteration.
+    pub fn work_ops(&self) -> f64 {
+        self.mean(|it| it.apply_ops)
+    }
+
+    /// EREAD: average edge reads per iteration (paper metric 4).
+    pub fn eread(&self) -> f64 {
+        self.mean(|it| it.edge_reads)
+    }
+
+    /// MSG: average messages per iteration (paper metric 5).
+    pub fn msg(&self) -> f64 {
+        self.mean(|it| it.messages)
+    }
+
+    /// Average remote edge reads per iteration (cluster simulation).
+    pub fn remote_eread(&self) -> f64 {
+        self.mean(|it| it.remote_edge_reads)
+    }
+
+    /// Average remote messages per iteration (cluster simulation).
+    pub fn remote_msg(&self) -> f64 {
+        self.mean(|it| it.remote_messages)
+    }
+
+    /// Mean active fraction across the whole run.
+    pub fn mean_active_fraction(&self) -> f64 {
+        if self.iterations.is_empty() {
+            return 0.0;
+        }
+        self.active_fraction().iter().sum::<f64>() / self.iterations.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(active: u64, updates: u64, ereads: u64, msgs: u64, ops: u64) -> IterationStats {
+        IterationStats {
+            active,
+            updates,
+            edge_reads: ereads,
+            messages: msgs,
+            apply_ns: ops * 10,
+            apply_ops: ops,
+            remote_edge_reads: 0,
+            remote_messages: 0,
+        }
+    }
+
+    fn sample_trace() -> RunTrace {
+        RunTrace {
+            num_vertices: 10,
+            num_edges: 20,
+            iterations: vec![stats(10, 10, 40, 15, 100), stats(5, 5, 20, 5, 50)],
+            converged: true,
+        }
+    }
+
+    #[test]
+    fn averages() {
+        let t = sample_trace();
+        assert_eq!(t.num_iterations(), 2);
+        assert_eq!(t.updt(), 7.5);
+        assert_eq!(t.eread(), 30.0);
+        assert_eq!(t.msg(), 10.0);
+        assert_eq!(t.work_ops(), 75.0);
+        assert_eq!(t.work_ns(), 750.0);
+    }
+
+    #[test]
+    fn active_fraction_series() {
+        let t = sample_trace();
+        assert_eq!(t.active_fraction(), vec![1.0, 0.5]);
+        assert_eq!(t.mean_active_fraction(), 0.75);
+    }
+
+    #[test]
+    fn empty_trace_is_all_zero() {
+        let t = RunTrace {
+            num_vertices: 4,
+            num_edges: 3,
+            iterations: vec![],
+            converged: false,
+        };
+        assert_eq!(t.updt(), 0.0);
+        assert_eq!(t.eread(), 0.0);
+        assert_eq!(t.mean_active_fraction(), 0.0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let t = sample_trace();
+        let json = serde_json::to_string(&t).unwrap();
+        let back: RunTrace = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+    }
+}

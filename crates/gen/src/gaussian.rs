@@ -1,0 +1,123 @@
+//! Gaussian sampling via the Box–Muller transform.
+//!
+//! The paper generates vertex data and edge weights "randomly in Gaussian
+//! distribution" (§3.2). `rand` 0.8 ships no normal distribution (that lives
+//! in `rand_distr`, which is outside this project's dependency budget), so we
+//! implement the polar Box–Muller method directly.
+
+use rand::Rng;
+
+/// A reusable standard-normal sampler that caches the spare variate the
+/// polar Box–Muller transform produces, so consecutive draws cost one
+/// rejection loop per *pair*.
+#[derive(Debug, Clone, Default)]
+pub struct GaussianSampler {
+    spare: Option<f64>,
+}
+
+impl GaussianSampler {
+    /// Create a sampler with an empty cache.
+    pub fn new() -> GaussianSampler {
+        GaussianSampler { spare: None }
+    }
+
+    /// Draw one standard-normal variate (mean 0, variance 1).
+    pub fn standard(&mut self, rng: &mut impl Rng) -> f64 {
+        if let Some(s) = self.spare.take() {
+            return s;
+        }
+        loop {
+            // Polar method: sample (u, v) uniform in the unit square mapped
+            // to [-1, 1]^2, reject outside the unit disc.
+            let u: f64 = rng.gen::<f64>() * 2.0 - 1.0;
+            let v: f64 = rng.gen::<f64>() * 2.0 - 1.0;
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                let factor = (-2.0 * s.ln() / s).sqrt();
+                self.spare = Some(v * factor);
+                return u * factor;
+            }
+        }
+    }
+
+    /// Draw a normal variate with the given `mean` and `std_dev`.
+    pub fn sample(&mut self, rng: &mut impl Rng, mean: f64, std_dev: f64) -> f64 {
+        mean + std_dev * self.standard(rng)
+    }
+
+    /// Fill a vector with `n` samples from N(mean, std_dev²).
+    pub fn sample_vec(
+        &mut self,
+        rng: &mut impl Rng,
+        n: usize,
+        mean: f64,
+        std_dev: f64,
+    ) -> Vec<f64> {
+        (0..n).map(|_| self.sample(rng, mean, std_dev)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn moments_match_standard_normal() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let mut g = GaussianSampler::new();
+        let n = 200_000;
+        let samples = g.sample_vec(&mut rng, n, 0.0, 1.0);
+        let mean: f64 = samples.iter().sum::<f64>() / n as f64;
+        let var: f64 = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean = {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var = {var}");
+    }
+
+    #[test]
+    fn shifted_and_scaled() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut g = GaussianSampler::new();
+        let n = 100_000;
+        let samples = g.sample_vec(&mut rng, n, 5.0, 2.0);
+        let mean: f64 = samples.iter().sum::<f64>() / n as f64;
+        let var: f64 = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.05, "mean = {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var = {var}");
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let draw = || {
+            let mut rng = SmallRng::seed_from_u64(123);
+            let mut g = GaussianSampler::new();
+            g.sample_vec(&mut rng, 16, 0.0, 1.0)
+        };
+        assert_eq!(draw(), draw());
+    }
+
+    #[test]
+    fn spare_cache_alternates() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut g = GaussianSampler::new();
+        assert!(g.spare.is_none());
+        let _ = g.standard(&mut rng);
+        assert!(g.spare.is_some());
+        let _ = g.standard(&mut rng);
+        assert!(g.spare.is_none());
+    }
+
+    #[test]
+    fn roughly_symmetric_tail_mass() {
+        let mut rng = SmallRng::seed_from_u64(99);
+        let mut g = GaussianSampler::new();
+        let n = 100_000;
+        let above: usize = (0..n)
+            .filter(|_| g.standard(&mut rng) > 1.0)
+            .count();
+        // P(Z > 1) ~ 0.1587.
+        let frac = above as f64 / n as f64;
+        assert!((frac - 0.1587).abs() < 0.01, "frac = {frac}");
+    }
+}

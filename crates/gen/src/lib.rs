@@ -1,0 +1,44 @@
+//! Synthetic graph generators for the `graphmine` behavior study.
+//!
+//! The paper evaluates every algorithm on *synthetic* graphs so that graph
+//! features can be varied one at a time (§3.2): the number of edges
+//! (`nedges`, orders of magnitude apart) and the power-law exponent α of the
+//! degree distribution (2.0–3.0, matching real-world scale-free networks),
+//! with vertex data and edge weights drawn from Gaussian distributions.
+//!
+//! One generator per application domain:
+//!
+//! * [`powerlaw`] — scale-free graphs for Graph Analytics and Clustering
+//!   (Chung–Lu sampling with Zipf weights).
+//! * [`bipartite`] — user–item rating graphs for Collaborative Filtering
+//!   (`#items = #users`, power-law item popularity).
+//! * [`matrix`] — uniform-degree, diagonally dominant sparse matrices for the
+//!   Jacobi linear solver.
+//! * [`grid`] — square pixel grids for Loopy Belief Propagation.
+//! * [`mrf`] — synthetic pairwise Markov Random Fields with exact edge counts
+//!   for Dual Decomposition (substitute for the PIC2011 downloads; see
+//!   DESIGN.md substitution #3).
+//!
+//! All generators take an explicit seed and are fully deterministic.
+
+pub mod bipartite;
+pub mod gaussian;
+pub mod grid;
+pub mod matrix;
+pub mod mrf;
+pub mod powerlaw;
+pub mod rmat;
+pub mod uai;
+
+pub use bipartite::{BipartiteConfig, RatingGraph};
+pub use gaussian::GaussianSampler;
+pub use grid::{grid_graph, GridMrf};
+pub use matrix::{matrix_graph, MatrixSystem};
+pub use mrf::{mrf_graph, MrfConfig, MrfGraph};
+pub use mrf::mrf_energy;
+pub use rmat::{rmat_graph, RmatConfig};
+pub use uai::{parse_uai, write_uai, UaiError};
+pub use powerlaw::{gaussian_edge_weights, gaussian_points, powerlaw_graph, PowerLawConfig};
+
+/// The α values used throughout the paper's experiment matrix (Table 2).
+pub const PAPER_ALPHAS: [f64; 5] = [2.0, 2.25, 2.5, 2.75, 3.0];

@@ -1,0 +1,172 @@
+//! R-MAT (recursive-matrix) graph generation — the Kronecker-style family
+//! behind the Graph500 benchmark the paper discusses in §6.
+//!
+//! The paper criticizes Graph 500 for using "only a single program, on a
+//! single graph typically"; having its graph family available lets the
+//! behavior-space methodology examine that single graph directly (e.g. via
+//! `graphmine analyze` or custom ensembles mixing R-MAT with Chung–Lu
+//! inputs).
+//!
+//! Each edge is placed by recursively descending a 2×2 partition of the
+//! adjacency matrix with probabilities `(a, b, c, d)`; Graph500 uses
+//! `a = 0.57, b = 0.19, c = 0.19, d = 0.05`, which yields a skewed,
+//! community-rich scale-free graph.
+
+use graphmine_graph::{Graph, GraphBuilder, VertexId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for [`rmat_graph`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RmatConfig {
+    /// log2 of the vertex count (Graph500's SCALE).
+    pub scale: u32,
+    /// Target edge count (Graph500 uses `edgefactor × 2^scale`, with
+    /// edgefactor 16).
+    pub nedges: usize,
+    /// Quadrant probabilities `(a, b, c, d)`; must sum to ≈ 1.
+    pub probabilities: (f64, f64, f64, f64),
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl RmatConfig {
+    /// Graph500 reference parameters for the given scale:
+    /// `nedges = 16 · 2^scale`, probabilities (0.57, 0.19, 0.19, 0.05).
+    pub fn graph500(scale: u32, seed: u64) -> RmatConfig {
+        RmatConfig {
+            scale,
+            nedges: 16usize << scale,
+            probabilities: (0.57, 0.19, 0.19, 0.05),
+            seed,
+        }
+    }
+
+    /// Number of vertices (`2^scale`).
+    pub fn num_vertices(&self) -> usize {
+        1usize << self.scale
+    }
+}
+
+/// Generate an undirected R-MAT graph.
+///
+/// Self-loops and duplicates are redrawn (bounded retries), as in the
+/// Chung–Lu generator, so the realized edge count tracks the target except
+/// for extreme densities.
+pub fn rmat_graph(config: &RmatConfig) -> Graph {
+    let (a, b, c, d) = config.probabilities;
+    let total = a + b + c + d;
+    assert!(
+        (total - 1.0).abs() < 1e-6,
+        "quadrant probabilities must sum to 1 (got {total})"
+    );
+    assert!(config.scale >= 1 && config.scale <= 30, "scale out of range");
+    let n = config.num_vertices();
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let mut builder = GraphBuilder::undirected(n).with_edge_capacity(config.nedges);
+    let mut seen = std::collections::HashSet::with_capacity(config.nedges * 2);
+    let max_attempts = 6 * config.nedges + 64;
+    let mut attempts = 0usize;
+    while seen.len() < config.nedges && attempts < max_attempts {
+        attempts += 1;
+        let (mut lo_r, mut lo_c) = (0usize, 0usize);
+        let mut half = n / 2;
+        while half > 0 {
+            let x: f64 = rng.gen();
+            // Small per-level noise keeps the degree distribution from
+            // being perfectly self-similar (standard Graph500 practice).
+            let (qa, qb, qc) = (a, b, c);
+            if x < qa {
+                // top-left: nothing to add
+            } else if x < qa + qb {
+                lo_c += half;
+            } else if x < qa + qb + qc {
+                lo_r += half;
+            } else {
+                lo_r += half;
+                lo_c += half;
+            }
+            half /= 2;
+        }
+        let (s, t) = (lo_r as VertexId, lo_c as VertexId);
+        if s == t {
+            continue;
+        }
+        let key = (s.min(t), s.max(t));
+        if seen.insert(key) {
+            builder.push_edge(s, t);
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphmine_graph::DegreeStats;
+
+    #[test]
+    fn graph500_parameters() {
+        let cfg = RmatConfig::graph500(10, 1);
+        assert_eq!(cfg.num_vertices(), 1024);
+        assert_eq!(cfg.nedges, 16 * 1024);
+        let g = rmat_graph(&cfg);
+        assert_eq!(g.num_vertices(), 1024);
+        assert!(g.num_edges() >= cfg.nedges * 9 / 10);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn skewed_degree_distribution() {
+        let g = rmat_graph(&RmatConfig::graph500(11, 2));
+        let stats = DegreeStats::of(&g);
+        // R-MAT at Graph500 parameters is strongly skewed: the max degree
+        // dwarfs the mean.
+        assert!(
+            stats.max as f64 > 8.0 * stats.mean,
+            "max {} mean {}",
+            stats.max,
+            stats.mean
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = rmat_graph(&RmatConfig::graph500(8, 7));
+        let b = rmat_graph(&RmatConfig::graph500(8, 7));
+        let c = rmat_graph(&RmatConfig::graph500(8, 8));
+        assert_eq!(a.edge_list(), b.edge_list());
+        assert_ne!(a.edge_list(), c.edge_list());
+    }
+
+    #[test]
+    fn uniform_probabilities_give_erdos_renyi_like_graph() {
+        let cfg = RmatConfig {
+            scale: 10,
+            nedges: 8_192,
+            probabilities: (0.25, 0.25, 0.25, 0.25),
+            seed: 3,
+        };
+        let g = rmat_graph(&cfg);
+        let stats = DegreeStats::of(&g);
+        // Near-uniform edge placement: max degree stays close to the mean.
+        assert!(
+            (stats.max as f64) < 4.0 * stats.mean,
+            "max {} mean {}",
+            stats.max,
+            stats.mean
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn bad_probabilities_rejected() {
+        let cfg = RmatConfig {
+            scale: 4,
+            nedges: 10,
+            probabilities: (0.9, 0.2, 0.2, 0.2),
+            seed: 0,
+        };
+        let _ = rmat_graph(&cfg);
+    }
+}

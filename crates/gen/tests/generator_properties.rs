@@ -1,0 +1,114 @@
+//! Property-based tests over all synthetic generators.
+
+use graphmine_gen::{
+    grid_graph, matrix_graph, mrf_graph, powerlaw_graph, BipartiteConfig, GridMrf, MrfConfig,
+    PowerLawConfig, RatingGraph,
+};
+use graphmine_graph::{is_connected, DegreeStats};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Power-law graphs respect the configured size within tolerance and
+    /// always validate. Duplicate-sample loss grows as graphs shrink and
+    /// skew increases (α → 2.0 concentrates both endpoints on a few hubs),
+    /// so the lower bound is scale-aware: tiny graphs may realize only
+    /// half the requested edges, larger ones must reach 80%.
+    #[test]
+    fn powerlaw_well_formed(nedges in 200usize..5_000, alpha in 2.0f64..3.0, seed in 0u64..10_000) {
+        let g = powerlaw_graph(&PowerLawConfig::new(nedges, alpha, seed));
+        prop_assert!(g.validate().is_ok());
+        let m = g.num_edges();
+        let floor = if nedges >= 2_000 { nedges * 8 / 10 } else { nedges * 4 / 10 };
+        prop_assert!(m >= floor, "only {} of {} edges realized", m, nedges);
+        prop_assert!(m <= nedges + nedges / 10 + 16);
+    }
+
+    /// Mean degree lands near the configured target.
+    #[test]
+    fn powerlaw_mean_degree(nedges in 2_000usize..8_000, seed in 0u64..1_000) {
+        let g = powerlaw_graph(&PowerLawConfig::new(nedges, 2.5, seed));
+        let stats = DegreeStats::of(&g);
+        prop_assert!((stats.mean - 16.0).abs() < 6.0, "mean degree {}", stats.mean);
+    }
+
+    /// Rating graphs are strictly bipartite with in-scale ratings.
+    #[test]
+    fn ratings_bipartite(nedges in 200usize..4_000, alpha in 2.0f64..3.0, seed in 0u64..10_000) {
+        let rg = RatingGraph::generate(&BipartiteConfig::new(nedges, alpha, seed));
+        for &(s, d) in rg.graph.edge_list() {
+            prop_assert!(rg.is_user(s) != rg.is_user(d));
+        }
+        prop_assert!(rg.ratings.iter().all(|r| r.is_finite() && *r > 0.0));
+    }
+
+    /// Matrix systems are strictly diagonally dominant with uniform degree.
+    #[test]
+    fn matrices_dominant(nrows in 8usize..300, degree in 2usize..12, seed in 0u64..10_000) {
+        let sys = matrix_graph(nrows, degree, seed);
+        let expect = degree.min(nrows - 1);
+        for v in sys.graph.vertices() {
+            prop_assert_eq!(sys.graph.out_degree(v), expect);
+            let row: f64 = sys
+                .graph
+                .incident(v, graphmine_graph::Direction::Out)
+                .map(|(e, _)| sys.off_diagonal[e as usize].abs())
+                .sum();
+            prop_assert!(sys.diagonal[v as usize] > row);
+        }
+    }
+
+    /// Grid MRFs have the exact lattice shape.
+    #[test]
+    fn grids_exact(side in 2usize..40) {
+        let g = grid_graph(side);
+        prop_assert_eq!(g.num_vertices(), side * side);
+        prop_assert_eq!(g.num_edges(), 2 * side * (side - 1));
+        prop_assert!(is_connected(&g));
+    }
+
+    /// MRF generator produces the exact requested edge count, connected.
+    #[test]
+    fn mrfs_exact_edges(extra in 0usize..400, seed in 0u64..10_000) {
+        let nedges = 60 + extra;
+        let mrf = mrf_graph(&MrfConfig::new(nedges, seed));
+        prop_assert_eq!(mrf.graph.num_edges(), nedges);
+        prop_assert!(is_connected(&mrf.graph));
+        prop_assert_eq!(mrf.unary.len(), mrf.graph.num_vertices());
+    }
+
+    /// Grid MRF priors are normalized log-potentials.
+    #[test]
+    fn grid_mrf_priors_normalized(side in 2usize..20, labels in 2usize..5, seed in 0u64..10_000) {
+        let mrf = GridMrf::generate(side, labels, seed);
+        for p in &mrf.priors {
+            prop_assert_eq!(p.len(), labels);
+            let max = p.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!((max).abs() < 1e-9, "prior max {} not normalized", max);
+        }
+    }
+}
+
+#[test]
+fn all_generators_deterministic() {
+    let p1 = powerlaw_graph(&PowerLawConfig::new(1_000, 2.5, 7));
+    let p2 = powerlaw_graph(&PowerLawConfig::new(1_000, 2.5, 7));
+    assert_eq!(p1.edge_list(), p2.edge_list());
+
+    let r1 = RatingGraph::generate(&BipartiteConfig::new(800, 2.5, 7));
+    let r2 = RatingGraph::generate(&BipartiteConfig::new(800, 2.5, 7));
+    assert_eq!(r1.ratings, r2.ratings);
+
+    let m1 = matrix_graph(64, 4, 7);
+    let m2 = matrix_graph(64, 4, 7);
+    assert_eq!(m1.rhs, m2.rhs);
+
+    let g1 = GridMrf::generate(8, 2, 7);
+    let g2 = GridMrf::generate(8, 2, 7);
+    assert_eq!(g1.priors, g2.priors);
+
+    let f1 = mrf_graph(&MrfConfig::new(100, 7));
+    let f2 = mrf_graph(&MrfConfig::new(100, 7));
+    assert_eq!(f1.pairwise, f2.pairwise);
+}

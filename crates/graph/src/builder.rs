@@ -1,0 +1,237 @@
+//! Incremental construction of [`Graph`]s from edge lists.
+
+use crate::csr::{Adjacency, EdgeId, Graph, VertexId};
+
+/// Builds a [`Graph`] from an edge list.
+///
+/// The builder owns a plain `(src, dst)` list; [`GraphBuilder::build`] sorts
+/// it into the two CSR indexes. Self-loops are rejected (the GAS model in the
+/// paper has no self-communication), and duplicate edges are deduplicated by
+/// default so that synthetic generators can over-sample freely.
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    directed: bool,
+    num_vertices: usize,
+    edges: Vec<(VertexId, VertexId)>,
+    dedup: bool,
+}
+
+impl GraphBuilder {
+    /// Start a directed graph with `num_vertices` vertices.
+    pub fn directed(num_vertices: usize) -> GraphBuilder {
+        GraphBuilder {
+            directed: true,
+            num_vertices,
+            edges: Vec::new(),
+            dedup: true,
+        }
+    }
+
+    /// Start an undirected graph with `num_vertices` vertices.
+    pub fn undirected(num_vertices: usize) -> GraphBuilder {
+        GraphBuilder {
+            directed: false,
+            num_vertices,
+            edges: Vec::new(),
+            dedup: true,
+        }
+    }
+
+    /// Keep duplicate edges instead of deduplicating (multigraph).
+    pub fn allow_parallel_edges(mut self) -> GraphBuilder {
+        self.dedup = false;
+        self
+    }
+
+    /// Pre-allocate room for `n` edges.
+    pub fn with_edge_capacity(mut self, n: usize) -> GraphBuilder {
+        self.edges.reserve(n);
+        self
+    }
+
+    /// Add one edge. Panics on out-of-range endpoints or self-loops.
+    pub fn edge(mut self, src: VertexId, dst: VertexId) -> GraphBuilder {
+        self.push_edge(src, dst);
+        self
+    }
+
+    /// Add one edge through a mutable reference (for loops).
+    pub fn push_edge(&mut self, src: VertexId, dst: VertexId) {
+        assert!(
+            (src as usize) < self.num_vertices && (dst as usize) < self.num_vertices,
+            "edge ({src},{dst}) out of range for {} vertices",
+            self.num_vertices
+        );
+        assert_ne!(src, dst, "self-loops are not supported by the GAS model");
+        self.edges.push((src, dst));
+    }
+
+    /// Add many edges at once.
+    pub fn extend_edges(&mut self, iter: impl IntoIterator<Item = (VertexId, VertexId)>) {
+        for (s, d) in iter {
+            self.push_edge(s, d);
+        }
+    }
+
+    /// Number of edges currently staged (before dedup).
+    pub fn staged_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Finalize into an immutable CSR [`Graph`].
+    pub fn build(mut self) -> Graph {
+        if self.dedup {
+            if self.directed {
+                self.edges.sort_unstable();
+            } else {
+                // Canonicalize endpoint order for dedup only; the stored
+                // edge keeps its original orientation is not required for
+                // undirected graphs, so normalized order is fine.
+                for e in &mut self.edges {
+                    if e.0 > e.1 {
+                        *e = (e.1, e.0);
+                    }
+                }
+                self.edges.sort_unstable();
+            }
+            self.edges.dedup();
+        }
+        let n = self.num_vertices;
+        let edge_list = self.edges.into_boxed_slice();
+        let (out, in_) = if self.directed {
+            let out_triples = edge_list
+                .iter()
+                .enumerate()
+                .map(|(i, &(s, d))| (s, d, i as EdgeId));
+            let in_triples = edge_list
+                .iter()
+                .enumerate()
+                .map(|(i, &(s, d))| (d, s, i as EdgeId));
+            (
+                Adjacency::from_triples(n, out_triples),
+                Some(Adjacency::from_triples(n, in_triples)),
+            )
+        } else {
+            (Adjacency::from_triples(n, BothIter::new(&edge_list)), None)
+        };
+        let g = Graph {
+            directed: self.directed,
+            num_vertices: n,
+            edge_list,
+            out,
+            in_,
+        };
+        debug_assert!(g.validate().is_ok(), "{:?}", g.validate());
+        g
+    }
+}
+
+/// Clonable two-pass iterator yielding both endpoint orientations of every
+/// edge, used to build the single shared adjacency of undirected graphs.
+#[derive(Clone)]
+struct BothIter<'a> {
+    edges: &'a [(VertexId, VertexId)],
+    idx: usize,
+    second: bool,
+}
+
+impl<'a> BothIter<'a> {
+    fn new(edges: &'a [(VertexId, VertexId)]) -> Self {
+        BothIter {
+            edges,
+            idx: 0,
+            second: false,
+        }
+    }
+}
+
+impl<'a> Iterator for BothIter<'a> {
+    type Item = (VertexId, VertexId, EdgeId);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.idx >= self.edges.len() {
+            return None;
+        }
+        let (s, d) = self.edges[self.idx];
+        let e = self.idx as EdgeId;
+        if self.second {
+            self.second = false;
+            self.idx += 1;
+            Some((d, s, e))
+        } else {
+            self.second = true;
+            Some((s, d, e))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_directed_keeps_orientation() {
+        let g = GraphBuilder::directed(3)
+            .edge(0, 1)
+            .edge(0, 1)
+            .edge(1, 0)
+            .build();
+        // (0,1) deduped, (1,0) is a distinct directed edge.
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn dedup_undirected_merges_orientations() {
+        let g = GraphBuilder::undirected(3)
+            .edge(0, 1)
+            .edge(1, 0)
+            .edge(1, 2)
+            .build();
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn parallel_edges_kept_when_allowed() {
+        let g = GraphBuilder::undirected(2)
+            .allow_parallel_edges()
+            .edge(0, 1)
+            .edge(0, 1)
+            .build();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.degree(0), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loop_panics() {
+        let _ = GraphBuilder::directed(2).edge(1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let _ = GraphBuilder::directed(2).edge(0, 2);
+    }
+
+    #[test]
+    fn extend_edges_matches_push() {
+        let mut b = GraphBuilder::directed(4);
+        b.extend_edges([(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(b.staged_edges(), 3);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn undirected_adjacency_has_both_sides() {
+        let g = GraphBuilder::undirected(2).edge(0, 1).build();
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(1), 1);
+        assert!(g.validate().is_ok());
+    }
+}

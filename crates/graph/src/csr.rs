@@ -1,0 +1,371 @@
+//! The core compressed-sparse-row [`Graph`] type.
+//!
+//! A [`Graph`] holds a canonical edge list (`edge id = index into that list`)
+//! plus two CSR adjacency indexes, one per [`Direction`]. For undirected
+//! graphs each edge appears in the adjacency rows of *both* endpoints under
+//! the same [`EdgeId`], and `Direction::In` is an alias of `Direction::Out`
+//! (the engine's "edge read" accounting then naturally matches GraphLab's,
+//! where gathering over the neighbors of an undirected vertex reads each
+//! incident edge once).
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a vertex. Dense in `0..num_vertices`.
+pub type VertexId = u32;
+/// Index of an edge into the canonical edge list. Dense in `0..num_edges`.
+pub type EdgeId = u32;
+
+/// Which adjacency index to traverse.
+///
+/// For undirected graphs the two directions are identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// Edges leaving a vertex (`src == v`).
+    Out,
+    /// Edges entering a vertex (`dst == v`).
+    In,
+}
+
+impl Direction {
+    /// The opposite direction.
+    #[inline]
+    pub fn reverse(self) -> Direction {
+        match self {
+            Direction::Out => Direction::In,
+            Direction::In => Direction::Out,
+        }
+    }
+}
+
+/// One CSR adjacency index: row `v` spans
+/// `offsets[v] as usize .. offsets[v + 1] as usize` in the `neighbors` /
+/// `edges` arrays.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct Adjacency {
+    pub(crate) offsets: Box<[u64]>,
+    pub(crate) neighbors: Box<[VertexId]>,
+    pub(crate) edges: Box<[EdgeId]>,
+}
+
+impl Adjacency {
+    #[inline]
+    fn row(&self, v: VertexId) -> std::ops::Range<usize> {
+        let v = v as usize;
+        self.offsets[v] as usize..self.offsets[v + 1] as usize
+    }
+
+    /// Build from `(endpoint, neighbor, edge id)` triples.
+    pub(crate) fn from_triples(
+        num_vertices: usize,
+        triples: impl Iterator<Item = (VertexId, VertexId, EdgeId)> + Clone,
+    ) -> Adjacency {
+        let mut counts = vec![0u64; num_vertices + 1];
+        for (v, _, _) in triples.clone() {
+            counts[v as usize + 1] += 1;
+        }
+        for i in 1..counts.len() {
+            counts[i] += counts[i - 1];
+        }
+        let total = counts[num_vertices] as usize;
+        let mut neighbors = vec![0 as VertexId; total];
+        let mut edges = vec![0 as EdgeId; total];
+        let mut cursor = counts.clone();
+        for (v, n, e) in triples {
+            let slot = cursor[v as usize] as usize;
+            neighbors[slot] = n;
+            edges[slot] = e;
+            cursor[v as usize] += 1;
+        }
+        Adjacency {
+            offsets: counts.into_boxed_slice(),
+            neighbors: neighbors.into_boxed_slice(),
+            edges: edges.into_boxed_slice(),
+        }
+    }
+}
+
+/// Immutable graph topology in CSR form.
+///
+/// Construct via [`crate::GraphBuilder`]. Vertex ids are dense `0..n`; edge
+/// ids are dense `0..m` and index the canonical edge list returned by
+/// [`Graph::edge_endpoints`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Graph {
+    pub(crate) directed: bool,
+    pub(crate) num_vertices: usize,
+    /// Canonical edge list; for undirected graphs stored with the endpoints
+    /// in insertion order (no canonical src < dst normalization is imposed).
+    pub(crate) edge_list: Box<[(VertexId, VertexId)]>,
+    pub(crate) out: Adjacency,
+    /// `None` for undirected graphs, where `in == out`.
+    pub(crate) in_: Option<Adjacency>,
+}
+
+impl Graph {
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Number of edges (each undirected edge counted once).
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edge_list.len()
+    }
+
+    /// Whether the graph is directed.
+    #[inline]
+    pub fn is_directed(&self) -> bool {
+        self.directed
+    }
+
+    /// The `(src, dst)` endpoints of edge `e` as inserted at build time.
+    #[inline]
+    pub fn edge_endpoints(&self, e: EdgeId) -> (VertexId, VertexId) {
+        self.edge_list[e as usize]
+    }
+
+    /// The canonical edge list, `edge id = slice index`.
+    #[inline]
+    pub fn edge_list(&self) -> &[(VertexId, VertexId)] {
+        &self.edge_list
+    }
+
+    #[inline]
+    fn adj(&self, dir: Direction) -> &Adjacency {
+        match dir {
+            Direction::Out => &self.out,
+            Direction::In => self.in_.as_ref().unwrap_or(&self.out),
+        }
+    }
+
+    /// Degree of `v` in the given direction. For undirected graphs this is
+    /// the plain degree (self-loops are rejected at build time so no
+    /// double-count subtlety arises).
+    #[inline]
+    pub fn degree_dir(&self, v: VertexId, dir: Direction) -> usize {
+        self.adj(dir).row(v).len()
+    }
+
+    /// Total degree: `out + in` for directed graphs, plain degree otherwise.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        if self.directed {
+            self.degree_dir(v, Direction::Out) + self.degree_dir(v, Direction::In)
+        } else {
+            self.degree_dir(v, Direction::Out)
+        }
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn out_degree(&self, v: VertexId) -> usize {
+        self.degree_dir(v, Direction::Out)
+    }
+
+    /// In-degree of `v`.
+    #[inline]
+    pub fn in_degree(&self, v: VertexId) -> usize {
+        self.degree_dir(v, Direction::In)
+    }
+
+    /// Iterate over the neighbor vertices of `v` in the given direction.
+    #[inline]
+    pub fn neighbors(
+        &self,
+        v: VertexId,
+        dir: Direction,
+    ) -> impl ExactSizeIterator<Item = VertexId> + '_ {
+        let adj = self.adj(dir);
+        adj.neighbors[adj.row(v)].iter().copied()
+    }
+
+    /// Neighbor vertices of `v` as a contiguous slice (CSR row).
+    #[inline]
+    pub fn neighbor_slice(&self, v: VertexId, dir: Direction) -> &[VertexId] {
+        let adj = self.adj(dir);
+        &adj.neighbors[adj.row(v)]
+    }
+
+    /// Iterate over `(edge id, neighbor)` pairs incident to `v` in the given
+    /// direction.
+    #[inline]
+    pub fn incident(
+        &self,
+        v: VertexId,
+        dir: Direction,
+    ) -> impl ExactSizeIterator<Item = (EdgeId, VertexId)> + '_ {
+        let adj = self.adj(dir);
+        let row = adj.row(v);
+        adj.edges[row.clone()]
+            .iter()
+            .copied()
+            .zip(adj.neighbors[row].iter().copied())
+    }
+
+    /// Iterate over all vertex ids.
+    #[inline]
+    pub fn vertices(&self) -> impl ExactSizeIterator<Item = VertexId> {
+        0..self.num_vertices as VertexId
+    }
+
+    /// Sum of out-degrees; equals `m` for directed graphs and `2m` for
+    /// undirected graphs. Useful as the "edge slots visited by a full
+    /// gather over every vertex" count.
+    pub fn total_out_slots(&self) -> u64 {
+        self.out.offsets[self.num_vertices]
+    }
+
+    /// Verify internal invariants; used by tests and debug assertions.
+    ///
+    /// Checks CSR offsets are monotone, adjacency rows reference valid
+    /// vertices/edges, and every edge appears the expected number of times.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.num_vertices;
+        let m = self.edge_list.len();
+        for (s, d) in self.edge_list.iter() {
+            if *s as usize >= n || *d as usize >= n {
+                return Err(format!("edge ({s},{d}) out of range (n={n})"));
+            }
+        }
+        let check_adj = |adj: &Adjacency, name: &str| -> Result<(), String> {
+            if adj.offsets.len() != n + 1 {
+                return Err(format!("{name}: offsets len {} != n+1", adj.offsets.len()));
+            }
+            if adj.offsets.windows(2).any(|w| w[0] > w[1]) {
+                return Err(format!("{name}: offsets not monotone"));
+            }
+            if adj.neighbors.len() != adj.offsets[n] as usize
+                || adj.edges.len() != adj.neighbors.len()
+            {
+                return Err(format!("{name}: slot arrays inconsistent"));
+            }
+            for (&nb, &e) in adj.neighbors.iter().zip(adj.edges.iter()) {
+                if nb as usize >= n {
+                    return Err(format!("{name}: neighbor {nb} out of range"));
+                }
+                if e as usize >= m {
+                    return Err(format!("{name}: edge id {e} out of range"));
+                }
+            }
+            Ok(())
+        };
+        check_adj(&self.out, "out")?;
+        if let Some(in_) = &self.in_ {
+            check_adj(in_, "in")?;
+        }
+        // Every edge id must appear exactly once per adjacency for directed
+        // graphs, exactly twice in `out` for undirected graphs.
+        let mut seen = vec![0u8; m];
+        for &e in self.out.edges.iter() {
+            seen[e as usize] += 1;
+        }
+        let expect = if self.directed { 1 } else { 2 };
+        if seen.iter().any(|&c| c != expect) {
+            return Err(format!("edge multiplicity in out-adjacency != {expect}"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn path3_directed() -> Graph {
+        GraphBuilder::directed(3).edge(0, 1).edge(1, 2).build()
+    }
+
+    #[test]
+    fn directed_degrees() {
+        let g = path3_directed();
+        assert!(g.is_directed());
+        assert_eq!(g.out_degree(0), 1);
+        assert_eq!(g.in_degree(0), 0);
+        assert_eq!(g.out_degree(1), 1);
+        assert_eq!(g.in_degree(1), 1);
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.total_out_slots(), 2);
+    }
+
+    #[test]
+    fn directed_neighbors_respect_direction() {
+        let g = path3_directed();
+        assert_eq!(g.neighbors(1, Direction::Out).collect::<Vec<_>>(), vec![2]);
+        assert_eq!(g.neighbors(1, Direction::In).collect::<Vec<_>>(), vec![0]);
+        assert!(g.neighbors(2, Direction::Out).next().is_none());
+    }
+
+    #[test]
+    fn undirected_in_equals_out() {
+        let g = GraphBuilder::undirected(3).edge(0, 1).edge(1, 2).build();
+        assert_eq!(g.total_out_slots(), 4); // 2 edges x 2 endpoints
+        for v in g.vertices() {
+            let mut o: Vec<_> = g.neighbors(v, Direction::Out).collect();
+            let mut i: Vec<_> = g.neighbors(v, Direction::In).collect();
+            o.sort_unstable();
+            i.sort_unstable();
+            assert_eq!(o, i);
+        }
+    }
+
+    #[test]
+    fn incident_pairs_carry_edge_ids() {
+        let g = GraphBuilder::undirected(3).edge(0, 1).edge(1, 2).build();
+        let inc: Vec<_> = g.incident(1, Direction::Out).collect();
+        assert_eq!(inc.len(), 2);
+        for (e, nb) in inc {
+            let (s, d) = g.edge_endpoints(e);
+            assert!(s == 1 || d == 1);
+            assert!(nb == s || nb == d);
+            assert_ne!(nb, 1);
+        }
+    }
+
+    #[test]
+    fn edge_endpoints_round_trip() {
+        // Dedup sorts the canonical edge list, so ids follow sorted order.
+        let g = GraphBuilder::directed(4).edge(3, 0).edge(2, 1).build();
+        assert_eq!(g.edge_endpoints(0), (2, 1));
+        assert_eq!(g.edge_endpoints(1), (3, 0));
+        assert_eq!(g.edge_list(), &[(2, 1), (3, 0)]);
+    }
+
+    #[test]
+    fn validate_accepts_well_formed() {
+        assert!(path3_directed().validate().is_ok());
+        let g = GraphBuilder::undirected(5)
+            .edge(0, 1)
+            .edge(1, 2)
+            .edge(2, 3)
+            .edge(3, 4)
+            .edge(4, 0)
+            .build();
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn direction_reverse() {
+        assert_eq!(Direction::Out.reverse(), Direction::In);
+        assert_eq!(Direction::In.reverse(), Direction::Out);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::undirected(0).build();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn isolated_vertices_have_empty_rows() {
+        let g = GraphBuilder::directed(10).edge(0, 9).build();
+        for v in 1..9 {
+            assert_eq!(g.degree(v), 0);
+            assert!(g.neighbors(v, Direction::Out).next().is_none());
+        }
+    }
+}

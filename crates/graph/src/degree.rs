@@ -1,0 +1,222 @@
+//! Degree-distribution statistics.
+//!
+//! The paper characterizes graph structure by its degree distribution
+//! `P(k) ~ k^-α` (§2.2, Eq. 1). This module computes the empirical
+//! distribution of a built graph and estimates α by maximum likelihood so
+//! generators and tests can verify the synthetic graphs actually match the
+//! α they were asked for.
+
+use crate::csr::Graph;
+use serde::{Deserialize, Serialize};
+
+/// Summary degree statistics of a graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DegreeStats {
+    /// Minimum degree over all vertices.
+    pub min: usize,
+    /// Maximum degree over all vertices.
+    pub max: usize,
+    /// Mean degree.
+    pub mean: f64,
+    /// Population variance of the degree.
+    pub variance: f64,
+    /// Number of isolated (degree-0) vertices.
+    pub isolated: usize,
+}
+
+impl DegreeStats {
+    /// Compute from a graph using total degree (out+in for directed graphs).
+    pub fn of(g: &Graph) -> DegreeStats {
+        let n = g.num_vertices();
+        if n == 0 {
+            return DegreeStats {
+                min: 0,
+                max: 0,
+                mean: 0.0,
+                variance: 0.0,
+                isolated: 0,
+            };
+        }
+        let mut min = usize::MAX;
+        let mut max = 0usize;
+        let mut sum = 0.0f64;
+        let mut sum_sq = 0.0f64;
+        let mut isolated = 0usize;
+        for v in g.vertices() {
+            let d = g.degree(v);
+            min = min.min(d);
+            max = max.max(d);
+            sum += d as f64;
+            sum_sq += (d * d) as f64;
+            if d == 0 {
+                isolated += 1;
+            }
+        }
+        let mean = sum / n as f64;
+        DegreeStats {
+            min,
+            max,
+            mean,
+            variance: sum_sq / n as f64 - mean * mean,
+            isolated,
+        }
+    }
+}
+
+/// Empirical degree histogram: `counts[k]` is the number of vertices of
+/// degree `k`; `P(k) = counts[k] / n` per the paper's definition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DegreeHistogram {
+    counts: Vec<u64>,
+    num_vertices: usize,
+}
+
+impl DegreeHistogram {
+    /// Compute the total-degree histogram of a graph.
+    pub fn of(g: &Graph) -> DegreeHistogram {
+        let mut counts: Vec<u64> = Vec::new();
+        for v in g.vertices() {
+            let d = g.degree(v);
+            if d >= counts.len() {
+                counts.resize(d + 1, 0);
+            }
+            counts[d] += 1;
+        }
+        DegreeHistogram {
+            counts,
+            num_vertices: g.num_vertices(),
+        }
+    }
+
+    /// `P(k)`: fraction of vertices with degree exactly `k`.
+    pub fn p(&self, k: usize) -> f64 {
+        if self.num_vertices == 0 {
+            return 0.0;
+        }
+        self.counts.get(k).copied().unwrap_or(0) as f64 / self.num_vertices as f64
+    }
+
+    /// Largest degree with a nonzero count.
+    pub fn max_degree(&self) -> usize {
+        self.counts
+            .iter()
+            .rposition(|&c| c > 0)
+            .unwrap_or(0)
+    }
+
+    /// Raw counts, indexed by degree.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Number of vertices the histogram was built from.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+}
+
+/// Maximum-likelihood estimate of the power-law exponent α for the degrees
+/// of `g`, considering only vertices with degree ≥ `k_min`.
+///
+/// Uses the standard discrete-approximation MLE
+/// `α ≈ 1 + n / Σ ln(k_i / (k_min - 0.5))` (Clauset–Shalizi–Newman). Returns
+/// `None` when fewer than two vertices qualify (the estimate is undefined).
+pub fn estimate_powerlaw_alpha(g: &Graph, k_min: usize) -> Option<f64> {
+    let k_min = k_min.max(1);
+    let mut n = 0usize;
+    let mut log_sum = 0.0f64;
+    let denom = k_min as f64 - 0.5;
+    for v in g.vertices() {
+        let d = g.degree(v);
+        if d >= k_min {
+            n += 1;
+            log_sum += (d as f64 / denom).ln();
+        }
+    }
+    if n < 2 || log_sum <= 0.0 {
+        return None;
+    }
+    Some(1.0 + n as f64 / log_sum)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn star(n: usize) -> Graph {
+        let mut b = GraphBuilder::undirected(n);
+        for v in 1..n as u32 {
+            b.push_edge(0, v);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn stats_of_star() {
+        let g = star(5);
+        let s = DegreeStats::of(&g);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 4);
+        assert!((s.mean - 8.0 / 5.0).abs() < 1e-12);
+        assert_eq!(s.isolated, 0);
+    }
+
+    #[test]
+    fn stats_count_isolated() {
+        let g = GraphBuilder::undirected(4).edge(0, 1).build();
+        assert_eq!(DegreeStats::of(&g).isolated, 2);
+    }
+
+    #[test]
+    fn stats_of_empty_graph() {
+        let g = GraphBuilder::undirected(0).build();
+        let s = DegreeStats::of(&g);
+        assert_eq!(s.max, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn histogram_sums_to_one() {
+        let g = star(6);
+        let h = DegreeHistogram::of(&g);
+        let total: f64 = (0..=h.max_degree()).map(|k| h.p(k)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert_eq!(h.p(1), 5.0 / 6.0);
+        assert_eq!(h.p(5), 1.0 / 6.0);
+        assert_eq!(h.max_degree(), 5);
+    }
+
+    #[test]
+    fn histogram_out_of_range_is_zero() {
+        let h = DegreeHistogram::of(&star(3));
+        assert_eq!(h.p(100), 0.0);
+    }
+
+    #[test]
+    fn alpha_estimate_on_uniform_degrees_is_large() {
+        // A cycle has uniform degree 2: the MLE diverges upward, signalling
+        // "more uniform than any small-alpha power law".
+        let mut b = GraphBuilder::undirected(20);
+        for v in 0..20u32 {
+            b.push_edge(v, (v + 1) % 20);
+        }
+        let g = b.build();
+        let alpha = estimate_powerlaw_alpha(&g, 2).unwrap();
+        assert!(alpha > 3.0, "alpha = {alpha}");
+    }
+
+    #[test]
+    fn alpha_estimate_undefined_for_tiny_graphs() {
+        let g = GraphBuilder::undirected(2).edge(0, 1).build();
+        // With k_min = 2 no vertex qualifies.
+        assert!(estimate_powerlaw_alpha(&g, 2).is_none());
+    }
+
+    #[test]
+    fn directed_degree_counts_both_directions() {
+        let g = GraphBuilder::directed(3).edge(0, 1).edge(1, 2).build();
+        let s = DegreeStats::of(&g);
+        assert_eq!(s.max, 2); // vertex 1 has in=1 and out=1
+    }
+}

@@ -1,0 +1,261 @@
+//! Plain-text edge-list parsing and serialization.
+//!
+//! The comparative studies the paper surveys all consume whitespace-separated
+//! `src dst [weight]` edge lists (the SNAP format); this module reads and
+//! writes that format so graphs can be exchanged with external tools.
+
+use crate::builder::GraphBuilder;
+use crate::csr::{Graph, VertexId};
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+/// Errors produced while parsing an edge list.
+#[derive(Debug)]
+pub enum EdgeListError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A line that is neither a comment, blank, nor a valid edge.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// The offending content.
+        content: String,
+    },
+    /// An edge references a vertex id ≥ the declared vertex count.
+    VertexOutOfRange {
+        /// 1-based line number.
+        line: usize,
+        /// The offending vertex id.
+        vertex: u64,
+    },
+    /// A self-loop, which the GAS model does not support.
+    SelfLoop {
+        /// 1-based line number.
+        line: usize,
+    },
+}
+
+impl fmt::Display for EdgeListError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EdgeListError::Io(e) => write!(f, "i/o error: {e}"),
+            EdgeListError::Malformed { line, content } => {
+                write!(f, "line {line}: malformed edge `{content}`")
+            }
+            EdgeListError::VertexOutOfRange { line, vertex } => {
+                write!(f, "line {line}: vertex {vertex} out of range")
+            }
+            EdgeListError::SelfLoop { line } => write!(f, "line {line}: self-loop"),
+        }
+    }
+}
+
+impl std::error::Error for EdgeListError {}
+
+impl From<io::Error> for EdgeListError {
+    fn from(e: io::Error) -> Self {
+        EdgeListError::Io(e)
+    }
+}
+
+/// Parse a whitespace-separated edge list.
+///
+/// Lines starting with `#` or `%` are comments; blank lines are skipped; a
+/// third column (weight) is tolerated and returned alongside each edge id in
+/// the weight vector (missing weights default to 1.0). Self-loops are
+/// rejected. The graph is undirected when `directed` is false; duplicate
+/// edges are deduplicated (the weight of the first occurrence wins).
+pub fn parse_edge_list(
+    reader: impl BufRead,
+    num_vertices: usize,
+    directed: bool,
+) -> Result<(Graph, Vec<f64>), EdgeListError> {
+    let mut builder = if directed {
+        GraphBuilder::directed(num_vertices)
+    } else {
+        GraphBuilder::undirected(num_vertices)
+    };
+    // Weights are collected per staged edge, then re-associated after dedup
+    // by a lookup keyed on canonical endpoints.
+    let mut staged: Vec<((VertexId, VertexId), f64)> = Vec::new();
+    let mut line_no = 0usize;
+    let mut line = String::new();
+    let mut reader = reader;
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        line_no += 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let (a, b) = match (it.next(), it.next()) {
+            (Some(a), Some(b)) => (a, b),
+            _ => {
+                return Err(EdgeListError::Malformed {
+                    line: line_no,
+                    content: trimmed.to_string(),
+                })
+            }
+        };
+        let parse_v = |s: &str| -> Result<u64, EdgeListError> {
+            s.parse::<u64>().map_err(|_| EdgeListError::Malformed {
+                line: line_no,
+                content: trimmed.to_string(),
+            })
+        };
+        let (src, dst) = (parse_v(a)?, parse_v(b)?);
+        if src >= num_vertices as u64 {
+            return Err(EdgeListError::VertexOutOfRange {
+                line: line_no,
+                vertex: src,
+            });
+        }
+        if dst >= num_vertices as u64 {
+            return Err(EdgeListError::VertexOutOfRange {
+                line: line_no,
+                vertex: dst,
+            });
+        }
+        if src == dst {
+            return Err(EdgeListError::SelfLoop { line: line_no });
+        }
+        let weight = match it.next() {
+            Some(w) => w.parse::<f64>().map_err(|_| EdgeListError::Malformed {
+                line: line_no,
+                content: trimmed.to_string(),
+            })?,
+            None => 1.0,
+        };
+        let (src, dst) = (src as VertexId, dst as VertexId);
+        builder.push_edge(src, dst);
+        let key = if directed || src < dst {
+            (src, dst)
+        } else {
+            (dst, src)
+        };
+        staged.push((key, weight));
+    }
+    let graph = builder.build();
+    // First occurrence wins on duplicates.
+    staged.reverse();
+    let lookup: std::collections::HashMap<(VertexId, VertexId), f64> =
+        staged.into_iter().collect();
+    let weights = graph
+        .edge_list()
+        .iter()
+        .map(|&(s, d)| {
+            let key = if directed || s < d { (s, d) } else { (d, s) };
+            lookup.get(&key).copied().unwrap_or(1.0)
+        })
+        .collect();
+    Ok((graph, weights))
+}
+
+/// Write a graph (and optional per-edge weights) as a `src dst [weight]`
+/// edge list with a descriptive header comment.
+pub fn write_edge_list(
+    mut writer: impl Write,
+    graph: &Graph,
+    weights: Option<&[f64]>,
+) -> io::Result<()> {
+    writeln!(
+        writer,
+        "# graphmine edge list: {} vertices, {} edges, {}",
+        graph.num_vertices(),
+        graph.num_edges(),
+        if graph.is_directed() {
+            "directed"
+        } else {
+            "undirected"
+        }
+    )?;
+    if let Some(w) = weights {
+        assert_eq!(w.len(), graph.num_edges(), "one weight per edge required");
+    }
+    for (i, &(s, d)) in graph.edge_list().iter().enumerate() {
+        match weights {
+            Some(w) => writeln!(writer, "{s} {d} {}", w[i])?,
+            None => writeln!(writer, "{s} {d}")?,
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parse_simple() {
+        let text = "# comment\n0 1\n1 2\n\n% other comment\n2 3 0.5\n";
+        let (g, w) = parse_edge_list(Cursor::new(text), 4, false).unwrap();
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(w.len(), 3);
+        // Edge (2,3) carries weight 0.5; others default to 1.0.
+        let idx = g
+            .edge_list()
+            .iter()
+            .position(|&e| e == (2, 3))
+            .unwrap();
+        assert_eq!(w[idx], 0.5);
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        let err = parse_edge_list(Cursor::new("0 x\n"), 2, true).unwrap_err();
+        assert!(matches!(err, EdgeListError::Malformed { line: 1, .. }));
+    }
+
+    #[test]
+    fn parse_rejects_out_of_range() {
+        let err = parse_edge_list(Cursor::new("0 7\n"), 2, true).unwrap_err();
+        assert!(matches!(
+            err,
+            EdgeListError::VertexOutOfRange { vertex: 7, .. }
+        ));
+    }
+
+    #[test]
+    fn parse_rejects_self_loop() {
+        let err = parse_edge_list(Cursor::new("1 1\n"), 2, true).unwrap_err();
+        assert!(matches!(err, EdgeListError::SelfLoop { line: 1 }));
+    }
+
+    #[test]
+    fn round_trip_preserves_topology_and_weights() {
+        let text = "0 1 2.5\n1 2 3.5\n0 2 4.5\n";
+        let (g, w) = parse_edge_list(Cursor::new(text), 3, false).unwrap();
+        let mut out = Vec::new();
+        write_edge_list(&mut out, &g, Some(&w)).unwrap();
+        let (g2, w2) = parse_edge_list(Cursor::new(out), 3, false).unwrap();
+        assert_eq!(g.edge_list(), g2.edge_list());
+        assert_eq!(w, w2);
+    }
+
+    #[test]
+    fn duplicate_edges_first_weight_wins() {
+        let text = "0 1 9.0\n1 0 5.0\n";
+        let (g, w) = parse_edge_list(Cursor::new(text), 2, false).unwrap();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(w[0], 9.0);
+    }
+
+    #[test]
+    fn directed_duplicate_opposite_orientations_kept() {
+        let text = "0 1\n1 0\n";
+        let (g, _) = parse_edge_list(Cursor::new(text), 2, true).unwrap();
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let err = parse_edge_list(Cursor::new("0 1 zzz\n"), 2, true).unwrap_err();
+        let msg = format!("{err}");
+        assert!(msg.contains("line 1"), "{msg}");
+    }
+}

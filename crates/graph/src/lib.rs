@@ -1,0 +1,51 @@
+//! Compressed-sparse-row graph structures for the `graphmine` behavior study.
+//!
+//! This crate is the topology substrate underneath the GAS engine
+//! (`graphmine-engine`) and the synthetic generators (`graphmine-gen`).
+//! It deliberately separates *topology* from *data*: a [`Graph`] stores only
+//! vertices, edges and adjacency, while vertex values and edge weights live in
+//! columns owned by whoever runs a computation (the engine stores them as
+//! `Vec<V>` / `Vec<E>` indexed by [`VertexId`] / [`EdgeId`]). That mirrors the
+//! paper's setup, where the same synthetic topology is reused across
+//! application domains with domain-specific vertex/edge data (§2.2, §3.2).
+//!
+//! # Quick tour
+//!
+//! ```
+//! use graphmine_graph::{GraphBuilder, Direction};
+//!
+//! // A small undirected triangle plus a pendant vertex.
+//! let g = GraphBuilder::undirected(4)
+//!     .edge(0, 1)
+//!     .edge(1, 2)
+//!     .edge(2, 0)
+//!     .edge(2, 3)
+//!     .build();
+//! assert_eq!(g.num_vertices(), 4);
+//! assert_eq!(g.num_edges(), 4);
+//! assert_eq!(g.degree(2), 3);
+//! let mut n: Vec<_> = g.neighbors(2, Direction::Out).collect();
+//! n.sort_unstable();
+//! assert_eq!(n, vec![0, 1, 3]);
+//! ```
+
+pub mod builder;
+pub mod csr;
+pub mod degree;
+pub mod edgelist;
+pub mod partition;
+pub mod properties;
+pub mod stats;
+
+pub use builder::GraphBuilder;
+pub use csr::{Direction, EdgeId, Graph, VertexId};
+pub use degree::{estimate_powerlaw_alpha, DegreeHistogram, DegreeStats};
+pub use edgelist::{parse_edge_list, write_edge_list, EdgeListError};
+pub use partition::{
+    edge_cut_fraction, greedy_ldg_partition, hash_partition, partition_load_imbalance,
+    range_partition, VertexRange,
+};
+pub use properties::{
+    bfs_distances, connected_components_count, is_connected, union_find_components,
+};
+pub use stats::{degree_assortativity, global_clustering_coefficient};

@@ -1,0 +1,320 @@
+//! Vertex-range partitioning helpers used by the parallel engine.
+//!
+//! The engine splits the vertex set into contiguous chunks, one rayon task
+//! each. Chunks are balanced by *edge slots* (sum of degrees) rather than by
+//! vertex count, because power-law graphs concentrate most work in a few
+//! high-degree rows (the paper's challenge (iv): wide variation in
+//! parallelism).
+
+use crate::csr::{Direction, Graph, VertexId};
+use serde::{Deserialize, Serialize};
+
+/// A contiguous range of vertex ids, `start..end`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VertexRange {
+    /// First vertex in the range.
+    pub start: VertexId,
+    /// One past the last vertex in the range.
+    pub end: VertexId,
+}
+
+impl VertexRange {
+    /// Number of vertices in the range.
+    pub fn len(&self) -> usize {
+        (self.end - self.start) as usize
+    }
+
+    /// Whether the range is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start >= self.end
+    }
+
+    /// Iterate the vertex ids in the range.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = VertexId> {
+        self.start..self.end
+    }
+}
+
+/// Split `g`'s vertex set into at most `chunks` contiguous ranges with
+/// roughly equal total degree (out-direction slots plus one per vertex, so
+/// empty rows still cost something and dense graphs don't starve).
+///
+/// Returns at least one range when the graph is non-empty; never returns
+/// empty ranges.
+pub fn partition_by_degree(g: &Graph, chunks: usize) -> Vec<VertexRange> {
+    let n = g.num_vertices();
+    if n == 0 || chunks == 0 {
+        return Vec::new();
+    }
+    let chunks = chunks.min(n);
+    let total_work: u64 = g.total_out_slots() + n as u64;
+    let target = total_work.div_ceil(chunks as u64).max(1);
+    let mut ranges = Vec::with_capacity(chunks);
+    let mut start: VertexId = 0;
+    let mut acc: u64 = 0;
+    for v in 0..n as VertexId {
+        acc += g.degree_dir(v, Direction::Out) as u64 + 1;
+        if acc >= target {
+            ranges.push(VertexRange { start, end: v + 1 });
+            start = v + 1;
+            acc = 0;
+        }
+    }
+    if (start as usize) < n {
+        ranges.push(VertexRange {
+            start,
+            end: n as VertexId,
+        });
+    }
+    ranges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn chain(n: usize) -> Graph {
+        let mut b = GraphBuilder::undirected(n);
+        for v in 0..(n as u32 - 1) {
+            b.push_edge(v, v + 1);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn covers_all_vertices_without_overlap() {
+        let g = chain(100);
+        let parts = partition_by_degree(&g, 7);
+        let mut covered = 0usize;
+        let mut prev_end = 0;
+        for r in &parts {
+            assert_eq!(r.start, prev_end);
+            assert!(!r.is_empty());
+            covered += r.len();
+            prev_end = r.end;
+        }
+        assert_eq!(covered, 100);
+    }
+
+    #[test]
+    fn skewed_graph_balances_by_degree() {
+        // Star: vertex 0 has degree n-1, the rest degree 1. With 2 chunks the
+        // hub should be isolated in (roughly) its own chunk.
+        let mut b = GraphBuilder::undirected(1001);
+        for v in 1..=1000u32 {
+            b.push_edge(0, v);
+        }
+        let g = b.build();
+        let parts = partition_by_degree(&g, 2);
+        assert!(parts.len() >= 2);
+        assert!(parts[0].len() < 600, "hub chunk too large: {:?}", parts[0]);
+    }
+
+    #[test]
+    fn more_chunks_than_vertices_is_fine() {
+        let g = chain(3);
+        let parts = partition_by_degree(&g, 64);
+        let covered: usize = parts.iter().map(|r| r.len()).sum();
+        assert_eq!(covered, 3);
+        assert!(parts.len() <= 3);
+    }
+
+    #[test]
+    fn empty_graph_yields_no_ranges() {
+        let g = GraphBuilder::undirected(0).build();
+        assert!(partition_by_degree(&g, 4).is_empty());
+    }
+
+    #[test]
+    fn single_chunk_spans_everything() {
+        let g = chain(10);
+        let parts = partition_by_degree(&g, 1);
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0], VertexRange { start: 0, end: 10 });
+        assert_eq!(parts[0].iter().count(), 10);
+    }
+}
+
+/// Assign each vertex a partition by hashing its id — the placement-free
+/// baseline used by most distributed graph systems' default ingress.
+pub fn hash_partition(num_vertices: usize, parts: u32) -> Vec<u32> {
+    assert!(parts > 0, "need at least one partition");
+    (0..num_vertices as u64)
+        .map(|v| {
+            // Splitmix-style scramble so consecutive ids spread out.
+            let mut x = v.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            ((x ^ (x >> 31)) % parts as u64) as u32
+        })
+        .collect()
+}
+
+/// Contiguous range partitioning balanced by degree (reuses
+/// [`partition_by_degree`]); preserves any locality present in the vertex
+/// numbering.
+pub fn range_partition(g: &Graph, parts: u32) -> Vec<u32> {
+    assert!(parts > 0, "need at least one partition");
+    let ranges = partition_by_degree(g, parts as usize);
+    let mut labels = vec![0u32; g.num_vertices()];
+    for (i, r) in ranges.iter().enumerate() {
+        for v in r.iter() {
+            labels[v as usize] = i as u32;
+        }
+    }
+    labels
+}
+
+/// Linear Deterministic Greedy (LDG) streaming partitioner: each vertex
+/// goes to the partition holding most of its already-placed neighbors,
+/// discounted by that partition's fullness — the standard one-pass
+/// edge-cut heuristic for scale-free graphs.
+pub fn greedy_ldg_partition(g: &Graph, parts: u32) -> Vec<u32> {
+    assert!(parts > 0, "need at least one partition");
+    let n = g.num_vertices();
+    let capacity = (n as f64 / parts as f64).max(1.0);
+    let mut labels = vec![u32::MAX; n];
+    let mut loads = vec![0usize; parts as usize];
+    for v in g.vertices() {
+        let mut score = vec![0usize; parts as usize];
+        for u in g.neighbors(v, Direction::Out) {
+            let l = labels[u as usize];
+            if l != u32::MAX {
+                score[l as usize] += 1;
+            }
+        }
+        let mut best = 0u32;
+        let mut best_score = f64::NEG_INFINITY;
+        for p in 0..parts {
+            let discount = 1.0 - loads[p as usize] as f64 / capacity;
+            let s = score[p as usize] as f64 * discount.max(0.0)
+                // Tie-break toward the emptiest partition.
+                + discount * 1e-9;
+            if s > best_score {
+                best_score = s;
+                best = p;
+            }
+        }
+        labels[v as usize] = best;
+        loads[best as usize] += 1;
+    }
+    labels
+}
+
+/// Fraction of edges whose endpoints live on different partitions.
+pub fn edge_cut_fraction(g: &Graph, labels: &[u32]) -> f64 {
+    assert_eq!(labels.len(), g.num_vertices());
+    if g.num_edges() == 0 {
+        return 0.0;
+    }
+    let cut = g
+        .edge_list()
+        .iter()
+        .filter(|&&(s, d)| labels[s as usize] != labels[d as usize])
+        .count();
+    cut as f64 / g.num_edges() as f64
+}
+
+/// Static load imbalance of a partitioning: `max(load) / mean(load)` where
+/// a vertex's load is `1 + degree` (the same work model as
+/// [`partition_by_degree`]). 1.0 is perfectly balanced.
+pub fn partition_load_imbalance(g: &Graph, labels: &[u32], parts: u32) -> f64 {
+    assert_eq!(labels.len(), g.num_vertices());
+    if parts == 0 || g.num_vertices() == 0 {
+        return 1.0;
+    }
+    let mut loads = vec![0u64; parts as usize];
+    for v in g.vertices() {
+        loads[labels[v as usize] as usize] += 1 + g.degree(v) as u64;
+    }
+    let max = *loads.iter().max().expect("non-empty") as f64;
+    let mean = loads.iter().sum::<u64>() as f64 / parts as f64;
+    if mean == 0.0 {
+        1.0
+    } else {
+        max / mean
+    }
+}
+
+#[cfg(test)]
+mod cluster_tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn two_cliques() -> Graph {
+        // Two K5 cliques joined by one bridge edge: the natural 2-way cut
+        // is a single edge.
+        let mut b = GraphBuilder::undirected(10);
+        for base in [0u32, 5] {
+            for i in 0..5 {
+                for j in (i + 1)..5 {
+                    b.push_edge(base + i, base + j);
+                }
+            }
+        }
+        b.push_edge(0, 5);
+        b.build()
+    }
+
+    #[test]
+    fn hash_partition_spreads() {
+        let labels = hash_partition(10_000, 8);
+        let mut counts = [0usize; 8];
+        for &l in &labels {
+            counts[l as usize] += 1;
+        }
+        for c in counts {
+            assert!((1_000..=1_500).contains(&c), "skewed: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn range_partition_covers_and_labels_contiguously() {
+        let g = two_cliques();
+        let labels = range_partition(&g, 2);
+        assert_eq!(labels.len(), 10);
+        // Contiguity: labels are non-decreasing over vertex ids.
+        assert!(labels.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn ldg_finds_the_bridge_cut() {
+        let g = two_cliques();
+        let labels = greedy_ldg_partition(&g, 2);
+        let cut = edge_cut_fraction(&g, &labels);
+        // LDG should isolate the cliques: only the bridge edge is cut.
+        assert!(cut <= 2.0 / 21.0, "cut = {cut}, labels = {labels:?}");
+        // And vastly outperform hashing on this structure.
+        let hash_cut = edge_cut_fraction(&g, &hash_partition(10, 2));
+        assert!(cut < hash_cut);
+    }
+
+    #[test]
+    fn imbalance_bounds() {
+        let g = two_cliques();
+        for labels in [
+            hash_partition(10, 2),
+            range_partition(&g, 2),
+            greedy_ldg_partition(&g, 2),
+        ] {
+            let imb = partition_load_imbalance(&g, &labels, 2);
+            assert!((1.0..=2.0).contains(&imb), "imbalance {imb}");
+        }
+    }
+
+    #[test]
+    fn single_partition_has_no_cut() {
+        let g = two_cliques();
+        let labels = vec![0u32; 10];
+        assert_eq!(edge_cut_fraction(&g, &labels), 0.0);
+        assert_eq!(partition_load_imbalance(&g, &labels, 1), 1.0);
+    }
+
+    #[test]
+    fn empty_graph_degenerate() {
+        let g = GraphBuilder::undirected(0).build();
+        assert_eq!(edge_cut_fraction(&g, &[]), 0.0);
+        assert!(hash_partition(0, 4).is_empty());
+    }
+}

@@ -1,0 +1,176 @@
+//! Structural property queries used as ground truth by algorithm tests.
+//!
+//! These are simple, obviously-correct sequential implementations (union-find
+//! for connectivity) against which the GAS vertex programs in
+//! `graphmine-algos` are validated.
+
+use crate::csr::{Direction, Graph, VertexId};
+
+/// Disjoint-set union with path compression and union by size.
+struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> UnionFind {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+        }
+    }
+
+    fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            let gp = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = gp;
+            x = gp;
+        }
+        x
+    }
+
+    fn union(&mut self, a: u32, b: u32) {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        if self.size[ra as usize] < self.size[rb as usize] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb as usize] = ra;
+        self.size[ra as usize] += self.size[rb as usize];
+    }
+}
+
+/// Component labels for every vertex, treating edges as undirected.
+///
+/// Labels are the *minimum vertex id* of each component, matching the fixed
+/// point the paper's CC vertex program converges to (§2.1: "only update a
+/// vertex if its ID is larger than the minimum value").
+pub fn union_find_components(g: &Graph) -> Vec<VertexId> {
+    let n = g.num_vertices();
+    let mut uf = UnionFind::new(n);
+    for &(s, d) in g.edge_list() {
+        uf.union(s, d);
+    }
+    // Map each root to the minimum member id.
+    let mut min_of_root: Vec<VertexId> = (0..n as VertexId).collect();
+    for v in 0..n as u32 {
+        let r = uf.find(v) as usize;
+        if v < min_of_root[r] {
+            min_of_root[r] = v;
+        }
+    }
+    (0..n as u32).map(|v| min_of_root[uf.find(v) as usize]).collect()
+}
+
+/// Number of connected components (undirected sense).
+pub fn connected_components_count(g: &Graph) -> usize {
+    let labels = union_find_components(g);
+    let mut roots: Vec<VertexId> = labels;
+    roots.sort_unstable();
+    roots.dedup();
+    roots.len()
+}
+
+/// Whether the graph is connected (vacuously true for `n <= 1`).
+pub fn is_connected(g: &Graph) -> bool {
+    g.num_vertices() <= 1 || connected_components_count(g) == 1
+}
+
+/// Breadth-first unweighted distances from `source`, following edges in the
+/// given direction. Unreachable vertices get `u32::MAX`.
+pub fn bfs_distances(g: &Graph, source: VertexId, dir: Direction) -> Vec<u32> {
+    let n = g.num_vertices();
+    let mut dist = vec![u32::MAX; n];
+    if n == 0 {
+        return dist;
+    }
+    let mut queue = std::collections::VecDeque::new();
+    dist[source as usize] = 0;
+    queue.push_back(source);
+    while let Some(v) = queue.pop_front() {
+        let dv = dist[v as usize];
+        for u in g.neighbors(v, dir) {
+            if dist[u as usize] == u32::MAX {
+                dist[u as usize] = dv + 1;
+                queue.push_back(u);
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn two_components_labelled_by_min_id() {
+        let g = GraphBuilder::undirected(5)
+            .edge(0, 1)
+            .edge(1, 2)
+            .edge(3, 4)
+            .build();
+        assert_eq!(union_find_components(&g), vec![0, 0, 0, 3, 3]);
+        assert_eq!(connected_components_count(&g), 2);
+        assert!(!is_connected(&g));
+    }
+
+    #[test]
+    fn singleton_components() {
+        let g = GraphBuilder::undirected(3).build();
+        assert_eq!(connected_components_count(&g), 3);
+        assert_eq!(union_find_components(&g), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn connected_cycle() {
+        let mut b = GraphBuilder::undirected(6);
+        for v in 0..6u32 {
+            b.push_edge(v, (v + 1) % 6);
+        }
+        assert!(is_connected(&b.build()));
+    }
+
+    #[test]
+    fn empty_and_single_vertex_are_connected() {
+        assert!(is_connected(&GraphBuilder::undirected(0).build()));
+        assert!(is_connected(&GraphBuilder::undirected(1).build()));
+    }
+
+    #[test]
+    fn directed_edges_treated_as_undirected_for_components() {
+        let g = GraphBuilder::directed(3).edge(2, 0).edge(2, 1).build();
+        assert_eq!(connected_components_count(&g), 1);
+    }
+
+    #[test]
+    fn bfs_on_path() {
+        let g = GraphBuilder::undirected(4)
+            .edge(0, 1)
+            .edge(1, 2)
+            .edge(2, 3)
+            .build();
+        assert_eq!(bfs_distances(&g, 0, Direction::Out), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn bfs_unreachable_is_max() {
+        let g = GraphBuilder::directed(3).edge(0, 1).build();
+        let d = bfs_distances(&g, 1, Direction::Out);
+        assert_eq!(d[1], 0);
+        assert_eq!(d[0], u32::MAX);
+        assert_eq!(d[2], u32::MAX);
+    }
+
+    #[test]
+    fn bfs_respects_direction() {
+        let g = GraphBuilder::directed(3).edge(0, 1).edge(1, 2).build();
+        let fwd = bfs_distances(&g, 0, Direction::Out);
+        assert_eq!(fwd, vec![0, 1, 2]);
+        let back = bfs_distances(&g, 2, Direction::In);
+        assert_eq!(back, vec![2, 1, 0]);
+    }
+}

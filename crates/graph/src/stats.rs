@@ -1,0 +1,168 @@
+//! Higher-order structural statistics: clustering coefficient and degree
+//! assortativity.
+//!
+//! The paper characterizes graphs by size and degree distribution (§2.2);
+//! these two extra statistics are the standard next moments of structure —
+//! how locally dense a graph is, and whether hubs attach to hubs — and are
+//! reported by `graphmine analyze` when profiling user-supplied graphs.
+
+use crate::csr::{Direction, Graph, VertexId};
+
+/// Global clustering coefficient (transitivity):
+/// `3 · triangles / open-or-closed wedges`, in `[0, 1]`.
+///
+/// Returns 0.0 for graphs with no wedge (paths of length two) at all.
+pub fn global_clustering_coefficient(g: &Graph) -> f64 {
+    // Sorted adjacency for merge-intersection.
+    let sorted: Vec<Vec<VertexId>> = g
+        .vertices()
+        .map(|v| {
+            let mut row: Vec<VertexId> = g.neighbors(v, Direction::Out).collect();
+            row.sort_unstable();
+            row
+        })
+        .collect();
+    let mut closed = 0u64; // 2 * triangles per edge side; sums to 6T
+    for &(s, d) in g.edge_list() {
+        let (a, b) = (&sorted[s as usize], &sorted[d as usize]);
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    closed += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+    }
+    // closed counts each triangle once per edge = 3T.
+    let triangles3 = closed as f64; // = 3T
+    let wedges: u64 = g
+        .vertices()
+        .map(|v| {
+            let d = g.degree(v) as u64;
+            d * d.saturating_sub(1) / 2
+        })
+        .sum();
+    if wedges == 0 {
+        return 0.0;
+    }
+    triangles3 / wedges as f64
+}
+
+/// Degree assortativity: the Pearson correlation of endpoint degrees over
+/// all edges (Newman's r). Positive = hubs attach to hubs; negative =
+/// hubs attach to leaves (typical for scale-free networks). Returns 0.0
+/// when undefined (no edges or zero degree variance).
+pub fn degree_assortativity(g: &Graph) -> f64 {
+    let m = g.num_edges();
+    if m == 0 {
+        return 0.0;
+    }
+    // Collect the degree pairs of each edge (both orientations, which
+    // symmetrizes the correlation).
+    let mut sum_x = 0.0f64;
+    let mut sum_x2 = 0.0f64;
+    let mut sum_xy = 0.0f64;
+    let count = (2 * m) as f64;
+    for &(s, d) in g.edge_list() {
+        let (ds, dd) = (g.degree(s) as f64, g.degree(d) as f64);
+        sum_x += ds + dd;
+        sum_x2 += ds * ds + dd * dd;
+        sum_xy += 2.0 * ds * dd;
+    }
+    let mean = sum_x / count;
+    let var = sum_x2 / count - mean * mean;
+    if var <= 0.0 {
+        return 0.0;
+    }
+    let cov = sum_xy / count - mean * mean;
+    cov / var
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn triangle_has_full_clustering() {
+        let g = GraphBuilder::undirected(3)
+            .edge(0, 1)
+            .edge(1, 2)
+            .edge(2, 0)
+            .build();
+        assert!((global_clustering_coefficient(&g) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn path_has_zero_clustering() {
+        let g = GraphBuilder::undirected(4)
+            .edge(0, 1)
+            .edge(1, 2)
+            .edge(2, 3)
+            .build();
+        assert_eq!(global_clustering_coefficient(&g), 0.0);
+    }
+
+    #[test]
+    fn lollipop_clustering_between_zero_and_one() {
+        let g = GraphBuilder::undirected(5)
+            .edge(0, 1)
+            .edge(1, 2)
+            .edge(2, 0)
+            .edge(2, 3)
+            .edge(3, 4)
+            .build();
+        let c = global_clustering_coefficient(&g);
+        // 1 triangle, wedges: deg (2,2,3,2,1) → 1+1+3+1+0 = 6; 3*1/6 = 0.5
+        assert!((c - 0.5).abs() < 1e-12, "c = {c}");
+    }
+
+    #[test]
+    fn star_is_disassortative() {
+        let mut b = GraphBuilder::undirected(8);
+        for v in 1..8u32 {
+            b.push_edge(0, v);
+        }
+        let r = degree_assortativity(&b.build());
+        assert!(r < -0.9, "r = {r}");
+    }
+
+    #[test]
+    fn regular_cycle_assortativity_is_degenerate_zero() {
+        // All degrees equal → zero variance → defined as 0.
+        let mut b = GraphBuilder::undirected(6);
+        for v in 0..6u32 {
+            b.push_edge(v, (v + 1) % 6);
+        }
+        assert_eq!(degree_assortativity(&b.build()), 0.0);
+    }
+
+    #[test]
+    fn empty_graph_degenerate() {
+        let g = GraphBuilder::undirected(0).build();
+        assert_eq!(global_clustering_coefficient(&g), 0.0);
+        assert_eq!(degree_assortativity(&g), 0.0);
+    }
+
+    #[test]
+    fn two_joined_triangles_assortativity_range() {
+        // Bowtie: vertex 2 is shared by two triangles.
+        let g = GraphBuilder::undirected(5)
+            .edge(0, 1)
+            .edge(1, 2)
+            .edge(2, 0)
+            .edge(2, 3)
+            .edge(3, 4)
+            .edge(4, 2)
+            .build();
+        let r = degree_assortativity(&g);
+        assert!((-1.0..=1.0).contains(&r));
+        let c = global_clustering_coefficient(&g);
+        assert!(c > 0.0 && c <= 1.0);
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests over the graph substrate.
+
+use graphmine_graph::{
+    estimate_powerlaw_alpha, union_find_components, DegreeHistogram, DegreeStats, Direction,
+    GraphBuilder,
+};
+use proptest::prelude::*;
+
+/// Strategy: a random edge set over `n` vertices (no self-loops).
+fn arb_edges(max_n: usize, max_m: usize) -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
+    (2..=max_n).prop_flat_map(move |n| {
+        let edge = (0..n as u32, 0..n as u32)
+            .prop_filter("no self-loops", |(a, b)| a != b);
+        (Just(n), proptest::collection::vec(edge, 0..max_m))
+    })
+}
+
+proptest! {
+    /// Sum of degrees equals 2 * edges for undirected graphs.
+    #[test]
+    fn handshake_lemma((n, edges) in arb_edges(40, 120)) {
+        let mut b = GraphBuilder::undirected(n);
+        b.extend_edges(edges);
+        let g = b.build();
+        let degree_sum: usize = g.vertices().map(|v| g.degree(v)).sum();
+        prop_assert_eq!(degree_sum, 2 * g.num_edges());
+    }
+
+    /// Out-degree sum equals edge count for directed graphs, and in-degree
+    /// sum matches out-degree sum.
+    #[test]
+    fn directed_degree_sums((n, edges) in arb_edges(40, 120)) {
+        let mut b = GraphBuilder::directed(n);
+        b.extend_edges(edges);
+        let g = b.build();
+        let out_sum: usize = g.vertices().map(|v| g.out_degree(v)).sum();
+        let in_sum: usize = g.vertices().map(|v| g.in_degree(v)).sum();
+        prop_assert_eq!(out_sum, g.num_edges());
+        prop_assert_eq!(in_sum, out_sum);
+    }
+
+    /// The CSR structure passes its own validation for arbitrary inputs.
+    #[test]
+    fn csr_always_valid((n, edges) in arb_edges(30, 90)) {
+        let mut b = GraphBuilder::undirected(n);
+        b.extend_edges(edges.clone());
+        prop_assert!(b.build().validate().is_ok());
+        let mut b = GraphBuilder::directed(n);
+        b.extend_edges(edges);
+        prop_assert!(b.build().validate().is_ok());
+    }
+
+    /// Adjacency is an involution for undirected graphs: u in N(v) iff
+    /// v in N(u).
+    #[test]
+    fn undirected_adjacency_symmetric((n, edges) in arb_edges(25, 60)) {
+        let mut b = GraphBuilder::undirected(n);
+        b.extend_edges(edges);
+        let g = b.build();
+        for v in g.vertices() {
+            for u in g.neighbors(v, Direction::Out) {
+                prop_assert!(g.neighbors(u, Direction::Out).any(|w| w == v));
+            }
+        }
+    }
+
+    /// Every vertex in a component shares the same label, and the label is
+    /// the minimum id of the component.
+    #[test]
+    fn component_labels_are_component_minima((n, edges) in arb_edges(30, 80)) {
+        let mut b = GraphBuilder::undirected(n);
+        b.extend_edges(edges);
+        let g = b.build();
+        let labels = union_find_components(&g);
+        // Every edge connects same-labelled endpoints.
+        for &(s, d) in g.edge_list() {
+            prop_assert_eq!(labels[s as usize], labels[d as usize]);
+        }
+        // The label of each vertex is <= the vertex id and is itself labelled
+        // with itself (a representative).
+        for (v, &l) in labels.iter().enumerate() {
+            prop_assert!(l as usize <= v);
+            prop_assert_eq!(labels[l as usize], l);
+        }
+    }
+
+    /// The degree histogram is a probability distribution consistent with
+    /// the summary statistics.
+    #[test]
+    fn histogram_consistent_with_stats((n, edges) in arb_edges(30, 80)) {
+        let mut b = GraphBuilder::undirected(n);
+        b.extend_edges(edges);
+        let g = b.build();
+        let h = DegreeHistogram::of(&g);
+        let s = DegreeStats::of(&g);
+        let total: f64 = (0..=h.max_degree()).map(|k| h.p(k)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        prop_assert_eq!(h.max_degree(), s.max);
+        let mean: f64 = (0..=h.max_degree())
+            .map(|k| k as f64 * h.p(k))
+            .sum();
+        prop_assert!((mean - s.mean).abs() < 1e-9);
+    }
+
+    /// Alpha estimation never panics and, when defined, exceeds 1.
+    #[test]
+    fn alpha_estimate_in_range((n, edges) in arb_edges(40, 150)) {
+        let mut b = GraphBuilder::undirected(n);
+        b.extend_edges(edges);
+        let g = b.build();
+        if let Some(alpha) = estimate_powerlaw_alpha(&g, 1) {
+            prop_assert!(alpha > 1.0);
+            prop_assert!(alpha.is_finite());
+        }
+    }
+}

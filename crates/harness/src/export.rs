@@ -1,0 +1,119 @@
+//! CSV export of the run database for external plotting tools.
+//!
+//! The paper's figures are line/bar charts; the harness renders them as
+//! text, and `graphmine export` dumps the underlying per-run rows so any
+//! plotting stack (gnuplot, matplotlib, R) can regenerate the visuals.
+
+use graphmine_core::{RunDb, WorkMetric};
+use std::fmt::Write as _;
+
+/// CSV header of [`export_runs_csv`].
+pub const RUNS_CSV_HEADER: &str = "algorithm,domain,size,alpha,seed,vertices,edges,iterations,\
+converged,runtime_ms,updt_per_edge,work_ns_per_edge,work_ops_per_edge,eread_per_edge,\
+msg_per_edge,norm_updt,norm_work,norm_eread,norm_msg";
+
+/// Serialize every run as one CSV row (raw per-edge metrics plus the
+/// database-normalized behavior vector, wall-clock WORK).
+pub fn export_runs_csv(db: &RunDb) -> String {
+    let normalized = db.behaviors(WorkMetric::WallNanos);
+    let mut s = String::with_capacity(db.len() * 160 + RUNS_CSV_HEADER.len());
+    s.push_str(RUNS_CSV_HEADER);
+    s.push('\n');
+    for (r, b) in db.runs.iter().zip(normalized.iter()) {
+        let wall = r.raw(WorkMetric::WallNanos);
+        let ops = r.raw(WorkMetric::LogicalOps);
+        let _ = writeln!(
+            s,
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            r.algorithm,
+            r.domain,
+            r.graph.size,
+            r.graph.alpha.map(|a| a.to_string()).unwrap_or_default(),
+            r.seed,
+            r.num_vertices,
+            r.num_edges,
+            r.iterations,
+            r.converged,
+            r.runtime_ms,
+            wall.updt,
+            wall.work,
+            ops.work,
+            wall.eread,
+            wall.msg,
+            b.0[0],
+            b.0[1],
+            b.0[2],
+            b.0[3],
+        );
+    }
+    s
+}
+
+/// Serialize the active-fraction series of every run (long format:
+/// one row per `(run, iteration)` pair).
+pub fn export_active_fraction_csv(db: &RunDb) -> String {
+    let mut s = String::new();
+    s.push_str("algorithm,size,alpha,iteration,active_fraction\n");
+    for r in &db.runs {
+        for (i, f) in r.active_fraction.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "{},{},{},{},{}",
+                r.algorithm,
+                r.graph.size,
+                r.graph.alpha.map(|a| a.to_string()).unwrap_or_default(),
+                i,
+                f
+            );
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::ScaleProfile;
+    use crate::runner::run_matrix;
+    use std::sync::OnceLock;
+
+    fn db() -> &'static RunDb {
+        static DB: OnceLock<RunDb> = OnceLock::new();
+        DB.get_or_init(|| run_matrix(ScaleProfile::Quick, |_| ()))
+    }
+
+    #[test]
+    fn runs_csv_row_per_run() {
+        let csv = export_runs_csv(db());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], RUNS_CSV_HEADER);
+        assert_eq!(lines.len(), db().len() + 1);
+        // Every row has the full column count.
+        let cols = RUNS_CSV_HEADER.split(',').count();
+        for line in &lines[1..] {
+            assert_eq!(line.split(',').count(), cols, "bad row: {line}");
+        }
+    }
+
+    #[test]
+    fn runs_csv_values_parse() {
+        let csv = export_runs_csv(db());
+        let row = csv.lines().nth(1).unwrap();
+        let cells: Vec<&str> = row.split(',').collect();
+        assert!(cells[5].parse::<u64>().is_ok(), "vertices: {}", cells[5]);
+        assert!(cells[10].parse::<f64>().is_ok(), "updt: {}", cells[10]);
+        // Normalized metrics are within [0, 1].
+        for c in &cells[15..19] {
+            let v: f64 = c.parse().unwrap();
+            assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn active_fraction_long_format() {
+        let csv = export_active_fraction_csv(db());
+        let total_points: usize = db().runs.iter().map(|r| r.active_fraction.len()).sum();
+        assert_eq!(csv.lines().count(), total_points + 1);
+        assert!(csv.starts_with("algorithm,size,alpha,iteration,active_fraction"));
+    }
+}

@@ -1,0 +1,32 @@
+//! Experiment harness reproducing every table and figure of the HPDC'15
+//! study.
+//!
+//! The harness builds the paper's experiment matrix (Table 2, scaled down
+//! per DESIGN.md substitution #2), runs every `<algorithm, graph>` cell
+//! through the GAS engine, caches the resulting [`RunDb`], and renders each
+//! figure/table as text. The `graphmine` binary is a thin CLI over this
+//! library:
+//!
+//! ```text
+//! graphmine run   --profile default --db runs.json   # execute the matrix
+//! graphmine fig14 --db runs.json                     # print a figure
+//! graphmine all   --db runs.json                     # everything
+//! ```
+//!
+//! [`RunDb`]: graphmine_core::RunDb
+
+pub mod analyze;
+pub mod cluster;
+pub mod export;
+pub mod figures;
+pub mod matrix;
+pub mod plot;
+pub mod runner;
+
+pub use analyze::{analyze_edge_list_file, analyze_graph, render_predict};
+pub use cluster::{render_cluster, render_correlations};
+pub use export::{export_active_fraction_csv, export_runs_csv};
+pub use plot::{behavior_scatter_svg, ensemble_curves_svg, write_plots};
+pub use figures::{render_figure, FIGURE_IDS};
+pub use matrix::{ExperimentCell, ScaleProfile};
+pub use runner::{run_matrix, run_or_load};

@@ -1,0 +1,251 @@
+//! `graphmine` — the CLI for reproducing the HPDC'15 behavior study.
+//!
+//! ```text
+//! graphmine run     [--profile quick|default|full] [--db PATH]
+//! graphmine <fig>   [--profile ...] [--db PATH] [--work ops|wall]
+//! graphmine all     [--profile ...] [--db PATH] [--work ops|wall]
+//! graphmine predict [--profile ...] [--db PATH]
+//! graphmine analyze --input EDGELIST [--db PATH]
+//! graphmine export  [--profile ...] [--db PATH]   # run rows as CSV
+//! graphmine cluster                                # partition/remote-comm study
+//! graphmine plot    [--db PATH] [--out DIR]        # SVG figures
+//! graphmine list
+//! ```
+//!
+//! `<fig>` is any of `table2`, `fig1`–`fig23`, `table3`. Figures are
+//! rendered from the cached run database (created on demand). `predict`
+//! fits the §7 runtime model; `analyze` measures the behavior of a
+//! user-supplied edge list and places it next to the study's runs.
+
+use graphmine_core::WorkMetric;
+use graphmine_harness::{
+    analyze_edge_list_file, export_runs_csv, render_cluster, render_correlations, render_figure,
+    render_predict, run_or_load, write_plots, ScaleProfile, FIGURE_IDS,
+};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    command: String,
+    profile: ScaleProfile,
+    db: PathBuf,
+    work: WorkMetric,
+    input: Option<PathBuf>,
+    out: PathBuf,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = std::env::args().skip(1);
+    let command = args.next().ok_or_else(usage)?;
+    let mut profile = ScaleProfile::Default;
+    let mut db = PathBuf::from("runs.json");
+    let mut work = WorkMetric::WallNanos;
+    let mut input: Option<PathBuf> = None;
+    let mut out = PathBuf::from("plots");
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--profile" => {
+                let v = args.next().ok_or("--profile needs a value")?;
+                profile = ScaleProfile::parse(&v)
+                    .ok_or_else(|| format!("unknown profile `{v}` (quick|default|full)"))?;
+            }
+            "--db" => {
+                db = PathBuf::from(args.next().ok_or("--db needs a value")?);
+            }
+            "--input" => {
+                input = Some(PathBuf::from(args.next().ok_or("--input needs a value")?));
+            }
+            "--out" => {
+                out = PathBuf::from(args.next().ok_or("--out needs a value")?);
+            }
+            "--work" => {
+                let v = args.next().ok_or("--work needs a value")?;
+                work = match v.as_str() {
+                    "wall" => WorkMetric::WallNanos,
+                    "ops" => WorkMetric::LogicalOps,
+                    _ => return Err(format!("unknown work metric `{v}` (wall|ops)")),
+                };
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(Args {
+        command,
+        profile,
+        db,
+        work,
+        input,
+        out,
+    })
+}
+
+fn usage() -> String {
+    format!(
+        "usage: graphmine <command> [--profile quick|default|full] [--db PATH] [--work wall|ops] [--input EDGELIST]\n\
+         commands: run, all, list, predict, analyze, export, cluster, correlations, plot, {}",
+        FIGURE_IDS.join(", ")
+    )
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    match args.command.as_str() {
+        "list" => {
+            println!("{}", FIGURE_IDS.join("\n"));
+            ExitCode::SUCCESS
+        }
+        "run" => {
+            match run_or_load(args.profile, &args.db, |line| eprintln!("{line}")) {
+                Ok(db) => {
+                    println!(
+                        "run database ready: {} runs cached at {}",
+                        db.len(),
+                        args.db.display()
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("failed to run matrix: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "all" => {
+            let db = match run_or_load(args.profile, &args.db, |line| eprintln!("{line}")) {
+                Ok(db) => db,
+                Err(e) => {
+                    eprintln!("failed to load run database: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            for id in FIGURE_IDS {
+                match render_figure(id, &db, args.profile, args.work) {
+                    Some(out) => println!("{out}"),
+                    None => eprintln!("(internal) figure {id} did not render"),
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        "plot" => {
+            let db = match run_or_load(args.profile, &args.db, |line| eprintln!("{line}")) {
+                Ok(db) => db,
+                Err(e) => {
+                    eprintln!("failed to load run database: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match write_plots(&db, args.profile, args.work, &args.out) {
+                Ok(files) => {
+                    for f in files {
+                        println!("{}", args.out.join(f).display());
+                    }
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("failed to write plots: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "correlations" => {
+            let db = match run_or_load(args.profile, &args.db, |line| eprintln!("{line}")) {
+                Ok(db) => db,
+                Err(e) => {
+                    eprintln!("failed to load run database: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            println!("{}", render_correlations(&db));
+            ExitCode::SUCCESS
+        }
+        "cluster" => {
+            println!("{}", render_cluster(100_000, 2.5, 7));
+            ExitCode::SUCCESS
+        }
+        "export" => {
+            let db = match run_or_load(args.profile, &args.db, |line| eprintln!("{line}")) {
+                Ok(db) => db,
+                Err(e) => {
+                    eprintln!("failed to load run database: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            print!("{}", export_runs_csv(&db));
+            ExitCode::SUCCESS
+        }
+        "predict" => {
+            let db = match run_or_load(args.profile, &args.db, |line| eprintln!("{line}")) {
+                Ok(db) => db,
+                Err(e) => {
+                    eprintln!("failed to load run database: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match render_predict(&db) {
+                Ok(out) => {
+                    println!("{out}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("{e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "analyze" => {
+            let Some(input) = args.input.as_deref() else {
+                eprintln!("analyze requires --input EDGELIST");
+                return ExitCode::FAILURE;
+            };
+            // The reference DB is optional: use it only when cached.
+            let db = args
+                .db
+                .exists()
+                .then(|| graphmine_core::RunDb::load(&args.db))
+                .transpose()
+                .unwrap_or_else(|e| {
+                    eprintln!("warning: could not load {}: {e}", args.db.display());
+                    None
+                });
+            match analyze_edge_list_file(input, db.as_ref(), 200) {
+                Ok(out) => {
+                    println!("{out}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("{e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        fig if FIGURE_IDS.contains(&fig) => {
+            let db = match run_or_load(args.profile, &args.db, |line| eprintln!("{line}")) {
+                Ok(db) => db,
+                Err(e) => {
+                    eprintln!("failed to load run database: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match render_figure(fig, &db, args.profile, args.work) {
+                Some(out) => {
+                    println!("{out}");
+                    ExitCode::SUCCESS
+                }
+                None => {
+                    eprintln!("figure {fig} did not render");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        other => {
+            eprintln!("unknown command `{other}`\n{}", usage());
+            ExitCode::FAILURE
+        }
+    }
+}

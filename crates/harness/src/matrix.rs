@@ -1,0 +1,283 @@
+//! The experiment matrix — paper Table 2, scaled per DESIGN.md.
+
+use graphmine_algos::{AlgorithmKind, Domain};
+use graphmine_gen::PAPER_ALPHAS;
+use serde::{Deserialize, Serialize};
+
+/// One cell of the experiment matrix: an algorithm on one generated graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentCell {
+    /// The algorithm to run.
+    pub algorithm: AlgorithmKind,
+    /// Size parameter (`nedges`, `nrows`, or grid side — domain-dependent).
+    pub size: u64,
+    /// Power-law α where applicable.
+    pub alpha: Option<f64>,
+    /// Human-readable size label ("1e4").
+    pub size_label: String,
+    /// Generator seed (derived from size and α so the same graph is shared
+    /// by all algorithms of a domain).
+    pub seed: u64,
+}
+
+/// Scaled experiment profiles.
+///
+/// The paper runs nedges 10⁶–10⁹ (GA) / 10⁵–10⁸ (CF) on a 48-node cluster;
+/// the profiles below keep the 10× size ladder and the five α values but
+/// shift the absolute scale to a single machine. Behavior metrics are
+/// per-edge-normalized so the figures' shapes survive the shift.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScaleProfile {
+    /// Tiny: used by integration tests and CI (seconds).
+    Quick,
+    /// Default single-machine study (minutes).
+    Default,
+    /// Larger sweep for closer-to-paper dynamics (tens of minutes).
+    Full,
+}
+
+impl ScaleProfile {
+    /// Parse from a CLI string.
+    pub fn parse(s: &str) -> Option<ScaleProfile> {
+        match s {
+            "quick" => Some(ScaleProfile::Quick),
+            "default" => Some(ScaleProfile::Default),
+            "full" => Some(ScaleProfile::Full),
+            _ => None,
+        }
+    }
+
+    /// GA / Clustering edge-count ladder (paper: 10⁶–10⁹).
+    pub fn ga_sizes(&self) -> [u64; 4] {
+        match self {
+            ScaleProfile::Quick => [1_000, 2_000, 4_000, 8_000],
+            ScaleProfile::Default => [2_000, 20_000, 100_000, 400_000],
+            ScaleProfile::Full => [10_000, 100_000, 400_000, 1_000_000],
+        }
+    }
+
+    /// CF edge-count ladder (paper: 10⁵–10⁸, one decade below GA).
+    pub fn cf_sizes(&self) -> [u64; 4] {
+        match self {
+            ScaleProfile::Quick => [500, 1_000, 2_000, 4_000],
+            ScaleProfile::Default => [1_000, 5_000, 25_000, 100_000],
+            ScaleProfile::Full => [5_000, 25_000, 100_000, 400_000],
+        }
+    }
+
+    /// Jacobi matrix dimensions (paper: 5 000–20 000 rows).
+    pub fn jacobi_rows(&self) -> [u64; 4] {
+        match self {
+            ScaleProfile::Quick => [100, 200, 300, 400],
+            ScaleProfile::Default => [1_000, 2_000, 3_000, 4_000],
+            ScaleProfile::Full => [5_000, 10_000, 15_000, 20_000],
+        }
+    }
+
+    /// LBP grid sides (paper: 5 000–20 000-row pixel matrices; see
+    /// DESIGN.md substitution #4).
+    pub fn lbp_sides(&self) -> [u64; 4] {
+        match self {
+            ScaleProfile::Quick => [8, 12, 16, 20],
+            ScaleProfile::Default => [24, 32, 48, 64],
+            ScaleProfile::Full => [48, 64, 96, 128],
+        }
+    }
+
+    /// DD MRF edge counts — the paper's exact values (Table 2).
+    pub fn dd_edges(&self) -> [u64; 4] {
+        [1056, 1190, 1406, 1560]
+    }
+
+    /// Engine iteration cap for this profile.
+    pub fn max_iterations(&self) -> usize {
+        match self {
+            ScaleProfile::Quick => 60,
+            ScaleProfile::Default => 200,
+            ScaleProfile::Full => 400,
+        }
+    }
+
+    /// Monte-Carlo coverage sample count (paper: 10⁶).
+    pub fn coverage_samples(&self) -> usize {
+        match self {
+            ScaleProfile::Quick => 20_000,
+            ScaleProfile::Default => 200_000,
+            ScaleProfile::Full => 1_000_000,
+        }
+    }
+
+    /// Sample count for the expensive beam-searched top-100 analysis.
+    pub fn beam_samples(&self) -> usize {
+        match self {
+            ScaleProfile::Quick => 4_000,
+            ScaleProfile::Default => 20_000,
+            ScaleProfile::Full => 50_000,
+        }
+    }
+}
+
+fn size_label(size: u64) -> String {
+    if size >= 1000 && size.is_multiple_of(1000) {
+        let mut v = size;
+        let mut exp = 0;
+        while v.is_multiple_of(10) {
+            v /= 10;
+            exp += 1;
+        }
+        if v == 1 {
+            return format!("1e{exp}");
+        }
+        return format!("{v}e{exp}");
+    }
+    size.to_string()
+}
+
+/// Deterministic per-graph seed: all algorithms in a domain share the same
+/// generated graph for a given `(size, alpha)`, mirroring the paper's "each
+/// graph algorithm is executed on a variety of graphs" design.
+fn graph_seed(size: u64, alpha_milli: u64) -> u64 {
+    size.wrapping_mul(0x9E37_79B9)
+        .wrapping_add(alpha_milli)
+        .wrapping_mul(0x85EB_CA6B)
+}
+
+/// Build the full experiment matrix for a profile: every cell of paper
+/// Table 2.
+pub fn build_matrix(profile: ScaleProfile) -> Vec<ExperimentCell> {
+    let mut cells = Vec::new();
+    for alg in AlgorithmKind::ALL {
+        match alg.domain() {
+            Domain::GraphAnalytics | Domain::Clustering => {
+                for &size in &profile.ga_sizes() {
+                    for &alpha in &PAPER_ALPHAS {
+                        cells.push(ExperimentCell {
+                            algorithm: alg,
+                            size,
+                            alpha: Some(alpha),
+                            size_label: size_label(size),
+                            seed: graph_seed(size, (alpha * 1000.0) as u64),
+                        });
+                    }
+                }
+            }
+            Domain::CollaborativeFiltering => {
+                for &size in &profile.cf_sizes() {
+                    for &alpha in &PAPER_ALPHAS {
+                        cells.push(ExperimentCell {
+                            algorithm: alg,
+                            size,
+                            alpha: Some(alpha),
+                            size_label: size_label(size),
+                            seed: graph_seed(size, (alpha * 1000.0) as u64),
+                        });
+                    }
+                }
+            }
+            Domain::LinearSolver => {
+                for &size in &profile.jacobi_rows() {
+                    cells.push(ExperimentCell {
+                        algorithm: alg,
+                        size,
+                        alpha: None,
+                        size_label: size_label(size),
+                        seed: graph_seed(size, 0),
+                    });
+                }
+            }
+            Domain::GraphicalModel => {
+                let sizes = if alg == AlgorithmKind::Lbp {
+                    profile.lbp_sides()
+                } else {
+                    profile.dd_edges()
+                };
+                for &size in &sizes {
+                    cells.push(ExperimentCell {
+                        algorithm: alg,
+                        size,
+                        alpha: None,
+                        size_label: size_label(size),
+                        seed: graph_seed(size, 0),
+                    });
+                }
+            }
+        }
+    }
+    cells
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_has_paper_shape() {
+        let cells = build_matrix(ScaleProfile::Quick);
+        // 11 varied-structure algorithms × 20 graphs + 3 fixed-structure
+        // algorithms × 4 sizes = 220 + 12 = 232 cells.
+        assert_eq!(cells.len(), 11 * 20 + 3 * 4);
+    }
+
+    #[test]
+    fn ensemble_algorithms_have_twenty_cells_each() {
+        let cells = build_matrix(ScaleProfile::Default);
+        for alg in AlgorithmKind::ENSEMBLE {
+            let count = cells.iter().filter(|c| c.algorithm == alg).count();
+            assert_eq!(count, 20, "{alg}");
+        }
+    }
+
+    #[test]
+    fn shared_graph_seeds_within_domain() {
+        let cells = build_matrix(ScaleProfile::Default);
+        let cc: Vec<_> = cells
+            .iter()
+            .filter(|c| c.algorithm == AlgorithmKind::Cc)
+            .collect();
+        let pr: Vec<_> = cells
+            .iter()
+            .filter(|c| c.algorithm == AlgorithmKind::Pr)
+            .collect();
+        for (a, b) in cc.iter().zip(pr.iter()) {
+            assert_eq!(a.seed, b.seed);
+            assert_eq!(a.size, b.size);
+            assert_eq!(a.alpha, b.alpha);
+        }
+    }
+
+    #[test]
+    fn dd_edge_counts_match_paper_exactly() {
+        let cells = build_matrix(ScaleProfile::Full);
+        let dd: Vec<u64> = cells
+            .iter()
+            .filter(|c| c.algorithm == AlgorithmKind::Dd)
+            .map(|c| c.size)
+            .collect();
+        assert_eq!(dd, vec![1056, 1190, 1406, 1560]);
+    }
+
+    #[test]
+    fn size_labels_compact() {
+        assert_eq!(size_label(100_000), "1e5");
+        assert_eq!(size_label(400_000), "4e5");
+        assert_eq!(size_label(1056), "1056");
+        assert_eq!(size_label(64), "64");
+    }
+
+    #[test]
+    fn profile_parse() {
+        assert_eq!(ScaleProfile::parse("quick"), Some(ScaleProfile::Quick));
+        assert_eq!(ScaleProfile::parse("default"), Some(ScaleProfile::Default));
+        assert_eq!(ScaleProfile::parse("full"), Some(ScaleProfile::Full));
+        assert_eq!(ScaleProfile::parse("bogus"), None);
+    }
+
+    #[test]
+    fn profiles_keep_size_ladders_increasing() {
+        for p in [ScaleProfile::Quick, ScaleProfile::Default, ScaleProfile::Full] {
+            for ladder in [p.ga_sizes(), p.cf_sizes(), p.jacobi_rows(), p.lbp_sides()] {
+                assert!(ladder.windows(2).all(|w| w[0] < w[1]), "{ladder:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,306 @@
+//! Self-contained SVG rendering of the paper's figures.
+//!
+//! The text renderers in [`crate::figures`] carry the numbers; this module
+//! draws them — behavior-space scatter plots (Figure 13) and the ensemble
+//! spread/coverage curves (Figures 14–19) — as dependency-free SVG strings
+//! that `graphmine plot --out DIR` writes to disk.
+
+use crate::matrix::ScaleProfile;
+use graphmine_core::{
+    best_coverage_ensemble, best_spread_ensemble, coverage_upper_bound, spread_upper_bound,
+    BehaviorVector, CoverageSampler, Objective, RunDb, WorkMetric,
+};
+use std::fmt::Write as _;
+use std::path::Path;
+
+const WIDTH: f64 = 640.0;
+const HEIGHT: f64 = 480.0;
+const MARGIN: f64 = 56.0;
+
+/// Categorical palette (11 algorithm hues).
+const PALETTE: [&str; 11] = [
+    "#4477aa", "#66ccee", "#228833", "#ccbb44", "#ee6677", "#aa3377", "#bbbbbb", "#e07020",
+    "#117755", "#7755cc", "#555555",
+];
+
+fn svg_header(title: &str) -> String {
+    format!(
+        r##"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}" font-family="sans-serif">
+<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>
+<text x="{x}" y="24" text-anchor="middle" font-size="15">{title}</text>
+"##,
+        x = WIDTH / 2.0,
+    )
+}
+
+/// Map a data point to plot coordinates.
+fn scale(v: f64, lo: f64, hi: f64, out_lo: f64, out_hi: f64) -> f64 {
+    if hi <= lo {
+        return (out_lo + out_hi) / 2.0;
+    }
+    out_lo + (v - lo) / (hi - lo) * (out_hi - out_lo)
+}
+
+fn axes(s: &mut String, x_label: &str, y_label: &str) {
+    let x0 = MARGIN;
+    let y0 = HEIGHT - MARGIN;
+    let x1 = WIDTH - MARGIN / 2.0;
+    let y1 = MARGIN;
+    let _ = writeln!(
+        s,
+        r##"<line x1="{x0}" y1="{y0}" x2="{x1}" y2="{y0}" stroke="#333"/>
+<line x1="{x0}" y1="{y0}" x2="{x0}" y2="{y1}" stroke="#333"/>
+<text x="{xc}" y="{yb}" text-anchor="middle" font-size="12">{x_label}</text>
+<text x="16" y="{yc}" text-anchor="middle" font-size="12" transform="rotate(-90 16 {yc})">{y_label}</text>"##,
+        xc = (x0 + x1) / 2.0,
+        yb = HEIGHT - 12.0,
+        yc = (y0 + y1) / 2.0,
+    );
+}
+
+/// Scatter plot of two behavior dimensions, colored by algorithm —
+/// an image form of Figure 13's behavior space.
+pub fn behavior_scatter_svg(db: &RunDb, metric: WorkMetric, dim_x: usize, dim_y: usize) -> String {
+    assert!(dim_x < 4 && dim_y < 4, "behavior dims are 0..4");
+    const DIM_NAMES: [&str; 4] = ["UPDT", "WORK", "EREAD", "MSG"];
+    let behaviors = db.behaviors(metric);
+    let algorithms = db.algorithms();
+    let mut s = svg_header(&format!(
+        "Behavior space: {} vs {}",
+        DIM_NAMES[dim_x], DIM_NAMES[dim_y]
+    ));
+    axes(&mut s, DIM_NAMES[dim_x], DIM_NAMES[dim_y]);
+    for (i, b) in behaviors.iter().enumerate() {
+        let alg = &db.runs[i].algorithm;
+        let color_idx = algorithms.iter().position(|a| a == alg).unwrap_or(0);
+        let cx = scale(b.0[dim_x], 0.0, 1.0, MARGIN, WIDTH - MARGIN / 2.0);
+        let cy = scale(b.0[dim_y], 0.0, 1.0, HEIGHT - MARGIN, MARGIN);
+        let _ = writeln!(
+            s,
+            r#"<circle cx="{cx:.1}" cy="{cy:.1}" r="4" fill="{}" fill-opacity="0.7"><title>{alg} {}</title></circle>"#,
+            PALETTE[color_idx % PALETTE.len()],
+            db.runs[i].graph.label,
+        );
+    }
+    // Legend.
+    for (k, alg) in algorithms.iter().enumerate() {
+        let y = MARGIN + 16.0 * k as f64;
+        let _ = writeln!(
+            s,
+            r#"<circle cx="{x}" cy="{y}" r="4" fill="{}"/><text x="{tx}" y="{ty}" font-size="11">{alg}</text>"#,
+            PALETTE[k % PALETTE.len()],
+            x = WIDTH - 90.0,
+            tx = WIDTH - 80.0,
+            ty = y + 4.0,
+        );
+    }
+    s.push_str("</svg>\n");
+    s
+}
+
+/// Line chart of best spread or coverage vs ensemble size for several
+/// labelled pools — the image form of Figures 14–19 and 22–23.
+pub fn ensemble_curves_svg(
+    title: &str,
+    series: &[(String, Vec<(usize, f64)>)],
+    objective: Objective,
+) -> String {
+    let mut s = svg_header(title);
+    let y_label = match objective {
+        Objective::Spread => "best spread",
+        Objective::Coverage => "best coverage",
+    };
+    axes(&mut s, "ensemble size", y_label);
+    let max_x = series
+        .iter()
+        .flat_map(|(_, pts)| pts.iter().map(|p| p.0))
+        .max()
+        .unwrap_or(1) as f64;
+    let max_y = series
+        .iter()
+        .flat_map(|(_, pts)| pts.iter().map(|p| p.1))
+        .fold(0.0f64, f64::max)
+        .max(1e-9);
+    for (k, (label, pts)) in series.iter().enumerate() {
+        let color = PALETTE[k % PALETTE.len()];
+        let path: Vec<String> = pts
+            .iter()
+            .map(|&(x, y)| {
+                format!(
+                    "{:.1},{:.1}",
+                    scale(x as f64, 0.0, max_x, MARGIN, WIDTH - MARGIN / 2.0),
+                    scale(y, 0.0, max_y * 1.05, HEIGHT - MARGIN, MARGIN)
+                )
+            })
+            .collect();
+        let _ = writeln!(
+            s,
+            r#"<polyline points="{}" fill="none" stroke="{color}" stroke-width="2"/>"#,
+            path.join(" ")
+        );
+        let ly = MARGIN + 16.0 * k as f64;
+        let _ = writeln!(
+            s,
+            r#"<line x1="{x1}" y1="{ly}" x2="{x2}" y2="{ly}" stroke="{color}" stroke-width="3"/><text x="{tx}" y="{ty}" font-size="11">{label}</text>"#,
+            x1 = WIDTH - 150.0,
+            x2 = WIDTH - 130.0,
+            tx = WIDTH - 124.0,
+            ty = ly + 4.0,
+        );
+    }
+    s.push_str("</svg>\n");
+    s
+}
+
+/// Build the spread or coverage curve data for the standard pools
+/// (unrestricted / best single algorithm / upper bound).
+fn curve_series(
+    db: &RunDb,
+    profile: ScaleProfile,
+    metric: WorkMetric,
+    objective: Objective,
+) -> Vec<(String, Vec<(usize, f64)>)> {
+    const ENSEMBLE_ALGOS: [&str; 11] = [
+        "CC", "KC", "TC", "SSSP", "PR", "AD", "KM", "ALS", "NMF", "SGD", "SVD",
+    ];
+    let behaviors = db.behaviors(metric);
+    let sampler = CoverageSampler::new(profile.coverage_samples().min(50_000), 0xC0FFEE);
+    let sizes = [2usize, 5, 10, 15, 20];
+    let pool: Vec<BehaviorVector> = ENSEMBLE_ALGOS
+        .iter()
+        .flat_map(|a| db.indices_of_algorithm(a))
+        .map(|i| behaviors[i])
+        .collect();
+    let best = |vs: &[BehaviorVector], size: usize| -> f64 {
+        match objective {
+            Objective::Spread => best_spread_ensemble(vs, size).1,
+            Objective::Coverage => best_coverage_ensemble(vs, size, &sampler).1,
+        }
+    };
+    let unrestricted: Vec<(usize, f64)> = sizes.iter().map(|&n| (n, best(&pool, n))).collect();
+    let single: Vec<(usize, f64)> = sizes
+        .iter()
+        .map(|&n| {
+            let v = ENSEMBLE_ALGOS
+                .iter()
+                .map(|a| {
+                    let vs: Vec<BehaviorVector> = db
+                        .indices_of_algorithm(a)
+                        .into_iter()
+                        .map(|i| behaviors[i])
+                        .collect();
+                    best(&vs, n)
+                })
+                .fold(0.0, f64::max);
+            (n, v)
+        })
+        .collect();
+    let bound: Vec<(usize, f64)> = sizes
+        .iter()
+        .map(|&n| {
+            let b = match objective {
+                Objective::Spread => spread_upper_bound(n, 7),
+                Objective::Coverage => coverage_upper_bound(n, &sampler, 7),
+            };
+            (n, b)
+        })
+        .collect();
+    vec![
+        ("unrestricted".to_string(), unrestricted),
+        ("best 1-algo".to_string(), single),
+        ("upper bound".to_string(), bound),
+    ]
+}
+
+/// Write the full SVG set (behavior scatters + ensemble curves) into `dir`.
+/// Returns the written file names.
+pub fn write_plots(
+    db: &RunDb,
+    profile: ScaleProfile,
+    metric: WorkMetric,
+    dir: &Path,
+) -> std::io::Result<Vec<String>> {
+    std::fs::create_dir_all(dir)?;
+    let mut written = Vec::new();
+    for (x, y, name) in [
+        (0usize, 2usize, "behavior_updt_eread.svg"),
+        (1, 3, "behavior_work_msg.svg"),
+        (2, 3, "behavior_eread_msg.svg"),
+    ] {
+        std::fs::write(dir.join(name), behavior_scatter_svg(db, metric, x, y))?;
+        written.push(name.to_string());
+    }
+    for (objective, name, title) in [
+        (
+            Objective::Spread,
+            "ensemble_spread.svg",
+            "Best spread vs ensemble size (Figures 14/18)",
+        ),
+        (
+            Objective::Coverage,
+            "ensemble_coverage.svg",
+            "Best coverage vs ensemble size (Figures 15/19)",
+        ),
+    ] {
+        let series = curve_series(db, profile, metric, objective);
+        std::fs::write(dir.join(name), ensemble_curves_svg(title, &series, objective))?;
+        written.push(name.to_string());
+    }
+    Ok(written)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::run_matrix;
+    use std::sync::OnceLock;
+
+    fn db() -> &'static RunDb {
+        static DB: OnceLock<RunDb> = OnceLock::new();
+        DB.get_or_init(|| run_matrix(ScaleProfile::Quick, |_| ()))
+    }
+
+    #[test]
+    fn scatter_is_valid_svg_with_all_points() {
+        let svg = behavior_scatter_svg(db(), WorkMetric::LogicalOps, 0, 2);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        // One circle per run plus 14 legend dots.
+        let circles = svg.matches("<circle").count();
+        assert_eq!(circles, db().len() + db().algorithms().len());
+    }
+
+    #[test]
+    fn curves_contain_three_series() {
+        let series = curve_series(
+            db(),
+            ScaleProfile::Quick,
+            WorkMetric::LogicalOps,
+            Objective::Spread,
+        );
+        let svg = ensemble_curves_svg("test", &series, Objective::Spread);
+        assert_eq!(svg.matches("<polyline").count(), 3);
+        assert!(svg.contains("unrestricted"));
+        assert!(svg.contains("upper bound"));
+    }
+
+    #[test]
+    fn write_plots_creates_files() {
+        let dir = std::env::temp_dir().join("graphmine_plot_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let files = write_plots(db(), ScaleProfile::Quick, WorkMetric::LogicalOps, &dir)
+            .expect("writes");
+        assert_eq!(files.len(), 5);
+        for f in &files {
+            let content = std::fs::read_to_string(dir.join(f)).unwrap();
+            assert!(content.contains("</svg>"), "{f} incomplete");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    #[should_panic(expected = "behavior dims")]
+    fn scatter_rejects_bad_dims() {
+        let _ = behavior_scatter_svg(db(), WorkMetric::LogicalOps, 0, 7);
+    }
+}

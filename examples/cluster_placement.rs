@@ -1,0 +1,55 @@
+//! What would this computation cost on a cluster? The paper ran on 48
+//! nodes; this example uses the engine's partition-aware counters to show
+//! how vertex placement turns the EREAD/MSG behavior metrics into network
+//! traffic — and why partitioner choice is a genuine trade-off on
+//! scale-free graphs.
+//!
+//! ```text
+//! cargo run --release -p graphmine-examples --bin cluster_placement
+//! ```
+
+use graphmine_algos::pagerank::run_pagerank_with_config;
+use graphmine_engine::ExecutionConfig;
+use graphmine_gen::{powerlaw_graph, rmat_graph, PowerLawConfig, RmatConfig};
+use graphmine_graph::{
+    edge_cut_fraction, greedy_ldg_partition, hash_partition, partition_load_imbalance, Graph,
+};
+
+fn study(name: &str, graph: &Graph) {
+    println!("\n=== {name}: {} vertices, {} edges ===", graph.num_vertices(), graph.num_edges());
+    println!(
+        "{:<12} {:>6} {:>9} {:>10} {:>14}",
+        "partitioner", "parts", "edge-cut", "imbalance", "remote msgs/it"
+    );
+    let parts = 48u32; // the paper's cluster size
+    for (pname, labels) in [
+        ("hash", hash_partition(graph.num_vertices(), parts)),
+        ("greedy-ldg", greedy_ldg_partition(graph, parts)),
+    ] {
+        let cut = edge_cut_fraction(graph, &labels);
+        let imbalance = partition_load_imbalance(graph, &labels, parts);
+        let config = ExecutionConfig::with_max_iterations(40).with_partition(labels);
+        let (_, trace) = run_pagerank_with_config(graph, 1e-3, &config);
+        println!(
+            "{pname:<12} {parts:>6} {cut:>9.3} {imbalance:>10.2} {:>14.0}",
+            trace.remote_msg() + trace.remote_eread()
+        );
+    }
+}
+
+fn main() {
+    // Chung-Lu scale-free graph (the study's generator) ...
+    let chung_lu = powerlaw_graph(&PowerLawConfig::new(100_000, 2.2, 1));
+    study("Chung-Lu power-law (α = 2.2)", &chung_lu);
+
+    // ... and the Graph500 R-MAT family the paper's §6 discusses.
+    let rmat = rmat_graph(&RmatConfig::graph500(13, 2));
+    study("Graph500 R-MAT (scale 13)", &rmat);
+
+    println!(
+        "\nHash placement balances load but cuts ~98% of edges at 48 parts;\n\
+         greedy placement cuts fewer edges at the price of load imbalance —\n\
+         the communication the behavior metrics EREAD/MSG would put on the\n\
+         wire is a direct function of that choice (DESIGN.md substitution #1)."
+    );
+}

@@ -1,0 +1,139 @@
+//! Cross-validation of every GAS algorithm against its sequential
+//! reference on *generated* workloads (unit tests use hand-built graphs;
+//! these use the same generators the study runs on).
+
+use graphmine_algos::{adiam, cc, kcore, pagerank, sssp, tc};
+use graphmine_engine::ExecutionConfig;
+use graphmine_gen::{
+    gaussian_edge_weights, powerlaw_graph, PowerLawConfig,
+};
+use graphmine_graph::union_find_components;
+use proptest::prelude::*;
+
+fn cfg() -> ExecutionConfig {
+    ExecutionConfig::default()
+}
+
+#[test]
+fn cc_matches_union_find_on_powerlaw() {
+    for seed in 0..3u64 {
+        let g = powerlaw_graph(&PowerLawConfig::new(3_000, 2.5, seed));
+        let (labels, trace) = cc::run_cc(&g, &cfg());
+        assert_eq!(labels, union_find_components(&g), "seed {seed}");
+        assert!(trace.converged);
+    }
+}
+
+#[test]
+fn sssp_matches_dijkstra_on_powerlaw() {
+    for seed in 0..3u64 {
+        let g = powerlaw_graph(&PowerLawConfig::new(3_000, 2.25, seed));
+        let w = gaussian_edge_weights(g.num_edges(), seed);
+        let (dist, _) = sssp::run_sssp(&g, &w, 0, &cfg());
+        let reference = sssp::dijkstra(&g, &w, 0);
+        for (v, (a, b)) in dist.iter().zip(reference.iter()).enumerate() {
+            assert!(
+                (a - b).abs() < 1e-9 || (a.is_infinite() && b.is_infinite()),
+                "seed {seed} vertex {v}: {a} vs {b}"
+            );
+        }
+    }
+}
+
+#[test]
+fn tc_matches_reference_on_powerlaw() {
+    for seed in 0..3u64 {
+        let g = powerlaw_graph(&PowerLawConfig::new(4_000, 2.0, seed));
+        let (count, _) = tc::run_tc(&g, &cfg());
+        assert_eq!(count, tc::triangle_count_reference(&g), "seed {seed}");
+        // Scale-free graphs at alpha=2.0 have hubs, so triangles exist.
+        assert!(count > 0, "seed {seed}: no triangles in a hubby graph");
+    }
+}
+
+#[test]
+fn kcore_matches_reference_on_powerlaw() {
+    for seed in 0..3u64 {
+        let g = powerlaw_graph(&PowerLawConfig::new(3_000, 2.5, seed));
+        let (cores, _) = kcore::run_kcore(&g, &ExecutionConfig::with_max_iterations(10_000));
+        assert_eq!(cores, kcore::kcore_reference(&g), "seed {seed}");
+    }
+}
+
+#[test]
+fn pagerank_matches_power_iteration_on_powerlaw() {
+    let g = powerlaw_graph(&PowerLawConfig::new(2_000, 2.5, 5));
+    let (ranks, _) = pagerank::run_pagerank_with_tolerance(&g, 1e-10, &cfg());
+    let reference = pagerank::power_iteration(&g, 300);
+    for (a, b) in ranks.iter().zip(reference.iter()) {
+        assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+    }
+}
+
+#[test]
+fn adiam_within_factor_of_exact_on_powerlaw() {
+    let g = powerlaw_graph(&PowerLawConfig::new(2_000, 2.5, 6));
+    let exact = adiam::exact_diameter(&g);
+    let (est, _) = adiam::run_adiam(&g, &cfg());
+    // Scale-free graphs have tiny diameters; FM estimates land within a
+    // couple of hops.
+    assert!(
+        (est.diameter as i64 - exact as i64).unsigned_abs() as usize <= exact.max(3),
+        "estimated {} vs exact {exact}",
+        est.diameter
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// CC equals union-find for arbitrary generated structures.
+    #[test]
+    fn prop_cc_union_find(nedges in 200usize..1500, alpha in 2.0f64..3.0, seed in 0u64..1000) {
+        let g = powerlaw_graph(&PowerLawConfig::new(nedges, alpha, seed));
+        let (labels, _) = cc::run_cc(&g, &cfg());
+        prop_assert_eq!(labels, union_find_components(&g));
+    }
+
+    /// SSSP distances satisfy the triangle inequality over every edge.
+    #[test]
+    fn prop_sssp_relaxed(nedges in 200usize..1200, seed in 0u64..1000) {
+        let g = powerlaw_graph(&PowerLawConfig::new(nedges, 2.5, seed));
+        let w = gaussian_edge_weights(g.num_edges(), seed);
+        let (dist, _) = sssp::run_sssp(&g, &w, 0, &cfg());
+        for (e, &(u, v)) in g.edge_list().iter().enumerate() {
+            let (du, dv, we) = (dist[u as usize], dist[v as usize], w[e]);
+            if du.is_finite() {
+                prop_assert!(dv <= du + we + 1e-9, "edge {e} not relaxed");
+            }
+            if dv.is_finite() {
+                prop_assert!(du <= dv + we + 1e-9, "edge {e} not relaxed");
+            }
+        }
+    }
+
+    /// K-core numbers are monotone under the reference definition: a
+    /// vertex's core never exceeds its degree.
+    #[test]
+    fn prop_kcore_bounded_by_degree(nedges in 200usize..1200, seed in 0u64..1000) {
+        let g = powerlaw_graph(&PowerLawConfig::new(nedges, 2.5, seed));
+        let (cores, _) = kcore::run_kcore(&g, &ExecutionConfig::with_max_iterations(10_000));
+        for v in g.vertices() {
+            prop_assert!(cores[v as usize] as usize <= g.degree(v));
+        }
+    }
+
+    /// PageRank mass stays near n for undirected graphs.
+    #[test]
+    fn prop_pagerank_mass(nedges in 200usize..1000, seed in 0u64..1000) {
+        let g = powerlaw_graph(&PowerLawConfig::new(nedges, 2.5, seed));
+        let (ranks, _) = pagerank::run_pagerank_with_tolerance(&g, 1e-8, &cfg());
+        let isolated = g.vertices().filter(|&v| g.degree(v) == 0).count();
+        let total: f64 = ranks.iter().sum();
+        // Isolated vertices hold exactly (1 - d) of mass each, so the total
+        // undershoots n by d * isolated.
+        let expected = g.num_vertices() as f64 - 0.85 * isolated as f64;
+        prop_assert!((total - expected).abs() < 0.05 * expected + 1.0,
+            "total {} vs expected {}", total, expected);
+    }
+}

@@ -1,0 +1,5 @@
+//! Shared helpers for the cross-crate integration tests.
+//!
+//! This crate's `[[test]]` targets exercise the full pipeline:
+//! generators → GAS engine → behavior traces → behavior space →
+//! ensemble analysis → figure rendering.

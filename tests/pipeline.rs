@@ -1,0 +1,143 @@
+//! End-to-end pipeline: synthetic graph → GAS runs → behavior vectors →
+//! ensemble metrics, mirroring the paper's workflow at miniature scale.
+
+use graphmine_algos::{run_algorithm, AlgorithmKind, SuiteConfig, Workload};
+use graphmine_core::{
+    coverage, normalize_behaviors, spread, BehaviorVector, CoverageSampler, RawBehavior,
+    WorkMetric,
+};
+use graphmine_engine::{ExecutionConfig, RunTrace};
+
+fn config() -> SuiteConfig {
+    SuiteConfig {
+        exec: ExecutionConfig::with_max_iterations(60),
+        ..SuiteConfig::default()
+    }
+}
+
+fn ga_traces() -> Vec<(AlgorithmKind, RunTrace)> {
+    let workload = Workload::powerlaw(3_000, 2.5, 99);
+    [
+        AlgorithmKind::Cc,
+        AlgorithmKind::Kc,
+        AlgorithmKind::Tc,
+        AlgorithmKind::Sssp,
+        AlgorithmKind::Pr,
+        AlgorithmKind::Ad,
+        AlgorithmKind::Km,
+    ]
+    .into_iter()
+    .map(|alg| {
+        let t = run_algorithm(alg, &workload, &config()).expect("GA workload");
+        (alg, t)
+    })
+    .collect()
+}
+
+#[test]
+fn behavior_pipeline_produces_distinct_points() {
+    let traces = ga_traces();
+    let raw: Vec<RawBehavior> = traces
+        .iter()
+        .map(|(_, t)| RawBehavior::from_trace(t, WorkMetric::LogicalOps))
+        .collect();
+    let behaviors = normalize_behaviors(&raw);
+    // Every algorithm lands somewhere different: the pairwise distances are
+    // non-trivial for most pairs (the "broad behavior space" of §4.5).
+    let s = spread(&behaviors);
+    assert!(s > 0.1, "spread {s} suspiciously small");
+    // And all coordinates are in [0, 1].
+    for b in &behaviors {
+        assert!(b.0.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+}
+
+#[test]
+fn active_fraction_shapes_match_paper_section_4() {
+    let traces = ga_traces();
+    for (alg, trace) in &traces {
+        let af = trace.active_fraction();
+        match alg {
+            // AD and KM: constant full activity (Figures 1 and 5).
+            AlgorithmKind::Ad | AlgorithmKind::Km => {
+                assert!(
+                    af.iter().all(|&f| (f - 1.0).abs() < 1e-12),
+                    "{alg}: expected constant 1.0, got {af:?}"
+                );
+            }
+            // SSSP starts from a single source.
+            AlgorithmKind::Sssp => {
+                assert!(af[0] < 0.05, "{alg}: should start near zero: {af:?}");
+            }
+            // CC and PR start fully active.
+            AlgorithmKind::Cc | AlgorithmKind::Pr | AlgorithmKind::Kc => {
+                assert_eq!(af[0], 1.0, "{alg}: should start fully active");
+            }
+            // TC converges essentially immediately (§4.5).
+            AlgorithmKind::Tc => {
+                assert!(trace.num_iterations() <= 2, "{alg} took {af:?}");
+            }
+            _ => {}
+        }
+    }
+}
+
+#[test]
+fn convergence_rates_span_orders_of_magnitude() {
+    // §4.5: "the convergence rate differs a lot across domains, by up to
+    // three orders of magnitude (TC vs. DD)". At miniature scale we demand
+    // at least a 10x gap between the fastest and slowest converger.
+    let tc = run_algorithm(
+        AlgorithmKind::Tc,
+        &Workload::powerlaw(2_000, 2.5, 1),
+        &config(),
+    )
+    .unwrap();
+    let dd = run_algorithm(AlgorithmKind::Dd, &Workload::mrf(1056, 2), &config()).unwrap();
+    assert!(
+        dd.num_iterations() >= 10 * tc.num_iterations(),
+        "TC {} vs DD {}",
+        tc.num_iterations(),
+        dd.num_iterations()
+    );
+}
+
+#[test]
+fn ensemble_metrics_work_on_real_traces() {
+    let traces = ga_traces();
+    let raw: Vec<RawBehavior> = traces
+        .iter()
+        .map(|(_, t)| RawBehavior::from_trace(t, WorkMetric::LogicalOps))
+        .collect();
+    let behaviors = normalize_behaviors(&raw);
+    let sampler = CoverageSampler::new(10_000, 5);
+    let full_cov = coverage(&behaviors, &sampler);
+    let single_cov = coverage(&behaviors[..1], &sampler);
+    assert!(full_cov > single_cov, "{full_cov} vs {single_cov}");
+    let pair: Vec<BehaviorVector> = vec![behaviors[0], behaviors[1]];
+    assert!(spread(&behaviors) > 0.0);
+    assert!(coverage(&pair, &sampler) > 0.0);
+}
+
+#[test]
+fn graph_structure_affects_behavior() {
+    // §4: behavior metrics are sensitive to degree distribution. Compare KC
+    // on alpha = 2.0 vs alpha = 3.0 at equal size.
+    let cfg = config();
+    let a20 = run_algorithm(
+        AlgorithmKind::Kc,
+        &Workload::powerlaw(5_000, 2.0, 7),
+        &cfg,
+    )
+    .unwrap();
+    let a30 = run_algorithm(
+        AlgorithmKind::Kc,
+        &Workload::powerlaw(5_000, 3.0, 7),
+        &cfg,
+    )
+    .unwrap();
+    let b20 = RawBehavior::from_trace(&a20, WorkMetric::LogicalOps);
+    let b30 = RawBehavior::from_trace(&a30, WorkMetric::LogicalOps);
+    let delta = (b20.updt - b30.updt).abs() + (b20.msg - b30.msg).abs();
+    assert!(delta > 1e-3, "KC behavior insensitive to alpha: {b20:?} vs {b30:?}");
+}
