@@ -1,0 +1,90 @@
+//! Service throughput: jobs/sec through the full TCP + job-queue path,
+//! cold graph cache (every job regenerates its workload) vs warm (the LRU
+//! serves it). The gap quantifies the cache's win on repetitive benchmark
+//! traffic, where workload generation dominates small-job latency.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use graphmine_service::{client, Server, ServerHandle, ServiceConfig};
+use serde_json::json;
+use std::time::Duration;
+
+const JOBS_PER_ITER: u64 = 4;
+const GRAPH_EDGES: u64 = 20_000;
+
+fn start_server(cache_bytes: u64) -> ServerHandle {
+    Server::start(ServiceConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        http_workers: 4,
+        db_path: None,
+        cache_bytes,
+        default_timeout_ms: 60_000,
+        persist_every: 0,
+    })
+    .expect("bench server failed to bind")
+}
+
+fn stop_server(addr: &str, handle: ServerHandle) {
+    let (status, _) = client::request(addr, "POST", "/shutdown", None).expect("shutdown");
+    assert_eq!(status, 200);
+    handle.wait().expect("drain");
+}
+
+/// Submit a batch of PR jobs on one graph spec and wait for each; with a
+/// warm cache only the first job ever generates the graph, cold
+/// regenerates per job.
+fn run_batch(addr: &str, seed_base: u64) {
+    let mut ids = Vec::with_capacity(JOBS_PER_ITER as usize);
+    for _ in 0..JOBS_PER_ITER {
+        let (status, response) = client::request(
+            addr,
+            "POST",
+            "/jobs",
+            Some(&json!({
+                "algorithm": "PR",
+                "size": GRAPH_EDGES,
+                "seed": seed_base,
+                "max_iterations": 5,
+            })),
+        )
+        .expect("submit");
+        assert_eq!(status, 202, "submission failed: {response}");
+        ids.push(response["id"].as_u64().unwrap());
+    }
+    for id in ids {
+        let terminal =
+            client::wait_for_job(addr, id, Duration::from_secs(60)).expect("job stalled");
+        assert_eq!(terminal["state"], "done", "job {id}: {terminal}");
+    }
+}
+
+fn bench_service_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("service_throughput");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(20));
+    group.throughput(Throughput::Elements(JOBS_PER_ITER));
+
+    // Warm: generous budget, every iteration reuses one resident graph
+    // (primed once before measurement).
+    group.bench_function(BenchmarkId::new("warm_cache", GRAPH_EDGES), |b| {
+        let handle = start_server(256 * 1024 * 1024);
+        let addr = handle.addr().to_string();
+        run_batch(&addr, 42); // prime the cache
+        b.iter(|| run_batch(&addr, 42));
+        stop_server(&addr, handle);
+    });
+
+    // Cold: zero budget disables the cache, so every job pays full graph
+    // generation. Identical traffic otherwise.
+    group.bench_function(BenchmarkId::new("cold_cache", GRAPH_EDGES), |b| {
+        let handle = start_server(0);
+        let addr = handle.addr().to_string();
+        b.iter(|| run_batch(&addr, 42));
+        stop_server(&addr, handle);
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_service_throughput);
+criterion_main!(benches);

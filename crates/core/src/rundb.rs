@@ -196,16 +196,99 @@ impl RunDb {
         self.runs.iter().map(|r| r.iterations).collect()
     }
 
-    /// Serialize to pretty JSON at `path`.
+    /// Serialize to JSON at `path`, atomically: the JSON is written to a
+    /// temporary file in the same directory and renamed over the target, so
+    /// a crash mid-write can never leave a truncated database behind — the
+    /// previous version stays intact until the rename commits.
     pub fn save(&self, path: &Path) -> io::Result<()> {
         let json = serde_json::to_string(self).map_err(io::Error::other)?;
-        std::fs::write(path, json)
+        let tmp = tmp_path_for(path);
+        std::fs::write(&tmp, json)?;
+        std::fs::rename(&tmp, path).inspect_err(|_| {
+            let _ = std::fs::remove_file(&tmp);
+        })
     }
 
     /// Load from JSON at `path`.
     pub fn load(path: &Path) -> io::Result<RunDb> {
         let data = std::fs::read_to_string(path)?;
         serde_json::from_str(&data).map_err(io::Error::other)
+    }
+}
+
+/// Unique sibling path for the write-then-rename dance. Same directory as
+/// the target so the rename stays within one filesystem (atomic on POSIX).
+fn tmp_path_for(path: &Path) -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let pid = std::process::id();
+    let name = path
+        .file_name()
+        .map(|f| f.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "rundb".to_string());
+    path.with_file_name(format!("{name}.tmp.{pid}.{n}"))
+}
+
+/// A [`RunDb`] behind a mutex: many worker threads append finished runs
+/// while readers take consistent snapshots. Persistence goes through the
+/// atomic [`RunDb::save`], serialized under the same lock so two concurrent
+/// saves can never interleave their temp-file renames out of order.
+#[derive(Debug, Default)]
+pub struct SharedRunDb {
+    inner: std::sync::Mutex<RunDb>,
+}
+
+impl SharedRunDb {
+    /// Wrap an existing database.
+    pub fn new(db: RunDb) -> SharedRunDb {
+        SharedRunDb {
+            inner: std::sync::Mutex::new(db),
+        }
+    }
+
+    /// Lock helper: a poisoned mutex just means a writer panicked mid-push;
+    /// the `RunDb` itself is always structurally valid, so keep going.
+    fn lock(&self) -> std::sync::MutexGuard<'_, RunDb> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Number of runs currently recorded.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    /// Append a run, returning its index in the database.
+    pub fn append(&self, record: RunRecord) -> usize {
+        let mut db = self.lock();
+        db.push(record);
+        db.len() - 1
+    }
+
+    /// A consistent point-in-time copy of the whole database.
+    pub fn snapshot(&self) -> RunDb {
+        self.lock().clone()
+    }
+
+    /// Persist the current contents atomically. The lock is held across
+    /// serialization and rename, so the file always reflects a consistent
+    /// prefix of appends.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        self.lock().save(path)
+    }
+
+    /// Append then persist in one critical section.
+    pub fn append_and_save(&self, record: RunRecord, path: &Path) -> io::Result<usize> {
+        let mut db = self.lock();
+        db.push(record);
+        let index = db.len() - 1;
+        db.save(path)?;
+        Ok(index)
     }
 }
 
@@ -287,6 +370,77 @@ mod tests {
         db.save(&path).unwrap();
         let back = RunDb::load(&path).unwrap();
         assert_eq!(db, back);
+    }
+
+    #[test]
+    fn save_leaves_no_temp_files_behind() {
+        let db = sample_db();
+        let dir = std::env::temp_dir().join("graphmine_rundb_tmpclean_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("db.json");
+        db.save(&path).unwrap();
+        db.save(&path).unwrap();
+        let leftovers: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files left behind: {leftovers:?}");
+    }
+
+    #[test]
+    fn partial_write_crash_never_corrupts_existing_db() {
+        // Simulate a crash mid-save: a good database exists on disk, then a
+        // writer gets as far as dumping partial JSON into a temp sibling and
+        // dies before the rename. The original file must still load intact.
+        let db = sample_db();
+        let dir = std::env::temp_dir().join("graphmine_rundb_crash_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("db.json");
+        db.save(&path).unwrap();
+        // The "crash": a partial write to the same temp naming scheme the
+        // real save uses, never renamed.
+        let orphan = tmp_path_for(&path);
+        std::fs::write(&orphan, "{\"runs\":[{\"algorithm\":\"CC\",\"dom").unwrap();
+        let back = RunDb::load(&path).unwrap();
+        assert_eq!(db, back);
+        std::fs::remove_file(&orphan).unwrap();
+    }
+
+    #[test]
+    fn shared_rundb_threaded_appends_all_land() {
+        let shared = std::sync::Arc::new(SharedRunDb::new(RunDb::new()));
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let shared = std::sync::Arc::clone(&shared);
+                std::thread::spawn(move || {
+                    for i in 0..25 {
+                        shared.append(record("CC", 100 + t * 100, 2.0, 1 + i));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(shared.len(), 200);
+        let snap = shared.snapshot();
+        assert_eq!(snap.len(), 200);
+    }
+
+    #[test]
+    fn shared_rundb_append_and_save_round_trips() {
+        let dir = std::env::temp_dir().join("graphmine_rundb_shared_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("db.json");
+        let shared = SharedRunDb::new(RunDb::new());
+        let i0 = shared.append_and_save(record("CC", 100, 2.0, 5), &path).unwrap();
+        let i1 = shared.append_and_save(record("PR", 100, 2.0, 3), &path).unwrap();
+        assert_eq!((i0, i1), (0, 1));
+        let back = RunDb::load(&path).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back, shared.snapshot());
     }
 
     #[test]

@@ -10,6 +10,8 @@ use crate::program::{ActiveInit, ApplyInfo, EdgeSet, VertexProgram};
 use crate::trace::{IterationStats, RunTrace};
 use graphmine_graph::{Direction, Graph, VertexId};
 use rayon::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Execution knobs.
@@ -29,6 +31,14 @@ pub struct ExecutionConfig {
     /// would generate on a distributed deployment like the paper's 48-node
     /// cluster.
     pub partition: Option<std::sync::Arc<[u32]>>,
+    /// Cooperative cancellation: checked once per iteration boundary. When
+    /// the flag becomes true the run stops before its next iteration and
+    /// the trace is returned with `converged = false` and whatever
+    /// iterations completed. Cancellation is iteration-granular — a single
+    /// long iteration cannot be interrupted mid-phase. Used by the
+    /// benchmark-job service to enforce wall-clock timeouts and client
+    /// cancellation on long runs.
+    pub cancel: Option<Arc<AtomicBool>>,
 }
 
 impl Default for ExecutionConfig {
@@ -38,6 +48,7 @@ impl Default for ExecutionConfig {
             sequential: false,
             skip_apply_timing: false,
             partition: None,
+            cancel: None,
         }
     }
 }
@@ -61,6 +72,21 @@ impl ExecutionConfig {
     pub fn with_partition(mut self, partition: Vec<u32>) -> ExecutionConfig {
         self.partition = Some(partition.into());
         self
+    }
+
+    /// Attach a cooperative cancellation flag. Setting the flag (from any
+    /// thread) stops the run at the next iteration boundary.
+    pub fn with_cancel_flag(mut self, flag: Arc<AtomicBool>) -> ExecutionConfig {
+        self.cancel = Some(flag);
+        self
+    }
+
+    /// Whether an attached cancellation flag has been raised.
+    #[inline]
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel
+            .as_ref()
+            .is_some_and(|f| f.load(Ordering::Relaxed))
     }
 }
 
@@ -167,6 +193,9 @@ impl<'g, P: VertexProgram> SyncEngine<'g, P> {
         let mut next_states = self.states.clone();
 
         for iter in 0..config.max_iterations {
+            if config.is_cancelled() {
+                break;
+            }
             let active_count = active.iter().filter(|&&a| a).count() as u64;
             if active_count == 0 {
                 trace.converged = true;
@@ -744,6 +773,70 @@ mod tests {
         assert_eq!(trace.iterations[0].active, 1);
         assert!(trace.iterations[1].active >= 1);
         assert!(trace.converged);
+    }
+
+    #[test]
+    fn pre_set_cancel_flag_stops_before_first_iteration() {
+        let g = path(32);
+        let states: Vec<u32> = (0..32).rev().collect();
+        let flag = Arc::new(AtomicBool::new(true));
+        let cfg = ExecutionConfig::default().with_cancel_flag(flag);
+        let engine = SyncEngine::new(&g, MinLabel, states, vec![(); 31]);
+        let (_, trace) = engine.run(&cfg);
+        assert!(!trace.converged);
+        assert_eq!(trace.num_iterations(), 0);
+    }
+
+    #[test]
+    fn cancel_flag_stops_run_mid_flight() {
+        /// Halts after the iteration in which the flag was raised.
+        struct FlagAfter {
+            flag: Arc<AtomicBool>,
+            after: usize,
+        }
+        impl VertexProgram for FlagAfter {
+            type State = u32;
+            type EdgeData = ();
+            type Accum = ();
+            type Message = ();
+            type Global = NoGlobal;
+            fn gather_edges(&self) -> EdgeSet {
+                EdgeSet::None
+            }
+            fn scatter_edges(&self) -> EdgeSet {
+                EdgeSet::None
+            }
+            fn always_active(&self) -> bool {
+                true
+            }
+            fn apply(
+                &self,
+                _v: VertexId,
+                _state: &mut u32,
+                _acc: Option<()>,
+                _msg: Option<&()>,
+                _g: &NoGlobal,
+                _info: &mut ApplyInfo,
+            ) {
+            }
+            fn before_iteration(&self, iter: usize, _states: &[u32], _g: &mut NoGlobal) {
+                if iter == self.after {
+                    self.flag.store(true, Ordering::Relaxed);
+                }
+            }
+        }
+        let g = path(8);
+        let flag = Arc::new(AtomicBool::new(false));
+        let program = FlagAfter {
+            flag: flag.clone(),
+            after: 2,
+        };
+        let cfg = ExecutionConfig::default().with_cancel_flag(flag);
+        let engine = SyncEngine::new(&g, program, vec![0; 8], vec![(); 7]);
+        let (_, trace) = engine.run(&cfg);
+        // Flag raised while iteration 2 ran, so iteration 3 never starts.
+        assert!(!trace.converged);
+        assert_eq!(trace.num_iterations(), 3);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! graphmine export  [--profile ...] [--db PATH]   # run rows as CSV
 //! graphmine cluster                                # partition/remote-comm study
 //! graphmine plot    [--db PATH] [--out DIR]        # SVG figures
+//! graphmine serve   [--addr HOST:PORT] [--workers N] [--cache-mb MB] [--db PATH]
 //! graphmine list
 //! ```
 //!
@@ -32,6 +33,9 @@ struct Args {
     work: WorkMetric,
     input: Option<PathBuf>,
     out: PathBuf,
+    addr: String,
+    workers: usize,
+    cache_mb: u64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -42,6 +46,9 @@ fn parse_args() -> Result<Args, String> {
     let mut work = WorkMetric::WallNanos;
     let mut input: Option<PathBuf> = None;
     let mut out = PathBuf::from("plots");
+    let mut addr = String::from("127.0.0.1:7745");
+    let mut workers = 4usize;
+    let mut cache_mb = 256u64;
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--profile" => {
@@ -66,6 +73,24 @@ fn parse_args() -> Result<Args, String> {
                     _ => return Err(format!("unknown work metric `{v}` (wall|ops)")),
                 };
             }
+            "--addr" => {
+                addr = args.next().ok_or("--addr needs a value")?;
+            }
+            "--workers" => {
+                let v = args.next().ok_or("--workers needs a value")?;
+                workers = v
+                    .parse()
+                    .map_err(|_| format!("unparseable worker count `{v}`"))?;
+                if workers == 0 {
+                    return Err("--workers must be at least 1".to_string());
+                }
+            }
+            "--cache-mb" => {
+                let v = args.next().ok_or("--cache-mb needs a value")?;
+                cache_mb = v
+                    .parse()
+                    .map_err(|_| format!("unparseable cache budget `{v}`"))?;
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -76,13 +101,17 @@ fn parse_args() -> Result<Args, String> {
         work,
         input,
         out,
+        addr,
+        workers,
+        cache_mb,
     })
 }
 
 fn usage() -> String {
     format!(
         "usage: graphmine <command> [--profile quick|default|full] [--db PATH] [--work wall|ops] [--input EDGELIST]\n\
-         commands: run, all, list, predict, analyze, export, cluster, correlations, plot, {}",
+         \x20      graphmine serve [--addr HOST:PORT] [--workers N] [--cache-mb MB] [--db PATH]\n\
+         commands: run, all, list, predict, analyze, export, cluster, correlations, plot, serve, {}",
         FIGURE_IDS.join(", ")
     )
 }
@@ -167,6 +196,38 @@ fn main() -> ExitCode {
         "cluster" => {
             println!("{}", render_cluster(100_000, 2.5, 7));
             ExitCode::SUCCESS
+        }
+        "serve" => {
+            let config = graphmine_service::ServiceConfig {
+                addr: args.addr.clone(),
+                workers: args.workers,
+                db_path: Some(args.db.clone()),
+                cache_bytes: args.cache_mb * 1024 * 1024,
+                ..graphmine_service::ServiceConfig::default()
+            };
+            match graphmine_service::Server::start(config) {
+                Ok(handle) => {
+                    println!(
+                        "graphmine-service listening on {} ({} workers, {} MiB graph cache, db {})",
+                        handle.addr(),
+                        args.workers,
+                        args.cache_mb,
+                        args.db.display()
+                    );
+                    println!("POST /shutdown to drain and exit");
+                    match handle.wait() {
+                        Ok(()) => ExitCode::SUCCESS,
+                        Err(e) => {
+                            eprintln!("failed to persist run database: {e}");
+                            ExitCode::FAILURE
+                        }
+                    }
+                }
+                Err(e) => {
+                    eprintln!("failed to start server on {}: {e}", args.addr);
+                    ExitCode::FAILURE
+                }
+            }
         }
         "export" => {
             let db = match run_or_load(args.profile, &args.db, |line| eprintln!("{line}")) {

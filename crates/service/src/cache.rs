@@ -1,0 +1,271 @@
+//! The graph cache: repeated jobs on the same synthetic workload skip
+//! regeneration.
+//!
+//! Workload generation (power-law sampling, CSR construction, Gaussian
+//! weights) dominates small-job latency, and benchmark traffic is heavily
+//! repetitive — sweeps re-run many algorithms over the same few graph
+//! specs. Entries are shared as `Arc<Workload>` so eviction never
+//! invalidates a running job, hits take only the `parking_lot` read lock
+//! (recency is tracked with a per-entry atomic, not a write lock), and an
+//! LRU sweep under the write lock keeps the estimated resident bytes under
+//! a configurable budget.
+
+use graphmine_algos::Workload;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Identity of a generatable workload: variant, size parameter, power-law
+/// exponent (milli-units; 0 when the variant has none), generator seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Workload variant discriminant (power-law, ratings, matrix, grid, mrf).
+    pub class: u8,
+    /// Domain size parameter (edges, rows, or grid side).
+    pub size: u64,
+    /// `alpha * 1000` rounded, or 0 for variants without an exponent.
+    pub alpha_milli: u64,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+#[derive(Debug)]
+struct CacheEntry {
+    workload: Arc<Workload>,
+    bytes: u64,
+    last_used: AtomicU64,
+}
+
+/// Byte-budgeted LRU cache of generated workloads.
+#[derive(Debug)]
+pub struct GraphCache {
+    budget: u64,
+    clock: AtomicU64,
+    resident: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inner: RwLock<HashMap<CacheKey, CacheEntry>>,
+}
+
+impl GraphCache {
+    /// Create a cache with the given byte budget. A budget of 0 disables
+    /// caching entirely: every lookup builds fresh and nothing is retained.
+    pub fn new(budget_bytes: u64) -> GraphCache {
+        GraphCache {
+            budget: budget_bytes,
+            clock: AtomicU64::new(0),
+            resident: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            inner: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses so far (lookups that had to build).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Estimated bytes of all resident entries.
+    pub fn resident_bytes(&self) -> u64 {
+        self.resident.load(Ordering::Relaxed)
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Fetch the workload for `key`, building it with `build` on a miss.
+    /// Returns the shared workload and whether this was a hit. The build
+    /// runs outside any lock, so a slow generation never blocks hits on
+    /// other keys; if two threads race to build the same key, the first
+    /// insert wins and the loser's workload is discarded.
+    pub fn get_or_build<F>(&self, key: CacheKey, build: F) -> (Arc<Workload>, bool)
+    where
+        F: FnOnce() -> Workload,
+    {
+        if self.budget == 0 {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return (Arc::new(build()), false);
+        }
+        {
+            let map = self.inner.read();
+            if let Some(entry) = map.get(&key) {
+                entry.last_used.store(self.tick(), Ordering::Relaxed);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return (Arc::clone(&entry.workload), true);
+            }
+        }
+
+        let workload = Arc::new(build());
+        let bytes = workload_bytes(&workload);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+
+        let mut map = self.inner.write();
+        if let Some(entry) = map.get(&key) {
+            // Lost a build race; still a miss (we paid for a build), but
+            // converge on the shared copy.
+            entry.last_used.store(self.tick(), Ordering::Relaxed);
+            return (Arc::clone(&entry.workload), false);
+        }
+        // Evict least-recently-used entries until the newcomer fits. An
+        // entry larger than the whole budget is admitted alone — the job
+        // needs the workload regardless, so refusing would only disable
+        // sharing for exactly the graphs that are most expensive to rebuild.
+        let mut resident = self.resident.load(Ordering::Relaxed);
+        while resident + bytes > self.budget && !map.is_empty() {
+            let lru_key = map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used.load(Ordering::Relaxed))
+                .map(|(k, _)| *k);
+            match lru_key {
+                Some(k) => {
+                    if let Some(evicted) = map.remove(&k) {
+                        resident = resident.saturating_sub(evicted.bytes);
+                    }
+                }
+                None => break,
+            }
+        }
+        self.resident.store(resident + bytes, Ordering::Relaxed);
+        map.insert(
+            key,
+            CacheEntry {
+                workload: Arc::clone(&workload),
+                bytes,
+                last_used: AtomicU64::new(self.tick()),
+            },
+        );
+        (workload, false)
+    }
+}
+
+/// Estimated resident size of a workload. This is a budget heuristic, not
+/// an allocator audit: topology dominates (edge list + CSR adjacency ≈ 24
+/// bytes/edge, offsets ≈ 8 bytes/vertex, doubled for directed graphs'
+/// reverse adjacency), plus the variant's dense per-vertex / per-edge
+/// payloads.
+pub fn workload_bytes(workload: &Workload) -> u64 {
+    let graph = workload.graph();
+    let v = graph.num_vertices() as u64;
+    let e = graph.num_edges() as u64;
+    let adjacency_copies = if graph.is_directed() { 2 } else { 1 };
+    let topology = e * 16 + adjacency_copies * (e * 8 + v * 8);
+    let payload = match workload {
+        // Per-edge f64 weights + per-vertex [f64; 2] points.
+        Workload::PowerLaw { .. } => e * 8 + v * 16,
+        // Per-edge f64 ratings.
+        Workload::Ratings(_) => e * 8,
+        // Off-diagonal per edge; diagonal + rhs + iterate per row.
+        Workload::Matrix(_) => e * 8 + v * 24,
+        // Per-vertex label priors/beliefs (small label counts).
+        Workload::Grid(_) | Workload::Mrf(_) => v * 32 + e * 8,
+    };
+    topology + payload
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(seed: u64) -> CacheKey {
+        CacheKey {
+            class: 0,
+            size: 200,
+            alpha_milli: 2500,
+            seed,
+        }
+    }
+
+    fn build(seed: u64) -> Workload {
+        Workload::powerlaw(200, 2.5, seed)
+    }
+
+    #[test]
+    fn second_lookup_is_a_hit_and_shares_the_graph() {
+        let cache = GraphCache::new(64 * 1024 * 1024);
+        let (first, hit1) = cache.get_or_build(key(1), || build(1));
+        let (second, hit2) = cache.get_or_build(key(1), || build(1));
+        assert!(!hit1);
+        assert!(hit2);
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn zero_budget_disables_caching() {
+        let cache = GraphCache::new(0);
+        let (_, hit1) = cache.get_or_build(key(1), || build(1));
+        let (_, hit2) = cache.get_or_build(key(1), || build(1));
+        assert!(!hit1);
+        assert!(!hit2);
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn lru_eviction_respects_budget_and_recency() {
+        let one = build(1);
+        let entry_bytes = workload_bytes(&one);
+        // Room for two entries, not three.
+        let cache = GraphCache::new(entry_bytes * 2 + entry_bytes / 2);
+        cache.get_or_build(key(1), || build(1));
+        cache.get_or_build(key(2), || build(2));
+        // Touch key 1 so key 2 is the LRU when key 3 arrives.
+        let (_, hit) = cache.get_or_build(key(1), || build(1));
+        assert!(hit);
+        cache.get_or_build(key(3), || build(3));
+        assert_eq!(cache.len(), 2);
+        let (_, hit1) = cache.get_or_build(key(1), || build(1));
+        assert!(hit1, "recently used entry was evicted");
+        let (_, hit2) = cache.get_or_build(key(2), || build(2));
+        assert!(!hit2, "LRU entry survived eviction");
+    }
+
+    #[test]
+    fn resident_bytes_tracks_entries() {
+        let cache = GraphCache::new(u64::MAX);
+        assert_eq!(cache.resident_bytes(), 0);
+        cache.get_or_build(key(1), || build(1));
+        let after_one = cache.resident_bytes();
+        assert!(after_one > 0);
+        cache.get_or_build(key(2), || build(2));
+        assert!(cache.resident_bytes() > after_one);
+    }
+
+    #[test]
+    fn concurrent_lookups_converge_on_one_copy() {
+        let cache = Arc::new(GraphCache::new(64 * 1024 * 1024));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                std::thread::spawn(move || cache.get_or_build(key(7), || build(7)).0)
+            })
+            .collect();
+        let copies: Vec<Arc<Workload>> =
+            handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(cache.len(), 1);
+        for c in &copies[1..] {
+            assert!(Arc::ptr_eq(&copies[0], c));
+        }
+        assert_eq!(cache.hits() + cache.misses(), 8);
+    }
+}

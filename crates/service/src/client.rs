@@ -1,0 +1,72 @@
+//! A tiny blocking JSON client for the service's HTTP subset — used by
+//! the integration tests, the bench harness, and anything that wants to
+//! drive a server programmatically without shelling out to curl.
+
+use serde_json::Value;
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Issue one request, return `(status, parsed body)`. The body is
+/// `Value::Null` when the response has none.
+pub fn request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&Value>,
+) -> io::Result<(u16, Value)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+    let payload = body.map(|b| b.to_string()).unwrap_or_default();
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        payload.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(payload.as_bytes())?;
+    stream.flush()?;
+
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response)?;
+    let header_end = response
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "malformed response"))?;
+    let head = std::str::from_utf8(&response[..header_end])
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 response header"))?;
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "missing status code"))?;
+    let body_bytes = &response[header_end + 4..];
+    let value = if body_bytes.is_empty() {
+        Value::Null
+    } else {
+        serde_json::from_slice(body_bytes).map_err(io::Error::other)?
+    };
+    Ok((status, value))
+}
+
+/// Poll `GET /jobs/:id` until the job reaches a terminal state, returning
+/// its final status document.
+pub fn wait_for_job(addr: &str, id: u64, timeout: Duration) -> io::Result<Value> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        let (status, v) = request(addr, "GET", &format!("/jobs/{id}"), None)?;
+        if status == 200 {
+            let state = v.get("state").and_then(Value::as_str).unwrap_or("");
+            if matches!(state, "done" | "failed" | "cancelled" | "timed_out") {
+                return Ok(v);
+            }
+        }
+        if Instant::now() >= deadline {
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                format!("job {id} not terminal within {timeout:?}"),
+            ));
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}

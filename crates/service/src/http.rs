@@ -1,0 +1,221 @@
+//! A deliberately minimal HTTP/1.1 subset, hand-rolled on blocking
+//! `TcpStream`s because the dependency set has no async runtime or HTTP
+//! crate.
+//!
+//! Supported: one request per connection (`Connection: close` is always
+//! sent back), request bodies delimited by `Content-Length`, JSON
+//! responses. Not supported: keep-alive, chunked transfer encoding,
+//! percent-decoding, multi-line headers. Every standard HTTP client
+//! (curl, reqwest, browsers) can speak this subset.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+/// Header section size cap: a well-formed request to this service fits in
+/// a fraction of this; anything larger is garbage or abuse.
+pub const MAX_HEADER_BYTES: usize = 16 * 1024;
+/// Body size cap. Job submissions are a few hundred bytes; ensemble-search
+/// requests are smaller still.
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// A parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// Request method, as sent ("GET", "POST", …).
+    pub method: String,
+    /// Path component of the request target, without the query string.
+    pub path: String,
+    /// Query string after `?`, if any (not percent-decoded).
+    pub query: Option<String>,
+    /// Raw body bytes (`Content-Length` of them).
+    pub body: Vec<u8>,
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+fn find_subsequence(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack
+        .windows(needle.len())
+        .position(|window| window == needle)
+}
+
+/// Read and parse one request from the stream. Blocks until the header
+/// terminator and the full `Content-Length` body have arrived (per-socket
+/// read timeouts bound how long a stalled client can hold a handler).
+pub fn read_request(stream: &mut TcpStream) -> io::Result<Request> {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    let header_end = loop {
+        if let Some(pos) = find_subsequence(&buf, b"\r\n\r\n") {
+            break pos;
+        }
+        if buf.len() > MAX_HEADER_BYTES {
+            return Err(bad("header section too large"));
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed before end of header",
+            ));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+
+    let header = std::str::from_utf8(&buf[..header_end])
+        .map_err(|_| bad("header is not valid UTF-8"))?;
+    let mut lines = header.split("\r\n");
+    let request_line = lines.next().ok_or_else(|| bad("empty request"))?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| bad("missing method"))?
+        .to_string();
+    let target = parts.next().ok_or_else(|| bad("missing request target"))?;
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), Some(q.to_string())),
+        None => (target.to_string(), None),
+    };
+
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| bad("unparseable Content-Length"))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(bad("body too large"));
+    }
+
+    let mut body = buf[header_end + 4..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed before end of body",
+            ));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+
+    Ok(Request {
+        method,
+        path,
+        query,
+        body,
+    })
+}
+
+fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Write a JSON response and flush. Always closes the connection from the
+/// protocol's point of view (`Connection: close`).
+pub fn write_json(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &serde_json::Value,
+) -> io::Result<()> {
+    let payload = body.to_string();
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        status,
+        reason_phrase(status),
+        payload.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(payload.as_bytes())?;
+    stream.flush()
+}
+
+/// Parse the value of one `key=value` pair out of a query string. No
+/// percent-decoding — the service's query parameters are plain tokens.
+pub fn query_param<'q>(query: Option<&'q str>, key: &str) -> Option<&'q str> {
+    query?
+        .split('&')
+        .find_map(|kv| kv.split_once('=').filter(|(k, _)| *k == key))
+        .map(|(_, v)| v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// Run `read_request` against bytes pushed through a real socket pair.
+    fn parse(raw: &[u8]) -> io::Result<Request> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_vec();
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(&raw).unwrap();
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        let req = read_request(&mut stream);
+        writer.join().unwrap();
+        req
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let req = parse(b"GET /jobs/3?work=wall HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/jobs/3");
+        assert_eq!(req.query.as_deref(), Some("work=wall"));
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_post_with_content_length_body() {
+        let req = parse(
+            b"POST /jobs HTTP/1.1\r\nContent-Type: application/json\r\nContent-Length: 18\r\n\r\n{\"algorithm\":\"PR\"}",
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/jobs");
+        assert_eq!(req.body, b"{\"algorithm\":\"PR\"}");
+    }
+
+    #[test]
+    fn rejects_truncated_body() {
+        let err = parse(b"POST /jobs HTTP/1.1\r\nContent-Length: 50\r\n\r\n{\"short\"").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn rejects_oversized_content_length() {
+        let raw = format!(
+            "POST /jobs HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(parse(raw.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn query_param_lookup() {
+        assert_eq!(query_param(Some("work=wall&size=5"), "work"), Some("wall"));
+        assert_eq!(query_param(Some("work=wall&size=5"), "size"), Some("5"));
+        assert_eq!(query_param(Some("work=wall"), "missing"), None);
+        assert_eq!(query_param(None, "work"), None);
+    }
+}

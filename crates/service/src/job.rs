@@ -1,0 +1,344 @@
+//! Benchmark jobs: the request wire format, the lifecycle state machine,
+//! and the mapping from a request to a generatable workload.
+
+use crate::cache::CacheKey;
+use graphmine_algos::{AlgorithmKind, Domain, Workload};
+use serde::{Deserialize, Serialize};
+use serde_json::json;
+use std::sync::atomic::AtomicBool;
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
+
+/// A job submission (`POST /jobs` body).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JobRequest {
+    /// Algorithm abbreviation, case-insensitive ("PR", "sssp", …).
+    pub algorithm: String,
+    /// Domain size parameter: edge count for power-law/ratings/MRF inputs,
+    /// row count for matrices, grid side for LBP.
+    #[serde(default = "default_size")]
+    pub size: u64,
+    /// Power-law exponent for degree-distribution workloads (default 2.5).
+    #[serde(default)]
+    pub alpha: Option<f64>,
+    /// Generator seed.
+    #[serde(default)]
+    pub seed: u64,
+    /// Scale profile ("quick" | "default" | "full") selecting the iteration
+    /// cap; overridden by `max_iterations` when both are given.
+    #[serde(default)]
+    pub profile: Option<String>,
+    /// Explicit engine iteration cap.
+    #[serde(default)]
+    pub max_iterations: Option<usize>,
+    /// Wall-clock timeout in milliseconds; the server default applies when
+    /// absent.
+    #[serde(default)]
+    pub timeout_ms: Option<u64>,
+}
+
+fn default_size() -> u64 {
+    1000
+}
+
+/// Job lifecycle: `queued → running → done | failed | cancelled | timed_out`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum JobState {
+    /// Accepted, waiting for a worker.
+    #[default]
+    Queued,
+    /// A worker is executing it.
+    Running,
+    /// Finished; its run record is in the database.
+    Done,
+    /// Panicked or rejected (e.g. algorithm/workload mismatch).
+    Failed,
+    /// Stopped by `POST /jobs/:id/cancel`.
+    Cancelled,
+    /// Stopped by the watchdog at its wall-clock deadline.
+    TimedOut,
+}
+
+impl JobState {
+    /// Wire name of the state.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+            JobState::Cancelled => "cancelled",
+            JobState::TimedOut => "timed_out",
+        }
+    }
+
+    /// Whether the job can no longer change state.
+    pub fn is_terminal(&self) -> bool {
+        !matches!(self, JobState::Queued | JobState::Running)
+    }
+}
+
+/// Mutable per-job bookkeeping, behind the job's mutex.
+#[derive(Debug, Default)]
+pub struct JobStatus {
+    /// Current lifecycle state.
+    pub state: JobState,
+    /// Failure description, when `state == Failed`.
+    pub error: Option<String>,
+    /// Iterations the engine executed (terminal states only).
+    pub iterations: usize,
+    /// Whether the run converged before its cap.
+    pub converged: bool,
+    /// Whether the workload came out of the graph cache.
+    pub cache_hit: bool,
+    /// Index of the produced record in the run database (`Done` only).
+    pub run_index: Option<usize>,
+    /// Milliseconds spent queued before a worker picked the job up.
+    pub queue_ms: f64,
+    /// Milliseconds of execution (workload build + run).
+    pub run_ms: f64,
+}
+
+/// One submitted job.
+#[derive(Debug)]
+pub struct Job {
+    /// Server-assigned id (index into the job table).
+    pub id: u64,
+    /// The submission as received.
+    pub request: JobRequest,
+    /// Parsed algorithm.
+    pub algorithm: AlgorithmKind,
+    /// Submission instant (latency accounting baseline).
+    pub submitted: Instant,
+    /// Cooperative stop flag threaded into the engine; set by the watchdog
+    /// at the deadline or by a cancel request.
+    pub cancel: Arc<AtomicBool>,
+    /// Set only by an explicit cancel request — distinguishes `Cancelled`
+    /// from `TimedOut` when the engine stops on the shared `cancel` flag.
+    pub cancel_requested: AtomicBool,
+    status: Mutex<JobStatus>,
+}
+
+impl Job {
+    /// Create a freshly queued job.
+    pub fn new(id: u64, algorithm: AlgorithmKind, request: JobRequest) -> Job {
+        Job {
+            id,
+            request,
+            algorithm,
+            submitted: Instant::now(),
+            cancel: Arc::new(AtomicBool::new(false)),
+            cancel_requested: AtomicBool::new(false),
+            status: Mutex::new(JobStatus::default()),
+        }
+    }
+
+    /// Lock the mutable status (poison-tolerant: state transitions are
+    /// single-field writes, never left half-done).
+    pub fn status(&self) -> MutexGuard<'_, JobStatus> {
+        self.status.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Current lifecycle state.
+    pub fn state(&self) -> JobState {
+        self.status().state
+    }
+
+    /// JSON rendering of the job for the API.
+    pub fn to_json(&self) -> serde_json::Value {
+        let status = self.status();
+        json!({
+            "id": self.id,
+            "algorithm": self.algorithm.abbrev(),
+            "request": self.request,
+            "state": status.state.as_str(),
+            "error": status.error,
+            "iterations": status.iterations,
+            "converged": status.converged,
+            "cache_hit": status.cache_hit,
+            "run_index": status.run_index,
+            "queue_ms": status.queue_ms,
+            "run_ms": status.run_ms,
+        })
+    }
+
+    /// The engine iteration cap this request resolves to: explicit
+    /// `max_iterations` wins, then a named profile, then the default
+    /// profile's cap.
+    pub fn resolved_max_iterations(&self) -> usize {
+        if let Some(n) = self.request.max_iterations {
+            return n.max(1);
+        }
+        match self.request.profile.as_deref() {
+            Some("quick") => 60,
+            Some("full") => 400,
+            _ => 200,
+        }
+    }
+}
+
+/// Look up an algorithm by its paper abbreviation, case-insensitively.
+pub fn parse_algorithm(name: &str) -> Option<AlgorithmKind> {
+    AlgorithmKind::ALL
+        .into_iter()
+        .find(|a| a.abbrev().eq_ignore_ascii_case(name))
+}
+
+/// Stable domain name used in run records (matches the harness).
+pub fn domain_name(domain: Domain) -> &'static str {
+    match domain {
+        Domain::GraphAnalytics => "GraphAnalytics",
+        Domain::Clustering => "Clustering",
+        Domain::CollaborativeFiltering => "CollaborativeFiltering",
+        Domain::LinearSolver => "LinearSolver",
+        Domain::GraphicalModel => "GraphicalModel",
+    }
+}
+
+/// Default power-law exponent when the request leaves `alpha` unset.
+pub const DEFAULT_ALPHA: f64 = 2.5;
+
+/// Whether this algorithm's workload takes a power-law exponent.
+fn uses_alpha(algorithm: AlgorithmKind) -> bool {
+    matches!(
+        algorithm.domain(),
+        Domain::GraphAnalytics | Domain::Clustering | Domain::CollaborativeFiltering
+    )
+}
+
+/// The cache identity of the workload this request generates. Jobs with
+/// the same key share one workload regardless of algorithm, matching
+/// [`build_workload`] exactly: two requests map to the same key iff they
+/// generate identical workloads.
+pub fn cache_key(algorithm: AlgorithmKind, request: &JobRequest) -> CacheKey {
+    let class = match algorithm.domain() {
+        Domain::GraphAnalytics | Domain::Clustering => 0,
+        Domain::CollaborativeFiltering => 1,
+        Domain::LinearSolver => 2,
+        Domain::GraphicalModel => {
+            if algorithm == AlgorithmKind::Lbp {
+                3
+            } else {
+                4
+            }
+        }
+    };
+    let alpha_milli = if uses_alpha(algorithm) {
+        (request.alpha.unwrap_or(DEFAULT_ALPHA) * 1000.0).round() as u64
+    } else {
+        0
+    };
+    CacheKey {
+        class,
+        size: request.size,
+        alpha_milli,
+        seed: request.seed,
+    }
+}
+
+/// Generate the workload this request describes (same domain mapping as
+/// the offline harness).
+pub fn build_workload(algorithm: AlgorithmKind, request: &JobRequest) -> Workload {
+    let size = request.size as usize;
+    let alpha = request.alpha.unwrap_or(DEFAULT_ALPHA);
+    let seed = request.seed;
+    match algorithm.domain() {
+        Domain::GraphAnalytics | Domain::Clustering => Workload::powerlaw(size, alpha, seed),
+        Domain::CollaborativeFiltering => Workload::ratings(size, alpha, seed),
+        Domain::LinearSolver => Workload::matrix(size, seed),
+        Domain::GraphicalModel => {
+            if algorithm == AlgorithmKind::Lbp {
+                Workload::grid(size, seed)
+            } else {
+                Workload::mrf(size, seed)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request(alg: &str) -> JobRequest {
+        JobRequest {
+            algorithm: alg.to_string(),
+            size: 500,
+            alpha: None,
+            seed: 7,
+            profile: None,
+            max_iterations: None,
+            timeout_ms: None,
+        }
+    }
+
+    #[test]
+    fn algorithm_parsing_is_case_insensitive() {
+        assert_eq!(parse_algorithm("PR"), Some(AlgorithmKind::Pr));
+        assert_eq!(parse_algorithm("sssp"), Some(AlgorithmKind::Sssp));
+        assert_eq!(parse_algorithm("jacobi"), Some(AlgorithmKind::Jacobi));
+        assert_eq!(parse_algorithm("nope"), None);
+    }
+
+    #[test]
+    fn request_defaults_fill_in() {
+        let req: JobRequest = serde_json::from_str(r#"{"algorithm":"CC"}"#).unwrap();
+        assert_eq!(req.size, 1000);
+        assert_eq!(req.seed, 0);
+        assert!(req.alpha.is_none());
+        assert!(req.timeout_ms.is_none());
+    }
+
+    #[test]
+    fn iteration_cap_resolution_order() {
+        let mut job = Job::new(0, AlgorithmKind::Pr, request("PR"));
+        assert_eq!(job.resolved_max_iterations(), 200);
+        job.request.profile = Some("quick".into());
+        assert_eq!(job.resolved_max_iterations(), 60);
+        job.request.profile = Some("full".into());
+        assert_eq!(job.resolved_max_iterations(), 400);
+        job.request.max_iterations = Some(3);
+        assert_eq!(job.resolved_max_iterations(), 3);
+    }
+
+    #[test]
+    fn same_workload_different_algorithm_shares_cache_key() {
+        let pr = cache_key(AlgorithmKind::Pr, &request("PR"));
+        let cc = cache_key(AlgorithmKind::Cc, &request("CC"));
+        let km = cache_key(AlgorithmKind::Km, &request("KM"));
+        assert_eq!(pr, cc);
+        assert_eq!(pr, km);
+        let als = cache_key(AlgorithmKind::Als, &request("ALS"));
+        assert_ne!(pr, als, "ratings workloads must not collide with power-law");
+        let jacobi = cache_key(AlgorithmKind::Jacobi, &request("Jacobi"));
+        let lbp = cache_key(AlgorithmKind::Lbp, &request("LBP"));
+        let dd = cache_key(AlgorithmKind::Dd, &request("DD"));
+        assert_ne!(jacobi, lbp);
+        assert_ne!(lbp, dd);
+    }
+
+    #[test]
+    fn state_machine_wire_names_and_terminality() {
+        assert_eq!(JobState::Queued.as_str(), "queued");
+        assert_eq!(JobState::TimedOut.as_str(), "timed_out");
+        assert!(!JobState::Queued.is_terminal());
+        assert!(!JobState::Running.is_terminal());
+        for s in [
+            JobState::Done,
+            JobState::Failed,
+            JobState::Cancelled,
+            JobState::TimedOut,
+        ] {
+            assert!(s.is_terminal());
+        }
+    }
+
+    #[test]
+    fn job_json_has_wire_fields() {
+        let job = Job::new(3, AlgorithmKind::Pr, request("PR"));
+        let v = job.to_json();
+        assert_eq!(v["id"], 3);
+        assert_eq!(v["state"], "queued");
+        assert_eq!(v["algorithm"], "PR");
+    }
+}

@@ -1,0 +1,39 @@
+//! `graphmine-service` — a concurrent benchmark-job server.
+//!
+//! The paper argues behavior measurement should be a reusable capability,
+//! not a pile of one-shot scripts; LDBC Graphalytics' driver/platform
+//! split is the mature form. This crate is that driver: a long-lived
+//! daemon that accepts benchmark jobs over a minimal HTTP/1.1 + JSON
+//! protocol, executes them on a fixed worker pool, caches generated
+//! workloads (the dominant cost of small jobs), appends every result to
+//! the same durable [`RunDb`](graphmine_core::RunDb) the figures and
+//! ensemble search read, and serves live behavior vectors, best-ensemble
+//! queries, and operational metrics while it runs.
+//!
+//! Everything is built on `std::net` + `std::thread` — the dependency set
+//! deliberately has no async runtime or HTTP framework, and none is
+//! needed at benchmark-job request rates.
+//!
+//! Start one from code (the CLI does the same via `graphmine serve`):
+//!
+//! ```no_run
+//! use graphmine_service::{Server, ServiceConfig};
+//!
+//! let handle = Server::start(ServiceConfig::default()).unwrap();
+//! println!("listening on {}", handle.addr());
+//! handle.wait().unwrap(); // returns after POST /shutdown drains
+//! ```
+
+pub mod cache;
+pub mod client;
+pub mod http;
+pub mod job;
+pub mod metrics;
+pub mod queue;
+pub mod server;
+
+pub use cache::{workload_bytes, CacheKey, GraphCache};
+pub use job::{parse_algorithm, Job, JobRequest, JobState, JobStatus};
+pub use metrics::{Metrics, LATENCY_BUCKETS_MS};
+pub use queue::WorkQueue;
+pub use server::{Server, ServerHandle, ServiceConfig};

@@ -1,0 +1,107 @@
+//! Live service counters: job terminal states, end-to-end latency
+//! (sum/count plus fixed histogram buckets), all lock-free atomics so the
+//! hot path never contends with `GET /metrics` readers.
+
+use serde_json::json;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Upper bounds (milliseconds, inclusive) of the latency histogram
+/// buckets; a final implicit +inf bucket catches the rest.
+pub const LATENCY_BUCKETS_MS: [u64; 5] = [1, 10, 100, 1_000, 10_000];
+
+/// Monotonic service counters.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Jobs accepted by `POST /jobs`.
+    pub submitted: AtomicU64,
+    /// Jobs finished successfully.
+    pub done: AtomicU64,
+    /// Jobs that panicked or were rejected by the suite.
+    pub failed: AtomicU64,
+    /// Jobs stopped by an explicit cancel.
+    pub cancelled: AtomicU64,
+    /// Jobs stopped by the watchdog deadline.
+    pub timed_out: AtomicU64,
+    latency_sum_us: AtomicU64,
+    latency_count: AtomicU64,
+    buckets: [AtomicU64; LATENCY_BUCKETS_MS.len() + 1],
+}
+
+impl Metrics {
+    /// Fresh all-zero counters.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Record one job's submit-to-terminal latency.
+    pub fn observe_latency_ms(&self, ms: f64) {
+        self.latency_sum_us
+            .fetch_add((ms * 1000.0).max(0.0) as u64, Ordering::Relaxed);
+        self.latency_count.fetch_add(1, Ordering::Relaxed);
+        let idx = LATENCY_BUCKETS_MS
+            .iter()
+            .position(|&bound| ms <= bound as f64)
+            .unwrap_or(LATENCY_BUCKETS_MS.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Observed latencies so far.
+    pub fn latency_count(&self) -> u64 {
+        self.latency_count.load(Ordering::Relaxed)
+    }
+
+    /// JSON rendering of the latency distribution. Buckets are
+    /// non-cumulative: each counts latencies in `(previous bound, le]`.
+    pub fn latency_json(&self) -> serde_json::Value {
+        let buckets: Vec<serde_json::Value> = LATENCY_BUCKETS_MS
+            .iter()
+            .map(|b| json!(b.to_string()))
+            .chain(std::iter::once(json!("inf")))
+            .zip(self.buckets.iter())
+            .map(|(le, count)| {
+                json!({"le_ms": le, "count": count.load(Ordering::Relaxed)})
+            })
+            .collect();
+        json!({
+            "sum_ms": self.latency_sum_us.load(Ordering::Relaxed) as f64 / 1000.0,
+            "count": self.latency_count.load(Ordering::Relaxed),
+            "buckets": buckets,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_lands_in_the_right_bucket() {
+        let m = Metrics::new();
+        m.observe_latency_ms(0.5); // ≤ 1
+        m.observe_latency_ms(7.0); // ≤ 10
+        m.observe_latency_ms(50.0); // ≤ 100
+        m.observe_latency_ms(99_999.0); // inf
+        let v = m.latency_json();
+        assert_eq!(v["count"], 4);
+        let buckets = v["buckets"].as_array().unwrap();
+        assert_eq!(buckets.len(), 6);
+        assert_eq!(buckets[0]["count"], 1);
+        assert_eq!(buckets[1]["count"], 1);
+        assert_eq!(buckets[2]["count"], 1);
+        assert_eq!(buckets[5]["count"], 1);
+        let sum = v["sum_ms"].as_f64().unwrap();
+        assert!((sum - 100_056.5).abs() < 0.01, "sum was {sum}");
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let m = Metrics::new();
+        m.submitted.fetch_add(3, Ordering::Relaxed);
+        m.done.fetch_add(2, Ordering::Relaxed);
+        m.failed.fetch_add(1, Ordering::Relaxed);
+        assert_eq!(m.submitted.load(Ordering::Relaxed), 3);
+        assert_eq!(m.done.load(Ordering::Relaxed), 2);
+        assert_eq!(m.failed.load(Ordering::Relaxed), 1);
+        assert_eq!(m.latency_count(), 0);
+    }
+}

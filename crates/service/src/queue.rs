@@ -1,0 +1,191 @@
+//! A closeable MPMC work queue on `Mutex<VecDeque>` + `Condvar`.
+//!
+//! The dependency set has no channel crate, and `std::sync::mpsc` is
+//! single-consumer; the service needs many producers (HTTP handlers) and
+//! many consumers (job workers). Closing the queue wakes every blocked
+//! consumer; remaining items are still drained — exactly the graceful
+//! shutdown semantics `POST /shutdown` requires.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// Multi-producer multi-consumer FIFO with drain-on-close semantics.
+#[derive(Debug)]
+pub struct WorkQueue<T> {
+    state: Mutex<QueueState<T>>,
+    cond: Condvar,
+}
+
+#[derive(Debug)]
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+impl<T> Default for WorkQueue<T> {
+    fn default() -> WorkQueue<T> {
+        WorkQueue::new()
+    }
+}
+
+impl<T> WorkQueue<T> {
+    /// Create an open, empty queue.
+    pub fn new() -> WorkQueue<T> {
+        WorkQueue {
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// A poisoned mutex means a holder panicked between two queue
+    /// operations; the `VecDeque` itself is never left half-mutated, so
+    /// recover the guard and continue.
+    fn lock(&self) -> MutexGuard<'_, QueueState<T>> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Enqueue an item. Returns `false` if the queue is closed, in which
+    /// case the item is dropped — callers that must not lose work check the
+    /// return value and handle the rejection themselves.
+    pub fn push(&self, item: T) -> bool {
+        let mut state = self.lock();
+        if state.closed {
+            return false;
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.cond.notify_one();
+        true
+    }
+
+    /// Dequeue, blocking while the queue is open and empty. Returns `None`
+    /// only once the queue is closed **and** drained, so consumers finish
+    /// all accepted work before exiting.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.lock();
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self
+                .cond
+                .wait(state)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Close the queue: no further pushes succeed, blocked consumers wake.
+    pub fn close(&self) {
+        let mut state = self.lock();
+        state.closed = true;
+        drop(state);
+        self.cond.notify_all();
+    }
+
+    /// Whether `close` has been called.
+    pub fn is_closed(&self) -> bool {
+        self.lock().closed
+    }
+
+    /// Items currently waiting.
+    pub fn len(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// Whether no items are waiting.
+    pub fn is_empty(&self) -> bool {
+        self.lock().items.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn fifo_order_single_thread() {
+        let q = WorkQueue::new();
+        assert!(q.push(1));
+        assert!(q.push(2));
+        assert!(q.push(3));
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+    }
+
+    #[test]
+    fn close_rejects_pushes_but_drains_items() {
+        let q = WorkQueue::new();
+        assert!(q.push(10));
+        q.close();
+        assert!(!q.push(11));
+        assert_eq!(q.pop(), Some(10));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_closed());
+    }
+
+    #[test]
+    fn blocked_consumers_wake_on_close() {
+        let q: Arc<WorkQueue<u32>> = Arc::new(WorkQueue::new());
+        let consumers: Vec<_> = (0..4)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || q.pop())
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        for c in consumers {
+            assert_eq!(c.join().unwrap(), None);
+        }
+    }
+
+    #[test]
+    fn many_producers_many_consumers_deliver_everything() {
+        let q: Arc<WorkQueue<u64>> = Arc::new(WorkQueue::new());
+        let producers: Vec<_> = (0..4u64)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    for i in 0..100 {
+                        assert!(q.push(p * 1000 + i));
+                    }
+                })
+            })
+            .collect();
+        let consumers: Vec<_> = (0..4)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some(x) = q.pop() {
+                        got.push(x);
+                    }
+                    got
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        q.close();
+        let mut all: Vec<u64> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        let expected: Vec<u64> = (0..4u64)
+            .flat_map(|p| (0..100).map(move |i| p * 1000 + i))
+            .collect();
+        assert_eq!(all, expected);
+    }
+}

@@ -1,0 +1,740 @@
+//! The benchmark-job server: acceptor thread, HTTP handler pool, job
+//! worker pool, timeout watchdog, and the route table.
+//!
+//! Thread layout (all plain `std::thread`, no async runtime):
+//!
+//! ```text
+//! acceptor ──▶ conn_queue ──▶ http workers (parse + route + respond)
+//!                                   │ POST /jobs
+//!                                   ▼
+//!                              job_queue ──▶ job workers (generate/cache,
+//!                                   ▲         run engine, append RunDb)
+//!                              watchdog (raises cancel flags at deadlines)
+//! ```
+//!
+//! Graceful drain: `POST /shutdown` closes the job queue (no new
+//! submissions; queued jobs still execute), the acceptor notices the flag
+//! and closes the connection queue, every pool drains its queue and
+//! exits, and [`ServerHandle::wait`] persists the run database after the
+//! last worker is gone.
+
+use crate::cache::GraphCache;
+use crate::http::{self, Request};
+use crate::job::{
+    build_workload, cache_key, domain_name, parse_algorithm, Job, JobRequest, JobState,
+};
+use crate::metrics::Metrics;
+use crate::queue::WorkQueue;
+use graphmine_algos::{run_algorithm, SuiteConfig};
+use graphmine_core::{
+    best_coverage_ensemble, best_spread_ensemble, CoverageSampler, GraphSpec, RunDb, RunRecord,
+    SharedRunDb, WorkMetric,
+};
+use graphmine_engine::ExecutionConfig;
+use parking_lot::{Mutex, RwLock};
+use serde::Deserialize;
+use serde_json::{json, Value};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server configuration (CLI flags map onto this).
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Bind address; port 0 picks an ephemeral port (tests, benches).
+    pub addr: String,
+    /// Job worker threads (engine runs are internally parallel via rayon,
+    /// so a few workers saturate a machine).
+    pub workers: usize,
+    /// HTTP handler threads (cheap; they mostly wait on sockets).
+    pub http_workers: usize,
+    /// Run-database path. `None` keeps the database in memory only.
+    pub db_path: Option<PathBuf>,
+    /// Graph cache byte budget; 0 disables caching.
+    pub cache_bytes: u64,
+    /// Default per-job wall-clock timeout (execution phase) in ms.
+    pub default_timeout_ms: u64,
+    /// Persist the database every N completed jobs (0 = only at shutdown).
+    pub persist_every: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig {
+            addr: "127.0.0.1:7745".to_string(),
+            workers: 4,
+            http_workers: 8,
+            db_path: None,
+            cache_bytes: 256 * 1024 * 1024,
+            default_timeout_ms: 300_000,
+            persist_every: 1,
+        }
+    }
+}
+
+/// A job whose execution deadline the watchdog is tracking.
+struct WatchEntry {
+    deadline: Instant,
+    job: Arc<Job>,
+}
+
+/// Shared server state.
+struct ServiceState {
+    config: ServiceConfig,
+    db: SharedRunDb,
+    cache: GraphCache,
+    jobs: RwLock<Vec<Arc<Job>>>,
+    job_queue: WorkQueue<Arc<Job>>,
+    conn_queue: WorkQueue<TcpStream>,
+    metrics: Metrics,
+    running: AtomicU64,
+    completed: AtomicU64,
+    shutdown: AtomicBool,
+    watchdog: Mutex<Vec<WatchEntry>>,
+}
+
+impl ServiceState {
+    fn begin_shutdown(&self) {
+        if !self.shutdown.swap(true, Ordering::SeqCst) {
+            // No new jobs; queued ones still drain through the workers.
+            self.job_queue.close();
+        }
+    }
+
+    fn job_by_id(&self, id: u64) -> Option<Arc<Job>> {
+        self.jobs.read().get(id as usize).map(Arc::clone)
+    }
+
+    fn persist_if_due(&self, completed_total: u64) {
+        let every = self.config.persist_every as u64;
+        if every == 0 {
+            return;
+        }
+        if let Some(path) = &self.config.db_path {
+            if completed_total % every == 0 {
+                // Persistence failures must not take down the worker; the
+                // in-memory database stays authoritative and the final
+                // shutdown save retries.
+                let _ = self.db.save(path);
+            }
+        }
+    }
+}
+
+/// Constructor namespace for the daemon.
+pub struct Server;
+
+/// A running server: its bound address and the handles needed to join it.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<ServiceState>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind, spawn all threads, and return immediately.
+    pub fn start(config: ServiceConfig) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        let db = match &config.db_path {
+            Some(path) if path.exists() => SharedRunDb::new(RunDb::load(path)?),
+            _ => SharedRunDb::new(RunDb::new()),
+        };
+        let cache = GraphCache::new(config.cache_bytes);
+        let workers = config.workers.max(1);
+        let http_workers = config.http_workers.max(1);
+        let state = Arc::new(ServiceState {
+            config,
+            db,
+            cache,
+            jobs: RwLock::new(Vec::new()),
+            job_queue: WorkQueue::new(),
+            conn_queue: WorkQueue::new(),
+            metrics: Metrics::new(),
+            running: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            watchdog: Mutex::new(Vec::new()),
+        });
+
+        let mut threads = Vec::with_capacity(workers + http_workers + 2);
+        {
+            let state = Arc::clone(&state);
+            threads.push(std::thread::spawn(move || accept_loop(listener, &state)));
+        }
+        for _ in 0..http_workers {
+            let state = Arc::clone(&state);
+            threads.push(std::thread::spawn(move || http_loop(&state)));
+        }
+        for _ in 0..workers {
+            let state = Arc::clone(&state);
+            threads.push(std::thread::spawn(move || job_loop(&state)));
+        }
+        {
+            let state = Arc::clone(&state);
+            threads.push(std::thread::spawn(move || watchdog_loop(&state)));
+        }
+        Ok(ServerHandle {
+            addr,
+            state,
+            threads,
+        })
+    }
+}
+
+impl ServerHandle {
+    /// The actually bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Trigger the same graceful drain as `POST /shutdown`.
+    pub fn begin_shutdown(&self) {
+        self.state.begin_shutdown();
+    }
+
+    /// Whether a shutdown has been requested.
+    pub fn shutdown_requested(&self) -> bool {
+        self.state.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Block until every thread has drained and exited, then persist the
+    /// database one final time. Returns the persistence result.
+    pub fn wait(self) -> io::Result<()> {
+        for t in self.threads {
+            let _ = t.join();
+        }
+        if let Some(path) = &self.state.config.db_path {
+            self.state.db.save(path)?;
+        }
+        Ok(())
+    }
+}
+
+fn accept_loop(listener: TcpListener, state: &ServiceState) {
+    loop {
+        if state.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                // The listener is nonblocking (for shutdown polling); the
+                // accepted socket must not inherit that.
+                let _ = stream.set_nonblocking(false);
+                let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+                let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+                if !state.conn_queue.push(stream) {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => {
+                // Transient accept failure (e.g. EMFILE); back off briefly.
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+    }
+    state.conn_queue.close();
+}
+
+fn http_loop(state: &Arc<ServiceState>) {
+    while let Some(mut stream) = state.conn_queue.pop() {
+        // Per-connection errors (malformed requests, client hangups) are
+        // answered where possible and never take the worker down.
+        let _ = handle_connection(state, &mut stream);
+    }
+}
+
+fn handle_connection(state: &Arc<ServiceState>, stream: &mut TcpStream) -> io::Result<()> {
+    let request = match http::read_request(stream) {
+        Ok(r) => r,
+        Err(e) => {
+            return http::write_json(stream, 400, &json!({ "error": e.to_string() }));
+        }
+    };
+    let (status, body) = route(state, &request);
+    http::write_json(stream, status, &body)
+}
+
+fn job_loop(state: &Arc<ServiceState>) {
+    while let Some(job) = state.job_queue.pop() {
+        execute_job(state, &job);
+    }
+}
+
+fn watchdog_loop(state: &ServiceState) {
+    loop {
+        {
+            let mut entries = state.watchdog.lock();
+            let now = Instant::now();
+            entries.retain(|e| {
+                if now >= e.deadline {
+                    e.job.cancel.store(true, Ordering::Relaxed);
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        if state.shutdown.load(Ordering::SeqCst)
+            && state.job_queue.is_empty()
+            && state.running.load(Ordering::SeqCst) == 0
+        {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "job panicked".to_string()
+    }
+}
+
+fn execute_job(state: &Arc<ServiceState>, job: &Arc<Job>) {
+    // Cancelled while still queued: never run.
+    if job.cancel_requested.load(Ordering::Relaxed) || job.cancel.load(Ordering::Relaxed) {
+        job.status().state = JobState::Cancelled;
+        state.metrics.cancelled.fetch_add(1, Ordering::Relaxed);
+        state
+            .metrics
+            .observe_latency_ms(job.submitted.elapsed().as_secs_f64() * 1e3);
+        return;
+    }
+
+    let queue_ms = job.submitted.elapsed().as_secs_f64() * 1e3;
+    {
+        let mut status = job.status();
+        status.state = JobState::Running;
+        status.queue_ms = queue_ms;
+    }
+    state.running.fetch_add(1, Ordering::SeqCst);
+    let started = Instant::now();
+
+    // Workload: cache hit or (slow) generation — outside the timeout
+    // window, which covers the engine run only.
+    let request = job.request.clone();
+    let algorithm = job.algorithm;
+    let key = cache_key(algorithm, &request);
+    let (workload, hit) = state
+        .cache
+        .get_or_build(key, || build_workload(algorithm, &request));
+    job.status().cache_hit = hit;
+
+    let timeout = Duration::from_millis(
+        request
+            .timeout_ms
+            .unwrap_or(state.config.default_timeout_ms)
+            .max(1),
+    );
+    state.watchdog.lock().push(WatchEntry {
+        deadline: Instant::now() + timeout,
+        job: Arc::clone(job),
+    });
+
+    let exec = ExecutionConfig::with_max_iterations(job.resolved_max_iterations())
+        .with_cancel_flag(Arc::clone(&job.cancel));
+    let suite = SuiteConfig {
+        exec,
+        ..SuiteConfig::default()
+    };
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_algorithm(algorithm, &workload, &suite)
+    }));
+    let run_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    {
+        let mut entries = state.watchdog.lock();
+        entries.retain(|e| !Arc::ptr_eq(&e.job, job));
+    }
+
+    match result {
+        Err(payload) => {
+            let mut status = job.status();
+            status.state = JobState::Failed;
+            status.error = Some(panic_message(payload));
+            status.run_ms = run_ms;
+            drop(status);
+            state.metrics.failed.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(Err(mismatch)) => {
+            let mut status = job.status();
+            status.state = JobState::Failed;
+            status.error = Some(mismatch.to_string());
+            status.run_ms = run_ms;
+            drop(status);
+            state.metrics.failed.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(Ok(trace)) => {
+            let stopped_early = job.cancel.load(Ordering::Relaxed) && !trace.converged;
+            if stopped_early {
+                let final_state = if job.cancel_requested.load(Ordering::Relaxed) {
+                    state.metrics.cancelled.fetch_add(1, Ordering::Relaxed);
+                    JobState::Cancelled
+                } else {
+                    state.metrics.timed_out.fetch_add(1, Ordering::Relaxed);
+                    JobState::TimedOut
+                };
+                let mut status = job.status();
+                status.state = final_state;
+                status.iterations = trace.num_iterations();
+                status.run_ms = run_ms;
+            } else {
+                let spec = GraphSpec {
+                    size: request.size,
+                    alpha: request.alpha,
+                    label: format!("{}", request.size),
+                };
+                let record = RunRecord::from_trace(
+                    algorithm.abbrev(),
+                    domain_name(algorithm.domain()),
+                    spec,
+                    request.seed,
+                    &trace,
+                )
+                .with_runtime_ms(run_ms);
+                let run_index = state.db.append(record);
+                let mut status = job.status();
+                status.state = JobState::Done;
+                status.iterations = trace.num_iterations();
+                status.converged = trace.converged;
+                status.run_index = Some(run_index);
+                status.run_ms = run_ms;
+                drop(status);
+                state.metrics.done.fetch_add(1, Ordering::Relaxed);
+                let total = state.completed.fetch_add(1, Ordering::SeqCst) + 1;
+                state.persist_if_due(total);
+            }
+        }
+    }
+    state.running.fetch_sub(1, Ordering::SeqCst);
+    state
+        .metrics
+        .observe_latency_ms(job.submitted.elapsed().as_secs_f64() * 1e3);
+}
+
+fn work_metric(name: Option<&str>) -> WorkMetric {
+    match name {
+        Some("wall") => WorkMetric::WallNanos,
+        _ => WorkMetric::LogicalOps,
+    }
+}
+
+fn route(state: &Arc<ServiceState>, request: &Request) -> (u16, Value) {
+    let segments: Vec<&str> = request
+        .path
+        .split('/')
+        .filter(|s| !s.is_empty())
+        .collect();
+    let method = request.method.as_str();
+    match (method, segments.as_slice()) {
+        ("GET", ["health"]) => (200, json!({"status": "ok"})),
+        ("POST", ["jobs"]) => submit_job(state, &request.body),
+        ("GET", ["jobs"]) => {
+            let jobs = state.jobs.read();
+            let list: Vec<Value> = jobs.iter().map(|j| j.to_json()).collect();
+            (200, json!({"count": list.len(), "jobs": list}))
+        }
+        ("GET", ["jobs", id]) => match id.parse::<u64>().ok().and_then(|i| state.job_by_id(i)) {
+            Some(job) => (200, job.to_json()),
+            None => (404, json!({"error": format!("no job {id}")})),
+        },
+        ("POST", ["jobs", id, "cancel"]) => {
+            match id.parse::<u64>().ok().and_then(|i| state.job_by_id(i)) {
+                Some(job) => {
+                    job.cancel_requested.store(true, Ordering::Relaxed);
+                    job.cancel.store(true, Ordering::Relaxed);
+                    (200, json!({"id": job.id, "state": job.state().as_str()}))
+                }
+                None => (404, json!({"error": format!("no job {id}")})),
+            }
+        }
+        ("GET", ["runs"]) => {
+            let snapshot = state.db.snapshot();
+            let runs: Vec<Value> = snapshot
+                .runs
+                .iter()
+                .enumerate()
+                .map(|(i, r)| {
+                    json!({
+                        "index": i,
+                        "algorithm": r.algorithm,
+                        "domain": r.domain,
+                        "size": r.graph.size,
+                        "alpha": r.graph.alpha,
+                        "seed": r.seed,
+                        "iterations": r.iterations,
+                        "converged": r.converged,
+                        "num_vertices": r.num_vertices,
+                        "num_edges": r.num_edges,
+                        "runtime_ms": r.runtime_ms,
+                    })
+                })
+                .collect();
+            (200, json!({"count": runs.len(), "runs": runs}))
+        }
+        ("GET", ["behavior"]) => {
+            let metric = work_metric(http::query_param(request.query.as_deref(), "work"));
+            let snapshot = state.db.snapshot();
+            let vectors: Vec<Vec<f64>> = snapshot
+                .behaviors(metric)
+                .iter()
+                .map(|b| b.0.to_vec())
+                .collect();
+            (
+                200,
+                json!({
+                    "work": if metric == WorkMetric::WallNanos { "wall" } else { "ops" },
+                    "count": vectors.len(),
+                    "labels": snapshot.labels(),
+                    "dimensions": ["UPDT", "WORK", "EREAD", "MSG"],
+                    "vectors": vectors,
+                }),
+            )
+        }
+        ("POST", ["ensemble", "search"]) => ensemble_search(state, &request.body),
+        ("GET", ["metrics"]) => (200, metrics_json(state)),
+        ("POST", ["shutdown"]) => {
+            let queued = state.job_queue.len();
+            let running = state.running.load(Ordering::SeqCst);
+            state.begin_shutdown();
+            (
+                200,
+                json!({"state": "draining", "queued": queued, "running": running}),
+            )
+        }
+        _ => (
+            404,
+            json!({"error": format!("no route for {method} {}", request.path)}),
+        ),
+    }
+}
+
+fn submit_job(state: &Arc<ServiceState>, body: &[u8]) -> (u16, Value) {
+    if state.shutdown.load(Ordering::SeqCst) {
+        return (503, json!({"error": "server is draining"}));
+    }
+    let request: JobRequest = match serde_json::from_slice(body) {
+        Ok(r) => r,
+        Err(e) => return (400, json!({"error": format!("bad job request: {e}")})),
+    };
+    let Some(algorithm) = parse_algorithm(&request.algorithm) else {
+        return (
+            400,
+            json!({"error": format!("unknown algorithm {:?}", request.algorithm)}),
+        );
+    };
+    if request.size == 0 {
+        return (400, json!({"error": "size must be at least 1"}));
+    }
+    let job = {
+        let mut jobs = state.jobs.write();
+        let id = jobs.len() as u64;
+        let job = Arc::new(Job::new(id, algorithm, request));
+        jobs.push(Arc::clone(&job));
+        job
+    };
+    state.metrics.submitted.fetch_add(1, Ordering::Relaxed);
+    if !state.job_queue.push(Arc::clone(&job)) {
+        // Shutdown raced the submission; the job never reaches a worker.
+        job.status().state = JobState::Cancelled;
+        state.metrics.cancelled.fetch_add(1, Ordering::Relaxed);
+        return (503, json!({"error": "server is draining", "id": job.id}));
+    }
+    (202, json!({"id": job.id, "state": "queued"}))
+}
+
+fn ensemble_search(state: &Arc<ServiceState>, body: &[u8]) -> (u16, Value) {
+    #[derive(Deserialize)]
+    struct SearchRequest {
+        #[serde(default)]
+        objective: Option<String>,
+        #[serde(default = "default_ensemble_size")]
+        size: usize,
+        #[serde(default)]
+        work: Option<String>,
+        #[serde(default = "default_samples")]
+        samples: usize,
+        #[serde(default = "default_sampler_seed")]
+        seed: u64,
+    }
+    fn default_ensemble_size() -> usize {
+        5
+    }
+    fn default_samples() -> usize {
+        10_000
+    }
+    fn default_sampler_seed() -> u64 {
+        0xC0FFEE
+    }
+
+    let effective: &[u8] = if body.is_empty() { b"{}" } else { body };
+    let search: SearchRequest = match serde_json::from_slice(effective) {
+        Ok(s) => s,
+        Err(e) => return (400, json!({"error": format!("bad search request: {e}")})),
+    };
+    let snapshot = state.db.snapshot();
+    if snapshot.is_empty() {
+        return (409, json!({"error": "run database is empty"}));
+    }
+    let metric = work_metric(search.work.as_deref());
+    let pool = snapshot.behaviors(metric);
+    if search.size == 0 || search.size > pool.len() {
+        return (
+            400,
+            json!({"error": format!(
+                "ensemble size {} out of range 1..={}", search.size, pool.len()
+            )}),
+        );
+    }
+    let objective = search.objective.as_deref().unwrap_or("spread");
+    let (members, score) = match objective {
+        "spread" => best_spread_ensemble(&pool, search.size),
+        "coverage" => {
+            let sampler = CoverageSampler::new(search.samples.max(1), search.seed);
+            best_coverage_ensemble(&pool, search.size, &sampler)
+        }
+        other => {
+            return (
+                400,
+                json!({"error": format!("unknown objective {other:?} (spread|coverage)")}),
+            )
+        }
+    };
+    let labels = snapshot.labels();
+    let algorithms: Vec<&str> = members.iter().map(|&i| labels[i].as_str()).collect();
+    (
+        200,
+        json!({
+            "objective": objective,
+            "size": search.size,
+            "members": members,
+            "algorithms": algorithms,
+            "score": score,
+        }),
+    )
+}
+
+fn metrics_json(state: &ServiceState) -> Value {
+    json!({
+        "jobs": {
+            "submitted": state.metrics.submitted.load(Ordering::Relaxed),
+            "queued": state.job_queue.len(),
+            "running": state.running.load(Ordering::SeqCst),
+            "done": state.metrics.done.load(Ordering::Relaxed),
+            "failed": state.metrics.failed.load(Ordering::Relaxed),
+            "cancelled": state.metrics.cancelled.load(Ordering::Relaxed),
+            "timed_out": state.metrics.timed_out.load(Ordering::Relaxed),
+        },
+        "latency_ms": state.metrics.latency_json(),
+        "cache": {
+            "hits": state.cache.hits(),
+            "misses": state.cache.misses(),
+            "resident_bytes": state.cache.resident_bytes(),
+            "entries": state.cache.len(),
+        },
+        "db_runs": state.db.len(),
+        "draining": state.shutdown.load(Ordering::SeqCst),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client;
+
+    fn start_test_server() -> (String, ServerHandle) {
+        let handle = Server::start(ServiceConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            http_workers: 2,
+            db_path: None,
+            cache_bytes: 16 * 1024 * 1024,
+            default_timeout_ms: 60_000,
+            persist_every: 0,
+        })
+        .unwrap();
+        (handle.addr().to_string(), handle)
+    }
+
+    fn stop(addr: &str, handle: ServerHandle) {
+        let (status, _) = client::request(addr, "POST", "/shutdown", None).unwrap();
+        assert_eq!(status, 200);
+        handle.wait().unwrap();
+    }
+
+    #[test]
+    fn health_and_unknown_routes() {
+        let (addr, handle) = start_test_server();
+        let (status, body) = client::request(&addr, "GET", "/health", None).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body["status"], "ok");
+        let (status, _) = client::request(&addr, "GET", "/no/such/route", None).unwrap();
+        assert_eq!(status, 404);
+        stop(&addr, handle);
+    }
+
+    #[test]
+    fn bad_submissions_are_rejected() {
+        let (addr, handle) = start_test_server();
+        let (status, body) =
+            client::request(&addr, "POST", "/jobs", Some(&json!({"algorithm": "nope"}))).unwrap();
+        assert_eq!(status, 400);
+        assert!(body["error"].as_str().unwrap().contains("unknown algorithm"));
+        let (status, _) = client::request(
+            &addr,
+            "POST",
+            "/jobs",
+            Some(&json!({"algorithm": "PR", "size": 0})),
+        )
+        .unwrap();
+        assert_eq!(status, 400);
+        let (status, _) = client::request(&addr, "GET", "/jobs/99", None).unwrap();
+        assert_eq!(status, 404);
+        stop(&addr, handle);
+    }
+
+    #[test]
+    fn job_runs_to_done_and_lands_in_db() {
+        let (addr, handle) = start_test_server();
+        let (status, body) = client::request(
+            &addr,
+            "POST",
+            "/jobs",
+            Some(&json!({"algorithm": "PR", "size": 500, "seed": 3, "profile": "quick"})),
+        )
+        .unwrap();
+        assert_eq!(status, 202);
+        let id = body["id"].as_u64().unwrap();
+        let done = client::wait_for_job(&addr, id, Duration::from_secs(60)).unwrap();
+        assert_eq!(done["state"], "done", "job failed: {done}");
+        assert_eq!(done["run_index"], 0);
+        let (status, runs) = client::request(&addr, "GET", "/runs", None).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(runs["count"], 1);
+        assert_eq!(runs["runs"][0]["algorithm"], "PR");
+        stop(&addr, handle);
+    }
+
+    #[test]
+    fn ensemble_search_on_empty_db_conflicts() {
+        let (addr, handle) = start_test_server();
+        let (status, _) =
+            client::request(&addr, "POST", "/ensemble/search", Some(&json!({}))).unwrap();
+        assert_eq!(status, 409);
+        stop(&addr, handle);
+    }
+}
