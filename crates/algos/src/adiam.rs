@@ -9,9 +9,7 @@
 //! function stops growing. All vertices stay active for the whole run —
 //! the paper's "active fraction = 1.0 for the whole lifecycle" (Figure 1).
 
-use graphmine_engine::{
-    ApplyInfo, EdgeSet, ExecutionConfig, RunTrace, SyncEngine, VertexProgram,
-};
+use graphmine_engine::{ApplyInfo, EdgeSet, ExecutionConfig, RunTrace, SyncEngine, VertexProgram};
 use graphmine_graph::{Direction, EdgeId, Graph, VertexId};
 use parking_lot::Mutex;
 

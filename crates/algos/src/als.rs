@@ -8,12 +8,8 @@
 //! that makes ALS the paper's most valuable spread algorithm (Table 3,
 //! Figure 20).
 
-use crate::linalg::{
-    axpy, cholesky_solve, distance, dot, rank_one_update, Factor, FACTOR_DIM,
-};
-use graphmine_engine::{
-    ApplyInfo, EdgeSet, ExecutionConfig, RunTrace, SyncEngine, VertexProgram,
-};
+use crate::linalg::{axpy, cholesky_solve, distance, dot, rank_one_update, Factor, FACTOR_DIM};
+use graphmine_engine::{ApplyInfo, EdgeSet, ExecutionConfig, RunTrace, SyncEngine, VertexProgram};
 use graphmine_gen::RatingGraph;
 use graphmine_graph::{EdgeId, Graph, VertexId};
 
@@ -224,10 +220,7 @@ mod tests {
         let before = rmse(&rg.graph, &rg.ratings, &initial);
         let (factors, trace) = run_als(&rg, &ExecutionConfig::with_max_iterations(30));
         let after = rmse(&rg.graph, &rg.ratings, &factors);
-        assert!(
-            after < before * 0.5,
-            "RMSE before {before}, after {after}"
-        );
+        assert!(after < before * 0.5, "RMSE before {before}, after {after}");
         assert!(trace.num_iterations() >= 2);
     }
 
@@ -237,10 +230,7 @@ mod tests {
         let (_, trace) = run_als(&rg, &ExecutionConfig::with_max_iterations(50));
         let af = trace.active_fraction();
         assert_eq!(af[0], 1.0);
-        assert!(
-            af.last().unwrap() < &1.0,
-            "activity never decayed: {af:?}"
-        );
+        assert!(af.last().unwrap() < &1.0, "activity never decayed: {af:?}");
     }
 
     #[test]

@@ -8,9 +8,7 @@
 //! variable toward the consensus label. All vertices stay active for the
 //! entire run (paper §4.4) and DD is the suite's slowest converger (§4.5).
 
-use graphmine_engine::{
-    ApplyInfo, EdgeSet, ExecutionConfig, RunTrace, SyncEngine, VertexProgram,
-};
+use graphmine_engine::{ApplyInfo, EdgeSet, ExecutionConfig, RunTrace, SyncEngine, VertexProgram};
 use graphmine_gen::{mrf_energy, MrfGraph};
 use graphmine_graph::{Direction, EdgeId, Graph, VertexId};
 

@@ -7,9 +7,7 @@
 //! all iterations (paper §4.4) and, uniquely in the suite, every behavior
 //! metric except EREAD scales with the matrix dimension (Figure 12).
 
-use graphmine_engine::{
-    ApplyInfo, EdgeSet, ExecutionConfig, RunTrace, SyncEngine, VertexProgram,
-};
+use graphmine_engine::{ApplyInfo, EdgeSet, ExecutionConfig, RunTrace, SyncEngine, VertexProgram};
 use graphmine_gen::MatrixSystem;
 use graphmine_graph::{EdgeId, Graph, VertexId};
 
@@ -102,10 +100,7 @@ impl VertexProgram for Jacobi {
 
 /// Run Jacobi on a generated system. Returns the solution vector and the
 /// behavior trace.
-pub fn run_jacobi(
-    system: &MatrixSystem,
-    config: &ExecutionConfig,
-) -> (Vec<f64>, RunTrace) {
+pub fn run_jacobi(system: &MatrixSystem, config: &ExecutionConfig) -> (Vec<f64>, RunTrace) {
     let n = system.graph.num_vertices();
     let states = vec![
         JacobiState {

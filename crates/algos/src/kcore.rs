@@ -137,8 +137,7 @@ pub fn run_kcore(graph: &Graph, config: &ExecutionConfig) -> (Vec<u32>, RunTrace
             break;
         }
         let phase = KCorePhase { k, alive_now };
-        let engine =
-            SyncEngine::with_global(graph, phase, states, edge_data.clone(), ());
+        let engine = SyncEngine::with_global(graph, phase, states, edge_data.clone(), ());
         let phase_cfg = ExecutionConfig {
             max_iterations: remaining,
             ..config.clone()

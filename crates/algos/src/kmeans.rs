@@ -12,9 +12,7 @@
 //! (Figure 5: active fraction ≡ 1.0); vertices whose assignment changed
 //! message their neighbors.
 
-use graphmine_engine::{
-    ApplyInfo, EdgeSet, ExecutionConfig, RunTrace, SyncEngine, VertexProgram,
-};
+use graphmine_engine::{ApplyInfo, EdgeSet, ExecutionConfig, RunTrace, SyncEngine, VertexProgram};
 use graphmine_graph::{EdgeId, Graph, VertexId};
 
 /// Maximum supported cluster count (votes ride in a fixed array).

@@ -6,9 +6,7 @@
 //! in the number of active vertices over time" of paper Figure 11, while
 //! graph size leaves the *shape* of the active fraction unchanged.
 
-use graphmine_engine::{
-    ApplyInfo, EdgeSet, ExecutionConfig, RunTrace, SyncEngine, VertexProgram,
-};
+use graphmine_engine::{ApplyInfo, EdgeSet, ExecutionConfig, RunTrace, SyncEngine, VertexProgram};
 use graphmine_gen::GridMrf;
 use graphmine_graph::{EdgeId, Graph, VertexId};
 
@@ -230,11 +228,7 @@ pub fn brute_force_map(
             *l = c % num_labels;
             c /= num_labels;
         }
-        let mut score: f64 = labels
-            .iter()
-            .enumerate()
-            .map(|(v, &l)| priors[v][l])
-            .sum();
+        let mut score: f64 = labels.iter().enumerate().map(|(v, &l)| priors[v][l]).sum();
         for &(u, v) in graph.edge_list() {
             if labels[u as usize] == labels[v as usize] {
                 score += smoothing;
@@ -273,8 +267,7 @@ mod tests {
     #[test]
     fn exact_on_tree() {
         let (g, priors) = chain_priors();
-        let (labels, trace) =
-            run_lbp_on(&g, priors.clone(), 0.5, 2, &ExecutionConfig::default());
+        let (labels, trace) = run_lbp_on(&g, priors.clone(), 0.5, 2, &ExecutionConfig::default());
         let reference = brute_force_map(&g, &priors, 0.5, 2);
         assert_eq!(labels, reference);
         assert!(trace.converged);

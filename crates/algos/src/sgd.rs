@@ -92,8 +92,7 @@ impl VertexProgram for Sgd {
         info.ops += FACTOR_DIM as u64;
         let scale = 1.0 / count.max(1) as f64;
         for i in 0..FACTOR_DIM {
-            state[i] +=
-                self.learning_rate * (grad[i] * scale - self.lambda * state[i]);
+            state[i] += self.learning_rate * (grad[i] * scale - self.lambda * state[i]);
         }
     }
 

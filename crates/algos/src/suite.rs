@@ -115,10 +115,9 @@ impl AlgorithmKind {
             | AlgorithmKind::Pr
             | AlgorithmKind::Ad => Domain::GraphAnalytics,
             AlgorithmKind::Km => Domain::Clustering,
-            AlgorithmKind::Als
-            | AlgorithmKind::Nmf
-            | AlgorithmKind::Sgd
-            | AlgorithmKind::Svd => Domain::CollaborativeFiltering,
+            AlgorithmKind::Als | AlgorithmKind::Nmf | AlgorithmKind::Sgd | AlgorithmKind::Svd => {
+                Domain::CollaborativeFiltering
+            }
             AlgorithmKind::Jacobi => Domain::LinearSolver,
             AlgorithmKind::Lbp | AlgorithmKind::Dd => Domain::GraphicalModel,
         }
@@ -301,10 +300,9 @@ pub fn run_algorithm(
             | AlgorithmKind::Km,
             _,
         ) => return Err(mismatch("power-law")),
-        (
-            AlgorithmKind::Als | AlgorithmKind::Nmf | AlgorithmKind::Sgd | AlgorithmKind::Svd,
-            _,
-        ) => return Err(mismatch("ratings")),
+        (AlgorithmKind::Als | AlgorithmKind::Nmf | AlgorithmKind::Sgd | AlgorithmKind::Svd, _) => {
+            return Err(mismatch("ratings"))
+        }
         (AlgorithmKind::Jacobi, _) => return Err(mismatch("matrix")),
         (AlgorithmKind::Lbp, _) => return Err(mismatch("grid")),
         (AlgorithmKind::Dd, _) => return Err(mismatch("mrf")),
@@ -344,8 +342,7 @@ mod tests {
                     }
                 }
             };
-            let trace = run_algorithm(alg, workload, &cfg)
-                .unwrap_or_else(|e| panic!("{alg}: {e}"));
+            let trace = run_algorithm(alg, workload, &cfg).unwrap_or_else(|e| panic!("{alg}: {e}"));
             assert!(trace.num_iterations() > 0, "{alg} ran zero iterations");
         }
     }

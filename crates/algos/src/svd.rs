@@ -12,9 +12,7 @@
 //! recover the top singular value, which the tests validate against a dense
 //! reference. See DESIGN.md for this documented simplification.
 
-use graphmine_engine::{
-    ApplyInfo, EdgeSet, ExecutionConfig, RunTrace, SyncEngine, VertexProgram,
-};
+use graphmine_engine::{ApplyInfo, EdgeSet, ExecutionConfig, RunTrace, SyncEngine, VertexProgram};
 use graphmine_gen::RatingGraph;
 use graphmine_graph::{EdgeId, Graph, VertexId};
 

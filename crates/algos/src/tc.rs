@@ -7,9 +7,7 @@
 //! fastest-converging algorithm (§4.5: three orders of magnitude fewer
 //! iterations than DD) with constant per-edge EREAD (Figure 3).
 
-use graphmine_engine::{
-    ApplyInfo, EdgeSet, ExecutionConfig, RunTrace, SyncEngine, VertexProgram,
-};
+use graphmine_engine::{ApplyInfo, EdgeSet, ExecutionConfig, RunTrace, SyncEngine, VertexProgram};
 use graphmine_graph::{Direction, EdgeId, Graph, VertexId};
 
 /// TC vertex program; the pre-sorted adjacency lives in the program since
@@ -112,8 +110,8 @@ pub fn run_tc(graph: &Graph, config: &ExecutionConfig) -> (u64, RunTrace) {
     let program = TriangleCount::new(graph);
     let states = vec![0u64; graph.num_vertices()];
     let edge_data = vec![(); graph.num_edges()];
-    let (finals, trace) = SyncEngine::with_global(graph, program, states, edge_data, ())
-        .run(config);
+    let (finals, trace) =
+        SyncEngine::with_global(graph, program, states, edge_data, ()).run(config);
     // Each triangle is counted twice at each of its three vertices.
     let total: u64 = finals.iter().sum::<u64>() / 6;
     (total, trace)

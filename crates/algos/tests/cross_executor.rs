@@ -1,0 +1,157 @@
+//! Cross-executor parity on realistic workloads.
+//!
+//! The paper's premise (§3.3) is that behavior is a property of the
+//! *computation*, not the execution engine: "the basic behavior of graph
+//! computation is conserved" across computation models. These tests pin
+//! that down for the three executors — synchronous vertex-centric,
+//! asynchronous queue-driven, and edge-centric streaming — and double as
+//! the guard rail for the frontier-aware engine refactor: CC and SSSP are
+//! exactly the sparse-frontier algorithms whose active sets collapse to a
+//! trickle, so they exercise the sparse path hard on a graph big enough
+//! (~50k vertices) that chunked parallelism and the adaptive threshold both
+//! engage.
+
+use graphmine_algos::cc::ConnectedComponents;
+use graphmine_algos::sssp::{dijkstra, ShortestPath};
+use graphmine_algos::{run_algorithm, AlgorithmKind, Domain, SuiteConfig, Workload};
+use graphmine_engine::{
+    async_run, edge_centric_run, AsyncConfig, EdgeCentricConfig, ExecutionConfig, FrontierMode,
+    IterationStats, NoGlobal, RunTrace, SyncEngine, SPARSE_FRONTIER_THRESHOLD,
+};
+use graphmine_gen::{gaussian_edge_weights, powerlaw_graph, PowerLawConfig};
+use graphmine_graph::Graph;
+
+/// A ~50k-vertex scale-free graph (mean degree 16 ⇒ 400k edges / 8).
+fn big_powerlaw() -> Graph {
+    powerlaw_graph(&PowerLawConfig::new(400_000, 2.5, 42))
+}
+
+fn strip(t: &RunTrace) -> Vec<IterationStats> {
+    t.iterations
+        .iter()
+        .map(|it| IterationStats { apply_ns: 0, ..*it })
+        .collect()
+}
+
+#[test]
+fn cc_final_states_agree_across_executors() {
+    let g = big_powerlaw();
+    let n = g.num_vertices();
+    assert!(n >= 40_000, "graph too small to exercise chunking: {n}");
+    let init: Vec<u32> = (0..n as u32).collect();
+    let edge_data = vec![(); g.num_edges()];
+
+    let (sync_labels, sync_trace) =
+        SyncEngine::new(&g, ConnectedComponents, init.clone(), edge_data.clone())
+            .run(&ExecutionConfig::default());
+    assert!(sync_trace.converged);
+
+    let (async_labels, _) = async_run(
+        &g,
+        &ConnectedComponents,
+        init.clone(),
+        edge_data.clone(),
+        NoGlobal,
+        &AsyncConfig::default(),
+    );
+    let (ec_labels, ec_trace) = edge_centric_run(
+        &g,
+        &ConnectedComponents,
+        init,
+        &edge_data,
+        NoGlobal,
+        &EdgeCentricConfig::default(),
+    );
+    assert!(ec_trace.converged);
+
+    // Min-label is order-insensitive, so all three executors must land on
+    // the identical fixed point.
+    assert_eq!(sync_labels, async_labels);
+    assert_eq!(sync_labels, ec_labels);
+}
+
+#[test]
+fn sssp_final_states_agree_across_executors_and_match_dijkstra() {
+    let g = big_powerlaw();
+    let n = g.num_vertices();
+    let weights = gaussian_edge_weights(g.num_edges(), 7);
+    let source = 0u32;
+    let init = vec![f64::INFINITY; n];
+
+    let (sync_dist, sync_trace) =
+        SyncEngine::new(&g, ShortestPath { source }, init.clone(), weights.clone())
+            .run(&ExecutionConfig::default());
+    assert!(sync_trace.converged);
+
+    let (async_dist, _) = async_run(
+        &g,
+        &ShortestPath { source },
+        init.clone(),
+        weights.clone(),
+        NoGlobal,
+        &AsyncConfig::default(),
+    );
+    let (ec_dist, ec_trace) = edge_centric_run(
+        &g,
+        &ShortestPath { source },
+        init,
+        &weights,
+        NoGlobal,
+        &EdgeCentricConfig::default(),
+    );
+    assert!(ec_trace.converged);
+
+    // Distance relaxation computes every candidate as the same hop-by-hop
+    // sum regardless of executor, and min-combining is exact on f64, so
+    // parity is bitwise, not approximate.
+    assert_eq!(sync_dist, async_dist);
+    assert_eq!(sync_dist, ec_dist);
+    assert_eq!(sync_dist, dijkstra(&g, &weights, source));
+
+    // SSSP's frontier collapses far below the adaptive threshold in its
+    // tail — the whole point of the sparse path. Make sure this workload
+    // actually exercised it.
+    assert!(sync_trace.sparse_iterations(SPARSE_FRONTIER_THRESHOLD) > 0);
+}
+
+/// Behavior counters must be byte-for-byte identical between the dense and
+/// adaptive frontier paths on the full 14-algorithm suite: the frontier
+/// representation is a mechanical speedup, never a semantic change.
+#[test]
+fn frontier_mode_preserves_counters_on_full_suite() {
+    let pl = Workload::powerlaw(20_000, 2.5, 11);
+    let ratings = Workload::ratings(8_000, 2.5, 12);
+    let matrix = Workload::matrix(300, 13);
+    let grid = Workload::grid(12, 14);
+    let mrf = Workload::mrf(1_000, 15);
+
+    let config_with = |mode: FrontierMode| SuiteConfig {
+        exec: ExecutionConfig::with_max_iterations(60).with_frontier_mode(mode),
+        ..SuiteConfig::default()
+    };
+
+    for alg in AlgorithmKind::ALL {
+        let workload = match alg.domain() {
+            Domain::GraphAnalytics | Domain::Clustering => &pl,
+            Domain::CollaborativeFiltering => &ratings,
+            Domain::LinearSolver => &matrix,
+            Domain::GraphicalModel => {
+                if alg == AlgorithmKind::Lbp {
+                    &grid
+                } else {
+                    &mrf
+                }
+            }
+        };
+        let dense = run_algorithm(alg, workload, &config_with(FrontierMode::Dense))
+            .unwrap_or_else(|e| panic!("{alg}: {e}"));
+        let adaptive = run_algorithm(alg, workload, &config_with(FrontierMode::Adaptive))
+            .unwrap_or_else(|e| panic!("{alg}: {e}"));
+        assert_eq!(
+            strip(&dense),
+            strip(&adaptive),
+            "{alg}: dense vs adaptive counters diverged"
+        );
+        assert_eq!(dense.converged, adaptive.converged, "{alg}: convergence");
+    }
+}

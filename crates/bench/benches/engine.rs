@@ -4,10 +4,11 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use graphmine_engine::{
-    ApplyInfo, EdgeSet, ExecutionConfig, NoGlobal, SyncEngine, VertexProgram,
+    ActiveInit, ApplyInfo, EdgeSet, ExecutionConfig, FrontierMode, NoGlobal, SyncEngine,
+    VertexProgram,
 };
 use graphmine_gen::{powerlaw_graph, PowerLawConfig};
-use graphmine_graph::{EdgeId, Graph, VertexId};
+use graphmine_graph::{EdgeId, Graph, GraphBuilder, VertexId};
 use std::time::Duration;
 
 /// Gather-heavy probe: sums neighbor values for a fixed iteration count.
@@ -169,11 +170,122 @@ fn ablation_executors(c: &mut Criterion) {
     g.finish();
 }
 
+/// SSSP-style probe for the frontier benchmarks: hop-count flood from a
+/// single source, message-driven activation. On a long path graph the
+/// frontier is one vertex per iteration — ≤ 0.01% of vertices — so the
+/// engine's per-iteration overhead dominates and the dense-vs-sparse gap is
+/// maximal.
+struct HopFlood;
+
+impl VertexProgram for HopFlood {
+    type State = u32;
+    type EdgeData = ();
+    type Accum = ();
+    type Message = u32;
+    type Global = NoGlobal;
+
+    fn gather_edges(&self) -> EdgeSet {
+        EdgeSet::None
+    }
+    fn scatter_edges(&self) -> EdgeSet {
+        EdgeSet::Out
+    }
+    fn initial_active(&self) -> ActiveInit {
+        ActiveInit::Vertices(vec![0])
+    }
+    fn apply(
+        &self,
+        _v: VertexId,
+        state: &mut u32,
+        _acc: Option<()>,
+        msg: Option<&u32>,
+        _g: &NoGlobal,
+        info: &mut ApplyInfo,
+    ) {
+        info.ops += 1;
+        if let Some(&m) = msg {
+            if m < *state {
+                *state = m;
+            }
+        }
+    }
+    fn scatter(
+        &self,
+        _graph: &Graph,
+        _v: VertexId,
+        _e: EdgeId,
+        _nbr: VertexId,
+        state: &u32,
+        nbr_state: &u32,
+        _edge: &(),
+        _g: &NoGlobal,
+    ) -> Option<u32> {
+        (*state != u32::MAX && state.saturating_add(1) < *nbr_state).then(|| state + 1)
+    }
+    fn combine(&self, into: &mut u32, from: u32) {
+        *into = (*into).min(from);
+    }
+}
+
+fn frontier_modes(c: &mut Criterion) {
+    // Sparse workload: 200k-vertex path, 50 iterations of a single-vertex
+    // frontier. The seed engine paid O(n) per iteration here; the sparse
+    // path pays O(frontier). The ≥2× acceptance bar for this PR lives on
+    // this benchmark.
+    let n = 200_000usize;
+    let mut b = GraphBuilder::undirected(n);
+    for v in 0..(n as u32 - 1) {
+        b.push_edge(v, v + 1);
+    }
+    let path_graph = b.build();
+    let sssp_states: Vec<u32> = (0..n as u32)
+        .map(|v| if v == 0 { 0 } else { u32::MAX })
+        .collect();
+
+    let mut g = c.benchmark_group("frontier");
+    g.sample_size(10).measurement_time(Duration::from_secs(4));
+    for (name, mode) in [
+        ("sparse_sssp/dense_path", FrontierMode::Dense),
+        ("sparse_sssp/frontier_path", FrontierMode::Adaptive),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let cfg = ExecutionConfig::with_max_iterations(50).with_frontier_mode(mode);
+                SyncEngine::new(
+                    &path_graph,
+                    HopFlood,
+                    sssp_states.clone(),
+                    vec![(); path_graph.num_edges()],
+                )
+                .run(&cfg)
+            })
+        });
+    }
+
+    // Always-active workload: every iteration is a full sweep, so the
+    // adaptive engine must stay on the dense path and show no regression
+    // (the ≤5% bar).
+    let dense_graph = powerlaw_graph(&PowerLawConfig::new(100_000, 2.5, 5));
+    for (name, mode) in [
+        ("always_active/dense_path", FrontierMode::Dense),
+        ("always_active/frontier_path", FrontierMode::Adaptive),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let cfg = ExecutionConfig::default().with_frontier_mode(mode);
+                run_probe(&dense_graph, &cfg)
+            })
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     engine_throughput,
     ablation_parallel_vs_sequential,
     ablation_apply_timing_overhead,
-    ablation_executors
+    ablation_executors,
+    frontier_modes
 );
 criterion_main!(benches);

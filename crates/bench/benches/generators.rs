@@ -26,11 +26,9 @@ fn bipartite(c: &mut Criterion) {
     let mut g = c.benchmark_group("gen_bipartite");
     g.sample_size(10).measurement_time(Duration::from_secs(3));
     for nedges in [10_000usize, 100_000] {
-        g.bench_with_input(
-            BenchmarkId::from_parameter(nedges),
-            &nedges,
-            |b, &m| b.iter(|| RatingGraph::generate(&BipartiteConfig::new(m, 2.5, 1))),
-        );
+        g.bench_with_input(BenchmarkId::from_parameter(nedges), &nedges, |b, &m| {
+            b.iter(|| RatingGraph::generate(&BipartiteConfig::new(m, 2.5, 1)))
+        });
     }
     g.finish();
 }
@@ -41,7 +39,9 @@ fn structured(c: &mut Criterion) {
     g.bench_function("matrix_4000x8", |b| b.iter(|| matrix_graph(4_000, 8, 1)));
     g.bench_function("grid_64", |b| b.iter(|| grid_graph(64)));
     g.bench_function("grid_mrf_64", |b| b.iter(|| GridMrf::generate(64, 2, 1)));
-    g.bench_function("mrf_1560", |b| b.iter(|| mrf_graph(&MrfConfig::new(1560, 1))));
+    g.bench_function("mrf_1560", |b| {
+        b.iter(|| mrf_graph(&MrfConfig::new(1560, 1)))
+    });
     g.finish();
 }
 

@@ -125,6 +125,7 @@ mod tests {
                     apply_ops: 100,
                     remote_edge_reads: 0,
                     remote_messages: 0,
+                    frontier_density: 1.0,
                 },
                 IterationStats {
                     active: 2,
@@ -135,6 +136,7 @@ mod tests {
                     apply_ops: 20,
                     remote_edge_reads: 0,
                     remote_messages: 0,
+                    frontier_density: 0.2,
                 },
             ],
             converged: true,

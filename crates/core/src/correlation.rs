@@ -128,7 +128,10 @@ pub fn feature_correlations(
             let behaviors: Vec<RawBehavior> =
                 members.iter().map(|&i| db.runs[i].raw(metric)).collect();
             for (k, get) in [
-                (0usize, (|b: &RawBehavior| b.updt) as fn(&RawBehavior) -> f64),
+                (
+                    0usize,
+                    (|b: &RawBehavior| b.updt) as fn(&RawBehavior) -> f64,
+                ),
                 (1, |b: &RawBehavior| b.work),
                 (2, |b: &RawBehavior| b.eread),
                 (3, |b: &RawBehavior| b.msg),
@@ -140,9 +143,7 @@ pub fn feature_correlations(
                 }
             }
         }
-        let avg = |k: usize| -> Option<f64> {
-            (counts[k] > 0).then(|| sums[k] / counts[k] as f64)
-        };
+        let avg = |k: usize| -> Option<f64> { (counts[k] > 0).then(|| sums[k] / counts[k] as f64) };
         out.push(MetricCorrelations {
             algorithm: alg,
             updt: avg(0),

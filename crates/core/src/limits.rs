@@ -82,6 +82,7 @@ mod tests {
                     apply_ops: 5,
                     remote_edge_reads: 0,
                     remote_messages: 0,
+                    frontier_density: 1.0,
                 };
                 iters
             ],
@@ -112,7 +113,10 @@ mod tests {
     #[test]
     fn algorithm_pool_filters() {
         let db = db();
-        assert_eq!(limited_algorithm_pool(&db, &["KM", "ALS", "TC"]), vec![0, 1, 2]);
+        assert_eq!(
+            limited_algorithm_pool(&db, &["KM", "ALS", "TC"]),
+            vec![0, 1, 2]
+        );
         assert_eq!(limited_algorithm_pool(&db, &["CC"]), vec![3]);
         assert!(limited_algorithm_pool(&db, &[]).is_empty());
     }
@@ -120,10 +124,7 @@ mod tests {
     #[test]
     fn graph_pool_filters() {
         let db = db();
-        assert_eq!(
-            limited_graph_pool(&db, &[(1000, Some(2.5))]),
-            vec![2, 3]
-        );
+        assert_eq!(limited_graph_pool(&db, &[(1000, Some(2.5))]), vec![2, 3]);
         assert!(limited_graph_pool(&db, &[(5, None)]).is_empty());
     }
 

@@ -145,11 +145,7 @@ impl RuntimeModel {
     /// Predicted runtime in milliseconds.
     pub fn predict_ms(&self, record: &RunRecord) -> f64 {
         let x = features(record);
-        let log10: f64 = x
-            .iter()
-            .zip(self.weights.iter())
-            .map(|(a, w)| a * w)
-            .sum();
+        let log10: f64 = x.iter().zip(self.weights.iter()).map(|(a, w)| a * w).sum();
         10f64.powf(log10)
     }
 

@@ -32,7 +32,11 @@ fn pareto_filter(mut candidates: Vec<ParetoEnsemble>) -> Vec<ParetoEnsemble> {
         b.spread
             .partial_cmp(&a.spread)
             .expect("finite spread")
-            .then(b.coverage.partial_cmp(&a.coverage).expect("finite coverage"))
+            .then(
+                b.coverage
+                    .partial_cmp(&a.coverage)
+                    .expect("finite coverage"),
+            )
     });
     let mut front: Vec<ParetoEnsemble> = Vec::new();
     let mut best_cov = f64::NEG_INFINITY;
@@ -147,10 +151,7 @@ mod tests {
         // least two points.
         let sampler = CoverageSampler::new(4_000, 5);
         let front = pareto_front(&pool(), 4, 20, &sampler);
-        assert!(
-            front.len() >= 2,
-            "expected a trade-off, front = {front:?}"
-        );
+        assert!(front.len() >= 2, "expected a trade-off, front = {front:?}");
     }
 
     #[test]

@@ -176,10 +176,10 @@ impl RunDb {
         let mut seen: Vec<(u64, Option<f64>)> = Vec::new();
         for r in &self.runs {
             let item = (r.graph.size, r.graph.alpha);
-            if !seen
-                .iter()
-                .any(|s| s.0 == item.0 && s.1.map(|a| (a * 1000.0) as u64) == item.1.map(|a| (a * 1000.0) as u64))
-            {
+            if !seen.iter().any(|s| {
+                s.0 == item.0
+                    && s.1.map(|a| (a * 1000.0) as u64) == item.1.map(|a| (a * 1000.0) as u64)
+            }) {
                 seen.push(item);
             }
         }
@@ -308,8 +308,9 @@ mod tests {
                 messages: 5,
                 apply_ns: 100,
                 apply_ops: 50,
-                    remote_edge_reads: 0,
-                    remote_messages: 0,
+                remote_edge_reads: 0,
+                remote_messages: 0,
+                frontier_density: 1.0,
             }],
             converged: true,
         };
@@ -386,7 +387,10 @@ mod tests {
             .map(|e| e.file_name().to_string_lossy().into_owned())
             .filter(|n| n.contains(".tmp."))
             .collect();
-        assert!(leftovers.is_empty(), "temp files left behind: {leftovers:?}");
+        assert!(
+            leftovers.is_empty(),
+            "temp files left behind: {leftovers:?}"
+        );
     }
 
     #[test]
@@ -435,8 +439,12 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("db.json");
         let shared = SharedRunDb::new(RunDb::new());
-        let i0 = shared.append_and_save(record("CC", 100, 2.0, 5), &path).unwrap();
-        let i1 = shared.append_and_save(record("PR", 100, 2.0, 3), &path).unwrap();
+        let i0 = shared
+            .append_and_save(record("CC", 100, 2.0, 5), &path)
+            .unwrap();
+        let i1 = shared
+            .append_and_save(record("PR", 100, 2.0, 3), &path)
+            .unwrap();
         assert_eq!((i0, i1), (0, 1));
         let back = RunDb::load(&path).unwrap();
         assert_eq!(back.len(), 2);
@@ -465,6 +473,7 @@ mod tests {
                     apply_ops: 0,
                     remote_edge_reads: 0,
                     remote_messages: 0,
+                    frontier_density: 0.0,
                 };
                 600
             ],

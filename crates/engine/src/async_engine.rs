@@ -21,6 +21,12 @@
 //!
 //! Counters carry the same meanings as the synchronous engine's, but
 //! without iteration structure: totals for the whole run.
+//!
+//! This executor is inherently frontier-proportional: work items *are*
+//! active vertices, so it never paid the dense per-iteration O(|V|) sweeps
+//! the synchronous engine's adaptive frontier
+//! ([`crate::sync_engine::FrontierMode`]) was introduced to avoid; no
+//! sparse/dense mode distinction applies here.
 
 use crate::program::{ActiveInit, ApplyInfo, EdgeSet, VertexProgram};
 use graphmine_graph::{Direction, Graph, VertexId};
@@ -362,11 +368,7 @@ pub fn async_run<P: VertexProgram>(
         apply_ns: shared.apply_ns.load(Ordering::Acquire),
         converged: !shared.budget_exhausted.load(Ordering::Acquire),
     };
-    let finals = shared
-        .states
-        .into_iter()
-        .map(|m| m.into_inner())
-        .collect();
+    let finals = shared.states.into_iter().map(|m| m.into_inner()).collect();
     (finals, stats)
 }
 
@@ -476,7 +478,11 @@ mod tests {
         let (_, stats) = async_run(&g, &MinLabel, states, vec![(); 128], NoGlobal, &cfg);
         assert!(!stats.converged);
         // A couple of in-flight updates may land after the budget trips.
-        assert!(stats.updates >= 10 && stats.updates <= 14, "{}", stats.updates);
+        assert!(
+            stats.updates >= 10 && stats.updates <= 14,
+            "{}",
+            stats.updates
+        );
     }
 
     #[test]
@@ -502,8 +508,7 @@ mod tests {
         let g = ring(48);
         let states: Vec<u32> = (0..48).collect();
         let cfg = AsyncConfig::default().with_priority_scheduler();
-        let (finals, stats) =
-            async_run(&g, &MinLabel, states, vec![(); 48], NoGlobal, &cfg);
+        let (finals, stats) = async_run(&g, &MinLabel, states, vec![(); 48], NoGlobal, &cfg);
         assert!(finals.iter().all(|&l| l == 0));
         assert!(stats.converged);
     }

@@ -25,6 +25,7 @@
 //! [`SyncEngine`]: crate::sync_engine::SyncEngine
 
 use crate::program::{ActiveInit, ApplyInfo, EdgeSet, VertexProgram};
+use crate::sync_engine::chunk_size;
 use crate::trace::{IterationStats, RunTrace};
 use graphmine_graph::{EdgeId, Graph, VertexId};
 use rayon::prelude::*;
@@ -88,18 +89,31 @@ pub fn edge_centric_run<P: VertexProgram>(
         return (states, trace);
     }
     let mut active = vec![false; n];
+    let mut active_count: u64;
     match program.initial_active() {
-        ActiveInit::All => active.iter_mut().for_each(|a| *a = true),
+        ActiveInit::All => {
+            active.iter_mut().for_each(|a| *a = true);
+            active_count = n as u64;
+        }
         ActiveInit::Vertices(vs) => {
-            for v in vs {
-                active[v as usize] = true;
+            for v in &vs {
+                active[*v as usize] = true;
             }
+            active_count = active.iter().filter(|&&a| a).count() as u64;
         }
     }
+    // Run-lifetime scratch, mirroring the vertex-centric engine: the
+    // accumulator table and both inbox buffers return to all-`None` each
+    // iteration (apply `take`s exactly the slots gather/scatter filled), so
+    // none of them is reallocated or cleared per iteration, and the
+    // previous-state snapshot buffer is reused via `clone_from_slice`.
+    let mut accums: Vec<Option<P::Accum>> = (0..n).map(|_| None).collect();
     let mut inbox: Vec<Option<P::Message>> = (0..n).map(|_| None).collect();
+    let mut next_inbox: Vec<Option<P::Message>> = (0..n).map(|_| None).collect();
+    let mut prev_states = states.clone();
+    let cs = chunk_size(n);
 
     for iter in 0..config.max_iterations {
-        let active_count = active.iter().filter(|&&a| a).count() as u64;
         if active_count == 0 {
             trace.converged = true;
             break;
@@ -108,7 +122,6 @@ pub fn edge_centric_run<P: VertexProgram>(
 
         // ---- Gather: stream the edge list once. ----
         let gather_dir = program.gather_edges();
-        let mut accums: Vec<Option<P::Accum>> = (0..n).map(|_| None).collect();
         let mut edge_reads = 0u64;
         if gather_dir != EdgeSet::None {
             let (src_out, dst_in, _, _) = endpoint_roles(graph.is_directed(), gather_dir);
@@ -152,33 +165,37 @@ pub fn edge_centric_run<P: VertexProgram>(
         }
 
         // ---- Apply (parallel over vertices, like the vertex engine). ----
-        let prev_states = states.clone();
-        let cs = (n / 256).clamp(64, 8192);
+        // Apply consumes each active vertex's accumulator *and* inbox
+        // message, leaving both scratch tables all-`None` for the next
+        // iteration without a clearing pass.
+        prev_states
+            .par_chunks_mut(cs)
+            .zip(states.par_chunks(cs))
+            .for_each(|(dst, src)| dst.clone_from_slice(src));
+        let active_ref = &active;
         let (apply_ns, apply_ops) = states
             .par_chunks_mut(cs)
             .zip(accums.par_chunks_mut(cs))
+            .zip(inbox.par_chunks_mut(cs))
             .enumerate()
-            .map(|(ci, (state_chunk, acc_chunk))| {
+            .map(|(ci, ((state_chunk, acc_chunk), inbox_chunk))| {
                 let base = ci * cs;
                 let mut ns = 0u64;
                 let mut ops = 0u64;
-                for (off, (slot, acc)) in
-                    state_chunk.iter_mut().zip(acc_chunk.iter_mut()).enumerate()
+                for (off, ((slot, acc), msg)) in state_chunk
+                    .iter_mut()
+                    .zip(acc_chunk.iter_mut())
+                    .zip(inbox_chunk.iter_mut())
+                    .enumerate()
                 {
                     let v = (base + off) as VertexId;
-                    if !active[v as usize] {
+                    if !active_ref[v as usize] {
                         continue;
                     }
                     let mut info = ApplyInfo::default();
+                    let msg = msg.take();
                     let t0 = Instant::now();
-                    program.apply(
-                        v,
-                        slot,
-                        acc.take(),
-                        inbox[v as usize].as_ref(),
-                        &global,
-                        &mut info,
-                    );
+                    program.apply(v, slot, acc.take(), msg.as_ref(), &global, &mut info);
                     ns += t0.elapsed().as_nanos() as u64;
                     ops += info.ops;
                 }
@@ -188,7 +205,6 @@ pub fn edge_centric_run<P: VertexProgram>(
 
         // ---- Scatter: second edge stream. ----
         let scatter_dir = program.scatter_edges();
-        let mut next_inbox: Vec<Option<P::Message>> = (0..n).map(|_| None).collect();
         let mut messages = 0u64;
         if scatter_dir != EdgeSet::None {
             let (src_out, dst_in, _, _) = endpoint_roles(graph.is_directed(), scatter_dir);
@@ -220,7 +236,7 @@ pub fn edge_centric_run<P: VertexProgram>(
                 }
             }
         }
-        inbox = next_inbox;
+        std::mem::swap(&mut inbox, &mut next_inbox);
         trace.iterations.push(IterationStats {
             active: active_count,
             updates: active_count,
@@ -230,14 +246,21 @@ pub fn edge_centric_run<P: VertexProgram>(
             apply_ops,
             remote_edge_reads: 0,
             remote_messages: 0,
+            frontier_density: active_count as f64 / n as f64,
         });
 
         if program.always_active() {
             active.iter_mut().for_each(|a| *a = true);
+            active_count = n as u64;
         } else {
+            // Fold the activation scan and the next iteration's active
+            // count into one pass (no separate O(n) count).
+            let mut count = 0u64;
             for (a, m) in active.iter_mut().zip(inbox.iter()) {
                 *a = m.is_some();
+                count += *a as u64;
             }
+            active_count = count;
         }
         if program.should_halt(iter, &states, &global) {
             trace.converged = true;
@@ -383,9 +406,8 @@ mod tests {
             NoGlobal,
             &EdgeCentricConfig::default(),
         );
-        let (vc_states, vc_trace) =
-            SyncEngine::new(&g, MinLabel, states, vec![(); g.num_edges()])
-                .run(&ExecutionConfig::default());
+        let (vc_states, vc_trace) = SyncEngine::new(&g, MinLabel, states, vec![(); g.num_edges()])
+            .run(&ExecutionConfig::default());
         assert_eq!(ec_states, vc_states);
         assert_eq!(strip(&ec_trace), strip(&vc_trace));
     }
@@ -418,7 +440,7 @@ mod tests {
             &g,
             &NeighborSum,
             vec![5, 7, 9],
-            &vec![(); 2],
+            &[(); 2],
             NoGlobal,
             &EdgeCentricConfig::default(),
         );
@@ -428,7 +450,7 @@ mod tests {
             &g,
             &NeighborSum,
             vec![5, 7, 9],
-            &vec![(); 2],
+            &[(); 2],
             NoGlobal,
             &EdgeCentricConfig { max_iterations: 1 },
         );

@@ -16,9 +16,13 @@
 //!
 //! The engine executes each phase data-parallel over vertex chunks (rayon),
 //! with per-chunk counter accumulation so the hot path shares no atomics;
-//! results are deterministic for a fixed seed because chunk boundaries
-//! depend only on the vertex count, and all message combiners used by the
-//! algorithm suite are commutative.
+//! results are deterministic — bit-identical across thread counts and the
+//! sequential fallback — because chunk boundaries depend only on the vertex
+//! count and the message exchange combines every destination chunk in a
+//! fixed order (see [`sync_engine`]). Per-iteration cost tracks the active
+//! frontier, not |V|: below [`SPARSE_FRONTIER_THRESHOLD`] the engine walks
+//! a compact sorted active-vertex list instead of sweeping a dense bitmap
+//! ([`FrontierMode`]).
 //!
 //! ```
 //! use graphmine_engine::{
@@ -90,5 +94,7 @@ pub mod trace;
 pub use async_engine::{async_run, AsyncConfig, AsyncStats, Scheduler};
 pub use edge_centric::{edge_centric_run, EdgeCentricConfig};
 pub use program::{ActiveInit, ApplyInfo, EdgeSet, NoGlobal, VertexProgram};
-pub use sync_engine::{ExecutionConfig, SyncEngine};
+pub use sync_engine::{
+    chunk_size, ExecutionConfig, FrontierMode, SyncEngine, SPARSE_FRONTIER_THRESHOLD,
+};
 pub use trace::{IterationStats, RunTrace};

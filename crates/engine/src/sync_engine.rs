@@ -5,6 +5,46 @@
 //! overlap, each data-parallel over fixed-size vertex chunks. Double
 //! buffering gives gather/scatter a consistent snapshot of the previous
 //! iteration while apply writes the next one.
+//!
+//! # Frontier-aware sparse execution
+//!
+//! The paper's behavior series (§4) exist because the active fraction
+//! varies by orders of magnitude over a run; this engine makes the
+//! *per-iteration cost* track that variation instead of paying dense O(|V|)
+//! sweeps regardless of how few vertices are active. The active set is kept
+//! in two interchangeable forms — a dense bitmap and a compact sorted
+//! vertex list grouped by chunk — and each iteration picks one
+//! ([`FrontierMode::Adaptive`]): below [`SPARSE_FRONTIER_THRESHOLD`] the
+//! three phases visit only the chunks that contain active vertices; above
+//! it they sweep every chunk like a classic BSP engine.
+//!
+//! The per-iteration cost model is therefore
+//!
+//! * sparse mode: `O(|F| + deg(F) + M)` where `F` is the frontier, `deg(F)`
+//!   its incident-edge count, and `M` the messages sent — plus
+//!   `O(num_chunks)` pointer arithmetic to locate active chunks;
+//! * dense mode: `O(|V| + deg(F) + M)`, the seed engine's shape, chosen
+//!   exactly when `|F|` is already a sizable fraction of `|V|`.
+//!
+//! Supporting invariants keep both paths allocation-light:
+//!
+//! * the gather accumulator table and the message inbox are scratch buffers
+//!   owned for the whole run; apply *takes* each active vertex's
+//!   accumulator and message, so both buffers return to all-`None` without
+//!   any O(|V|) clearing pass;
+//! * `next_states` is re-synchronized with `states` lazily — only the
+//!   vertices rewritten by the previous apply are copied back
+//!   ([`PendingSync`]), not the whole state vector;
+//! * scatter buckets outgoing messages by destination chunk and the
+//!   exchange combines each destination chunk in parallel, always in the
+//!   same fixed order (source chunk ascending, then emission order), so
+//!   floating-point message reductions are bit-identical across thread
+//!   counts, the sequential fallback, and both frontier modes.
+//!
+//! Behavior counters (UPDATE/EREAD/MESSAGE, their remote variants, and
+//! `apply_ops`) are byte-for-byte identical between the sparse and dense
+//! paths: both issue exactly the same per-vertex program calls and differ
+//! only in how they find the active vertices.
 
 use crate::program::{ActiveInit, ApplyInfo, EdgeSet, VertexProgram};
 use crate::trace::{IterationStats, RunTrace};
@@ -13,6 +53,30 @@ use rayon::prelude::*;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// How the engine represents and walks the active set each iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FrontierMode {
+    /// Decide per iteration from the frontier density: a compact sorted
+    /// active-vertex list below [`SPARSE_FRONTIER_THRESHOLD`], a dense
+    /// bitmap sweep otherwise.
+    #[default]
+    Adaptive,
+    /// Always sweep the dense bitmap (the pre-frontier engine's behavior;
+    /// kept selectable so benchmarks can measure the sparse path's gain).
+    Dense,
+    /// Always walk the sorted active-vertex list, whatever the density.
+    Sparse,
+}
+
+/// Frontier density below which [`FrontierMode::Adaptive`] switches to the
+/// compact active-list representation.
+///
+/// At 1/16 of the vertices active, the list path touches at most ~6% of the
+/// chunk footprint the dense sweep would, comfortably amortizing its extra
+/// indirection; above it the bitmap sweep's linear scans are cheaper than
+/// maintaining per-chunk vertex lists.
+pub const SPARSE_FRONTIER_THRESHOLD: f64 = 1.0 / 16.0;
 
 /// Execution knobs.
 #[derive(Debug, Clone)]
@@ -39,6 +103,10 @@ pub struct ExecutionConfig {
     /// benchmark-job service to enforce wall-clock timeouts and client
     /// cancellation on long runs.
     pub cancel: Option<Arc<AtomicBool>>,
+    /// Active-set representation policy. [`FrontierMode::Adaptive`] (the
+    /// default) never changes results or behavior counters — only which
+    /// data structure the engine walks to find active vertices.
+    pub frontier_mode: FrontierMode,
 }
 
 impl Default for ExecutionConfig {
@@ -49,6 +117,7 @@ impl Default for ExecutionConfig {
             skip_apply_timing: false,
             partition: None,
             cancel: None,
+            frontier_mode: FrontierMode::Adaptive,
         }
     }
 }
@@ -81,6 +150,13 @@ impl ExecutionConfig {
         self
     }
 
+    /// Force a frontier representation (benchmarks and tests; the default
+    /// adaptive policy is right for production runs).
+    pub fn with_frontier_mode(mut self, mode: FrontierMode) -> ExecutionConfig {
+        self.frontier_mode = mode;
+        self
+    }
+
     /// Whether an attached cancellation flag has been raised.
     #[inline]
     pub fn is_cancelled(&self) -> bool {
@@ -99,11 +175,187 @@ pub struct SyncEngine<'g, P: VertexProgram> {
     global: P::Global,
 }
 
-/// Deterministic chunk size: depends only on the vertex count so that
-/// message-merge order (and thus any floating-point reduction order) is
-/// stable across thread counts and machines.
-fn chunk_size(n: usize) -> usize {
+/// Deterministic data-parallel chunk size for `n` vertices.
+///
+/// The value depends **only** on the vertex count — never on thread count,
+/// machine, or frontier mode — because chunk boundaries fix the
+/// message-merge order and therefore every floating-point reduction order
+/// in a run. `n / 256` targets a few chunks per core on typical machines;
+/// the clamp keeps chunks at ≥ 64 vertices so tiny graphs don't drown in
+/// per-chunk overhead, and at ≤ 8192 so huge graphs still expose enough
+/// chunks for work stealing to balance skewed degree distributions.
+pub fn chunk_size(n: usize) -> usize {
     (n / 256).clamp(64, 8192)
+}
+
+/// The part of `next_states` left stale by the previous apply phase.
+///
+/// `next_states` must equal `states` everywhere before an apply rewrites
+/// the current frontier. Rather than a dense O(|V|) `clone_from_slice`
+/// every iteration, the engine records which vertices the *last* apply
+/// touched and copies only those back.
+enum PendingSync {
+    /// Buffers already identical (start of run).
+    Clean,
+    /// Exactly these vertices differ (last iteration ran sparse).
+    Vertices(Vec<VertexId>),
+    /// Last iteration ran dense: resynchronize chunk-wise. When the current
+    /// iteration is also dense this folds into its apply sweep for free.
+    All,
+}
+
+/// Adaptive frontier bookkeeping shared by the three phases.
+///
+/// The bitmap is always maintained; the sorted vertex `list` and its
+/// per-chunk grouping `chunks` are rebuilt only for iterations that run in
+/// sparse mode, so each rayon task receives exactly the vertices it owns.
+struct FrontierSet {
+    mode: FrontierMode,
+    n: usize,
+    cs: usize,
+    bitmap: Vec<bool>,
+    /// Sorted active vertices; valid only when `sparse`.
+    list: Vec<VertexId>,
+    /// `(chunk_index, lo, hi)`: `list[lo..hi]` falls in that chunk.
+    /// Ascending by chunk index; valid only when `sparse`.
+    chunks: Vec<(usize, usize, usize)>,
+    count: usize,
+    sparse: bool,
+}
+
+impl FrontierSet {
+    fn new(n: usize, cs: usize, mode: FrontierMode) -> FrontierSet {
+        FrontierSet {
+            mode,
+            n,
+            cs,
+            bitmap: vec![false; n],
+            list: Vec::new(),
+            chunks: Vec::new(),
+            count: 0,
+            sparse: false,
+        }
+    }
+
+    fn pick_sparse(&self, count: usize) -> bool {
+        match self.mode {
+            FrontierMode::Dense => false,
+            FrontierMode::Sparse => true,
+            FrontierMode::Adaptive => (count as f64) < SPARSE_FRONTIER_THRESHOLD * self.n as f64,
+        }
+    }
+
+    /// Regroup `list` (sorted) into per-chunk sub-ranges.
+    fn rebuild_chunks(&mut self) {
+        self.chunks.clear();
+        let mut i = 0;
+        while i < self.list.len() {
+            let ci = self.list[i] as usize / self.cs;
+            let lo = i;
+            while i < self.list.len() && self.list[i] as usize / self.cs == ci {
+                i += 1;
+            }
+            self.chunks.push((ci, lo, i));
+        }
+    }
+
+    /// Every vertex active (`ActiveInit::All`).
+    fn init_all(&mut self) {
+        self.bitmap.iter_mut().for_each(|b| *b = true);
+        self.count = self.n;
+        self.sparse = self.pick_sparse(self.n);
+        if self.sparse {
+            self.list = (0..self.n as VertexId).collect();
+            self.rebuild_chunks();
+        }
+    }
+
+    /// Only the listed vertices active (`ActiveInit::Vertices`).
+    fn init_subset(&mut self, mut vs: Vec<VertexId>) {
+        vs.sort_unstable();
+        vs.dedup();
+        for &v in &vs {
+            self.bitmap[v as usize] = true;
+        }
+        self.count = vs.len();
+        self.sparse = self.pick_sparse(self.count);
+        self.list = vs;
+        if self.sparse {
+            self.rebuild_chunks();
+        } else {
+            self.chunks.clear();
+        }
+    }
+
+    /// Replace the frontier with `next` (sorted, deduplicated), maintaining
+    /// the bitmap and count incrementally: clearing costs the old frontier,
+    /// setting costs the new one — never O(|V|) while sparse.
+    fn advance(&mut self, next: Vec<VertexId>) {
+        if self.sparse {
+            for &v in &self.list {
+                self.bitmap[v as usize] = false;
+            }
+        } else {
+            self.bitmap.iter_mut().for_each(|b| *b = false);
+        }
+        for &v in &next {
+            self.bitmap[v as usize] = true;
+        }
+        self.count = next.len();
+        self.sparse = self.pick_sparse(self.count);
+        self.list = next;
+        if self.sparse {
+            self.rebuild_chunks();
+        } else {
+            self.chunks.clear();
+        }
+    }
+}
+
+/// Pair each ascending chunk index in `ids` with its mutable chunk of
+/// `data`. One forward pass over the chunk iterator — O(num_chunks) pointer
+/// arithmetic, no allocation beyond the output.
+fn select_chunks_mut<T>(
+    data: &mut [T],
+    cs: usize,
+    ids: impl IntoIterator<Item = usize>,
+) -> Vec<&mut [T]> {
+    let mut out = Vec::new();
+    let mut chunks = data.chunks_mut(cs);
+    let mut next = 0usize;
+    for ci in ids {
+        let chunk = chunks.nth(ci - next).expect("chunk index out of range");
+        next = ci + 1;
+        out.push(chunk);
+    }
+    out
+}
+
+/// One source range's scattered messages, grouped by destination chunk so
+/// the exchange can hand each destination chunk its slice directly.
+struct RangeOutbox<M> {
+    /// Stably sorted by destination chunk: within a chunk, emission order
+    /// (source vertex ascending, then edge order) is preserved.
+    msgs: Vec<(VertexId, M)>,
+    /// `(dest_chunk, start, end)` into `msgs`, ascending by `dest_chunk`.
+    groups: Vec<(usize, usize, usize)>,
+}
+
+/// Group `msgs` by destination chunk, preserving emission order within each
+/// chunk (stable sort — this order is part of the determinism contract).
+fn bucket_by_dest_chunk<M>(mut msgs: Vec<(VertexId, M)>, cs: usize) -> RangeOutbox<M> {
+    msgs.sort_by_key(|&(target, _)| target as usize / cs);
+    let mut groups = Vec::new();
+    let mut i = 0;
+    while i < msgs.len() {
+        let d = msgs[i].0 as usize / cs;
+        let start = i;
+        while i < msgs.len() && msgs[i].0 as usize / cs == d {
+            i += 1;
+        }
+        groups.push((d, start, i));
+    }
+    RangeOutbox { msgs, groups }
 }
 
 impl<'g, P: VertexProgram> SyncEngine<'g, P>
@@ -180,24 +432,30 @@ impl<'g, P: VertexProgram> SyncEngine<'g, P> {
             return (self.states, self.global, trace);
         }
 
-        let mut active = vec![false; n];
+        let cs = chunk_size(n);
+        let always_active = self.program.always_active();
+        let mut frontier = FrontierSet::new(n, cs, config.frontier_mode);
         match self.program.initial_active() {
-            ActiveInit::All => active.iter_mut().for_each(|a| *a = true),
-            ActiveInit::Vertices(vs) => {
-                for v in vs {
-                    active[v as usize] = true;
-                }
-            }
+            ActiveInit::All => frontier.init_all(),
+            ActiveInit::Vertices(vs) => frontier.init_subset(vs),
         }
+
+        // Run-lifetime scratch: hoisted out of the iteration loop so the
+        // steady state allocates proportionally to frontier work only.
+        let ranges: Vec<(usize, usize)> = (0..n)
+            .step_by(cs)
+            .map(|start| (start, (start + cs).min(n)))
+            .collect();
+        let mut accums: Vec<Option<P::Accum>> = (0..n).map(|_| None).collect();
         let mut inbox: Vec<Option<P::Message>> = (0..n).map(|_| None).collect();
         let mut next_states = self.states.clone();
+        let mut pending = PendingSync::Clean;
 
         for iter in 0..config.max_iterations {
             if config.is_cancelled() {
                 break;
             }
-            let active_count = active.iter().filter(|&&a| a).count() as u64;
-            if active_count == 0 {
+            if frontier.count == 0 {
                 trace.converged = true;
                 break;
             }
@@ -205,31 +463,33 @@ impl<'g, P: VertexProgram> SyncEngine<'g, P> {
             self.program
                 .before_iteration(iter, &self.states, &mut self.global);
 
-            let stats = self.iteration(
+            let (stats, next_frontier) = self.iteration(
                 config,
-                &active,
+                &frontier,
+                &ranges,
+                &mut accums,
                 &mut inbox,
                 &mut next_states,
-                active_count,
+                &pending,
+                !always_active,
             );
-            // Promote next states to current (reuse the old buffer).
+            // Promote next states to current (reuse the old buffer) and
+            // remember which vertices now need back-filling.
             std::mem::swap(&mut self.states, &mut next_states);
+            pending = if frontier.sparse {
+                PendingSync::Vertices(frontier.list.clone())
+            } else {
+                PendingSync::All
+            };
             trace.iterations.push(stats);
 
             // Next-iteration activation: message receipt, unless the program
             // keeps everything alive.
-            if self.program.always_active() {
-                active.iter_mut().for_each(|a| *a = true);
-            } else {
-                for (a, m) in active.iter_mut().zip(inbox.iter()) {
-                    *a = m.is_some();
-                }
+            if !always_active {
+                frontier.advance(next_frontier);
             }
 
-            if self
-                .program
-                .should_halt(iter, &self.states, &self.global)
-            {
+            if self.program.should_halt(iter, &self.states, &self.global) {
                 trace.converged = true;
                 break;
             }
@@ -237,181 +497,54 @@ impl<'g, P: VertexProgram> SyncEngine<'g, P> {
         (self.states, self.global, trace)
     }
 
-    /// Execute one synchronous iteration, consuming `inbox` and refilling it
-    /// with the next iteration's messages.
+    /// Execute one synchronous iteration. Consumes the frontier's inbox
+    /// messages and refills `inbox` with the next iteration's; returns the
+    /// iteration's stats and the sorted list of vertices that received a
+    /// message (the next frontier, when activation is message-driven).
+    #[allow(clippy::too_many_arguments)]
     fn iteration(
-        &mut self,
+        &self,
         config: &ExecutionConfig,
-        active: &[bool],
-        inbox: &mut Vec<Option<P::Message>>,
+        frontier: &FrontierSet,
+        ranges: &[(usize, usize)],
+        accums: &mut [Option<P::Accum>],
+        inbox: &mut [Option<P::Message>],
         next_states: &mut [P::State],
-        active_count: u64,
-    ) -> IterationStats {
+        pending: &PendingSync,
+        track_receivers: bool,
+    ) -> (IterationStats, Vec<VertexId>) {
         let n = self.graph.num_vertices();
-        let cs = chunk_size(n);
+        let cs = frontier.cs;
         let graph = self.graph;
         let program = &self.program;
         let states = &self.states;
         let edge_data = &self.edge_data;
         let global = &self.global;
+        let active = &frontier.bitmap;
+        let sparse = frontier.sparse;
+        let active_count = frontier.count as u64;
+
+        let sum2 = |a: (u64, u64), b: (u64, u64)| (a.0 + b.0, a.1 + b.1);
 
         // ---- Gather ----
         let partition = config.partition.as_deref();
         let gather_dir = program.gather_edges();
-        let mut accums: Vec<Option<P::Accum>> = (0..n).map(|_| None).collect();
         let mut edge_reads: u64 = 0;
         let mut remote_edge_reads: u64 = 0;
         if gather_dir != EdgeSet::None {
-            let gather_one = |v: VertexId, local_reads: &mut u64, remote: &mut u64| -> Option<P::Accum> {
-                let v_state = &states[v as usize];
-                let mut acc: Option<P::Accum> = None;
-                let mut visit = |dir: Direction| {
-                    for (e, nbr) in graph.incident(v, dir) {
-                        *local_reads += 1;
-                        if let Some(p) = partition {
-                            if p[v as usize] != p[nbr as usize] {
-                                *remote += 1;
-                            }
-                        }
-                        let contrib = program.gather(
-                            graph,
-                            v,
-                            e,
-                            nbr,
-                            v_state,
-                            &states[nbr as usize],
-                            &edge_data[e as usize],
-                            global,
-                        );
-                        match &mut acc {
-                            Some(a) => program.merge(a, contrib),
-                            None => acc = Some(contrib),
-                        }
-                    }
-                };
-                match gather_dir {
-                    EdgeSet::In => visit(Direction::In),
-                    EdgeSet::Out => visit(Direction::Out),
-                    EdgeSet::Both => {
-                        visit(Direction::Out);
-                        if graph.is_directed() {
-                            visit(Direction::In);
-                        }
-                    }
-                    EdgeSet::None => {}
-                }
-                acc
-            };
-            let per_chunk = |(ci, chunk): (usize, &mut [Option<P::Accum>])| -> (u64, u64) {
-                let base = ci * cs;
-                let mut local: u64 = 0;
-                let mut remote: u64 = 0;
-                for (off, slot) in chunk.iter_mut().enumerate() {
-                    let v = (base + off) as VertexId;
-                    if active[v as usize] {
-                        *slot = gather_one(v, &mut local, &mut remote);
-                    }
-                }
-                (local, remote)
-            };
-            let (total, remote) = if config.sequential {
-                accums
-                    .chunks_mut(cs)
-                    .enumerate()
-                    .map(per_chunk)
-                    .fold((0u64, 0u64), |a, b| (a.0 + b.0, a.1 + b.1))
-            } else {
-                accums
-                    .par_chunks_mut(cs)
-                    .enumerate()
-                    .map(per_chunk)
-                    .reduce(|| (0, 0), |a, b| (a.0 + b.0, a.1 + b.1))
-            };
-            edge_reads = total;
-            remote_edge_reads = remote;
-        }
-
-        // ---- Apply ----
-        // next_states starts as a copy of states (kept in sync at the end of
-        // every iteration); only active vertices are rewritten.
-        let skip_timing = config.skip_apply_timing;
-        let apply_chunk = |(ci, (state_chunk, accum_chunk)): (
-            usize,
-            (&mut [P::State], &mut [Option<P::Accum>]),
-        )|
-         -> (u64, u64) {
-            let base = ci * cs;
-            let mut ns: u64 = 0;
-            let mut ops: u64 = 0;
-            for (off, (slot, acc_slot)) in state_chunk
-                .iter_mut()
-                .zip(accum_chunk.iter_mut())
-                .enumerate()
-            {
-                let v = (base + off) as VertexId;
-                if !active[v as usize] {
-                    continue;
-                }
-                // Refresh the copy: state may be stale if this vertex was
-                // updated in an earlier iteration while inactive copies
-                // were skipped. (We copy lazily, only for active vertices;
-                // inactive ones are synchronized wholesale below only when
-                // cheap.) Here next == prev already by maintenance.
-                let mut info = ApplyInfo::default();
-                let acc = acc_slot.take();
-                let msg = inbox[v as usize].as_ref();
-                if skip_timing {
-                    program.apply(v, slot, acc, msg, global, &mut info);
-                } else {
-                    let t0 = Instant::now();
-                    program.apply(v, slot, acc, msg, global, &mut info);
-                    ns += t0.elapsed().as_nanos() as u64;
-                }
-                ops += info.ops;
-            }
-            (ns, ops)
-        };
-        // Keep next_states synchronized with states for inactive vertices:
-        // clone_from per chunk before applying. Cost O(n) per iteration.
-        let sync_and_apply = |(ci, (dst, (src, acc))): (
-            usize,
-            (&mut [P::State], (&[P::State], &mut [Option<P::Accum>])),
-        )|
-         -> (u64, u64) {
-            dst.clone_from_slice(src);
-            apply_chunk((ci, (dst, acc)))
-        };
-        let (apply_ns, apply_ops) = if config.sequential {
-            next_states
-                .chunks_mut(cs)
-                .zip(states.chunks(cs).zip(accums.chunks_mut(cs)))
-                .enumerate()
-                .map(sync_and_apply)
-                .fold((0u64, 0u64), |a, b| (a.0 + b.0, a.1 + b.1))
-        } else {
-            next_states
-                .par_chunks_mut(cs)
-                .zip(states.par_chunks(cs).zip(accums.par_chunks_mut(cs)))
-                .enumerate()
-                .map(sync_and_apply)
-                .reduce(|| (0, 0), |a, b| (a.0 + b.0, a.1 + b.1))
-        };
-
-        // ---- Scatter ----
-        let scatter_dir = program.scatter_edges();
-        let next_states_ref: &[P::State] = next_states;
-        let mut messages: u64 = 0;
-        let mut remote_messages: u64 = 0;
-        let mut outboxes: Vec<Vec<(VertexId, P::Message)>> = Vec::new();
-        if scatter_dir != EdgeSet::None {
-            let scatter_one = |v: VertexId,
-                               out: &mut Vec<(VertexId, P::Message)>,
-                               count: &mut u64,
-                               remote: &mut u64| {
-                    let v_state = &next_states_ref[v as usize];
+            let gather_one =
+                |v: VertexId, local_reads: &mut u64, remote: &mut u64| -> Option<P::Accum> {
+                    let v_state = &states[v as usize];
+                    let mut acc: Option<P::Accum> = None;
                     let mut visit = |dir: Direction| {
                         for (e, nbr) in graph.incident(v, dir) {
-                            if let Some(msg) = program.scatter(
+                            *local_reads += 1;
+                            if let Some(p) = partition {
+                                if p[v as usize] != p[nbr as usize] {
+                                    *remote += 1;
+                                }
+                            }
+                            let contrib = program.gather(
                                 graph,
                                 v,
                                 e,
@@ -420,18 +553,14 @@ impl<'g, P: VertexProgram> SyncEngine<'g, P> {
                                 &states[nbr as usize],
                                 &edge_data[e as usize],
                                 global,
-                            ) {
-                                *count += 1;
-                                if let Some(p) = partition {
-                                    if p[v as usize] != p[nbr as usize] {
-                                        *remote += 1;
-                                    }
-                                }
-                                out.push((nbr, msg));
+                            );
+                            match &mut acc {
+                                Some(a) => program.merge(a, contrib),
+                                None => acc = Some(contrib),
                             }
                         }
                     };
-                    match scatter_dir {
+                    match gather_dir {
                         EdgeSet::In => visit(Direction::In),
                         EdgeSet::Out => visit(Direction::Out),
                         EdgeSet::Both => {
@@ -442,26 +571,289 @@ impl<'g, P: VertexProgram> SyncEngine<'g, P> {
                         }
                         EdgeSet::None => {}
                     }
+                    acc
                 };
-            let ranges: Vec<(usize, usize)> = (0..n)
-                .step_by(cs)
-                .map(|start| (start, (start + cs).min(n)))
-                .collect();
-            let per_range = |&(start, end): &(usize, usize)| {
-                let mut out = Vec::new();
-                let mut count = 0u64;
-                let mut remote = 0u64;
-                for v in start..end {
-                    if active[v] {
-                        scatter_one(v as VertexId, &mut out, &mut count, &mut remote);
+            let (total, remote) = if sparse {
+                // Only chunks holding active vertices, and within each only
+                // the listed vertices.
+                type GatherItem<'a, A> = (&'a mut [Option<A>], usize, &'a [VertexId]);
+                let work: Vec<GatherItem<'_, P::Accum>> =
+                    select_chunks_mut(accums, cs, frontier.chunks.iter().map(|c| c.0))
+                        .into_iter()
+                        .zip(frontier.chunks.iter())
+                        .map(|(chunk, &(ci, lo, hi))| (chunk, ci, &frontier.list[lo..hi]))
+                        .collect();
+                let per_item =
+                    |(chunk, ci, verts): (&mut [Option<P::Accum>], usize, &[VertexId])| {
+                        let base = ci * cs;
+                        let mut local: u64 = 0;
+                        let mut remote: u64 = 0;
+                        for &v in verts {
+                            chunk[v as usize - base] = gather_one(v, &mut local, &mut remote);
+                        }
+                        (local, remote)
+                    };
+                if config.sequential {
+                    work.into_iter().map(per_item).fold((0, 0), sum2)
+                } else {
+                    work.into_par_iter().map(per_item).reduce(|| (0, 0), sum2)
+                }
+            } else {
+                let per_chunk = |(ci, chunk): (usize, &mut [Option<P::Accum>])| -> (u64, u64) {
+                    let base = ci * cs;
+                    let mut local: u64 = 0;
+                    let mut remote: u64 = 0;
+                    for (off, slot) in chunk.iter_mut().enumerate() {
+                        let v = (base + off) as VertexId;
+                        if active[v as usize] {
+                            *slot = gather_one(v, &mut local, &mut remote);
+                        }
+                    }
+                    (local, remote)
+                };
+                if config.sequential {
+                    accums
+                        .chunks_mut(cs)
+                        .enumerate()
+                        .map(per_chunk)
+                        .fold((0, 0), sum2)
+                } else {
+                    accums
+                        .par_chunks_mut(cs)
+                        .enumerate()
+                        .map(per_chunk)
+                        .reduce(|| (0, 0), sum2)
+                }
+            };
+            edge_reads = total;
+            remote_edge_reads = remote;
+        }
+
+        // ---- Apply ----
+        // Invariant: next_states == states everywhere except the vertices
+        // the *previous* apply rewrote (tracked by `pending`). Restore those
+        // first, then rewrite only the current frontier. The one dense
+        // full-resync folds into the dense sweep below instead of running as
+        // a separate pass.
+        let fused_sync = matches!(pending, PendingSync::All) && !sparse;
+        match pending {
+            PendingSync::Clean => {}
+            PendingSync::Vertices(stale) => {
+                for &v in stale {
+                    next_states[v as usize] = states[v as usize].clone();
+                }
+            }
+            PendingSync::All => {
+                if !fused_sync {
+                    if config.sequential {
+                        next_states
+                            .chunks_mut(cs)
+                            .zip(states.chunks(cs))
+                            .for_each(|(dst, src)| dst.clone_from_slice(src));
+                    } else {
+                        next_states
+                            .par_chunks_mut(cs)
+                            .zip(states.par_chunks(cs))
+                            .for_each(|(dst, src)| dst.clone_from_slice(src));
                     }
                 }
-                (out, count, remote)
-            };
-            let collected: Vec<(Vec<(VertexId, P::Message)>, u64, u64)> = if config.sequential {
-                ranges.iter().map(per_range).collect()
+            }
+        }
+        let skip_timing = config.skip_apply_timing;
+        let apply_one = |v: VertexId,
+                         slot: &mut P::State,
+                         acc: Option<P::Accum>,
+                         msg: Option<P::Message>,
+                         ns: &mut u64,
+                         ops: &mut u64| {
+            let mut info = ApplyInfo::default();
+            if skip_timing {
+                program.apply(v, slot, acc, msg.as_ref(), global, &mut info);
             } else {
-                ranges.par_iter().map(per_range).collect()
+                let t0 = Instant::now();
+                program.apply(v, slot, acc, msg.as_ref(), global, &mut info);
+                *ns += t0.elapsed().as_nanos() as u64;
+            }
+            *ops += info.ops;
+        };
+        let (apply_ns, apply_ops) = if sparse {
+            let ids = || frontier.chunks.iter().map(|c| c.0);
+            let dst_chunks = select_chunks_mut(next_states, cs, ids());
+            let acc_chunks = select_chunks_mut(accums, cs, ids());
+            let inb_chunks = select_chunks_mut(inbox, cs, ids());
+            type ApplyItem<'a, P> = (
+                &'a mut [<P as VertexProgram>::State],
+                &'a mut [Option<<P as VertexProgram>::Accum>],
+                &'a mut [Option<<P as VertexProgram>::Message>],
+                usize,
+                &'a [VertexId],
+            );
+            let work: Vec<ApplyItem<'_, P>> = dst_chunks
+                .into_iter()
+                .zip(acc_chunks)
+                .zip(inb_chunks)
+                .zip(frontier.chunks.iter())
+                .map(|(((dst, acc), inb), &(ci, lo, hi))| {
+                    (dst, acc, inb, ci, &frontier.list[lo..hi])
+                })
+                .collect();
+            let per_item = |(dst, acc, inb, ci, verts): ApplyItem<'_, P>| -> (u64, u64) {
+                let base = ci * cs;
+                let mut ns: u64 = 0;
+                let mut ops: u64 = 0;
+                for &v in verts {
+                    let off = v as usize - base;
+                    apply_one(
+                        v,
+                        &mut dst[off],
+                        acc[off].take(),
+                        inb[off].take(),
+                        &mut ns,
+                        &mut ops,
+                    );
+                }
+                (ns, ops)
+            };
+            if config.sequential {
+                work.into_iter().map(per_item).fold((0, 0), sum2)
+            } else {
+                work.into_par_iter().map(per_item).reduce(|| (0, 0), sum2)
+            }
+        } else {
+            type DenseItem<'a, P> = (
+                usize,
+                (
+                    (
+                        (
+                            &'a mut [<P as VertexProgram>::State],
+                            &'a [<P as VertexProgram>::State],
+                        ),
+                        &'a mut [Option<<P as VertexProgram>::Accum>],
+                    ),
+                    &'a mut [Option<<P as VertexProgram>::Message>],
+                ),
+            );
+            let per_chunk = |(ci, (((dst, src), acc), inb)): DenseItem<'_, P>| -> (u64, u64) {
+                if fused_sync {
+                    dst.clone_from_slice(src);
+                }
+                let base = ci * cs;
+                let mut ns: u64 = 0;
+                let mut ops: u64 = 0;
+                for (off, ((slot, acc_slot), inb_slot)) in dst
+                    .iter_mut()
+                    .zip(acc.iter_mut())
+                    .zip(inb.iter_mut())
+                    .enumerate()
+                {
+                    let v = (base + off) as VertexId;
+                    if !active[v as usize] {
+                        continue;
+                    }
+                    apply_one(v, slot, acc_slot.take(), inb_slot.take(), &mut ns, &mut ops);
+                }
+                (ns, ops)
+            };
+            if config.sequential {
+                next_states
+                    .chunks_mut(cs)
+                    .zip(states.chunks(cs))
+                    .zip(accums.chunks_mut(cs))
+                    .zip(inbox.chunks_mut(cs))
+                    .enumerate()
+                    .map(per_chunk)
+                    .fold((0, 0), sum2)
+            } else {
+                next_states
+                    .par_chunks_mut(cs)
+                    .zip(states.par_chunks(cs))
+                    .zip(accums.par_chunks_mut(cs))
+                    .zip(inbox.par_chunks_mut(cs))
+                    .enumerate()
+                    .map(per_chunk)
+                    .reduce(|| (0, 0), sum2)
+            }
+        };
+
+        // ---- Scatter ----
+        let scatter_dir = program.scatter_edges();
+        let next_states_ref: &[P::State] = next_states;
+        let mut messages: u64 = 0;
+        let mut remote_messages: u64 = 0;
+        let mut outboxes: Vec<RangeOutbox<P::Message>> = Vec::new();
+        if scatter_dir != EdgeSet::None {
+            let scatter_one = |v: VertexId,
+                               out: &mut Vec<(VertexId, P::Message)>,
+                               count: &mut u64,
+                               remote: &mut u64| {
+                let v_state = &next_states_ref[v as usize];
+                let mut visit = |dir: Direction| {
+                    for (e, nbr) in graph.incident(v, dir) {
+                        if let Some(msg) = program.scatter(
+                            graph,
+                            v,
+                            e,
+                            nbr,
+                            v_state,
+                            &states[nbr as usize],
+                            &edge_data[e as usize],
+                            global,
+                        ) {
+                            *count += 1;
+                            if let Some(p) = partition {
+                                if p[v as usize] != p[nbr as usize] {
+                                    *remote += 1;
+                                }
+                            }
+                            out.push((nbr, msg));
+                        }
+                    }
+                };
+                match scatter_dir {
+                    EdgeSet::In => visit(Direction::In),
+                    EdgeSet::Out => visit(Direction::Out),
+                    EdgeSet::Both => {
+                        visit(Direction::Out);
+                        if graph.is_directed() {
+                            visit(Direction::In);
+                        }
+                    }
+                    EdgeSet::None => {}
+                }
+            };
+            let collected: Vec<(RangeOutbox<P::Message>, u64, u64)> = if sparse {
+                let per_item = |&(ci, lo, hi): &(usize, usize, usize)| {
+                    let mut out = Vec::new();
+                    let mut count = 0u64;
+                    let mut remote = 0u64;
+                    for &v in &frontier.list[lo..hi] {
+                        scatter_one(v, &mut out, &mut count, &mut remote);
+                    }
+                    let _ = ci;
+                    (bucket_by_dest_chunk(out, cs), count, remote)
+                };
+                if config.sequential {
+                    frontier.chunks.iter().map(per_item).collect()
+                } else {
+                    frontier.chunks.par_iter().map(per_item).collect()
+                }
+            } else {
+                let per_range = |&(start, end): &(usize, usize)| {
+                    let mut out = Vec::new();
+                    let mut count = 0u64;
+                    let mut remote = 0u64;
+                    for (i, &is_active) in active[start..end].iter().enumerate() {
+                        if is_active {
+                            scatter_one((start + i) as VertexId, &mut out, &mut count, &mut remote);
+                        }
+                    }
+                    (bucket_by_dest_chunk(out, cs), count, remote)
+                };
+                if config.sequential {
+                    ranges.iter().map(per_range).collect()
+                } else {
+                    ranges.par_iter().map(per_range).collect()
+                }
             };
             outboxes.reserve(collected.len());
             for (out, count, remote) in collected {
@@ -471,20 +863,60 @@ impl<'g, P: VertexProgram> SyncEngine<'g, P> {
             }
         }
 
-        // ---- Merge messages into the (reused) inbox ----
-        for slot in inbox.iter_mut() {
-            *slot = None;
-        }
-        for out in outboxes {
-            for (target, msg) in out {
-                match &mut inbox[target as usize] {
-                    Some(existing) => self.program.combine(existing, msg),
-                    slot @ None => *slot = Some(msg),
+        // ---- Exchange: combine messages into the inbox ----
+        // Apply drained every delivered message above, so the inbox is
+        // all-None here — no O(|V|) clear. Each destination chunk is merged
+        // by one task, walking the source outboxes in ascending chunk order
+        // and each group in emission order: the exact combine order a
+        // single-threaded merge of the un-bucketed outboxes would use.
+        let mut receivers: Vec<VertexId> = Vec::new();
+        if outboxes.iter().any(|ob| !ob.msgs.is_empty()) {
+            let mut dest_chunks: Vec<usize> = outboxes
+                .iter()
+                .flat_map(|ob| ob.groups.iter().map(|g| g.0))
+                .collect();
+            dest_chunks.sort_unstable();
+            dest_chunks.dedup();
+            let outboxes_ref = &outboxes;
+            let items: Vec<(usize, &mut [Option<P::Message>])> = dest_chunks
+                .iter()
+                .copied()
+                .zip(select_chunks_mut(inbox, cs, dest_chunks.iter().copied()))
+                .collect();
+            let merge_chunk = |(ci, chunk): (usize, &mut [Option<P::Message>])| -> Vec<VertexId> {
+                let base = ci * cs;
+                let mut hits: Vec<VertexId> = Vec::new();
+                for ob in outboxes_ref {
+                    if let Ok(gi) = ob.groups.binary_search_by_key(&ci, |g| g.0) {
+                        let (_, start, end) = ob.groups[gi];
+                        for (target, msg) in &ob.msgs[start..end] {
+                            let slot = &mut chunk[*target as usize - base];
+                            match slot {
+                                Some(existing) => program.combine(existing, msg.clone()),
+                                None => {
+                                    *slot = Some(msg.clone());
+                                    if track_receivers {
+                                        hits.push(*target);
+                                    }
+                                }
+                            }
+                        }
+                    }
                 }
+                hits.sort_unstable();
+                hits
+            };
+            let per_chunk_receivers: Vec<Vec<VertexId>> = if config.sequential {
+                items.into_iter().map(merge_chunk).collect()
+            } else {
+                items.into_par_iter().map(merge_chunk).collect()
+            };
+            for r in per_chunk_receivers {
+                receivers.extend(r);
             }
         }
 
-        IterationStats {
+        let stats = IterationStats {
             active: active_count,
             updates: active_count,
             edge_reads,
@@ -493,7 +925,9 @@ impl<'g, P: VertexProgram> SyncEngine<'g, P> {
             apply_ops,
             remote_edge_reads,
             remote_messages,
-        }
+            frontier_density: active_count as f64 / n as f64,
+        };
+        (stats, receivers)
     }
 }
 
@@ -601,6 +1035,60 @@ mod tests {
     }
 
     #[test]
+    fn frontier_modes_agree_bitwise() {
+        // The path run decays from a full frontier to a single-vertex one,
+        // so the adaptive engine crosses the sparse threshold mid-run; all
+        // three forced representations must give identical states and
+        // counters anyway.
+        let g = path(200);
+        let states: Vec<u32> = (0..200).rev().collect();
+        let run = |mode: FrontierMode| {
+            let cfg = ExecutionConfig::default().with_frontier_mode(mode);
+            SyncEngine::new(&g, MinLabel, states.clone(), vec![(); 199]).run(&cfg)
+        };
+        let strip = |t: &RunTrace| -> Vec<IterationStats> {
+            t.iterations
+                .iter()
+                .map(|it| IterationStats { apply_ns: 0, ..*it })
+                .collect()
+        };
+        let (s_adaptive, t_adaptive) = run(FrontierMode::Adaptive);
+        let (s_dense, t_dense) = run(FrontierMode::Dense);
+        let (s_sparse, t_sparse) = run(FrontierMode::Sparse);
+        assert_eq!(s_adaptive, s_dense);
+        assert_eq!(s_adaptive, s_sparse);
+        assert_eq!(strip(&t_adaptive), strip(&t_dense));
+        assert_eq!(strip(&t_adaptive), strip(&t_sparse));
+        // The run must actually have exercised both representations.
+        assert!(t_adaptive
+            .iterations
+            .iter()
+            .any(|it| it.frontier_density < SPARSE_FRONTIER_THRESHOLD));
+        assert!(t_adaptive
+            .iterations
+            .iter()
+            .any(|it| it.frontier_density >= SPARSE_FRONTIER_THRESHOLD));
+    }
+
+    #[test]
+    fn chunk_size_is_clamped_and_deterministic() {
+        // Tiny graphs: floor of 64 keeps per-chunk overhead bounded.
+        assert_eq!(chunk_size(1), 64);
+        assert_eq!(chunk_size(100), 64);
+        assert_eq!(chunk_size(16_384), 64);
+        // Mid sizes: n / 256 exactly.
+        assert_eq!(chunk_size(256 * 100), 100);
+        assert_eq!(chunk_size(1_000_000), 3906);
+        // Huge graphs: ceiling of 8192 preserves work-stealing granularity.
+        assert_eq!(chunk_size(4_000_000), 8192);
+        assert_eq!(chunk_size(usize::MAX / 2), 8192);
+        // Determinism contract: same n, same chunks — every call.
+        for n in [1, 63, 64, 65, 10_000, 1 << 20] {
+            assert_eq!(chunk_size(n), chunk_size(n));
+        }
+    }
+
+    #[test]
     fn first_iteration_counts_are_exact() {
         // Path 0-1-2, labels [2, 1, 0]. Iteration 0: all 3 active, 3 updates,
         // gather=None so 0 ereads. Scatter: v0 sends to nobody smaller... v0
@@ -615,6 +1103,7 @@ mod tests {
         assert_eq!(it0.edge_reads, 0);
         assert_eq!(it0.messages, 2);
         assert_eq!(it0.apply_ops, 3);
+        assert_eq!(it0.frontier_density, 1.0);
     }
 
     #[test]
@@ -706,6 +1195,7 @@ mod tests {
             assert_eq!(it.active, 4);
             assert_eq!(it.edge_reads, 6);
             assert_eq!(it.messages, 0);
+            assert_eq!(it.frontier_density, 1.0);
         }
     }
 
@@ -773,6 +1263,77 @@ mod tests {
         assert_eq!(trace.iterations[0].active, 1);
         assert!(trace.iterations[1].active >= 1);
         assert!(trace.converged);
+    }
+
+    #[test]
+    fn sparse_subset_start_on_larger_path() {
+        // A single-source flood on a path long enough that the adaptive
+        // engine starts (and stays) in sparse mode: the frontier is one or
+        // two vertices out of 2000 the whole run.
+        let n = 2000;
+        let g = path(n);
+        let states: Vec<u32> = (0..n as u32)
+            .map(|v| if v == 0 { 0 } else { u32::MAX })
+            .collect();
+        /// Hop-count flood from vertex 0.
+        struct Hops;
+        impl VertexProgram for Hops {
+            type State = u32;
+            type EdgeData = ();
+            type Accum = ();
+            type Message = u32;
+            type Global = NoGlobal;
+            fn gather_edges(&self) -> EdgeSet {
+                EdgeSet::None
+            }
+            fn scatter_edges(&self) -> EdgeSet {
+                EdgeSet::Out
+            }
+            fn initial_active(&self) -> ActiveInit {
+                ActiveInit::Vertices(vec![0])
+            }
+            fn apply(
+                &self,
+                _v: VertexId,
+                state: &mut u32,
+                _acc: Option<()>,
+                msg: Option<&u32>,
+                _g: &NoGlobal,
+                _info: &mut ApplyInfo,
+            ) {
+                if let Some(&m) = msg {
+                    if m < *state {
+                        *state = m;
+                    }
+                }
+            }
+            fn scatter(
+                &self,
+                _graph: &Graph,
+                _v: VertexId,
+                _e: graphmine_graph::EdgeId,
+                _nbr: VertexId,
+                state: &u32,
+                nbr_state: &u32,
+                _edge: &(),
+                _g: &NoGlobal,
+            ) -> Option<u32> {
+                (*state != u32::MAX && state.saturating_add(1) < *nbr_state).then(|| state + 1)
+            }
+            fn combine(&self, into: &mut u32, from: u32) {
+                *into = (*into).min(from);
+            }
+        }
+        let (finals, trace) =
+            SyncEngine::new(&g, Hops, states, vec![(); n - 1]).run(&ExecutionConfig::default());
+        let expected: Vec<u32> = (0..n as u32).collect();
+        assert_eq!(finals, expected);
+        assert!(trace.converged);
+        // Every iteration's frontier is tiny: all sparse-mode territory.
+        for it in &trace.iterations {
+            assert!(it.active <= 2);
+            assert!(it.frontier_density < SPARSE_FRONTIER_THRESHOLD);
+        }
     }
 
     #[test]

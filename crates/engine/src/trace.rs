@@ -24,6 +24,12 @@ pub struct IterationStats {
     /// Messages crossing a partition boundary (cluster simulation).
     #[serde(default)]
     pub remote_messages: u64,
+    /// Active fraction at the start of the iteration (`active / |V|`).
+    /// Recorded so the benchmark layer can report which iterations a
+    /// frontier-aware engine would run in sparse mode without re-deriving
+    /// the graph size. Identical across executors and frontier modes.
+    #[serde(default)]
+    pub frontier_density: f64,
 }
 
 /// The complete record of one graph-computation run.
@@ -99,6 +105,24 @@ impl RunTrace {
         self.mean(|it| it.remote_messages)
     }
 
+    /// Frontier density per iteration, as recorded by the engine (equal to
+    /// [`RunTrace::active_fraction`] for engines that populate it).
+    pub fn frontier_density(&self) -> Vec<f64> {
+        self.iterations
+            .iter()
+            .map(|it| it.frontier_density)
+            .collect()
+    }
+
+    /// Number of iterations whose frontier density was below `threshold` —
+    /// the iterations an adaptive engine runs on the compact active list.
+    pub fn sparse_iterations(&self, threshold: f64) -> usize {
+        self.iterations
+            .iter()
+            .filter(|it| it.frontier_density < threshold)
+            .count()
+    }
+
     /// Mean active fraction across the whole run.
     pub fn mean_active_fraction(&self) -> f64 {
         if self.iterations.is_empty() {
@@ -122,6 +146,7 @@ mod tests {
             apply_ops: ops,
             remote_edge_reads: 0,
             remote_messages: 0,
+            frontier_density: active as f64 / 10.0,
         }
     }
 
@@ -150,6 +175,25 @@ mod tests {
         let t = sample_trace();
         assert_eq!(t.active_fraction(), vec![1.0, 0.5]);
         assert_eq!(t.mean_active_fraction(), 0.75);
+    }
+
+    #[test]
+    fn frontier_density_series() {
+        let t = sample_trace();
+        assert_eq!(t.frontier_density(), vec![1.0, 0.5]);
+        assert_eq!(t.sparse_iterations(0.75), 1);
+        assert_eq!(t.sparse_iterations(0.25), 0);
+    }
+
+    #[test]
+    fn old_traces_deserialize_with_zero_density() {
+        // Traces persisted before the frontier work lack the field; serde
+        // must default it rather than reject the document.
+        let json = r#"{"active":3,"updates":3,"edge_reads":0,"messages":2,
+                       "apply_ns":0,"apply_ops":3}"#;
+        let it: IterationStats = serde_json::from_str(json).unwrap();
+        assert_eq!(it.frontier_density, 0.0);
+        assert_eq!(it.remote_messages, 0);
     }
 
     #[test]

@@ -113,9 +113,7 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(99);
         let mut g = GaussianSampler::new();
         let n = 100_000;
-        let above: usize = (0..n)
-            .filter(|_| g.standard(&mut rng) > 1.0)
-            .count();
+        let above: usize = (0..n).filter(|_| g.standard(&mut rng) > 1.0).count();
         // P(Z > 1) ~ 0.1587.
         let frac = above as f64 / n as f64;
         assert!((frac - 0.1587).abs() < 0.01, "frac = {frac}");

@@ -34,11 +34,11 @@ pub use bipartite::{BipartiteConfig, RatingGraph};
 pub use gaussian::GaussianSampler;
 pub use grid::{grid_graph, GridMrf};
 pub use matrix::{matrix_graph, MatrixSystem};
-pub use mrf::{mrf_graph, MrfConfig, MrfGraph};
 pub use mrf::mrf_energy;
+pub use mrf::{mrf_graph, MrfConfig, MrfGraph};
+pub use powerlaw::{gaussian_edge_weights, gaussian_points, powerlaw_graph, PowerLawConfig};
 pub use rmat::{rmat_graph, RmatConfig};
 pub use uai::{parse_uai, write_uai, UaiError};
-pub use powerlaw::{gaussian_edge_weights, gaussian_points, powerlaw_graph, PowerLawConfig};
 
 /// The α values used throughout the paper's experiment matrix (Table 2).
 pub const PAPER_ALPHAS: [f64; 5] = [2.0, 2.25, 2.5, 2.75, 3.0];

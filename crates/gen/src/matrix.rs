@@ -75,7 +75,9 @@ pub fn matrix_graph(nrows: usize, degree: usize, seed: u64) -> MatrixSystem {
             .sum();
         diagonal[i as usize] = row_sum + 1.0 + rng.gen::<f64>();
     }
-    let rhs: Vec<f64> = (0..nrows).map(|_| gauss.sample(&mut rng, 0.0, 2.0)).collect();
+    let rhs: Vec<f64> = (0..nrows)
+        .map(|_| gauss.sample(&mut rng, 0.0, 2.0))
+        .collect();
     MatrixSystem {
         graph,
         off_diagonal,

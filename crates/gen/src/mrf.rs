@@ -65,9 +65,15 @@ pub struct MrfGraph {
 pub fn mrf_graph(config: &MrfConfig) -> MrfGraph {
     let n = config.resolved_vertices();
     let m = config.nedges;
-    assert!(m >= n, "need nedges >= nvertices ({m} < {n}) for the spanning cycle");
+    assert!(
+        m >= n,
+        "need nedges >= nvertices ({m} < {n}) for the spanning cycle"
+    );
     let max_edges = n * (n - 1) / 2;
-    assert!(m <= max_edges, "nedges {m} exceeds complete graph {max_edges}");
+    assert!(
+        m <= max_edges,
+        "nedges {m} exceeds complete graph {max_edges}"
+    );
     let mut rng = SmallRng::seed_from_u64(config.seed);
     let mut builder = GraphBuilder::undirected(n).with_edge_capacity(m);
     // Spanning cycle for connectivity.

@@ -117,7 +117,11 @@ pub fn powerlaw_graph(config: &PowerLawConfig) -> Graph {
         if s == d {
             continue;
         }
-        let key = if config.directed || s < d { (s, d) } else { (d, s) };
+        let key = if config.directed || s < d {
+            (s, d)
+        } else {
+            (d, s)
+        };
         if seen.insert(key) {
             builder.push_edge(s, d);
         }
@@ -169,10 +173,7 @@ mod tests {
         for &alpha in &[2.0, 2.5, 3.0] {
             let g = powerlaw_graph(&PowerLawConfig::new(50_000, alpha, 42));
             let est = estimate_powerlaw_alpha(&g, 8).expect("estimable");
-            assert!(
-                (est - alpha).abs() < 0.8,
-                "alpha {alpha}: estimated {est}"
-            );
+            assert!((est - alpha).abs() < 0.8, "alpha {alpha}: estimated {est}");
             estimates.push(est);
         }
         assert!(

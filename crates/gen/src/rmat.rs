@@ -60,7 +60,10 @@ pub fn rmat_graph(config: &RmatConfig) -> Graph {
         (total - 1.0).abs() < 1e-6,
         "quadrant probabilities must sum to 1 (got {total})"
     );
-    assert!(config.scale >= 1 && config.scale <= 30, "scale out of range");
+    assert!(
+        config.scale >= 1 && config.scale <= 30,
+        "scale out of range"
+    );
     let n = config.num_vertices();
     let mut rng = SmallRng::seed_from_u64(config.seed);
     let mut builder = GraphBuilder::undirected(n).with_edge_capacity(config.nedges);

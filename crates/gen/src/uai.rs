@@ -120,9 +120,7 @@ pub fn parse_uai(reader: impl BufRead) -> Result<MrfGraph, UaiError> {
         return Err(UaiError::Unsupported("variables need >= 2 labels".into()));
     }
     if cards.iter().any(|&c| c != labels) {
-        return Err(UaiError::Unsupported(
-            "mixed variable cardinalities".into(),
-        ));
+        return Err(UaiError::Unsupported("mixed variable cardinalities".into()));
     }
     let nfactors = t.next_usize("factor count")?;
     // Factor scopes.
@@ -186,8 +184,7 @@ pub fn parse_uai(reader: impl BufRead) -> Result<MrfGraph, UaiError> {
                         }
                     }
                 }
-                let lambda = diag / labels as f64
-                    - off / (labels * (labels - 1)) as f64;
+                let lambda = diag / labels as f64 - off / (labels * (labels - 1)) as f64;
                 pair_list.push((*u as u32, *v as u32, lambda));
             }
             _ => unreachable!("arity checked above"),

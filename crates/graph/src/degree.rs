@@ -98,10 +98,7 @@ impl DegreeHistogram {
 
     /// Largest degree with a nonzero count.
     pub fn max_degree(&self) -> usize {
-        self.counts
-            .iter()
-            .rposition(|&c| c > 0)
-            .unwrap_or(0)
+        self.counts.iter().rposition(|&c| c > 0).unwrap_or(0)
     }
 
     /// Raw counts, indexed by degree.

@@ -142,8 +142,7 @@ pub fn parse_edge_list(
     let graph = builder.build();
     // First occurrence wins on duplicates.
     staged.reverse();
-    let lookup: std::collections::HashMap<(VertexId, VertexId), f64> =
-        staged.into_iter().collect();
+    let lookup: std::collections::HashMap<(VertexId, VertexId), f64> = staged.into_iter().collect();
     let weights = graph
         .edge_list()
         .iter()
@@ -197,11 +196,7 @@ mod tests {
         assert_eq!(g.num_edges(), 3);
         assert_eq!(w.len(), 3);
         // Edge (2,3) carries weight 0.5; others default to 1.0.
-        let idx = g
-            .edge_list()
-            .iter()
-            .position(|&e| e == (2, 3))
-            .unwrap();
+        let idx = g.edge_list().iter().position(|&e| e == (2, 3)).unwrap();
         assert_eq!(w[idx], 0.5);
     }
 

@@ -61,7 +61,9 @@ pub fn union_find_components(g: &Graph) -> Vec<VertexId> {
             min_of_root[r] = v;
         }
     }
-    (0..n as u32).map(|v| min_of_root[uf.find(v) as usize]).collect()
+    (0..n as u32)
+        .map(|v| min_of_root[uf.find(v) as usize])
+        .collect()
 }
 
 /// Number of connected components (undirected sense).

@@ -9,8 +9,7 @@ use proptest::prelude::*;
 /// Strategy: a random edge set over `n` vertices (no self-loops).
 fn arb_edges(max_n: usize, max_m: usize) -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
     (2..=max_n).prop_flat_map(move |n| {
-        let edge = (0..n as u32, 0..n as u32)
-            .prop_filter("no self-loops", |(a, b)| a != b);
+        let edge = (0..n as u32, 0..n as u32).prop_filter("no self-loops", |(a, b)| a != b);
         (Just(n), proptest::collection::vec(edge, 0..max_m))
     })
 }

@@ -7,14 +7,12 @@
 //! predicting performance from behavior.
 
 use graphmine_algos::{run_algorithm, AlgorithmKind, SuiteConfig, Workload};
-use graphmine_core::{
-    normalize_behaviors, RawBehavior, RunDb, RuntimeModel, WorkMetric,
-};
+use graphmine_core::{normalize_behaviors, RawBehavior, RunDb, RuntimeModel, WorkMetric};
 use graphmine_engine::ExecutionConfig;
 use graphmine_gen::gaussian_points;
 use graphmine_graph::{
-    degree_assortativity, estimate_powerlaw_alpha, global_clustering_coefficient,
-    parse_edge_list, DegreeStats, Graph,
+    degree_assortativity, estimate_powerlaw_alpha, global_clustering_coefficient, parse_edge_list,
+    DegreeStats, Graph,
 };
 use std::fmt::Write as _;
 use std::io::BufReader;
@@ -139,22 +137,22 @@ pub fn analyze_graph(
     }
     // Placement relative to an existing study database.
     if let Some(db) = db {
-        let mut all_raw: Vec<RawBehavior> =
-            db.runs.iter().map(|r| r.raw(WorkMetric::WallNanos)).collect();
+        let mut all_raw: Vec<RawBehavior> = db
+            .runs
+            .iter()
+            .map(|r| r.raw(WorkMetric::WallNanos))
+            .collect();
         let base = all_raw.len();
         all_raw.extend(raws.iter().map(|(_, b, _)| *b));
         let normalized = normalize_behaviors(&all_raw);
         let _ = writeln!(s, "\nnearest study runs (normalized behavior space):");
         for (k, (alg, _, _)) in raws.iter().enumerate() {
             let me = normalized[base + k];
-            let nearest = normalized[..base]
-                .iter()
-                .enumerate()
-                .min_by(|a, b| {
-                    me.distance(a.1)
-                        .partial_cmp(&me.distance(b.1))
-                        .expect("finite distances")
-                });
+            let nearest = normalized[..base].iter().enumerate().min_by(|a, b| {
+                me.distance(a.1)
+                    .partial_cmp(&me.distance(b.1))
+                    .expect("finite distances")
+            });
             if let Some((i, v)) = nearest {
                 let r = &db.runs[i];
                 let _ = writeln!(
@@ -201,12 +199,9 @@ pub fn analyze_edge_list_file(
     if !any {
         return Err(format!("{}: no edges found", path.display()));
     }
-    let (graph, weights) = parse_edge_list(
-        BufReader::new(text.as_bytes()),
-        max_id as usize + 1,
-        false,
-    )
-    .map_err(|e| format!("{}: {e}", path.display()))?;
+    let (graph, weights) =
+        parse_edge_list(BufReader::new(text.as_bytes()), max_id as usize + 1, false)
+            .map_err(|e| format!("{}: {e}", path.display()))?;
     Ok(analyze_graph(&graph, &weights, db, max_iterations))
 }
 

@@ -75,8 +75,14 @@ pub fn render_correlations(db: &graphmine_core::RunDb) -> String {
     use graphmine_core::{feature_correlations, Feature, WorkMetric};
     let mut s = String::new();
     for (title, feature) in [
-        ("Spearman correlation with alpha (size held fixed)", Feature::Alpha),
-        ("Spearman correlation with size (alpha held fixed)", Feature::Size),
+        (
+            "Spearman correlation with alpha (size held fixed)",
+            Feature::Alpha,
+        ),
+        (
+            "Spearman correlation with size (alpha held fixed)",
+            Feature::Size,
+        ),
     ] {
         let _ = writeln!(s, "{title}");
         let _ = writeln!(

@@ -46,9 +46,13 @@ pub fn render_figure(
         "fig2" => metric_figure(db, metric, "KC", "Figure 2. KC Metric Values"),
         "fig3" => metric_figure(db, metric, "TC", "Figure 3. TC Metric Values"),
         "fig4" => metric_figure(db, metric, "PR", "Figure 4. PR Metric Values"),
-        "fig5" => active_fraction_figure(db, &["KM"], "Figure 5. KM Active Fraction for All Graphs"),
+        "fig5" => {
+            active_fraction_figure(db, &["KM"], "Figure 5. KM Active Fraction for All Graphs")
+        }
         "fig6" => metric_figure(db, metric, "KM", "Figure 6. KM Metric Values"),
-        "fig7" => active_fraction_figure(db, &["ALS"], "Figure 7. ALS Active Fraction for All Graphs"),
+        "fig7" => {
+            active_fraction_figure(db, &["ALS"], "Figure 7. ALS Active Fraction for All Graphs")
+        }
         "fig8" => metric_figure(db, metric, "ALS", "Figure 8. ALS Metric Values"),
         "fig9" => metric_figure(db, metric, "SGD", "Figure 9. SGD Metric Values"),
         "fig10" => metric_figure(db, metric, "SVD", "Figure 10. SVD Metric Values"),
@@ -72,7 +76,9 @@ pub fn render_figure(
 }
 
 fn alpha_label(alpha: Option<f64>) -> String {
-    alpha.map(|a| format!("{a:.2}")).unwrap_or_else(|| "-".into())
+    alpha
+        .map(|a| format!("{a:.2}"))
+        .unwrap_or_else(|| "-".into())
 }
 
 /// Downsample a series to at most `n` evenly spaced points.
@@ -248,7 +254,10 @@ fn fig13_all_algorithms(db: &RunDb, metric: WorkMetric) -> String {
     let behaviors = db.behaviors(metric);
     let mut s = String::new();
     let _ = writeln!(s, "Figure 13. Metric Values for All Algorithms");
-    let _ = writeln!(s, "(mean of normalized per-edge metrics over each algorithm's runs)");
+    let _ = writeln!(
+        s,
+        "(mean of normalized per-edge metrics over each algorithm's runs)"
+    );
     let _ = writeln!(
         s,
         "{:<7} {:>8} {:>8} {:>8} {:>8}",
@@ -530,7 +539,10 @@ fn table3(db: &RunDb, profile: ScaleProfile, metric: WorkMetric) -> String {
         s,
         "Table 3. Members of Ensembles Achieving Best Spread and Coverage"
     );
-    for (name, objective) in [("spread", Objective::Spread), ("coverage", Objective::Coverage)] {
+    for (name, objective) in [
+        ("spread", Objective::Spread),
+        ("coverage", Objective::Coverage),
+    ] {
         for size in [5usize, 10, 15, 20] {
             let (members, value) = match objective {
                 Objective::Spread => best_spread_ensemble(&pool_vs, size),
@@ -747,8 +759,7 @@ mod tests {
         // The paper's headline: unrestricted ensembles achieve much higher
         // spread than any single-algorithm ensemble at size 20.
         let db = quick_db();
-        let out =
-            render_figure("fig18", db, ScaleProfile::Quick, WorkMetric::LogicalOps).unwrap();
+        let out = render_figure("fig18", db, ScaleProfile::Quick, WorkMetric::LogicalOps).unwrap();
         let grab = |line_start: &str| -> f64 {
             let line = out
                 .lines()
@@ -782,8 +793,7 @@ mod tests {
     #[test]
     fn table3_lists_algorithm_graph_tuples() {
         let db = quick_db();
-        let out =
-            render_figure("table3", db, ScaleProfile::Quick, WorkMetric::LogicalOps).unwrap();
+        let out = render_figure("table3", db, ScaleProfile::Quick, WorkMetric::LogicalOps).unwrap();
         assert!(out.contains("best spread"));
         assert!(out.contains("best coverage"));
         assert!(out.contains('<'), "size-5 rows should list full tuples");

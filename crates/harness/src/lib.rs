@@ -26,7 +26,7 @@ pub mod runner;
 pub use analyze::{analyze_edge_list_file, analyze_graph, render_predict};
 pub use cluster::{render_cluster, render_correlations};
 pub use export::{export_active_fraction_csv, export_runs_csv};
-pub use plot::{behavior_scatter_svg, ensemble_curves_svg, write_plots};
 pub use figures::{render_figure, FIGURE_IDS};
 pub use matrix::{ExperimentCell, ScaleProfile};
+pub use plot::{behavior_scatter_svg, ensemble_curves_svg, write_plots};
 pub use runner::{run_matrix, run_or_load};

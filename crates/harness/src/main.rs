@@ -129,22 +129,20 @@ fn main() -> ExitCode {
             println!("{}", FIGURE_IDS.join("\n"));
             ExitCode::SUCCESS
         }
-        "run" => {
-            match run_or_load(args.profile, &args.db, |line| eprintln!("{line}")) {
-                Ok(db) => {
-                    println!(
-                        "run database ready: {} runs cached at {}",
-                        db.len(),
-                        args.db.display()
-                    );
-                    ExitCode::SUCCESS
-                }
-                Err(e) => {
-                    eprintln!("failed to run matrix: {e}");
-                    ExitCode::FAILURE
-                }
+        "run" => match run_or_load(args.profile, &args.db, |line| eprintln!("{line}")) {
+            Ok(db) => {
+                println!(
+                    "run database ready: {} runs cached at {}",
+                    db.len(),
+                    args.db.display()
+                );
+                ExitCode::SUCCESS
             }
-        }
+            Err(e) => {
+                eprintln!("failed to run matrix: {e}");
+                ExitCode::FAILURE
+            }
+        },
         "all" => {
             let db = match run_or_load(args.profile, &args.db, |line| eprintln!("{line}")) {
                 Ok(db) => db,

@@ -274,7 +274,11 @@ mod tests {
 
     #[test]
     fn profiles_keep_size_ladders_increasing() {
-        for p in [ScaleProfile::Quick, ScaleProfile::Default, ScaleProfile::Full] {
+        for p in [
+            ScaleProfile::Quick,
+            ScaleProfile::Default,
+            ScaleProfile::Full,
+        ] {
             for ladder in [p.ga_sizes(), p.cf_sizes(), p.jacobi_rows(), p.lbp_sides()] {
                 assert!(ladder.windows(2).all(|w| w[0] < w[1]), "{ladder:?}");
             }

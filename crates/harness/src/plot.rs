@@ -243,7 +243,10 @@ pub fn write_plots(
         ),
     ] {
         let series = curve_series(db, profile, metric, objective);
-        std::fs::write(dir.join(name), ensemble_curves_svg(title, &series, objective))?;
+        std::fs::write(
+            dir.join(name),
+            ensemble_curves_svg(title, &series, objective),
+        )?;
         written.push(name.to_string());
     }
     Ok(written)
@@ -288,8 +291,8 @@ mod tests {
     fn write_plots_creates_files() {
         let dir = std::env::temp_dir().join("graphmine_plot_test");
         let _ = std::fs::remove_dir_all(&dir);
-        let files = write_plots(db(), ScaleProfile::Quick, WorkMetric::LogicalOps, &dir)
-            .expect("writes");
+        let files =
+            write_plots(db(), ScaleProfile::Quick, WorkMetric::LogicalOps, &dir).expect("writes");
         assert_eq!(files.len(), 5);
         for f in &files {
             let content = std::fs::read_to_string(dir.join(f)).unwrap();

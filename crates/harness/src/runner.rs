@@ -72,9 +72,7 @@ pub fn run_matrix(profile: ScaleProfile, mut progress: impl FnMut(&str)) -> RunD
     let total = cells.len();
     for (i, cell) in cells.iter().enumerate() {
         let (key, build) = workload_for(cell);
-        let workload = workloads
-            .entry(key)
-            .or_insert_with(|| build(cell));
+        let workload = workloads.entry(key).or_insert_with(|| build(cell));
         let t0 = std::time::Instant::now();
         let trace = run_algorithm(cell.algorithm, workload, &config)
             .expect("matrix cells are domain-consistent");
@@ -85,7 +83,9 @@ pub fn run_matrix(profile: ScaleProfile, mut progress: impl FnMut(&str)) -> RunD
             total,
             cell.algorithm,
             cell.size_label,
-            cell.alpha.map(|a| a.to_string()).unwrap_or_else(|| "-".into()),
+            cell.alpha
+                .map(|a| a.to_string())
+                .unwrap_or_else(|| "-".into()),
             trace.num_iterations(),
             trace.converged
         ));
@@ -143,7 +143,10 @@ mod tests {
         let behaviors = db.behaviors(graphmine_core::WorkMetric::LogicalOps);
         assert_eq!(behaviors.len(), db.len());
         for b in &behaviors {
-            assert!(b.0.iter().all(|&x| (0.0..=1.0).contains(&x) && x.is_finite()));
+            assert!(b
+                .0
+                .iter()
+                .all(|&x| (0.0..=1.0).contains(&x) && x.is_finite()));
         }
     }
 

@@ -260,8 +260,7 @@ mod tests {
                 std::thread::spawn(move || cache.get_or_build(key(7), || build(7)).0)
             })
             .collect();
-        let copies: Vec<Arc<Workload>> =
-            handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let copies: Vec<Arc<Workload>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
         assert_eq!(cache.len(), 1);
         for c in &copies[1..] {
             assert!(Arc::ptr_eq(&copies[0], c));

@@ -64,8 +64,8 @@ pub fn read_request(stream: &mut TcpStream) -> io::Result<Request> {
         buf.extend_from_slice(&chunk[..n]);
     };
 
-    let header = std::str::from_utf8(&buf[..header_end])
-        .map_err(|_| bad("header is not valid UTF-8"))?;
+    let header =
+        std::str::from_utf8(&buf[..header_end]).map_err(|_| bad("header is not valid UTF-8"))?;
     let mut lines = header.split("\r\n");
     let request_line = lines.next().ok_or_else(|| bad("empty request"))?;
     let mut parts = request_line.split_whitespace();
@@ -130,11 +130,7 @@ fn reason_phrase(status: u16) -> &'static str {
 
 /// Write a JSON response and flush. Always closes the connection from the
 /// protocol's point of view (`Connection: close`).
-pub fn write_json(
-    stream: &mut TcpStream,
-    status: u16,
-    body: &serde_json::Value,
-) -> io::Result<()> {
+pub fn write_json(stream: &mut TcpStream, status: u16, body: &serde_json::Value) -> io::Result<()> {
     let payload = body.to_string();
     let head = format!(
         "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
@@ -198,7 +194,8 @@ mod tests {
 
     #[test]
     fn rejects_truncated_body() {
-        let err = parse(b"POST /jobs HTTP/1.1\r\nContent-Length: 50\r\n\r\n{\"short\"").unwrap_err();
+        let err =
+            parse(b"POST /jobs HTTP/1.1\r\nContent-Length: 50\r\n\r\n{\"short\"").unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
     }
 

@@ -58,9 +58,7 @@ impl Metrics {
             .map(|b| json!(b.to_string()))
             .chain(std::iter::once(json!("inf")))
             .zip(self.buckets.iter())
-            .map(|(le, count)| {
-                json!({"le_ms": le, "count": count.load(Ordering::Relaxed)})
-            })
+            .map(|(le, count)| json!({"le_ms": le, "count": count.load(Ordering::Relaxed)}))
             .collect();
         json!({
             "sum_ms": self.latency_sum_us.load(Ordering::Relaxed) as f64 / 1000.0,

@@ -73,10 +73,7 @@ impl<T> WorkQueue<T> {
             if state.closed {
                 return None;
             }
-            state = self
-                .cond
-                .wait(state)
-                .unwrap_or_else(|e| e.into_inner());
+            state = self.cond.wait(state).unwrap_or_else(|e| e.into_inner());
         }
     }
 

@@ -434,11 +434,7 @@ fn work_metric(name: Option<&str>) -> WorkMetric {
 }
 
 fn route(state: &Arc<ServiceState>, request: &Request) -> (u16, Value) {
-    let segments: Vec<&str> = request
-        .path
-        .split('/')
-        .filter(|s| !s.is_empty())
-        .collect();
+    let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
     let method = request.method.as_str();
     match (method, segments.as_slice()) {
         ("GET", ["health"]) => (200, json!({"status": "ok"})),
@@ -693,7 +689,10 @@ mod tests {
         let (status, body) =
             client::request(&addr, "POST", "/jobs", Some(&json!({"algorithm": "nope"}))).unwrap();
         assert_eq!(status, 400);
-        assert!(body["error"].as_str().unwrap().contains("unknown algorithm"));
+        assert!(body["error"]
+            .as_str()
+            .unwrap()
+            .contains("unknown algorithm"));
         let (status, _) = client::request(
             &addr,
             "POST",

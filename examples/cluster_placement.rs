@@ -16,7 +16,11 @@ use graphmine_graph::{
 };
 
 fn study(name: &str, graph: &Graph) {
-    println!("\n=== {name}: {} vertices, {} edges ===", graph.num_vertices(), graph.num_edges());
+    println!(
+        "\n=== {name}: {} vertices, {} edges ===",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
     println!(
         "{:<12} {:>6} {:>9} {:>10} {:>14}",
         "partitioner", "parts", "edge-cut", "imbalance", "remote msgs/it"

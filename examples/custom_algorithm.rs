@@ -11,9 +11,7 @@
 
 use graphmine_algos::{run_algorithm, AlgorithmKind, SuiteConfig, Workload};
 use graphmine_core::{normalize_behaviors, RawBehavior, WorkMetric};
-use graphmine_engine::{
-    ApplyInfo, EdgeSet, ExecutionConfig, NoGlobal, SyncEngine, VertexProgram,
-};
+use graphmine_engine::{ApplyInfo, EdgeSet, ExecutionConfig, NoGlobal, SyncEngine, VertexProgram};
 use graphmine_graph::{EdgeId, Graph, VertexId};
 use std::collections::HashMap;
 

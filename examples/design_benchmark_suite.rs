@@ -19,10 +19,12 @@ fn main() {
 
     // Pool = the 11 varied-structure algorithms (paper §5.2 excludes
     // Jacobi/LBP/DD whose graph structure does not vary).
-    let pool_idx: Vec<usize> = ["CC", "KC", "TC", "SSSP", "PR", "AD", "KM", "ALS", "NMF", "SGD", "SVD"]
-        .iter()
-        .flat_map(|a| db.indices_of_algorithm(a))
-        .collect();
+    let pool_idx: Vec<usize> = [
+        "CC", "KC", "TC", "SSSP", "PR", "AD", "KM", "ALS", "NMF", "SGD", "SVD",
+    ]
+    .iter()
+    .flat_map(|a| db.indices_of_algorithm(a))
+    .collect();
     let pool: Vec<BehaviorVector> = pool_idx.iter().map(|&i| behaviors[i]).collect();
     println!("behavior-space pool: {} runs\n", pool.len());
 
@@ -72,8 +74,7 @@ fn main() {
     // can be truncated without changing their behavior vector.
     let members: Vec<usize> = cov_members.iter().map(|&l| pool_idx[l]).collect();
     let full_cost = runtime_limited_cost(&db, &members, &[], usize::MAX);
-    let short_cost =
-        runtime_limited_cost(&db, &members, &graphmine_core::limits::SHORTENABLE, 20);
+    let short_cost = runtime_limited_cost(&db, &members, &graphmine_core::limits::SHORTENABLE, 20);
     println!(
         "\nsuite B cost: {full_cost} iterations full, {short_cost} with the\n\
          constant-behavior runs (AD/KM/NMF/SGD/SVD) truncated to 20 iterations\n\

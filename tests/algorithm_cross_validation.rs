@@ -4,9 +4,7 @@
 
 use graphmine_algos::{adiam, cc, kcore, pagerank, sssp, tc};
 use graphmine_engine::ExecutionConfig;
-use graphmine_gen::{
-    gaussian_edge_weights, powerlaw_graph, PowerLawConfig,
-};
+use graphmine_gen::{gaussian_edge_weights, powerlaw_graph, PowerLawConfig};
 use graphmine_graph::union_find_components;
 use proptest::prelude::*;
 

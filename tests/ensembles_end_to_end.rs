@@ -2,9 +2,9 @@
 //! the paper's headline claims, checked.
 
 use graphmine_core::{
-    best_coverage_ensemble, best_spread_ensemble, coverage_upper_bound,
-    frequency_in_top_ensembles, spread_upper_bound, top_k_ensembles, BehaviorVector,
-    CoverageSampler, Objective, RunDb, WorkMetric,
+    best_coverage_ensemble, best_spread_ensemble, coverage_upper_bound, frequency_in_top_ensembles,
+    spread_upper_bound, top_k_ensembles, BehaviorVector, CoverageSampler, Objective, RunDb,
+    WorkMetric,
 };
 use graphmine_harness::{run_matrix, ScaleProfile};
 use std::sync::OnceLock;
@@ -103,10 +103,16 @@ fn claim_achieved_values_below_upper_bounds() {
     for size in [5usize, 10] {
         let (_, s) = best_spread_ensemble(&pool, size);
         let bound = spread_upper_bound(size, 3);
-        assert!(s <= bound + 1e-6, "size {size}: spread {s} above bound {bound}");
+        assert!(
+            s <= bound + 1e-6,
+            "size {size}: spread {s} above bound {bound}"
+        );
         let (_, c) = best_coverage_ensemble(&pool, size, &sampler);
         let cbound = coverage_upper_bound(size, &sampler, 3);
-        assert!(c <= cbound + 1e-6, "size {size}: coverage {c} above bound {cbound}");
+        assert!(
+            c <= cbound + 1e-6,
+            "size {size}: coverage {c} above bound {cbound}"
+        );
     }
 }
 
@@ -127,9 +133,7 @@ fn claim_thousandfold_behavior_variation() {
             }
         }
     }
-    let best_ratio = (0..4)
-        .map(|k| max[k] / min[k])
-        .fold(0.0, f64::max);
+    let best_ratio = (0..4).map(|k| max[k] / min[k]).fold(0.0, f64::max);
     assert!(
         best_ratio > 1000.0,
         "largest dynamic range only {best_ratio:.1}x"

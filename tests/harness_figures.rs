@@ -65,10 +65,7 @@ fn fig11_lbp_activity_drops() {
             .map(|v| v.parse().unwrap())
             .collect();
         assert_eq!(values[0], 1.0);
-        assert!(
-            values.last().unwrap() < &0.8,
-            "LBP never dropped: {line}"
-        );
+        assert!(values.last().unwrap() < &0.8, "LBP never dropped: {line}");
     }
 }
 
@@ -84,13 +81,10 @@ fn fig3_tc_eread_constant_across_graphs() {
         }
     }
     assert!(ereads.len() >= 20);
-    let (min, max) = ereads
-        .iter()
-        .fold((f64::INFINITY, 0.0f64), |(mn, mx), &v| (mn.min(v), mx.max(v)));
-    assert!(
-        max - min < 0.05,
-        "TC per-edge EREAD varies: {min}..{max}"
-    );
+    let (min, max) = ereads.iter().fold((f64::INFINITY, 0.0f64), |(mn, mx), &v| {
+        (mn.min(v), mx.max(v))
+    });
+    assert!(max - min < 0.05, "TC per-edge EREAD varies: {min}..{max}");
 }
 
 #[test]

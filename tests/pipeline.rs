@@ -3,8 +3,7 @@
 
 use graphmine_algos::{run_algorithm, AlgorithmKind, SuiteConfig, Workload};
 use graphmine_core::{
-    coverage, normalize_behaviors, spread, BehaviorVector, CoverageSampler, RawBehavior,
-    WorkMetric,
+    coverage, normalize_behaviors, spread, BehaviorVector, CoverageSampler, RawBehavior, WorkMetric,
 };
 use graphmine_engine::{ExecutionConfig, RunTrace};
 
@@ -124,20 +123,13 @@ fn graph_structure_affects_behavior() {
     // §4: behavior metrics are sensitive to degree distribution. Compare KC
     // on alpha = 2.0 vs alpha = 3.0 at equal size.
     let cfg = config();
-    let a20 = run_algorithm(
-        AlgorithmKind::Kc,
-        &Workload::powerlaw(5_000, 2.0, 7),
-        &cfg,
-    )
-    .unwrap();
-    let a30 = run_algorithm(
-        AlgorithmKind::Kc,
-        &Workload::powerlaw(5_000, 3.0, 7),
-        &cfg,
-    )
-    .unwrap();
+    let a20 = run_algorithm(AlgorithmKind::Kc, &Workload::powerlaw(5_000, 2.0, 7), &cfg).unwrap();
+    let a30 = run_algorithm(AlgorithmKind::Kc, &Workload::powerlaw(5_000, 3.0, 7), &cfg).unwrap();
     let b20 = RawBehavior::from_trace(&a20, WorkMetric::LogicalOps);
     let b30 = RawBehavior::from_trace(&a30, WorkMetric::LogicalOps);
     let delta = (b20.updt - b30.updt).abs() + (b20.msg - b30.msg).abs();
-    assert!(delta > 1e-3, "KC behavior insensitive to alpha: {b20:?} vs {b30:?}");
+    assert!(
+        delta > 1e-3,
+        "KC behavior insensitive to alpha: {b20:?} vs {b30:?}"
+    );
 }

@@ -88,7 +88,10 @@ fn repeated_graph_spec_hits_the_cache() {
     assert_eq!(cold["cache_hit"], false);
 
     // Same spec, different algorithm: the workload is shared.
-    let second = submit(&addr, json!({"algorithm": "PR", "size": 3000, "seed": 5, "profile": "quick"}));
+    let second = submit(
+        &addr,
+        json!({"algorithm": "PR", "size": 3000, "seed": 5, "profile": "quick"}),
+    );
     let warm = client::wait_for_job(&addr, second, WAIT).unwrap();
     assert_eq!(warm["state"], "done");
     assert_eq!(warm["cache_hit"], true);
@@ -181,8 +184,7 @@ fn cancel_endpoint_stops_a_job() {
         &addr,
         json!({"algorithm": "PR", "size": 300_000, "seed": 2, "max_iterations": 400}),
     );
-    let (status, _) =
-        client::request(&addr, "POST", &format!("/jobs/{id}/cancel"), None).unwrap();
+    let (status, _) = client::request(&addr, "POST", &format!("/jobs/{id}/cancel"), None).unwrap();
     assert_eq!(status, 200);
     let terminal = client::wait_for_job(&addr, id, WAIT).unwrap();
     assert_eq!(terminal["state"], "cancelled", "got: {terminal}");
