@@ -182,7 +182,7 @@ pub fn run_adiam(graph: &Graph, config: &ExecutionConfig) -> (DiameterEstimate, 
     let program = ApproxDiameter::new();
     let edge_data = vec![(); graph.num_edges()];
     let engine = SyncEngine::with_global(graph, program, states, edge_data, ());
-    let (final_states, trace) = engine.run(config);
+    let (final_states, trace) = engine.run_resumable(config);
     let nf = ApproxDiameter::neighborhood_function(&final_states);
     // Diameter ≈ iterations until the neighborhood function stabilized; the
     // final iteration confirmed no growth, so the distance reached is one

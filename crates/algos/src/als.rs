@@ -12,9 +12,10 @@ use crate::linalg::{axpy, cholesky_solve, distance, dot, rank_one_update, Factor
 use graphmine_engine::{ApplyInfo, EdgeSet, ExecutionConfig, RunTrace, SyncEngine, VertexProgram};
 use graphmine_gen::RatingGraph;
 use graphmine_graph::{EdgeId, Graph, VertexId};
+use serde::{Deserialize, Serialize};
 
 /// Per-vertex ALS state.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct AlsState {
     /// Latent factor vector.
     pub factor: Factor,
@@ -27,7 +28,7 @@ pub struct AlsState {
 /// Whose turn it is: ALS alternates solving the user side (even
 /// iterations) and the item side (odd iterations), exactly like the
 /// original alternating scheme.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
 pub struct AlsGlobal {
     /// True when the user side updates this iteration.
     pub users_turn: bool,
@@ -187,7 +188,7 @@ pub fn run_als_with(
         })
         .collect();
     let (finals, trace) =
-        SyncEngine::new(&rg.graph, program, states, rg.ratings.clone()).run(config);
+        SyncEngine::new(&rg.graph, program, states, rg.ratings.clone()).run_resumable(config);
     (finals.into_iter().map(|s| s.factor).collect(), trace)
 }
 

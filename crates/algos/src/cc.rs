@@ -73,7 +73,7 @@ impl VertexProgram for ConnectedComponents {
 pub fn run_cc(graph: &Graph, config: &ExecutionConfig) -> (Vec<u32>, RunTrace) {
     let states: Vec<u32> = (0..graph.num_vertices() as u32).collect();
     let edge_data = vec![(); graph.num_edges()];
-    SyncEngine::new(graph, ConnectedComponents, states, edge_data).run(config)
+    SyncEngine::new(graph, ConnectedComponents, states, edge_data).run_resumable(config)
 }
 
 #[cfg(test)]

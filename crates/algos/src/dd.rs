@@ -11,9 +11,10 @@
 use graphmine_engine::{ApplyInfo, EdgeSet, ExecutionConfig, RunTrace, SyncEngine, VertexProgram};
 use graphmine_gen::{mrf_energy, MrfGraph};
 use graphmine_graph::{Direction, EdgeId, Graph, VertexId};
+use serde::{Deserialize, Serialize};
 
 /// Per-vertex DD state.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DdState {
     /// Dual variables per incident edge (by adjacency position) per label.
     duals: Vec<Vec<f64>>,
@@ -231,7 +232,7 @@ pub fn run_dd(mrf: &MrfGraph, config: &ExecutionConfig) -> (DdResult, RunTrace) 
         })
         .collect();
     let engine = SyncEngine::with_global(g, program, states, mrf.pairwise.clone(), ());
-    let (finals, trace) = engine.run(config);
+    let (finals, trace) = engine.run_resumable(config);
     let labels: Vec<usize> = finals.iter().map(|s| s.label).collect();
     let energy = mrf_energy(mrf, &labels);
     (DdResult { labels, energy }, trace)

@@ -10,9 +10,10 @@
 use graphmine_engine::{ApplyInfo, EdgeSet, ExecutionConfig, RunTrace, SyncEngine, VertexProgram};
 use graphmine_gen::MatrixSystem;
 use graphmine_graph::{EdgeId, Graph, VertexId};
+use serde::{Deserialize, Serialize};
 
 /// Per-vertex Jacobi state.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct JacobiState {
     /// Current solution component.
     pub x: f64,
@@ -117,7 +118,7 @@ pub fn run_jacobi(system: &MatrixSystem, config: &ExecutionConfig) -> (Vec<f64>,
         system.off_diagonal.clone(),
         (),
     );
-    let (finals, trace) = engine.run(config);
+    let (finals, trace) = engine.run_resumable(config);
     (finals.into_iter().map(|s| s.x).collect(), trace)
 }
 

@@ -14,9 +14,10 @@ use graphmine_engine::{
     ActiveInit, ApplyInfo, EdgeSet, ExecutionConfig, RunTrace, SyncEngine, VertexProgram,
 };
 use graphmine_graph::{EdgeId, Graph, VertexId};
+use serde::{Deserialize, Serialize};
 
 /// Per-vertex K-Core state.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct KcState {
     /// Still part of the residual graph.
     pub alive: bool,
@@ -138,11 +139,16 @@ pub fn run_kcore(graph: &Graph, config: &ExecutionConfig) -> (Vec<u32>, RunTrace
         }
         let phase = KCorePhase { k, alive_now };
         let engine = SyncEngine::with_global(graph, phase, states, edge_data.clone(), ());
-        let phase_cfg = ExecutionConfig {
+        let mut phase_cfg = ExecutionConfig {
             max_iterations: remaining,
             ..config.clone()
         };
-        let (next_states, phase_trace) = engine.run(&phase_cfg);
+        // Each peel phase is an independent engine run; give every phase its
+        // own checkpoint file so a resume never mixes states across k-values.
+        if let Some(cp) = &mut phase_cfg.checkpoint {
+            cp.tag = format!("{}-k{k}", cp.tag);
+        }
+        let (next_states, phase_trace) = engine.run_resumable(&phase_cfg);
         states = next_states;
         trace.converged &= phase_trace.converged;
         trace.iterations.extend(phase_trace.iterations);

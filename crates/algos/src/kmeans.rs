@@ -14,12 +14,13 @@
 
 use graphmine_engine::{ApplyInfo, EdgeSet, ExecutionConfig, RunTrace, SyncEngine, VertexProgram};
 use graphmine_graph::{EdgeId, Graph, VertexId};
+use serde::{Deserialize, Serialize};
 
 /// Maximum supported cluster count (votes ride in a fixed array).
 pub const MAX_K: usize = 8;
 
 /// Per-vertex K-Means state.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct KmState {
     /// The data point.
     pub point: [f64; 2],
@@ -30,7 +31,7 @@ pub struct KmState {
 }
 
 /// Global centroids, refreshed before every iteration.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct KmGlobal {
     /// One centroid per cluster.
     pub centroids: Vec<[f64; 2]>,
@@ -204,7 +205,8 @@ pub fn run_kmeans(
         })
         .collect();
     let edge_data = vec![(); graph.num_edges()];
-    let (finals, trace) = SyncEngine::new(graph, KMeans::new(k), states, edge_data).run(config);
+    let (finals, trace) =
+        SyncEngine::new(graph, KMeans::new(k), states, edge_data).run_resumable(config);
     (finals.into_iter().map(|s| s.cluster).collect(), trace)
 }
 

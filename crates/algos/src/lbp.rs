@@ -9,9 +9,10 @@
 use graphmine_engine::{ApplyInfo, EdgeSet, ExecutionConfig, RunTrace, SyncEngine, VertexProgram};
 use graphmine_gen::GridMrf;
 use graphmine_graph::{EdgeId, Graph, VertexId};
+use serde::{Deserialize, Serialize};
 
 /// Per-vertex LBP state.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LbpState {
     /// Log-domain belief per label.
     pub belief: Vec<f64>,
@@ -182,7 +183,7 @@ pub fn run_lbp_on(
     let program = Lbp::new(priors, smoothing, num_labels);
     let edge_data = vec![(); graph.num_edges()];
     let engine = SyncEngine::with_global(graph, program, states, edge_data, 0usize);
-    let (finals, trace) = engine.run(config);
+    let (finals, trace) = engine.run_resumable(config);
     let labels = finals
         .iter()
         .map(|s| {

@@ -10,12 +10,13 @@ use graphmine_engine::{
     ApplyInfo, EdgeSet, ExecutionConfig, NoGlobal, RunTrace, SyncEngine, VertexProgram,
 };
 use graphmine_graph::{Direction, EdgeId, Graph, VertexId};
+use serde::{Deserialize, Serialize};
 
 /// Damping factor (the classic 0.85).
 pub const DAMPING: f64 = 0.85;
 
 /// Per-vertex PageRank state.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct PrState {
     /// Current rank estimate (un-normalized "random surfer mass"; the
     /// stationary values average to 1).
@@ -134,7 +135,7 @@ pub fn run_pagerank_with_config(
     ];
     let edge_data = vec![(); graph.num_edges()];
     let (finals, trace) =
-        SyncEngine::new(graph, PageRank { tolerance }, states, edge_data).run(config);
+        SyncEngine::new(graph, PageRank { tolerance }, states, edge_data).run_resumable(config);
     (finals.into_iter().map(|s| s.rank).collect(), trace)
 }
 

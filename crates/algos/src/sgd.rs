@@ -124,7 +124,7 @@ pub fn run_sgd(rg: &RatingGraph, config: &ExecutionConfig) -> (Vec<Factor>, RunT
     let states: Vec<Factor> = (0..rg.graph.num_vertices() as u64)
         .map(crate::als::init_factor)
         .collect();
-    SyncEngine::new(&rg.graph, Sgd::default(), states, rg.ratings.clone()).run(&capped)
+    SyncEngine::new(&rg.graph, Sgd::default(), states, rg.ratings.clone()).run_resumable(&capped)
 }
 
 #[cfg(test)]

@@ -96,7 +96,7 @@ pub fn run_sssp(
     assert_eq!(weights.len(), graph.num_edges());
     assert!(weights.iter().all(|&w| w >= 0.0), "negative edge weight");
     let states = vec![f64::INFINITY; graph.num_vertices()];
-    SyncEngine::new(graph, ShortestPath { source }, states, weights.to_vec()).run(config)
+    SyncEngine::new(graph, ShortestPath { source }, states, weights.to_vec()).run_resumable(config)
 }
 
 /// Sequential Dijkstra reference implementation.

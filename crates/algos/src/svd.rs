@@ -15,9 +15,10 @@
 use graphmine_engine::{ApplyInfo, EdgeSet, ExecutionConfig, RunTrace, SyncEngine, VertexProgram};
 use graphmine_gen::RatingGraph;
 use graphmine_graph::{EdgeId, Graph, VertexId};
+use serde::{Deserialize, Serialize};
 
 /// Global normalization/convergence state, refreshed each iteration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SvdGlobal {
     /// 1 / ‖x‖ of the previous iterate (applied during apply).
     pub inv_norm: f64,
@@ -38,7 +39,7 @@ impl Default for SvdGlobal {
 }
 
 /// Per-vertex SVD state.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SvdState {
     /// Current singular-vector component.
     pub value: f64,
@@ -182,7 +183,7 @@ pub fn run_svd(rg: &RatingGraph, config: &ExecutionConfig) -> (SvdResult, RunTra
         })
         .collect();
     let engine = SyncEngine::new(&rg.graph, Svd::default(), states, rg.ratings.clone());
-    let (finals, global, trace) = engine.run_with_global(config);
+    let (finals, global, trace) = engine.run_resumable_with_global(config);
     // Normalize the returned singular vector (states carry the raw iterate).
     let mut vector: Vec<f64> = finals.into_iter().map(|s| s.value).collect();
     let norm: f64 = vector.iter().map(|v| v * v).sum::<f64>().sqrt();

@@ -53,7 +53,7 @@ pub use ensemble::{ensemble_cost, spread, spread_of};
 pub use limits::{limited_algorithm_pool, limited_graph_pool, runtime_limited_cost};
 pub use model::{features as runtime_features, RuntimeModel};
 pub use pareto::{pareto_front, ParetoEnsemble};
-pub use rundb::{GraphSpec, RunDb, RunRecord, SharedRunDb};
+pub use rundb::{GraphSpec, LoadError, RunDb, RunRecord, SharedRunDb};
 pub use search::{
     best_coverage_ensemble, best_spread_ensemble, frequency_in_top_ensembles, top_k_ensembles,
     Objective,

@@ -209,11 +209,109 @@ impl RunDb {
         })
     }
 
-    /// Load from JSON at `path`.
-    pub fn load(path: &Path) -> io::Result<RunDb> {
-        let data = std::fs::read_to_string(path)?;
-        serde_json::from_str(&data).map_err(io::Error::other)
+    /// Load from JSON at `path`, distinguishing I/O failure from corrupt
+    /// content so callers can decide to recover instead of erroring out.
+    pub fn load(path: &Path) -> Result<RunDb, LoadError> {
+        let data = std::fs::read_to_string(path).map_err(LoadError::Io)?;
+        serde_json::from_str(&data).map_err(|e| LoadError::Corrupt {
+            path: path.to_path_buf(),
+            detail: e.to_string(),
+        })
     }
+
+    /// Load from `path`, falling back to the best parseable temp sibling
+    /// when the canonical file is missing or corrupt. Siblings are the
+    /// `{name}.tmp.{pid}.{n}` files [`RunDb::save`] renames from: a writer
+    /// that crashed between write and rename leaves a complete database
+    /// under the temp name, and that database may hold *more* runs than the
+    /// canonical file. Among parseable candidates the one with the most
+    /// runs wins. Returns the database and whether recovery was used; errs
+    /// with the canonical file's own failure when nothing is salvageable.
+    pub fn load_or_recover(path: &Path) -> Result<(RunDb, bool), LoadError> {
+        match RunDb::load(path) {
+            Ok(db) => Ok((db, false)),
+            Err(primary) => match best_temp_sibling(path) {
+                Some(db) => Ok((db, true)),
+                None => Err(primary),
+            },
+        }
+    }
+}
+
+/// Why a [`RunDb`] could not be loaded.
+#[derive(Debug)]
+pub enum LoadError {
+    /// The file could not be read (includes not-found).
+    Io(io::Error),
+    /// The file was readable but not valid run-database JSON (truncated by
+    /// disk corruption, or not a database at all).
+    Corrupt {
+        /// The file that failed to parse.
+        path: std::path::PathBuf,
+        /// The parser's diagnostic.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::Io(e) => write!(f, "run database I/O error: {e}"),
+            LoadError::Corrupt { path, detail } => {
+                write!(f, "corrupt run database {}: {detail}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for LoadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LoadError::Io(e) => Some(e),
+            LoadError::Corrupt { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for LoadError {
+    fn from(e: io::Error) -> LoadError {
+        LoadError::Io(e)
+    }
+}
+
+/// Keeps `RunDb::load(path)?` working in `io::Result` functions.
+impl From<LoadError> for io::Error {
+    fn from(e: LoadError) -> io::Error {
+        match e {
+            LoadError::Io(inner) => inner,
+            corrupt => io::Error::new(io::ErrorKind::InvalidData, corrupt.to_string()),
+        }
+    }
+}
+
+/// The largest parseable database among `path`'s temp siblings, if any.
+fn best_temp_sibling(path: &Path) -> Option<RunDb> {
+    let dir = match path.parent() {
+        Some(d) if !d.as_os_str().is_empty() => d,
+        _ => Path::new("."),
+    };
+    let prefix = format!("{}.tmp.", path.file_name()?.to_string_lossy());
+    let mut best: Option<RunDb> = None;
+    for entry in std::fs::read_dir(dir).ok()?.flatten() {
+        if !entry.file_name().to_string_lossy().starts_with(&prefix) {
+            continue;
+        }
+        let Ok(text) = std::fs::read_to_string(entry.path()) else {
+            continue;
+        };
+        let Ok(db) = serde_json::from_str::<RunDb>(&text) else {
+            continue;
+        };
+        if best.as_ref().is_none_or(|b| db.len() > b.len()) {
+            best = Some(db);
+        }
+    }
+    best
 }
 
 /// Unique sibling path for the write-then-rename dance. Same directory as
@@ -410,6 +508,69 @@ mod tests {
         let back = RunDb::load(&path).unwrap();
         assert_eq!(db, back);
         std::fs::remove_file(&orphan).unwrap();
+    }
+
+    #[test]
+    fn load_errors_are_typed() {
+        let dir = std::env::temp_dir().join("graphmine_rundb_loaderr_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let missing = RunDb::load(&dir.join("nope.json")).unwrap_err();
+        match missing {
+            LoadError::Io(e) => assert_eq!(e.kind(), io::ErrorKind::NotFound),
+            other => panic!("expected Io, got {other}"),
+        }
+        let garbled = dir.join("garbled.json");
+        std::fs::write(&garbled, "{\"runs\":[{\"algori").unwrap();
+        assert!(matches!(
+            RunDb::load(&garbled),
+            Err(LoadError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn recovery_prefers_largest_parseable_temp_sibling() {
+        // A crash between temp-write and rename leaves the only complete
+        // copy of the data under the temp name; a corrupted canonical file
+        // must not hide it.
+        let dir = std::env::temp_dir().join(format!(
+            "graphmine_rundb_recover_test_{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("db.json");
+        std::fs::write(&path, "{\"runs\":[{\"trunc").unwrap();
+        let small = {
+            let mut db = RunDb::new();
+            db.push(record("CC", 100, 2.0, 10));
+            db
+        };
+        let full = sample_db();
+        std::fs::write(&tmp_path_for(&path), serde_json::to_string(&small).unwrap()).unwrap();
+        std::fs::write(&tmp_path_for(&path), serde_json::to_string(&full).unwrap()).unwrap();
+        std::fs::write(&tmp_path_for(&path), "also corrupt").unwrap();
+        let (back, recovered) = RunDb::load_or_recover(&path).unwrap();
+        assert!(recovered);
+        assert_eq!(back, full);
+        // With nothing salvageable the canonical error surfaces.
+        let bare = dir.join("other.json");
+        std::fs::write(&bare, "nonsense").unwrap();
+        assert!(matches!(
+            RunDb::load_or_recover(&bare),
+            Err(LoadError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn load_error_converts_to_io_error() {
+        let dir = std::env::temp_dir().join("graphmine_rundb_loadconv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let garbled = dir.join("garbled.json");
+        std::fs::write(&garbled, "not json").unwrap();
+        let as_io: io::Error = RunDb::load(&garbled).unwrap_err().into();
+        assert_eq!(as_io.kind(), io::ErrorKind::InvalidData);
+        let as_io: io::Error = RunDb::load(&dir.join("nope.json")).unwrap_err().into();
+        assert_eq!(as_io.kind(), io::ErrorKind::NotFound);
     }
 
     #[test]

@@ -1,0 +1,331 @@
+//! Iteration-granularity engine checkpoints.
+//!
+//! A checkpoint captures everything the synchronous engine needs to
+//! continue a run from an iteration boundary: the vertex states, the
+//! active-vertex frontier, the undelivered inbox messages, the program's
+//! global value, and the behavior trace accumulated so far. Because the
+//! engine's message exchange is deterministic (bit-identical across thread
+//! counts and frontier modes), a resumed run replays the exact remaining
+//! trajectory — the continuation's states and behavior counters are
+//! bitwise-equal to the uninterrupted run's. Only `apply_ns` (wall-clock)
+//! legitimately differs.
+//!
+//! Checkpoints are JSON (the only serialization dependency in the tree)
+//! written atomically: serialize to a temp sibling, then rename over the
+//! target. A crash mid-write leaves the previous checkpoint intact; a crash
+//! before the first write leaves nothing, and the run restarts from
+//! iteration zero. Either way the spill directory never holds a torn file
+//! under its canonical name.
+
+use crate::trace::RunTrace;
+use graphmine_graph::VertexId;
+use serde::de::DeserializeOwned;
+use serde::{Deserialize, Serialize};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+
+/// Bumped whenever [`EngineCheckpoint`]'s layout changes; resume refuses
+/// checkpoints from other versions rather than misinterpreting them.
+pub const CHECKPOINT_FORMAT_VERSION: u32 = 1;
+
+/// When and where the engine writes checkpoints.
+#[derive(Debug, Clone)]
+pub struct CheckpointPolicy {
+    /// Write a checkpoint after every `every`-th completed iteration.
+    /// `0` disables periodic writes (resume-only policies use this).
+    pub every: usize,
+    /// Spill directory; created on first write if missing.
+    pub dir: PathBuf,
+    /// Filename stem identifying the run. Two runs with identical inputs
+    /// may share a tag: the engine is deterministic, so their checkpoints
+    /// are interchangeable, and the atomic rename keeps concurrent writers
+    /// from tearing each other's files.
+    pub tag: String,
+    /// Optional shared counters (`/metrics` robustness section).
+    pub stats: Option<Arc<CheckpointStats>>,
+}
+
+impl CheckpointPolicy {
+    /// Checkpoint every `every` iterations into `dir/tag.ckpt.json`.
+    pub fn new(every: usize, dir: impl Into<PathBuf>, tag: impl Into<String>) -> CheckpointPolicy {
+        CheckpointPolicy {
+            every,
+            dir: dir.into(),
+            tag: tag.into(),
+            stats: None,
+        }
+    }
+
+    /// Attach shared write/restore counters.
+    pub fn with_stats(mut self, stats: Arc<CheckpointStats>) -> CheckpointPolicy {
+        self.stats = Some(stats);
+        self
+    }
+
+    /// The checkpoint file this policy reads and writes.
+    pub fn path(&self) -> PathBuf {
+        self.dir.join(format!("{}.ckpt.json", self.tag))
+    }
+}
+
+/// Live counters for checkpoint activity, shared across runs.
+#[derive(Debug, Default)]
+pub struct CheckpointStats {
+    /// Checkpoints successfully written.
+    pub written: AtomicU64,
+    /// Checkpoint writes that failed (injected or real I/O errors).
+    pub write_failures: AtomicU64,
+    /// Runs that resumed from an existing checkpoint.
+    pub restored: AtomicU64,
+}
+
+/// A serialized engine boundary: everything needed to continue the run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EngineCheckpoint<S, M, G> {
+    /// [`CHECKPOINT_FORMAT_VERSION`] at write time.
+    pub version: u32,
+    /// Vertex count of the graph the checkpoint belongs to.
+    pub num_vertices: u64,
+    /// Edge count of the graph the checkpoint belongs to.
+    pub num_edges: u64,
+    /// Iterations completed before this boundary.
+    pub completed_iterations: usize,
+    /// One state per vertex.
+    pub states: Vec<S>,
+    /// Active vertices entering the next iteration (sorted).
+    pub frontier: Vec<VertexId>,
+    /// Undelivered messages: `(destination, combined message)`.
+    pub inbox: Vec<(VertexId, M)>,
+    /// The program's global value at the boundary.
+    pub global: G,
+    /// The behavior trace accumulated so far.
+    pub trace: RunTrace,
+}
+
+impl<S, M, G> EngineCheckpoint<S, M, G> {
+    /// Check the checkpoint is structurally sound for a graph with
+    /// `num_vertices` vertices and `num_edges` edges.
+    pub fn validate(&self, num_vertices: usize, num_edges: usize) -> Result<(), CheckpointError> {
+        if self.version != CHECKPOINT_FORMAT_VERSION {
+            return Err(CheckpointError::Mismatch(format!(
+                "format version {} (expected {CHECKPOINT_FORMAT_VERSION})",
+                self.version
+            )));
+        }
+        if self.num_vertices != num_vertices as u64 || self.states.len() != num_vertices {
+            return Err(CheckpointError::Mismatch(format!(
+                "checkpoint covers {} vertices / {} states, graph has {num_vertices}",
+                self.num_vertices,
+                self.states.len()
+            )));
+        }
+        if self.num_edges != num_edges as u64 {
+            return Err(CheckpointError::Mismatch(format!(
+                "checkpoint covers {} edges, graph has {num_edges}",
+                self.num_edges
+            )));
+        }
+        if self.trace.iterations.len() != self.completed_iterations {
+            return Err(CheckpointError::Corrupt(format!(
+                "trace has {} iterations but checkpoint claims {}",
+                self.trace.iterations.len(),
+                self.completed_iterations
+            )));
+        }
+        let out_of_range = |v: &VertexId| (*v as usize) >= num_vertices;
+        if self.frontier.iter().any(out_of_range) || self.inbox.iter().any(|(v, _)| out_of_range(v))
+        {
+            return Err(CheckpointError::Corrupt(
+                "frontier or inbox vertex id out of range".to_string(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Why a checkpoint could not be read or resumed.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// The file could not be read (includes not-found).
+    Io(io::Error),
+    /// The file was readable but not a well-formed checkpoint, or its
+    /// internal invariants do not hold.
+    Corrupt(String),
+    /// A well-formed checkpoint for a different graph or format version.
+    Mismatch(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CheckpointError::Corrupt(d) => write!(f, "corrupt checkpoint: {d}"),
+            CheckpointError::Mismatch(d) => write!(f, "checkpoint mismatch: {d}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> CheckpointError {
+        CheckpointError::Io(e)
+    }
+}
+
+/// Atomically write `ckpt` to `path`: temp sibling + rename, so a crash at
+/// any instant leaves either the previous checkpoint or none — never a torn
+/// file under the canonical name. Creates the parent directory if needed.
+pub fn write_checkpoint<S, M, G>(path: &Path, ckpt: &EngineCheckpoint<S, M, G>) -> io::Result<()>
+where
+    S: Serialize,
+    M: Serialize,
+    G: Serialize,
+{
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let json = serde_json::to_vec(ckpt).map_err(io::Error::other)?;
+    let tmp = tmp_sibling(path);
+    std::fs::write(&tmp, &json)?;
+    std::fs::rename(&tmp, path).inspect_err(|_| {
+        let _ = std::fs::remove_file(&tmp);
+    })
+}
+
+/// Read a checkpoint from `path`. Distinguishes I/O failure (including
+/// not-found, the common "no checkpoint yet" case) from unparseable
+/// content; callers decide whether either is fatal.
+pub fn read_checkpoint<S, M, G>(path: &Path) -> Result<EngineCheckpoint<S, M, G>, CheckpointError>
+where
+    S: DeserializeOwned,
+    M: DeserializeOwned,
+    G: DeserializeOwned,
+{
+    let bytes = std::fs::read(path).map_err(CheckpointError::Io)?;
+    serde_json::from_slice(&bytes)
+        .map_err(|e| CheckpointError::Corrupt(format!("{}: {e}", path.display())))
+}
+
+/// Unique temp sibling in the target's directory (rename stays on one
+/// filesystem, so it is atomic on POSIX).
+fn tmp_sibling(path: &Path) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let pid = std::process::id();
+    let name = path
+        .file_name()
+        .map(|f| f.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "ckpt".to_string());
+    path.with_file_name(format!("{name}.tmp.{pid}.{n}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> EngineCheckpoint<u32, u32, ()> {
+        EngineCheckpoint {
+            version: CHECKPOINT_FORMAT_VERSION,
+            num_vertices: 4,
+            num_edges: 3,
+            completed_iterations: 2,
+            states: vec![0, 1, 2, 3],
+            frontier: vec![1, 3],
+            inbox: vec![(2, 7)],
+            global: (),
+            trace: RunTrace {
+                num_vertices: 4,
+                num_edges: 3,
+                iterations: vec![Default::default(); 2],
+                converged: false,
+            },
+        }
+    }
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("graphmine_ckpt_{name}_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let dir = temp_dir("roundtrip");
+        let path = dir.join("run.ckpt.json");
+        let ckpt = sample();
+        write_checkpoint(&path, &ckpt).unwrap();
+        let back: EngineCheckpoint<u32, u32, ()> = read_checkpoint(&path).unwrap();
+        assert_eq!(back, ckpt);
+        back.validate(4, 3).unwrap();
+    }
+
+    #[test]
+    fn missing_file_reports_io_not_found() {
+        let dir = temp_dir("missing");
+        let err = read_checkpoint::<u32, u32, ()>(&dir.join("nope.ckpt.json")).unwrap_err();
+        match err {
+            CheckpointError::Io(e) => assert_eq!(e.kind(), io::ErrorKind::NotFound),
+            other => panic!("expected Io, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_json_reports_corrupt() {
+        let dir = temp_dir("truncated");
+        let path = dir.join("run.ckpt.json");
+        write_checkpoint(&path, &sample()).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(matches!(
+            read_checkpoint::<u32, u32, ()>(&path),
+            Err(CheckpointError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_wrong_graph_and_bad_ids() {
+        let ckpt = sample();
+        assert!(matches!(
+            ckpt.validate(5, 3),
+            Err(CheckpointError::Mismatch(_))
+        ));
+        assert!(matches!(
+            ckpt.validate(4, 9),
+            Err(CheckpointError::Mismatch(_))
+        ));
+        let mut bad = sample();
+        bad.frontier.push(99);
+        assert!(matches!(
+            bad.validate(4, 3),
+            Err(CheckpointError::Corrupt(_))
+        ));
+        let mut wrong_ver = sample();
+        wrong_ver.version = 99;
+        assert!(matches!(
+            wrong_ver.validate(4, 3),
+            Err(CheckpointError::Mismatch(_))
+        ));
+    }
+
+    #[test]
+    fn writes_leave_no_temp_siblings() {
+        let dir = temp_dir("tmpclean");
+        let path = dir.join("run.ckpt.json");
+        write_checkpoint(&path, &sample()).unwrap();
+        write_checkpoint(&path, &sample()).unwrap();
+        let leftovers: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.contains(".tmp."))
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "temp files left behind: {leftovers:?}"
+        );
+    }
+}

@@ -1,0 +1,196 @@
+//! Deterministic fault injection for chaos testing.
+//!
+//! A [`FaultPlan`] is a finite set of *armed* faults, each addressed by a
+//! `(site, index)` coordinate: "panic at engine iteration 7", "I/O error on
+//! the 2nd checkpoint write", "stall 20 ms when job 3 starts". Components
+//! that want to be chaos-testable call [`FaultPlan::fire`] at their named
+//! sites; with no plan attached (or nothing armed at that coordinate) the
+//! call is a no-op, so production paths pay one `Option` check.
+//!
+//! Two properties make the harness usable for the repo's bitwise-resume
+//! invariants:
+//!
+//! * **Determinism** — a plan is either armed explicitly or derived from a
+//!   seed ([`FaultPlan::seeded`]) via a splitmix64 stream; the same seed
+//!   always yields the same faults, so a failing chaos run replays exactly.
+//! * **One-shot semantics** — a fault is disarmed the moment it fires, so a
+//!   retried job or resumed run sails past the coordinate that killed its
+//!   first attempt. This models transient faults (the interesting recovery
+//!   case); permanent faults are just a plan armed at every retry's
+//!   coordinate.
+
+use std::collections::HashMap;
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Where in the system a fault can be injected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultSite {
+    /// An engine iteration boundary; the index is the iteration number.
+    /// `IoError` is meaningless here (the boundary does no I/O) and is
+    /// ignored; `Panic` and `Stall` take effect.
+    Iteration,
+    /// An engine checkpoint write; the index is the completed-iteration
+    /// count the checkpoint would cover. `IoError` makes the write fail.
+    CheckpointWrite,
+    /// The start of a service job execution; the index is the job id.
+    JobStart,
+    /// A service run-database persistence point; the index is the sequence
+    /// number of the persistence attempt.
+    DbPersist,
+}
+
+/// What happens when an armed fault fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Panic with an "injected panic" message (caught by the service's
+    /// per-job `catch_unwind`).
+    Panic,
+    /// Return an injected `io::Error` from [`FaultPlan::fire`]. Sites that
+    /// perform no I/O ignore it.
+    IoError,
+    /// Sleep for the given number of milliseconds, then continue normally
+    /// (drives watchdog-timeout paths).
+    Stall {
+        /// Sleep duration in milliseconds.
+        ms: u64,
+    },
+}
+
+/// A deterministic, one-shot set of injected faults.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    armed: Mutex<HashMap<(FaultSite, u64), FaultKind>>,
+    fired: AtomicU64,
+}
+
+impl FaultPlan {
+    /// An empty plan; arm faults with [`FaultPlan::arm`].
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Arm `kind` to fire once at `(site, index)`, replacing any fault
+    /// already armed there.
+    pub fn arm(&self, site: FaultSite, index: u64, kind: FaultKind) -> &FaultPlan {
+        self.lock().insert((site, index), kind);
+        self
+    }
+
+    /// Derive `count` faults from a seed: sites drawn from `sites`, indices
+    /// uniform in `0..max_index`, kinds cycling panic / I/O error / short
+    /// stall. Identical seeds produce identical plans.
+    pub fn seeded(seed: u64, sites: &[FaultSite], max_index: u64, count: usize) -> FaultPlan {
+        assert!(!sites.is_empty(), "seeded plan needs at least one site");
+        let plan = FaultPlan::new();
+        let mut x = seed;
+        let mut next = move || -> u64 {
+            // splitmix64: a full-period mix of a Weyl sequence.
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        for _ in 0..count {
+            let site = sites[(next() % sites.len() as u64) as usize];
+            let index = next() % max_index.max(1);
+            let kind = match next() % 3 {
+                0 => FaultKind::Panic,
+                1 => FaultKind::IoError,
+                _ => FaultKind::Stall {
+                    ms: 1 + next() % 20,
+                },
+            };
+            plan.arm(site, index, kind);
+        }
+        plan
+    }
+
+    /// Check-and-fire the fault armed at `(site, index)`, if any. Disarms
+    /// it first (one-shot), then: `Panic` panics with a recognizable
+    /// "injected panic" message, `Stall` sleeps and returns `Ok`, `IoError`
+    /// returns an injected error the caller surfaces through its normal
+    /// I/O error path. Unarmed coordinates return `Ok` untouched.
+    pub fn fire(&self, site: FaultSite, index: u64) -> io::Result<()> {
+        let kind = self.lock().remove(&(site, index));
+        let Some(kind) = kind else {
+            return Ok(());
+        };
+        self.fired.fetch_add(1, Ordering::Relaxed);
+        match kind {
+            FaultKind::Stall { ms } => {
+                std::thread::sleep(Duration::from_millis(ms));
+                Ok(())
+            }
+            FaultKind::IoError => Err(io::Error::other(format!(
+                "injected I/O fault at {site:?}[{index}]"
+            ))),
+            FaultKind::Panic => panic!("injected panic at {site:?}[{index}]"),
+        }
+    }
+
+    /// How many faults have fired so far.
+    pub fn fired(&self) -> u64 {
+        self.fired.load(Ordering::Relaxed)
+    }
+
+    /// How many faults are still armed.
+    pub fn remaining(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// A poisoned lock only means a `Panic` fault propagated through a
+    /// firing thread; the map itself is never left mid-mutation.
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<(FaultSite, u64), FaultKind>> {
+        self.armed.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unarmed_coordinates_are_noops() {
+        let plan = FaultPlan::new();
+        assert!(plan.fire(FaultSite::Iteration, 0).is_ok());
+        assert_eq!(plan.fired(), 0);
+    }
+
+    #[test]
+    fn io_fault_fires_once_then_disarms() {
+        let plan = FaultPlan::new();
+        plan.arm(FaultSite::CheckpointWrite, 3, FaultKind::IoError);
+        assert!(plan.fire(FaultSite::CheckpointWrite, 2).is_ok());
+        assert!(plan.fire(FaultSite::CheckpointWrite, 3).is_err());
+        // One-shot: the retry passes.
+        assert!(plan.fire(FaultSite::CheckpointWrite, 3).is_ok());
+        assert_eq!(plan.fired(), 1);
+        assert_eq!(plan.remaining(), 0);
+    }
+
+    #[test]
+    fn panic_fault_panics_with_recognizable_message() {
+        let plan = FaultPlan::new();
+        plan.arm(FaultSite::JobStart, 0, FaultKind::Panic);
+        let err = std::panic::catch_unwind(|| {
+            let _ = plan.fire(FaultSite::JobStart, 0);
+        })
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("injected panic"), "got: {msg}");
+    }
+
+    #[test]
+    fn seeded_plans_are_reproducible() {
+        let sites = [FaultSite::Iteration, FaultSite::JobStart];
+        let a = FaultPlan::seeded(42, &sites, 100, 8);
+        let b = FaultPlan::seeded(42, &sites, 100, 8);
+        assert_eq!(*a.lock(), *b.lock());
+        let c = FaultPlan::seeded(43, &sites, 100, 8);
+        assert_ne!(*a.lock(), *c.lock());
+    }
+}

@@ -86,13 +86,20 @@
 //! ```
 
 pub mod async_engine;
+pub mod checkpoint;
 pub mod edge_centric;
+pub mod fault;
 pub mod program;
 pub mod sync_engine;
 pub mod trace;
 
 pub use async_engine::{async_run, AsyncConfig, AsyncStats, Scheduler};
+pub use checkpoint::{
+    read_checkpoint, write_checkpoint, CheckpointError, CheckpointPolicy, CheckpointStats,
+    EngineCheckpoint, CHECKPOINT_FORMAT_VERSION,
+};
 pub use edge_centric::{edge_centric_run, EdgeCentricConfig};
+pub use fault::{FaultKind, FaultPlan, FaultSite};
 pub use program::{ActiveInit, ApplyInfo, EdgeSet, NoGlobal, VertexProgram};
 pub use sync_engine::{
     chunk_size, ExecutionConfig, FrontierMode, SyncEngine, SPARSE_FRONTIER_THRESHOLD,

@@ -1,6 +1,7 @@
 //! The [`VertexProgram`] abstraction — the paper's GAS computation model.
 
 use graphmine_graph::{EdgeId, Graph, VertexId};
+use serde::{Deserialize, Serialize};
 
 /// Which incident edges a phase visits.
 ///
@@ -29,7 +30,7 @@ pub enum ActiveInit {
 }
 
 /// Placeholder global state for programs that need none.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct NoGlobal;
 
 /// Mutable per-apply bookkeeping handed to [`VertexProgram::apply`].

@@ -46,10 +46,17 @@
 //! paths: both issue exactly the same per-vertex program calls and differ
 //! only in how they find the active vertices.
 
+use crate::checkpoint::{
+    read_checkpoint, write_checkpoint, CheckpointError, CheckpointPolicy, EngineCheckpoint,
+    CHECKPOINT_FORMAT_VERSION,
+};
+use crate::fault::{FaultPlan, FaultSite};
 use crate::program::{ActiveInit, ApplyInfo, EdgeSet, VertexProgram};
 use crate::trace::{IterationStats, RunTrace};
 use graphmine_graph::{Direction, Graph, VertexId};
 use rayon::prelude::*;
+use serde::de::DeserializeOwned;
+use serde::Serialize;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -107,6 +114,19 @@ pub struct ExecutionConfig {
     /// default) never changes results or behavior counters — only which
     /// data structure the engine walks to find active vertices.
     pub frontier_mode: FrontierMode,
+    /// Iteration-granularity checkpointing. Honored by the checkpoint-aware
+    /// entry points ([`SyncEngine::run_resumable`] and friends): the engine
+    /// resumes from the policy's file when one exists, snapshots state
+    /// every `every` iterations, and removes the file when the run reaches
+    /// a terminal boundary (converged or iteration cap — not cancellation,
+    /// which is exactly the case resume exists for). The bound-free
+    /// [`SyncEngine::run`] ignores it.
+    pub checkpoint: Option<CheckpointPolicy>,
+    /// Deterministic fault injection for chaos tests. The engine fires
+    /// [`FaultSite::Iteration`] at each iteration boundary and
+    /// [`FaultSite::CheckpointWrite`] before each checkpoint write; `None`
+    /// (the default) costs one branch per boundary.
+    pub fault_plan: Option<Arc<FaultPlan>>,
 }
 
 impl Default for ExecutionConfig {
@@ -118,6 +138,8 @@ impl Default for ExecutionConfig {
             partition: None,
             cancel: None,
             frontier_mode: FrontierMode::Adaptive,
+            checkpoint: None,
+            fault_plan: None,
         }
     }
 }
@@ -154,6 +176,18 @@ impl ExecutionConfig {
     /// adaptive policy is right for production runs).
     pub fn with_frontier_mode(mut self, mode: FrontierMode) -> ExecutionConfig {
         self.frontier_mode = mode;
+        self
+    }
+
+    /// Enable iteration-granularity checkpointing under the given policy.
+    pub fn with_checkpoint(mut self, policy: CheckpointPolicy) -> ExecutionConfig {
+        self.checkpoint = Some(policy);
+        self
+    }
+
+    /// Attach a deterministic fault-injection plan (chaos tests only).
+    pub fn with_fault_plan(mut self, plan: Arc<FaultPlan>) -> ExecutionConfig {
+        self.fault_plan = Some(plan);
         self
     }
 
@@ -310,6 +344,18 @@ impl FrontierSet {
             self.chunks.clear();
         }
     }
+
+    /// The sorted active-vertex list, whatever the current representation.
+    /// `list` mirrors the bitmap after every `init_subset`/`advance`; the
+    /// one state where it does not (`init_all` in dense mode leaves it
+    /// empty) is recognizable by the length mismatch and means "everyone".
+    fn snapshot_list(&self) -> Vec<VertexId> {
+        if self.list.len() == self.count {
+            self.list.clone()
+        } else {
+            (0..self.n as VertexId).collect()
+        }
+    }
 }
 
 /// Pair each ascending chunk index in `ids` with its mutable chunk of
@@ -356,6 +402,41 @@ fn bucket_by_dest_chunk<M>(mut msgs: Vec<(VertexId, M)>, cs: usize) -> RangeOutb
         groups.push((d, start, i));
     }
     RangeOutbox { msgs, groups }
+}
+
+/// A deserialized iteration boundary handed to [`SyncEngine::run_core`] to
+/// continue a run instead of starting fresh.
+struct ResumeState<P: VertexProgram> {
+    completed_iterations: usize,
+    states: Vec<P::State>,
+    frontier: Vec<VertexId>,
+    inbox: Vec<(VertexId, P::Message)>,
+    global: P::Global,
+    trace: RunTrace,
+}
+
+impl<P: VertexProgram> ResumeState<P> {
+    fn from_checkpoint(c: EngineCheckpoint<P::State, P::Message, P::Global>) -> ResumeState<P> {
+        ResumeState {
+            completed_iterations: c.completed_iterations,
+            states: c.states,
+            frontier: c.frontier,
+            inbox: c.inbox,
+            global: c.global,
+            trace: c.trace,
+        }
+    }
+}
+
+/// A borrowed view of one completed, non-terminal iteration boundary —
+/// everything a continuation of the run needs, by reference.
+struct BoundaryView<'a, P: VertexProgram> {
+    completed_iterations: usize,
+    states: &'a [P::State],
+    frontier: &'a FrontierSet,
+    inbox: &'a [Option<P::Message>],
+    global: &'a P::Global,
+    trace: &'a RunTrace,
 }
 
 impl<'g, P: VertexProgram> SyncEngine<'g, P>
@@ -415,9 +496,20 @@ impl<'g, P: VertexProgram> SyncEngine<'g, P> {
     }
 
     /// Like [`SyncEngine::run`] but also returns the final global value.
-    pub fn run_with_global(
+    pub fn run_with_global(self, config: &ExecutionConfig) -> (Vec<P::State>, P::Global, RunTrace) {
+        self.run_core(config, None, &mut |_| {})
+    }
+
+    /// The shared run loop behind every entry point. `resume` restarts the
+    /// engine at a previously captured iteration boundary; `observer` is
+    /// invoked at each non-terminal boundary with a complete view of the
+    /// resumable state (the checkpoint-aware entry points serialize it —
+    /// this core stays free of serde bounds).
+    fn run_core(
         mut self,
         config: &ExecutionConfig,
+        resume: Option<ResumeState<P>>,
+        observer: &mut dyn FnMut(BoundaryView<'_, P>),
     ) -> (Vec<P::State>, P::Global, RunTrace) {
         let n = self.graph.num_vertices();
         let m = self.graph.num_edges();
@@ -435,10 +527,32 @@ impl<'g, P: VertexProgram> SyncEngine<'g, P> {
         let cs = chunk_size(n);
         let always_active = self.program.always_active();
         let mut frontier = FrontierSet::new(n, cs, config.frontier_mode);
-        match self.program.initial_active() {
-            ActiveInit::All => frontier.init_all(),
-            ActiveInit::Vertices(vs) => frontier.init_subset(vs),
-        }
+        let mut inbox: Vec<Option<P::Message>> = (0..n).map(|_| None).collect();
+
+        // A boundary is fully described by (states, frontier, undelivered
+        // inbox, global, trace-so-far): the accumulator table is drained by
+        // apply every iteration, and `next_states`/`pending` start Clean
+        // because `next_states` is cloned from the restored states below —
+        // exactly the invariant a fresh run starts with.
+        let start_iter = match resume {
+            Some(r) => {
+                self.states = r.states;
+                self.global = r.global;
+                trace.iterations = r.trace.iterations;
+                frontier.init_subset(r.frontier);
+                for (v, msg) in r.inbox {
+                    inbox[v as usize] = Some(msg);
+                }
+                r.completed_iterations
+            }
+            None => {
+                match self.program.initial_active() {
+                    ActiveInit::All => frontier.init_all(),
+                    ActiveInit::Vertices(vs) => frontier.init_subset(vs),
+                }
+                0
+            }
+        };
 
         // Run-lifetime scratch: hoisted out of the iteration loop so the
         // steady state allocates proportionally to frontier work only.
@@ -447,17 +561,21 @@ impl<'g, P: VertexProgram> SyncEngine<'g, P> {
             .map(|start| (start, (start + cs).min(n)))
             .collect();
         let mut accums: Vec<Option<P::Accum>> = (0..n).map(|_| None).collect();
-        let mut inbox: Vec<Option<P::Message>> = (0..n).map(|_| None).collect();
         let mut next_states = self.states.clone();
         let mut pending = PendingSync::Clean;
 
-        for iter in 0..config.max_iterations {
+        for iter in start_iter..config.max_iterations {
             if config.is_cancelled() {
                 break;
             }
             if frontier.count == 0 {
                 trace.converged = true;
                 break;
+            }
+            if let Some(plan) = &config.fault_plan {
+                // An I/O-error fault is meaningless at a pure-compute
+                // boundary; panics and stalls take effect.
+                let _ = plan.fire(FaultSite::Iteration, iter as u64);
             }
 
             self.program
@@ -493,6 +611,19 @@ impl<'g, P: VertexProgram> SyncEngine<'g, P> {
                 trace.converged = true;
                 break;
             }
+
+            // The boundary after iteration `iter` is complete and the run
+            // continues: everything an identical continuation needs is
+            // visible here. Terminal boundaries (halt/convergence/cap) are
+            // deliberately not observed — there is nothing left to resume.
+            observer(BoundaryView {
+                completed_iterations: iter + 1,
+                states: &self.states,
+                frontier: &frontier,
+                inbox: &inbox,
+                global: &self.global,
+                trace: &trace,
+            });
         }
         (self.states, self.global, trace)
     }
@@ -928,6 +1059,133 @@ impl<'g, P: VertexProgram> SyncEngine<'g, P> {
             frontier_density: active_count as f64 / n as f64,
         };
         (stats, receivers)
+    }
+}
+
+/// Checkpoint-aware entry points, available whenever the program's state,
+/// message, and global types are serde-serializable. The determinism of the
+/// engine (bit-identical exchange across thread counts and frontier modes)
+/// makes resume exact: a continuation from any boundary reproduces the
+/// uninterrupted run's states and behavior counters bitwise — only the
+/// wall-clock `apply_ns` legitimately differs.
+impl<'g, P: VertexProgram> SyncEngine<'g, P>
+where
+    P::State: Serialize + DeserializeOwned,
+    P::Message: Serialize + DeserializeOwned,
+    P::Global: Serialize + DeserializeOwned,
+{
+    /// Like [`SyncEngine::run`], honoring `config.checkpoint`: resume from
+    /// the policy's file when a valid checkpoint exists, write one every
+    /// `every` iterations, and delete it once the run ends on its own
+    /// (convergence or iteration cap). With no policy configured this is
+    /// exactly [`SyncEngine::run`].
+    pub fn run_resumable(self, config: &ExecutionConfig) -> (Vec<P::State>, RunTrace) {
+        let (states, _global, trace) = self.run_resumable_with_global(config);
+        (states, trace)
+    }
+
+    /// [`SyncEngine::run_resumable`] returning the final global value too.
+    pub fn run_resumable_with_global(
+        self,
+        config: &ExecutionConfig,
+    ) -> (Vec<P::State>, P::Global, RunTrace) {
+        let Some(policy) = config.checkpoint.clone() else {
+            return self.run_core(config, None, &mut |_| {});
+        };
+        // A missing checkpoint is the normal first-attempt case; an
+        // unreadable, corrupt, or mismatched one must never lose the job —
+        // fall back to a fresh run and let the next write replace it.
+        let resume = match read_checkpoint::<P::State, P::Message, P::Global>(&policy.path()) {
+            Ok(ckpt)
+                if ckpt
+                    .validate(self.graph.num_vertices(), self.graph.num_edges())
+                    .is_ok() =>
+            {
+                if let Some(stats) = &policy.stats {
+                    stats.restored.fetch_add(1, Ordering::Relaxed);
+                }
+                Some(ckpt)
+            }
+            _ => None,
+        };
+        self.run_checkpointed(config, &policy, resume)
+    }
+
+    /// Resume explicitly from `ckpt`, validating it against this engine's
+    /// graph first. Periodic checkpoint writes continue if
+    /// `config.checkpoint` is set; otherwise the continuation runs bare.
+    pub fn run_from_checkpoint(
+        self,
+        config: &ExecutionConfig,
+        ckpt: EngineCheckpoint<P::State, P::Message, P::Global>,
+    ) -> Result<(Vec<P::State>, P::Global, RunTrace), CheckpointError> {
+        ckpt.validate(self.graph.num_vertices(), self.graph.num_edges())?;
+        Ok(match config.checkpoint.clone() {
+            Some(policy) => self.run_checkpointed(config, &policy, Some(ckpt)),
+            None => self.run_core(
+                config,
+                Some(ResumeState::from_checkpoint(ckpt)),
+                &mut |_| {},
+            ),
+        })
+    }
+
+    fn run_checkpointed(
+        self,
+        config: &ExecutionConfig,
+        policy: &CheckpointPolicy,
+        resume: Option<EngineCheckpoint<P::State, P::Message, P::Global>>,
+    ) -> (Vec<P::State>, P::Global, RunTrace) {
+        let path = policy.path();
+        let num_vertices = self.graph.num_vertices() as u64;
+        let num_edges = self.graph.num_edges() as u64;
+        let mut observer = |b: BoundaryView<'_, P>| {
+            if policy.every == 0 || b.completed_iterations % policy.every != 0 {
+                return;
+            }
+            let ckpt = EngineCheckpoint {
+                version: CHECKPOINT_FORMAT_VERSION,
+                num_vertices,
+                num_edges,
+                completed_iterations: b.completed_iterations,
+                states: b.states.to_vec(),
+                frontier: b.frontier.snapshot_list(),
+                inbox: b
+                    .inbox
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(v, m)| m.as_ref().map(|m| (v as VertexId, m.clone())))
+                    .collect(),
+                global: b.global.clone(),
+                trace: b.trace.clone(),
+            };
+            let wrote = (|| {
+                if let Some(plan) = &config.fault_plan {
+                    plan.fire(FaultSite::CheckpointWrite, b.completed_iterations as u64)?;
+                }
+                write_checkpoint(&path, &ckpt)
+            })();
+            // A failed write is not fatal to the run: the previous
+            // checkpoint (if any) is still intact thanks to the atomic
+            // rename, so resume just loses some progress.
+            if let Some(stats) = &policy.stats {
+                match wrote {
+                    Ok(()) => stats.written.fetch_add(1, Ordering::Relaxed),
+                    Err(_) => stats.write_failures.fetch_add(1, Ordering::Relaxed),
+                };
+            }
+        };
+        let resume = resume.map(ResumeState::from_checkpoint);
+        let cancelled = config.cancel.clone();
+        let out = self.run_core(config, resume, &mut observer);
+        // A run that ended on its own has nothing left to resume; one that
+        // was cancelled (timeout, shutdown, crash) keeps its checkpoint so
+        // the next attempt continues instead of restarting.
+        let was_cancelled = cancelled.is_some_and(|f| f.load(Ordering::Relaxed));
+        if !was_cancelled {
+            let _ = std::fs::remove_file(&path);
+        }
+        out
     }
 }
 

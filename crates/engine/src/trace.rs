@@ -3,7 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 /// Counters recorded for one synchronous GAS iteration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct IterationStats {
     /// Vertices active at the start of the iteration.
     pub active: u64,
@@ -121,6 +121,23 @@ impl RunTrace {
             .iter()
             .filter(|it| it.frontier_density < threshold)
             .count()
+    }
+
+    /// A copy with every wall-clock counter (`apply_ns`) zeroed. All other
+    /// counters are deterministic, so two runs of the same computation —
+    /// including a checkpoint-resumed continuation versus the uninterrupted
+    /// run — must compare equal under this projection.
+    pub fn without_wall_clock(&self) -> RunTrace {
+        RunTrace {
+            num_vertices: self.num_vertices,
+            num_edges: self.num_edges,
+            iterations: self
+                .iterations
+                .iter()
+                .map(|it| IterationStats { apply_ns: 0, ..*it })
+                .collect(),
+            converged: self.converged,
+        }
     }
 
     /// Mean active fraction across the whole run.

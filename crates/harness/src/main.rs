@@ -10,6 +10,7 @@
 //! graphmine cluster                                # partition/remote-comm study
 //! graphmine plot    [--db PATH] [--out DIR]        # SVG figures
 //! graphmine serve   [--addr HOST:PORT] [--workers N] [--cache-mb MB] [--db PATH]
+//!                   [--retry-budget N] [--max-queue-depth N] [--spill-dir DIR]
 //! graphmine list
 //! ```
 //!
@@ -36,6 +37,9 @@ struct Args {
     addr: String,
     workers: usize,
     cache_mb: u64,
+    retry_budget: u32,
+    max_queue_depth: usize,
+    spill_dir: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -49,6 +53,9 @@ fn parse_args() -> Result<Args, String> {
     let mut addr = String::from("127.0.0.1:7745");
     let mut workers = 4usize;
     let mut cache_mb = 256u64;
+    let mut retry_budget = 2u32;
+    let mut max_queue_depth = 0usize;
+    let mut spill_dir: Option<PathBuf> = None;
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--profile" => {
@@ -91,6 +98,23 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|_| format!("unparseable cache budget `{v}`"))?;
             }
+            "--retry-budget" => {
+                let v = args.next().ok_or("--retry-budget needs a value")?;
+                retry_budget = v
+                    .parse()
+                    .map_err(|_| format!("unparseable retry budget `{v}`"))?;
+            }
+            "--max-queue-depth" => {
+                let v = args.next().ok_or("--max-queue-depth needs a value")?;
+                max_queue_depth = v
+                    .parse()
+                    .map_err(|_| format!("unparseable queue depth `{v}` (0 = unbounded)"))?;
+            }
+            "--spill-dir" => {
+                spill_dir = Some(PathBuf::from(
+                    args.next().ok_or("--spill-dir needs a value")?,
+                ));
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -104,6 +128,9 @@ fn parse_args() -> Result<Args, String> {
         addr,
         workers,
         cache_mb,
+        retry_budget,
+        max_queue_depth,
+        spill_dir,
     })
 }
 
@@ -111,6 +138,7 @@ fn usage() -> String {
     format!(
         "usage: graphmine <command> [--profile quick|default|full] [--db PATH] [--work wall|ops] [--input EDGELIST]\n\
          \x20      graphmine serve [--addr HOST:PORT] [--workers N] [--cache-mb MB] [--db PATH]\n\
+         \x20                      [--retry-budget N] [--max-queue-depth N] [--spill-dir DIR]\n\
          commands: run, all, list, predict, analyze, export, cluster, correlations, plot, serve, {}",
         FIGURE_IDS.join(", ")
     )
@@ -201,6 +229,9 @@ fn main() -> ExitCode {
                 workers: args.workers,
                 db_path: Some(args.db.clone()),
                 cache_bytes: args.cache_mb * 1024 * 1024,
+                retry_budget: args.retry_budget,
+                max_queue_depth: args.max_queue_depth,
+                spill_dir: args.spill_dir.clone(),
                 ..graphmine_service::ServiceConfig::default()
             };
             match graphmine_service::Server::start(config) {

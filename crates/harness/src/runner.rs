@@ -115,7 +115,7 @@ pub fn run_or_load(
     progress: impl FnMut(&str),
 ) -> std::io::Result<RunDb> {
     if path.exists() {
-        return RunDb::load(path);
+        return Ok(RunDb::load(path)?);
     }
     let db = run_matrix(profile, progress);
     if let Some(parent) = path.parent() {

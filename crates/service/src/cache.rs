@@ -267,4 +267,71 @@ mod tests {
         }
         assert_eq!(cache.hits() + cache.misses(), 8);
     }
+
+    #[test]
+    fn eviction_under_contention_never_invalidates_held_workloads() {
+        let entry_bytes = workload_bytes(&build(0));
+        // Budget for ~2 entries while 6 distinct keys churn: constant
+        // eviction pressure under concurrent access.
+        let cache = Arc::new(GraphCache::new(entry_bytes * 2 + entry_bytes / 2));
+        let handles: Vec<_> = (0..6u64)
+            .map(|t| {
+                let cache = Arc::clone(&cache);
+                std::thread::spawn(move || {
+                    let mut held = Vec::new();
+                    for round in 0..20u64 {
+                        let seed = (t + round) % 6;
+                        let (w, _) = cache.get_or_build(key(seed), || build(seed));
+                        // Shared copies must stay usable even after the
+                        // cache evicts the entry behind them.
+                        assert!(w.graph().num_vertices() > 0);
+                        held.push(w);
+                    }
+                    held
+                })
+            })
+            .collect();
+        let held: Vec<_> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        for w in &held {
+            assert!(w.graph().num_edges() > 0, "evicted workload was corrupted");
+        }
+        assert_eq!(cache.hits() + cache.misses(), 6 * 20);
+        assert!(
+            cache.resident_bytes() <= entry_bytes * 3,
+            "resident bytes exceeded budget plus one oversize admission"
+        );
+        assert!(
+            cache.len() <= 2,
+            "more entries resident than the budget allows"
+        );
+    }
+
+    #[test]
+    fn racing_builders_on_distinct_keys_each_insert_once() {
+        let cache = Arc::new(GraphCache::new(u64::MAX));
+        let handles: Vec<_> = (0..4u64)
+            .flat_map(|seed| (0..4).map(move |_| seed).collect::<Vec<_>>())
+            .map(|seed| {
+                let cache = Arc::clone(&cache);
+                std::thread::spawn(move || cache.get_or_build(key(seed), || build(seed)).0)
+            })
+            .collect();
+        let copies: Vec<Arc<Workload>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        // 4 distinct keys, each raced by 4 threads: exactly 4 entries, and
+        // every thread on the same key got the same shared copy.
+        assert_eq!(cache.len(), 4);
+        assert_eq!(copies.len(), 16);
+        assert_eq!(cache.hits() + cache.misses(), 16);
+        assert!(cache.misses() >= 4, "each key must be built at least once");
+        let mut distinct = 0;
+        for (i, a) in copies.iter().enumerate() {
+            if copies[..i].iter().all(|b| !Arc::ptr_eq(a, b)) {
+                distinct += 1;
+            }
+        }
+        assert_eq!(distinct, 4, "same-key lookups must converge on one copy");
+    }
 }

@@ -31,8 +31,59 @@ pub struct Request {
     pub body: Vec<u8>,
 }
 
-fn bad(msg: &str) -> io::Error {
-    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+/// Why a request could not be read, mapped to a status by the handler:
+/// `TooLarge` → 413, `Malformed` → 400, `Io` → drop the connection.
+#[derive(Debug)]
+pub enum RequestError {
+    /// The declared or actual body exceeds [`MAX_BODY_BYTES`] (or the
+    /// header section exceeds [`MAX_HEADER_BYTES`]).
+    TooLarge(String),
+    /// The bytes do not form a parseable HTTP/1.1 request.
+    Malformed(String),
+    /// The socket failed or closed mid-request.
+    Io(io::Error),
+}
+
+impl RequestError {
+    /// The HTTP status this error maps to (`Io` has none — nothing can be
+    /// written back reliably).
+    pub fn status(&self) -> Option<u16> {
+        match self {
+            RequestError::TooLarge(_) => Some(413),
+            RequestError::Malformed(_) => Some(400),
+            RequestError::Io(_) => None,
+        }
+    }
+
+    /// Human-readable cause for the error payload.
+    pub fn message(&self) -> String {
+        match self {
+            RequestError::TooLarge(m) | RequestError::Malformed(m) => m.clone(),
+            RequestError::Io(e) => e.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for RequestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RequestError::TooLarge(m) => write!(f, "request too large: {m}"),
+            RequestError::Malformed(m) => write!(f, "malformed request: {m}"),
+            RequestError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RequestError {}
+
+impl From<io::Error> for RequestError {
+    fn from(e: io::Error) -> RequestError {
+        RequestError::Io(e)
+    }
+}
+
+fn bad(msg: &str) -> RequestError {
+    RequestError::Malformed(msg.to_string())
 }
 
 fn find_subsequence(haystack: &[u8], needle: &[u8]) -> Option<usize> {
@@ -44,7 +95,7 @@ fn find_subsequence(haystack: &[u8], needle: &[u8]) -> Option<usize> {
 /// Read and parse one request from the stream. Blocks until the header
 /// terminator and the full `Content-Length` body have arrived (per-socket
 /// read timeouts bound how long a stalled client can hold a handler).
-pub fn read_request(stream: &mut TcpStream) -> io::Result<Request> {
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, RequestError> {
     let mut buf: Vec<u8> = Vec::with_capacity(1024);
     let mut chunk = [0u8; 4096];
     let header_end = loop {
@@ -52,14 +103,14 @@ pub fn read_request(stream: &mut TcpStream) -> io::Result<Request> {
             break pos;
         }
         if buf.len() > MAX_HEADER_BYTES {
-            return Err(bad("header section too large"));
+            return Err(RequestError::TooLarge("header section too large".into()));
         }
         let n = stream.read(&mut chunk)?;
         if n == 0 {
-            return Err(io::Error::new(
+            return Err(RequestError::Io(io::Error::new(
                 io::ErrorKind::UnexpectedEof,
                 "connection closed before end of header",
-            ));
+            )));
         }
         buf.extend_from_slice(&chunk[..n]);
     };
@@ -79,29 +130,43 @@ pub fn read_request(stream: &mut TcpStream) -> io::Result<Request> {
         None => (target.to_string(), None),
     };
 
-    let mut content_length = 0usize;
+    let mut content_length: Option<usize> = None;
     for line in lines {
         if let Some((name, value)) = line.split_once(':') {
             if name.trim().eq_ignore_ascii_case("content-length") {
-                content_length = value
-                    .trim()
-                    .parse()
-                    .map_err(|_| bad("unparseable Content-Length"))?;
+                content_length = Some(
+                    value
+                        .trim()
+                        .parse()
+                        .map_err(|_| bad("unparseable Content-Length"))?,
+                );
             }
         }
     }
+
+    let leftover = buf.len() - (header_end + 4);
+    let content_length = match content_length {
+        Some(n) => n,
+        // A request carrying body bytes without declaring Content-Length
+        // is malformed — silently treating the length as 0 would make the
+        // handler parse an empty body while payload bytes sit unread.
+        None if leftover > 0 => return Err(bad("body present without Content-Length")),
+        None => 0,
+    };
     if content_length > MAX_BODY_BYTES {
-        return Err(bad("body too large"));
+        return Err(RequestError::TooLarge(format!(
+            "body of {content_length} bytes exceeds the {MAX_BODY_BYTES}-byte cap"
+        )));
     }
 
     let mut body = buf[header_end + 4..].to_vec();
     while body.len() < content_length {
         let n = stream.read(&mut chunk)?;
         if n == 0 {
-            return Err(io::Error::new(
+            return Err(RequestError::Io(io::Error::new(
                 io::ErrorKind::UnexpectedEof,
                 "connection closed before end of body",
-            ));
+            )));
         }
         body.extend_from_slice(&chunk[..n]);
     }
@@ -123,6 +188,8 @@ fn reason_phrase(status: u16) -> &'static str {
         404 => "Not Found",
         405 => "Method Not Allowed",
         409 => "Conflict",
+        413 => "Content Too Large",
+        429 => "Too Many Requests",
         503 => "Service Unavailable",
         _ => "Unknown",
     }
@@ -131,12 +198,28 @@ fn reason_phrase(status: u16) -> &'static str {
 /// Write a JSON response and flush. Always closes the connection from the
 /// protocol's point of view (`Connection: close`).
 pub fn write_json(stream: &mut TcpStream, status: u16, body: &serde_json::Value) -> io::Result<()> {
+    write_json_with_retry_after(stream, status, body, None)
+}
+
+/// [`write_json`] plus an optional `Retry-After: <seconds>` header, used
+/// by admission control's 429 responses to tell clients when the queue is
+/// expected to have drained.
+pub fn write_json_with_retry_after(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &serde_json::Value,
+    retry_after_s: Option<u64>,
+) -> io::Result<()> {
     let payload = body.to_string();
+    let retry = retry_after_s
+        .map(|s| format!("Retry-After: {s}\r\n"))
+        .unwrap_or_default();
     let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n{}Connection: close\r\n\r\n",
         status,
         reason_phrase(status),
-        payload.len()
+        payload.len(),
+        retry
     );
     stream.write_all(head.as_bytes())?;
     stream.write_all(payload.as_bytes())?;
@@ -158,7 +241,7 @@ mod tests {
     use std::net::TcpListener;
 
     /// Run `read_request` against bytes pushed through a real socket pair.
-    fn parse(raw: &[u8]) -> io::Result<Request> {
+    fn parse(raw: &[u8]) -> Result<Request, RequestError> {
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
         let raw = raw.to_vec();
@@ -196,16 +279,62 @@ mod tests {
     fn rejects_truncated_body() {
         let err =
             parse(b"POST /jobs HTTP/1.1\r\nContent-Length: 50\r\n\r\n{\"short\"").unwrap_err();
-        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        assert!(matches!(err, RequestError::Io(_)), "got {err:?}");
+        assert_eq!(err.status(), None);
     }
 
     #[test]
-    fn rejects_oversized_content_length() {
+    fn oversized_content_length_maps_to_413() {
         let raw = format!(
             "POST /jobs HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
             MAX_BODY_BYTES + 1
         );
-        assert!(parse(raw.as_bytes()).is_err());
+        let err = parse(raw.as_bytes()).unwrap_err();
+        assert!(matches!(err, RequestError::TooLarge(_)), "got {err:?}");
+        assert_eq!(err.status(), Some(413));
+    }
+
+    #[test]
+    fn body_without_content_length_maps_to_400() {
+        let err =
+            parse(b"POST /jobs HTTP/1.1\r\nHost: x\r\n\r\n{\"algorithm\":\"PR\"}").unwrap_err();
+        assert!(matches!(err, RequestError::Malformed(_)), "got {err:?}");
+        assert_eq!(err.status(), Some(400));
+    }
+
+    #[test]
+    fn unparseable_content_length_maps_to_400() {
+        let err = parse(b"POST /jobs HTTP/1.1\r\nContent-Length: ten\r\n\r\n").unwrap_err();
+        assert!(matches!(err, RequestError::Malformed(_)), "got {err:?}");
+        assert_eq!(err.status(), Some(400));
+    }
+
+    #[test]
+    fn retry_after_header_is_emitted() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let reader = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            let mut out = Vec::new();
+            s.read_to_end(&mut out).unwrap();
+            String::from_utf8(out).unwrap()
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        write_json_with_retry_after(
+            &mut stream,
+            429,
+            &serde_json::json!({"error": "queue full"}),
+            Some(7),
+        )
+        .unwrap();
+        drop(stream);
+        let raw = reader.join().unwrap();
+        assert!(
+            raw.starts_with("HTTP/1.1 429 Too Many Requests\r\n"),
+            "{raw}"
+        );
+        assert!(raw.contains("Retry-After: 7\r\n"), "{raw}");
+        assert!(raw.ends_with("{\"error\":\"queue full\"}"), "{raw}");
     }
 
     #[test]

@@ -5,7 +5,7 @@ use crate::cache::CacheKey;
 use graphmine_algos::{AlgorithmKind, Domain, Workload};
 use serde::{Deserialize, Serialize};
 use serde_json::json;
-use std::sync::atomic::AtomicBool;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Instant;
 
@@ -35,6 +35,12 @@ pub struct JobRequest {
     /// absent.
     #[serde(default)]
     pub timeout_ms: Option<u64>,
+    /// Engine checkpoint interval in iterations (0/absent = no
+    /// checkpointing). Checkpointed jobs resume from the last boundary
+    /// after a crash, a panic retry, or a watchdog requeue instead of
+    /// restarting from iteration 0.
+    #[serde(default)]
+    pub checkpoint_every: Option<usize>,
 }
 
 fn default_size() -> u64 {
@@ -116,12 +122,31 @@ pub struct Job {
     /// Set only by an explicit cancel request — distinguishes `Cancelled`
     /// from `TimedOut` when the engine stops on the shared `cancel` flag.
     pub cancel_requested: AtomicBool,
+    /// Execution attempts consumed (incremented when a worker starts the
+    /// job; retries and watchdog requeues run against a retry budget).
+    pub attempt: AtomicU32,
+    /// Stable checkpoint tag. Job ids are reassigned across restarts, so
+    /// the tag — not the id — names the checkpoint file a recovered job
+    /// resumes from.
+    pub ckpt_tag: String,
     status: Mutex<JobStatus>,
 }
 
 impl Job {
     /// Create a freshly queued job.
     pub fn new(id: u64, algorithm: AlgorithmKind, request: JobRequest) -> Job {
+        Job::recovered(id, algorithm, request, format!("job{id}"), 0)
+    }
+
+    /// Re-create a job from the journal: the checkpoint tag and consumed
+    /// attempts carry over from its previous incarnation.
+    pub fn recovered(
+        id: u64,
+        algorithm: AlgorithmKind,
+        request: JobRequest,
+        ckpt_tag: String,
+        attempt: u32,
+    ) -> Job {
         Job {
             id,
             request,
@@ -129,8 +154,15 @@ impl Job {
             submitted: Instant::now(),
             cancel: Arc::new(AtomicBool::new(false)),
             cancel_requested: AtomicBool::new(false),
+            attempt: AtomicU32::new(attempt),
+            ckpt_tag,
             status: Mutex::new(JobStatus::default()),
         }
+    }
+
+    /// Attempts consumed so far.
+    pub fn attempts(&self) -> u32 {
+        self.attempt.load(Ordering::Relaxed)
     }
 
     /// Lock the mutable status (poison-tolerant: state transitions are
@@ -159,6 +191,7 @@ impl Job {
             "run_index": status.run_index,
             "queue_ms": status.queue_ms,
             "run_ms": status.run_ms,
+            "attempt": self.attempts(),
         })
     }
 
@@ -269,6 +302,7 @@ mod tests {
             profile: None,
             max_iterations: None,
             timeout_ms: None,
+            checkpoint_every: None,
         }
     }
 

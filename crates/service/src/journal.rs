@@ -1,0 +1,392 @@
+//! Append-only job journal — the service's write-ahead log.
+//!
+//! The run database is only persisted every `persist_every` completions, so
+//! a crash can lose both finished results and queued work. The journal
+//! closes that window: every lifecycle transition is appended (and flushed)
+//! as one JSON line *before* the in-memory state changes are considered
+//! durable. On restart, [`replay`] folds the log back into (a) finished
+//! records missing from the database and (b) jobs that were submitted but
+//! never reached a terminal state, which the server re-enqueues.
+//!
+//! The format is JSONL rather than the database's single-document JSON
+//! precisely because appends must be cheap and crash-tolerant: a torn
+//! final line (the process died mid-write) is expected and ignored, while
+//! every complete line is recoverable.
+
+use crate::job::JobRequest;
+use graphmine_core::RunRecord;
+use serde::{Deserialize, Serialize};
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, MutexGuard};
+
+/// One journaled lifecycle transition.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(tag = "event", rename_all = "snake_case")]
+pub enum JournalEvent {
+    /// A job was accepted by `POST /jobs` (or re-accepted during recovery).
+    Submitted {
+        /// Server-assigned job id at the time of writing.
+        id: u64,
+        /// Algorithm abbreviation (re-parsed on replay).
+        algorithm: String,
+        /// Stable checkpoint tag, preserved across restarts so a recovered
+        /// job resumes from the checkpoint its previous incarnation wrote.
+        ckpt_tag: String,
+        /// Attempts already consumed before this submission (non-zero only
+        /// for entries rewritten by journal compaction).
+        #[serde(default)]
+        attempt: u32,
+        /// The submission as received.
+        request: JobRequest,
+    },
+    /// A worker picked the job up; `attempt` is 1-based.
+    Started {
+        /// Job id.
+        id: u64,
+        /// 1-based execution attempt.
+        attempt: u32,
+    },
+    /// The job was pushed back onto the queue (panic retry or watchdog
+    /// checkpoint-then-requeue).
+    Requeued {
+        /// Job id.
+        id: u64,
+        /// Attempts consumed so far.
+        attempt: u32,
+        /// Human-readable cause ("panic", "watchdog", …).
+        reason: String,
+    },
+    /// The job reached a terminal state.
+    Finished {
+        /// Job id.
+        id: u64,
+        /// Terminal state wire name ("done", "failed", …).
+        outcome: String,
+        /// The produced run record, for `done` outcomes.
+        record: Option<RunRecord>,
+    },
+}
+
+impl JournalEvent {
+    /// The job this event belongs to.
+    pub fn id(&self) -> u64 {
+        match self {
+            JournalEvent::Submitted { id, .. }
+            | JournalEvent::Started { id, .. }
+            | JournalEvent::Requeued { id, .. }
+            | JournalEvent::Finished { id, .. } => *id,
+        }
+    }
+}
+
+/// A job reconstructed from the journal that never reached a terminal
+/// state — it must be re-enqueued on restart.
+#[derive(Debug, Clone)]
+pub struct PendingJob {
+    /// Id the job had in the crashed process (ids are reassigned on
+    /// re-submission; only the checkpoint tag is stable).
+    pub old_id: u64,
+    /// Algorithm abbreviation.
+    pub algorithm: String,
+    /// Checkpoint tag to resume from.
+    pub ckpt_tag: String,
+    /// Execution attempts already consumed.
+    pub attempt: u32,
+    /// The original submission.
+    pub request: JobRequest,
+}
+
+/// Everything [`replay`] reconstructs from a journal file.
+#[derive(Debug, Default)]
+pub struct Recovery {
+    /// Jobs submitted but never finished, in submission order.
+    pub pending: Vec<PendingJob>,
+    /// Run records from `Finished` events, in completion order. The server
+    /// appends the tail missing from the (less frequently persisted)
+    /// database.
+    pub finished_records: Vec<RunRecord>,
+    /// Complete lines that failed to parse (corruption other than the
+    /// expected torn tail).
+    pub skipped_lines: usize,
+}
+
+/// The append handle. `None` inside means journaling is disabled (no
+/// database path configured) and every append is a no-op.
+#[derive(Debug)]
+pub struct Journal {
+    file: Mutex<Option<File>>,
+    path: Option<PathBuf>,
+}
+
+impl Journal {
+    /// Open (creating if absent) the journal at `path` for appending.
+    pub fn open(path: &Path) -> io::Result<Journal> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(Journal {
+            file: Mutex::new(Some(file)),
+            path: Some(path.to_path_buf()),
+        })
+    }
+
+    /// A journal that records nothing.
+    pub fn disabled() -> Journal {
+        Journal {
+            file: Mutex::new(None),
+            path: None,
+        }
+    }
+
+    /// Whether appends actually persist.
+    pub fn is_enabled(&self) -> bool {
+        self.path.is_some()
+    }
+
+    /// The journal file path, when enabled.
+    pub fn path(&self) -> Option<&Path> {
+        self.path.as_deref()
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Option<File>> {
+        self.file.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Append one event as a JSON line and flush it to the OS. A no-op
+    /// when disabled.
+    pub fn append(&self, event: &JournalEvent) -> io::Result<()> {
+        let mut guard = self.lock();
+        let Some(file) = guard.as_mut() else {
+            return Ok(());
+        };
+        let mut line = serde_json::to_string(event).map_err(io::Error::other)?;
+        line.push('\n');
+        file.write_all(line.as_bytes())?;
+        file.flush()
+    }
+
+    /// Replace the journal's contents with exactly `events` (used after
+    /// recovery to drop entries for jobs that already finished). The
+    /// rewrite goes through a temp sibling + rename so a crash mid-compact
+    /// leaves the old journal intact.
+    pub fn compact(&self, events: &[JournalEvent]) -> io::Result<()> {
+        let mut guard = self.lock();
+        let Some(path) = &self.path else {
+            return Ok(());
+        };
+        let tmp = path.with_extension("journal.tmp");
+        {
+            let mut out = File::create(&tmp)?;
+            for event in events {
+                let mut line = serde_json::to_string(event).map_err(io::Error::other)?;
+                line.push('\n');
+                out.write_all(line.as_bytes())?;
+            }
+            out.flush()?;
+        }
+        std::fs::rename(&tmp, path)?;
+        // Reopen so subsequent appends extend the compacted file, not a
+        // dangling handle to the replaced one.
+        *guard = Some(OpenOptions::new().create(true).append(true).open(path)?);
+        Ok(())
+    }
+}
+
+/// Read a journal file and fold it into a [`Recovery`]. A missing file is
+/// an empty recovery; a torn final line is silently dropped (it is the
+/// expected crash artifact); torn or corrupt lines elsewhere are counted
+/// in `skipped_lines` but do not abort the replay.
+pub fn replay(path: &Path) -> io::Result<Recovery> {
+    let file = match File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Recovery::default()),
+        Err(e) => return Err(e),
+    };
+    let reader = BufReader::new(file);
+    let lines: Vec<String> = reader.lines().collect::<io::Result<_>>()?;
+    let mut events: Vec<JournalEvent> = Vec::new();
+    let mut skipped = 0usize;
+    let last = lines.len().saturating_sub(1);
+    for (i, line) in lines.iter().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match serde_json::from_str::<JournalEvent>(line) {
+            Ok(event) => events.push(event),
+            // The torn tail of a crashed append is expected, not corruption.
+            Err(_) if i == last => {}
+            Err(_) => skipped += 1,
+        }
+    }
+    Ok(fold(events, skipped))
+}
+
+fn fold(events: Vec<JournalEvent>, skipped_lines: usize) -> Recovery {
+    // Submission order is journal order; track per-id state by index into
+    // `pending` so a Finished event can retire its Submitted entry.
+    let mut pending: Vec<Option<PendingJob>> = Vec::new();
+    let mut index_of: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+    let mut finished_records = Vec::new();
+    for event in events {
+        match event {
+            JournalEvent::Submitted {
+                id,
+                algorithm,
+                ckpt_tag,
+                attempt,
+                request,
+            } => {
+                index_of.insert(id, pending.len());
+                pending.push(Some(PendingJob {
+                    old_id: id,
+                    algorithm,
+                    ckpt_tag,
+                    attempt,
+                    request,
+                }));
+            }
+            JournalEvent::Started { id, attempt } | JournalEvent::Requeued { id, attempt, .. } => {
+                if let Some(job) = index_of.get(&id).and_then(|&i| pending[i].as_mut()) {
+                    job.attempt = job.attempt.max(attempt);
+                }
+            }
+            JournalEvent::Finished { id, record, .. } => {
+                if let Some(&i) = index_of.get(&id) {
+                    pending[i] = None;
+                }
+                if let Some(record) = record {
+                    finished_records.push(record);
+                }
+            }
+        }
+    }
+    Recovery {
+        pending: pending.into_iter().flatten().collect(),
+        finished_records,
+        skipped_lines,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request(alg: &str) -> JobRequest {
+        JobRequest {
+            algorithm: alg.to_string(),
+            size: 200,
+            alpha: None,
+            seed: 1,
+            profile: None,
+            max_iterations: Some(5),
+            timeout_ms: None,
+            checkpoint_every: None,
+        }
+    }
+
+    fn submitted(id: u64, alg: &str) -> JournalEvent {
+        JournalEvent::Submitted {
+            id,
+            algorithm: alg.to_string(),
+            ckpt_tag: format!("job{id}"),
+            attempt: 0,
+            request: request(alg),
+        }
+    }
+
+    #[test]
+    fn replay_of_missing_file_is_empty() {
+        let rec = replay(Path::new("/nonexistent/dir/x.journal")).unwrap();
+        assert!(rec.pending.is_empty());
+        assert!(rec.finished_records.is_empty());
+    }
+
+    #[test]
+    fn unfinished_jobs_survive_replay_with_attempts() {
+        let dir = std::env::temp_dir().join(format!("gm-journal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("a.journal");
+        let _ = std::fs::remove_file(&path);
+        let j = Journal::open(&path).unwrap();
+        j.append(&submitted(0, "PR")).unwrap();
+        j.append(&submitted(1, "CC")).unwrap();
+        j.append(&JournalEvent::Started { id: 0, attempt: 1 })
+            .unwrap();
+        j.append(&JournalEvent::Finished {
+            id: 0,
+            outcome: "done".into(),
+            record: None,
+        })
+        .unwrap();
+        j.append(&JournalEvent::Started { id: 1, attempt: 1 })
+            .unwrap();
+        j.append(&JournalEvent::Requeued {
+            id: 1,
+            attempt: 1,
+            reason: "panic".into(),
+        })
+        .unwrap();
+        let rec = replay(&path).unwrap();
+        assert_eq!(rec.pending.len(), 1);
+        assert_eq!(rec.pending[0].old_id, 1);
+        assert_eq!(rec.pending[0].algorithm, "CC");
+        assert_eq!(rec.pending[0].attempt, 1);
+        assert_eq!(rec.skipped_lines, 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_ignored() {
+        let dir = std::env::temp_dir().join(format!("gm-journal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("torn.journal");
+        let _ = std::fs::remove_file(&path);
+        let j = Journal::open(&path).unwrap();
+        j.append(&submitted(0, "PR")).unwrap();
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(b"{\"event\":\"finished\",\"id\":0,\"outc")
+                .unwrap();
+        }
+        let rec = replay(&path).unwrap();
+        // The torn Finished never landed, so the job is still pending.
+        assert_eq!(rec.pending.len(), 1);
+        assert_eq!(rec.skipped_lines, 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn compact_keeps_only_given_events() {
+        let dir = std::env::temp_dir().join(format!("gm-journal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("compact.journal");
+        let _ = std::fs::remove_file(&path);
+        let j = Journal::open(&path).unwrap();
+        for i in 0..4 {
+            j.append(&submitted(i, "PR")).unwrap();
+            j.append(&JournalEvent::Finished {
+                id: i,
+                outcome: "done".into(),
+                record: None,
+            })
+            .unwrap();
+        }
+        j.compact(&[submitted(9, "CC")]).unwrap();
+        // Appends after compaction extend the rewritten file.
+        j.append(&JournalEvent::Started { id: 9, attempt: 1 })
+            .unwrap();
+        let rec = replay(&path).unwrap();
+        assert_eq!(rec.pending.len(), 1);
+        assert_eq!(rec.pending[0].old_id, 9);
+        assert_eq!(rec.pending[0].attempt, 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn disabled_journal_is_a_no_op() {
+        let j = Journal::disabled();
+        assert!(!j.is_enabled());
+        j.append(&submitted(0, "PR")).unwrap();
+        j.compact(&[]).unwrap();
+    }
+}

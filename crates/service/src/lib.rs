@@ -28,12 +28,15 @@ pub mod cache;
 pub mod client;
 pub mod http;
 pub mod job;
+pub mod journal;
 pub mod metrics;
 pub mod queue;
 pub mod server;
 
 pub use cache::{workload_bytes, CacheKey, GraphCache};
+pub use http::RequestError;
 pub use job::{parse_algorithm, Job, JobRequest, JobState, JobStatus};
+pub use journal::{Journal, JournalEvent, PendingJob, Recovery};
 pub use metrics::{Metrics, LATENCY_BUCKETS_MS};
 pub use queue::WorkQueue;
 pub use server::{Server, ServerHandle, ServiceConfig};

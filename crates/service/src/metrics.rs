@@ -22,6 +22,18 @@ pub struct Metrics {
     pub cancelled: AtomicU64,
     /// Jobs stopped by the watchdog deadline.
     pub timed_out: AtomicU64,
+    /// Execution attempts re-queued after a panic or injected fault.
+    pub retries: AtomicU64,
+    /// Jobs that exhausted their retry budget and were quarantined as
+    /// `Failed` instead of being re-queued again.
+    pub panics_quarantined: AtomicU64,
+    /// Submissions shed with `429 Too Many Requests` by admission control.
+    pub jobs_shed: AtomicU64,
+    /// Timed-out jobs the watchdog re-queued to resume from a checkpoint
+    /// instead of marking terminal.
+    pub watchdog_requeues: AtomicU64,
+    /// Jobs re-enqueued from the journal at startup.
+    pub jobs_recovered: AtomicU64,
     latency_sum_us: AtomicU64,
     latency_count: AtomicU64,
     buckets: [AtomicU64; LATENCY_BUCKETS_MS.len() + 1],
@@ -101,5 +113,19 @@ mod tests {
         assert_eq!(m.done.load(Ordering::Relaxed), 2);
         assert_eq!(m.failed.load(Ordering::Relaxed), 1);
         assert_eq!(m.latency_count(), 0);
+    }
+
+    #[test]
+    fn robustness_counters_start_at_zero() {
+        let m = Metrics::new();
+        for c in [
+            &m.retries,
+            &m.panics_quarantined,
+            &m.jobs_shed,
+            &m.watchdog_requeues,
+            &m.jobs_recovered,
+        ] {
+            assert_eq!(c.load(Ordering::Relaxed), 0);
+        }
     }
 }

@@ -85,6 +85,20 @@ impl<T> WorkQueue<T> {
         self.cond.notify_all();
     }
 
+    /// Close the queue **and discard everything still queued**, returning
+    /// how many items were dropped. Unlike [`WorkQueue::close`], consumers
+    /// wake to `None` immediately — this is the crash path (simulated
+    /// process death in chaos tests), not the graceful drain.
+    pub fn close_and_clear(&self) -> usize {
+        let mut state = self.lock();
+        state.closed = true;
+        let dropped = state.items.len();
+        state.items.clear();
+        drop(state);
+        self.cond.notify_all();
+        dropped
+    }
+
     /// Whether `close` has been called.
     pub fn is_closed(&self) -> bool {
         self.lock().closed
@@ -127,6 +141,17 @@ mod tests {
         assert!(!q.push(11));
         assert_eq!(q.pop(), Some(10));
         assert_eq!(q.pop(), None);
+        assert!(q.is_closed());
+    }
+
+    #[test]
+    fn close_and_clear_drops_queued_items() {
+        let q = WorkQueue::new();
+        assert!(q.push(1));
+        assert!(q.push(2));
+        assert_eq!(q.close_and_clear(), 2);
+        assert_eq!(q.pop(), None);
+        assert!(!q.push(3));
         assert!(q.is_closed());
     }
 

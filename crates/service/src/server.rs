@@ -17,26 +17,41 @@
 //! and closes the connection queue, every pool drains its queue and
 //! exits, and [`ServerHandle::wait`] persists the run database after the
 //! last worker is gone.
+//!
+//! Crash safety: every job lifecycle transition is appended to a JSONL
+//! journal next to the run database *before* it takes effect, so a crash
+//! (or [`ServerHandle::simulate_crash`], its test stand-in) loses no
+//! accepted work — on the next [`Server::start`] the journal is replayed,
+//! finished records missing from the database are re-appended, and
+//! submitted-but-unfinished jobs are re-enqueued under their original
+//! checkpoint tags so checkpointed engines resume mid-computation rather
+//! than restarting. Panicking jobs retry with exponential backoff against
+//! a budget before being quarantined as `Failed`; the watchdog requeues
+//! checkpointed jobs at their deadline instead of killing them; and
+//! admission control sheds load with `429 Too Many Requests` once the
+//! queue exceeds its configured depth.
 
 use crate::cache::GraphCache;
 use crate::http::{self, Request};
 use crate::job::{
     build_workload, cache_key, domain_name, parse_algorithm, Job, JobRequest, JobState,
 };
+use crate::journal::{self, Journal, JournalEvent};
 use crate::metrics::Metrics;
 use crate::queue::WorkQueue;
-use graphmine_algos::{run_algorithm, SuiteConfig};
+use graphmine_algos::{run_algorithm, SuiteConfig, WorkloadMismatch};
 use graphmine_core::{
-    best_coverage_ensemble, best_spread_ensemble, CoverageSampler, GraphSpec, RunDb, RunRecord,
-    SharedRunDb, WorkMetric,
+    best_coverage_ensemble, best_spread_ensemble, CoverageSampler, GraphSpec, LoadError, RunDb,
+    RunRecord, SharedRunDb, WorkMetric,
 };
-use graphmine_engine::ExecutionConfig;
+use graphmine_engine::RunTrace;
+use graphmine_engine::{CheckpointPolicy, CheckpointStats, ExecutionConfig, FaultPlan, FaultSite};
 use parking_lot::{Mutex, RwLock};
 use serde::Deserialize;
 use serde_json::{json, Value};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -60,6 +75,21 @@ pub struct ServiceConfig {
     pub default_timeout_ms: u64,
     /// Persist the database every N completed jobs (0 = only at shutdown).
     pub persist_every: usize,
+    /// Directory for engine checkpoints of jobs that request
+    /// `checkpoint_every`. `None` derives `<db_path>.ckpts`; jobs cannot
+    /// checkpoint when both this and `db_path` are unset.
+    pub spill_dir: Option<PathBuf>,
+    /// Execution attempts beyond the first a panicking (or injected-fault)
+    /// job may consume before being quarantined as `Failed`.
+    pub retry_budget: u32,
+    /// Base retry delay; attempt `n` waits `2^(n-1)` times this plus a
+    /// deterministic jitter.
+    pub retry_backoff_ms: u64,
+    /// Admission-control queue depth: submissions beyond this many queued
+    /// jobs are shed with `429` (+ `Retry-After`). 0 = unlimited.
+    pub max_queue_depth: usize,
+    /// Deterministic fault injection for chaos tests; `None` in production.
+    pub fault_plan: Option<Arc<FaultPlan>>,
 }
 
 impl Default for ServiceConfig {
@@ -72,13 +102,30 @@ impl Default for ServiceConfig {
             cache_bytes: 256 * 1024 * 1024,
             default_timeout_ms: 300_000,
             persist_every: 1,
+            spill_dir: None,
+            retry_budget: 2,
+            retry_backoff_ms: 50,
+            max_queue_depth: 0,
+            fault_plan: None,
         }
     }
+}
+
+/// The journal lives next to the database it protects.
+fn journal_path(db_path: &Path) -> PathBuf {
+    PathBuf::from(format!("{}.journal", db_path.display()))
 }
 
 /// A job whose execution deadline the watchdog is tracking.
 struct WatchEntry {
     deadline: Instant,
+    job: Arc<Job>,
+}
+
+/// A job waiting out its retry backoff; the watchdog moves it back onto
+/// the job queue once `ready_at` passes.
+struct RetryEntry {
+    ready_at: Instant,
     job: Arc<Job>,
 }
 
@@ -91,10 +138,16 @@ struct ServiceState {
     job_queue: WorkQueue<Arc<Job>>,
     conn_queue: WorkQueue<TcpStream>,
     metrics: Metrics,
+    journal: Journal,
+    ckpt_stats: Arc<CheckpointStats>,
     running: AtomicU64,
     completed: AtomicU64,
     shutdown: AtomicBool,
+    /// Simulated process death: workers stop all bookkeeping so the
+    /// journal is left exactly as a real crash would leave it.
+    crashed: AtomicBool,
     watchdog: Mutex<Vec<WatchEntry>>,
+    retries: Mutex<Vec<RetryEntry>>,
 }
 
 impl ServiceState {
@@ -109,6 +162,26 @@ impl ServiceState {
         self.jobs.read().get(id as usize).map(Arc::clone)
     }
 
+    fn crashed(&self) -> bool {
+        self.crashed.load(Ordering::SeqCst)
+    }
+
+    /// Best-effort journal append: a full disk must not take a worker
+    /// down, it only degrades recovery fidelity.
+    fn journal(&self, event: JournalEvent) {
+        let _ = self.journal.append(&event);
+    }
+
+    /// Where engine checkpoints for this server live.
+    fn spill_dir(&self) -> Option<PathBuf> {
+        self.config.spill_dir.clone().or_else(|| {
+            self.config
+                .db_path
+                .as_ref()
+                .map(|p| PathBuf::from(format!("{}.ckpts", p.display())))
+        })
+    }
+
     fn persist_if_due(&self, completed_total: u64) {
         let every = self.config.persist_every as u64;
         if every == 0 {
@@ -116,6 +189,13 @@ impl ServiceState {
         }
         if let Some(path) = &self.config.db_path {
             if completed_total % every == 0 {
+                // Chaos tests inject I/O faults at the persistence site to
+                // prove a skipped save is recovered from the journal.
+                if let Some(plan) = &self.config.fault_plan {
+                    if plan.fire(FaultSite::DbPersist, completed_total).is_err() {
+                        return;
+                    }
+                }
                 // Persistence failures must not take down the worker; the
                 // in-memory database stays authoritative and the final
                 // shutdown save retries.
@@ -136,16 +216,44 @@ pub struct ServerHandle {
 }
 
 impl Server {
-    /// Bind, spawn all threads, and return immediately.
+    /// Bind, recover journaled state, spawn all threads, and return
+    /// immediately.
     pub fn start(config: ServiceConfig) -> io::Result<ServerHandle> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
 
-        let db = match &config.db_path {
-            Some(path) if path.exists() => SharedRunDb::new(RunDb::load(path)?),
-            _ => SharedRunDb::new(RunDb::new()),
+        // Load the database, falling back to the best parseable temp
+        // sibling when the canonical file is corrupt (a crash mid-save).
+        let mut recovery = journal::Recovery::default();
+        let mut db_recovered = false;
+        let (db, journal) = match &config.db_path {
+            Some(path) => {
+                let db = match RunDb::load_or_recover(path) {
+                    Ok((db, recovered)) => {
+                        db_recovered = recovered;
+                        db
+                    }
+                    Err(LoadError::Io(e)) if e.kind() == io::ErrorKind::NotFound => RunDb::new(),
+                    Err(e) => return Err(e.into()),
+                };
+                let jpath = journal_path(path);
+                recovery = journal::replay(&jpath).unwrap_or_default();
+                (db, Journal::open(&jpath)?)
+            }
+            None => (RunDb::new(), Journal::disabled()),
         };
+        // The journal has the authoritative tail: re-append any finished
+        // records the (less frequently saved) database is missing.
+        let mut db = db;
+        if recovery.finished_records.len() > db.len() {
+            db_recovered = true;
+            for record in recovery.finished_records[db.len()..].iter() {
+                db.push(record.clone());
+            }
+        }
+        let db = SharedRunDb::new(db);
+
         let cache = GraphCache::new(config.cache_bytes);
         let workers = config.workers.max(1);
         let http_workers = config.http_workers.max(1);
@@ -157,11 +265,54 @@ impl Server {
             job_queue: WorkQueue::new(),
             conn_queue: WorkQueue::new(),
             metrics: Metrics::new(),
+            journal,
+            ckpt_stats: Arc::new(CheckpointStats::default()),
             running: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
+            crashed: AtomicBool::new(false),
             watchdog: Mutex::new(Vec::new()),
+            retries: Mutex::new(Vec::new()),
         });
+
+        // Re-enqueue every journaled job that never reached a terminal
+        // state, under its original checkpoint tag and attempt count, then
+        // compact the journal down to exactly those entries.
+        let mut resubmitted = Vec::new();
+        for pending in std::mem::take(&mut recovery.pending) {
+            let Some(algorithm) = parse_algorithm(&pending.algorithm) else {
+                continue;
+            };
+            let job = {
+                let mut jobs = state.jobs.write();
+                let id = jobs.len() as u64;
+                let job = Arc::new(Job::recovered(
+                    id,
+                    algorithm,
+                    pending.request,
+                    pending.ckpt_tag,
+                    pending.attempt,
+                ));
+                jobs.push(Arc::clone(&job));
+                job
+            };
+            resubmitted.push(JournalEvent::Submitted {
+                id: job.id,
+                algorithm: job.algorithm.abbrev().to_string(),
+                ckpt_tag: job.ckpt_tag.clone(),
+                attempt: job.attempts(),
+                request: job.request.clone(),
+            });
+            state.metrics.submitted.fetch_add(1, Ordering::Relaxed);
+            state.metrics.jobs_recovered.fetch_add(1, Ordering::Relaxed);
+            state.job_queue.push(Arc::clone(&job));
+        }
+        let _ = state.journal.compact(&resubmitted);
+        if db_recovered {
+            if let Some(path) = &state.config.db_path {
+                state.db.save(path)?;
+            }
+        }
 
         let mut threads = Vec::with_capacity(workers + http_workers + 2);
         {
@@ -215,6 +366,27 @@ impl ServerHandle {
         }
         Ok(())
     }
+
+    /// Kill the server the way a crash would: queued jobs are dropped
+    /// un-executed, running jobs are interrupted via their cancel flags,
+    /// and *no* final bookkeeping happens — no journal `Finished` entries,
+    /// no database save. Everything accepted so far is recoverable only
+    /// through the journal, which is exactly what chaos tests verify.
+    pub fn simulate_crash(self) -> io::Result<()> {
+        self.state.crashed.store(true, Ordering::SeqCst);
+        self.state.shutdown.store(true, Ordering::SeqCst);
+        self.state.job_queue.close_and_clear();
+        self.state.conn_queue.close_and_clear();
+        self.state.retries.lock().clear();
+        // Interrupt in-flight engines so the join below is prompt.
+        for entry in self.state.watchdog.lock().iter() {
+            entry.job.cancel.store(true, Ordering::Relaxed);
+        }
+        for t in self.threads {
+            let _ = t.join();
+        }
+        Ok(())
+    }
 }
 
 fn accept_loop(listener: TcpListener, state: &ServiceState) {
@@ -257,11 +429,20 @@ fn handle_connection(state: &Arc<ServiceState>, stream: &mut TcpStream) -> io::R
     let request = match http::read_request(stream) {
         Ok(r) => r,
         Err(e) => {
-            return http::write_json(stream, 400, &json!({ "error": e.to_string() }));
+            // Oversized requests get 413, malformed ones 400; pure socket
+            // failures have no one left to answer.
+            return match e.status() {
+                Some(status) => http::write_json(stream, status, &json!({"error": e.message()})),
+                None => Ok(()),
+            };
         }
     };
     let (status, body) = route(state, &request);
-    http::write_json(stream, status, &body)
+    // Admission control advertises when to come back.
+    let retry_after = (status == 429)
+        .then(|| body["retry_after_s"].as_u64())
+        .flatten();
+    http::write_json_with_retry_after(stream, status, &body, retry_after)
 }
 
 fn job_loop(state: &Arc<ServiceState>) {
@@ -284,9 +465,41 @@ fn watchdog_loop(state: &ServiceState) {
                 }
             });
         }
+        // Move retry-backoff jobs whose delay has elapsed back onto the
+        // queue. During a drain the backoff is cut short: the queue is
+        // closed, the push fails, and the job goes terminal instead of
+        // being stranded in the retry list.
+        let draining = state.shutdown.load(Ordering::SeqCst);
+        {
+            let mut retries = state.retries.lock();
+            // A simulated crash abandons retries in place — no terminal
+            // journal entries, so recovery re-enqueues them.
+            if state.crashed() {
+                retries.clear();
+            }
+            let now = Instant::now();
+            let mut i = 0;
+            while i < retries.len() {
+                if draining || now >= retries[i].ready_at {
+                    let entry = retries.swap_remove(i);
+                    if !state.job_queue.push(Arc::clone(&entry.job)) {
+                        entry.job.status().state = JobState::Cancelled;
+                        state.metrics.cancelled.fetch_add(1, Ordering::Relaxed);
+                        state.journal(JournalEvent::Finished {
+                            id: entry.job.id,
+                            outcome: JobState::Cancelled.as_str().to_string(),
+                            record: None,
+                        });
+                    }
+                } else {
+                    i += 1;
+                }
+            }
+        }
         if state.shutdown.load(Ordering::SeqCst)
             && state.job_queue.is_empty()
             && state.running.load(Ordering::SeqCst) == 0
+            && state.retries.lock().is_empty()
         {
             break;
         }
@@ -304,24 +517,109 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+/// Mark `job` terminal: status, metrics, journal, latency — the single
+/// exit point for every path out of [`execute_job`].
+fn finish_job(
+    state: &Arc<ServiceState>,
+    job: &Arc<Job>,
+    final_state: JobState,
+    error: Option<String>,
+    run_ms: f64,
+    record: Option<RunRecord>,
+) {
+    {
+        let mut status = job.status();
+        status.state = final_state;
+        status.error = error;
+        status.run_ms = run_ms;
+    }
+    match final_state {
+        JobState::Done => state.metrics.done.fetch_add(1, Ordering::Relaxed),
+        JobState::Failed => state.metrics.failed.fetch_add(1, Ordering::Relaxed),
+        JobState::Cancelled => state.metrics.cancelled.fetch_add(1, Ordering::Relaxed),
+        JobState::TimedOut => state.metrics.timed_out.fetch_add(1, Ordering::Relaxed),
+        JobState::Queued | JobState::Running => unreachable!("finish_job with non-terminal state"),
+    };
+    state.journal(JournalEvent::Finished {
+        id: job.id,
+        outcome: final_state.as_str().to_string(),
+        record,
+    });
+    state
+        .metrics
+        .observe_latency_ms(job.submitted.elapsed().as_secs_f64() * 1e3);
+}
+
+/// Put `job` back on the queue after a backoff, or quarantine it as
+/// `Failed` when its retry budget is spent.
+fn retry_or_quarantine(state: &Arc<ServiceState>, job: &Arc<Job>, error: String, reason: &str) {
+    let attempt = job.attempts();
+    if attempt <= state.config.retry_budget {
+        state.metrics.retries.fetch_add(1, Ordering::Relaxed);
+        state.journal(JournalEvent::Requeued {
+            id: job.id,
+            attempt,
+            reason: reason.to_string(),
+        });
+        // The previous attempt's watchdog may have set the flag; the next
+        // attempt must start uncancelled.
+        job.cancel.store(false, Ordering::Relaxed);
+        {
+            let mut status = job.status();
+            status.state = JobState::Queued;
+            status.error = Some(error);
+        }
+        // Exponential backoff with deterministic jitter (splitmix-style
+        // hash of id and attempt) so co-failing jobs do not retry in
+        // lockstep, yet chaos runs remain reproducible.
+        let base = state.config.retry_backoff_ms;
+        let backoff = base.saturating_mul(1u64 << (attempt - 1).min(16));
+        let mut h = (job.id << 32) ^ u64::from(attempt) ^ 0x9E37_79B9_7F4A_7C15;
+        h ^= h >> 30;
+        h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        let jitter = if base == 0 { 0 } else { h % (base / 2 + 1) };
+        state.retries.lock().push(RetryEntry {
+            ready_at: Instant::now() + Duration::from_millis(backoff + jitter),
+            job: Arc::clone(job),
+        });
+    } else {
+        state
+            .metrics
+            .panics_quarantined
+            .fetch_add(1, Ordering::Relaxed);
+        finish_job(
+            state,
+            job,
+            JobState::Failed,
+            Some(format!(
+                "quarantined after {attempt} attempts; last error: {error}"
+            )),
+            0.0,
+            None,
+        );
+    }
+}
+
 fn execute_job(state: &Arc<ServiceState>, job: &Arc<Job>) {
     // Cancelled while still queued: never run.
     if job.cancel_requested.load(Ordering::Relaxed) || job.cancel.load(Ordering::Relaxed) {
-        job.status().state = JobState::Cancelled;
-        state.metrics.cancelled.fetch_add(1, Ordering::Relaxed);
-        state
-            .metrics
-            .observe_latency_ms(job.submitted.elapsed().as_secs_f64() * 1e3);
+        finish_job(state, job, JobState::Cancelled, None, 0.0, None);
         return;
     }
 
     let queue_ms = job.submitted.elapsed().as_secs_f64() * 1e3;
+    let attempt = job.attempt.fetch_add(1, Ordering::Relaxed) + 1;
     {
         let mut status = job.status();
         status.state = JobState::Running;
         status.queue_ms = queue_ms;
     }
     state.running.fetch_add(1, Ordering::SeqCst);
+    state.journal(JournalEvent::Started {
+        id: job.id,
+        attempt,
+    });
+
     let started = Instant::now();
 
     // Workload: cache hit or (slow) generation — outside the timeout
@@ -345,15 +643,40 @@ fn execute_job(state: &Arc<ServiceState>, job: &Arc<Job>) {
         job: Arc::clone(job),
     });
 
-    let exec = ExecutionConfig::with_max_iterations(job.resolved_max_iterations())
+    let mut exec = ExecutionConfig::with_max_iterations(job.resolved_max_iterations())
         .with_cancel_flag(Arc::clone(&job.cancel));
+    let checkpointing = match request.checkpoint_every.filter(|&every| every > 0) {
+        Some(every) => match state.spill_dir() {
+            Some(dir) => {
+                exec = exec.with_checkpoint(
+                    CheckpointPolicy::new(every, dir, job.ckpt_tag.clone())
+                        .with_stats(Arc::clone(&state.ckpt_stats)),
+                );
+                true
+            }
+            None => false,
+        },
+        None => false,
+    };
+    if let Some(plan) = &state.config.fault_plan {
+        exec = exec.with_fault_plan(Arc::clone(plan));
+    }
     let suite = SuiteConfig {
         exec,
         ..SuiteConfig::default()
     };
-    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        run_algorithm(algorithm, &workload, &suite)
-    }));
+    let fault_plan = state.config.fault_plan.clone();
+    type RunOutcome = io::Result<Result<RunTrace, WorkloadMismatch>>;
+    let result: Result<RunOutcome, _> =
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            // The job-start fault site models a worker dying between
+            // pickup and completion (inside catch_unwind, like a panic in
+            // the algorithm itself would be).
+            if let Some(plan) = &fault_plan {
+                plan.fire(FaultSite::JobStart, job.id)?;
+            }
+            Ok(run_algorithm(algorithm, &workload, &suite))
+        }));
     let run_ms = started.elapsed().as_secs_f64() * 1e3;
 
     {
@@ -361,37 +684,66 @@ fn execute_job(state: &Arc<ServiceState>, job: &Arc<Job>) {
         entries.retain(|e| !Arc::ptr_eq(&e.job, job));
     }
 
+    // A simulated crash skips ALL terminal bookkeeping: no journal entry,
+    // no database append, no metrics — the journal keeps the Started
+    // record and recovery picks the job up on restart.
+    if state.crashed() {
+        state.running.fetch_sub(1, Ordering::SeqCst);
+        return;
+    }
+
     match result {
         Err(payload) => {
-            let mut status = job.status();
-            status.state = JobState::Failed;
-            status.error = Some(panic_message(payload));
-            status.run_ms = run_ms;
-            drop(status);
-            state.metrics.failed.fetch_add(1, Ordering::Relaxed);
+            retry_or_quarantine(state, job, panic_message(payload), "panic");
         }
-        Ok(Err(mismatch)) => {
-            let mut status = job.status();
-            status.state = JobState::Failed;
-            status.error = Some(mismatch.to_string());
-            status.run_ms = run_ms;
-            drop(status);
-            state.metrics.failed.fetch_add(1, Ordering::Relaxed);
+        Ok(Err(fault)) => {
+            retry_or_quarantine(state, job, fault.to_string(), "fault");
         }
-        Ok(Ok(trace)) => {
+        Ok(Ok(Err(mismatch))) => {
+            // A workload/algorithm mismatch is deterministic — retrying
+            // cannot fix it.
+            finish_job(
+                state,
+                job,
+                JobState::Failed,
+                Some(mismatch.to_string()),
+                run_ms,
+                None,
+            );
+        }
+        Ok(Ok(Ok(trace))) => {
             let stopped_early = job.cancel.load(Ordering::Relaxed) && !trace.converged;
             if stopped_early {
-                let final_state = if job.cancel_requested.load(Ordering::Relaxed) {
-                    state.metrics.cancelled.fetch_add(1, Ordering::Relaxed);
-                    JobState::Cancelled
+                if job.cancel_requested.load(Ordering::Relaxed) {
+                    let mut status = job.status();
+                    status.iterations = trace.num_iterations();
+                    drop(status);
+                    finish_job(state, job, JobState::Cancelled, None, run_ms, None);
+                } else if checkpointing && attempt <= state.config.retry_budget {
+                    // Watchdog deadline with a checkpoint on disk: requeue
+                    // so the next attempt resumes at the last boundary
+                    // instead of discarding the iterations already done.
+                    state
+                        .metrics
+                        .watchdog_requeues
+                        .fetch_add(1, Ordering::Relaxed);
+                    state.journal(JournalEvent::Requeued {
+                        id: job.id,
+                        attempt,
+                        reason: "watchdog".to_string(),
+                    });
+                    job.cancel.store(false, Ordering::Relaxed);
+                    job.status().state = JobState::Queued;
+                    state.retries.lock().push(RetryEntry {
+                        ready_at: Instant::now(),
+                        job: Arc::clone(job),
+                    });
                 } else {
-                    state.metrics.timed_out.fetch_add(1, Ordering::Relaxed);
-                    JobState::TimedOut
-                };
-                let mut status = job.status();
-                status.state = final_state;
-                status.iterations = trace.num_iterations();
-                status.run_ms = run_ms;
+                    let mut status = job.status();
+                    status.iterations = trace.num_iterations();
+                    drop(status);
+                    finish_job(state, job, JobState::TimedOut, None, run_ms, None);
+                }
             } else {
                 let spec = GraphSpec {
                     size: request.size,
@@ -406,24 +758,20 @@ fn execute_job(state: &Arc<ServiceState>, job: &Arc<Job>) {
                     &trace,
                 )
                 .with_runtime_ms(run_ms);
-                let run_index = state.db.append(record);
-                let mut status = job.status();
-                status.state = JobState::Done;
-                status.iterations = trace.num_iterations();
-                status.converged = trace.converged;
-                status.run_index = Some(run_index);
-                status.run_ms = run_ms;
-                drop(status);
-                state.metrics.done.fetch_add(1, Ordering::Relaxed);
+                let run_index = state.db.append(record.clone());
+                {
+                    let mut status = job.status();
+                    status.iterations = trace.num_iterations();
+                    status.converged = trace.converged;
+                    status.run_index = Some(run_index);
+                }
+                finish_job(state, job, JobState::Done, None, run_ms, Some(record));
                 let total = state.completed.fetch_add(1, Ordering::SeqCst) + 1;
                 state.persist_if_due(total);
             }
         }
     }
     state.running.fetch_sub(1, Ordering::SeqCst);
-    state
-        .metrics
-        .observe_latency_ms(job.submitted.elapsed().as_secs_f64() * 1e3);
 }
 
 fn work_metric(name: Option<&str>) -> WorkMetric {
@@ -523,6 +871,24 @@ fn submit_job(state: &Arc<ServiceState>, body: &[u8]) -> (u16, Value) {
     if state.shutdown.load(Ordering::SeqCst) {
         return (503, json!({"error": "server is draining"}));
     }
+    // Admission control: beyond the configured depth, shed rather than
+    // queue — an unbounded queue turns overload into unbounded latency.
+    let max_depth = state.config.max_queue_depth;
+    if max_depth > 0 {
+        let queued = state.job_queue.len();
+        if queued >= max_depth {
+            state.metrics.jobs_shed.fetch_add(1, Ordering::Relaxed);
+            let workers = state.config.workers.max(1) as u64;
+            let retry_after_s = (queued as u64 / workers).clamp(1, 60);
+            return (
+                429,
+                json!({
+                    "error": format!("job queue is full ({queued} queued, cap {max_depth})"),
+                    "retry_after_s": retry_after_s,
+                }),
+            );
+        }
+    }
     let request: JobRequest = match serde_json::from_slice(body) {
         Ok(r) => r,
         Err(e) => return (400, json!({"error": format!("bad job request: {e}")})),
@@ -544,10 +910,24 @@ fn submit_job(state: &Arc<ServiceState>, body: &[u8]) -> (u16, Value) {
         job
     };
     state.metrics.submitted.fetch_add(1, Ordering::Relaxed);
+    // Journal the acceptance BEFORE queueing: once a worker can see the
+    // job, a crash must leave a Submitted record behind.
+    state.journal(JournalEvent::Submitted {
+        id: job.id,
+        algorithm: job.algorithm.abbrev().to_string(),
+        ckpt_tag: job.ckpt_tag.clone(),
+        attempt: 0,
+        request: job.request.clone(),
+    });
     if !state.job_queue.push(Arc::clone(&job)) {
         // Shutdown raced the submission; the job never reaches a worker.
         job.status().state = JobState::Cancelled;
         state.metrics.cancelled.fetch_add(1, Ordering::Relaxed);
+        state.journal(JournalEvent::Finished {
+            id: job.id,
+            outcome: JobState::Cancelled.as_str().to_string(),
+            record: None,
+        });
         return (503, json!({"error": "server is draining", "id": job.id}));
     }
     (202, json!({"id": job.id, "state": "queued"}))
@@ -636,6 +1016,20 @@ fn metrics_json(state: &ServiceState) -> Value {
             "timed_out": state.metrics.timed_out.load(Ordering::Relaxed),
         },
         "latency_ms": state.metrics.latency_json(),
+        "robustness": {
+            "retries": state.metrics.retries.load(Ordering::Relaxed),
+            "panics_quarantined": state.metrics.panics_quarantined.load(Ordering::Relaxed),
+            "jobs_shed": state.metrics.jobs_shed.load(Ordering::Relaxed),
+            "watchdog_requeues": state.metrics.watchdog_requeues.load(Ordering::Relaxed),
+            "jobs_recovered": state.metrics.jobs_recovered.load(Ordering::Relaxed),
+            "retry_pending": state.retries.lock().len(),
+            "journal_enabled": state.journal.is_enabled(),
+            "checkpoints": {
+                "written": state.ckpt_stats.written.load(Ordering::Relaxed),
+                "write_failures": state.ckpt_stats.write_failures.load(Ordering::Relaxed),
+                "restored": state.ckpt_stats.restored.load(Ordering::Relaxed),
+            },
+        },
         "cache": {
             "hits": state.cache.hits(),
             "misses": state.cache.misses(),
@@ -657,10 +1051,10 @@ mod tests {
             addr: "127.0.0.1:0".to_string(),
             workers: 2,
             http_workers: 2,
-            db_path: None,
             cache_bytes: 16 * 1024 * 1024,
             default_timeout_ms: 60_000,
             persist_every: 0,
+            ..ServiceConfig::default()
         })
         .unwrap();
         (handle.addr().to_string(), handle)
@@ -734,6 +1128,72 @@ mod tests {
         let (status, _) =
             client::request(&addr, "POST", "/ensemble/search", Some(&json!({}))).unwrap();
         assert_eq!(status, 409);
+        stop(&addr, handle);
+    }
+
+    #[test]
+    fn metrics_expose_robustness_counters() {
+        let (addr, handle) = start_test_server();
+        let (status, body) = client::request(&addr, "GET", "/metrics", None).unwrap();
+        assert_eq!(status, 200);
+        let rob = &body["robustness"];
+        for key in [
+            "retries",
+            "panics_quarantined",
+            "jobs_shed",
+            "watchdog_requeues",
+            "jobs_recovered",
+        ] {
+            assert_eq!(rob[key], 0, "missing or nonzero robustness key {key}");
+        }
+        assert_eq!(rob["journal_enabled"], false);
+        assert_eq!(rob["checkpoints"]["written"], 0);
+        stop(&addr, handle);
+    }
+
+    #[test]
+    fn admission_control_sheds_with_429_and_retry_after() {
+        // One worker stuck on a slow job + depth cap of 1 ⇒ the second
+        // queued submission is shed. The stuck job holds the worker via a
+        // long engine run; queued depth is then deterministic.
+        let handle = Server::start(ServiceConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 1,
+            http_workers: 2,
+            cache_bytes: 16 * 1024 * 1024,
+            default_timeout_ms: 60_000,
+            persist_every: 0,
+            max_queue_depth: 1,
+            ..ServiceConfig::default()
+        })
+        .unwrap();
+        let addr = handle.addr().to_string();
+        // Occupy the worker long enough for the queue to fill.
+        let slow = json!({"algorithm": "PR", "size": 200_000, "max_iterations": 400});
+        let (status, _) = client::request(&addr, "POST", "/jobs", Some(&slow)).unwrap();
+        assert_eq!(status, 202);
+        let quick = json!({"algorithm": "PR", "size": 100, "profile": "quick"});
+        // Fill the queue (depth 1), then expect a shed. The worker may
+        // dequeue between submissions, so allow a couple of rounds.
+        let mut shed = None;
+        for _ in 0..50 {
+            let (status, body) = client::request(&addr, "POST", "/jobs", Some(&quick)).unwrap();
+            if status == 429 {
+                shed = Some(body);
+                break;
+            }
+            assert_eq!(status, 202);
+        }
+        let body = shed.expect("never got a 429 with queue depth capped at 1");
+        assert!(body["retry_after_s"].as_u64().unwrap() >= 1);
+        let (_, metrics) = client::request(&addr, "GET", "/metrics", None).unwrap();
+        assert!(metrics["robustness"]["jobs_shed"].as_u64().unwrap() >= 1);
+        // Cancel everything so shutdown is prompt.
+        let (_, jobs) = client::request(&addr, "GET", "/jobs", None).unwrap();
+        for j in jobs["jobs"].as_array().unwrap() {
+            let id = j["id"].as_u64().unwrap();
+            let _ = client::request(&addr, "POST", &format!("/jobs/{id}/cancel"), None);
+        }
         stop(&addr, handle);
     }
 }

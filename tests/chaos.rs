@@ -1,0 +1,321 @@
+//! Chaos suite: deterministic fault injection and simulated process
+//! death against the full service stack. The invariants under test:
+//!
+//! 1. **No job is lost** — every accepted job reaches a terminal state,
+//!    across panics, injected I/O faults, and kill-and-restart cycles.
+//! 2. **No checkpoint or crash corrupts the run database** — it parses
+//!    after every scenario, and journal replay reconstructs any finished
+//!    records a crash kept out of it.
+//! 3. **Resume is exact** — a job recovered from an engine checkpoint
+//!    after a crash produces the same iteration count, logical-ops
+//!    behavior, and active-fraction trace as an unfaulted run (wall-clock
+//!    is the only legitimate difference).
+
+use graphmine_core::RunDb;
+use graphmine_engine::{FaultKind, FaultPlan, FaultSite};
+use graphmine_service::{client, Server, ServerHandle, ServiceConfig};
+use serde_json::{json, Value};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const WAIT: Duration = Duration::from_secs(120);
+
+fn temp_db(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("graphmine_chaos_tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("{}_{}.json", name, std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(PathBuf::from(format!("{}.journal", path.display())));
+    let _ = std::fs::remove_dir_all(PathBuf::from(format!("{}.ckpts", path.display())));
+    path
+}
+
+fn config(db_path: Option<PathBuf>, workers: usize) -> ServiceConfig {
+    ServiceConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers,
+        http_workers: 4,
+        db_path,
+        cache_bytes: 64 * 1024 * 1024,
+        default_timeout_ms: 120_000,
+        persist_every: 1,
+        retry_backoff_ms: 5,
+        ..ServiceConfig::default()
+    }
+}
+
+fn start_with(config: ServiceConfig) -> (String, ServerHandle) {
+    let handle = Server::start(config).expect("server failed to start");
+    (handle.addr().to_string(), handle)
+}
+
+fn submit(addr: &str, body: Value) -> u64 {
+    let (status, response) = client::request(addr, "POST", "/jobs", Some(&body)).unwrap();
+    assert_eq!(status, 202, "submission rejected: {response}");
+    response["id"].as_u64().unwrap()
+}
+
+fn shutdown(addr: &str, handle: ServerHandle) {
+    let (status, _) = client::request(addr, "POST", "/shutdown", None).unwrap();
+    assert_eq!(status, 200);
+    handle.wait().unwrap();
+}
+
+fn metrics(addr: &str) -> Value {
+    let (status, m) = client::request(addr, "GET", "/metrics", None).unwrap();
+    assert_eq!(status, 200);
+    m
+}
+
+/// Terminal-state accounting: every submitted job is exactly one of
+/// done/failed/cancelled/timed_out once the queue is empty.
+fn assert_no_job_lost(m: &Value) {
+    let jobs = &m["jobs"];
+    let submitted = jobs["submitted"].as_u64().unwrap();
+    let terminal = jobs["done"].as_u64().unwrap()
+        + jobs["failed"].as_u64().unwrap()
+        + jobs["cancelled"].as_u64().unwrap()
+        + jobs["timed_out"].as_u64().unwrap();
+    assert_eq!(submitted, terminal, "accepted jobs unaccounted for: {jobs}");
+}
+
+#[test]
+fn kill_and_restart_loses_no_accepted_job() {
+    let db_path = temp_db("kill_restart");
+
+    // One worker: the first job occupies it, the rest sit in the queue
+    // when the "process" dies.
+    let (addr, handle) = start_with(config(Some(db_path.clone()), 1));
+    submit(
+        &addr,
+        json!({"algorithm": "PR", "size": 100_000, "seed": 1, "max_iterations": 60}),
+    );
+    for seed in 0..4u64 {
+        submit(
+            &addr,
+            json!({"algorithm": "CC", "size": 1500, "seed": seed, "profile": "quick"}),
+        );
+    }
+    handle.simulate_crash().unwrap();
+
+    // Restart on the same database: journal replay must re-enqueue all 5
+    // (none reached a terminal state before the crash).
+    let (addr, handle) = start_with(config(Some(db_path.clone()), 2));
+    let m = metrics(&addr);
+    assert_eq!(
+        m["robustness"]["jobs_recovered"], 5,
+        "journal replay missed jobs: {m}"
+    );
+    let (_, jobs) = client::request(&addr, "GET", "/jobs", None).unwrap();
+    assert_eq!(jobs["count"], 5);
+    for job in jobs["jobs"].as_array().unwrap() {
+        let id = job["id"].as_u64().unwrap();
+        let terminal = client::wait_for_job(&addr, id, WAIT).unwrap();
+        assert_eq!(terminal["state"], "done", "recovered job {id}: {terminal}");
+    }
+    assert_no_job_lost(&metrics(&addr));
+    shutdown(&addr, handle);
+
+    let db = RunDb::load(&db_path).unwrap();
+    assert_eq!(db.len(), 5, "all recovered jobs must land in the database");
+}
+
+#[test]
+fn journal_replay_restores_records_lost_to_a_persist_fault() {
+    let db_path = temp_db("persist_fault");
+
+    // Fail the only database save this run will attempt; the journal's
+    // Finished record becomes the sole durable copy.
+    let plan = Arc::new(FaultPlan::new());
+    plan.arm(FaultSite::DbPersist, 1, FaultKind::IoError);
+    let mut cfg = config(Some(db_path.clone()), 1);
+    cfg.fault_plan = Some(Arc::clone(&plan));
+    let (addr, handle) = start_with(cfg);
+    let id = submit(
+        &addr,
+        json!({"algorithm": "PR", "size": 1000, "seed": 7, "profile": "quick"}),
+    );
+    let done = client::wait_for_job(&addr, id, WAIT).unwrap();
+    assert_eq!(done["state"], "done", "{done}");
+    assert_eq!(plan.fired(), 1, "the persist fault must have fired");
+    // Crash without the final shutdown save: the database file never saw
+    // this run.
+    handle.simulate_crash().unwrap();
+    assert!(
+        !db_path.exists(),
+        "the faulted persist should have left no database file"
+    );
+
+    let (addr, handle) = start_with(config(Some(db_path.clone()), 1));
+    let m = metrics(&addr);
+    assert_eq!(
+        m["db_runs"], 1,
+        "journal replay must restore the record: {m}"
+    );
+    assert_eq!(m["robustness"]["jobs_recovered"], 0);
+    shutdown(&addr, handle);
+    let db = RunDb::load(&db_path).unwrap();
+    assert_eq!(db.len(), 1);
+    assert_eq!(db.runs[0].algorithm, "PR");
+}
+
+#[test]
+fn injected_panic_is_retried_to_success() {
+    let plan = Arc::new(FaultPlan::new());
+    // Job id 0 panics on its first attempt; one-shot disarm lets the
+    // retry through.
+    plan.arm(FaultSite::JobStart, 0, FaultKind::Panic);
+    let mut cfg = config(None, 1);
+    cfg.fault_plan = Some(Arc::clone(&plan));
+    let (addr, handle) = start_with(cfg);
+    let id = submit(
+        &addr,
+        json!({"algorithm": "CC", "size": 1000, "seed": 3, "profile": "quick"}),
+    );
+    let terminal = client::wait_for_job(&addr, id, WAIT).unwrap();
+    assert_eq!(terminal["state"], "done", "{terminal}");
+    assert_eq!(terminal["attempt"], 2, "exactly one retry expected");
+    let m = metrics(&addr);
+    assert_eq!(m["robustness"]["retries"], 1);
+    assert_eq!(m["robustness"]["panics_quarantined"], 0);
+    assert_no_job_lost(&m);
+    shutdown(&addr, handle);
+}
+
+#[test]
+fn exhausted_retry_budget_quarantines_the_job() {
+    let plan = Arc::new(FaultPlan::new());
+    plan.arm(FaultSite::JobStart, 0, FaultKind::Panic);
+    let mut cfg = config(None, 1);
+    cfg.retry_budget = 0; // no second chances
+    cfg.fault_plan = Some(Arc::clone(&plan));
+    let (addr, handle) = start_with(cfg);
+    let id = submit(
+        &addr,
+        json!({"algorithm": "CC", "size": 1000, "seed": 3, "profile": "quick"}),
+    );
+    let terminal = client::wait_for_job(&addr, id, WAIT).unwrap();
+    assert_eq!(terminal["state"], "failed", "{terminal}");
+    assert!(
+        terminal["error"].as_str().unwrap().contains("quarantined"),
+        "{terminal}"
+    );
+    let m = metrics(&addr);
+    assert_eq!(m["robustness"]["panics_quarantined"], 1);
+    assert_eq!(m["robustness"]["retries"], 0);
+    assert_no_job_lost(&m);
+    shutdown(&addr, handle);
+}
+
+#[test]
+fn checkpointed_job_resumes_across_crash_with_identical_behavior() {
+    let request = json!({
+        "algorithm": "PR",
+        "size": 100_000,
+        "seed": 5,
+        "max_iterations": 50,
+        "checkpoint_every": 2,
+    });
+
+    // Reference: the same request on an unfaulted server.
+    let clean_db = temp_db("resume_clean");
+    let (addr, handle) = start_with(config(Some(clean_db.clone()), 1));
+    let id = submit(&addr, request.clone());
+    let done = client::wait_for_job(&addr, id, WAIT).unwrap();
+    assert_eq!(done["state"], "done", "{done}");
+    shutdown(&addr, handle);
+    let clean = RunDb::load(&clean_db).unwrap();
+    assert_eq!(clean.len(), 1);
+
+    // Faulted path: crash the server once the engine has checkpointed.
+    let db_path = temp_db("resume_crash");
+    let (addr, handle) = start_with(config(Some(db_path.clone()), 1));
+    submit(&addr, request);
+    let deadline = Instant::now() + WAIT;
+    loop {
+        let m = metrics(&addr);
+        if m["robustness"]["checkpoints"]["written"].as_u64().unwrap() >= 1 {
+            break;
+        }
+        if m["jobs"]["done"].as_u64().unwrap() >= 1 {
+            panic!("job finished before any checkpoint was written; enlarge the workload");
+        }
+        assert!(Instant::now() < deadline, "no checkpoint appeared in time");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    handle.simulate_crash().unwrap();
+
+    let (addr, handle) = start_with(config(Some(db_path.clone()), 1));
+    let m = metrics(&addr);
+    assert_eq!(m["robustness"]["jobs_recovered"], 1, "{m}");
+    let terminal = client::wait_for_job(&addr, 0, WAIT).unwrap();
+    assert_eq!(terminal["state"], "done", "{terminal}");
+    let m = metrics(&addr);
+    assert!(
+        m["robustness"]["checkpoints"]["restored"].as_u64().unwrap() >= 1,
+        "the recovered job should resume from its checkpoint: {m}"
+    );
+    shutdown(&addr, handle);
+
+    // Exactness: iterations, logical-ops behavior, and the per-iteration
+    // active-fraction trace all match the unfaulted run bitwise. Only
+    // wall-clock measurements may differ.
+    let crashed = RunDb::load(&db_path).unwrap();
+    assert_eq!(crashed.len(), 1);
+    let (a, b) = (&clean.runs[0], &crashed.runs[0]);
+    assert_eq!(a.iterations, b.iterations);
+    assert_eq!(a.converged, b.converged);
+    assert_eq!(a.num_vertices, b.num_vertices);
+    assert_eq!(a.num_edges, b.num_edges);
+    assert_eq!(a.active_fraction, b.active_fraction);
+    assert_eq!(a.behavior_ops, b.behavior_ops, "resume must be exact");
+}
+
+#[test]
+fn seeded_fault_storms_never_lose_jobs_or_corrupt_the_db() {
+    for seed in [11u64, 23, 47] {
+        let db_path = temp_db(&format!("storm_{seed}"));
+        let plan = Arc::new(FaultPlan::seeded(
+            seed,
+            &[
+                FaultSite::JobStart,
+                FaultSite::Iteration,
+                FaultSite::CheckpointWrite,
+                FaultSite::DbPersist,
+            ],
+            16,
+            10,
+        ));
+        let mut cfg = config(Some(db_path.clone()), 2);
+        cfg.fault_plan = Some(Arc::clone(&plan));
+        let (addr, handle) = start_with(cfg);
+        for seed in 0..6u64 {
+            submit(
+                &addr,
+                json!({
+                    "algorithm": if seed % 2 == 0 { "CC" } else { "PR" },
+                    "size": 1200,
+                    "seed": seed,
+                    "profile": "quick",
+                    "checkpoint_every": 4,
+                }),
+            );
+        }
+        for id in 0..6u64 {
+            let terminal = client::wait_for_job(&addr, id, WAIT).unwrap();
+            let state = terminal["state"].as_str().unwrap();
+            assert!(
+                matches!(state, "done" | "failed" | "timed_out"),
+                "seed {seed} job {id} in unexpected state: {terminal}"
+            );
+        }
+        let m = metrics(&addr);
+        assert_no_job_lost(&m);
+        shutdown(&addr, handle);
+        // Whatever the fault storm did, the database parses and holds
+        // exactly the done jobs.
+        let db = RunDb::load(&db_path).unwrap();
+        assert_eq!(db.len() as u64, m["jobs"]["done"].as_u64().unwrap());
+    }
+}

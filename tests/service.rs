@@ -28,6 +28,7 @@ fn start(db_path: Option<PathBuf>, workers: usize) -> (String, ServerHandle) {
         cache_bytes: 64 * 1024 * 1024,
         default_timeout_ms: 120_000,
         persist_every: 1,
+        ..ServiceConfig::default()
     })
     .expect("server failed to bind");
     (handle.addr().to_string(), handle)
