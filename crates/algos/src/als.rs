@@ -155,6 +155,12 @@ impl VertexProgram for Als {
     }
 
     fn combine(&self, _into: &mut (), _from: ()) {}
+
+    /// Unit messages carry no data, so combine order is vacuously
+    /// irrelevant and the pull path is always safe.
+    fn combine_commutative(&self) -> bool {
+        true
+    }
 }
 
 /// Deterministic small pseudo-random factor initialization.

@@ -66,6 +66,12 @@ impl VertexProgram for ConnectedComponents {
     fn combine(&self, into: &mut u32, from: u32) {
         *into = (*into).min(from);
     }
+
+    /// Integer minimum: any fold order gives the same bits, so the engine
+    /// may run the pull path in `Auto` mode.
+    fn combine_commutative(&self) -> bool {
+        true
+    }
 }
 
 /// Run CC on an undirected graph. Returns per-vertex component labels (the

@@ -99,6 +99,12 @@ impl VertexProgram for KCorePhase {
     fn combine(&self, into: &mut u32, from: u32) {
         *into += from;
     }
+
+    /// Integer addition: any fold order gives the same bits, so the engine
+    /// may run the pull path in `Auto` mode.
+    fn combine_commutative(&self) -> bool {
+        true
+    }
 }
 
 /// Run the full K-Core decomposition. Returns per-vertex core numbers and

@@ -179,6 +179,12 @@ impl VertexProgram for KMeans {
 
     fn combine(&self, _into: &mut (), _from: ()) {}
 
+    /// Unit messages carry no data, so combine order is vacuously
+    /// irrelevant and the pull path is always safe.
+    fn combine_commutative(&self) -> bool {
+        true
+    }
+
     fn should_halt(&self, iter: usize, states: &[KmState], _global: &KmGlobal) -> bool {
         // Quiescence: two consecutive iterations with no assignment change
         // (iteration 0's changes are initialization noise).

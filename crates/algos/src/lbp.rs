@@ -160,6 +160,16 @@ impl VertexProgram for Lbp {
     fn combine(&self, into: &mut LbpMessage, from: LbpMessage) {
         into.extend(from);
     }
+
+    /// Concatenation is order-sensitive: apply reads the factor list in
+    /// arrival order, so only the engine's fixed deterministic combine
+    /// order keeps runs reproducible. Declared non-commutative (the
+    /// default, stated explicitly here) so `Auto` never picks the pull
+    /// path; forced `Pull` remains bit-identical on deduplicated builds,
+    /// where in-row order equals the push exchange's order.
+    fn combine_commutative(&self) -> bool {
+        false
+    }
 }
 
 /// Run LBP on any graph with the given priors. Returns MAP labels (argmax

@@ -103,6 +103,12 @@ impl VertexProgram for PageRank {
     }
 
     fn combine(&self, _into: &mut (), _from: ()) {}
+
+    /// Unit messages carry no data, so combine order is vacuously
+    /// irrelevant and the pull path is always safe.
+    fn combine_commutative(&self) -> bool {
+        true
+    }
 }
 
 /// Run PageRank; returns per-vertex ranks and the behavior trace.

@@ -113,6 +113,12 @@ impl VertexProgram for Sgd {
     }
 
     fn combine(&self, _into: &mut (), _from: ()) {}
+
+    /// Unit messages carry no data, so combine order is vacuously
+    /// irrelevant and the pull path is always safe.
+    fn combine_commutative(&self) -> bool {
+        true
+    }
 }
 
 /// Run SGD (capped at [`PAPER_ITERATION_CAP`] unless the config is tighter).

@@ -78,6 +78,13 @@ impl VertexProgram for ShortestPath {
         *into = into.min(from);
     }
 
+    /// `f64::min` over candidate distances is order-insensitive here: every
+    /// message is a finite, strictly positive distance (no NaN, no ±0.0
+    /// ambiguity), so the engine may run the pull path in `Auto` mode.
+    fn combine_commutative(&self) -> bool {
+        true
+    }
+
     fn schedule_priority(&self, _v: VertexId, msg: Option<&f64>) -> f64 {
         // Closest-frontier-first: on the async priority scheduler this
         // approximates Dijkstra order, cutting wasted re-relaxations.

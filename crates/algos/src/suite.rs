@@ -213,6 +213,60 @@ impl Workload {
             Workload::Mrf(mrf) => &mrf.graph,
         }
     }
+
+    /// Degree-descending relabeled copy of the workload (the CSR locality
+    /// layer): hubs get the lowest vertex ids, packing the hottest
+    /// adjacency rows together. Per-edge weights and per-vertex points are
+    /// permuted to match, so the relabeled workload describes the same
+    /// weighted graph. Variants whose vertex numbering is part of their
+    /// semantics (ratings bipartition, matrix rows, grid coordinates, MRF
+    /// factors) are returned unchanged.
+    pub fn reordered_by_degree(&self) -> Workload {
+        match self {
+            Workload::PowerLaw {
+                graph,
+                weights,
+                points,
+            } => {
+                let reordered = graph.reordered_by_degree();
+                let remap = reordered
+                    .vertex_remap()
+                    .expect("reordered build records its permutation")
+                    .to_vec();
+                // Edge ids change with the rebuild; recover each new edge's
+                // old weight through its (relabeled) endpoints. Dedup
+                // builds make the canonical endpoint pair a unique key.
+                let canon = |s: u32, d: u32| {
+                    if graph.is_directed() || s <= d {
+                        (s, d)
+                    } else {
+                        (d, s)
+                    }
+                };
+                let old_edge: std::collections::HashMap<(u32, u32), usize> = graph
+                    .edge_list()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &(s, d))| (canon(remap[s as usize], remap[d as usize]), i))
+                    .collect();
+                let weights = reordered
+                    .edge_list()
+                    .iter()
+                    .map(|&(s, d)| weights[old_edge[&canon(s, d)]])
+                    .collect();
+                let mut new_points = vec![[0.0f64; 2]; points.len()];
+                for (old, &p) in points.iter().enumerate() {
+                    new_points[remap[old] as usize] = p;
+                }
+                Workload::PowerLaw {
+                    graph: reordered,
+                    weights,
+                    points: new_points,
+                }
+            }
+            other => other.clone(),
+        }
+    }
 }
 
 /// Suite-level execution knobs.
@@ -381,6 +435,56 @@ mod tests {
         assert!(w.graph().num_edges() > 0);
         let w = Workload::matrix(20, 0);
         assert_eq!(w.graph().num_vertices(), 20);
+    }
+
+    #[test]
+    fn reordered_powerlaw_describes_the_same_weighted_graph() {
+        let w = Workload::powerlaw(600, 2.5, 7);
+        let r = w.reordered_by_degree();
+        let (
+            Workload::PowerLaw {
+                graph: g0,
+                weights: w0,
+                points: p0,
+            },
+            Workload::PowerLaw {
+                graph: g1,
+                weights: w1,
+                points: p1,
+            },
+        ) = (&w, &r)
+        else {
+            panic!("powerlaw stays powerlaw");
+        };
+        assert_eq!(g0.num_vertices(), g1.num_vertices());
+        assert_eq!(g0.num_edges(), g1.num_edges());
+        let remap = g1.vertex_remap().expect("permutation recorded");
+        let canon = |s: u32, d: u32| if s <= d { (s, d) } else { (d, s) };
+        let new_idx: std::collections::HashMap<(u32, u32), usize> = g1
+            .edge_list()
+            .iter()
+            .enumerate()
+            .map(|(j, &(s, d))| (canon(s, d), j))
+            .collect();
+        for (i, &(s, d)) in g0.edge_list().iter().enumerate() {
+            let j = new_idx[&canon(remap[s as usize], remap[d as usize])];
+            assert_eq!(w0[i].to_bits(), w1[j].to_bits(), "weight of edge {i}");
+        }
+        for v in 0..p0.len() {
+            assert_eq!(p0[v], p1[remap[v] as usize], "point of vertex {v}");
+        }
+    }
+
+    #[test]
+    fn reorder_leaves_fixed_numbering_workloads_untouched() {
+        assert!(matches!(
+            Workload::matrix(20, 0).reordered_by_degree(),
+            Workload::Matrix(_)
+        ));
+        assert!(matches!(
+            Workload::grid(4, 1).reordered_by_degree(),
+            Workload::Grid(_)
+        ));
     }
 
     #[test]

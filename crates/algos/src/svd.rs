@@ -151,6 +151,12 @@ impl VertexProgram for Svd {
 
     fn combine(&self, _into: &mut (), _from: ()) {}
 
+    /// Unit messages carry no data, so combine order is vacuously
+    /// irrelevant and the pull path is always safe.
+    fn combine_commutative(&self) -> bool {
+        true
+    }
+
     fn should_halt(&self, iter: usize, states: &[SvdState], global: &SvdGlobal) -> bool {
         // The norm (σ estimate) settles long before the singular vector
         // does, so convergence also requires per-component quiescence.

@@ -15,8 +15,9 @@ use graphmine_algos::cc::ConnectedComponents;
 use graphmine_algos::sssp::{dijkstra, ShortestPath};
 use graphmine_algos::{run_algorithm, AlgorithmKind, Domain, SuiteConfig, Workload};
 use graphmine_engine::{
-    async_run, edge_centric_run, AsyncConfig, EdgeCentricConfig, ExecutionConfig, FrontierMode,
-    IterationStats, NoGlobal, RunTrace, SyncEngine, SPARSE_FRONTIER_THRESHOLD,
+    async_run, edge_centric_run, AsyncConfig, DirectionChoice, DirectionMode, EdgeCentricConfig,
+    ExecutionConfig, FrontierMode, IterationStats, NoGlobal, RunTrace, SyncEngine,
+    SPARSE_FRONTIER_THRESHOLD,
 };
 use graphmine_gen::{gaussian_edge_weights, powerlaw_graph, PowerLawConfig};
 use graphmine_graph::Graph;
@@ -27,10 +28,7 @@ fn big_powerlaw() -> Graph {
 }
 
 fn strip(t: &RunTrace) -> Vec<IterationStats> {
-    t.iterations
-        .iter()
-        .map(|it| IterationStats { apply_ns: 0, ..*it })
-        .collect()
+    t.iterations.iter().map(IterationStats::normalized).collect()
 }
 
 #[test]
@@ -154,4 +152,69 @@ fn frontier_mode_preserves_counters_on_full_suite() {
         );
         assert_eq!(dense.converged, adaptive.converged, "{alg}: convergence");
     }
+}
+
+/// Forced-`Push`, forced-`Pull`, and `Auto` scatter must produce
+/// bit-identical normalized traces on the full 14-algorithm suite: the
+/// scatter direction is a mechanical speedup, never a semantic change.
+/// (Programs without an out-edge scatter fall back to push in every mode,
+/// which makes the identity trivially — and deliberately — covered too.)
+#[test]
+fn direction_mode_preserves_counters_on_full_suite() {
+    let pl = Workload::powerlaw(20_000, 2.5, 11);
+    let ratings = Workload::ratings(8_000, 2.5, 12);
+    let matrix = Workload::matrix(300, 13);
+    let grid = Workload::grid(12, 14);
+    let mrf = Workload::mrf(1_000, 15);
+
+    let config_with = |dir: DirectionMode| SuiteConfig {
+        exec: ExecutionConfig::with_max_iterations(60).with_direction(dir),
+        ..SuiteConfig::default()
+    };
+
+    let mut auto_pulled = false;
+    let mut auto_pushed = false;
+    for alg in AlgorithmKind::ALL {
+        let workload = match alg.domain() {
+            Domain::GraphAnalytics | Domain::Clustering => &pl,
+            Domain::CollaborativeFiltering => &ratings,
+            Domain::LinearSolver => &matrix,
+            Domain::GraphicalModel => {
+                if alg == AlgorithmKind::Lbp {
+                    &grid
+                } else {
+                    &mrf
+                }
+            }
+        };
+        let push = run_algorithm(alg, workload, &config_with(DirectionMode::Push))
+            .unwrap_or_else(|e| panic!("{alg}: {e}"));
+        let pull = run_algorithm(alg, workload, &config_with(DirectionMode::Pull))
+            .unwrap_or_else(|e| panic!("{alg}: {e}"));
+        let auto = run_algorithm(alg, workload, &config_with(DirectionMode::Auto))
+            .unwrap_or_else(|e| panic!("{alg}: {e}"));
+        assert_eq!(
+            push.without_wall_clock(),
+            pull.without_wall_clock(),
+            "{alg}: push vs pull counters diverged"
+        );
+        assert_eq!(
+            push.without_wall_clock(),
+            auto.without_wall_clock(),
+            "{alg}: push vs auto counters diverged"
+        );
+        auto_pulled |= auto
+            .iterations
+            .iter()
+            .any(|it| it.direction == DirectionChoice::Pull);
+        auto_pushed |= auto
+            .iterations
+            .iter()
+            .any(|it| it.direction == DirectionChoice::Push);
+    }
+    // The suite must genuinely exercise both paths under Auto: the
+    // constant-active programs (PR, KC start) keep dense frontiers that
+    // pull, while SSSP/CC tails collapse to push territory.
+    assert!(auto_pulled, "Auto never chose pull anywhere in the suite");
+    assert!(auto_pushed, "Auto never chose push anywhere in the suite");
 }

@@ -1,0 +1,158 @@
+//! Direction-optimizing scatter benchmarks: forced-push vs forced-pull vs
+//! the cost-model `Auto` across a frontier-density sweep, on a scale-free
+//! graph (natural and degree-reordered vertex order) and a 2D grid.
+//!
+//! The expected shape: pull wins when the frontier is dense (one pass over
+//! every in-slot beats scattering deg_out(F) messages once `3·deg_out(F)`
+//! exceeds the total in-slots), push wins when the frontier is sparse (a
+//! trickle of active vertices should not pay a full-graph gather), and
+//! `Auto` tracks the better of the two at every density. Degree reordering
+//! packs the hubs into the first chunks, tightening the accumulator
+//! working set on the power-law graph.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use graphmine_engine::{
+    ActiveInit, ApplyInfo, DirectionMode, EdgeSet, ExecutionConfig, NoGlobal, SyncEngine,
+    VertexProgram,
+};
+use graphmine_gen::{powerlaw_graph, PowerLawConfig};
+use graphmine_graph::{EdgeId, Graph, GraphBuilder, VertexId};
+use std::time::Duration;
+
+/// Min-flood probe with a configurable seed set and an order-insensitive
+/// (integer min) combiner, so every direction mode is admissible. Seeded
+/// vertices flood hop counts for a fixed iteration budget; the starting
+/// seed fraction controls the frontier density the engine sees.
+struct SeededFlood {
+    seeds: Vec<VertexId>,
+    iterations: usize,
+}
+
+impl VertexProgram for SeededFlood {
+    type State = u32;
+    type EdgeData = ();
+    type Accum = ();
+    type Message = u32;
+    type Global = NoGlobal;
+
+    fn gather_edges(&self) -> EdgeSet {
+        EdgeSet::None
+    }
+    fn scatter_edges(&self) -> EdgeSet {
+        EdgeSet::Out
+    }
+    fn initial_active(&self) -> ActiveInit {
+        ActiveInit::Vertices(self.seeds.clone())
+    }
+    fn apply(
+        &self,
+        _v: VertexId,
+        state: &mut u32,
+        _acc: Option<()>,
+        msg: Option<&u32>,
+        _g: &NoGlobal,
+        info: &mut ApplyInfo,
+    ) {
+        info.ops += 1;
+        match msg {
+            Some(&m) if m < *state => *state = m,
+            None => *state = 0,
+            _ => {}
+        }
+    }
+    fn scatter(
+        &self,
+        _graph: &Graph,
+        _v: VertexId,
+        _e: EdgeId,
+        _nbr: VertexId,
+        state: &u32,
+        nbr_state: &u32,
+        _edge: &(),
+        _g: &NoGlobal,
+    ) -> Option<u32> {
+        (*state != u32::MAX && state.saturating_add(1) < *nbr_state).then(|| state + 1)
+    }
+    fn combine(&self, into: &mut u32, from: u32) {
+        *into = (*into).min(from);
+    }
+    fn combine_commutative(&self) -> bool {
+        true
+    }
+    fn should_halt(&self, iter: usize, _s: &[u32], _g: &NoGlobal) -> bool {
+        iter + 1 >= self.iterations
+    }
+}
+
+/// Evenly spaced seed set covering `permille`/1000 of the vertices.
+fn seeds(n: usize, permille: usize) -> Vec<VertexId> {
+    let count = (n * permille / 1000).max(1);
+    let stride = (n / count).max(1);
+    (0..n).step_by(stride).take(count).map(|v| v as VertexId).collect()
+}
+
+/// Square grid graph (4-neighborhood), the paper's LBP topology without
+/// the MRF payload.
+fn grid_graph(side: usize) -> Graph {
+    let n = side * side;
+    let mut b = GraphBuilder::undirected(n);
+    for r in 0..side {
+        for c in 0..side {
+            let v = (r * side + c) as u32;
+            if c + 1 < side {
+                b.push_edge(v, v + 1);
+            }
+            if r + 1 < side {
+                b.push_edge(v, v + side as u32);
+            }
+        }
+    }
+    b.build()
+}
+
+fn run_flood(graph: &Graph, seed_set: &[VertexId], dir: DirectionMode) {
+    let cfg = ExecutionConfig::with_max_iterations(5).with_direction(dir);
+    let engine = SyncEngine::new(
+        graph,
+        SeededFlood {
+            seeds: seed_set.to_vec(),
+            iterations: 5,
+        },
+        vec![u32::MAX; graph.num_vertices()],
+        vec![(); graph.num_edges()],
+    );
+    let _ = engine.run(&cfg);
+}
+
+fn direction_density_sweep(c: &mut Criterion) {
+    let pl = powerlaw_graph(&PowerLawConfig::new(100_000, 2.5, 6));
+    let pl_reordered = pl.reordered_by_degree();
+    let grid = grid_graph(300);
+
+    let mut g = c.benchmark_group("direction");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    for (gname, graph) in [
+        ("powerlaw", &pl),
+        ("powerlaw_reordered", &pl_reordered),
+        ("grid", &grid),
+    ] {
+        let n = graph.num_vertices();
+        // Seed fraction sweep: 0.1%, 10%, 100% of vertices.
+        for permille in [1usize, 100, 1000] {
+            let seed_set = seeds(n, permille);
+            for (dname, dir) in [
+                ("push", DirectionMode::Push),
+                ("pull", DirectionMode::Pull),
+                ("auto", DirectionMode::Auto),
+            ] {
+                g.bench_function(format!("{gname}/f{permille}/{dname}"), |b| {
+                    b.iter(|| run_flood(graph, &seed_set, dir))
+                });
+            }
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, direction_density_sweep);
+criterion_main!(benches);

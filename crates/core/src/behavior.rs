@@ -126,6 +126,7 @@ mod tests {
                     remote_edge_reads: 0,
                     remote_messages: 0,
                     frontier_density: 1.0,
+                    ..IterationStats::default()
                 },
                 IterationStats {
                     active: 2,
@@ -137,6 +138,7 @@ mod tests {
                     remote_edge_reads: 0,
                     remote_messages: 0,
                     frontier_density: 0.2,
+                    ..IterationStats::default()
                 },
             ],
             converged: true,

@@ -83,6 +83,7 @@ mod tests {
                     remote_edge_reads: 0,
                     remote_messages: 0,
                     frontier_density: 1.0,
+                    ..IterationStats::default()
                 };
                 iters
             ],

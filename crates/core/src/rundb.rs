@@ -409,6 +409,7 @@ mod tests {
                 remote_edge_reads: 0,
                 remote_messages: 0,
                 frontier_density: 1.0,
+                ..IterationStats::default()
             }],
             converged: true,
         };
@@ -635,6 +636,7 @@ mod tests {
                     remote_edge_reads: 0,
                     remote_messages: 0,
                     frontier_density: 0.0,
+                    ..IterationStats::default()
                 };
                 600
             ],

@@ -247,6 +247,7 @@ pub fn edge_centric_run<P: VertexProgram>(
             remote_edge_reads: 0,
             remote_messages: 0,
             frontier_density: active_count as f64 / n as f64,
+            ..IterationStats::default()
         });
 
         if program.always_active() {
@@ -388,10 +389,7 @@ mod tests {
     }
 
     fn strip(t: &RunTrace) -> Vec<IterationStats> {
-        t.iterations
-            .iter()
-            .map(|it| IterationStats { apply_ns: 0, ..*it })
-            .collect()
+        t.iterations.iter().map(IterationStats::normalized).collect()
     }
 
     #[test]

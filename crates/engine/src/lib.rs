@@ -22,7 +22,10 @@
 //! fixed order (see [`sync_engine`]). Per-iteration cost tracks the active
 //! frontier, not |V|: below [`SPARSE_FRONTIER_THRESHOLD`] the engine walks
 //! a compact sorted active-vertex list instead of sweeping a dense bitmap
-//! ([`FrontierMode`]).
+//! ([`FrontierMode`]), and the scatter phase is direction-optimizing
+//! ([`DirectionMode`]): sparse frontiers push along out-edges while dense
+//! ones pull over in-edges, chosen per iteration by a cost model that
+//! preserves bit-identical traces.
 //!
 //! ```
 //! use graphmine_engine::{
@@ -102,6 +105,7 @@ pub use edge_centric::{edge_centric_run, EdgeCentricConfig};
 pub use fault::{FaultKind, FaultPlan, FaultSite};
 pub use program::{ActiveInit, ApplyInfo, EdgeSet, NoGlobal, VertexProgram};
 pub use sync_engine::{
-    chunk_size, ExecutionConfig, FrontierMode, SyncEngine, SPARSE_FRONTIER_THRESHOLD,
+    chunk_size, DirectionMode, ExecutionConfig, FrontierMode, SyncEngine, PULL_COST_FACTOR,
+    SPARSE_FRONTIER_THRESHOLD,
 };
-pub use trace::{IterationStats, RunTrace};
+pub use trace::{DirectionChoice, IterationStats, RunTrace};

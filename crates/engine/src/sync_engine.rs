@@ -45,6 +45,32 @@
 //! `apply_ops`) are byte-for-byte identical between the sparse and dense
 //! paths: both issue exactly the same per-vertex program calls and differ
 //! only in how they find the active vertices.
+//!
+//! # Direction-optimizing scatter (push vs pull)
+//!
+//! The scatter/exchange phase additionally supports two dataflow
+//! directions ([`DirectionMode`]):
+//!
+//! * **Push** (the classic path): active vertices walk their out-edges,
+//!   emit messages into per-range outboxes, and a separate exchange pass
+//!   merges the outboxes into the inbox. Cost tracks the frontier's summed
+//!   out-degree — ideal for sparse frontiers.
+//! * **Pull**: destination vertices walk their *in*-edges and evaluate the
+//!   same `scatter` calls for the active sources they find, combining
+//!   directly into their own inbox slot. Cost tracks the total in-slot
+//!   count but needs no outbox allocation, no bucketing sort, and touches
+//!   each inbox cache line exactly once — ideal for dense frontiers.
+//!
+//! [`DirectionMode::Auto`] picks per iteration from a cost model over the
+//! frontier's summed out-degree (maintained incrementally via the CSR
+//! prefix-degree index) against the graph's total in-slots. Both paths
+//! produce bit-identical traces on deduplicated builds: CSR rows are
+//! source-ascending there ([`Graph::has_sorted_rows`]), so the pull path's
+//! per-destination combine order (in-row order) equals the push exchange's
+//! fixed order (source chunk ascending, then emission order). `Auto`
+//! additionally requires the program to declare
+//! [`VertexProgram::combine_commutative`], keeping the conservative default
+//! on push for programs whose combine order is semantically load-bearing.
 
 use crate::checkpoint::{
     read_checkpoint, write_checkpoint, CheckpointError, CheckpointPolicy, EngineCheckpoint,
@@ -52,8 +78,8 @@ use crate::checkpoint::{
 };
 use crate::fault::{FaultPlan, FaultSite};
 use crate::program::{ActiveInit, ApplyInfo, EdgeSet, VertexProgram};
-use crate::trace::{IterationStats, RunTrace};
-use graphmine_graph::{Direction, Graph, VertexId};
+use crate::trace::{DirectionChoice, IterationStats, RunTrace};
+use graphmine_graph::{chunk_edge_spans, Direction, Graph, VertexId};
 use rayon::prelude::*;
 use serde::de::DeserializeOwned;
 use serde::Serialize;
@@ -85,6 +111,42 @@ pub enum FrontierMode {
 /// maintaining per-chunk vertex lists.
 pub const SPARSE_FRONTIER_THRESHOLD: f64 = 1.0 / 16.0;
 
+/// Which side of an edge drives the scatter/exchange phase.
+///
+/// Only programs whose scatter set is `EdgeSet::Out` have a pull
+/// formulation; for everything else (including scatter-free programs) the
+/// engine silently stays on the push path whatever the mode says.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DirectionMode {
+    /// Decide per iteration from the cost model: pull when
+    /// [`PULL_COST_FACTOR`] × the frontier's summed out-degree reaches the
+    /// graph's total in-slot count, push otherwise. Pull is only considered
+    /// when the program declares
+    /// [`combine_commutative`](VertexProgram::combine_commutative) and the
+    /// graph has sorted adjacency rows, so `Auto` never risks the
+    /// bit-identity contract.
+    #[default]
+    Auto,
+    /// Always scatter from active sources along out-edges (the classic
+    /// path, and the fallback whenever pull does not apply).
+    Push,
+    /// Always gather at destinations over in-edges. Bit-identical to push
+    /// on deduplicated builds ([`Graph::has_sorted_rows`]); on multigraph
+    /// builds the combine order may differ for order-sensitive combiners.
+    Pull,
+}
+
+/// `Auto` picks pull when `PULL_COST_FACTOR * deg_out(frontier) >=
+/// total_in_slots`.
+///
+/// Push work is ~`deg_out(F)` edge visits plus outbox allocation, a stable
+/// bucketing sort, and a second merge pass over every message; pull work is
+/// a flat read of all in-slots with none of that machinery. The factor-3
+/// discount on pull's apparent cost reflects the push path's per-message
+/// overhead and matches the crossover observed in the `direction` benchmark
+/// (frontiers above roughly a third of the edge mass run faster pulled).
+pub const PULL_COST_FACTOR: u64 = 3;
+
 /// Execution knobs.
 #[derive(Debug, Clone)]
 pub struct ExecutionConfig {
@@ -114,6 +176,10 @@ pub struct ExecutionConfig {
     /// default) never changes results or behavior counters — only which
     /// data structure the engine walks to find active vertices.
     pub frontier_mode: FrontierMode,
+    /// Scatter dataflow direction. [`DirectionMode::Auto`] (the default)
+    /// never changes results or behavior counters — only which side of the
+    /// edges evaluates the scatter calls.
+    pub direction: DirectionMode,
     /// Iteration-granularity checkpointing. Honored by the checkpoint-aware
     /// entry points ([`SyncEngine::run_resumable`] and friends): the engine
     /// resumes from the policy's file when one exists, snapshots state
@@ -138,6 +204,7 @@ impl Default for ExecutionConfig {
             partition: None,
             cancel: None,
             frontier_mode: FrontierMode::Adaptive,
+            direction: DirectionMode::Auto,
             checkpoint: None,
             fault_plan: None,
         }
@@ -176,6 +243,13 @@ impl ExecutionConfig {
     /// adaptive policy is right for production runs).
     pub fn with_frontier_mode(mut self, mode: FrontierMode) -> ExecutionConfig {
         self.frontier_mode = mode;
+        self
+    }
+
+    /// Force a scatter direction (benchmarks and tests; the default auto
+    /// policy is right for production runs).
+    pub fn with_direction(mut self, direction: DirectionMode) -> ExecutionConfig {
+        self.direction = direction;
         self
     }
 
@@ -255,6 +329,10 @@ struct FrontierSet {
     chunks: Vec<(usize, usize, usize)>,
     count: usize,
     sparse: bool,
+    /// Summed out-degree of the active set, maintained incrementally via
+    /// the CSR prefix-degree index: O(|F|) per frontier change and O(1)
+    /// for the everyone-active case — the direction cost model's input.
+    out_deg: u64,
 }
 
 impl FrontierSet {
@@ -268,7 +346,15 @@ impl FrontierSet {
             chunks: Vec::new(),
             count: 0,
             sparse: false,
+            out_deg: 0,
         }
+    }
+
+    /// Summed out-degree of `vs` via the prefix-degree index.
+    fn sum_out_degree(prefix: &[u64], vs: &[VertexId]) -> u64 {
+        vs.iter()
+            .map(|&v| prefix[v as usize + 1] - prefix[v as usize])
+            .sum()
     }
 
     fn pick_sparse(&self, count: usize) -> bool {
@@ -293,10 +379,12 @@ impl FrontierSet {
         }
     }
 
-    /// Every vertex active (`ActiveInit::All`).
-    fn init_all(&mut self) {
+    /// Every vertex active (`ActiveInit::All`). `prefix` is the graph's
+    /// out-direction prefix-degree index.
+    fn init_all(&mut self, prefix: &[u64]) {
         self.bitmap.iter_mut().for_each(|b| *b = true);
         self.count = self.n;
+        self.out_deg = prefix[self.n];
         self.sparse = self.pick_sparse(self.n);
         if self.sparse {
             self.list = (0..self.n as VertexId).collect();
@@ -305,13 +393,14 @@ impl FrontierSet {
     }
 
     /// Only the listed vertices active (`ActiveInit::Vertices`).
-    fn init_subset(&mut self, mut vs: Vec<VertexId>) {
+    fn init_subset(&mut self, mut vs: Vec<VertexId>, prefix: &[u64]) {
         vs.sort_unstable();
         vs.dedup();
         for &v in &vs {
             self.bitmap[v as usize] = true;
         }
         self.count = vs.len();
+        self.out_deg = Self::sum_out_degree(prefix, &vs);
         self.sparse = self.pick_sparse(self.count);
         self.list = vs;
         if self.sparse {
@@ -322,9 +411,10 @@ impl FrontierSet {
     }
 
     /// Replace the frontier with `next` (sorted, deduplicated), maintaining
-    /// the bitmap and count incrementally: clearing costs the old frontier,
-    /// setting costs the new one — never O(|V|) while sparse.
-    fn advance(&mut self, next: Vec<VertexId>) {
+    /// the bitmap, count, and summed out-degree incrementally: clearing
+    /// costs the old frontier, setting costs the new one — never O(|V|)
+    /// while sparse.
+    fn advance(&mut self, next: Vec<VertexId>, prefix: &[u64]) {
         if self.sparse {
             for &v in &self.list {
                 self.bitmap[v as usize] = false;
@@ -336,6 +426,7 @@ impl FrontierSet {
             self.bitmap[v as usize] = true;
         }
         self.count = next.len();
+        self.out_deg = Self::sum_out_degree(prefix, &next);
         self.sparse = self.pick_sparse(self.count);
         self.list = next;
         if self.sparse {
@@ -526,6 +617,12 @@ impl<'g, P: VertexProgram> SyncEngine<'g, P> {
 
         let cs = chunk_size(n);
         let always_active = self.program.always_active();
+        // Direction cost-model inputs, computed once per run: the
+        // out-direction prefix-degree index (borrowed from the CSR, no
+        // copy) and the cached per-chunk in-edge spans that let the pull
+        // path skip in-slot-free chunks in O(1) each.
+        let out_prefix: &[u64] = self.graph.degree_prefix(Direction::Out);
+        let in_spans: Vec<u64> = chunk_edge_spans(self.graph, Direction::In, cs);
         let mut frontier = FrontierSet::new(n, cs, config.frontier_mode);
         let mut inbox: Vec<Option<P::Message>> = (0..n).map(|_| None).collect();
 
@@ -539,7 +636,7 @@ impl<'g, P: VertexProgram> SyncEngine<'g, P> {
                 self.states = r.states;
                 self.global = r.global;
                 trace.iterations = r.trace.iterations;
-                frontier.init_subset(r.frontier);
+                frontier.init_subset(r.frontier, out_prefix);
                 for (v, msg) in r.inbox {
                     inbox[v as usize] = Some(msg);
                 }
@@ -547,8 +644,8 @@ impl<'g, P: VertexProgram> SyncEngine<'g, P> {
             }
             None => {
                 match self.program.initial_active() {
-                    ActiveInit::All => frontier.init_all(),
-                    ActiveInit::Vertices(vs) => frontier.init_subset(vs),
+                    ActiveInit::All => frontier.init_all(out_prefix),
+                    ActiveInit::Vertices(vs) => frontier.init_subset(vs, out_prefix),
                 }
                 0
             }
@@ -585,6 +682,7 @@ impl<'g, P: VertexProgram> SyncEngine<'g, P> {
                 config,
                 &frontier,
                 &ranges,
+                &in_spans,
                 &mut accums,
                 &mut inbox,
                 &mut next_states,
@@ -604,7 +702,7 @@ impl<'g, P: VertexProgram> SyncEngine<'g, P> {
             // Next-iteration activation: message receipt, unless the program
             // keeps everything alive.
             if !always_active {
-                frontier.advance(next_frontier);
+                frontier.advance(next_frontier, out_prefix);
             }
 
             if self.program.should_halt(iter, &self.states, &self.global) {
@@ -638,6 +736,7 @@ impl<'g, P: VertexProgram> SyncEngine<'g, P> {
         config: &ExecutionConfig,
         frontier: &FrontierSet,
         ranges: &[(usize, usize)],
+        in_spans: &[u64],
         accums: &mut [Option<P::Accum>],
         inbox: &mut [Option<P::Message>],
         next_states: &mut [P::State],
@@ -658,6 +757,7 @@ impl<'g, P: VertexProgram> SyncEngine<'g, P> {
         let sum2 = |a: (u64, u64), b: (u64, u64)| (a.0 + b.0, a.1 + b.1);
 
         // ---- Gather ----
+        let gather_t0 = Instant::now();
         let partition = config.partition.as_deref();
         let gather_dir = program.gather_edges();
         let mut edge_reads: u64 = 0;
@@ -759,6 +859,7 @@ impl<'g, P: VertexProgram> SyncEngine<'g, P> {
             edge_reads = total;
             remote_edge_reads = remote;
         }
+        let gather_ns = gather_t0.elapsed().as_nanos() as u64;
 
         // ---- Apply ----
         // Invariant: next_states == states everywhere except the vertices
@@ -906,20 +1007,116 @@ impl<'g, P: VertexProgram> SyncEngine<'g, P> {
             }
         };
 
-        // ---- Scatter ----
+        // ---- Direction selection ----
+        // Only an out-edge scatter has a pull formulation. Auto picks pull
+        // when the frontier's summed out-degree makes the push path's
+        // outbox machinery cost more than a flat in-slot sweep, and only
+        // for programs/graphs where pull's per-destination combine order
+        // (in-row order) provably equals push's (sorted rows + commutative
+        // combine). Forced Pull trusts the caller.
         let scatter_dir = program.scatter_edges();
+        let use_pull = scatter_dir == EdgeSet::Out
+            && match config.direction {
+                DirectionMode::Push => false,
+                DirectionMode::Pull => true,
+                DirectionMode::Auto => {
+                    program.combine_commutative()
+                        && graph.has_sorted_rows()
+                        && PULL_COST_FACTOR * frontier.out_deg >= graph.total_in_slots()
+                }
+            };
+
+        // ---- Scatter + Exchange ----
+        let scatter_t0 = Instant::now();
         let next_states_ref: &[P::State] = next_states;
         let mut messages: u64 = 0;
         let mut remote_messages: u64 = 0;
-        let mut outboxes: Vec<RangeOutbox<P::Message>> = Vec::new();
-        if scatter_dir != EdgeSet::None {
+        let mut push_edge_traversals: u64 = 0;
+        let mut pull_edge_traversals: u64 = 0;
+        let mut receivers: Vec<VertexId> = Vec::new();
+        if use_pull {
+            // Pull: each destination chunk walks its vertices' in-edges,
+            // evaluates scatter for the active sources it finds, and
+            // combines straight into its own inbox slots — scatter and
+            // exchange fused, no outboxes, no bucketing sort. In-rows list
+            // sources ascending on deduplicated builds, so per destination
+            // this is byte-for-byte the push exchange's combine order.
+            // Chunks with no in-slots are skipped via the cached spans.
+            let items: Vec<(usize, &mut [Option<P::Message>])> = inbox
+                .chunks_mut(cs)
+                .enumerate()
+                .filter(|&(ci, _)| in_spans[ci] > 0)
+                .collect();
+            type PullResult = (Vec<VertexId>, u64, u64, u64);
+            let per_chunk = |(ci, chunk): (usize, &mut [Option<P::Message>])| -> PullResult {
+                let base = ci * cs;
+                let mut hits: Vec<VertexId> = Vec::new();
+                let mut count = 0u64;
+                let mut remote = 0u64;
+                let mut visited = 0u64;
+                for (off, slot) in chunk.iter_mut().enumerate() {
+                    let v = (base + off) as VertexId;
+                    for (e, u) in graph.incident(v, Direction::In) {
+                        visited += 1;
+                        if !active[u as usize] {
+                            continue;
+                        }
+                        if let Some(msg) = program.scatter(
+                            graph,
+                            u,
+                            e,
+                            v,
+                            &next_states_ref[u as usize],
+                            &states[v as usize],
+                            &edge_data[e as usize],
+                            global,
+                        ) {
+                            count += 1;
+                            if let Some(p) = partition {
+                                if p[u as usize] != p[v as usize] {
+                                    remote += 1;
+                                }
+                            }
+                            match slot {
+                                Some(existing) => program.combine(existing, msg),
+                                None => {
+                                    *slot = Some(msg);
+                                    if track_receivers {
+                                        hits.push(v);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                (hits, count, remote, visited)
+            };
+            let collected: Vec<PullResult> = if config.sequential {
+                items.into_iter().map(per_chunk).collect()
+            } else {
+                items.into_par_iter().map(per_chunk).collect()
+            };
+            // Chunks ascend and each chunk's hits ascend, so the receiver
+            // list comes out sorted without a final sort.
+            for (hits, count, remote, visited) in collected {
+                receivers.extend(hits);
+                messages += count;
+                remote_messages += remote;
+                pull_edge_traversals += visited;
+            }
+        } else if scatter_dir != EdgeSet::None {
+            // Push: active vertices emit into per-range outboxes, then the
+            // exchange merges them into the inbox.
+            let mut outboxes: Vec<RangeOutbox<P::Message>> = Vec::new();
             let scatter_one = |v: VertexId,
                                out: &mut Vec<(VertexId, P::Message)>,
                                count: &mut u64,
-                               remote: &mut u64| {
+                               remote: &mut u64,
+                               visited: &mut u64| {
                 let v_state = &next_states_ref[v as usize];
                 let mut visit = |dir: Direction| {
                     for (e, nbr) in graph.incident(v, dir) {
+                        *visited += 1;
                         if let Some(msg) = program.scatter(
                             graph,
                             v,
@@ -952,16 +1149,18 @@ impl<'g, P: VertexProgram> SyncEngine<'g, P> {
                     EdgeSet::None => {}
                 }
             };
-            let collected: Vec<(RangeOutbox<P::Message>, u64, u64)> = if sparse {
+            type PushResult<M> = (RangeOutbox<M>, u64, u64, u64);
+            let collected: Vec<PushResult<P::Message>> = if sparse {
                 let per_item = |&(ci, lo, hi): &(usize, usize, usize)| {
                     let mut out = Vec::new();
                     let mut count = 0u64;
                     let mut remote = 0u64;
+                    let mut visited = 0u64;
                     for &v in &frontier.list[lo..hi] {
-                        scatter_one(v, &mut out, &mut count, &mut remote);
+                        scatter_one(v, &mut out, &mut count, &mut remote, &mut visited);
                     }
                     let _ = ci;
-                    (bucket_by_dest_chunk(out, cs), count, remote)
+                    (bucket_by_dest_chunk(out, cs), count, remote, visited)
                 };
                 if config.sequential {
                     frontier.chunks.iter().map(per_item).collect()
@@ -973,12 +1172,19 @@ impl<'g, P: VertexProgram> SyncEngine<'g, P> {
                     let mut out = Vec::new();
                     let mut count = 0u64;
                     let mut remote = 0u64;
+                    let mut visited = 0u64;
                     for (i, &is_active) in active[start..end].iter().enumerate() {
                         if is_active {
-                            scatter_one((start + i) as VertexId, &mut out, &mut count, &mut remote);
+                            scatter_one(
+                                (start + i) as VertexId,
+                                &mut out,
+                                &mut count,
+                                &mut remote,
+                                &mut visited,
+                            );
                         }
                     }
-                    (bucket_by_dest_chunk(out, cs), count, remote)
+                    (bucket_by_dest_chunk(out, cs), count, remote, visited)
                 };
                 if config.sequential {
                     ranges.iter().map(per_range).collect()
@@ -987,65 +1193,67 @@ impl<'g, P: VertexProgram> SyncEngine<'g, P> {
                 }
             };
             outboxes.reserve(collected.len());
-            for (out, count, remote) in collected {
+            for (out, count, remote, visited) in collected {
                 messages += count;
                 remote_messages += remote;
+                push_edge_traversals += visited;
                 outboxes.push(out);
             }
-        }
 
-        // ---- Exchange: combine messages into the inbox ----
-        // Apply drained every delivered message above, so the inbox is
-        // all-None here — no O(|V|) clear. Each destination chunk is merged
-        // by one task, walking the source outboxes in ascending chunk order
-        // and each group in emission order: the exact combine order a
-        // single-threaded merge of the un-bucketed outboxes would use.
-        let mut receivers: Vec<VertexId> = Vec::new();
-        if outboxes.iter().any(|ob| !ob.msgs.is_empty()) {
-            let mut dest_chunks: Vec<usize> = outboxes
-                .iter()
-                .flat_map(|ob| ob.groups.iter().map(|g| g.0))
-                .collect();
-            dest_chunks.sort_unstable();
-            dest_chunks.dedup();
-            let outboxes_ref = &outboxes;
-            let items: Vec<(usize, &mut [Option<P::Message>])> = dest_chunks
-                .iter()
-                .copied()
-                .zip(select_chunks_mut(inbox, cs, dest_chunks.iter().copied()))
-                .collect();
-            let merge_chunk = |(ci, chunk): (usize, &mut [Option<P::Message>])| -> Vec<VertexId> {
-                let base = ci * cs;
-                let mut hits: Vec<VertexId> = Vec::new();
-                for ob in outboxes_ref {
-                    if let Ok(gi) = ob.groups.binary_search_by_key(&ci, |g| g.0) {
-                        let (_, start, end) = ob.groups[gi];
-                        for (target, msg) in &ob.msgs[start..end] {
-                            let slot = &mut chunk[*target as usize - base];
-                            match slot {
-                                Some(existing) => program.combine(existing, msg.clone()),
-                                None => {
-                                    *slot = Some(msg.clone());
-                                    if track_receivers {
-                                        hits.push(*target);
+            // Exchange: combine messages into the inbox. Apply drained
+            // every delivered message above, so the inbox is all-None here
+            // — no O(|V|) clear. Each destination chunk is merged by one
+            // task, walking the source outboxes in ascending chunk order
+            // and each group in emission order: the exact combine order a
+            // single-threaded merge of the un-bucketed outboxes would use.
+            if outboxes.iter().any(|ob| !ob.msgs.is_empty()) {
+                let mut dest_chunks: Vec<usize> = outboxes
+                    .iter()
+                    .flat_map(|ob| ob.groups.iter().map(|g| g.0))
+                    .collect();
+                dest_chunks.sort_unstable();
+                dest_chunks.dedup();
+                let outboxes_ref = &outboxes;
+                let items: Vec<(usize, &mut [Option<P::Message>])> = dest_chunks
+                    .iter()
+                    .copied()
+                    .zip(select_chunks_mut(inbox, cs, dest_chunks.iter().copied()))
+                    .collect();
+                let merge_chunk =
+                    |(ci, chunk): (usize, &mut [Option<P::Message>])| -> Vec<VertexId> {
+                        let base = ci * cs;
+                        let mut hits: Vec<VertexId> = Vec::new();
+                        for ob in outboxes_ref {
+                            if let Ok(gi) = ob.groups.binary_search_by_key(&ci, |g| g.0) {
+                                let (_, start, end) = ob.groups[gi];
+                                for (target, msg) in &ob.msgs[start..end] {
+                                    let slot = &mut chunk[*target as usize - base];
+                                    match slot {
+                                        Some(existing) => program.combine(existing, msg.clone()),
+                                        None => {
+                                            *slot = Some(msg.clone());
+                                            if track_receivers {
+                                                hits.push(*target);
+                                            }
+                                        }
                                     }
                                 }
                             }
                         }
-                    }
+                        hits.sort_unstable();
+                        hits
+                    };
+                let per_chunk_receivers: Vec<Vec<VertexId>> = if config.sequential {
+                    items.into_iter().map(merge_chunk).collect()
+                } else {
+                    items.into_par_iter().map(merge_chunk).collect()
+                };
+                for r in per_chunk_receivers {
+                    receivers.extend(r);
                 }
-                hits.sort_unstable();
-                hits
-            };
-            let per_chunk_receivers: Vec<Vec<VertexId>> = if config.sequential {
-                items.into_iter().map(merge_chunk).collect()
-            } else {
-                items.into_par_iter().map(merge_chunk).collect()
-            };
-            for r in per_chunk_receivers {
-                receivers.extend(r);
             }
         }
+        let scatter_ns = scatter_t0.elapsed().as_nanos() as u64;
 
         let stats = IterationStats {
             active: active_count,
@@ -1057,6 +1265,15 @@ impl<'g, P: VertexProgram> SyncEngine<'g, P> {
             remote_edge_reads,
             remote_messages,
             frontier_density: active_count as f64 / n as f64,
+            gather_ns,
+            scatter_ns,
+            direction: if use_pull {
+                DirectionChoice::Pull
+            } else {
+                DirectionChoice::Push
+            },
+            push_edge_traversals,
+            pull_edge_traversals,
         };
         (stats, receivers)
     }
@@ -1243,6 +1460,9 @@ mod tests {
         fn combine(&self, into: &mut u32, from: u32) {
             *into = (*into).min(from);
         }
+        fn combine_commutative(&self) -> bool {
+            true
+        }
     }
 
     fn path(n: usize) -> Graph {
@@ -1281,15 +1501,12 @@ mod tests {
         let (s1, t1) = run(true);
         let (s2, t2) = run(false);
         assert_eq!(s1, s2);
-        // apply_ns is wall-clock and legitimately varies; everything else
-        // must be bit-identical.
-        let strip = |t: &RunTrace| -> Vec<IterationStats> {
-            t.iterations
-                .iter()
-                .map(|it| IterationStats { apply_ns: 0, ..*it })
-                .collect()
-        };
-        assert_eq!(strip(&t1), strip(&t2));
+        // Wall-clock fields legitimately vary; everything else must be
+        // bit-identical.
+        assert_eq!(
+            t1.without_wall_clock().iterations,
+            t2.without_wall_clock().iterations
+        );
     }
 
     #[test]
@@ -1305,10 +1522,7 @@ mod tests {
             SyncEngine::new(&g, MinLabel, states.clone(), vec![(); 199]).run(&cfg)
         };
         let strip = |t: &RunTrace| -> Vec<IterationStats> {
-            t.iterations
-                .iter()
-                .map(|it| IterationStats { apply_ns: 0, ..*it })
-                .collect()
+            t.iterations.iter().map(IterationStats::normalized).collect()
         };
         let (s_adaptive, t_adaptive) = run(FrontierMode::Adaptive);
         let (s_dense, t_dense) = run(FrontierMode::Dense);
@@ -1326,6 +1540,146 @@ mod tests {
             .iterations
             .iter()
             .any(|it| it.frontier_density >= SPARSE_FRONTIER_THRESHOLD));
+    }
+
+    #[test]
+    fn direction_modes_agree_bitwise() {
+        // Reversed labels on a path: the frontier starts dense (everyone
+        // active) and decays toward a handful of vertices, so the auto run
+        // crosses the pull/push cost boundary mid-run. All three modes must
+        // produce identical states and normalized traces.
+        let g = path(300);
+        let states: Vec<u32> = (0..300).rev().collect();
+        let run = |dir: DirectionMode| {
+            let cfg = ExecutionConfig::default().with_direction(dir);
+            SyncEngine::new(&g, MinLabel, states.clone(), vec![(); 299]).run(&cfg)
+        };
+        let (s_auto, t_auto) = run(DirectionMode::Auto);
+        let (s_push, t_push) = run(DirectionMode::Push);
+        let (s_pull, t_pull) = run(DirectionMode::Pull);
+        assert_eq!(s_auto, s_push);
+        assert_eq!(s_auto, s_pull);
+        assert_eq!(t_auto.without_wall_clock(), t_push.without_wall_clock());
+        assert_eq!(t_auto.without_wall_clock(), t_pull.without_wall_clock());
+        // Forced runs record their direction and traversal side faithfully.
+        // Iteration 0 is fully dense: push walks the frontier's 598 out
+        // slots, pull walks all 598 in slots.
+        assert!(t_push
+            .iterations
+            .iter()
+            .all(|it| it.direction == DirectionChoice::Push));
+        assert!(t_pull
+            .iterations
+            .iter()
+            .all(|it| it.direction == DirectionChoice::Pull));
+        assert_eq!(t_push.iterations[0].push_edge_traversals, 598);
+        assert_eq!(t_push.iterations[0].pull_edge_traversals, 0);
+        assert_eq!(t_pull.iterations[0].pull_edge_traversals, 598);
+        assert_eq!(t_pull.iterations[0].push_edge_traversals, 0);
+        // The auto run actually exercised both paths.
+        assert!(t_auto
+            .iterations
+            .iter()
+            .any(|it| it.direction == DirectionChoice::Pull));
+        assert!(t_auto
+            .iterations
+            .iter()
+            .any(|it| it.direction == DirectionChoice::Push));
+    }
+
+    #[test]
+    fn direction_sequential_matches_parallel_on_pull() {
+        let g = path(200);
+        let states: Vec<u32> = (0..200).rev().collect();
+        let run = |seq: bool| {
+            let mut cfg = ExecutionConfig::default().with_direction(DirectionMode::Pull);
+            cfg.sequential = seq;
+            SyncEngine::new(&g, MinLabel, states.clone(), vec![(); 199]).run(&cfg)
+        };
+        let (s1, t1) = run(true);
+        let (s2, t2) = run(false);
+        assert_eq!(s1, s2);
+        assert_eq!(t1.without_wall_clock(), t2.without_wall_clock());
+    }
+
+    /// MinLabel that withholds the commutative-combine declaration (the
+    /// conservative default): `Auto` must never take the pull path for it.
+    struct CoyMinLabel;
+
+    impl VertexProgram for CoyMinLabel {
+        type State = u32;
+        type EdgeData = ();
+        type Accum = u32;
+        type Message = u32;
+        type Global = NoGlobal;
+
+        fn gather_edges(&self) -> EdgeSet {
+            EdgeSet::None
+        }
+        fn scatter_edges(&self) -> EdgeSet {
+            EdgeSet::Out
+        }
+        fn apply(
+            &self,
+            v: VertexId,
+            state: &mut u32,
+            acc: Option<u32>,
+            msg: Option<&u32>,
+            g: &NoGlobal,
+            info: &mut ApplyInfo,
+        ) {
+            MinLabel.apply(v, state, acc, msg, g, info)
+        }
+        fn scatter(
+            &self,
+            graph: &Graph,
+            v: VertexId,
+            e: graphmine_graph::EdgeId,
+            nbr: VertexId,
+            state: &u32,
+            nbr_state: &u32,
+            edge: &(),
+            g: &NoGlobal,
+        ) -> Option<u32> {
+            MinLabel.scatter(graph, v, e, nbr, state, nbr_state, edge, g)
+        }
+        fn combine(&self, into: &mut u32, from: u32) {
+            MinLabel.combine(into, from)
+        }
+    }
+
+    #[test]
+    fn auto_respects_the_commutative_gate() {
+        // Dense frontier, so the cost model alone would choose pull; the
+        // missing capability declaration must keep the run on push.
+        let g = path(300);
+        let states: Vec<u32> = (0..300).rev().collect();
+        let engine = SyncEngine::new(&g, CoyMinLabel, states.clone(), vec![(); 299]);
+        let (finals, trace) = engine.run(&ExecutionConfig::default());
+        assert!(trace
+            .iterations
+            .iter()
+            .all(|it| it.direction == DirectionChoice::Push));
+        // And the declared program agrees with the undeclared one exactly.
+        let (declared, _) =
+            SyncEngine::new(&g, MinLabel, states, vec![(); 299]).run(&ExecutionConfig::default());
+        assert_eq!(finals, declared);
+    }
+
+    #[test]
+    fn forced_pull_without_out_scatter_stays_on_push() {
+        // NeighborAvg never scatters, so there is nothing to pull; the
+        // forced mode must fall back to the push path untouched.
+        let g = path(4);
+        let cfg = ExecutionConfig::default().with_direction(DirectionMode::Pull);
+        let engine = SyncEngine::new(&g, NeighborAvg, vec![0.0, 1.0, 2.0, 3.0], vec![(); 3]);
+        let (_, trace) = engine.run(&cfg);
+        assert_eq!(trace.num_iterations(), 5);
+        for it in &trace.iterations {
+            assert_eq!(it.direction, DirectionChoice::Push);
+            assert_eq!(it.pull_edge_traversals, 0);
+            assert_eq!(it.push_edge_traversals, 0);
+        }
     }
 
     #[test]

@@ -2,6 +2,21 @@
 
 use serde::{Deserialize, Serialize};
 
+/// The physical strategy that executed an iteration's scatter/exchange:
+/// `Push` walks the out-edges of active vertices; `Pull` walks the
+/// in-edges of destination vertices. Both deliver the identical logical
+/// message stream (same combine order), so the choice is an execution
+/// detail — recorded for performance analysis, projected away by
+/// [`IterationStats::normalized`] for parity comparisons.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DirectionChoice {
+    /// Active vertices scattered along out-edges into the inbox.
+    #[default]
+    Push,
+    /// Destination vertices gathered messages over their in-edges.
+    Pull,
+}
+
 /// Counters recorded for one synchronous GAS iteration.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct IterationStats {
@@ -30,6 +45,76 @@ pub struct IterationStats {
     /// the graph size. Identical across executors and frontier modes.
     #[serde(default)]
     pub frontier_density: f64,
+    /// Wall-clock nanoseconds in the gather phase (scheduling + user
+    /// gather/merge calls). Non-deterministic, like `apply_ns`.
+    #[serde(default)]
+    pub gather_ns: u64,
+    /// Wall-clock nanoseconds in the scatter + exchange phase.
+    /// Non-deterministic, like `apply_ns`.
+    #[serde(default)]
+    pub scatter_ns: u64,
+    /// Which direction executed this iteration's scatter/exchange. An
+    /// execution-strategy field: differs between forced directions,
+    /// projected away by [`IterationStats::normalized`].
+    #[serde(default)]
+    pub direction: DirectionChoice,
+    /// Out-edge slots walked by the push scatter path this iteration.
+    /// Execution-strategy field (see `direction`).
+    #[serde(default)]
+    pub push_edge_traversals: u64,
+    /// In-edge slots walked by the pull scatter path this iteration.
+    /// Execution-strategy field (see `direction`).
+    #[serde(default)]
+    pub pull_edge_traversals: u64,
+}
+
+impl IterationStats {
+    /// The deterministic projection of these counters: every wall-clock
+    /// field (`*_ns`) is zeroed and every execution-strategy field
+    /// (`direction`, `push_edge_traversals`, `pull_edge_traversals`) is
+    /// reset to its default, leaving exactly the logical behavior counters
+    /// that must be bit-identical across thread counts, frontier modes,
+    /// scatter directions, and checkpoint/resume boundaries.
+    ///
+    /// The body destructures the struct exhaustively *without* `..` on
+    /// purpose: adding a field to [`IterationStats`] without classifying it
+    /// here (kept, zeroed, or defaulted) is a compile error, so a new
+    /// timing or strategy counter can never silently leak into bitwise
+    /// parity comparisons.
+    pub fn normalized(&self) -> IterationStats {
+        let IterationStats {
+            active,
+            updates,
+            edge_reads,
+            messages,
+            apply_ns: _,
+            apply_ops,
+            remote_edge_reads,
+            remote_messages,
+            frontier_density,
+            gather_ns: _,
+            scatter_ns: _,
+            direction: _,
+            push_edge_traversals: _,
+            pull_edge_traversals: _,
+        } = *self;
+        IterationStats {
+            active,
+            updates,
+            edge_reads,
+            messages,
+            apply_ns: 0,
+            apply_ops,
+            remote_edge_reads,
+            remote_messages,
+            frontier_density,
+            gather_ns: 0,
+            scatter_ns: 0,
+            direction: DirectionChoice::default(),
+            push_edge_traversals: 0,
+            pull_edge_traversals: 0,
+        }
+    }
 }
 
 /// The complete record of one graph-computation run.
@@ -123,19 +208,18 @@ impl RunTrace {
             .count()
     }
 
-    /// A copy with every wall-clock counter (`apply_ns`) zeroed. All other
-    /// counters are deterministic, so two runs of the same computation —
-    /// including a checkpoint-resumed continuation versus the uninterrupted
-    /// run — must compare equal under this projection.
+    /// A copy with every wall-clock counter (`apply_ns`, `gather_ns`,
+    /// `scatter_ns`) zeroed and every execution-strategy field reset (see
+    /// [`IterationStats::normalized`]). All remaining counters are
+    /// deterministic, so two runs of the same computation — across thread
+    /// counts, frontier modes, forced scatter directions, or a
+    /// checkpoint-resumed continuation versus the uninterrupted run — must
+    /// compare equal under this projection.
     pub fn without_wall_clock(&self) -> RunTrace {
         RunTrace {
             num_vertices: self.num_vertices,
             num_edges: self.num_edges,
-            iterations: self
-                .iterations
-                .iter()
-                .map(|it| IterationStats { apply_ns: 0, ..*it })
-                .collect(),
+            iterations: self.iterations.iter().map(IterationStats::normalized).collect(),
             converged: self.converged,
         }
     }
@@ -164,6 +248,11 @@ mod tests {
             remote_edge_reads: 0,
             remote_messages: 0,
             frontier_density: active as f64 / 10.0,
+            gather_ns: ops * 3,
+            scatter_ns: ops * 5,
+            direction: DirectionChoice::Push,
+            push_edge_traversals: msgs,
+            pull_edge_traversals: 0,
         }
     }
 
@@ -211,6 +300,65 @@ mod tests {
         let it: IterationStats = serde_json::from_str(json).unwrap();
         assert_eq!(it.frontier_density, 0.0);
         assert_eq!(it.remote_messages, 0);
+        // Pre-direction traces likewise default the phase timings and the
+        // execution-strategy fields.
+        assert_eq!(it.gather_ns, 0);
+        assert_eq!(it.scatter_ns, 0);
+        assert_eq!(it.direction, DirectionChoice::Push);
+        assert_eq!(it.push_edge_traversals, 0);
+        assert_eq!(it.pull_edge_traversals, 0);
+    }
+
+    /// Reflection guard for the wall-clock contract: serialize a fully
+    /// populated sample through [`IterationStats::normalized`] and check
+    /// every `*_ns` JSON key landed on zero. A new timing field that is
+    /// added to the struct but not classified in `normalized` fails to
+    /// compile (exhaustive destructure); one that is classified as "kept"
+    /// by mistake fails here.
+    #[test]
+    fn normalized_zeroes_every_timing_field() {
+        let it = stats(10, 10, 40, 15, 100);
+        let raw = serde_json::to_value(it).unwrap();
+        let timing_keys: Vec<String> = raw
+            .as_object()
+            .unwrap()
+            .keys()
+            .filter(|k| k.ends_with("_ns"))
+            .cloned()
+            .collect();
+        assert!(
+            timing_keys.len() >= 3,
+            "expected apply/gather/scatter timings, found {timing_keys:?}"
+        );
+        // The sample must exercise the guard: every timing field nonzero
+        // before normalization.
+        for key in &timing_keys {
+            assert_ne!(raw[key].as_u64(), Some(0), "sample leaves {key} zero");
+        }
+        let projected = serde_json::to_value(it.normalized()).unwrap();
+        for key in &timing_keys {
+            assert_eq!(
+                projected[key].as_u64(),
+                Some(0),
+                "normalized() left wall-clock field {key} nonzero"
+            );
+        }
+    }
+
+    #[test]
+    fn normalized_erases_execution_strategy() {
+        let mut push = stats(10, 10, 40, 15, 100);
+        push.direction = DirectionChoice::Push;
+        push.push_edge_traversals = 15;
+        push.pull_edge_traversals = 0;
+        let mut pull = stats(10, 10, 40, 15, 100);
+        pull.direction = DirectionChoice::Pull;
+        pull.push_edge_traversals = 0;
+        pull.pull_edge_traversals = 40;
+        // Same logical iteration executed by opposite strategies must be
+        // indistinguishable after projection.
+        assert_ne!(push, pull);
+        assert_eq!(push.normalized(), pull.normalized());
     }
 
     #[test]

@@ -5,8 +5,8 @@
 //! checkpoint-write site must degrade durability, never correctness.
 
 use graphmine_engine::{
-    read_checkpoint, ActiveInit, ApplyInfo, CheckpointPolicy, CheckpointStats, EdgeSet,
-    ExecutionConfig, FaultKind, FaultPlan, FaultSite, NoGlobal, SyncEngine, VertexProgram,
+    read_checkpoint, ActiveInit, ApplyInfo, CheckpointPolicy, CheckpointStats, DirectionMode,
+    EdgeSet, ExecutionConfig, FaultKind, FaultPlan, FaultSite, NoGlobal, SyncEngine, VertexProgram,
 };
 use graphmine_gen::{powerlaw_graph, PowerLawConfig};
 use graphmine_graph::{EdgeId, Graph, VertexId};
@@ -75,6 +75,11 @@ impl VertexProgram for SelfCancelMinLabel {
     }
     fn combine(&self, into: &mut u32, from: u32) {
         *into = (*into).min(from);
+    }
+    /// Integer minimum is order-insensitive, so the pull path is safe and
+    /// `Auto` may pick it — which the direction/resume test relies on.
+    fn combine_commutative(&self) -> bool {
+        true
     }
 }
 
@@ -155,6 +160,72 @@ fn resumed_run_is_bitwise_equal_to_uninterrupted() {
         assert!(
             !path.exists(),
             "completed run must delete its checkpoint (stop_at={stop_at})"
+        );
+    }
+}
+
+#[test]
+fn resume_is_bitwise_exact_under_every_direction_mode() {
+    // Direction selection is stateless — a function of the frontier's
+    // summed out-degree, the graph, and the config — so a resumed run must
+    // re-derive the exact same push/pull choices the uninterrupted run
+    // made, and the checkpoint format needs no direction field. Pin that
+    // for all three modes, including `Auto`, whose per-iteration choice
+    // flips as the min-label frontier collapses.
+    let g = test_graph();
+
+    for dir in [DirectionMode::Push, DirectionMode::Pull, DirectionMode::Auto] {
+        let config = ExecutionConfig::with_max_iterations(100).with_direction(dir);
+        let (ref_states, ref_trace) =
+            engine(&g, None, Arc::new(AtomicBool::new(false))).run_resumable(&config);
+        assert!(ref_trace.converged, "{dir:?}");
+        assert!(
+            ref_trace.num_iterations() >= 4,
+            "{dir:?}: converged too fast to interrupt"
+        );
+
+        let stop_at = 2usize;
+        let dir_tag = format!("direction-{dir:?}");
+        let ckpt = ckpt_dir(&dir_tag);
+        let policy = CheckpointPolicy::new(1, &ckpt, dir_tag.clone());
+        let path = policy.path();
+        let _ = std::fs::remove_file(&path);
+
+        let cancel = Arc::new(AtomicBool::new(false));
+        let interrupted_cfg = ExecutionConfig::with_max_iterations(100)
+            .with_direction(dir)
+            .with_cancel_flag(Arc::clone(&cancel))
+            .with_checkpoint(policy.clone());
+        let (_, interrupted_trace) =
+            engine(&g, Some(stop_at), Arc::clone(&cancel)).run_resumable(&interrupted_cfg);
+        assert!(!interrupted_trace.converged, "{dir:?}");
+        assert!(path.exists(), "{dir:?}: cancelled run must keep checkpoint");
+
+        let resume_cfg = ExecutionConfig::with_max_iterations(100)
+            .with_direction(dir)
+            .with_checkpoint(policy);
+        let (resumed_states, resumed_trace) =
+            engine(&g, None, Arc::new(AtomicBool::new(false))).run_resumable(&resume_cfg);
+        assert_eq!(resumed_states, ref_states, "{dir:?}");
+        assert_eq!(
+            resumed_trace.without_wall_clock(),
+            ref_trace.without_wall_clock(),
+            "{dir:?}"
+        );
+        // The resumed tail must have re-chosen the same directions, not
+        // merely the same counters.
+        assert_eq!(
+            resumed_trace
+                .iterations
+                .iter()
+                .map(|it| it.direction)
+                .collect::<Vec<_>>(),
+            ref_trace
+                .iterations
+                .iter()
+                .map(|it| it.direction)
+                .collect::<Vec<_>>(),
+            "{dir:?}: direction choices diverged across resume"
         );
     }
 }

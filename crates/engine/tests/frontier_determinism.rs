@@ -12,8 +12,8 @@
 //! (timing aside) bit-identical traces.
 
 use graphmine_engine::{
-    ActiveInit, ApplyInfo, EdgeSet, ExecutionConfig, FrontierMode, IterationStats, NoGlobal,
-    RunTrace, SyncEngine, VertexProgram, SPARSE_FRONTIER_THRESHOLD,
+    ActiveInit, ApplyInfo, DirectionMode, EdgeSet, ExecutionConfig, FrontierMode, IterationStats,
+    NoGlobal, RunTrace, SyncEngine, VertexProgram, SPARSE_FRONTIER_THRESHOLD,
 };
 use graphmine_gen::{powerlaw_graph, PowerLawConfig};
 use graphmine_graph::{EdgeId, Graph, VertexId};
@@ -139,10 +139,7 @@ impl VertexProgram for Diffuse {
 }
 
 fn strip(t: &RunTrace) -> Vec<IterationStats> {
-    t.iterations
-        .iter()
-        .map(|it| IterationStats { apply_ns: 0, ..*it })
-        .collect()
+    t.iterations.iter().map(IterationStats::normalized).collect()
 }
 
 fn graph() -> Graph {
@@ -181,6 +178,58 @@ fn pushrank_bit_identical_across_thread_counts() {
             "{threads}-thread pool diverged from sequential"
         );
         assert_eq!(strip(&trace), strip(&ref_trace), "{threads}-thread trace");
+    }
+}
+
+#[test]
+fn pushrank_forced_push_bit_identical_across_thread_counts() {
+    // The direction refactor must leave the push exchange's float combine
+    // order untouched: forced-Push runs under pools of 1/2/8 threads stay
+    // bit-identical to the sequential push run.
+    let g = graph();
+    let n = g.num_vertices();
+    let init = vec![1.0f64; n];
+    let run = |cfg: ExecutionConfig| {
+        let edge_data = vec![(); g.num_edges()];
+        SyncEngine::new(&g, PushRank, init.clone(), edge_data)
+            .run(&cfg.with_direction(DirectionMode::Push))
+    };
+    let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+
+    let (ref_states, ref_trace) = run(ExecutionConfig::default().sequential());
+    for threads in [1, 2, 8] {
+        let (states, trace) = run_in_pool(threads, || run(ExecutionConfig::default()));
+        assert_eq!(
+            bits(&states),
+            bits(&ref_states),
+            "{threads}-thread forced-push diverged from sequential"
+        );
+        assert_eq!(strip(&trace), strip(&ref_trace), "{threads}-thread trace");
+    }
+
+    // And forced-Pull, whose per-destination combine order is the in-row
+    // order, must reproduce the push run's float sums bit-for-bit on this
+    // deduplicated build (sorted rows make the two orders equal) — across
+    // the same pool sizes.
+    let pull = |threads: usize| {
+        run_in_pool(threads, || {
+            let edge_data = vec![(); g.num_edges()];
+            SyncEngine::new(&g, PushRank, init.clone(), edge_data)
+                .run(&ExecutionConfig::default().with_direction(DirectionMode::Pull))
+        })
+    };
+    for threads in [1, 2, 8] {
+        let (states, trace) = pull(threads);
+        assert_eq!(
+            bits(&states),
+            bits(&ref_states),
+            "{threads}-thread forced-pull diverged from push"
+        );
+        assert_eq!(
+            strip(&trace),
+            strip(&ref_trace),
+            "{threads}-thread forced-pull trace"
+        );
     }
 }
 

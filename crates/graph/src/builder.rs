@@ -14,6 +14,7 @@ pub struct GraphBuilder {
     num_vertices: usize,
     edges: Vec<(VertexId, VertexId)>,
     dedup: bool,
+    reorder: bool,
 }
 
 impl GraphBuilder {
@@ -24,6 +25,7 @@ impl GraphBuilder {
             num_vertices,
             edges: Vec::new(),
             dedup: true,
+            reorder: false,
         }
     }
 
@@ -34,12 +36,25 @@ impl GraphBuilder {
             num_vertices,
             edges: Vec::new(),
             dedup: true,
+            reorder: false,
         }
     }
 
     /// Keep duplicate edges instead of deduplicating (multigraph).
     pub fn allow_parallel_edges(mut self) -> GraphBuilder {
         self.dedup = false;
+        self
+    }
+
+    /// Renumber vertices in stable degree-descending order at build time:
+    /// high-degree hubs get the lowest ids, so the rows that dominate
+    /// traversal work pack into the same leading CSR pages and chunk
+    /// scheduling sees its heavy rows first. Ties break by original id
+    /// (stable), the permutation is recorded on the built graph
+    /// ([`Graph::vertex_remap`] / [`Graph::vertex_inverse`]), and isolated
+    /// vertices keep their relative order at the tail.
+    pub fn reorder_by_degree(mut self) -> GraphBuilder {
+        self.reorder = true;
         self
     }
 
@@ -83,24 +98,56 @@ impl GraphBuilder {
         self.num_vertices
     }
 
+    /// Canonicalize (undirected), sort, and deduplicate the staged edges in
+    /// place. Sorting by `(src, dst)` is what makes every CSR row come out
+    /// ascending: the counting sort in `Adjacency::from_triples` is stable,
+    /// so rows inherit the edge list's order.
+    fn normalize_edges(&mut self) {
+        if !self.directed {
+            for e in &mut self.edges {
+                if e.0 > e.1 {
+                    *e = (e.1, e.0);
+                }
+            }
+        }
+        self.edges.sort_unstable();
+        self.edges.dedup();
+    }
+
     /// Finalize into an immutable CSR [`Graph`].
     pub fn build(mut self) -> Graph {
         if self.dedup {
-            if self.directed {
-                self.edges.sort_unstable();
-            } else {
-                // Canonicalize endpoint order for dedup only; the stored
-                // edge keeps its original orientation is not required for
-                // undirected graphs, so normalized order is fine.
-                for e in &mut self.edges {
-                    if e.0 > e.1 {
-                        *e = (e.1, e.0);
-                    }
-                }
-                self.edges.sort_unstable();
-            }
-            self.edges.dedup();
+            self.normalize_edges();
         }
+        let (remap, inverse) = if self.reorder {
+            // Stable degree-descending permutation over the (possibly
+            // deduplicated) edge multiset; remap endpoints, then restore
+            // the canonical sorted order under the new numbering so the
+            // sorted-rows guarantee survives the permutation.
+            let mut degree = vec![0u64; self.num_vertices];
+            for &(s, d) in &self.edges {
+                degree[s as usize] += 1;
+                degree[d as usize] += 1;
+            }
+            let mut order: Vec<VertexId> = (0..self.num_vertices as VertexId).collect();
+            order.sort_by_key(|&v| (std::cmp::Reverse(degree[v as usize]), v));
+            let mut remap = vec![0 as VertexId; self.num_vertices];
+            for (new, &old) in order.iter().enumerate() {
+                remap[old as usize] = new as VertexId;
+            }
+            for e in &mut self.edges {
+                *e = (remap[e.0 as usize], remap[e.1 as usize]);
+            }
+            if self.dedup {
+                self.normalize_edges();
+            }
+            (
+                Some(remap.into_boxed_slice()),
+                Some(order.into_boxed_slice()),
+            )
+        } else {
+            (None, None)
+        };
         let n = self.num_vertices;
         let edge_list = self.edges.into_boxed_slice();
         let (out, in_) = if self.directed {
@@ -125,9 +172,32 @@ impl GraphBuilder {
             edge_list,
             out,
             in_,
+            sorted_rows: self.dedup,
+            remap,
+            inverse,
         };
         debug_assert!(g.validate().is_ok(), "{:?}", g.validate());
         g
+    }
+}
+
+impl Graph {
+    /// A copy of this graph renumbered in stable degree-descending order
+    /// (see [`GraphBuilder::reorder_by_degree`]). Edge ids are re-assigned
+    /// by the rebuild; map per-edge payloads across by endpoint pair via
+    /// [`Graph::vertex_remap`].
+    pub fn reordered_by_degree(&self) -> Graph {
+        let mut b = if self.directed {
+            GraphBuilder::directed(self.num_vertices)
+        } else {
+            GraphBuilder::undirected(self.num_vertices)
+        };
+        if !self.sorted_rows {
+            b = b.allow_parallel_edges();
+        }
+        b = b.with_edge_capacity(self.num_edges()).reorder_by_degree();
+        b.extend_edges(self.edge_list.iter().copied());
+        b.build()
     }
 }
 
@@ -233,5 +303,73 @@ mod tests {
         assert_eq!(g.degree(0), 1);
         assert_eq!(g.degree(1), 1);
         assert!(g.validate().is_ok());
+    }
+
+    /// A star with an attached path: vertex 3 is the hub.
+    fn star_with_tail() -> GraphBuilder {
+        let mut b = GraphBuilder::undirected(6);
+        b.extend_edges([(3, 0), (3, 1), (3, 2), (3, 4), (4, 5)]);
+        b
+    }
+
+    #[test]
+    fn reorder_puts_hubs_first_and_records_the_permutation() {
+        let g = star_with_tail().reorder_by_degree().build();
+        assert!(g.validate().is_ok());
+        assert!(g.has_sorted_rows());
+        let remap = g.vertex_remap().expect("permutation recorded");
+        let inverse = g.vertex_inverse().expect("inverse recorded");
+        // The hub (old 3, degree 4) becomes vertex 0; old 4 (degree 2)
+        // becomes vertex 1; degree-1 vertices keep their relative order.
+        assert_eq!(remap[3], 0);
+        assert_eq!(remap[4], 1);
+        assert_eq!(remap[0], 2);
+        assert_eq!(remap[1], 3);
+        for (old, &new) in remap.iter().enumerate() {
+            assert_eq!(inverse[new as usize] as usize, old);
+        }
+        // Degrees are non-increasing over the new numbering.
+        let degs: Vec<usize> = g.vertices().map(|v| g.degree(v)).collect();
+        assert!(degs.windows(2).all(|w| w[0] >= w[1]), "degrees {degs:?}");
+    }
+
+    #[test]
+    fn reorder_preserves_the_edge_multiset_under_the_permutation() {
+        let plain = star_with_tail().build();
+        let reordered = star_with_tail().reorder_by_degree().build();
+        let remap = reordered.vertex_remap().unwrap();
+        let canon = |s: VertexId, d: VertexId| if s < d { (s, d) } else { (d, s) };
+        let mut expected: Vec<_> = plain
+            .edge_list()
+            .iter()
+            .map(|&(s, d)| canon(remap[s as usize], remap[d as usize]))
+            .collect();
+        expected.sort_unstable();
+        let mut actual: Vec<_> = reordered
+            .edge_list()
+            .iter()
+            .map(|&(s, d)| canon(s, d))
+            .collect();
+        actual.sort_unstable();
+        assert_eq!(actual, expected);
+        // Per-vertex degrees carry across the renumbering.
+        for v in plain.vertices() {
+            assert_eq!(plain.degree(v), reordered.degree(remap[v as usize]));
+        }
+    }
+
+    #[test]
+    fn reordered_by_degree_on_a_built_graph_matches_builder_flag() {
+        let via_flag = star_with_tail().reorder_by_degree().build();
+        let via_method = star_with_tail().build().reordered_by_degree();
+        assert_eq!(via_flag.edge_list(), via_method.edge_list());
+        assert_eq!(via_flag.vertex_remap(), via_method.vertex_remap());
+        assert!(via_method.has_sorted_rows());
+    }
+
+    #[test]
+    fn reorder_without_edges_is_identity() {
+        let g = GraphBuilder::undirected(4).reorder_by_degree().build();
+        assert_eq!(g.vertex_remap().unwrap(), &[0, 1, 2, 3]);
     }
 }

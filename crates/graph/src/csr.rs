@@ -99,6 +99,21 @@ pub struct Graph {
     pub(crate) out: Adjacency,
     /// `None` for undirected graphs, where `in == out`.
     pub(crate) in_: Option<Adjacency>,
+    /// Whether every adjacency row lists its neighbors in ascending vertex
+    /// order — true for deduplicating builds, where the sorted edge list
+    /// plus the stable CSR counting sort yields sorted rows in both
+    /// directions. Defaults to `false` when deserializing pre-flag graphs:
+    /// conservatively safe, consumers only use `true` as a fast-path
+    /// license.
+    #[serde(default)]
+    pub(crate) sorted_rows: bool,
+    /// Degree-reordered graphs record the permutation applied at build
+    /// time: `remap[old] = new` vertex id.
+    #[serde(default)]
+    pub(crate) remap: Option<Box<[VertexId]>>,
+    /// Inverse of `remap`: `inverse[new] = old` vertex id.
+    #[serde(default)]
+    pub(crate) inverse: Option<Box<[VertexId]>>,
 }
 
 impl Graph {
@@ -215,6 +230,46 @@ impl Graph {
     /// gather over every vertex" count.
     pub fn total_out_slots(&self) -> u64 {
         self.out.offsets[self.num_vertices]
+    }
+
+    /// Sum of in-degrees (equals [`Graph::total_out_slots`] for undirected
+    /// graphs): the cost of one full pull sweep over every destination row.
+    pub fn total_in_slots(&self) -> u64 {
+        self.adj(Direction::In).offsets[self.num_vertices]
+    }
+
+    /// The CSR prefix-degree index for `dir`: `prefix[v]` is the number of
+    /// `dir` edge slots of all vertices `< v`, so `prefix[v + 1] -
+    /// prefix[v]` is `v`'s degree and any contiguous vertex range's summed
+    /// degree is one subtraction. This is the adjacency offset array
+    /// itself — no allocation, always current.
+    #[inline]
+    pub fn degree_prefix(&self, dir: Direction) -> &[u64] {
+        &self.adj(dir).offsets
+    }
+
+    /// Whether every adjacency row lists neighbors in ascending vertex
+    /// order (deduplicating builds). When true, a pull-style walk of a
+    /// destination's in-row folds messages in exactly the engine's push
+    /// combine order (ascending source), making the two directions
+    /// bit-interchangeable.
+    #[inline]
+    pub fn has_sorted_rows(&self) -> bool {
+        self.sorted_rows
+    }
+
+    /// The degree-descending build permutation, as `remap[old] = new`.
+    /// `None` unless the graph was built with
+    /// [`crate::GraphBuilder::reorder_by_degree`].
+    #[inline]
+    pub fn vertex_remap(&self) -> Option<&[VertexId]> {
+        self.remap.as_deref()
+    }
+
+    /// Inverse of [`Graph::vertex_remap`]: `inverse[new] = old`.
+    #[inline]
+    pub fn vertex_inverse(&self) -> Option<&[VertexId]> {
+        self.inverse.as_deref()
     }
 
     /// Verify internal invariants; used by tests and debug assertions.
@@ -367,5 +422,78 @@ mod tests {
             assert_eq!(g.degree(v), 0);
             assert!(g.neighbors(v, Direction::Out).next().is_none());
         }
+    }
+
+    #[test]
+    fn degree_prefix_sums_ranges() {
+        let g = GraphBuilder::directed(4)
+            .edge(0, 1)
+            .edge(0, 2)
+            .edge(1, 2)
+            .edge(3, 0)
+            .build();
+        for dir in [Direction::Out, Direction::In] {
+            let prefix = g.degree_prefix(dir);
+            assert_eq!(prefix.len(), g.num_vertices() + 1);
+            assert_eq!(prefix[0], 0);
+            for v in g.vertices() {
+                assert_eq!(
+                    (prefix[v as usize + 1] - prefix[v as usize]) as usize,
+                    g.degree_dir(v, dir)
+                );
+            }
+        }
+        assert_eq!(g.total_out_slots(), 4);
+        assert_eq!(g.total_in_slots(), 4);
+    }
+
+    #[test]
+    fn undirected_in_slots_equal_out_slots() {
+        let g = GraphBuilder::undirected(3).edge(0, 1).edge(1, 2).build();
+        assert_eq!(g.total_in_slots(), g.total_out_slots());
+        assert_eq!(g.degree_prefix(Direction::In), g.degree_prefix(Direction::Out));
+    }
+
+    #[test]
+    fn dedup_builds_have_sorted_rows() {
+        // Directed and undirected deduplicating builds both guarantee
+        // ascending adjacency rows in both directions — the license for
+        // pull-order/push-order interchangeability.
+        let dg = GraphBuilder::directed(5)
+            .edge(4, 1)
+            .edge(0, 1)
+            .edge(2, 1)
+            .edge(1, 3)
+            .build();
+        let ug = GraphBuilder::undirected(5)
+            .edge(3, 0)
+            .edge(0, 1)
+            .edge(4, 0)
+            .edge(2, 0)
+            .build();
+        for g in [&dg, &ug] {
+            assert!(g.has_sorted_rows());
+            for dir in [Direction::Out, Direction::In] {
+                for v in g.vertices() {
+                    let row = g.neighbor_slice(v, dir);
+                    assert!(
+                        row.windows(2).all(|w| w[0] < w[1]),
+                        "row of {v} not ascending: {row:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_edge_builds_do_not_claim_sorted_rows() {
+        let g = GraphBuilder::directed(3)
+            .allow_parallel_edges()
+            .edge(0, 2)
+            .edge(0, 1)
+            .edge(0, 2)
+            .build();
+        assert!(!g.has_sorted_rows());
+        assert!(g.vertex_remap().is_none());
     }
 }

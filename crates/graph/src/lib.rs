@@ -42,8 +42,8 @@ pub use csr::{Direction, EdgeId, Graph, VertexId};
 pub use degree::{estimate_powerlaw_alpha, DegreeHistogram, DegreeStats};
 pub use edgelist::{parse_edge_list, write_edge_list, EdgeListError};
 pub use partition::{
-    edge_cut_fraction, greedy_ldg_partition, hash_partition, partition_load_imbalance,
-    range_partition, VertexRange,
+    chunk_edge_spans, edge_cut_fraction, greedy_ldg_partition, hash_partition,
+    partition_load_imbalance, range_partition, VertexRange,
 };
 pub use properties::{
     bfs_distances, connected_components_count, is_connected, union_find_components,

@@ -69,6 +69,28 @@ pub fn partition_by_degree(g: &Graph, chunks: usize) -> Vec<VertexRange> {
     ranges
 }
 
+/// Per-chunk edge-offset spans: `spans[ci]` is the number of `dir`-adjacency
+/// slots owned by the vertices of chunk `ci`, where chunks are the fixed
+/// `chunk_size`-vertex ranges the engine parallelizes over.
+///
+/// Each span is one prefix-array subtraction, so building the whole vector is
+/// O(num_chunks) and the direction-optimizing cost model can skip empty
+/// chunks (and size full ones) without touching per-vertex degrees.
+pub fn chunk_edge_spans(g: &Graph, dir: Direction, chunk_size: usize) -> Vec<u64> {
+    let n = g.num_vertices();
+    if n == 0 || chunk_size == 0 {
+        return Vec::new();
+    }
+    let prefix = g.degree_prefix(dir);
+    (0..n)
+        .step_by(chunk_size)
+        .map(|start| {
+            let end = (start + chunk_size).min(n);
+            prefix[end] - prefix[start]
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -133,6 +155,26 @@ mod tests {
         assert_eq!(parts.len(), 1);
         assert_eq!(parts[0], VertexRange { start: 0, end: 10 });
         assert_eq!(parts[0].iter().count(), 10);
+    }
+
+    #[test]
+    fn chunk_edge_spans_sum_to_total_slots() {
+        let g = chain(100);
+        for cs in [1, 7, 64, 100, 1000] {
+            let spans = chunk_edge_spans(&g, Direction::Out, cs);
+            assert_eq!(spans.len(), 100usize.div_ceil(cs));
+            assert_eq!(spans.iter().sum::<u64>(), g.total_out_slots());
+            // Each span equals the brute-force degree sum of its chunk.
+            for (ci, &span) in spans.iter().enumerate() {
+                let brute: u64 = (ci * cs..((ci + 1) * cs).min(100))
+                    .map(|v| g.degree_dir(v as VertexId, Direction::Out) as u64)
+                    .sum();
+                assert_eq!(span, brute);
+            }
+        }
+        assert!(chunk_edge_spans(&g, Direction::Out, 0).is_empty());
+        let empty = GraphBuilder::undirected(0).build();
+        assert!(chunk_edge_spans(&empty, Direction::In, 8).is_empty());
     }
 }
 

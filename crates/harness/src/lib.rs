@@ -29,4 +29,4 @@ pub use export::{export_active_fraction_csv, export_runs_csv};
 pub use figures::{render_figure, FIGURE_IDS};
 pub use matrix::{ExperimentCell, ScaleProfile};
 pub use plot::{behavior_scatter_svg, ensemble_curves_svg, write_plots};
-pub use runner::{run_matrix, run_or_load};
+pub use runner::{run_matrix, run_matrix_with, run_or_load, run_or_load_with, MatrixOptions};

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! graphmine run     [--profile quick|default|full] [--db PATH]
+//!                   [--direction auto|push|pull] [--reorder]
 //! graphmine <fig>   [--profile ...] [--db PATH] [--work ops|wall]
 //! graphmine all     [--profile ...] [--db PATH] [--work ops|wall]
 //! graphmine predict [--profile ...] [--db PATH]
@@ -11,6 +12,7 @@
 //! graphmine plot    [--db PATH] [--out DIR]        # SVG figures
 //! graphmine serve   [--addr HOST:PORT] [--workers N] [--cache-mb MB] [--db PATH]
 //!                   [--retry-budget N] [--max-queue-depth N] [--spill-dir DIR]
+//!                   [--direction auto|push|pull] [--reorder]
 //! graphmine list
 //! ```
 //!
@@ -20,9 +22,11 @@
 //! user-supplied edge list and places it next to the study's runs.
 
 use graphmine_core::WorkMetric;
+use graphmine_engine::DirectionMode;
 use graphmine_harness::{
     analyze_edge_list_file, export_runs_csv, render_cluster, render_correlations, render_figure,
-    render_predict, run_or_load, write_plots, ScaleProfile, FIGURE_IDS,
+    render_predict, run_or_load, run_or_load_with, write_plots, MatrixOptions, ScaleProfile,
+    FIGURE_IDS,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -40,6 +44,9 @@ struct Args {
     retry_budget: u32,
     max_queue_depth: usize,
     spill_dir: Option<PathBuf>,
+    direction: DirectionMode,
+    direction_given: Option<String>,
+    reorder: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -56,6 +63,9 @@ fn parse_args() -> Result<Args, String> {
     let mut retry_budget = 2u32;
     let mut max_queue_depth = 0usize;
     let mut spill_dir: Option<PathBuf> = None;
+    let mut direction = DirectionMode::Auto;
+    let mut direction_given: Option<String> = None;
+    let mut reorder = false;
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--profile" => {
@@ -115,6 +125,19 @@ fn parse_args() -> Result<Args, String> {
                     args.next().ok_or("--spill-dir needs a value")?,
                 ));
             }
+            "--direction" => {
+                let v = args.next().ok_or("--direction needs a value")?;
+                direction = match v.as_str() {
+                    "auto" => DirectionMode::Auto,
+                    "push" => DirectionMode::Push,
+                    "pull" => DirectionMode::Pull,
+                    _ => return Err(format!("unknown direction `{v}` (auto|push|pull)")),
+                };
+                direction_given = Some(v);
+            }
+            "--reorder" => {
+                reorder = true;
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -131,14 +154,19 @@ fn parse_args() -> Result<Args, String> {
         retry_budget,
         max_queue_depth,
         spill_dir,
+        direction,
+        direction_given,
+        reorder,
     })
 }
 
 fn usage() -> String {
     format!(
         "usage: graphmine <command> [--profile quick|default|full] [--db PATH] [--work wall|ops] [--input EDGELIST]\n\
+         \x20      graphmine run   [--direction auto|push|pull] [--reorder] ...\n\
          \x20      graphmine serve [--addr HOST:PORT] [--workers N] [--cache-mb MB] [--db PATH]\n\
          \x20                      [--retry-budget N] [--max-queue-depth N] [--spill-dir DIR]\n\
+         \x20                      [--direction auto|push|pull] [--reorder]\n\
          commands: run, all, list, predict, analyze, export, cluster, correlations, plot, serve, {}",
         FIGURE_IDS.join(", ")
     )
@@ -157,7 +185,15 @@ fn main() -> ExitCode {
             println!("{}", FIGURE_IDS.join("\n"));
             ExitCode::SUCCESS
         }
-        "run" => match run_or_load(args.profile, &args.db, |line| eprintln!("{line}")) {
+        "run" => match run_or_load_with(
+            args.profile,
+            MatrixOptions {
+                direction: args.direction,
+                reorder: args.reorder,
+            },
+            &args.db,
+            |line| eprintln!("{line}"),
+        ) {
             Ok(db) => {
                 println!(
                     "run database ready: {} runs cached at {}",
@@ -232,6 +268,8 @@ fn main() -> ExitCode {
                 retry_budget: args.retry_budget,
                 max_queue_depth: args.max_queue_depth,
                 spill_dir: args.spill_dir.clone(),
+                default_direction: args.direction_given.clone(),
+                default_reorder: args.reorder,
                 ..graphmine_service::ServiceConfig::default()
             };
             match graphmine_service::Server::start(config) {

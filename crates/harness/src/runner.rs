@@ -3,7 +3,7 @@
 use crate::matrix::{build_matrix, ExperimentCell, ScaleProfile};
 use graphmine_algos::{run_algorithm, AlgorithmKind, Domain, SuiteConfig, Workload};
 use graphmine_core::{GraphSpec, RunDb, RunRecord};
-use graphmine_engine::ExecutionConfig;
+use graphmine_engine::{DirectionMode, ExecutionConfig};
 use std::collections::HashMap;
 use std::path::Path;
 
@@ -56,12 +56,33 @@ fn workload_for(cell: &ExperimentCell) -> (WorkloadKey, fn(&ExperimentCell) -> W
     )
 }
 
+/// Execution knobs the CLI threads into a matrix run, orthogonal to the
+/// scale profile: scatter direction and CSR vertex reordering. Any setting
+/// yields identical behavior counters — these change wall-clock only.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MatrixOptions {
+    /// Scatter direction for every engine run.
+    pub direction: DirectionMode,
+    /// Permute each generated graph degree-descending before running.
+    pub reorder: bool,
+}
+
 /// Run the full experiment matrix for `profile`, logging progress through
 /// `progress` (pass `|_| ()` to silence).
-pub fn run_matrix(profile: ScaleProfile, mut progress: impl FnMut(&str)) -> RunDb {
+pub fn run_matrix(profile: ScaleProfile, progress: impl FnMut(&str)) -> RunDb {
+    run_matrix_with(profile, MatrixOptions::default(), progress)
+}
+
+/// [`run_matrix`] with explicit direction/reorder options.
+pub fn run_matrix_with(
+    profile: ScaleProfile,
+    options: MatrixOptions,
+    mut progress: impl FnMut(&str),
+) -> RunDb {
     let cells = build_matrix(profile);
     let config = SuiteConfig {
-        exec: ExecutionConfig::with_max_iterations(profile.max_iterations()),
+        exec: ExecutionConfig::with_max_iterations(profile.max_iterations())
+            .with_direction(options.direction),
         ..SuiteConfig::default()
     };
     let mut db = RunDb::new();
@@ -72,7 +93,14 @@ pub fn run_matrix(profile: ScaleProfile, mut progress: impl FnMut(&str)) -> RunD
     let total = cells.len();
     for (i, cell) in cells.iter().enumerate() {
         let (key, build) = workload_for(cell);
-        let workload = workloads.entry(key).or_insert_with(|| build(cell));
+        let workload = workloads.entry(key).or_insert_with(|| {
+            let w = build(cell);
+            if options.reorder {
+                w.reordered_by_degree()
+            } else {
+                w
+            }
+        });
         let t0 = std::time::Instant::now();
         let trace = run_algorithm(cell.algorithm, workload, &config)
             .expect("matrix cells are domain-consistent");
@@ -114,10 +142,22 @@ pub fn run_or_load(
     path: &Path,
     progress: impl FnMut(&str),
 ) -> std::io::Result<RunDb> {
+    run_or_load_with(profile, MatrixOptions::default(), path, progress)
+}
+
+/// [`run_or_load`] with explicit direction/reorder options. The options
+/// only matter when the matrix actually runs — a cached database is served
+/// as-is (behavior counters are identical across options anyway).
+pub fn run_or_load_with(
+    profile: ScaleProfile,
+    options: MatrixOptions,
+    path: &Path,
+    progress: impl FnMut(&str),
+) -> std::io::Result<RunDb> {
     if path.exists() {
         return Ok(RunDb::load(path)?);
     }
-    let db = run_matrix(profile, progress);
+    let db = run_matrix_with(profile, options, progress);
     if let Some(parent) = path.parent() {
         if !parent.as_os_str().is_empty() {
             std::fs::create_dir_all(parent)?;

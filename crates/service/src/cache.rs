@@ -17,7 +17,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Identity of a generatable workload: variant, size parameter, power-law
-/// exponent (milli-units; 0 when the variant has none), generator seed.
+/// exponent (milli-units; 0 when the variant has none), generator seed,
+/// and whether the vertices were permuted degree-descending at build time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CacheKey {
     /// Workload variant discriminant (power-law, ratings, matrix, grid, mrf).
@@ -28,6 +29,10 @@ pub struct CacheKey {
     pub alpha_milli: u64,
     /// Generator seed.
     pub seed: u64,
+    /// Degree-descending vertex reordering applied — a reordered workload
+    /// is a different in-memory object than its natural-order twin, so it
+    /// must never share a cache slot with it.
+    pub reorder: bool,
 }
 
 #[derive(Debug)]
@@ -190,6 +195,7 @@ mod tests {
             size: 200,
             alpha_milli: 2500,
             seed,
+            reorder: false,
         }
     }
 

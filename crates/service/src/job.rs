@@ -3,6 +3,7 @@
 
 use crate::cache::CacheKey;
 use graphmine_algos::{AlgorithmKind, Domain, Workload};
+use graphmine_engine::DirectionMode;
 use serde::{Deserialize, Serialize};
 use serde_json::json;
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
@@ -41,6 +42,14 @@ pub struct JobRequest {
     /// restarting from iteration 0.
     #[serde(default)]
     pub checkpoint_every: Option<usize>,
+    /// Scatter direction: "auto" (default), "push", or "pull". Any choice
+    /// produces the same behavior counters; only wall-clock differs.
+    #[serde(default)]
+    pub direction: Option<String>,
+    /// Permute the generated graph's vertices degree-descending before
+    /// running (hub-first CSR locality). Off by default.
+    #[serde(default)]
+    pub reorder: bool,
 }
 
 fn default_size() -> u64 {
@@ -210,6 +219,19 @@ impl Job {
     }
 }
 
+/// Parse a request's scatter-direction field; `None` means `Auto`.
+pub fn parse_direction(name: Option<&str>) -> Result<DirectionMode, String> {
+    match name {
+        None => Ok(DirectionMode::Auto),
+        Some(s) => match s.to_ascii_lowercase().as_str() {
+            "auto" => Ok(DirectionMode::Auto),
+            "push" => Ok(DirectionMode::Push),
+            "pull" => Ok(DirectionMode::Pull),
+            other => Err(format!("unknown direction {other:?} (auto|push|pull)")),
+        },
+    }
+}
+
 /// Look up an algorithm by its paper abbreviation, case-insensitively.
 pub fn parse_algorithm(name: &str) -> Option<AlgorithmKind> {
     AlgorithmKind::ALL
@@ -266,6 +288,7 @@ pub fn cache_key(algorithm: AlgorithmKind, request: &JobRequest) -> CacheKey {
         size: request.size,
         alpha_milli,
         seed: request.seed,
+        reorder: request.reorder,
     }
 }
 
@@ -275,7 +298,7 @@ pub fn build_workload(algorithm: AlgorithmKind, request: &JobRequest) -> Workloa
     let size = request.size as usize;
     let alpha = request.alpha.unwrap_or(DEFAULT_ALPHA);
     let seed = request.seed;
-    match algorithm.domain() {
+    let workload = match algorithm.domain() {
         Domain::GraphAnalytics | Domain::Clustering => Workload::powerlaw(size, alpha, seed),
         Domain::CollaborativeFiltering => Workload::ratings(size, alpha, seed),
         Domain::LinearSolver => Workload::matrix(size, seed),
@@ -286,6 +309,11 @@ pub fn build_workload(algorithm: AlgorithmKind, request: &JobRequest) -> Workloa
                 Workload::mrf(size, seed)
             }
         }
+    };
+    if request.reorder {
+        workload.reordered_by_degree()
+    } else {
+        workload
     }
 }
 
@@ -303,6 +331,8 @@ mod tests {
             max_iterations: None,
             timeout_ms: None,
             checkpoint_every: None,
+            direction: None,
+            reorder: false,
         }
     }
 
@@ -349,6 +379,46 @@ mod tests {
         let dd = cache_key(AlgorithmKind::Dd, &request("DD"));
         assert_ne!(jacobi, lbp);
         assert_ne!(lbp, dd);
+    }
+
+    #[test]
+    fn direction_parsing_accepts_the_three_modes() {
+        assert_eq!(parse_direction(None), Ok(DirectionMode::Auto));
+        assert_eq!(parse_direction(Some("auto")), Ok(DirectionMode::Auto));
+        assert_eq!(parse_direction(Some("Push")), Ok(DirectionMode::Push));
+        assert_eq!(parse_direction(Some("PULL")), Ok(DirectionMode::Pull));
+        assert!(parse_direction(Some("sideways")).is_err());
+    }
+
+    #[test]
+    fn reorder_changes_the_cache_key() {
+        let natural = request("PR");
+        let mut reordered = request("PR");
+        reordered.reorder = true;
+        assert_ne!(
+            cache_key(AlgorithmKind::Pr, &natural),
+            cache_key(AlgorithmKind::Pr, &reordered),
+            "reordered workloads must not share a cache slot with natural order"
+        );
+    }
+
+    #[test]
+    fn reordered_request_builds_a_permuted_workload() {
+        let mut req = request("PR");
+        req.size = 2_000;
+        req.reorder = true;
+        let w = build_workload(AlgorithmKind::Pr, &req);
+        let g = w.graph();
+        assert!(g.vertex_remap().is_some(), "permutation was not recorded");
+        // Hub-first: out-degrees must be non-increasing.
+        let degs: Vec<usize> = g
+            .vertices()
+            .map(|v| {
+                g.neighbor_slice(v, graphmine_graph::Direction::Out)
+                    .len()
+            })
+            .collect();
+        assert!(degs.windows(2).all(|w| w[0] >= w[1]));
     }
 
     #[test]

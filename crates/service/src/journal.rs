@@ -281,6 +281,8 @@ mod tests {
             max_iterations: Some(5),
             timeout_ms: None,
             checkpoint_every: None,
+            direction: None,
+            reorder: false,
         }
     }
 

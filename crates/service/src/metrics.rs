@@ -34,6 +34,10 @@ pub struct Metrics {
     pub watchdog_requeues: AtomicU64,
     /// Jobs re-enqueued from the journal at startup.
     pub jobs_recovered: AtomicU64,
+    /// Engine iterations that ran the push (scatter-along-out-edges) path.
+    pub push_iterations: AtomicU64,
+    /// Engine iterations that ran the pull (gather-over-in-edges) path.
+    pub pull_iterations: AtomicU64,
     latency_sum_us: AtomicU64,
     latency_count: AtomicU64,
     buckets: [AtomicU64; LATENCY_BUCKETS_MS.len() + 1],
@@ -124,6 +128,8 @@ mod tests {
             &m.jobs_shed,
             &m.watchdog_requeues,
             &m.jobs_recovered,
+            &m.push_iterations,
+            &m.pull_iterations,
         ] {
             assert_eq!(c.load(Ordering::Relaxed), 0);
         }

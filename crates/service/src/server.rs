@@ -34,7 +34,8 @@
 use crate::cache::GraphCache;
 use crate::http::{self, Request};
 use crate::job::{
-    build_workload, cache_key, domain_name, parse_algorithm, Job, JobRequest, JobState,
+    build_workload, cache_key, domain_name, parse_algorithm, parse_direction, Job, JobRequest,
+    JobState,
 };
 use crate::journal::{self, Journal, JournalEvent};
 use crate::metrics::Metrics;
@@ -45,7 +46,9 @@ use graphmine_core::{
     RunRecord, SharedRunDb, WorkMetric,
 };
 use graphmine_engine::RunTrace;
-use graphmine_engine::{CheckpointPolicy, CheckpointStats, ExecutionConfig, FaultPlan, FaultSite};
+use graphmine_engine::{
+    CheckpointPolicy, CheckpointStats, DirectionChoice, ExecutionConfig, FaultPlan, FaultSite,
+};
 use parking_lot::{Mutex, RwLock};
 use serde::Deserialize;
 use serde_json::{json, Value};
@@ -90,6 +93,12 @@ pub struct ServiceConfig {
     pub max_queue_depth: usize,
     /// Deterministic fault injection for chaos tests; `None` in production.
     pub fault_plan: Option<Arc<FaultPlan>>,
+    /// Server-wide scatter direction ("auto" | "push" | "pull") applied to
+    /// jobs that omit `direction`. `None` leaves the engine on `Auto`.
+    pub default_direction: Option<String>,
+    /// Degree-descending vertex reordering for every job that does not set
+    /// `reorder` itself.
+    pub default_reorder: bool,
 }
 
 impl Default for ServiceConfig {
@@ -107,6 +116,8 @@ impl Default for ServiceConfig {
             retry_backoff_ms: 50,
             max_queue_depth: 0,
             fault_plan: None,
+            default_direction: None,
+            default_reorder: false,
         }
     }
 }
@@ -643,7 +654,11 @@ fn execute_job(state: &Arc<ServiceState>, job: &Arc<Job>) {
         job: Arc::clone(job),
     });
 
+    // Direction was validated at submission; journal-recovered requests
+    // predate validation only if hand-edited, so fall back to Auto.
+    let direction = parse_direction(request.direction.as_deref()).unwrap_or_default();
     let mut exec = ExecutionConfig::with_max_iterations(job.resolved_max_iterations())
+        .with_direction(direction)
         .with_cancel_flag(Arc::clone(&job.cancel));
     let checkpointing = match request.checkpoint_every.filter(|&every| every > 0) {
         Some(every) => match state.spill_dir() {
@@ -712,6 +727,20 @@ fn execute_job(state: &Arc<ServiceState>, job: &Arc<Job>) {
             );
         }
         Ok(Ok(Ok(trace))) => {
+            let pushed = trace
+                .iterations
+                .iter()
+                .filter(|it| it.direction == DirectionChoice::Push)
+                .count() as u64;
+            let pulled = trace.iterations.len() as u64 - pushed;
+            state
+                .metrics
+                .push_iterations
+                .fetch_add(pushed, Ordering::Relaxed);
+            state
+                .metrics
+                .pull_iterations
+                .fetch_add(pulled, Ordering::Relaxed);
             let stopped_early = job.cancel.load(Ordering::Relaxed) && !trace.converged;
             if stopped_early {
                 if job.cancel_requested.load(Ordering::Relaxed) {
@@ -889,7 +918,7 @@ fn submit_job(state: &Arc<ServiceState>, body: &[u8]) -> (u16, Value) {
             );
         }
     }
-    let request: JobRequest = match serde_json::from_slice(body) {
+    let mut request: JobRequest = match serde_json::from_slice(body) {
         Ok(r) => r,
         Err(e) => return (400, json!({"error": format!("bad job request: {e}")})),
     };
@@ -901,6 +930,16 @@ fn submit_job(state: &Arc<ServiceState>, body: &[u8]) -> (u16, Value) {
     };
     if request.size == 0 {
         return (400, json!({"error": "size must be at least 1"}));
+    }
+    // Server-wide defaults are folded into the request before the job (and
+    // its journal record, and its cache key) is created, so every
+    // downstream consumer sees the effective values.
+    if request.direction.is_none() {
+        request.direction = state.config.default_direction.clone();
+    }
+    request.reorder = request.reorder || state.config.default_reorder;
+    if let Err(e) = parse_direction(request.direction.as_deref()) {
+        return (400, json!({"error": e}));
     }
     let job = {
         let mut jobs = state.jobs.write();
@@ -1035,6 +1074,10 @@ fn metrics_json(state: &ServiceState) -> Value {
             "misses": state.cache.misses(),
             "resident_bytes": state.cache.resident_bytes(),
             "entries": state.cache.len(),
+        },
+        "direction": {
+            "push_iterations": state.metrics.push_iterations.load(Ordering::Relaxed),
+            "pull_iterations": state.metrics.pull_iterations.load(Ordering::Relaxed),
         },
         "db_runs": state.db.len(),
         "draining": state.shutdown.load(Ordering::SeqCst),

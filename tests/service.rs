@@ -100,6 +100,70 @@ fn repeated_graph_spec_hits_the_cache() {
     let (_, metrics) = client::request(&addr, "GET", "/metrics", None).unwrap();
     assert_eq!(metrics["cache"]["hits"], 1);
     assert_eq!(metrics["cache"]["misses"], 1);
+    assert_eq!(metrics["cache"]["entries"], 1);
+    assert!(
+        metrics["cache"]["resident_bytes"].as_u64().unwrap() > 0,
+        "cached workload reports no resident bytes: {metrics}"
+    );
+
+    // A reordered run of the same spec is a different workload: it must
+    // miss and occupy its own cache slot.
+    let third = submit(
+        &addr,
+        json!({"algorithm": "PR", "size": 3000, "seed": 5, "profile": "quick", "reorder": true}),
+    );
+    let reordered = client::wait_for_job(&addr, third, WAIT).unwrap();
+    assert_eq!(reordered["state"], "done");
+    assert_eq!(reordered["cache_hit"], false);
+    let (_, metrics) = client::request(&addr, "GET", "/metrics", None).unwrap();
+    assert_eq!(metrics["cache"]["misses"], 2);
+    assert_eq!(metrics["cache"]["entries"], 2);
+    shutdown(&addr, handle);
+}
+
+#[test]
+fn direction_jobs_validate_and_report_counters() {
+    let (addr, handle) = start(None, 1);
+
+    // An unknown direction is rejected at submission.
+    let (status, response) = client::request(
+        &addr,
+        "POST",
+        "/jobs",
+        Some(&json!({"algorithm": "PR", "size": 1000, "direction": "sideways"})),
+    )
+    .unwrap();
+    assert_eq!(status, 400, "bad direction accepted: {response}");
+
+    // Forced push, forced pull, and auto all complete — and land on
+    // identical iteration counts, since direction never changes semantics.
+    let mut iteration_counts = Vec::new();
+    for dir in ["push", "pull", "auto"] {
+        let id = submit(
+            &addr,
+            json!({
+                "algorithm": "PR",
+                "size": 2000,
+                "seed": 21,
+                "profile": "quick",
+                "direction": dir,
+            }),
+        );
+        let done = client::wait_for_job(&addr, id, WAIT).unwrap();
+        assert_eq!(done["state"], "done", "direction {dir}: {done}");
+        iteration_counts.push(done["iterations"].as_u64().unwrap());
+    }
+    assert_eq!(iteration_counts[0], iteration_counts[1]);
+    assert_eq!(iteration_counts[0], iteration_counts[2]);
+
+    // The metrics split every executed iteration between push and pull,
+    // and the forced runs guarantee both counters moved.
+    let (_, metrics) = client::request(&addr, "GET", "/metrics", None).unwrap();
+    let push = metrics["direction"]["push_iterations"].as_u64().unwrap();
+    let pull = metrics["direction"]["pull_iterations"].as_u64().unwrap();
+    assert!(push > 0, "no push iterations recorded: {metrics}");
+    assert!(pull > 0, "no pull iterations recorded: {metrics}");
+    assert_eq!(push + pull, iteration_counts.iter().sum::<u64>());
     shutdown(&addr, handle);
 }
 
