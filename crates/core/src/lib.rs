@@ -39,6 +39,7 @@ pub mod bounds;
 pub mod correlation;
 pub mod coverage;
 pub mod ensemble;
+pub mod histogram;
 pub mod limits;
 pub mod model;
 pub mod pareto;
@@ -50,6 +51,7 @@ pub use bounds::{coverage_upper_bound, spread_upper_bound};
 pub use correlation::{feature_correlations, spearman, Feature, MetricCorrelations};
 pub use coverage::{coverage, CoverageSampler};
 pub use ensemble::{ensemble_cost, spread, spread_of};
+pub use histogram::{LogHistogram, REPORT_QUANTILES};
 pub use limits::{limited_algorithm_pool, limited_graph_pool, runtime_limited_cost};
 pub use model::{features as runtime_features, RuntimeModel};
 pub use pareto::{pareto_front, ParetoEnsemble};

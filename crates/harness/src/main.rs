@@ -13,6 +13,9 @@
 //! graphmine serve   [--addr HOST:PORT] [--workers N] [--cache-mb MB] [--db PATH]
 //!                   [--retry-budget N] [--max-queue-depth N] [--spill-dir DIR]
 //!                   [--direction auto|push|pull] [--reorder]
+//! graphmine loadgen [--addr HOST:PORT | --spawn] [--mode open|closed] [--rate R]
+//!                   [--duration 5s] [--seed N] [--sweep R1,R2,...]
+//!                   [--slo-p99-ms MS] [--json PATH] [--fail-on-errors]
 //! graphmine list
 //! ```
 //!
@@ -20,6 +23,8 @@
 //! rendered from the cached run database (created on demand). `predict`
 //! fits the §7 runtime model; `analyze` measures the behavior of a
 //! user-supplied edge list and places it next to the study's runs.
+
+mod loadgen_cli;
 
 use graphmine_core::WorkMetric;
 use graphmine_engine::DirectionMode;
@@ -167,12 +172,19 @@ fn usage() -> String {
          \x20      graphmine serve [--addr HOST:PORT] [--workers N] [--cache-mb MB] [--db PATH]\n\
          \x20                      [--retry-budget N] [--max-queue-depth N] [--spill-dir DIR]\n\
          \x20                      [--direction auto|push|pull] [--reorder]\n\
-         commands: run, all, list, predict, analyze, export, cluster, correlations, plot, serve, {}",
+         \x20      graphmine loadgen [--spawn | --addr HOST:PORT] [--mode open|closed] [--rate R]\n\
+         \x20                      [--duration 5s] [--sweep R1,R2,...] [--slo-p99-ms MS] [--json PATH]\n\
+         commands: run, all, list, predict, analyze, export, cluster, correlations, plot, serve, loadgen, {}",
         FIGURE_IDS.join(", ")
     )
 }
 
 fn main() -> ExitCode {
+    // `loadgen` has its own flag set; dispatch before the shared parser.
+    let mut raw = std::env::args().skip(1);
+    if raw.next().as_deref() == Some("loadgen") {
+        return loadgen_cli::main(raw);
+    }
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {

@@ -1,0 +1,42 @@
+//! `graphmine-loadgen` — open/closed-loop load generation and a
+//! latency-SLO harness for `graphmine-service`.
+//!
+//! The paper's thesis is that robust benchmarking needs measurement
+//! methodology as much as workloads; this crate applies that to the
+//! service itself. It drives a live server over real HTTP and answers
+//! the operational questions a single-job benchmark cannot:
+//!
+//! * **What latency does a client see under load?** Open-loop runs fire
+//!   requests on a precomputed, seeded arrival schedule (Poisson or
+//!   uniform) and measure every latency from the *intended* send time —
+//!   the coordinated-omission correction — so server stalls inflate the
+//!   reported tail instead of silently thinning the offered load.
+//!   Closed-loop runs model a fixed client population with think time.
+//! * **Under what workload?** A weighted [`mix::JobMix`] spans the
+//!   14-algorithm suite crossed with cache temperature (hot classes pin
+//!   a seed and hit the workload cache; cold classes draw fresh seeds).
+//! * **Where does the time go?** The service's `/metrics` exports
+//!   per-stage log-bucketed histograms (queue wait, cache load, execute,
+//!   serialize); the report differences snapshots taken before and after
+//!   the run for window-exact stage percentiles.
+//! * **What can it sustain?** [`slo::find_max_sustainable`] binary-searches
+//!   the arrival rate for the highest load whose corrected p99 stays
+//!   inside the objective.
+//!
+//! Everything is deterministic given a seed: the arrival schedule, the
+//! job mix draws, and the SLO search's probe seeds. Reports carry the
+//! seed so any run can be regenerated exactly.
+
+pub mod mix;
+pub mod report;
+pub mod rng;
+pub mod run;
+pub mod schedule;
+pub mod slo;
+
+pub use mix::{JobClass, JobMix, HOT_SEED, SUITE_ALGORITHMS};
+pub use report::{sweep_table, ClassReport, Counts, LoadReport, STAGE_NAMES};
+pub use rng::SplitMix64;
+pub use run::{run, Mode, Outcome, RunConfig, RunResult, Sample};
+pub use schedule::{build_schedule, ArrivalProcess, ScheduledRequest};
+pub use slo::{find_max_sustainable, Probe, SloConfig, SloResult};

@@ -1,0 +1,282 @@
+//! Weighted job-mix specification.
+//!
+//! A load test is only as meaningful as its workload: a PageRank-only
+//! stream exercises the cache and the engine very differently from the
+//! paper's full 14-algorithm behavior suite. A [`JobMix`] is a weighted
+//! set of [`JobClass`]es — algorithm × graph configuration ×
+//! cache-temperature — sampled per request.
+//!
+//! Cache temperature is expressed through the seed: the service keys its
+//! workload cache on (algorithm, size, alpha, seed, reorder), so a *hot*
+//! class reuses one fixed seed (every request after the first is a cache
+//! hit) while a *cold* class draws a fresh seed per request (every
+//! request pays workload generation).
+
+use crate::rng::SplitMix64;
+use serde::{Deserialize, Serialize};
+use serde_json::{json, Value};
+
+/// One weighted entry of the mix.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JobClass {
+    /// Display name, e.g. `"PR-hot"`. Must be unique within a mix.
+    pub name: String,
+    /// Algorithm abbreviation as the service accepts it (`"PR"`, `"CC"`, …).
+    pub algorithm: String,
+    /// Graph size (vertex count scale) for the generated workload.
+    pub size: u64,
+    /// Optional skew parameter forwarded to the generator.
+    pub alpha: Option<f64>,
+    /// Scale profile forwarded to the service (`"quick"` keeps probe jobs
+    /// short).
+    pub profile: Option<String>,
+    /// Hot classes pin one seed (cache hits); cold classes draw a fresh
+    /// seed per request (cache misses).
+    pub hot: bool,
+    /// Relative sampling weight (> 0).
+    pub weight: f64,
+}
+
+/// A weighted job mix with a deterministic sampler.
+#[derive(Debug, Clone)]
+pub struct JobMix {
+    classes: Vec<JobClass>,
+    /// Cumulative weights, normalized to end exactly at 1.0.
+    cumulative: Vec<f64>,
+}
+
+/// The 14 algorithm abbreviations of the behavior suite.
+pub const SUITE_ALGORITHMS: [&str; 14] = [
+    "CC", "KC", "TC", "SSSP", "PR", "AD", "KM", "ALS", "NMF", "SGD", "SVD", "Jacobi", "LBP", "DD",
+];
+
+/// Seed pinned by every hot class: requests in a hot class share it, so
+/// after the first request the workload is cache-resident.
+pub const HOT_SEED: u64 = 1;
+
+impl JobMix {
+    /// A mix from explicit classes. Fails on an empty list, a non-positive
+    /// weight, or a duplicate class name.
+    pub fn new(classes: Vec<JobClass>) -> Result<JobMix, String> {
+        if classes.is_empty() {
+            return Err("job mix needs at least one class".to_string());
+        }
+        let mut total = 0.0;
+        for c in &classes {
+            if c.weight.is_nan() || c.weight <= 0.0 {
+                return Err(format!("class {} has non-positive weight", c.name));
+            }
+            if classes.iter().filter(|o| o.name == c.name).count() > 1 {
+                return Err(format!("duplicate class name {}", c.name));
+            }
+            total += c.weight;
+        }
+        let mut acc = 0.0;
+        let mut cumulative: Vec<f64> = classes
+            .iter()
+            .map(|c| {
+                acc += c.weight / total;
+                acc
+            })
+            .collect();
+        // Pin the last boundary so a draw of 0.999… can never fall off the
+        // end of the table.
+        *cumulative.last_mut().expect("non-empty") = 1.0;
+        Ok(JobMix {
+            classes,
+            cumulative,
+        })
+    }
+
+    /// The default mix: every suite algorithm at `size`, split into a hot
+    /// and a cold class with `hot_ratio` of the weight on the hot one
+    /// (clamped to `[0, 1]`). A ratio of 1.0 or 0.0 drops the other class
+    /// entirely.
+    pub fn suite(size: u64, hot_ratio: f64) -> JobMix {
+        let hot_ratio = hot_ratio.clamp(0.0, 1.0);
+        let mut classes = Vec::new();
+        for algo in SUITE_ALGORITHMS {
+            if hot_ratio > 0.0 {
+                classes.push(JobClass {
+                    name: format!("{algo}-hot"),
+                    algorithm: algo.to_string(),
+                    size,
+                    alpha: None,
+                    profile: Some("quick".to_string()),
+                    hot: true,
+                    weight: hot_ratio,
+                });
+            }
+            if hot_ratio < 1.0 {
+                classes.push(JobClass {
+                    name: format!("{algo}-cold"),
+                    algorithm: algo.to_string(),
+                    size,
+                    alpha: None,
+                    profile: Some("quick".to_string()),
+                    hot: false,
+                    weight: 1.0 - hot_ratio,
+                });
+            }
+        }
+        JobMix::new(classes).expect("suite mix is well-formed")
+    }
+
+    /// A single-class mix — useful for focused probes and tests.
+    pub fn single(algorithm: &str, size: u64, hot: bool) -> JobMix {
+        JobMix::new(vec![JobClass {
+            name: format!("{algorithm}-{}", if hot { "hot" } else { "cold" }),
+            algorithm: algorithm.to_string(),
+            size,
+            alpha: None,
+            profile: Some("quick".to_string()),
+            hot,
+            weight: 1.0,
+        }])
+        .expect("single-class mix is well-formed")
+    }
+
+    /// The classes, in declaration order (stable class indices).
+    pub fn classes(&self) -> &[JobClass] {
+        &self.classes
+    }
+
+    /// Draw a class index from the weighted distribution.
+    pub fn sample_class(&self, rng: &mut SplitMix64) -> usize {
+        let u = rng.next_f64();
+        self.cumulative
+            .iter()
+            .position(|&edge| u < edge)
+            .unwrap_or(self.classes.len() - 1)
+    }
+
+    /// Build the `POST /jobs` body for one request of class `class`. Hot
+    /// classes pin [`HOT_SEED`]; cold classes derive a fresh seed from
+    /// `rng` (kept odd-ranged away from `HOT_SEED`).
+    pub fn request_body(&self, class: usize, rng: &mut SplitMix64) -> Value {
+        let c = &self.classes[class];
+        let seed = if c.hot {
+            HOT_SEED
+        } else {
+            // Disjoint from HOT_SEED so a "cold" draw can never collide
+            // with the hot cache entry.
+            0x1_0000 + (rng.next_u64() >> 16)
+        };
+        let mut body = json!({
+            "algorithm": c.algorithm,
+            "size": c.size,
+            "seed": seed,
+        });
+        if let Some(alpha) = c.alpha {
+            body["alpha"] = json!(alpha);
+        }
+        if let Some(profile) = &c.profile {
+            body["profile"] = json!(profile);
+        }
+        body
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_mix_covers_all_algorithms_hot_and_cold() {
+        let mix = JobMix::suite(500, 0.5);
+        assert_eq!(mix.classes().len(), 28);
+        for algo in SUITE_ALGORITHMS {
+            assert!(mix
+                .classes()
+                .iter()
+                .any(|c| c.name == format!("{algo}-hot")));
+            assert!(mix
+                .classes()
+                .iter()
+                .any(|c| c.name == format!("{algo}-cold")));
+        }
+    }
+
+    #[test]
+    fn extreme_hot_ratios_drop_the_other_class() {
+        assert_eq!(JobMix::suite(100, 1.0).classes().len(), 14);
+        assert_eq!(JobMix::suite(100, 0.0).classes().len(), 14);
+        assert!(JobMix::suite(100, 1.0).classes().iter().all(|c| c.hot));
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_weight_proportional() {
+        let mix = JobMix::new(vec![
+            JobClass {
+                name: "a".into(),
+                algorithm: "PR".into(),
+                size: 100,
+                alpha: None,
+                profile: None,
+                hot: true,
+                weight: 3.0,
+            },
+            JobClass {
+                name: "b".into(),
+                algorithm: "CC".into(),
+                size: 100,
+                alpha: None,
+                profile: None,
+                hot: false,
+                weight: 1.0,
+            },
+        ])
+        .unwrap();
+        let draw = |seed: u64| {
+            let mut rng = SplitMix64::new(seed);
+            (0..4000)
+                .map(|_| mix.sample_class(&mut rng))
+                .collect::<Vec<_>>()
+        };
+        let first = draw(11);
+        assert_eq!(first, draw(11), "same seed must give the same draws");
+        let a = first.iter().filter(|&&c| c == 0).count() as f64;
+        let frac = a / first.len() as f64;
+        assert!((frac - 0.75).abs() < 0.03, "class-a fraction {frac}");
+    }
+
+    #[test]
+    fn hot_bodies_share_a_seed_and_cold_bodies_do_not() {
+        let mix = JobMix::suite(300, 0.5);
+        let hot = mix
+            .classes()
+            .iter()
+            .position(|c| c.hot)
+            .expect("has a hot class");
+        let cold = mix
+            .classes()
+            .iter()
+            .position(|c| !c.hot)
+            .expect("has a cold class");
+        let mut rng = SplitMix64::new(5);
+        let h1 = mix.request_body(hot, &mut rng);
+        let h2 = mix.request_body(hot, &mut rng);
+        assert_eq!(h1["seed"], h2["seed"]);
+        assert_eq!(h1["seed"], HOT_SEED);
+        let c1 = mix.request_body(cold, &mut rng);
+        let c2 = mix.request_body(cold, &mut rng);
+        assert_ne!(c1["seed"], c2["seed"]);
+        assert_ne!(c1["seed"], json!(HOT_SEED));
+    }
+
+    #[test]
+    fn bad_mixes_are_rejected() {
+        assert!(JobMix::new(vec![]).is_err());
+        let class = |name: &str, weight: f64| JobClass {
+            name: name.into(),
+            algorithm: "PR".into(),
+            size: 10,
+            alpha: None,
+            profile: None,
+            hot: true,
+            weight,
+        };
+        assert!(JobMix::new(vec![class("a", 0.0)]).is_err());
+        assert!(JobMix::new(vec![class("a", 1.0), class("a", 2.0)]).is_err());
+    }
+}

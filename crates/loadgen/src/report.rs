@@ -1,0 +1,348 @@
+//! Aggregation of a [`RunResult`](crate::run::RunResult) into a
+//! machine-readable report: outcome counts, coordinated-omission-corrected
+//! latency percentiles overall and per job class, and the service-side
+//! per-stage percentiles for exactly the run window (computed by
+//! differencing the `/metrics` histogram snapshots taken before and
+//! after the run).
+
+use crate::run::{Mode, Outcome, RunConfig, RunResult};
+use graphmine_core::LogHistogram;
+use serde::{Deserialize, Serialize};
+use serde_json::Value;
+
+/// Outcome tallies for one run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Counts {
+    /// Requests the generator attempted.
+    pub submitted: u64,
+    /// Jobs that reached `done`.
+    pub done: u64,
+    /// Jobs that turned terminal any other way (or timed out waiting).
+    pub failed: u64,
+    /// Requests shed by admission control after the retry budget.
+    pub shed: u64,
+    /// Transport-level failures.
+    pub transport_errors: u64,
+    /// Total 429 responses absorbed (including retried ones).
+    pub http_429: u64,
+}
+
+/// Latency summary for one job class.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClassReport {
+    pub name: String,
+    /// Percentile summary in microseconds (keys from
+    /// `LogHistogram::summary_json`).
+    pub latency: Value,
+}
+
+/// The full report of one load run. Serializes to the machine-readable
+/// JSON the harness emits; [`LoadReport::text_table`] renders the human
+/// view.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LoadReport {
+    /// `"open"` or `"closed"`.
+    pub mode: String,
+    /// Arrival process for open-loop runs.
+    pub process: Option<String>,
+    /// Client count / think time for closed-loop runs.
+    pub clients: Option<usize>,
+    pub think_ms: Option<u64>,
+    /// The master seed — sufficient to regenerate the exact request
+    /// stream.
+    pub seed: u64,
+    pub duration_s: f64,
+    pub elapsed_s: f64,
+    pub offered_rate_per_s: Option<f64>,
+    pub achieved_rate_per_s: f64,
+    pub counts: Counts,
+    /// Corrected latency summary over completed (`done`) jobs, µs.
+    pub latency: Value,
+    /// The full corrected-latency histogram, serialized for downstream
+    /// merging across runs.
+    pub latency_histogram: LogHistogram,
+    /// Per-class corrected latency summaries.
+    pub per_class: Vec<ClassReport>,
+    /// Service-side per-stage summaries for the run window (snapshot
+    /// difference), µs per stage.
+    pub service_stages: Value,
+}
+
+/// Pipeline stages exported by the service's `/metrics`.
+pub const STAGE_NAMES: [&str; 5] = ["queue_wait", "cache_load", "execute", "serialize", "total"];
+
+impl LoadReport {
+    /// Aggregate `result` (produced by [`crate::run::run`] with `cfg`).
+    pub fn build(cfg: &RunConfig, result: &RunResult) -> LoadReport {
+        let classes = cfg.mix.classes();
+        let mut overall = LogHistogram::new();
+        let mut per_class: Vec<LogHistogram> =
+            (0..classes.len()).map(|_| LogHistogram::new()).collect();
+        for s in &result.samples {
+            if s.outcome == Outcome::Done {
+                overall.record(s.latency_us);
+                if let Some(h) = per_class.get_mut(s.class) {
+                    h.record(s.latency_us);
+                }
+            }
+        }
+        let (process, clients, think_ms, offered) = match &cfg.mode {
+            Mode::Open {
+                rate_per_s,
+                process,
+            } => (
+                Some(process.as_str().to_string()),
+                None,
+                None,
+                Some(*rate_per_s),
+            ),
+            Mode::Closed { clients, think } => {
+                (None, Some(*clients), Some(think.as_millis() as u64), None)
+            }
+        };
+        LoadReport {
+            mode: cfg.mode.as_str().to_string(),
+            process,
+            clients,
+            think_ms,
+            seed: cfg.seed,
+            duration_s: cfg.duration.as_secs_f64(),
+            elapsed_s: result.elapsed.as_secs_f64(),
+            offered_rate_per_s: offered,
+            achieved_rate_per_s: result.achieved_rate(),
+            counts: Counts {
+                submitted: result.samples.len() as u64,
+                done: result.count(Outcome::Done) as u64,
+                failed: result.count(Outcome::Failed) as u64,
+                shed: result.count(Outcome::Shed) as u64,
+                transport_errors: result.count(Outcome::TransportError) as u64,
+                http_429: result.http_429_total(),
+            },
+            latency: overall.summary_json("us"),
+            per_class: classes
+                .iter()
+                .zip(&per_class)
+                .filter(|(_, h)| !h.is_empty())
+                .map(|(c, h)| ClassReport {
+                    name: c.name.clone(),
+                    latency: h.summary_json("us"),
+                })
+                .collect(),
+            latency_histogram: overall,
+            service_stages: stage_window(&result.metrics_before, &result.metrics_after),
+        }
+    }
+
+    /// Corrected p99 in milliseconds (the SLO search criterion). 0 when no
+    /// job completed.
+    pub fn p99_ms(&self) -> f64 {
+        self.latency_histogram.value_at_quantile(0.99) as f64 / 1000.0
+    }
+
+    /// Machine-readable JSON.
+    pub fn to_json(&self) -> Value {
+        serde_json::to_value(self).expect("report serializes")
+    }
+
+    /// Human-readable rendering.
+    pub fn text_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "mode={} {}seed={} duration={:.1}s elapsed={:.1}s\n",
+            self.mode,
+            match (&self.process, self.clients) {
+                (Some(p), _) => format!("process={p} "),
+                (None, Some(c)) => format!("clients={c} think={}ms ", self.think_ms.unwrap_or(0)),
+                _ => String::new(),
+            },
+            self.seed,
+            self.duration_s,
+            self.elapsed_s,
+        ));
+        if let Some(r) = self.offered_rate_per_s {
+            out.push_str(&format!("offered={r:.1}/s "));
+        }
+        out.push_str(&format!("achieved={:.1}/s\n", self.achieved_rate_per_s));
+        let c = &self.counts;
+        out.push_str(&format!(
+            "outcomes: submitted={} done={} failed={} shed={} transport={} (429s absorbed: {})\n",
+            c.submitted, c.done, c.failed, c.shed, c.transport_errors, c.http_429,
+        ));
+        out.push_str(&format!(
+            "latency us (CO-corrected): {}\n",
+            summary_line(&self.latency)
+        ));
+        if !self.per_class.is_empty() {
+            out.push_str(&format!(
+                "{:<14} {:>7} {:>9} {:>9} {:>9} {:>9}\n",
+                "class", "count", "p50_us", "p90_us", "p99_us", "p999_us"
+            ));
+            for class in &self.per_class {
+                let s = &class.latency;
+                out.push_str(&format!(
+                    "{:<14} {:>7} {:>9} {:>9} {:>9} {:>9}\n",
+                    class.name, s["count"], s["p50_us"], s["p90_us"], s["p99_us"], s["p999_us"],
+                ));
+            }
+        }
+        out.push_str("service stages us (run window):\n");
+        for stage in STAGE_NAMES {
+            if let Some(s) = self.service_stages.get(stage) {
+                out.push_str(&format!("  {:<11} {}\n", stage, summary_line(s)));
+            }
+        }
+        out
+    }
+}
+
+fn summary_line(s: &Value) -> String {
+    format!(
+        "count={} p50={} p90={} p99={} p999={} max={}",
+        s["count"], s["p50_us"], s["p90_us"], s["p99_us"], s["p999_us"], s["max_us"]
+    )
+}
+
+/// Per-stage summaries for exactly the run window: deserialize each
+/// stage's histogram from both `/metrics` snapshots and report
+/// `after.since(before)`. Stages absent from either snapshot (older
+/// server) are skipped.
+fn stage_window(before: &Value, after: &Value) -> Value {
+    let mut stages = serde_json::Map::new();
+    for name in STAGE_NAMES {
+        let parse = |snapshot: &Value| -> Option<LogHistogram> {
+            serde_json::from_value(snapshot.get("stages")?.get(name)?.get("histogram")?.clone())
+                .ok()
+        };
+        let (Some(b), Some(a)) = (parse(before), parse(after)) else {
+            continue;
+        };
+        let window = a.since(&b);
+        stages.insert(name.to_string(), window.summary_json("us"));
+    }
+    Value::Object(stages)
+}
+
+/// A throughput-vs-offered-load table across a sweep of open-loop runs.
+pub fn sweep_table(reports: &[LoadReport]) -> String {
+    let mut out = format!(
+        "{:>10} {:>10} {:>7} {:>6} {:>9} {:>9} {:>9}\n",
+        "offered/s", "achieved/s", "done", "shed", "p50_us", "p99_us", "p999_us"
+    );
+    for r in reports {
+        out.push_str(&format!(
+            "{:>10.1} {:>10.1} {:>7} {:>6} {:>9} {:>9} {:>9}\n",
+            r.offered_rate_per_s.unwrap_or(0.0),
+            r.achieved_rate_per_s,
+            r.counts.done,
+            r.counts.shed,
+            r.latency["p50_us"],
+            r.latency["p99_us"],
+            r.latency["p999_us"],
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mix::JobMix;
+    use crate::run::Sample;
+    use serde_json::json;
+    use std::time::Duration;
+
+    fn fake_result() -> (RunConfig, RunResult) {
+        let mix = JobMix::single("PR", 100, true);
+        let cfg = RunConfig::open("127.0.0.1:1", 50.0, Duration::from_secs(2), 99, mix);
+        let mk = |latency_us: u64, outcome: Outcome| Sample {
+            class: 0,
+            intended: Duration::ZERO,
+            latency_us,
+            service_ms: 0.5,
+            outcome,
+            http_429s: 0,
+        };
+        let hist = |values: &[u64]| {
+            let mut h = LogHistogram::new();
+            for &v in values {
+                h.record(v);
+            }
+            serde_json::to_value(&h).unwrap()
+        };
+        let before = json!({"stages": {"execute": {"histogram": hist(&[100])}}});
+        let after = json!({"stages": {"execute": {"histogram": hist(&[100, 900])}}});
+        let result = RunResult {
+            samples: vec![
+                mk(1_000, Outcome::Done),
+                mk(2_000, Outcome::Done),
+                mk(40_000, Outcome::Shed),
+            ],
+            elapsed: Duration::from_secs(2),
+            metrics_before: before,
+            metrics_after: after,
+        };
+        (cfg, result)
+    }
+
+    #[test]
+    fn report_counts_latency_and_seed() {
+        let (cfg, result) = fake_result();
+        let report = LoadReport::build(&cfg, &result);
+        assert_eq!(report.seed, 99);
+        assert_eq!(report.counts.submitted, 3);
+        assert_eq!(report.counts.done, 2);
+        assert_eq!(report.counts.shed, 1);
+        // Shed samples stay out of the latency distribution.
+        assert_eq!(report.latency["count"], 2);
+        assert_eq!(report.latency_histogram.count(), 2);
+        assert_eq!(report.per_class.len(), 1);
+        assert_eq!(report.per_class[0].latency["count"], 2);
+        assert!((report.achieved_rate_per_s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stage_window_is_the_snapshot_difference() {
+        let (cfg, result) = fake_result();
+        let report = LoadReport::build(&cfg, &result);
+        // Only the one value recorded during the window remains.
+        assert_eq!(report.service_stages["execute"]["count"], 1);
+        let p50 = report.service_stages["execute"]["p50_us"].as_u64().unwrap();
+        assert!((870..=930).contains(&p50), "p50 = {p50}");
+    }
+
+    #[test]
+    fn report_json_round_trips_and_has_required_fields() {
+        let (cfg, result) = fake_result();
+        let report = LoadReport::build(&cfg, &result);
+        let v = report.to_json();
+        for key in [
+            "seed",
+            "mode",
+            "counts",
+            "latency",
+            "per_class",
+            "service_stages",
+        ] {
+            assert!(v.get(key).is_some(), "missing report key {key}");
+        }
+        for q in ["p50_us", "p90_us", "p99_us", "p999_us"] {
+            assert!(v["latency"].get(q).is_some(), "missing quantile {q}");
+        }
+        let back: LoadReport = serde_json::from_value(v).unwrap();
+        assert_eq!(back.counts.done, 2);
+        assert_eq!(back.latency_histogram, report.latency_histogram);
+    }
+
+    #[test]
+    fn text_table_and_sweep_table_render() {
+        let (cfg, result) = fake_result();
+        let report = LoadReport::build(&cfg, &result);
+        let text = report.text_table();
+        assert!(text.contains("mode=open"));
+        assert!(text.contains("seed=99"));
+        assert!(text.contains("PR-hot"));
+        let sweep = sweep_table(std::slice::from_ref(&report));
+        assert!(sweep.contains("offered/s"));
+        assert!(sweep.lines().count() >= 2);
+    }
+}

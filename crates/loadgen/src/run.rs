@@ -1,0 +1,463 @@
+//! The load-generation engine: open- and closed-loop runners.
+//!
+//! **Closed loop** models a fixed population of clients: each submits a
+//! job, waits for the result, thinks, repeats. Offered load adapts to the
+//! server — a slow server is offered less — which is gentle but hides
+//! queueing collapse.
+//!
+//! **Open loop** models an outside arrival process: requests fire at
+//! precomputed times whether or not earlier ones have finished, as real
+//! independent clients do. Latency is measured from the *intended* send
+//! time, not the actual one, so generator stalls and server pushback are
+//! charged to the measurement instead of silently thinning the load —
+//! the coordinated-omission correction.
+//!
+//! Admission-control pushback (HTTP 429) is honored: a shed submission is
+//! retried after the server's `Retry-After`, up to a budget, and still
+//! measured from its original intended time; a request that exhausts the
+//! budget counts as `Shed`, separately from failures.
+
+use crate::mix::JobMix;
+use crate::rng::SplitMix64;
+use crate::schedule::{build_schedule, ArrivalProcess, ScheduledRequest};
+use graphmine_service::Client;
+use serde_json::Value;
+use std::io;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How load is offered.
+#[derive(Debug, Clone)]
+pub enum Mode {
+    /// Scheduled arrivals at `rate_per_s`, independent of responses.
+    Open {
+        rate_per_s: f64,
+        process: ArrivalProcess,
+    },
+    /// `clients` synchronous loops, each sleeping `think` between jobs.
+    Closed { clients: usize, think: Duration },
+}
+
+impl Mode {
+    /// Wire name for reports.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Mode::Open { .. } => "open",
+            Mode::Closed { .. } => "closed",
+        }
+    }
+}
+
+/// One load-generation run.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Server address, `host:port`.
+    pub addr: String,
+    pub mode: Mode,
+    /// Arrival horizon (open) or wall-clock run length (closed).
+    pub duration: Duration,
+    /// Master seed: fixes the schedule, the job mix draws, and the cold
+    /// seeds. Equal configs ⇒ equal request streams.
+    pub seed: u64,
+    pub mix: JobMix,
+    /// 429-retry budget per request before it counts as shed.
+    pub max_retries: u32,
+    /// Sender threads for open loop (closed loop uses `clients`).
+    pub concurrency: usize,
+    /// Cap on waiting for any single job to reach a terminal state.
+    pub job_timeout: Duration,
+}
+
+impl RunConfig {
+    /// Open-loop Poisson run with library defaults.
+    pub fn open(
+        addr: &str,
+        rate_per_s: f64,
+        duration: Duration,
+        seed: u64,
+        mix: JobMix,
+    ) -> RunConfig {
+        RunConfig {
+            addr: addr.to_string(),
+            mode: Mode::Open {
+                rate_per_s,
+                process: ArrivalProcess::Poisson,
+            },
+            duration,
+            seed,
+            mix,
+            max_retries: 3,
+            concurrency: 16,
+            job_timeout: Duration::from_secs(30),
+        }
+    }
+
+    /// Closed-loop run with library defaults.
+    pub fn closed(
+        addr: &str,
+        clients: usize,
+        think: Duration,
+        duration: Duration,
+        seed: u64,
+        mix: JobMix,
+    ) -> RunConfig {
+        RunConfig {
+            addr: addr.to_string(),
+            mode: Mode::Closed { clients, think },
+            duration,
+            seed,
+            mix,
+            max_retries: 3,
+            concurrency: 16,
+            job_timeout: Duration::from_secs(30),
+        }
+    }
+
+    /// Requests per second this config offers (closed loop: the zero-think
+    /// upper bound is unknown, so the client count over think time is a
+    /// nominal figure only when think > 0).
+    pub fn offered_rate(&self) -> Option<f64> {
+        match &self.mode {
+            Mode::Open { rate_per_s, .. } => Some(*rate_per_s),
+            Mode::Closed { .. } => None,
+        }
+    }
+}
+
+/// Terminal classification of one generated request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Job reached `done`.
+    Done,
+    /// Job reached `failed`/`cancelled`/`timed_out`, or never turned
+    /// terminal within the wait cap.
+    Failed,
+    /// Admission control shed it and the retry budget ran out.
+    Shed,
+    /// Transport-level error (connect/read/write) or non-job HTTP status.
+    TransportError,
+}
+
+/// One measured request.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Index into the mix's class table.
+    pub class: usize,
+    /// Intended send offset from run start.
+    pub intended: Duration,
+    /// Coordinated-omission-corrected latency: intended send time to
+    /// observed terminal state, in microseconds.
+    pub latency_us: u64,
+    /// Latency the *service* measured for the job (`run_ms` + `queue_ms`),
+    /// 0 when unavailable. Always ≤ the corrected latency.
+    pub service_ms: f64,
+    pub outcome: Outcome,
+    /// 429 responses absorbed by this request (including a final one that
+    /// exhausted the budget).
+    pub http_429s: u32,
+}
+
+/// Everything a run produced, before aggregation into a report.
+#[derive(Debug)]
+pub struct RunResult {
+    pub samples: Vec<Sample>,
+    /// Wall-clock time from first intended arrival to last terminal state.
+    pub elapsed: Duration,
+    /// `GET /metrics` snapshots bracketing the run, for stage-histogram
+    /// differencing.
+    pub metrics_before: Value,
+    pub metrics_after: Value,
+}
+
+impl RunResult {
+    /// Count samples with the given outcome.
+    pub fn count(&self, outcome: Outcome) -> usize {
+        self.samples.iter().filter(|s| s.outcome == outcome).count()
+    }
+
+    /// Total 429 responses absorbed across all samples.
+    pub fn http_429_total(&self) -> u64 {
+        self.samples.iter().map(|s| u64::from(s.http_429s)).sum()
+    }
+
+    /// Jobs completed (`Done`) per second of elapsed run time.
+    pub fn achieved_rate(&self) -> f64 {
+        let s = self.elapsed.as_secs_f64();
+        if s <= 0.0 {
+            0.0
+        } else {
+            self.count(Outcome::Done) as f64 / s
+        }
+    }
+}
+
+/// Execute one load run against a live server.
+pub fn run(cfg: &RunConfig) -> io::Result<RunResult> {
+    let mut probe = Client::new(&cfg.addr);
+    let (status, metrics_before) = probe.request("GET", "/metrics", None)?;
+    if status != 200 {
+        return Err(io::Error::other(format!("GET /metrics returned {status}")));
+    }
+    let start = Instant::now();
+    let samples = match &cfg.mode {
+        Mode::Open {
+            rate_per_s,
+            process,
+        } => {
+            let schedule = build_schedule(*process, *rate_per_s, cfg.duration, cfg.seed, &cfg.mix);
+            run_open(cfg, schedule, start)
+        }
+        Mode::Closed { clients, think } => run_closed(cfg, *clients, *think, start),
+    };
+    let elapsed = start.elapsed();
+    let (status, metrics_after) = probe.request("GET", "/metrics", None)?;
+    if status != 200 {
+        return Err(io::Error::other(format!("GET /metrics returned {status}")));
+    }
+    Ok(RunResult {
+        samples,
+        elapsed,
+        metrics_before,
+        metrics_after,
+    })
+}
+
+fn run_open(cfg: &RunConfig, schedule: Vec<ScheduledRequest>, start: Instant) -> Vec<Sample> {
+    let schedule = Arc::new(schedule);
+    let next = Arc::new(AtomicUsize::new(0));
+    let workers = cfg.concurrency.max(1);
+    let handles: Vec<_> = (0..workers)
+        .map(|_| {
+            let schedule = Arc::clone(&schedule);
+            let next = Arc::clone(&next);
+            let cfg = cfg.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::new(&cfg.addr);
+                let mut local = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(req) = schedule.get(i) else { break };
+                    // Pace to the intended time; a late pickup (all
+                    // workers busy) sends immediately and the delay shows
+                    // up in the corrected latency.
+                    let now = start.elapsed();
+                    if req.intended > now {
+                        std::thread::sleep(req.intended - now);
+                    }
+                    local.push(drive_request(
+                        &mut client,
+                        &cfg,
+                        req.class,
+                        req.intended,
+                        &req.body,
+                        start,
+                    ));
+                }
+                local
+            })
+        })
+        .collect();
+    let mut samples = Vec::new();
+    for h in handles {
+        samples.extend(h.join().expect("loadgen worker panicked"));
+    }
+    samples.sort_by_key(|s| s.intended);
+    samples
+}
+
+fn run_closed(cfg: &RunConfig, clients: usize, think: Duration, start: Instant) -> Vec<Sample> {
+    let mut root = SplitMix64::new(cfg.seed);
+    let handles: Vec<_> = (0..clients.max(1))
+        .map(|_| {
+            let mut rng = root.split();
+            let cfg = cfg.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::new(&cfg.addr);
+                let mut local = Vec::new();
+                while start.elapsed() < cfg.duration {
+                    let class = cfg.mix.sample_class(&mut rng);
+                    let body = cfg.mix.request_body(class, &mut rng);
+                    // Closed loop sends the moment it decides to: the
+                    // intended time IS the send time, so the correction
+                    // is a no-op by construction.
+                    let intended = start.elapsed();
+                    local.push(drive_request(
+                        &mut client,
+                        &cfg,
+                        class,
+                        intended,
+                        &body,
+                        start,
+                    ));
+                    if !think.is_zero() {
+                        std::thread::sleep(think);
+                    }
+                }
+                local
+            })
+        })
+        .collect();
+    let mut samples = Vec::new();
+    for h in handles {
+        samples.extend(h.join().expect("loadgen client panicked"));
+    }
+    samples.sort_by_key(|s| s.intended);
+    samples
+}
+
+/// Submit one job and wait for its terminal state, honoring 429 pushback.
+/// The returned latency always runs from `intended`, whatever happened in
+/// between.
+fn drive_request(
+    client: &mut Client,
+    cfg: &RunConfig,
+    class: usize,
+    intended: Duration,
+    body: &Value,
+    start: Instant,
+) -> Sample {
+    let latency_from_intended = |start: Instant, intended: Duration| {
+        start.elapsed().saturating_sub(intended).as_micros() as u64
+    };
+    let mut http_429s = 0u32;
+    let mut retries_left = cfg.max_retries;
+    let finish = |outcome: Outcome, service_ms: f64, http_429s: u32| Sample {
+        class,
+        intended,
+        latency_us: latency_from_intended(start, intended),
+        service_ms,
+        outcome,
+        http_429s,
+    };
+    loop {
+        let response = match client.send("POST", "/jobs", Some(body)) {
+            Ok(r) => r,
+            Err(_) => return finish(Outcome::TransportError, 0.0, http_429s),
+        };
+        match response.status {
+            202 => {
+                let Some(id) = response.body.get("id").and_then(Value::as_u64) else {
+                    return finish(Outcome::TransportError, 0.0, http_429s);
+                };
+                return match wait_terminal(client, id, cfg.job_timeout) {
+                    Ok(status_doc) => {
+                        let state = status_doc
+                            .get("state")
+                            .and_then(Value::as_str)
+                            .unwrap_or("");
+                        let service_ms = status_doc
+                            .get("queue_ms")
+                            .and_then(Value::as_f64)
+                            .unwrap_or(0.0)
+                            + status_doc
+                                .get("run_ms")
+                                .and_then(Value::as_f64)
+                                .unwrap_or(0.0);
+                        let outcome = if state == "done" {
+                            Outcome::Done
+                        } else {
+                            Outcome::Failed
+                        };
+                        finish(outcome, service_ms, http_429s)
+                    }
+                    Err(_) => finish(Outcome::Failed, 0.0, http_429s),
+                };
+            }
+            429 => {
+                http_429s += 1;
+                if retries_left == 0 {
+                    return finish(Outcome::Shed, 0.0, http_429s);
+                }
+                retries_left -= 1;
+                // Honor Retry-After, but clamp: the advertised horizon can
+                // exceed the whole probe window, and a capped retry still
+                // charges the wait to corrected latency.
+                let advertised = response.retry_after_s.unwrap_or(0);
+                let backoff = Duration::from_millis((advertised * 1000).clamp(10, 1_000));
+                std::thread::sleep(backoff);
+            }
+            _ => return finish(Outcome::TransportError, 0.0, http_429s),
+        }
+    }
+}
+
+/// Poll `GET /jobs/:id` at 1 ms until terminal. Finer-grained than the
+/// service client's 5 ms helper: at millisecond job latencies the poll
+/// interval is the measurement floor.
+fn wait_terminal(client: &mut Client, id: u64, timeout: Duration) -> io::Result<Value> {
+    let deadline = Instant::now() + timeout;
+    let path = format!("/jobs/{id}");
+    loop {
+        let (status, doc) = client.request("GET", &path, None)?;
+        if status == 200 {
+            let state = doc.get("state").and_then(Value::as_str).unwrap_or("");
+            if matches!(state, "done" | "failed" | "cancelled" | "timed_out") {
+                return Ok(doc);
+            }
+        }
+        if Instant::now() >= deadline {
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                format!("job {id} not terminal within {timeout:?}"),
+            ));
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn sample(outcome: Outcome, latency_us: u64, http_429s: u32) -> Sample {
+        Sample {
+            class: 0,
+            intended: Duration::ZERO,
+            latency_us,
+            service_ms: 0.0,
+            outcome,
+            http_429s,
+        }
+    }
+
+    #[test]
+    fn result_counts_and_rates() {
+        let r = RunResult {
+            samples: vec![
+                sample(Outcome::Done, 1_000, 0),
+                sample(Outcome::Done, 2_000, 1),
+                sample(Outcome::Shed, 50_000, 4),
+                sample(Outcome::Failed, 9_000, 0),
+            ],
+            elapsed: Duration::from_secs(2),
+            metrics_before: json!({}),
+            metrics_after: json!({}),
+        };
+        assert_eq!(r.count(Outcome::Done), 2);
+        assert_eq!(r.count(Outcome::Shed), 1);
+        assert_eq!(r.count(Outcome::Failed), 1);
+        assert_eq!(r.count(Outcome::TransportError), 0);
+        assert_eq!(r.http_429_total(), 5);
+        assert!((r.achieved_rate() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn open_config_reports_offered_rate_and_closed_does_not() {
+        let mix = JobMix::single("PR", 100, true);
+        let open = RunConfig::open("127.0.0.1:1", 25.0, Duration::from_secs(1), 7, mix.clone());
+        assert_eq!(open.offered_rate(), Some(25.0));
+        assert_eq!(open.mode.as_str(), "open");
+        let closed = RunConfig::closed(
+            "127.0.0.1:1",
+            4,
+            Duration::from_millis(10),
+            Duration::from_secs(1),
+            7,
+            mix,
+        );
+        assert_eq!(closed.offered_rate(), None);
+        assert_eq!(closed.mode.as_str(), "closed");
+    }
+}

@@ -1,0 +1,221 @@
+//! Deterministic open-loop arrival schedules.
+//!
+//! An open-loop generator fires requests at *scheduled* times regardless
+//! of how the system responds — the arrival process is part of the
+//! experiment definition, so it is computed fully in advance from the
+//! seed. That precomputation is also what makes coordinated-omission
+//! correction possible: the intended send time of every request exists
+//! before the run starts, so a stall in the generator (or in the server)
+//! cannot silently shift the schedule the way a measure-after-send loop
+//! would.
+
+use crate::mix::JobMix;
+use crate::rng::{exp_interval_s, SplitMix64};
+use serde_json::Value;
+use std::time::Duration;
+
+/// How inter-arrival gaps are drawn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrivalProcess {
+    /// Exponential inter-arrivals (memoryless, bursty) — the standard
+    /// model for independent clients.
+    Poisson,
+    /// Fixed `1/rate` spacing — a perfectly paced stream, the most
+    /// forgiving arrival process a server can face.
+    Uniform,
+}
+
+impl ArrivalProcess {
+    /// Parse `"poisson"` / `"uniform"` (case-insensitive).
+    pub fn parse(s: &str) -> Result<ArrivalProcess, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "poisson" => Ok(ArrivalProcess::Poisson),
+            "uniform" => Ok(ArrivalProcess::Uniform),
+            other => Err(format!(
+                "unknown arrival process {other:?} (poisson|uniform)"
+            )),
+        }
+    }
+
+    /// Lowercase wire name.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ArrivalProcess::Poisson => "poisson",
+            ArrivalProcess::Uniform => "uniform",
+        }
+    }
+}
+
+/// One scheduled request: when to send it, what to send.
+#[derive(Debug, Clone)]
+pub struct ScheduledRequest {
+    /// Intended send time as an offset from the run start. Latency is
+    /// measured from here (coordinated-omission correction).
+    pub intended: Duration,
+    /// Index into the mix's class table.
+    pub class: usize,
+    /// The `POST /jobs` body.
+    pub body: Value,
+}
+
+/// Build the full arrival schedule for an open-loop run: every request's
+/// intended send offset, class, and body, determined entirely by
+/// (`process`, `rate_per_s`, `duration`, `seed`, `mix`). Two calls with
+/// equal inputs return identical schedules.
+pub fn build_schedule(
+    process: ArrivalProcess,
+    rate_per_s: f64,
+    duration: Duration,
+    seed: u64,
+    mix: &JobMix,
+) -> Vec<ScheduledRequest> {
+    assert!(rate_per_s > 0.0, "arrival rate must be positive");
+    // Independent streams for arrival times and job bodies: changing the
+    // mix never perturbs the arrival process, and vice versa.
+    let mut root = SplitMix64::new(seed);
+    let mut arrivals = root.split();
+    let mut jobs = root.split();
+
+    let horizon = duration.as_secs_f64();
+    let mut schedule = Vec::new();
+    let mut t = 0.0f64;
+    loop {
+        let gap = match process {
+            ArrivalProcess::Poisson => exp_interval_s(&mut arrivals, rate_per_s),
+            ArrivalProcess::Uniform => 1.0 / rate_per_s,
+        };
+        t += gap;
+        if t >= horizon {
+            break;
+        }
+        let class = mix.sample_class(&mut jobs);
+        let body = mix.request_body(class, &mut jobs);
+        schedule.push(ScheduledRequest {
+            intended: Duration::from_secs_f64(t),
+            class,
+            body,
+        });
+    }
+    schedule
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mix() -> JobMix {
+        JobMix::suite(300, 0.5)
+    }
+
+    #[test]
+    fn same_seed_gives_an_identical_schedule() {
+        let m = mix();
+        let a = build_schedule(
+            ArrivalProcess::Poisson,
+            200.0,
+            Duration::from_secs(2),
+            77,
+            &m,
+        );
+        let b = build_schedule(
+            ArrivalProcess::Poisson,
+            200.0,
+            Duration::from_secs(2),
+            77,
+            &m,
+        );
+        assert!(!a.is_empty());
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.intended, y.intended);
+            assert_eq!(x.class, y.class);
+            assert_eq!(x.body, y.body);
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_schedules() {
+        let m = mix();
+        let a = build_schedule(
+            ArrivalProcess::Poisson,
+            200.0,
+            Duration::from_secs(2),
+            1,
+            &m,
+        );
+        let b = build_schedule(
+            ArrivalProcess::Poisson,
+            200.0,
+            Duration::from_secs(2),
+            2,
+            &m,
+        );
+        assert_ne!(
+            a.iter().map(|r| r.intended).collect::<Vec<_>>(),
+            b.iter().map(|r| r.intended).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn uniform_schedule_is_evenly_spaced_and_counted() {
+        let m = mix();
+        let s = build_schedule(
+            ArrivalProcess::Uniform,
+            100.0,
+            Duration::from_secs(1),
+            9,
+            &m,
+        );
+        // Arrivals at 10ms, 20ms, …, 990ms: the t=1000ms arrival hits the
+        // horizon exactly and is excluded.
+        assert_eq!(s.len(), 99);
+        for (i, r) in s.iter().enumerate() {
+            let expected = (i + 1) as f64 * 0.01;
+            assert!((r.intended.as_secs_f64() - expected).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn poisson_schedule_is_monotone_and_rate_is_roughly_right() {
+        let m = mix();
+        let rate = 500.0;
+        let s = build_schedule(
+            ArrivalProcess::Poisson,
+            rate,
+            Duration::from_secs(4),
+            123,
+            &m,
+        );
+        for pair in s.windows(2) {
+            assert!(pair[0].intended < pair[1].intended);
+        }
+        let expected = rate * 4.0;
+        let n = s.len() as f64;
+        assert!(
+            (n - expected).abs() < expected * 0.1,
+            "got {n} arrivals, expected ≈{expected}"
+        );
+    }
+
+    #[test]
+    fn mix_change_does_not_perturb_arrival_times() {
+        let a = build_schedule(
+            ArrivalProcess::Poisson,
+            100.0,
+            Duration::from_secs(2),
+            42,
+            &JobMix::suite(300, 1.0),
+        );
+        let b = build_schedule(
+            ArrivalProcess::Poisson,
+            100.0,
+            Duration::from_secs(2),
+            42,
+            &JobMix::single("PR", 50, false),
+        );
+        assert_eq!(
+            a.iter().map(|r| r.intended).collect::<Vec<_>>(),
+            b.iter().map(|r| r.intended).collect::<Vec<_>>()
+        );
+    }
+}

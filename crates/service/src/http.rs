@@ -2,11 +2,14 @@
 //! `TcpStream`s because the dependency set has no async runtime or HTTP
 //! crate.
 //!
-//! Supported: one request per connection (`Connection: close` is always
-//! sent back), request bodies delimited by `Content-Length`, JSON
-//! responses. Not supported: keep-alive, chunked transfer encoding,
-//! percent-decoding, multi-line headers. Every standard HTTP client
-//! (curl, reqwest, browsers) can speak this subset.
+//! Supported: request bodies delimited by `Content-Length`, JSON
+//! responses, and opt-in connection reuse — a client that sends
+//! `Connection: keep-alive` gets the response with the same header and
+//! may issue further requests on the socket (the server bounds idle time
+//! and requests per connection). Clients that omit the header (curl,
+//! browsers, the old one-shot path) get `Connection: close`, exactly as
+//! before. Not supported: pipelining, chunked transfer encoding,
+//! percent-decoding, multi-line headers.
 
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
@@ -29,6 +32,10 @@ pub struct Request {
     pub query: Option<String>,
     /// Raw body bytes (`Content-Length` of them).
     pub body: Vec<u8>,
+    /// Whether the client asked to reuse the connection
+    /// (`Connection: keep-alive`). Connection reuse is opt-in: absent or
+    /// any other value means close-after-response.
+    pub keep_alive: bool,
 }
 
 /// Why a request could not be read, mapped to a status by the handler:
@@ -95,8 +102,12 @@ fn find_subsequence(haystack: &[u8], needle: &[u8]) -> Option<usize> {
 /// Read and parse one request from the stream. Blocks until the header
 /// terminator and the full `Content-Length` body have arrived (per-socket
 /// read timeouts bound how long a stalled client can hold a handler).
-pub fn read_request(stream: &mut TcpStream) -> Result<Request, RequestError> {
-    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+///
+/// `carry` holds bytes read past the end of the previous request on a
+/// kept-alive connection; on return it holds any bytes read past the end
+/// of *this* request. Pass a fresh empty buffer for one-shot connections.
+pub fn read_request(stream: &mut TcpStream, carry: &mut Vec<u8>) -> Result<Request, RequestError> {
+    let mut buf: Vec<u8> = std::mem::take(carry);
     let mut chunk = [0u8; 4096];
     let header_end = loop {
         if let Some(pos) = find_subsequence(&buf, b"\r\n\r\n") {
@@ -131,15 +142,19 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, RequestError> {
     };
 
     let mut content_length: Option<usize> = None;
+    let mut keep_alive = false;
     for line in lines {
         if let Some((name, value)) = line.split_once(':') {
-            if name.trim().eq_ignore_ascii_case("content-length") {
+            let name = name.trim();
+            if name.eq_ignore_ascii_case("content-length") {
                 content_length = Some(
                     value
                         .trim()
                         .parse()
                         .map_err(|_| bad("unparseable Content-Length"))?,
                 );
+            } else if name.eq_ignore_ascii_case("connection") {
+                keep_alive = value.trim().eq_ignore_ascii_case("keep-alive");
             }
         }
     }
@@ -170,13 +185,16 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, RequestError> {
         }
         body.extend_from_slice(&chunk[..n]);
     }
-    body.truncate(content_length);
+    // Bytes past this request's body belong to the connection's next
+    // request; hand them back through the carry buffer.
+    *carry = body.split_off(content_length);
 
     Ok(Request {
         method,
         path,
         query,
         body,
+        keep_alive,
     })
 }
 
@@ -195,10 +213,10 @@ fn reason_phrase(status: u16) -> &'static str {
     }
 }
 
-/// Write a JSON response and flush. Always closes the connection from the
+/// Write a JSON response and flush. Closes the connection from the
 /// protocol's point of view (`Connection: close`).
 pub fn write_json(stream: &mut TcpStream, status: u16, body: &serde_json::Value) -> io::Result<()> {
-    write_json_with_retry_after(stream, status, body, None)
+    write_response(stream, status, body, None, false)
 }
 
 /// [`write_json`] plus an optional `Retry-After: <seconds>` header, used
@@ -210,16 +228,31 @@ pub fn write_json_with_retry_after(
     body: &serde_json::Value,
     retry_after_s: Option<u64>,
 ) -> io::Result<()> {
+    write_response(stream, status, body, retry_after_s, false)
+}
+
+/// The full response writer: JSON body, optional `Retry-After`, and the
+/// connection disposition — `keep_alive` echoes the client's opt-in so it
+/// knows the socket remains usable.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &serde_json::Value,
+    retry_after_s: Option<u64>,
+    keep_alive: bool,
+) -> io::Result<()> {
     let payload = body.to_string();
     let retry = retry_after_s
         .map(|s| format!("Retry-After: {s}\r\n"))
         .unwrap_or_default();
+    let connection = if keep_alive { "keep-alive" } else { "close" };
     let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n{}Connection: close\r\n\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n{}Connection: {}\r\n\r\n",
         status,
         reason_phrase(status),
         payload.len(),
-        retry
+        retry,
+        connection
     );
     stream.write_all(head.as_bytes())?;
     stream.write_all(payload.as_bytes())?;
@@ -250,7 +283,8 @@ mod tests {
             s.write_all(&raw).unwrap();
         });
         let (mut stream, _) = listener.accept().unwrap();
-        let req = read_request(&mut stream);
+        let mut carry = Vec::new();
+        let req = read_request(&mut stream, &mut carry);
         writer.join().unwrap();
         req
     }
@@ -262,6 +296,43 @@ mod tests {
         assert_eq!(req.path, "/jobs/3");
         assert_eq!(req.query.as_deref(), Some("work=wall"));
         assert!(req.body.is_empty());
+        assert!(!req.keep_alive, "keep-alive must be opt-in");
+    }
+
+    #[test]
+    fn keep_alive_is_parsed_and_carry_preserves_overread() {
+        // Two keep-alive requests written back-to-back: the first read may
+        // pull bytes of the second, which must survive in the carry buffer
+        // and satisfy the second parse without further socket reads.
+        let first = b"POST /jobs HTTP/1.1\r\nConnection: keep-alive\r\nContent-Length: 2\r\n\r\n{}";
+        let second = b"GET /metrics HTTP/1.1\r\nConnection: keep-alive\r\n\r\n";
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            let mut raw = first.to_vec();
+            raw.extend_from_slice(second);
+            s.write_all(&raw).unwrap();
+            s
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        let mut carry = Vec::new();
+        let one = read_request(&mut stream, &mut carry).unwrap();
+        assert_eq!(one.path, "/jobs");
+        assert!(one.keep_alive);
+        assert_eq!(one.body, b"{}");
+        let two = read_request(&mut stream, &mut carry).unwrap();
+        assert_eq!(two.method, "GET");
+        assert_eq!(two.path, "/metrics");
+        assert!(two.keep_alive);
+        assert!(carry.is_empty());
+        drop(writer.join().unwrap());
+    }
+
+    #[test]
+    fn connection_close_header_is_not_keep_alive() {
+        let req = parse(b"GET /health HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert!(!req.keep_alive);
     }
 
     #[test]

@@ -108,10 +108,45 @@ pub struct JobStatus {
     pub cache_hit: bool,
     /// Index of the produced record in the run database (`Done` only).
     pub run_index: Option<usize>,
-    /// Milliseconds spent queued before a worker picked the job up.
+    /// Milliseconds spent queued before a worker picked the job up
+    /// (enqueue → dequeue).
     pub queue_ms: f64,
     /// Milliseconds of execution (workload build + run).
     pub run_ms: f64,
+    /// Milliseconds resolving the workload: cache probe, plus generation
+    /// on a miss (dequeue → cache-resolve).
+    pub cache_ms: f64,
+    /// Milliseconds of engine execution (execute-start → execute-end).
+    pub execute_ms: f64,
+    /// Milliseconds serializing the result: run-record build + database
+    /// append (execute-end → respond). `Done` jobs only.
+    pub serialize_ms: f64,
+}
+
+impl JobStatus {
+    /// Stage timings as JSON: per-stage durations plus the derived
+    /// timestamps of each pipeline boundary, in milliseconds relative to
+    /// submission (enqueue = 0).
+    pub fn stages_json(&self) -> serde_json::Value {
+        let dequeue = self.queue_ms;
+        let cache_resolve = dequeue + self.cache_ms;
+        let execute_end = cache_resolve + self.execute_ms;
+        let respond = execute_end + self.serialize_ms;
+        json!({
+            "queue_wait_ms": self.queue_ms,
+            "cache_load_ms": self.cache_ms,
+            "execute_ms": self.execute_ms,
+            "serialize_ms": self.serialize_ms,
+            "timestamps_ms": {
+                "enqueue": 0.0,
+                "dequeue": dequeue,
+                "cache_resolve": cache_resolve,
+                "execute_start": cache_resolve,
+                "execute_end": execute_end,
+                "respond": respond,
+            },
+        })
+    }
 }
 
 /// One submitted job.
@@ -200,6 +235,7 @@ impl Job {
             "run_index": status.run_index,
             "queue_ms": status.queue_ms,
             "run_ms": status.run_ms,
+            "stages": status.stages_json(),
             "attempt": self.attempts(),
         })
     }
@@ -413,10 +449,7 @@ mod tests {
         // Hub-first: out-degrees must be non-increasing.
         let degs: Vec<usize> = g
             .vertices()
-            .map(|v| {
-                g.neighbor_slice(v, graphmine_graph::Direction::Out)
-                    .len()
-            })
+            .map(|v| g.neighbor_slice(v, graphmine_graph::Direction::Out).len())
             .collect();
         assert!(degs.windows(2).all(|w| w[0] >= w[1]));
     }
@@ -444,5 +477,41 @@ mod tests {
         assert_eq!(v["id"], 3);
         assert_eq!(v["state"], "queued");
         assert_eq!(v["algorithm"], "PR");
+        assert_eq!(v["stages"]["queue_wait_ms"], 0.0);
+        assert_eq!(v["stages"]["timestamps_ms"]["enqueue"], 0.0);
+    }
+
+    #[test]
+    fn stage_timestamps_are_cumulative_durations() {
+        let status = JobStatus {
+            queue_ms: 2.0,
+            cache_ms: 10.0,
+            execute_ms: 100.0,
+            serialize_ms: 1.0,
+            ..JobStatus::default()
+        };
+        let v = status.stages_json();
+        let ts = &v["timestamps_ms"];
+        assert_eq!(ts["enqueue"], 0.0);
+        assert_eq!(ts["dequeue"], 2.0);
+        assert_eq!(ts["cache_resolve"], 12.0);
+        assert_eq!(ts["execute_start"], 12.0);
+        assert_eq!(ts["execute_end"], 112.0);
+        assert_eq!(ts["respond"], 113.0);
+        // Boundary timestamps are non-decreasing along the pipeline.
+        let order = [
+            "enqueue",
+            "dequeue",
+            "cache_resolve",
+            "execute_start",
+            "execute_end",
+            "respond",
+        ];
+        let mut last = -1.0;
+        for key in order {
+            let t = ts[key].as_f64().unwrap();
+            assert!(t >= last, "{key} = {t} regressed below {last}");
+            last = t;
+        }
     }
 }

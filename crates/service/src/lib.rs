@@ -34,9 +34,10 @@ pub mod queue;
 pub mod server;
 
 pub use cache::{workload_bytes, CacheKey, GraphCache};
+pub use client::{Client, Response};
 pub use http::RequestError;
 pub use job::{parse_algorithm, Job, JobRequest, JobState, JobStatus};
 pub use journal::{Journal, JournalEvent, PendingJob, Recovery};
-pub use metrics::{Metrics, LATENCY_BUCKETS_MS};
+pub use metrics::{Metrics, StageHistograms, LATENCY_BUCKETS_MS};
 pub use queue::WorkQueue;
 pub use server::{Server, ServerHandle, ServiceConfig};

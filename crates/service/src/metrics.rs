@@ -1,7 +1,11 @@
 //! Live service counters: job terminal states, end-to-end latency
-//! (sum/count plus fixed histogram buckets), all lock-free atomics so the
-//! hot path never contends with `GET /metrics` readers.
+//! (sum/count plus fixed histogram buckets), and per-stage latency
+//! histograms. Counters are lock-free atomics; the stage histograms sit
+//! behind short-critical-section mutexes (a handful of O(1) records per
+//! job, so `GET /metrics` readers never contend meaningfully).
 
+use graphmine_core::LogHistogram;
+use parking_lot::Mutex;
 use serde_json::json;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -38,9 +42,58 @@ pub struct Metrics {
     pub push_iterations: AtomicU64,
     /// Engine iterations that ran the pull (gather-over-in-edges) path.
     pub pull_iterations: AtomicU64,
+    /// Per-stage latency histograms across the job pipeline.
+    pub stages: StageHistograms,
     latency_sum_us: AtomicU64,
     latency_count: AtomicU64,
     buckets: [AtomicU64; LATENCY_BUCKETS_MS.len() + 1],
+}
+
+/// Log-bucketed latency histograms (microseconds) for each stage of a
+/// job's life, recorded where `job.rs` stamps its stage boundaries:
+/// enqueue → dequeue → cache-resolve → execute → respond. Exported in
+/// full by `/metrics` so external tools (the load generator) can diff
+/// snapshots and compute exact window percentiles.
+#[derive(Debug, Default)]
+pub struct StageHistograms {
+    /// Submission to worker pickup (enqueue → dequeue).
+    pub queue_wait: Mutex<LogHistogram>,
+    /// Workload resolution: cache probe, plus generation on a miss
+    /// (dequeue → cache-resolve).
+    pub cache_load: Mutex<LogHistogram>,
+    /// Engine execution (execute-start → execute-end).
+    pub execute: Mutex<LogHistogram>,
+    /// Result serialization: run-record build + database append
+    /// (execute-end → respond).
+    pub serialize: Mutex<LogHistogram>,
+    /// Submission to terminal state, every outcome.
+    pub total: Mutex<LogHistogram>,
+}
+
+impl StageHistograms {
+    /// Record a stage duration given in milliseconds (stored as µs).
+    pub fn record_ms(hist: &Mutex<LogHistogram>, ms: f64) {
+        hist.lock().record((ms * 1000.0).max(0.0) as u64);
+    }
+
+    /// JSON rendering: per stage, a percentile summary plus the full
+    /// serialized histogram (for snapshot differencing).
+    pub fn json(&self) -> serde_json::Value {
+        let render = |hist: &Mutex<LogHistogram>| {
+            let h = hist.lock();
+            json!({
+                "summary": h.summary_json("us"),
+                "histogram": serde_json::to_value(&*h).expect("histogram serializes"),
+            })
+        };
+        json!({
+            "queue_wait": render(&self.queue_wait),
+            "cache_load": render(&self.cache_load),
+            "execute": render(&self.execute),
+            "serialize": render(&self.serialize),
+            "total": render(&self.total),
+        })
+    }
 }
 
 impl Metrics {
@@ -117,6 +170,23 @@ mod tests {
         assert_eq!(m.done.load(Ordering::Relaxed), 2);
         assert_eq!(m.failed.load(Ordering::Relaxed), 1);
         assert_eq!(m.latency_count(), 0);
+    }
+
+    #[test]
+    fn stage_histograms_record_and_round_trip() {
+        let m = Metrics::new();
+        StageHistograms::record_ms(&m.stages.queue_wait, 1.5);
+        StageHistograms::record_ms(&m.stages.execute, 250.0);
+        let v = m.stages.json();
+        assert_eq!(v["queue_wait"]["summary"]["count"], 1);
+        assert_eq!(v["cache_load"]["summary"]["count"], 0);
+        assert_eq!(v["execute"]["summary"]["count"], 1);
+        // The exported histogram deserializes back into the same type.
+        let h: LogHistogram = serde_json::from_value(v["execute"]["histogram"].clone()).unwrap();
+        assert_eq!(h.count(), 1);
+        // 250 ms = 250_000 µs, within the 3.1% bucket quantization.
+        let p50 = h.value_at_quantile(0.5);
+        assert!((242_000..=258_000).contains(&p50), "p50 = {p50}");
     }
 
     #[test]

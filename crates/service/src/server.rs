@@ -38,7 +38,7 @@ use crate::job::{
     JobState,
 };
 use crate::journal::{self, Journal, JournalEvent};
-use crate::metrics::Metrics;
+use crate::metrics::{Metrics, StageHistograms};
 use crate::queue::WorkQueue;
 use graphmine_algos::{run_algorithm, SuiteConfig, WorkloadMismatch};
 use graphmine_core::{
@@ -436,24 +436,54 @@ fn http_loop(state: &Arc<ServiceState>) {
     }
 }
 
+/// How long a kept-alive connection may sit idle between requests before
+/// the handler closes it. Short, because each idle kept-alive socket
+/// occupies a blocking HTTP worker; steady pollers and load-generator
+/// clients send well within this window and reconnect transparently if
+/// they don't.
+const KEEP_ALIVE_IDLE: Duration = Duration::from_millis(1_000);
+
+/// Requests served on one connection before it is recycled. Bounds how
+/// long a single busy client can camp on an HTTP worker while other
+/// connections wait in the queue.
+const MAX_REQUESTS_PER_CONNECTION: usize = 256;
+
 fn handle_connection(state: &Arc<ServiceState>, stream: &mut TcpStream) -> io::Result<()> {
-    let request = match http::read_request(stream) {
-        Ok(r) => r,
-        Err(e) => {
-            // Oversized requests get 413, malformed ones 400; pure socket
-            // failures have no one left to answer.
-            return match e.status() {
-                Some(status) => http::write_json(stream, status, &json!({"error": e.message()})),
-                None => Ok(()),
-            };
+    let mut carry = Vec::new();
+    for served in 0..MAX_REQUESTS_PER_CONNECTION {
+        let request = match http::read_request(stream, &mut carry) {
+            Ok(r) => r,
+            Err(e) => {
+                // Oversized requests get 413, malformed ones 400; pure
+                // socket failures — including a kept-alive client idling
+                // past the window or going away — have no one to answer.
+                return match e.status() {
+                    Some(status) => {
+                        http::write_json(stream, status, &json!({"error": e.message()}))
+                    }
+                    None => Ok(()),
+                };
+            }
+        };
+        let (status, body) = route(state, &request);
+        // Admission control advertises when to come back.
+        let retry_after = (status == 429)
+            .then(|| body["retry_after_s"].as_u64())
+            .flatten();
+        // Reuse is client opt-in, bounded per connection, and suspended
+        // during drain so HTTP workers can exit.
+        let keep_alive = request.keep_alive
+            && served + 1 < MAX_REQUESTS_PER_CONNECTION
+            && !state.shutdown.load(Ordering::SeqCst);
+        http::write_response(stream, status, &body, retry_after, keep_alive)?;
+        if !keep_alive {
+            return Ok(());
         }
-    };
-    let (status, body) = route(state, &request);
-    // Admission control advertises when to come back.
-    let retry_after = (status == 429)
-        .then(|| body["retry_after_s"].as_u64())
-        .flatten();
-    http::write_json_with_retry_after(stream, status, &body, retry_after)
+        // Subsequent requests wait at most the idle window, not the full
+        // per-socket read timeout.
+        stream.set_read_timeout(Some(KEEP_ALIVE_IDLE))?;
+    }
+    Ok(())
 }
 
 fn job_loop(state: &Arc<ServiceState>) {
@@ -556,9 +586,9 @@ fn finish_job(
         outcome: final_state.as_str().to_string(),
         record,
     });
-    state
-        .metrics
-        .observe_latency_ms(job.submitted.elapsed().as_secs_f64() * 1e3);
+    let total_ms = job.submitted.elapsed().as_secs_f64() * 1e3;
+    state.metrics.observe_latency_ms(total_ms);
+    StageHistograms::record_ms(&state.metrics.stages.total, total_ms);
 }
 
 /// Put `job` back on the queue after a backoff, or quarantine it as
@@ -641,7 +671,12 @@ fn execute_job(state: &Arc<ServiceState>, job: &Arc<Job>) {
     let (workload, hit) = state
         .cache
         .get_or_build(key, || build_workload(algorithm, &request));
-    job.status().cache_hit = hit;
+    let cache_ms = started.elapsed().as_secs_f64() * 1e3;
+    {
+        let mut status = job.status();
+        status.cache_hit = hit;
+        status.cache_ms = cache_ms;
+    }
 
     let timeout = Duration::from_millis(
         request
@@ -681,6 +716,7 @@ fn execute_job(state: &Arc<ServiceState>, job: &Arc<Job>) {
         ..SuiteConfig::default()
     };
     let fault_plan = state.config.fault_plan.clone();
+    let execute_started = Instant::now();
     type RunOutcome = io::Result<Result<RunTrace, WorkloadMismatch>>;
     let result: Result<RunOutcome, _> =
         std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -692,7 +728,9 @@ fn execute_job(state: &Arc<ServiceState>, job: &Arc<Job>) {
             }
             Ok(run_algorithm(algorithm, &workload, &suite))
         }));
+    let execute_ms = execute_started.elapsed().as_secs_f64() * 1e3;
     let run_ms = started.elapsed().as_secs_f64() * 1e3;
+    job.status().execute_ms = execute_ms;
 
     {
         let mut entries = state.watchdog.lock();
@@ -706,6 +744,12 @@ fn execute_job(state: &Arc<ServiceState>, job: &Arc<Job>) {
         state.running.fetch_sub(1, Ordering::SeqCst);
         return;
     }
+
+    // Every attempt that actually ran contributes to the per-stage
+    // histograms, whatever its outcome — the pipeline cost was paid.
+    StageHistograms::record_ms(&state.metrics.stages.queue_wait, queue_ms);
+    StageHistograms::record_ms(&state.metrics.stages.cache_load, cache_ms);
+    StageHistograms::record_ms(&state.metrics.stages.execute, execute_ms);
 
     match result {
         Err(payload) => {
@@ -774,6 +818,7 @@ fn execute_job(state: &Arc<ServiceState>, job: &Arc<Job>) {
                     finish_job(state, job, JobState::TimedOut, None, run_ms, None);
                 }
             } else {
+                let serialize_started = Instant::now();
                 let spec = GraphSpec {
                     size: request.size,
                     alpha: request.alpha,
@@ -788,11 +833,14 @@ fn execute_job(state: &Arc<ServiceState>, job: &Arc<Job>) {
                 )
                 .with_runtime_ms(run_ms);
                 let run_index = state.db.append(record.clone());
+                let serialize_ms = serialize_started.elapsed().as_secs_f64() * 1e3;
+                StageHistograms::record_ms(&state.metrics.stages.serialize, serialize_ms);
                 {
                     let mut status = job.status();
                     status.iterations = trace.num_iterations();
                     status.converged = trace.converged;
                     status.run_index = Some(run_index);
+                    status.serialize_ms = serialize_ms;
                 }
                 finish_job(state, job, JobState::Done, None, run_ms, Some(record));
                 let total = state.completed.fetch_add(1, Ordering::SeqCst) + 1;
@@ -1055,6 +1103,7 @@ fn metrics_json(state: &ServiceState) -> Value {
             "timed_out": state.metrics.timed_out.load(Ordering::Relaxed),
         },
         "latency_ms": state.metrics.latency_json(),
+        "stages": state.metrics.stages.json(),
         "robustness": {
             "retries": state.metrics.retries.load(Ordering::Relaxed),
             "panics_quarantined": state.metrics.panics_quarantined.load(Ordering::Relaxed),
@@ -1162,6 +1211,45 @@ mod tests {
         assert_eq!(status, 200);
         assert_eq!(runs["count"], 1);
         assert_eq!(runs["runs"][0]["algorithm"], "PR");
+        stop(&addr, handle);
+    }
+
+    #[test]
+    fn keep_alive_client_reuses_one_connection_and_sees_stages() {
+        let (addr, handle) = start_test_server();
+        let mut c = client::Client::new(&addr);
+        let (status, body) = c
+            .request(
+                "POST",
+                "/jobs",
+                Some(&json!({"algorithm": "PR", "size": 300, "profile": "quick"})),
+            )
+            .unwrap();
+        assert_eq!(status, 202);
+        let id = body["id"].as_u64().unwrap();
+        // Polling on the same client keeps reusing the kept-alive socket.
+        let done = client::wait_for_job_with(&mut c, id, Duration::from_secs(60)).unwrap();
+        assert_eq!(done["state"], "done", "job failed: {done}");
+        let stages = &done["stages"];
+        for key in [
+            "queue_wait_ms",
+            "cache_load_ms",
+            "execute_ms",
+            "serialize_ms",
+        ] {
+            assert!(
+                stages[key].as_f64().unwrap() >= 0.0,
+                "missing stage key {key} in {done}"
+            );
+        }
+        let (status, metrics) = c.request("GET", "/metrics", None).unwrap();
+        assert_eq!(status, 200);
+        for stage in ["queue_wait", "cache_load", "execute", "serialize", "total"] {
+            let count = metrics["stages"][stage]["summary"]["count"]
+                .as_u64()
+                .unwrap();
+            assert!(count >= 1, "stage {stage} recorded nothing: {metrics}");
+        }
         stop(&addr, handle);
     }
 

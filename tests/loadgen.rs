@@ -1,0 +1,197 @@
+//! End-to-end tests of `graphmine-loadgen` driving an in-process
+//! `graphmine-service` over real HTTP: offered-vs-achieved throughput at
+//! low rate, coordinated-omission accounting, separate shed counting
+//! under admission control, schedule determinism, and the SLO search.
+
+use graphmine_loadgen::{
+    build_schedule, find_max_sustainable, run, ArrivalProcess, JobMix, LoadReport, Outcome,
+    RunConfig, SloConfig,
+};
+use graphmine_service::{client, Server, ServerHandle, ServiceConfig};
+use std::time::Duration;
+
+fn start_server(workers: usize, max_queue_depth: usize) -> (String, ServerHandle) {
+    let handle = Server::start(ServiceConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers,
+        http_workers: 4,
+        cache_bytes: 64 * 1024 * 1024,
+        default_timeout_ms: 60_000,
+        persist_every: 0,
+        max_queue_depth,
+        ..ServiceConfig::default()
+    })
+    .unwrap();
+    (handle.addr().to_string(), handle)
+}
+
+fn stop(addr: &str, handle: ServerHandle) {
+    let (status, _) = client::request(addr, "POST", "/shutdown", None).unwrap();
+    assert_eq!(status, 200);
+    handle.wait().unwrap();
+}
+
+#[test]
+fn open_loop_schedules_are_deterministic_for_a_seed() {
+    let mix = JobMix::suite(300, 0.5);
+    let a = build_schedule(
+        ArrivalProcess::Poisson,
+        150.0,
+        Duration::from_secs(3),
+        2024,
+        &mix,
+    );
+    let b = build_schedule(
+        ArrivalProcess::Poisson,
+        150.0,
+        Duration::from_secs(3),
+        2024,
+        &mix,
+    );
+    assert!(a.len() > 300, "expected a few hundred arrivals");
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.intended, y.intended);
+        assert_eq!(x.class, y.class);
+        assert_eq!(x.body, y.body, "job mix draws must also be identical");
+    }
+}
+
+#[test]
+fn low_rate_open_loop_completes_the_offered_load() {
+    let (addr, handle) = start_server(2, 0);
+    // 10/s of cache-hot quick PageRank jobs: far below capacity, so every
+    // arrival should complete and achieved throughput tracks offered.
+    let cfg = RunConfig::open(
+        &addr,
+        10.0,
+        Duration::from_secs(2),
+        7,
+        JobMix::single("PR", 200, true),
+    );
+    let result = run(&cfg).unwrap();
+    let report = LoadReport::build(&cfg, &result);
+
+    assert!(report.counts.submitted > 0);
+    assert_eq!(report.counts.transport_errors, 0, "report: {report:?}");
+    assert_eq!(report.counts.shed, 0);
+    assert_eq!(report.counts.done, report.counts.submitted);
+
+    // Achieved ≈ offered at low rate. Elapsed includes the tail wait for
+    // the final jobs, so allow a generous band.
+    let achieved = report.achieved_rate_per_s;
+    assert!(
+        achieved > 5.0 && achieved < 15.0,
+        "achieved {achieved}/s for offered 10/s"
+    );
+
+    // Coordinated-omission correction measures from the intended send
+    // time, which can only add delay on top of what the service itself
+    // measured for the job (queue + run).
+    for s in &result.samples {
+        if s.outcome == Outcome::Done {
+            let corrected_ms = s.latency_us as f64 / 1000.0;
+            assert!(
+                corrected_ms >= s.service_ms * 0.999,
+                "corrected {corrected_ms}ms < service-measured {}ms",
+                s.service_ms
+            );
+        }
+    }
+
+    // The report carries the seed and windowed service-side stages.
+    assert_eq!(report.seed, 7);
+    let total = report.service_stages["total"]["count"].as_u64().unwrap();
+    assert!(
+        total >= report.counts.done,
+        "stage window saw {total} jobs, loadgen completed {}",
+        report.counts.done
+    );
+    for stage in ["queue_wait", "cache_load", "execute", "serialize"] {
+        assert!(
+            report.service_stages[stage]["count"].as_u64().unwrap() > 0,
+            "stage {stage} empty in window"
+        );
+    }
+    stop(&addr, handle);
+}
+
+#[test]
+fn admission_control_sheds_are_counted_separately() {
+    // One worker, queue depth 1, no retries: overdriving with slow cold
+    // jobs must produce 429s that land in `shed`, not in `failed`.
+    let (addr, handle) = start_server(1, 1);
+    let mut cfg = RunConfig::open(
+        &addr,
+        100.0,
+        Duration::from_millis(500),
+        13,
+        JobMix::single("PR", 20_000, false),
+    );
+    cfg.max_retries = 0;
+    let result = run(&cfg).unwrap();
+    let report = LoadReport::build(&cfg, &result);
+
+    assert!(report.counts.shed > 0, "expected sheds: {report:?}");
+    assert_eq!(report.counts.transport_errors, 0);
+    assert!(report.counts.http_429 >= report.counts.shed);
+    assert_eq!(
+        report.counts.done + report.counts.failed + report.counts.shed,
+        report.counts.submitted,
+        "every request must be classified exactly once"
+    );
+    // Shed requests stay out of the completion-latency distribution.
+    assert_eq!(
+        report.latency_histogram.count(),
+        report.counts.done,
+        "latency histogram counts only completed jobs"
+    );
+    stop(&addr, handle);
+}
+
+#[test]
+fn slo_search_converges_and_reports_per_stage_percentiles() {
+    let (addr, handle) = start_server(2, 0);
+    let base = RunConfig::open(
+        &addr,
+        20.0,
+        Duration::from_millis(500),
+        11,
+        JobMix::single("PR", 200, true),
+    );
+    // A generous objective with a small probe cap: every probe passes,
+    // the expansion exhausts the cap, and the floor it found stands.
+    let slo = SloConfig {
+        p99_limit_ms: 30_000.0,
+        initial_rate: 20.0,
+        max_probes: 3,
+        ..SloConfig::default()
+    };
+    let result = find_max_sustainable(&base, &slo).unwrap();
+    assert!(result.converged, "search did not converge: {result:?}");
+    assert!(result.max_sustainable_rate_per_s >= 20.0);
+    assert_eq!(result.probes.len(), 3);
+    // Probe seeds are deterministic and distinct.
+    assert_ne!(result.probes[0].seed, result.probes[1].seed);
+
+    let v = result.to_json();
+    assert_eq!(v["p99_limit_ms"], 30_000.0);
+    assert_eq!(v["probes"][0]["pass"], true);
+    let best = &v["best_report"];
+    assert!(!best.is_null(), "expected a best report");
+    for q in ["p50_us", "p90_us", "p99_us", "p999_us"] {
+        assert!(
+            best["latency"].get(q).is_some(),
+            "missing overall quantile {q}"
+        );
+        assert!(
+            best["service_stages"]["execute"].get(q).is_some(),
+            "missing stage quantile {q}"
+        );
+    }
+    assert!(
+        best["per_class"][0]["latency"].get("p99_us").is_some(),
+        "missing per-class quantile"
+    );
+    stop(&addr, handle);
+}
