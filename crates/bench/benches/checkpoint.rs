@@ -62,6 +62,7 @@ fn journal_append_throughput(c: &mut Criterion) {
     let journal = Journal::open(&path).unwrap();
     let request = JobRequest {
         algorithm: "CC".to_string(),
+        graph: None,
         size: 10_000,
         seed: 1,
         alpha: None,
@@ -69,6 +70,8 @@ fn journal_append_throughput(c: &mut Criterion) {
         max_iterations: None,
         timeout_ms: None,
         checkpoint_every: None,
+        direction: None,
+        reorder: false,
     };
     let mut g = c.benchmark_group("journal_append");
     g.sample_size(20).measurement_time(Duration::from_secs(3));

@@ -1,0 +1,73 @@
+//! Store open-vs-rebuild benchmarks: the number the store exists for.
+//!
+//! A cold `POST /jobs` on an uncached graph pays full workload generation;
+//! the same job against a packed store file pays a header-validated mmap
+//! open. These benches pin both sides of that trade — pack throughput
+//! (one-time cost), cold open + load (per-miss cost), and the in-memory
+//! rebuild it replaces — so EXPERIMENTS.md can quote the ratio.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graphmine_algos::Workload;
+use graphmine_store::{load_workload, pack_workload, StoredGraph};
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn bench_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("graphmine_bench_{name}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn open_vs_rebuild(c: &mut Criterion) {
+    let dir = bench_dir("store_open");
+    let mut g = c.benchmark_group("store_open_vs_rebuild");
+    g.sample_size(10).measurement_time(Duration::from_secs(4));
+    for edges in [10_000usize, 100_000] {
+        let workload = Workload::powerlaw(edges, 2.5, 6);
+        let path = dir.join(format!("pl_{edges}.gmg"));
+        pack_workload(&path, &workload, "bench", 6).unwrap();
+        g.bench_with_input(BenchmarkId::new("rebuild", edges), &edges, |b, &edges| {
+            b.iter(|| Workload::powerlaw(edges, 2.5, 6))
+        });
+        g.bench_with_input(BenchmarkId::new("mmap_load", edges), &path, |b, path| {
+            b.iter(|| {
+                let stored = StoredGraph::open(path).unwrap();
+                load_workload(&stored).unwrap()
+            })
+        });
+    }
+    g.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn pack_throughput(c: &mut Criterion) {
+    let dir = bench_dir("store_pack");
+    let workload = Workload::powerlaw(100_000, 2.5, 6);
+    let path = dir.join("pack.gmg");
+    let mut g = c.benchmark_group("store_pack");
+    g.sample_size(10).measurement_time(Duration::from_secs(4));
+    g.bench_function("pack_100k_edges", |b| {
+        b.iter(|| pack_workload(&path, &workload, "bench", 6).unwrap())
+    });
+    g.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn verify_cost(c: &mut Criterion) {
+    // The full checksum pass pages in the whole file — this is what ingest
+    // pays at finalize, and what cold open deliberately skips.
+    let dir = bench_dir("store_verify");
+    let workload = Workload::powerlaw(100_000, 2.5, 6);
+    let path = dir.join("verify.gmg");
+    pack_workload(&path, &workload, "bench", 6).unwrap();
+    let mut g = c.benchmark_group("store_verify");
+    g.sample_size(10).measurement_time(Duration::from_secs(4));
+    g.bench_function("verify_100k_edges", |b| {
+        b.iter(|| StoredGraph::open(&path).unwrap().verify().unwrap())
+    });
+    g.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, open_vs_rebuild, pack_throughput, verify_cost);
+criterion_main!(benches);

@@ -1,6 +1,7 @@
 //! Incremental construction of [`Graph`]s from edge lists.
 
 use crate::csr::{Adjacency, EdgeId, Graph, VertexId};
+use crate::storage::SharedSlice;
 
 /// Builds a [`Graph`] from an edge list.
 ///
@@ -149,7 +150,7 @@ impl GraphBuilder {
             (None, None)
         };
         let n = self.num_vertices;
-        let edge_list = self.edges.into_boxed_slice();
+        let edge_list = SharedSlice::from_vec(self.edges);
         let (out, in_) = if self.directed {
             let out_triples = edge_list
                 .iter()

@@ -8,6 +8,7 @@
 //! where gathering over the neighbors of an undirected vertex reads each
 //! incident edge once).
 
+use crate::storage::SharedSlice;
 use serde::{Deserialize, Serialize};
 
 /// Index of a vertex. Dense in `0..num_vertices`.
@@ -42,9 +43,9 @@ impl Direction {
 /// `edges` arrays.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub(crate) struct Adjacency {
-    pub(crate) offsets: Box<[u64]>,
-    pub(crate) neighbors: Box<[VertexId]>,
-    pub(crate) edges: Box<[EdgeId]>,
+    pub(crate) offsets: SharedSlice<u64>,
+    pub(crate) neighbors: SharedSlice<VertexId>,
+    pub(crate) edges: SharedSlice<EdgeId>,
 }
 
 impl Adjacency {
@@ -77,10 +78,20 @@ impl Adjacency {
             cursor[v as usize] += 1;
         }
         Adjacency {
-            offsets: counts.into_boxed_slice(),
-            neighbors: neighbors.into_boxed_slice(),
-            edges: edges.into_boxed_slice(),
+            offsets: counts.into(),
+            neighbors: neighbors.into(),
+            edges: edges.into(),
         }
+    }
+
+    /// Heap bytes owned by this adjacency (zero for mapped storage).
+    pub(crate) fn heap_bytes(&self) -> u64 {
+        self.offsets.heap_bytes() + self.neighbors.heap_bytes() + self.edges.heap_bytes()
+    }
+
+    /// Whether any backing array borrows from a mapped region.
+    pub(crate) fn is_mapped(&self) -> bool {
+        self.offsets.is_mapped() || self.neighbors.is_mapped() || self.edges.is_mapped()
     }
 }
 
@@ -95,7 +106,7 @@ pub struct Graph {
     pub(crate) num_vertices: usize,
     /// Canonical edge list; for undirected graphs stored with the endpoints
     /// in insertion order (no canonical src < dst normalization is imposed).
-    pub(crate) edge_list: Box<[(VertexId, VertexId)]>,
+    pub(crate) edge_list: SharedSlice<(VertexId, VertexId)>,
     pub(crate) out: Adjacency,
     /// `None` for undirected graphs, where `in == out`.
     pub(crate) in_: Option<Adjacency>,
@@ -248,6 +259,16 @@ impl Graph {
         &self.adj(dir).offsets
     }
 
+    /// The raw CSR arrays for `dir` as `(offsets, neighbors, edge_ids)`.
+    /// For undirected graphs both directions alias the same arrays. Used
+    /// by serializers (e.g. `graphmine-store`) that persist the index
+    /// verbatim; everything else should prefer the row-level accessors.
+    #[inline]
+    pub fn csr_slices(&self, dir: Direction) -> (&[u64], &[VertexId], &[EdgeId]) {
+        let adj = self.adj(dir);
+        (&adj.offsets, &adj.neighbors, &adj.edges)
+    }
+
     /// Whether every adjacency row lists neighbors in ascending vertex
     /// order (deduplicating builds). When true, a pull-style walk of a
     /// destination's in-row folds messages in exactly the engine's push
@@ -322,6 +343,141 @@ impl Graph {
         }
         Ok(())
     }
+
+    /// Assemble a graph from pre-built CSR arrays — the zero-copy
+    /// constructor used by `graphmine-store` to expose memory-mapped files
+    /// as ordinary [`Graph`]s.
+    ///
+    /// Only *structural* invariants are checked here (array lengths and the
+    /// slot totals implied by the offsets), touching O(1) pages so that
+    /// opening a mapped multi-gigabyte graph stays at memory-map cost. The
+    /// deep per-element checks of [`Graph::validate`] remain available and
+    /// are run by the store's explicit verify path; callers handing in
+    /// unchecksummed arrays should run it themselves.
+    pub fn from_parts(parts: GraphParts) -> Result<Graph, String> {
+        let n = parts.num_vertices;
+        let m = parts.edge_list.len();
+        let check = |offsets: &SharedSlice<u64>,
+                     neighbors: &SharedSlice<VertexId>,
+                     edges: &SharedSlice<EdgeId>,
+                     name: &str|
+         -> Result<(), String> {
+            if offsets.len() != n + 1 {
+                return Err(format!("{name}: offsets len {} != n+1 ({})", offsets.len(), n + 1));
+            }
+            if offsets[0] != 0 {
+                return Err(format!("{name}: offsets[0] != 0"));
+            }
+            let slots = offsets[n] as usize;
+            if neighbors.len() != slots || edges.len() != slots {
+                return Err(format!(
+                    "{name}: slot arrays ({} neighbors, {} edges) != offsets total {slots}",
+                    neighbors.len(),
+                    edges.len()
+                ));
+            }
+            Ok(())
+        };
+        check(&parts.out_offsets, &parts.out_neighbors, &parts.out_edges, "out")?;
+        let expected_out_slots = if parts.directed { m } else { 2 * m };
+        if parts.out_offsets[n] as usize != expected_out_slots {
+            return Err(format!(
+                "out slot total {} != expected {expected_out_slots}",
+                parts.out_offsets[n]
+            ));
+        }
+        let in_ = match (parts.in_offsets, parts.in_neighbors, parts.in_edges) {
+            (Some(offsets), Some(neighbors), Some(edges)) => {
+                if !parts.directed {
+                    return Err("undirected graph must not carry an in-adjacency".to_string());
+                }
+                check(&offsets, &neighbors, &edges, "in")?;
+                if offsets[n] as usize != m {
+                    return Err(format!("in slot total {} != edge count {m}", offsets[n]));
+                }
+                Some(Adjacency {
+                    offsets,
+                    neighbors,
+                    edges,
+                })
+            }
+            (None, None, None) => {
+                if parts.directed {
+                    return Err("directed graph requires an in-adjacency".to_string());
+                }
+                None
+            }
+            _ => return Err("in-adjacency arrays must be all present or all absent".to_string()),
+        };
+        Ok(Graph {
+            directed: parts.directed,
+            num_vertices: n,
+            edge_list: parts.edge_list,
+            out: Adjacency {
+                offsets: parts.out_offsets,
+                neighbors: parts.out_neighbors,
+                edges: parts.out_edges,
+            },
+            in_,
+            sorted_rows: parts.sorted_rows,
+            remap: None,
+            inverse: None,
+        })
+    }
+
+    /// Heap bytes owned by the topology arrays. Mapped (mmap-backed) arrays
+    /// charge zero — their pages belong to the OS page cache and are
+    /// reclaimed under memory pressure, so a byte-budgeted cache should not
+    /// bill them as resident.
+    pub fn topology_heap_bytes(&self) -> u64 {
+        let mut total = self.edge_list.heap_bytes() + self.out.heap_bytes();
+        if let Some(in_) = &self.in_ {
+            total += in_.heap_bytes();
+        }
+        if let Some(r) = &self.remap {
+            total += (r.len() * std::mem::size_of::<VertexId>()) as u64;
+        }
+        if let Some(r) = &self.inverse {
+            total += (r.len() * std::mem::size_of::<VertexId>()) as u64;
+        }
+        total
+    }
+
+    /// Whether any topology array borrows from a mapped region (a
+    /// `graphmine-store` zero-copy view) rather than owning heap storage.
+    pub fn is_mapped(&self) -> bool {
+        self.edge_list.is_mapped()
+            || self.out.is_mapped()
+            || self.in_.as_ref().is_some_and(Adjacency::is_mapped)
+    }
+}
+
+/// The raw CSR arrays accepted by [`Graph::from_parts`]. Each array is a
+/// [`SharedSlice`], so callers can hand in owned vectors or zero-copy views
+/// into a mapped file interchangeably.
+pub struct GraphParts {
+    /// Whether the graph is directed.
+    pub directed: bool,
+    /// Number of vertices (`offsets` arrays must have this length + 1).
+    pub num_vertices: usize,
+    /// Canonical edge list, edge id = index.
+    pub edge_list: SharedSlice<(VertexId, VertexId)>,
+    /// Out-adjacency degree-prefix array (undirected: the single shared
+    /// adjacency, with both orientations of every edge).
+    pub out_offsets: SharedSlice<u64>,
+    /// Out-adjacency neighbor slots.
+    pub out_neighbors: SharedSlice<VertexId>,
+    /// Out-adjacency edge-id slots.
+    pub out_edges: SharedSlice<EdgeId>,
+    /// In-adjacency arrays; required for directed graphs, forbidden for
+    /// undirected ones.
+    pub in_offsets: Option<SharedSlice<u64>>,
+    /// See [`GraphParts::in_offsets`].
+    pub in_neighbors: Option<SharedSlice<VertexId>>,
+    /// See [`GraphParts::in_offsets`].
+    pub in_edges: Option<SharedSlice<EdgeId>>,
+    /// Whether adjacency rows are ascending (see [`Graph::has_sorted_rows`]).
+    pub sorted_rows: bool,
 }
 
 #[cfg(test)]

@@ -36,9 +36,11 @@ pub mod edgelist;
 pub mod partition;
 pub mod properties;
 pub mod stats;
+pub mod storage;
 
 pub use builder::GraphBuilder;
-pub use csr::{Direction, EdgeId, Graph, VertexId};
+pub use csr::{Direction, EdgeId, Graph, GraphParts, VertexId};
+pub use storage::{SharedSlice, SliceKeeper};
 pub use degree::{estimate_powerlaw_alpha, DegreeHistogram, DegreeStats};
 pub use edgelist::{parse_edge_list, write_edge_list, EdgeListError};
 pub use partition::{

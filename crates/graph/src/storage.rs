@@ -1,0 +1,208 @@
+//! Shared, possibly memory-mapped slice storage for graph topology arrays.
+//!
+//! [`SharedSlice`] is the storage type behind every CSR array in a
+//! [`crate::Graph`]: an immutable `[T]` that is either *owned* (an
+//! `Arc<[T]>`, the result of a normal build) or *mapped* (a raw pointer into
+//! a memory region kept alive by an opaque keeper object, the result of a
+//! zero-copy load from `graphmine-store`). Both variants share one API —
+//! `Deref<Target = [T]>` — so the engine and every algorithm are oblivious
+//! to where the bytes live. Clones are cheap for both variants (an `Arc`
+//! bump, never a data copy), which also removes the historical cost of
+//! cloning a `Graph`: topology arrays are now shared, not duplicated.
+
+use serde::{Deserialize, Serialize};
+use std::any::Any;
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// The keeper that owns the memory behind a mapped [`SharedSlice`]. The
+/// slice holds it purely for its `Drop`: as long as any clone of the slice
+/// is alive, the mapping (or owned buffer) it points into stays valid.
+pub type SliceKeeper = Arc<dyn Any + Send + Sync>;
+
+enum Repr<T> {
+    /// Heap-owned storage; produced by builds and deserialization.
+    Owned(Arc<[T]>),
+    /// Borrowed storage inside a region owned by `keep` (typically an mmap).
+    Mapped {
+        ptr: *const T,
+        len: usize,
+        keep: SliceKeeper,
+    },
+}
+
+/// An immutable shared slice: owned (`Arc<[T]>`) or borrowed from a mapped
+/// region. Dereferences to `[T]`; clones are O(1).
+pub struct SharedSlice<T> {
+    repr: Repr<T>,
+}
+
+// SAFETY: the slice is immutable for its whole lifetime. The Owned variant
+// is an `Arc<[T]>` (Send + Sync when T is). The Mapped variant points into
+// a region owned by `keep: Arc<dyn Any + Send + Sync>`, which outlives every
+// clone of the slice, and no `&mut` access is ever handed out.
+unsafe impl<T: Send + Sync> Send for SharedSlice<T> {}
+unsafe impl<T: Send + Sync> Sync for SharedSlice<T> {}
+
+impl<T> SharedSlice<T> {
+    /// Wrap an owned vector. No copy beyond the `Arc<[T]>` conversion.
+    pub fn from_vec(v: Vec<T>) -> SharedSlice<T> {
+        SharedSlice {
+            repr: Repr::Owned(Arc::from(v)),
+        }
+    }
+
+    /// Wrap an owned boxed slice.
+    pub fn from_boxed(b: Box<[T]>) -> SharedSlice<T> {
+        SharedSlice {
+            repr: Repr::Owned(Arc::from(b)),
+        }
+    }
+
+    /// Borrow `len` elements starting at `ptr` from a region owned by
+    /// `keep`.
+    ///
+    /// # Safety
+    ///
+    /// The caller must guarantee that:
+    /// * `ptr` is aligned for `T` and `ptr..ptr + len` is a valid
+    ///   initialized `[T]` for as long as `keep` is alive;
+    /// * the region is never mutated while `keep` (or any clone of the
+    ///   returned slice) is alive;
+    /// * `T` has no drop glue and tolerates any bit pattern present in the
+    ///   region (plain-old-data such as `u32`/`u64`/`f64`).
+    pub unsafe fn from_raw(ptr: *const T, len: usize, keep: SliceKeeper) -> SharedSlice<T> {
+        SharedSlice {
+            repr: Repr::Mapped { ptr, len, keep },
+        }
+    }
+
+    /// The contents as a plain slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        match &self.repr {
+            Repr::Owned(a) => a,
+            Repr::Mapped { ptr, len, .. } => {
+                // SAFETY: upheld by the `from_raw` contract.
+                unsafe { std::slice::from_raw_parts(*ptr, *len) }
+            }
+        }
+    }
+
+    /// Whether this slice borrows from a mapped region (true) or owns its
+    /// storage on the heap (false).
+    #[inline]
+    pub fn is_mapped(&self) -> bool {
+        matches!(self.repr, Repr::Mapped { .. })
+    }
+
+    /// Heap bytes charged to this slice: the full payload for owned
+    /// storage, zero for mapped storage (the pager owns those bytes and
+    /// reclaims them under pressure).
+    #[inline]
+    pub fn heap_bytes(&self) -> u64 {
+        match &self.repr {
+            Repr::Owned(a) => (a.len() * std::mem::size_of::<T>()) as u64,
+            Repr::Mapped { .. } => 0,
+        }
+    }
+}
+
+impl<T> Deref for SharedSlice<T> {
+    type Target = [T];
+
+    #[inline]
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T> Clone for SharedSlice<T> {
+    fn clone(&self) -> SharedSlice<T> {
+        let repr = match &self.repr {
+            Repr::Owned(a) => Repr::Owned(Arc::clone(a)),
+            Repr::Mapped { ptr, len, keep } => Repr::Mapped {
+                ptr: *ptr,
+                len: *len,
+                keep: Arc::clone(keep),
+            },
+        };
+        SharedSlice { repr }
+    }
+}
+
+impl<T> From<Vec<T>> for SharedSlice<T> {
+    fn from(v: Vec<T>) -> SharedSlice<T> {
+        SharedSlice::from_vec(v)
+    }
+}
+
+impl<T> From<Box<[T]>> for SharedSlice<T> {
+    fn from(b: Box<[T]>) -> SharedSlice<T> {
+        SharedSlice::from_boxed(b)
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for SharedSlice<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.as_slice().iter()).finish()
+    }
+}
+
+impl<T: PartialEq> PartialEq for SharedSlice<T> {
+    fn eq(&self, other: &SharedSlice<T>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Serialize> Serialize for SharedSlice<T> {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(serializer)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for SharedSlice<T> {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<SharedSlice<T>, D::Error> {
+        Vec::<T>::deserialize(deserializer).map(SharedSlice::from_vec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owned_round_trip() {
+        let s = SharedSlice::from_vec(vec![1u32, 2, 3]);
+        assert_eq!(&*s, &[1, 2, 3]);
+        assert!(!s.is_mapped());
+        assert_eq!(s.heap_bytes(), 12);
+        let t = s.clone();
+        assert_eq!(&*t, &[1, 2, 3]);
+    }
+
+    #[test]
+    fn mapped_borrows_and_keeps_owner_alive() {
+        let backing: Arc<Vec<u64>> = Arc::new(vec![7, 8, 9]);
+        let ptr = backing.as_ptr();
+        let keep: SliceKeeper = backing.clone();
+        let s = unsafe { SharedSlice::from_raw(ptr, 3, keep) };
+        assert!(s.is_mapped());
+        assert_eq!(s.heap_bytes(), 0);
+        assert_eq!(&*s, &[7, 8, 9]);
+        let t = s.clone();
+        drop(s);
+        assert_eq!(&*t, &[7, 8, 9]);
+    }
+
+    #[test]
+    fn serde_round_trips_to_owned() {
+        let s = SharedSlice::from_vec(vec![4u32, 5]);
+        let json = serde_json::to_string(&s).unwrap();
+        assert_eq!(json, "[4,5]");
+        let back: SharedSlice<u32> = serde_json::from_str(&json).unwrap();
+        assert!(!back.is_mapped());
+        assert_eq!(s, back);
+    }
+}

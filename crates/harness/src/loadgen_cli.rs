@@ -27,6 +27,8 @@ struct LoadgenArgs {
     size: u64,
     hot_ratio: f64,
     algorithm: Option<String>,
+    graph: Option<String>,
+    graph_dir: Option<PathBuf>,
     max_retries: u32,
     concurrency: usize,
     sweep: Option<Vec<f64>>,
@@ -41,6 +43,7 @@ fn usage() -> String {
      \x20      [--mode open|closed] [--process poisson|uniform] [--rate R]\n\
      \x20      [--clients N] [--think-ms MS] [--duration 5s] [--seed N]\n\
      \x20      [--size N] [--hot-ratio F] [--algorithm ABBREV]\n\
+     \x20      [--graph NAME] [--graph-dir DIR]\n\
      \x20      [--max-retries N] [--concurrency N] [--sweep R1,R2,...]\n\
      \x20      [--slo-p99-ms MS [--max-probes N]] [--json PATH] [--fail-on-errors]"
         .to_string()
@@ -78,6 +81,8 @@ fn parse(mut args: impl Iterator<Item = String>) -> Result<LoadgenArgs, String> 
         size: 300,
         hot_ratio: 0.9,
         algorithm: None,
+        graph: None,
+        graph_dir: None,
         max_retries: 3,
         concurrency: 16,
         sweep: None,
@@ -134,6 +139,8 @@ fn parse(mut args: impl Iterator<Item = String>) -> Result<LoadgenArgs, String> 
                     .map_err(|_| "unparseable --hot-ratio")?;
             }
             "--algorithm" => out.algorithm = Some(value("--algorithm")?),
+            "--graph" => out.graph = Some(value("--graph")?),
+            "--graph-dir" => out.graph_dir = Some(PathBuf::from(value("--graph-dir")?)),
             "--max-retries" => {
                 out.max_retries = value("--max-retries")?
                     .parse()
@@ -176,10 +183,13 @@ fn parse(mut args: impl Iterator<Item = String>) -> Result<LoadgenArgs, String> 
 }
 
 fn base_config(args: &LoadgenArgs, addr: &str) -> RunConfig {
-    let mix = match &args.algorithm {
+    let mut mix = match &args.algorithm {
         Some(algo) => JobMix::single(algo, args.size, args.hot_ratio >= 0.5),
         None => JobMix::suite(args.size, args.hot_ratio),
     };
+    if let Some(graph) = &args.graph {
+        mix = mix.with_graph(graph);
+    }
     let mode = if args.mode == "closed" {
         Mode::Closed {
             clients: args.clients,
@@ -232,6 +242,7 @@ pub fn main(args: impl Iterator<Item = String>) -> ExitCode {
             addr: "127.0.0.1:0".to_string(),
             workers: args.workers,
             persist_every: 0,
+            graph_dir: args.graph_dir.clone(),
             ..graphmine_service::ServiceConfig::default()
         };
         match graphmine_service::Server::start(config) {
@@ -403,6 +414,22 @@ mod tests {
         assert!(parse(["--sweep".to_string(), "0,5".to_string()].into_iter()).is_err());
         assert!(parse(["--rate".to_string(), "-1".to_string()].into_iter()).is_err());
         assert!(parse(["--bogus".to_string()].into_iter()).is_err());
+    }
+
+    #[test]
+    fn graph_flag_retargets_the_mix_at_a_stored_graph() {
+        let a = parse_ok(&["--graph", "twitter", "--graph-dir", "/tmp/graphs"]);
+        assert_eq!(a.graph.as_deref(), Some("twitter"));
+        assert_eq!(
+            a.graph_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/graphs"))
+        );
+        let cfg = base_config(&a, "127.0.0.1:9");
+        assert!(cfg
+            .mix
+            .classes()
+            .iter()
+            .all(|c| c.graph.as_deref() == Some("twitter")));
     }
 
     #[test]

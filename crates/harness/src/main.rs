@@ -12,10 +12,11 @@
 //! graphmine plot    [--db PATH] [--out DIR]        # SVG figures
 //! graphmine serve   [--addr HOST:PORT] [--workers N] [--cache-mb MB] [--db PATH]
 //!                   [--retry-budget N] [--max-queue-depth N] [--spill-dir DIR]
-//!                   [--direction auto|push|pull] [--reorder]
+//!                   [--graph-dir DIR] [--direction auto|push|pull] [--reorder]
 //! graphmine loadgen [--addr HOST:PORT | --spawn] [--mode open|closed] [--rate R]
 //!                   [--duration 5s] [--seed N] [--sweep R1,R2,...]
 //!                   [--slo-p99-ms MS] [--json PATH] [--fail-on-errors]
+//! graphmine graph   pack|inspect|verify ...          # binary store files
 //! graphmine list
 //! ```
 //!
@@ -24,6 +25,7 @@
 //! fits the §7 runtime model; `analyze` measures the behavior of a
 //! user-supplied edge list and places it next to the study's runs.
 
+mod graph_cli;
 mod loadgen_cli;
 
 use graphmine_core::WorkMetric;
@@ -49,6 +51,7 @@ struct Args {
     retry_budget: u32,
     max_queue_depth: usize,
     spill_dir: Option<PathBuf>,
+    graph_dir: Option<PathBuf>,
     direction: DirectionMode,
     direction_given: Option<String>,
     reorder: bool,
@@ -68,6 +71,7 @@ fn parse_args() -> Result<Args, String> {
     let mut retry_budget = 2u32;
     let mut max_queue_depth = 0usize;
     let mut spill_dir: Option<PathBuf> = None;
+    let mut graph_dir: Option<PathBuf> = None;
     let mut direction = DirectionMode::Auto;
     let mut direction_given: Option<String> = None;
     let mut reorder = false;
@@ -130,6 +134,11 @@ fn parse_args() -> Result<Args, String> {
                     args.next().ok_or("--spill-dir needs a value")?,
                 ));
             }
+            "--graph-dir" => {
+                graph_dir = Some(PathBuf::from(
+                    args.next().ok_or("--graph-dir needs a value")?,
+                ));
+            }
             "--direction" => {
                 let v = args.next().ok_or("--direction needs a value")?;
                 direction = match v.as_str() {
@@ -159,6 +168,7 @@ fn parse_args() -> Result<Args, String> {
         retry_budget,
         max_queue_depth,
         spill_dir,
+        graph_dir,
         direction,
         direction_given,
         reorder,
@@ -171,19 +181,23 @@ fn usage() -> String {
          \x20      graphmine run   [--direction auto|push|pull] [--reorder] ...\n\
          \x20      graphmine serve [--addr HOST:PORT] [--workers N] [--cache-mb MB] [--db PATH]\n\
          \x20                      [--retry-budget N] [--max-queue-depth N] [--spill-dir DIR]\n\
-         \x20                      [--direction auto|push|pull] [--reorder]\n\
+         \x20                      [--graph-dir DIR] [--direction auto|push|pull] [--reorder]\n\
          \x20      graphmine loadgen [--spawn | --addr HOST:PORT] [--mode open|closed] [--rate R]\n\
          \x20                      [--duration 5s] [--sweep R1,R2,...] [--slo-p99-ms MS] [--json PATH]\n\
-         commands: run, all, list, predict, analyze, export, cluster, correlations, plot, serve, loadgen, {}",
+         \x20      graphmine graph pack|inspect|verify ...\n\
+         commands: run, all, list, predict, analyze, export, cluster, correlations, plot, serve, loadgen, graph, {}",
         FIGURE_IDS.join(", ")
     )
 }
 
 fn main() -> ExitCode {
-    // `loadgen` has its own flag set; dispatch before the shared parser.
+    // `loadgen` and `graph` have their own flag sets; dispatch before the
+    // shared parser.
     let mut raw = std::env::args().skip(1);
-    if raw.next().as_deref() == Some("loadgen") {
-        return loadgen_cli::main(raw);
+    match raw.next().as_deref() {
+        Some("loadgen") => return loadgen_cli::main(raw),
+        Some("graph") => return graph_cli::main(raw),
+        _ => {}
     }
     let args = match parse_args() {
         Ok(a) => a,
@@ -280,6 +294,7 @@ fn main() -> ExitCode {
                 retry_budget: args.retry_budget,
                 max_queue_depth: args.max_queue_depth,
                 spill_dir: args.spill_dir.clone(),
+                graph_dir: args.graph_dir.clone(),
                 default_direction: args.direction_given.clone(),
                 default_reorder: args.reorder,
                 ..graphmine_service::ServiceConfig::default()

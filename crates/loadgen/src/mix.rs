@@ -27,6 +27,12 @@ pub struct JobClass {
     pub size: u64,
     /// Optional skew parameter forwarded to the generator.
     pub alpha: Option<f64>,
+    /// Named graph from the server's store catalog. When set, the service
+    /// runs on the stored graph (mmap-opened, cached by fingerprint) and
+    /// ignores `size`, `alpha`, and the per-request seed — every request
+    /// of the class behaves as hot after the first touch.
+    #[serde(default)]
+    pub graph: Option<String>,
     /// Scale profile forwarded to the service (`"quick"` keeps probe jobs
     /// short).
     pub profile: Option<String>,
@@ -102,6 +108,7 @@ impl JobMix {
                     algorithm: algo.to_string(),
                     size,
                     alpha: None,
+                    graph: None,
                     profile: Some("quick".to_string()),
                     hot: true,
                     weight: hot_ratio,
@@ -113,6 +120,7 @@ impl JobMix {
                     algorithm: algo.to_string(),
                     size,
                     alpha: None,
+                    graph: None,
                     profile: Some("quick".to_string()),
                     hot: false,
                     weight: 1.0 - hot_ratio,
@@ -129,11 +137,22 @@ impl JobMix {
             algorithm: algorithm.to_string(),
             size,
             alpha: None,
+            graph: None,
             profile: Some("quick".to_string()),
             hot,
             weight: 1.0,
         }])
         .expect("single-class mix is well-formed")
+    }
+
+    /// The same mix retargeted at a stored graph: every class keeps its
+    /// algorithm and weight but runs against `graph` from the server's
+    /// catalog instead of a generated workload.
+    pub fn with_graph(mut self, graph: &str) -> JobMix {
+        for c in &mut self.classes {
+            c.graph = Some(graph.to_string());
+        }
+        self
     }
 
     /// The classes, in declaration order (stable class indices).
@@ -169,6 +188,9 @@ impl JobMix {
         });
         if let Some(alpha) = c.alpha {
             body["alpha"] = json!(alpha);
+        }
+        if let Some(graph) = &c.graph {
+            body["graph"] = json!(graph);
         }
         if let Some(profile) = &c.profile {
             body["profile"] = json!(profile);
@@ -212,6 +234,7 @@ mod tests {
                 algorithm: "PR".into(),
                 size: 100,
                 alpha: None,
+                graph: None,
                 profile: None,
                 hot: true,
                 weight: 3.0,
@@ -221,6 +244,7 @@ mod tests {
                 algorithm: "CC".into(),
                 size: 100,
                 alpha: None,
+                graph: None,
                 profile: None,
                 hot: false,
                 weight: 1.0,
@@ -265,6 +289,21 @@ mod tests {
     }
 
     #[test]
+    fn with_graph_retargets_every_class_and_body() {
+        let mix = JobMix::suite(300, 0.5).with_graph("twitter");
+        assert!(mix
+            .classes()
+            .iter()
+            .all(|c| c.graph.as_deref() == Some("twitter")));
+        let mut rng = SplitMix64::new(9);
+        let body = mix.request_body(0, &mut rng);
+        assert_eq!(body["graph"], json!("twitter"));
+        let plain = JobMix::single("PR", 100, true);
+        let mut rng = SplitMix64::new(9);
+        assert!(plain.request_body(0, &mut rng).get("graph").is_none());
+    }
+
+    #[test]
     fn bad_mixes_are_rejected() {
         assert!(JobMix::new(vec![]).is_err());
         let class = |name: &str, weight: f64| JobClass {
@@ -272,6 +311,7 @@ mod tests {
             algorithm: "PR".into(),
             size: 10,
             alpha: None,
+            graph: None,
             profile: None,
             hot: true,
             weight,

@@ -16,23 +16,38 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// Identity of a generatable workload: variant, size parameter, power-law
-/// exponent (milli-units; 0 when the variant has none), generator seed,
-/// and whether the vertices were permuted degree-descending at build time.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct CacheKey {
-    /// Workload variant discriminant (power-law, ratings, matrix, grid, mrf).
-    pub class: u8,
-    /// Domain size parameter (edges, rows, or grid side).
-    pub size: u64,
-    /// `alpha * 1000` rounded, or 0 for variants without an exponent.
-    pub alpha_milli: u64,
-    /// Generator seed.
-    pub seed: u64,
-    /// Degree-descending vertex reordering applied — a reordered workload
-    /// is a different in-memory object than its natural-order twin, so it
-    /// must never share a cache slot with it.
-    pub reorder: bool,
+/// Identity of a cacheable workload: either a synthetic spec the server
+/// can regenerate, or a named graph resolved from the store catalog.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum CacheKey {
+    /// A generatable synthetic workload.
+    Generated {
+        /// Workload variant discriminant (power-law, ratings, matrix, grid,
+        /// mrf).
+        class: u8,
+        /// Domain size parameter (edges, rows, or grid side).
+        size: u64,
+        /// `alpha * 1000` rounded, or 0 for variants without an exponent.
+        alpha_milli: u64,
+        /// Generator seed.
+        seed: u64,
+        /// Degree-descending vertex reordering applied — a reordered
+        /// workload is a different in-memory object than its natural-order
+        /// twin, so it must never share a cache slot with it.
+        reorder: bool,
+    },
+    /// A named graph from the store catalog. The content fingerprint is
+    /// part of the identity: re-ingesting a name with different bytes
+    /// changes the fingerprint and misses the stale entry instead of
+    /// serving it.
+    Stored {
+        /// Catalog name.
+        name: String,
+        /// Store-file content fingerprint.
+        fingerprint: u64,
+        /// Degree-descending reordering applied after load.
+        reorder: bool,
+    },
 }
 
 #[derive(Debug)]
@@ -105,21 +120,38 @@ impl GraphCache {
     where
         F: FnOnce() -> Workload,
     {
+        match self.get_or_try_build::<_, std::convert::Infallible>(key, || Ok(build())) {
+            Ok(result) => result,
+            Err(never) => match never {},
+        }
+    }
+
+    /// [`GraphCache::get_or_build`] for fallible builds — stored-graph
+    /// loads can fail (file corrupted or removed since the catalog
+    /// lookup), and a failed build must not poison the cache.
+    pub fn get_or_try_build<F, E>(
+        &self,
+        key: CacheKey,
+        build: F,
+    ) -> Result<(Arc<Workload>, bool), E>
+    where
+        F: FnOnce() -> Result<Workload, E>,
+    {
         if self.budget == 0 {
             self.misses.fetch_add(1, Ordering::Relaxed);
-            return (Arc::new(build()), false);
+            return Ok((Arc::new(build()?), false));
         }
         {
             let map = self.inner.read();
             if let Some(entry) = map.get(&key) {
                 entry.last_used.store(self.tick(), Ordering::Relaxed);
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                return (Arc::clone(&entry.workload), true);
+                return Ok((Arc::clone(&entry.workload), true));
             }
         }
 
-        let workload = Arc::new(build());
-        let bytes = workload_bytes(&workload);
+        let workload = Arc::new(build()?);
+        let bytes = workload_resident_bytes(&workload);
         self.misses.fetch_add(1, Ordering::Relaxed);
 
         let mut map = self.inner.write();
@@ -127,7 +159,7 @@ impl GraphCache {
             // Lost a build race; still a miss (we paid for a build), but
             // converge on the shared copy.
             entry.last_used.store(self.tick(), Ordering::Relaxed);
-            return (Arc::clone(&entry.workload), false);
+            return Ok((Arc::clone(&entry.workload), false));
         }
         // Evict least-recently-used entries until the newcomer fits. An
         // entry larger than the whole budget is admitted alone — the job
@@ -138,7 +170,7 @@ impl GraphCache {
             let lru_key = map
                 .iter()
                 .min_by_key(|(_, e)| e.last_used.load(Ordering::Relaxed))
-                .map(|(k, _)| *k);
+                .map(|(k, _)| k.clone());
             match lru_key {
                 Some(k) => {
                     if let Some(evicted) = map.remove(&k) {
@@ -157,21 +189,23 @@ impl GraphCache {
                 last_used: AtomicU64::new(self.tick()),
             },
         );
-        (workload, false)
+        Ok((workload, false))
     }
 }
 
-/// Estimated resident size of a workload. This is a budget heuristic, not
-/// an allocator audit: topology dominates (edge list + CSR adjacency ≈ 24
-/// bytes/edge, offsets ≈ 8 bytes/vertex, doubled for directed graphs'
-/// reverse adjacency), plus the variant's dense per-vertex / per-edge
-/// payloads.
-pub fn workload_bytes(workload: &Workload) -> u64 {
+/// Estimated *resident* (heap) size of a workload — what eviction charges
+/// against the budget. Topology is counted from the graph's actual heap
+/// footprint, so an mmap-backed stored graph (whose CSR arrays live in the
+/// page cache, reclaimable by the kernel, and cost milliseconds to reopen)
+/// charges only its dense data columns while a generated graph charges its
+/// full CSR. This keeps the LRU from evicting expensive synthetic rebuilds
+/// to protect cheap-to-reopen mapped graphs. The payload terms are a
+/// budget heuristic, not an allocator audit.
+pub fn workload_resident_bytes(workload: &Workload) -> u64 {
     let graph = workload.graph();
     let v = graph.num_vertices() as u64;
     let e = graph.num_edges() as u64;
-    let adjacency_copies = if graph.is_directed() { 2 } else { 1 };
-    let topology = e * 16 + adjacency_copies * (e * 8 + v * 8);
+    let topology = graph.topology_heap_bytes() as u64;
     let payload = match workload {
         // Per-edge f64 weights + per-vertex [f64; 2] points.
         Workload::PowerLaw { .. } => e * 8 + v * 16,
@@ -190,7 +224,7 @@ mod tests {
     use super::*;
 
     fn key(seed: u64) -> CacheKey {
-        CacheKey {
+        CacheKey::Generated {
             class: 0,
             size: 200,
             alpha_milli: 2500,
@@ -230,7 +264,7 @@ mod tests {
     #[test]
     fn lru_eviction_respects_budget_and_recency() {
         let one = build(1);
-        let entry_bytes = workload_bytes(&one);
+        let entry_bytes = workload_resident_bytes(&one);
         // Room for two entries, not three.
         let cache = GraphCache::new(entry_bytes * 2 + entry_bytes / 2);
         cache.get_or_build(key(1), || build(1));
@@ -276,7 +310,7 @@ mod tests {
 
     #[test]
     fn eviction_under_contention_never_invalidates_held_workloads() {
-        let entry_bytes = workload_bytes(&build(0));
+        let entry_bytes = workload_resident_bytes(&build(0));
         // Budget for ~2 entries while 6 distinct keys churn: constant
         // eviction pressure under concurrent access.
         let cache = Arc::new(GraphCache::new(entry_bytes * 2 + entry_bytes / 2));
@@ -313,6 +347,42 @@ mod tests {
             cache.len() <= 2,
             "more entries resident than the budget allows"
         );
+    }
+
+    #[test]
+    fn failed_builds_do_not_poison_the_cache() {
+        let cache = GraphCache::new(64 * 1024 * 1024);
+        let err: Result<(Arc<Workload>, bool), String> =
+            cache.get_or_try_build(key(1), || Err("load failed".to_string()));
+        assert!(err.is_err());
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.resident_bytes(), 0);
+        let (_, hit) = cache.get_or_build(key(1), || build(1));
+        assert!(!hit, "a failed build must not satisfy later lookups");
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn stored_and_generated_keys_occupy_distinct_slots() {
+        let cache = GraphCache::new(64 * 1024 * 1024);
+        let stored = CacheKey::Stored {
+            name: "g".to_string(),
+            fingerprint: 7,
+            reorder: false,
+        };
+        let restamped = CacheKey::Stored {
+            name: "g".to_string(),
+            fingerprint: 8,
+            reorder: false,
+        };
+        cache.get_or_build(key(1), || build(1));
+        let (_, hit) = cache.get_or_build(stored.clone(), || build(1));
+        assert!(!hit, "stored key must not alias a generated key");
+        let (_, hit) = cache.get_or_build(stored, || build(1));
+        assert!(hit);
+        // A new fingerprint is a new identity: re-ingested content misses.
+        let (_, hit) = cache.get_or_build(restamped, || build(1));
+        assert!(!hit, "fingerprint change must invalidate the slot");
     }
 
     #[test]

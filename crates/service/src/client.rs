@@ -80,28 +80,50 @@ impl Client {
     /// sockets, and the close is only observable as an error on the next
     /// use. Fresh-connection failures propagate.
     pub fn send(&mut self, method: &str, path: &str, body: Option<&Value>) -> io::Result<Response> {
+        let payload = body.map(|b| b.to_string()).unwrap_or_default();
+        self.send_bytes(method, path, payload.as_bytes(), "application/json")
+    }
+
+    /// [`Client::send`] with a raw byte body (`application/octet-stream`)
+    /// — the graph-ingest chunk upload path.
+    pub fn send_raw(&mut self, method: &str, path: &str, body: &[u8]) -> io::Result<Response> {
+        self.send_bytes(method, path, body, "application/octet-stream")
+    }
+
+    fn send_bytes(
+        &mut self,
+        method: &str,
+        path: &str,
+        payload: &[u8],
+        content_type: &str,
+    ) -> io::Result<Response> {
         let reused = self.stream.is_some();
-        match self.try_send(method, path, body) {
+        match self.try_send(method, path, payload, content_type) {
             Ok(response) => Ok(response),
             Err(_) if reused => {
                 self.stream = None;
-                self.try_send(method, path, body)
+                self.try_send(method, path, payload, content_type)
             }
             Err(e) => Err(e),
         }
     }
 
-    fn try_send(&mut self, method: &str, path: &str, body: Option<&Value>) -> io::Result<Response> {
+    fn try_send(
+        &mut self,
+        method: &str,
+        path: &str,
+        payload: &[u8],
+        content_type: &str,
+    ) -> io::Result<Response> {
         let addr = self.addr.clone();
-        let payload = body.map(|b| b.to_string()).unwrap_or_default();
         let head = format!(
-            "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n",
+            "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n",
             payload.len()
         );
         let result = (|| {
             let stream = self.connect()?;
             stream.write_all(head.as_bytes())?;
-            stream.write_all(payload.as_bytes())?;
+            stream.write_all(payload)?;
             stream.flush()?;
             read_response(stream)
         })();

@@ -15,6 +15,11 @@ use std::time::Instant;
 pub struct JobRequest {
     /// Algorithm abbreviation, case-insensitive ("PR", "sssp", …).
     pub algorithm: String,
+    /// Named graph from the store catalog to run on instead of generating
+    /// a synthetic workload. When set, `size`, `alpha`, and `seed` are
+    /// ignored (the stored graph fixes them) while `reorder` still applies.
+    #[serde(default)]
+    pub graph: Option<String>,
     /// Domain size parameter: edge count for power-law/ratings/MRF inputs,
     /// row count for matrices, grid side for LBP.
     #[serde(default = "default_size")]
@@ -319,7 +324,7 @@ pub fn cache_key(algorithm: AlgorithmKind, request: &JobRequest) -> CacheKey {
     } else {
         0
     };
-    CacheKey {
+    CacheKey::Generated {
         class,
         size: request.size,
         alpha_milli,
@@ -360,6 +365,7 @@ mod tests {
     fn request(alg: &str) -> JobRequest {
         JobRequest {
             algorithm: alg.to_string(),
+            graph: None,
             size: 500,
             alpha: None,
             seed: 7,

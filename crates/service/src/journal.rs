@@ -274,6 +274,7 @@ mod tests {
     fn request(alg: &str) -> JobRequest {
         JobRequest {
             algorithm: alg.to_string(),
+            graph: None,
             size: 200,
             alpha: None,
             seed: 1,

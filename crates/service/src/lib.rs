@@ -33,7 +33,7 @@ pub mod metrics;
 pub mod queue;
 pub mod server;
 
-pub use cache::{workload_bytes, CacheKey, GraphCache};
+pub use cache::{workload_resident_bytes, CacheKey, GraphCache};
 pub use client::{Client, Response};
 pub use http::RequestError;
 pub use job::{parse_algorithm, Job, JobRequest, JobState, JobStatus};

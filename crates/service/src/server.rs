@@ -31,7 +31,7 @@
 //! admission control sheds load with `429 Too Many Requests` once the
 //! queue exceeds its configured depth.
 
-use crate::cache::GraphCache;
+use crate::cache::{CacheKey, GraphCache};
 use crate::http::{self, Request};
 use crate::job::{
     build_workload, cache_key, domain_name, parse_algorithm, parse_direction, Job, JobRequest,
@@ -40,7 +40,7 @@ use crate::job::{
 use crate::journal::{self, Journal, JournalEvent};
 use crate::metrics::{Metrics, StageHistograms};
 use crate::queue::WorkQueue;
-use graphmine_algos::{run_algorithm, SuiteConfig, WorkloadMismatch};
+use graphmine_algos::{run_algorithm, AlgorithmKind, Domain, SuiteConfig, WorkloadMismatch};
 use graphmine_core::{
     best_coverage_ensemble, best_spread_ensemble, CoverageSampler, GraphSpec, LoadError, RunDb,
     RunRecord, SharedRunDb, WorkMetric,
@@ -49,9 +49,14 @@ use graphmine_engine::RunTrace;
 use graphmine_engine::{
     CheckpointPolicy, CheckpointStats, DirectionChoice, ExecutionConfig, FaultPlan, FaultSite,
 };
+use graphmine_store::{
+    finalize_ingest, load_workload, Catalog, CatalogEntry, IngestConfig, IngestSession, StoreError,
+    StoredGraph,
+};
 use parking_lot::{Mutex, RwLock};
 use serde::Deserialize;
 use serde_json::{json, Value};
+use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
@@ -99,6 +104,9 @@ pub struct ServiceConfig {
     /// Degree-descending vertex reordering for every job that does not set
     /// `reorder` itself.
     pub default_reorder: bool,
+    /// Catalog directory of stored graphs, enabling the `/graphs` ingest
+    /// API and `"graph": "<name>"` job requests. `None` disables both.
+    pub graph_dir: Option<PathBuf>,
 }
 
 impl Default for ServiceConfig {
@@ -118,6 +126,7 @@ impl Default for ServiceConfig {
             fault_plan: None,
             default_direction: None,
             default_reorder: false,
+            graph_dir: None,
         }
     }
 }
@@ -140,6 +149,25 @@ struct RetryEntry {
     job: Arc<Job>,
 }
 
+/// Graph-store state: the catalog of named graphs plus in-flight chunked
+/// ingest sessions. The sessions map is rebuilt lazily after a restart —
+/// chunk and finalize handlers resume journaled sessions from disk on
+/// first touch. The map mutex is held across chunk fsyncs, serializing
+/// concurrent ingests; acceptable at bulk-upload rates, and it keeps the
+/// strictly-sequential chunk protocol race-free.
+struct StoreState {
+    catalog: Catalog,
+    sessions: Mutex<HashMap<String, IngestSession>>,
+}
+
+impl StoreState {
+    /// Where ingest session directories live: a dot-prefixed subdirectory
+    /// of the catalog, invisible to the catalog's `.gmg` listing.
+    fn ingest_root(&self) -> PathBuf {
+        self.catalog.dir().join(".ingest")
+    }
+}
+
 /// Shared server state.
 struct ServiceState {
     config: ServiceConfig,
@@ -159,6 +187,7 @@ struct ServiceState {
     crashed: AtomicBool,
     watchdog: Mutex<Vec<WatchEntry>>,
     retries: Mutex<Vec<RetryEntry>>,
+    store: Option<StoreState>,
 }
 
 impl ServiceState {
@@ -266,6 +295,13 @@ impl Server {
         let db = SharedRunDb::new(db);
 
         let cache = GraphCache::new(config.cache_bytes);
+        let store = match &config.graph_dir {
+            Some(dir) => Some(StoreState {
+                catalog: Catalog::open(dir).map_err(io::Error::other)?,
+                sessions: Mutex::new(HashMap::new()),
+            }),
+            None => None,
+        };
         let workers = config.workers.max(1);
         let http_workers = config.http_workers.max(1);
         let state = Arc::new(ServiceState {
@@ -284,6 +320,7 @@ impl Server {
             crashed: AtomicBool::new(false),
             watchdog: Mutex::new(Vec::new()),
             retries: Mutex::new(Vec::new()),
+            store,
         });
 
         // Re-enqueue every journaled job that never reached a terminal
@@ -663,14 +700,62 @@ fn execute_job(state: &Arc<ServiceState>, job: &Arc<Job>) {
 
     let started = Instant::now();
 
-    // Workload: cache hit or (slow) generation — outside the timeout
-    // window, which covers the engine run only.
+    // Workload: cache hit, mmap-open of a stored graph, or (slow)
+    // generation — outside the timeout window, which covers the engine
+    // run only.
     let request = job.request.clone();
     let algorithm = job.algorithm;
-    let key = cache_key(algorithm, &request);
-    let (workload, hit) = state
-        .cache
-        .get_or_build(key, || build_workload(algorithm, &request));
+    let stored_entry = match resolve_stored_entry(state, &request) {
+        Ok(entry) => entry,
+        Err(msg) => {
+            state.running.fetch_sub(1, Ordering::SeqCst);
+            finish_job(state, job, JobState::Failed, Some(msg), 0.0, None);
+            return;
+        }
+    };
+    let resolved = match &stored_entry {
+        Some(entry) => {
+            let key = CacheKey::Stored {
+                name: entry.name.clone(),
+                fingerprint: entry.fingerprint,
+                reorder: request.reorder,
+            };
+            let path = entry.path.clone();
+            let reorder = request.reorder;
+            state.cache.get_or_try_build(key, || {
+                let stored = StoredGraph::open(&path)?;
+                let workload = load_workload(&stored)?;
+                Ok::<_, StoreError>(if reorder {
+                    workload.reordered_by_degree()
+                } else {
+                    workload
+                })
+            })
+        }
+        None => {
+            let key = cache_key(algorithm, &request);
+            Ok(state
+                .cache
+                .get_or_build(key, || build_workload(algorithm, &request)))
+        }
+    };
+    let (workload, hit) = match resolved {
+        Ok(pair) => pair,
+        Err(e) => {
+            // The file vanished or rotted between the catalog lookup and
+            // the open; deterministic for this content, so no retry.
+            state.running.fetch_sub(1, Ordering::SeqCst);
+            finish_job(
+                state,
+                job,
+                JobState::Failed,
+                Some(format!("stored graph load failed: {e}")),
+                0.0,
+                None,
+            );
+            return;
+        }
+    };
     let cache_ms = started.elapsed().as_secs_f64() * 1e3;
     {
         let mut status = job.status();
@@ -819,10 +904,20 @@ fn execute_job(state: &Arc<ServiceState>, job: &Arc<Job>) {
                 }
             } else {
                 let serialize_started = Instant::now();
-                let spec = GraphSpec {
-                    size: request.size,
-                    alpha: request.alpha,
-                    label: format!("{}", request.size),
+                let spec = match &stored_entry {
+                    // Stored graphs fix their own size; the label carries
+                    // provenance so figures can tell stored runs from
+                    // synthetic ones.
+                    Some(entry) => GraphSpec {
+                        size: entry.num_edges,
+                        alpha: None,
+                        label: format!("stored:{}", entry.name),
+                    },
+                    None => GraphSpec {
+                        size: request.size,
+                        alpha: request.alpha,
+                        label: format!("{}", request.size),
+                    },
                 };
                 let record = RunRecord::from_trace(
                     algorithm.abbrev(),
@@ -851,6 +946,27 @@ fn execute_job(state: &Arc<ServiceState>, job: &Arc<Job>) {
     state.running.fetch_sub(1, Ordering::SeqCst);
 }
 
+/// Resolve a job's `graph` field to its catalog entry, or `Ok(None)` for
+/// synthetic jobs. Submission already validated existence, but journal
+/// recovery and DELETEs racing execution mean the lookup can still fail
+/// here; the error string becomes the job's terminal failure.
+fn resolve_stored_entry(
+    state: &ServiceState,
+    request: &JobRequest,
+) -> Result<Option<CatalogEntry>, String> {
+    let Some(name) = &request.graph else {
+        return Ok(None);
+    };
+    let Some(store) = state.store.as_ref() else {
+        return Err("graph store disabled (server started without --graph-dir)".to_string());
+    };
+    store
+        .catalog
+        .entry(name)
+        .map(Some)
+        .map_err(|e| format!("stored graph `{name}`: {e}"))
+}
+
 fn work_metric(name: Option<&str>) -> WorkMetric {
     match name {
         Some("wall") => WorkMetric::WallNanos,
@@ -863,6 +979,14 @@ fn route(state: &Arc<ServiceState>, request: &Request) -> (u16, Value) {
     let method = request.method.as_str();
     match (method, segments.as_slice()) {
         ("GET", ["health"]) => (200, json!({"status": "ok"})),
+        ("GET", ["graphs"]) => list_graphs(state),
+        ("POST", ["graphs"]) => begin_graph_ingest(state, &request.body),
+        ("GET", ["graphs", name]) => graph_entry(state, name),
+        ("DELETE", ["graphs", name]) => delete_graph(state, name),
+        ("POST", ["graphs", name, "chunks"]) => {
+            append_graph_chunk(state, name, request.query.as_deref(), &request.body)
+        }
+        ("POST", ["graphs", name, "finalize"]) => finalize_graph(state, name),
         ("POST", ["jobs"]) => submit_job(state, &request.body),
         ("GET", ["jobs"]) => {
             let jobs = state.jobs.read();
@@ -944,6 +1068,255 @@ fn route(state: &Arc<ServiceState>, request: &Request) -> (u16, Value) {
     }
 }
 
+/// HTTP status a store failure maps to.
+fn store_status(e: &StoreError) -> u16 {
+    match e {
+        StoreError::InvalidName(_) => 400,
+        StoreError::NotFound(_) => 404,
+        StoreError::IngestConflict(_) => 409,
+        StoreError::Io(_) => 500,
+        // Corruption classes: the request was fine, the bytes were not.
+        _ => 422,
+    }
+}
+
+fn store_error(e: &StoreError) -> (u16, Value) {
+    (store_status(e), json!({"error": e.to_string()}))
+}
+
+fn entry_json(entry: &CatalogEntry) -> Value {
+    json!({
+        "name": entry.name,
+        "num_vertices": entry.num_vertices,
+        "num_edges": entry.num_edges,
+        "directed": entry.directed,
+        "class": entry.class,
+        "fingerprint": format!("{:#018x}", entry.fingerprint),
+        "file_bytes": entry.file_bytes,
+    })
+}
+
+/// The store state, or the uniform 503 for servers started without one.
+fn graphs_state(state: &ServiceState) -> Result<&StoreState, (u16, Value)> {
+    state.store.as_ref().ok_or((
+        503,
+        json!({"error": "graph store disabled (server started without --graph-dir)"}),
+    ))
+}
+
+/// The workload class a stored graph must hold to feed this algorithm.
+fn expected_class(algorithm: AlgorithmKind) -> &'static str {
+    match algorithm.domain() {
+        Domain::GraphAnalytics | Domain::Clustering => "powerlaw",
+        Domain::CollaborativeFiltering => "ratings",
+        Domain::LinearSolver => "matrix",
+        Domain::GraphicalModel => {
+            if algorithm == AlgorithmKind::Lbp {
+                "grid"
+            } else {
+                "mrf"
+            }
+        }
+    }
+}
+
+fn list_graphs(state: &Arc<ServiceState>) -> (u16, Value) {
+    let store = match graphs_state(state) {
+        Ok(s) => s,
+        Err(r) => return r,
+    };
+    let entries: Vec<Value> = store.catalog.list().iter().map(entry_json).collect();
+    let ingesting: Vec<String> = {
+        let sessions = store.sessions.lock();
+        let mut names: Vec<String> = sessions.keys().cloned().collect();
+        names.sort();
+        names
+    };
+    (
+        200,
+        json!({"count": entries.len(), "graphs": entries, "ingesting": ingesting}),
+    )
+}
+
+fn graph_entry(state: &Arc<ServiceState>, name: &str) -> (u16, Value) {
+    let store = match graphs_state(state) {
+        Ok(s) => s,
+        Err(r) => return r,
+    };
+    match store.catalog.entry(name) {
+        Ok(entry) => (200, entry_json(&entry)),
+        Err(e) => store_error(&e),
+    }
+}
+
+/// `POST /graphs` — open (or resume) a chunked ingest session. The
+/// response carries `next_seq`/`bytes_received` so an interrupted client
+/// knows exactly where to pick up.
+fn begin_graph_ingest(state: &Arc<ServiceState>, body: &[u8]) -> (u16, Value) {
+    #[derive(Deserialize)]
+    struct IngestRequest {
+        name: String,
+        #[serde(default)]
+        directed: bool,
+        #[serde(default)]
+        num_vertices: usize,
+        #[serde(default)]
+        seed: u64,
+    }
+    let store = match graphs_state(state) {
+        Ok(s) => s,
+        Err(r) => return r,
+    };
+    let req: IngestRequest = match serde_json::from_slice(body) {
+        Ok(r) => r,
+        Err(e) => return (400, json!({"error": format!("bad ingest request: {e}")})),
+    };
+    let config = IngestConfig {
+        name: req.name.clone(),
+        directed: req.directed,
+        num_vertices: req.num_vertices,
+        seed: req.seed,
+    };
+    let mut sessions = store.sessions.lock();
+    if let Some(existing) = sessions.get(&req.name) {
+        if *existing.config() != config {
+            return (
+                409,
+                json!({"error": format!(
+                    "ingest session `{}` already active with different parameters", req.name
+                )}),
+            );
+        }
+        return (
+            200,
+            json!({
+                "name": req.name,
+                "next_seq": existing.next_seq(),
+                "bytes_received": existing.bytes_received(),
+                "resumed": true,
+            }),
+        );
+    }
+    match IngestSession::begin(&store.ingest_root(), config) {
+        Ok(session) => {
+            let resumed = session.next_seq() > 0;
+            let response = json!({
+                "name": req.name,
+                "next_seq": session.next_seq(),
+                "bytes_received": session.bytes_received(),
+                "resumed": resumed,
+            });
+            sessions.insert(req.name, session);
+            (if resumed { 200 } else { 201 }, response)
+        }
+        Err(e) => store_error(&e),
+    }
+}
+
+/// `POST /graphs/:name/chunks?seq=N` — append one raw-body chunk. Bodies
+/// are capped by the HTTP layer (1 MiB); clients upload larger graphs as
+/// a sequence of chunks.
+fn append_graph_chunk(
+    state: &Arc<ServiceState>,
+    name: &str,
+    query: Option<&str>,
+    body: &[u8],
+) -> (u16, Value) {
+    let store = match graphs_state(state) {
+        Ok(s) => s,
+        Err(r) => return r,
+    };
+    let Some(seq) = http::query_param(query, "seq").and_then(|s| s.parse::<u64>().ok()) else {
+        return (
+            400,
+            json!({"error": "missing or unparseable ?seq= query parameter"}),
+        );
+    };
+    let mut sessions = store.sessions.lock();
+    if !sessions.contains_key(name) {
+        // Journaled session from a previous process: resume it from disk.
+        match IngestSession::resume(&store.ingest_root(), name) {
+            Ok(session) => {
+                sessions.insert(name.to_string(), session);
+            }
+            Err(e) => return store_error(&e),
+        }
+    }
+    let session = sessions.get_mut(name).expect("session just ensured");
+    match session.append_chunk(seq, body) {
+        Ok(ack) => (
+            200,
+            json!({
+                "name": name,
+                "next_seq": ack.next_seq,
+                "bytes_received": ack.bytes_received,
+                "duplicate": ack.duplicate,
+            }),
+        ),
+        Err(e) => store_error(&e),
+    }
+}
+
+/// `POST /graphs/:name/finalize` — parse, pack, verify, and install the
+/// uploaded edge list. On failure the on-disk session survives for
+/// resumption; on success it is discarded and the graph is live.
+fn finalize_graph(state: &Arc<ServiceState>, name: &str) -> (u16, Value) {
+    let store = match graphs_state(state) {
+        Ok(s) => s,
+        Err(r) => return r,
+    };
+    let session = {
+        let mut sessions = store.sessions.lock();
+        match sessions.remove(name) {
+            Some(s) => s,
+            None => match IngestSession::resume(&store.ingest_root(), name) {
+                Ok(s) => s,
+                Err(e) => return store_error(&e),
+            },
+        }
+    };
+    match finalize_ingest(&store.catalog, session) {
+        Ok(entry) => (201, entry_json(&entry)),
+        Err(e) => store_error(&e),
+    }
+}
+
+/// `DELETE /graphs/:name` — remove the stored graph and/or abort its
+/// in-flight ingest session.
+fn delete_graph(state: &Arc<ServiceState>, name: &str) -> (u16, Value) {
+    let store = match graphs_state(state) {
+        Ok(s) => s,
+        Err(r) => return r,
+    };
+    if let Err(e) = Catalog::validate_name(name) {
+        return store_error(&e);
+    }
+    let removed_graph = match store.catalog.remove(name) {
+        Ok(()) => true,
+        Err(StoreError::NotFound(_)) => false,
+        Err(e) => return store_error(&e),
+    };
+    let session = store
+        .sessions
+        .lock()
+        .remove(name)
+        .map(Ok)
+        .unwrap_or_else(|| IngestSession::resume(&store.ingest_root(), name));
+    let removed_session = matches!(session.map(|s| s.discard()), Ok(Ok(())));
+    if removed_graph || removed_session {
+        (
+            200,
+            json!({
+                "name": name,
+                "removed_graph": removed_graph,
+                "removed_session": removed_session,
+            }),
+        )
+    } else {
+        (404, json!({"error": format!("graph `{name}` not found")}))
+    }
+}
+
 fn submit_job(state: &Arc<ServiceState>, body: &[u8]) -> (u16, Value) {
     if state.shutdown.load(Ordering::SeqCst) {
         return (503, json!({"error": "server is draining"}));
@@ -978,6 +1351,30 @@ fn submit_job(state: &Arc<ServiceState>, body: &[u8]) -> (u16, Value) {
     };
     if request.size == 0 {
         return (400, json!({"error": "size must be at least 1"}));
+    }
+    // Stored-graph jobs are validated against the catalog at submission:
+    // a missing name 404s and a workload-class mismatch 409s here instead
+    // of surfacing minutes later as a failed job.
+    if let Some(name) = &request.graph {
+        let store = match graphs_state(state) {
+            Ok(s) => s,
+            Err(r) => return r,
+        };
+        match store.catalog.entry(name) {
+            Ok(entry) => {
+                let needed = expected_class(algorithm);
+                if entry.class != needed {
+                    return (
+                        409,
+                        json!({"error": format!(
+                            "graph `{name}` holds a {} workload; algorithm {} needs {needed}",
+                            entry.class, request.algorithm
+                        )}),
+                    );
+                }
+            }
+            Err(e) => return store_error(&e),
+        }
     }
     // Server-wide defaults are folded into the request before the job (and
     // its journal record, and its cache key) is created, so every
@@ -1123,6 +1520,14 @@ fn metrics_json(state: &ServiceState) -> Value {
             "misses": state.cache.misses(),
             "resident_bytes": state.cache.resident_bytes(),
             "entries": state.cache.len(),
+        },
+        "store": match state.store.as_ref() {
+            Some(store) => json!({
+                "enabled": true,
+                "graphs": store.catalog.list().len(),
+                "ingesting": store.sessions.lock().len(),
+            }),
+            None => json!({"enabled": false}),
         },
         "direction": {
             "push_iterations": state.metrics.push_iterations.load(Ordering::Relaxed),
@@ -1280,6 +1685,151 @@ mod tests {
         assert_eq!(rob["journal_enabled"], false);
         assert_eq!(rob["checkpoints"]["written"], 0);
         stop(&addr, handle);
+    }
+
+    #[test]
+    fn graph_routes_503_when_store_is_disabled() {
+        let (addr, handle) = start_test_server();
+        let (status, _) = client::request(&addr, "GET", "/graphs", None).unwrap();
+        assert_eq!(status, 503);
+        let (status, body) = client::request(
+            &addr,
+            "POST",
+            "/jobs",
+            Some(&json!({"algorithm": "PR", "graph": "g"})),
+        )
+        .unwrap();
+        assert_eq!(status, 503, "{body}");
+        stop(&addr, handle);
+    }
+
+    #[test]
+    fn graph_store_ingest_and_stored_jobs_end_to_end() {
+        let dir =
+            std::env::temp_dir().join(format!("graphmine-service-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let handle = Server::start(ServiceConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            http_workers: 2,
+            cache_bytes: 64 * 1024 * 1024,
+            default_timeout_ms: 60_000,
+            persist_every: 0,
+            graph_dir: Some(dir.clone()),
+            ..ServiceConfig::default()
+        })
+        .unwrap();
+        let addr = handle.addr().to_string();
+        let mut c = client::Client::new(&addr);
+
+        // Bad names never become sessions.
+        let (status, _) = c
+            .request("POST", "/graphs", Some(&json!({"name": "../evil"})))
+            .unwrap();
+        assert_eq!(status, 400);
+
+        // Begin a session and upload a 100-vertex ring in two chunks.
+        let (status, body) = c
+            .request("POST", "/graphs", Some(&json!({"name": "ring"})))
+            .unwrap();
+        assert_eq!(status, 201, "{body}");
+        assert_eq!(body["next_seq"], 0);
+        let mut edges = String::new();
+        for v in 0..100u32 {
+            edges.push_str(&format!("{} {}\n", v, (v + 1) % 100));
+        }
+        // Split on a line boundary so each chunk is independently valid.
+        let half = edges[..edges.len() / 2].rfind('\n').map(|i| i + 1).unwrap();
+        let r = c
+            .send_raw(
+                "POST",
+                "/graphs/ring/chunks?seq=0",
+                edges[..half].as_bytes(),
+            )
+            .unwrap();
+        assert_eq!(r.status, 200, "{}", r.body);
+        assert_eq!(r.body["next_seq"], 1);
+        // Out-of-order chunks conflict; retries of applied chunks are
+        // acknowledged idempotently.
+        let gap = c
+            .send_raw("POST", "/graphs/ring/chunks?seq=7", b"x")
+            .unwrap();
+        assert_eq!(gap.status, 409);
+        let dup = c
+            .send_raw(
+                "POST",
+                "/graphs/ring/chunks?seq=0",
+                edges[..half].as_bytes(),
+            )
+            .unwrap();
+        assert_eq!(dup.status, 200);
+        assert_eq!(dup.body["duplicate"], true);
+        let r = c
+            .send_raw(
+                "POST",
+                "/graphs/ring/chunks?seq=1",
+                edges[half..].as_bytes(),
+            )
+            .unwrap();
+        assert_eq!(r.status, 200, "{}", r.body);
+
+        // Finalize: parse → pack → verify → install.
+        let (status, entry) = c.request("POST", "/graphs/ring/finalize", None).unwrap();
+        assert_eq!(status, 201, "{entry}");
+        assert_eq!(entry["num_vertices"], 100);
+        assert_eq!(entry["num_edges"], 100);
+        assert_eq!(entry["class"], "powerlaw");
+        let (status, list) = c.request("GET", "/graphs", None).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(list["count"], 1);
+        assert_eq!(list["graphs"][0]["name"], "ring");
+
+        // Jobs referencing the stored graph run to completion; the second
+        // submission hits the cache entry keyed by the store fingerprint.
+        let job = json!({"algorithm": "PR", "graph": "ring", "profile": "quick"});
+        let (status, body) = c.request("POST", "/jobs", Some(&job)).unwrap();
+        assert_eq!(status, 202, "{body}");
+        let id = body["id"].as_u64().unwrap();
+        let done = client::wait_for_job(&addr, id, Duration::from_secs(60)).unwrap();
+        assert_eq!(done["state"], "done", "job failed: {done}");
+        let (_, body) = c.request("POST", "/jobs", Some(&job)).unwrap();
+        let id2 = body["id"].as_u64().unwrap();
+        let done2 = client::wait_for_job(&addr, id2, Duration::from_secs(60)).unwrap();
+        assert_eq!(done2["state"], "done", "job failed: {done2}");
+        assert_eq!(done2["cache_hit"], true);
+        let (_, runs) = c.request("GET", "/runs", None).unwrap();
+        assert_eq!(runs["runs"][0]["size"], 100);
+
+        // Submission-time validation: unknown graphs 404, class
+        // mismatches 409.
+        let (status, _) = c
+            .request(
+                "POST",
+                "/jobs",
+                Some(&json!({"algorithm": "PR", "graph": "nope"})),
+            )
+            .unwrap();
+        assert_eq!(status, 404);
+        let (status, body) = c
+            .request(
+                "POST",
+                "/jobs",
+                Some(&json!({"algorithm": "ALS", "graph": "ring"})),
+            )
+            .unwrap();
+        assert_eq!(status, 409, "{body}");
+
+        // Metrics expose the store; DELETE removes the graph.
+        let (_, metrics) = c.request("GET", "/metrics", None).unwrap();
+        assert_eq!(metrics["store"]["enabled"], true);
+        assert_eq!(metrics["store"]["graphs"], 1);
+        let (status, _) = c.request("DELETE", "/graphs/ring", None).unwrap();
+        assert_eq!(status, 200);
+        let (status, _) = c.request("GET", "/graphs/ring", None).unwrap();
+        assert_eq!(status, 404);
+
+        stop(&addr, handle);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,0 +1,541 @@
+//! Byte-level layout of the store format (see DESIGN.md §11 for the
+//! narrative version).
+//!
+//! ```text
+//! [ header: 64 bytes ][ TOC: section_count × 64 bytes ][ sections … ]
+//! ```
+//!
+//! Header (all integers native-endian; the endianness tag rejects files
+//! from opposite-endian writers):
+//!
+//! ```text
+//! off len field
+//!   0   8 magic              b"GMSTORE1"
+//!   8   2 format version     u16 (currently 1)
+//!  10   2 endianness tag     u16 0xFEFF (reads as 0xFFFE when byte-swapped)
+//!  12   4 flags              u32 (bit0 directed, bit1 sorted rows)
+//!  16   8 num_vertices       u64
+//!  24   8 num_edges          u64
+//!  32   4 section count      u32
+//!  36   4 workload class     u32 (0 powerlaw, 1 ratings, 2 matrix, 3 grid, 4 mrf)
+//!  40   8 file length        u64 (total bytes, including padding)
+//!  48   8 fingerprint        u64 (XXH64 over counts, flags, class, section checksums)
+//!  56   8 header checksum    u64 (XXH64 of bytes 0..56)
+//! ```
+//!
+//! Each TOC entry is 64 bytes: a NUL-padded section name (≤ 32 bytes), an
+//! element-type code, the absolute byte offset (64-byte aligned), the exact
+//! payload length in bytes, and the XXH64 checksum of the payload.
+
+use crate::json;
+use crate::xxh::xxh64;
+use crate::StoreError;
+
+/// File magic.
+pub const MAGIC: [u8; 8] = *b"GMSTORE1";
+/// Current (and only) format version.
+pub const FORMAT_VERSION: u16 = 1;
+/// Endianness tag as written by a same-endian writer.
+pub const ENDIAN_TAG: u16 = 0xFEFF;
+/// Alignment of every data section, chosen to match cache lines; 8-byte
+/// alignment is what correctness actually requires for the widest element.
+pub const ALIGN: u64 = 64;
+/// Header length in bytes.
+pub const HEADER_LEN: usize = 64;
+/// TOC entry length in bytes.
+pub const TOC_ENTRY_LEN: usize = 64;
+/// Maximum section name length in bytes.
+pub const SECTION_NAME_LEN: usize = 32;
+
+/// Header flag: the stored graph is directed (and carries an in-adjacency).
+pub const FLAG_DIRECTED: u32 = 1;
+/// Header flag: adjacency rows are in ascending neighbor order.
+pub const FLAG_SORTED_ROWS: u32 = 1 << 1;
+
+/// Element type of a section's payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ElemType {
+    /// Raw bytes (the JSON meta section).
+    Bytes,
+    /// Little `u32` array (neighbor and edge-id slots).
+    U32,
+    /// `u64` array (degree-prefix offsets).
+    U64,
+    /// `f64` array (data columns).
+    F64,
+    /// Interleaved `(u32, u32)` pairs (the canonical edge list).
+    PairU32,
+}
+
+impl ElemType {
+    /// Wire code.
+    pub fn code(self) -> u32 {
+        match self {
+            ElemType::Bytes => 0,
+            ElemType::U32 => 1,
+            ElemType::U64 => 2,
+            ElemType::F64 => 3,
+            ElemType::PairU32 => 4,
+        }
+    }
+
+    /// Decode a wire code.
+    pub fn from_code(code: u32) -> Option<ElemType> {
+        match code {
+            0 => Some(ElemType::Bytes),
+            1 => Some(ElemType::U32),
+            2 => Some(ElemType::U64),
+            3 => Some(ElemType::F64),
+            4 => Some(ElemType::PairU32),
+            _ => None,
+        }
+    }
+
+    /// Element width in bytes (1 for raw byte sections).
+    pub fn width(self) -> u64 {
+        match self {
+            ElemType::Bytes => 1,
+            ElemType::U32 => 4,
+            ElemType::U64 | ElemType::F64 | ElemType::PairU32 => 8,
+        }
+    }
+}
+
+/// Parsed file header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Header {
+    /// Format version.
+    pub version: u16,
+    /// Flag bits (`FLAG_*`).
+    pub flags: u32,
+    /// Vertex count of the stored graph.
+    pub num_vertices: u64,
+    /// Edge count (each undirected edge counted once).
+    pub num_edges: u64,
+    /// Number of TOC entries.
+    pub section_count: u32,
+    /// Workload class code (see [`crate::workload::class_code`]).
+    pub workload_class: u32,
+    /// Total file length in bytes.
+    pub file_len: u64,
+    /// Content fingerprint (XXH64 over counts, flags, class, and every
+    /// section checksum).
+    pub fingerprint: u64,
+}
+
+impl Header {
+    /// Serialize to the 64-byte wire form, computing the header checksum.
+    pub fn encode(&self) -> [u8; HEADER_LEN] {
+        let mut buf = [0u8; HEADER_LEN];
+        buf[0..8].copy_from_slice(&MAGIC);
+        buf[8..10].copy_from_slice(&self.version.to_ne_bytes());
+        buf[10..12].copy_from_slice(&ENDIAN_TAG.to_ne_bytes());
+        buf[12..16].copy_from_slice(&self.flags.to_ne_bytes());
+        buf[16..24].copy_from_slice(&self.num_vertices.to_ne_bytes());
+        buf[24..32].copy_from_slice(&self.num_edges.to_ne_bytes());
+        buf[32..36].copy_from_slice(&self.section_count.to_ne_bytes());
+        buf[36..40].copy_from_slice(&self.workload_class.to_ne_bytes());
+        buf[40..48].copy_from_slice(&self.file_len.to_ne_bytes());
+        buf[48..56].copy_from_slice(&self.fingerprint.to_ne_bytes());
+        let checksum = xxh64(&buf[0..56], 0);
+        buf[56..64].copy_from_slice(&checksum.to_ne_bytes());
+        buf
+    }
+
+    /// Parse and validate the 64-byte wire form: magic, endianness tag,
+    /// version, and the header checksum.
+    pub fn decode(bytes: &[u8]) -> Result<Header, StoreError> {
+        if bytes.len() < HEADER_LEN {
+            return Err(StoreError::Truncated {
+                needed: HEADER_LEN as u64,
+                actual: bytes.len() as u64,
+            });
+        }
+        if bytes[0..8] != MAGIC {
+            return Err(StoreError::BadMagic);
+        }
+        let u16_at = |at: usize| u16::from_ne_bytes(bytes[at..at + 2].try_into().expect("u16"));
+        let u32_at = |at: usize| u32::from_ne_bytes(bytes[at..at + 4].try_into().expect("u32"));
+        let u64_at = |at: usize| u64::from_ne_bytes(bytes[at..at + 8].try_into().expect("u64"));
+        let endian = u16_at(10);
+        if endian == ENDIAN_TAG.swap_bytes() {
+            return Err(StoreError::Endianness);
+        }
+        if endian != ENDIAN_TAG {
+            return Err(StoreError::Corrupt(format!(
+                "unrecognized endianness tag {endian:#06x}"
+            )));
+        }
+        let version = u16_at(8);
+        if version != FORMAT_VERSION {
+            return Err(StoreError::UnsupportedVersion(version));
+        }
+        let stored = u64_at(56);
+        let actual = xxh64(&bytes[0..56], 0);
+        if stored != actual {
+            return Err(StoreError::ChecksumMismatch {
+                section: "header".to_string(),
+                expected: stored,
+                actual,
+            });
+        }
+        Ok(Header {
+            version,
+            flags: u32_at(12),
+            num_vertices: u64_at(16),
+            num_edges: u64_at(24),
+            section_count: u32_at(32),
+            workload_class: u32_at(36),
+            file_len: u64_at(40),
+            fingerprint: u64_at(48),
+        })
+    }
+}
+
+/// One TOC entry: where a named section lives and how to check it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SectionEntry {
+    /// Section name (≤ 32 bytes; topology sections use fixed names,
+    /// data columns are prefixed `c:`).
+    pub name: String,
+    /// Payload element type.
+    pub elem: ElemType,
+    /// Absolute byte offset of the payload (64-byte aligned).
+    pub offset: u64,
+    /// Exact payload length in bytes.
+    pub len_bytes: u64,
+    /// XXH64 of the payload bytes.
+    pub checksum: u64,
+}
+
+impl SectionEntry {
+    /// Serialize to the 64-byte wire form.
+    pub fn encode(&self) -> Result<[u8; TOC_ENTRY_LEN], StoreError> {
+        let name = self.name.as_bytes();
+        if name.is_empty() || name.len() > SECTION_NAME_LEN {
+            return Err(StoreError::Corrupt(format!(
+                "section name `{}` length {} outside 1..={SECTION_NAME_LEN}",
+                self.name,
+                name.len()
+            )));
+        }
+        let mut buf = [0u8; TOC_ENTRY_LEN];
+        buf[0..name.len()].copy_from_slice(name);
+        buf[32..36].copy_from_slice(&self.elem.code().to_ne_bytes());
+        // bytes 36..40 reserved (zero)
+        buf[40..48].copy_from_slice(&self.offset.to_ne_bytes());
+        buf[48..56].copy_from_slice(&self.len_bytes.to_ne_bytes());
+        buf[56..64].copy_from_slice(&self.checksum.to_ne_bytes());
+        Ok(buf)
+    }
+
+    /// Parse the 64-byte wire form.
+    pub fn decode(bytes: &[u8]) -> Result<SectionEntry, StoreError> {
+        if bytes.len() < TOC_ENTRY_LEN {
+            return Err(StoreError::Truncated {
+                needed: TOC_ENTRY_LEN as u64,
+                actual: bytes.len() as u64,
+            });
+        }
+        let name_end = bytes[0..SECTION_NAME_LEN]
+            .iter()
+            .position(|&b| b == 0)
+            .unwrap_or(SECTION_NAME_LEN);
+        let name = std::str::from_utf8(&bytes[0..name_end])
+            .map_err(|_| StoreError::Corrupt("section name is not UTF-8".to_string()))?
+            .to_string();
+        if name.is_empty() {
+            return Err(StoreError::Corrupt("empty section name".to_string()));
+        }
+        let u32_at = |at: usize| u32::from_ne_bytes(bytes[at..at + 4].try_into().expect("u32"));
+        let u64_at = |at: usize| u64::from_ne_bytes(bytes[at..at + 8].try_into().expect("u64"));
+        let code = u32_at(32);
+        let elem = ElemType::from_code(code)
+            .ok_or_else(|| StoreError::Corrupt(format!("unknown element type code {code}")))?;
+        Ok(SectionEntry {
+            name,
+            elem,
+            offset: u64_at(40),
+            len_bytes: u64_at(48),
+            checksum: u64_at(56),
+        })
+    }
+}
+
+/// Round `at` up to the next section boundary.
+pub fn align_up(at: u64) -> u64 {
+    at.div_ceil(ALIGN) * ALIGN
+}
+
+/// Name of the JSON metadata section.
+pub const SEC_META: &str = "meta";
+/// Name of the canonical edge-list section.
+pub const SEC_EDGE_LIST: &str = "edge_list";
+/// Name of the out-adjacency degree-prefix section.
+pub const SEC_OUT_OFFSETS: &str = "out_offsets";
+/// Name of the out-adjacency neighbor-slot section.
+pub const SEC_OUT_NEIGHBORS: &str = "out_neighbors";
+/// Name of the out-adjacency edge-id-slot section.
+pub const SEC_OUT_EDGES: &str = "out_edges";
+/// Name of the in-adjacency degree-prefix section (directed only).
+pub const SEC_IN_OFFSETS: &str = "in_offsets";
+/// Name of the in-adjacency neighbor-slot section (directed only).
+pub const SEC_IN_NEIGHBORS: &str = "in_neighbors";
+/// Name of the in-adjacency edge-id-slot section (directed only).
+pub const SEC_IN_EDGES: &str = "in_edges";
+/// Prefix of data-column sections (`c:weights`, `c:px`, …).
+pub const COLUMN_PREFIX: &str = "c:";
+
+/// The store fingerprint: XXH64 over the counts, flags, workload class,
+/// and every section checksum in TOC order. Identifies the *content* of a
+/// store file independent of its path, and is what catalog entries and
+/// service cache keys carry.
+pub fn fingerprint(
+    num_vertices: u64,
+    num_edges: u64,
+    flags: u32,
+    workload_class: u32,
+    section_checksums: impl Iterator<Item = u64>,
+) -> u64 {
+    let mut words = vec![num_vertices, num_edges, flags as u64, workload_class as u64];
+    words.extend(section_checksums);
+    crate::xxh::xxh64_words(&words, 0)
+}
+
+/// Whether `(u32, u32)` is laid out as two consecutive little `u32`s with
+/// no padding. Tuples are `repr(Rust)` — their layout is not guaranteed —
+/// so the zero-copy cast between the stored interleaved pair section and
+/// `&[(u32, u32)]` is gated on this runtime probe; when it fails, readers
+/// and writers fall back to an element-wise copy.
+pub fn pair_layout_matches() -> bool {
+    if std::mem::size_of::<(u32, u32)>() != 8 || std::mem::align_of::<(u32, u32)>() != 4 {
+        return false;
+    }
+    let probe: (u32, u32) = (0x0102_0304, 0x0506_0708);
+    let p = &probe as *const (u32, u32) as *const u8;
+    // SAFETY: size checked to be exactly 8 bytes above.
+    let bytes = unsafe { std::slice::from_raw_parts(p, 8) };
+    let first = u32::from_ne_bytes(bytes[0..4].try_into().expect("4 bytes"));
+    let second = u32::from_ne_bytes(bytes[4..8].try_into().expect("4 bytes"));
+    first == probe.0 && second == probe.1
+}
+
+/// View a `u32` slice as raw bytes.
+pub fn u32_bytes(v: &[u32]) -> &[u8] {
+    // SAFETY: u32 has no padding or invalid bit patterns; alignment of u8
+    // is 1.
+    unsafe { std::slice::from_raw_parts(v.as_ptr() as *const u8, std::mem::size_of_val(v)) }
+}
+
+/// View a `u64` slice as raw bytes.
+pub fn u64_bytes(v: &[u64]) -> &[u8] {
+    // SAFETY: as `u32_bytes`.
+    unsafe { std::slice::from_raw_parts(v.as_ptr() as *const u8, std::mem::size_of_val(v)) }
+}
+
+/// View an `f64` slice as raw bytes.
+pub fn f64_bytes(v: &[f64]) -> &[u8] {
+    // SAFETY: as `u32_bytes`.
+    unsafe { std::slice::from_raw_parts(v.as_ptr() as *const u8, std::mem::size_of_val(v)) }
+}
+
+/// Serialize an edge list as interleaved `u32` pairs: a zero-copy view
+/// when the tuple layout permits, an element-wise copy otherwise.
+pub fn pair_bytes(v: &[(u32, u32)]) -> std::borrow::Cow<'_, [u8]> {
+    if pair_layout_matches() {
+        // SAFETY: probe above confirmed the layout is two packed u32s.
+        let bytes = unsafe {
+            std::slice::from_raw_parts(v.as_ptr() as *const u8, std::mem::size_of_val(v))
+        };
+        return std::borrow::Cow::Borrowed(bytes);
+    }
+    let mut out = Vec::with_capacity(v.len() * 8);
+    for &(a, b) in v {
+        out.extend_from_slice(&a.to_ne_bytes());
+        out.extend_from_slice(&b.to_ne_bytes());
+    }
+    std::borrow::Cow::Owned(out)
+}
+
+/// Workload metadata carried in the JSON `meta` section: everything needed
+/// to reconstruct the non-topology half of a workload, plus provenance.
+/// Serialized as a flat JSON object via the store's dependency-free codec
+/// (see [`crate::json`] — a module-private helper).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StoreMeta {
+    /// Workload class name (`powerlaw`, `ratings`, `matrix`, `grid`, `mrf`).
+    pub class: String,
+    /// Ratings: number of user vertices.
+    pub num_users: usize,
+    /// Grid: side length.
+    pub side: usize,
+    /// Grid/MRF: labels per variable.
+    pub num_labels: usize,
+    /// Grid: Potts smoothing strength.
+    pub smoothing: f64,
+    /// Provenance string (`synthetic:<class>` or `ingest:edgelist`).
+    pub source: String,
+    /// Generator or ingest seed (drives derived columns such as KM points).
+    pub seed: u64,
+}
+
+impl StoreMeta {
+    /// Serialize to the JSON bytes stored in the `meta` section.
+    pub fn to_json_bytes(&self) -> Vec<u8> {
+        let mut w = json::ObjWriter::new();
+        w.str_field("class", &self.class);
+        w.u64_field("num_users", self.num_users as u64);
+        w.u64_field("side", self.side as u64);
+        w.u64_field("num_labels", self.num_labels as u64);
+        w.f64_field("smoothing", self.smoothing);
+        w.str_field("source", &self.source);
+        w.u64_field("seed", self.seed);
+        w.finish().into_bytes()
+    }
+
+    /// Parse the `meta` section. Absent optional fields default; a missing
+    /// or non-string `class` is corruption.
+    pub fn from_json_bytes(bytes: &[u8]) -> Result<StoreMeta, StoreError> {
+        let text = std::str::from_utf8(bytes)
+            .map_err(|_| StoreError::Corrupt("meta section is not UTF-8".to_string()))?;
+        let class = json::str_field(text, "class")
+            .ok_or_else(|| StoreError::Corrupt("meta section missing `class`".to_string()))?;
+        Ok(StoreMeta {
+            class,
+            num_users: json::u64_field(text, "num_users").unwrap_or(0) as usize,
+            side: json::u64_field(text, "side").unwrap_or(0) as usize,
+            num_labels: json::u64_field(text, "num_labels").unwrap_or(0) as usize,
+            smoothing: json::f64_field(text, "smoothing").unwrap_or(0.0),
+            source: json::str_field(text, "source").unwrap_or_default(),
+            seed: json::u64_field(text, "seed").unwrap_or(0),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn header() -> Header {
+        Header {
+            version: FORMAT_VERSION,
+            flags: FLAG_DIRECTED | FLAG_SORTED_ROWS,
+            num_vertices: 100,
+            num_edges: 250,
+            section_count: 7,
+            workload_class: 0,
+            file_len: 4096,
+            fingerprint: 0xDEAD_BEEF,
+        }
+    }
+
+    #[test]
+    fn header_round_trips() {
+        let h = header();
+        let bytes = h.encode();
+        assert_eq!(Header::decode(&bytes).unwrap(), h);
+    }
+
+    #[test]
+    fn header_rejects_bad_magic() {
+        let mut bytes = header().encode();
+        bytes[0] ^= 0xFF;
+        assert!(matches!(Header::decode(&bytes), Err(StoreError::BadMagic)));
+    }
+
+    #[test]
+    fn header_rejects_short_input() {
+        let bytes = header().encode();
+        assert!(matches!(
+            Header::decode(&bytes[..40]),
+            Err(StoreError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn header_rejects_version_and_endianness() {
+        let mut v2 = header().encode();
+        v2[8..10].copy_from_slice(&2u16.to_ne_bytes());
+        // Re-stamp the checksum so the version check is what fires.
+        let sum = xxh64(&v2[0..56], 0);
+        v2[56..64].copy_from_slice(&sum.to_ne_bytes());
+        assert!(matches!(
+            Header::decode(&v2),
+            Err(StoreError::UnsupportedVersion(2))
+        ));
+
+        let mut swapped = header().encode();
+        swapped[10..12].copy_from_slice(&ENDIAN_TAG.swap_bytes().to_ne_bytes());
+        assert!(matches!(
+            Header::decode(&swapped),
+            Err(StoreError::Endianness)
+        ));
+    }
+
+    #[test]
+    fn header_rejects_flipped_checksum_byte() {
+        let mut bytes = header().encode();
+        bytes[56] ^= 0x01;
+        assert!(matches!(
+            Header::decode(&bytes),
+            Err(StoreError::ChecksumMismatch { .. })
+        ));
+        // A flipped payload byte is equally fatal.
+        let mut bytes = header().encode();
+        bytes[20] ^= 0x01;
+        assert!(matches!(
+            Header::decode(&bytes),
+            Err(StoreError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn section_entry_round_trips() {
+        let e = SectionEntry {
+            name: "out_neighbors".to_string(),
+            elem: ElemType::U32,
+            offset: 512,
+            len_bytes: 1000,
+            checksum: 42,
+        };
+        let bytes = e.encode().unwrap();
+        assert_eq!(SectionEntry::decode(&bytes).unwrap(), e);
+    }
+
+    #[test]
+    fn section_entry_rejects_oversized_name() {
+        let e = SectionEntry {
+            name: "x".repeat(33),
+            elem: ElemType::Bytes,
+            offset: 0,
+            len_bytes: 0,
+            checksum: 0,
+        };
+        assert!(e.encode().is_err());
+    }
+
+    #[test]
+    fn meta_round_trips() {
+        let meta = StoreMeta {
+            class: "grid".to_string(),
+            num_users: 0,
+            side: 32,
+            num_labels: 2,
+            smoothing: 1.5,
+            source: "synthetic:grid".to_string(),
+            seed: 99,
+        };
+        let bytes = meta.to_json_bytes();
+        assert_eq!(StoreMeta::from_json_bytes(&bytes).unwrap(), meta);
+        assert!(StoreMeta::from_json_bytes(b"{}").is_err());
+        assert!(StoreMeta::from_json_bytes(&[0xFF, 0xFE]).is_err());
+    }
+
+    #[test]
+    fn align_up_is_monotone_and_aligned() {
+        assert_eq!(align_up(0), 0);
+        assert_eq!(align_up(1), 64);
+        assert_eq!(align_up(64), 64);
+        assert_eq!(align_up(65), 128);
+    }
+}

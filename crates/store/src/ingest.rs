@@ -1,0 +1,322 @@
+//! Resumable chunked ingest sessions.
+//!
+//! An ingest session owns a directory `<root>/<name>/` holding two files:
+//!
+//! * `chunks.bin` — the uploaded bytes, appended strictly in sequence;
+//! * `state.json` — the journal: the session config plus `next_seq` and
+//!   `bytes_received`, rewritten atomically (temp sibling + rename) after
+//!   every accepted chunk.
+//!
+//! The chunk protocol is strictly sequential: a chunk with `seq <
+//! next_seq` was already applied and is acknowledged idempotently (the
+//! client's retry after a lost response), `seq > next_seq` is a conflict
+//! carrying the expected value. Crash safety mirrors the job journal: the
+//! data append lands (fsync) before the state file records it, so on
+//! reopen `chunks.bin` is truncated back to the journaled length —
+//! a half-appended chunk is simply re-uploaded.
+
+use crate::catalog::Catalog;
+use crate::json;
+use crate::StoreError;
+use std::fs::{self, File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Immutable parameters of an ingest session, fixed at `begin` time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IngestConfig {
+    /// Catalog name the finalized graph will be installed under.
+    pub name: String,
+    /// Whether the edge list is directed.
+    pub directed: bool,
+    /// Declared vertex count; 0 means infer (max endpoint id + 1) at
+    /// finalize time.
+    pub num_vertices: usize,
+    /// Seed for derived columns (edge-list ingests synthesize KM points).
+    pub seed: u64,
+}
+
+/// Acknowledgement for one chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkAck {
+    /// The sequence number the session expects next.
+    pub next_seq: u64,
+    /// Total payload bytes accepted so far.
+    pub bytes_received: u64,
+    /// True when the chunk had already been applied (idempotent retry).
+    pub duplicate: bool,
+}
+
+/// A resumable upload session rooted at `<root>/<name>/`.
+#[derive(Debug)]
+pub struct IngestSession {
+    dir: PathBuf,
+    config: IngestConfig,
+    next_seq: u64,
+    bytes_received: u64,
+}
+
+impl IngestSession {
+    /// Begin (or resume) the session for `config.name` under `root`.
+    ///
+    /// If a journal already exists, its recorded config must match
+    /// `config` exactly (otherwise [`StoreError::IngestConflict`]), the
+    /// data file is truncated back to the journaled byte count, and the
+    /// session resumes at the journaled sequence number.
+    pub fn begin(root: &Path, config: IngestConfig) -> Result<IngestSession, StoreError> {
+        Catalog::validate_name(&config.name)?;
+        let dir = root.join(&config.name);
+        if dir.join("state.json").is_file() {
+            let session = IngestSession::resume(root, &config.name)?;
+            if session.config != config {
+                return Err(StoreError::IngestConflict(format!(
+                    "session `{}` already exists with different parameters",
+                    config.name
+                )));
+            }
+            return Ok(session);
+        }
+        fs::create_dir_all(&dir)?;
+        File::create(dir.join("chunks.bin"))?;
+        let session = IngestSession {
+            dir,
+            config,
+            next_seq: 0,
+            bytes_received: 0,
+        };
+        session.persist_state()?;
+        Ok(session)
+    }
+
+    /// Resume an existing session by name, recovering from a crash
+    /// between data append and journal update by truncating the data file
+    /// to the journaled length.
+    pub fn resume(root: &Path, name: &str) -> Result<IngestSession, StoreError> {
+        Catalog::validate_name(name)?;
+        let dir = root.join(name);
+        let state_path = dir.join("state.json");
+        if !state_path.is_file() {
+            return Err(StoreError::NotFound(format!("ingest session `{name}`")));
+        }
+        let text = fs::read_to_string(&state_path)?;
+        let bad = || StoreError::Corrupt(format!("ingest state for `{name}` is malformed"));
+        let config = IngestConfig {
+            name: json::str_field(&text, "name").ok_or_else(bad)?,
+            directed: json::bool_field(&text, "directed").ok_or_else(bad)?,
+            num_vertices: json::u64_field(&text, "num_vertices").ok_or_else(bad)? as usize,
+            seed: json::u64_field(&text, "seed").ok_or_else(bad)?,
+        };
+        if config.name != name {
+            return Err(bad());
+        }
+        let next_seq = json::u64_field(&text, "next_seq").ok_or_else(bad)?;
+        let bytes_received = json::u64_field(&text, "bytes_received").ok_or_else(bad)?;
+        let chunks = dir.join("chunks.bin");
+        let actual = fs::metadata(&chunks)?.len();
+        if actual < bytes_received {
+            return Err(StoreError::Corrupt(format!(
+                "ingest data for `{name}` shorter ({actual}) than journal ({bytes_received})"
+            )));
+        }
+        if actual > bytes_received {
+            // Crash between append and journal update: roll the data file
+            // back to the last journaled boundary.
+            let f = OpenOptions::new().write(true).open(&chunks)?;
+            f.set_len(bytes_received)?;
+            f.sync_all()?;
+        }
+        Ok(IngestSession {
+            dir,
+            config,
+            next_seq,
+            bytes_received,
+        })
+    }
+
+    /// The session config.
+    pub fn config(&self) -> &IngestConfig {
+        &self.config
+    }
+
+    /// The sequence number expected next.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Total payload bytes accepted so far.
+    pub fn bytes_received(&self) -> u64 {
+        self.bytes_received
+    }
+
+    /// Append one chunk. Strictly sequential; see the module docs for the
+    /// idempotency and conflict rules.
+    pub fn append_chunk(&mut self, seq: u64, bytes: &[u8]) -> Result<ChunkAck, StoreError> {
+        if seq < self.next_seq {
+            return Ok(ChunkAck {
+                next_seq: self.next_seq,
+                bytes_received: self.bytes_received,
+                duplicate: true,
+            });
+        }
+        if seq > self.next_seq {
+            return Err(StoreError::IngestConflict(format!(
+                "chunk seq {seq} out of order, expected {}",
+                self.next_seq
+            )));
+        }
+        let mut f = OpenOptions::new()
+            .append(true)
+            .open(self.dir.join("chunks.bin"))?;
+        f.write_all(bytes)?;
+        f.sync_data()?;
+        self.next_seq += 1;
+        self.bytes_received += bytes.len() as u64;
+        self.persist_state()?;
+        Ok(ChunkAck {
+            next_seq: self.next_seq,
+            bytes_received: self.bytes_received,
+            duplicate: false,
+        })
+    }
+
+    /// Path of the accumulated data file.
+    pub fn data_path(&self) -> PathBuf {
+        self.dir.join("chunks.bin")
+    }
+
+    /// Tear the session down, consuming it and removing its directory.
+    /// Used after a successful finalize, or to abort an upload.
+    pub fn discard(self) -> Result<(), StoreError> {
+        fs::remove_dir_all(&self.dir)?;
+        Ok(())
+    }
+
+    fn persist_state(&self) -> Result<(), StoreError> {
+        let mut w = json::ObjWriter::new();
+        w.str_field("name", &self.config.name);
+        w.bool_field("directed", self.config.directed);
+        w.u64_field("num_vertices", self.config.num_vertices as u64);
+        w.u64_field("seed", self.config.seed);
+        w.u64_field("next_seq", self.next_seq);
+        w.u64_field("bytes_received", self.bytes_received);
+        let body = w.finish();
+        let path = self.dir.join("state.json");
+        let tmp = self.dir.join(".state.json.tmp");
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(body.as_bytes())?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, &path)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_root(tag: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("graphmine-ingest-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&p);
+        fs::create_dir_all(&p).unwrap();
+        p
+    }
+
+    fn config(name: &str) -> IngestConfig {
+        IngestConfig {
+            name: name.to_string(),
+            directed: false,
+            num_vertices: 10,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn sequential_chunks_accumulate() {
+        let root = temp_root("seq");
+        let mut s = IngestSession::begin(&root, config("g")).unwrap();
+        let a = s.append_chunk(0, b"0 1\n").unwrap();
+        assert_eq!(a.next_seq, 1);
+        assert!(!a.duplicate);
+        let b = s.append_chunk(1, b"1 2\n").unwrap();
+        assert_eq!(b.bytes_received, 8);
+        assert_eq!(fs::read(s.data_path()).unwrap(), b"0 1\n1 2\n");
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn duplicate_chunk_is_idempotent_and_gap_conflicts() {
+        let root = temp_root("dup");
+        let mut s = IngestSession::begin(&root, config("g")).unwrap();
+        s.append_chunk(0, b"0 1\n").unwrap();
+        let dup = s.append_chunk(0, b"0 1\n").unwrap();
+        assert!(dup.duplicate);
+        assert_eq!(dup.bytes_received, 4);
+        assert!(matches!(
+            s.append_chunk(5, b"x"),
+            Err(StoreError::IngestConflict(_))
+        ));
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn resume_recovers_from_torn_append() {
+        let root = temp_root("torn");
+        let mut s = IngestSession::begin(&root, config("g")).unwrap();
+        s.append_chunk(0, b"0 1\n").unwrap();
+        let data = s.data_path();
+        drop(s);
+        // Simulate a crash after the append but before the journal update.
+        let mut f = OpenOptions::new().append(true).open(&data).unwrap();
+        f.write_all(b"partial garbage").unwrap();
+        drop(f);
+        let s = IngestSession::resume(&root, "g").unwrap();
+        assert_eq!(s.next_seq(), 1);
+        assert_eq!(s.bytes_received(), 4);
+        assert_eq!(fs::read(s.data_path()).unwrap(), b"0 1\n");
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn begin_resumes_matching_config_and_rejects_mismatch() {
+        let root = temp_root("match");
+        let mut s = IngestSession::begin(&root, config("g")).unwrap();
+        s.append_chunk(0, b"0 1\n").unwrap();
+        drop(s);
+        let resumed = IngestSession::begin(&root, config("g")).unwrap();
+        assert_eq!(resumed.next_seq(), 1);
+        let mut other = config("g");
+        other.directed = true;
+        assert!(matches!(
+            IngestSession::begin(&root, other),
+            Err(StoreError::IngestConflict(_))
+        ));
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn names_are_validated() {
+        let root = temp_root("names");
+        assert!(matches!(
+            IngestSession::begin(&root, config("../evil")),
+            Err(StoreError::InvalidName(_))
+        ));
+        assert!(matches!(
+            IngestSession::resume(&root, "no-such"),
+            Err(StoreError::NotFound(_))
+        ));
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn discard_removes_session_dir() {
+        let root = temp_root("discard");
+        let s = IngestSession::begin(&root, config("g")).unwrap();
+        let dir = s.data_path().parent().unwrap().to_path_buf();
+        s.discard().unwrap();
+        assert!(!dir.exists());
+        fs::remove_dir_all(&root).ok();
+    }
+}

@@ -1,0 +1,139 @@
+//! `graphmine-store` — versioned on-disk binary CSR graph store.
+//!
+//! Every job in the service today either regenerates a synthetic graph or
+//! re-parses a text edge list; the LRU cache is the only thing standing
+//! between a cold request and a full rebuild. This crate closes that gap
+//! with a durable format designed so that *opening* a packed graph costs a
+//! memory-map plus O(1) page touches, regardless of graph size:
+//!
+//! * **Format** ([`format`]): a 64-byte header (magic, format version,
+//!   endianness tag, flags, counts, fingerprint, header checksum) followed
+//!   by a table of 64-byte section descriptors and 64-byte-aligned data
+//!   sections — degree-prefix arrays, neighbor arrays, the canonical edge
+//!   list, and optional per-edge/per-vertex data columns — each with an
+//!   XXH64 checksum.
+//! * **Writer** ([`writer`]): packs sections through an atomic temp-sibling
+//!   write (`.tmp` + `rename`), so a crash mid-pack never leaves a
+//!   half-written store visible.
+//! * **Reader** ([`reader`]): memory-maps the file and exposes the CSR
+//!   arrays as zero-copy [`graphmine_graph::Graph`] views via
+//!   [`graphmine_graph::SharedSlice`] — no neighbor-array copy on load.
+//!   Structural metadata and the header checksum are validated eagerly on
+//!   open; full per-section checksums are validated by the explicit
+//!   [`reader::StoredGraph::verify`] pass (run at ingest and by
+//!   `graphmine graph verify`).
+//! * **Catalog** ([`catalog`]): a directory mapping validated graph names
+//!   to store files, with per-file fingerprints that feed the service's
+//!   cache keys and interoperate with the engine's checkpoint
+//!   vertex/edge-count validation.
+//! * **Ingest** ([`ingest`]): resumable, journaled chunked upload sessions
+//!   backing the service's `POST /graphs` bulk-ingest endpoint.
+
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod format;
+pub mod ingest;
+mod json;
+pub mod mmap;
+pub mod reader;
+pub mod workload;
+pub mod writer;
+pub mod xxh;
+
+pub use catalog::{Catalog, CatalogEntry};
+pub use format::{ElemType, Header, SectionEntry, StoreMeta};
+pub use ingest::{ChunkAck, IngestConfig, IngestSession};
+pub use reader::StoredGraph;
+pub use workload::{
+    class_code, class_name, finalize_ingest, infer_vertex_count, load_workload, pack_workload,
+};
+pub use xxh::xxh64;
+
+use std::fmt;
+use std::io;
+
+/// Typed failures for every store operation. Corrupted or truncated input
+/// must surface here — never as a panic or undefined behavior.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file does not start with the store magic.
+    BadMagic,
+    /// The file declares a format version this build cannot read.
+    UnsupportedVersion(u16),
+    /// The file was written on a platform with the opposite byte order.
+    Endianness,
+    /// The file is shorter than its own metadata claims.
+    Truncated {
+        /// Bytes the metadata requires.
+        needed: u64,
+        /// Bytes actually present.
+        actual: u64,
+    },
+    /// A section's stored checksum does not match its bytes.
+    ChecksumMismatch {
+        /// Section name (or `"header"`).
+        section: String,
+        /// Checksum recorded in the file.
+        expected: u64,
+        /// Checksum of the bytes actually read.
+        actual: u64,
+    },
+    /// Any other structural inconsistency (bad TOC, bad meta, invalid CSR).
+    Corrupt(String),
+    /// A graph or session name failed validation or shadows a path.
+    InvalidName(String),
+    /// The named graph or session does not exist.
+    NotFound(String),
+    /// An ingest request conflicts with recorded session state.
+    IngestConflict(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "i/o error: {e}"),
+            StoreError::BadMagic => write!(f, "not a graphmine store file (bad magic)"),
+            StoreError::UnsupportedVersion(v) => {
+                write!(f, "unsupported store format version {v}")
+            }
+            StoreError::Endianness => {
+                write!(f, "store file written with opposite byte order")
+            }
+            StoreError::Truncated { needed, actual } => {
+                write!(f, "store file truncated: need {needed} bytes, have {actual}")
+            }
+            StoreError::ChecksumMismatch {
+                section,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "checksum mismatch in section `{section}`: stored {expected:#018x}, computed {actual:#018x}"
+            ),
+            StoreError::Corrupt(msg) => write!(f, "corrupt store file: {msg}"),
+            StoreError::InvalidName(name) => {
+                write!(f, "invalid graph name `{name}` (want [A-Za-z0-9_-]{{1,64}})")
+            }
+            StoreError::NotFound(name) => write!(f, "graph `{name}` not found"),
+            StoreError::IngestConflict(msg) => write!(f, "ingest conflict: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> StoreError {
+        StoreError::Io(e)
+    }
+}

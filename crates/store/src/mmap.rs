@@ -1,0 +1,279 @@
+//! Read-only file mappings without a libc dependency.
+//!
+//! The workspace carries no FFI crates, so on Linux the `mmap`/`munmap`
+//! syscalls are issued directly via inline assembly (x86_64 and aarch64).
+//! Every other platform — and any mapping failure — falls back to reading
+//! the file into an owned, 8-byte-aligned buffer, which preserves the API
+//! (and the alignment guarantees the reader relies on) at the cost of one
+//! copy. [`Mapping::is_mmap`] reports which path was taken so callers can
+//! account resident bytes honestly.
+
+use std::fs::File;
+use std::io::{self, Read, Seek, SeekFrom};
+
+/// An immutable byte region backed either by a private read-only file
+/// mapping or by an owned aligned buffer.
+pub struct Mapping {
+    ptr: *const u8,
+    len: usize,
+    /// `Some` when the bytes were read into an owned buffer (the fallback
+    /// path); `None` when `ptr` points at a kernel mapping that must be
+    /// unmapped on drop. The buffer is `u64`-typed purely for alignment.
+    owned: Option<Vec<u64>>,
+}
+
+// SAFETY: the region is immutable for the lifetime of the value; both the
+// kernel mapping (MAP_PRIVATE, PROT_READ) and the owned buffer are safe to
+// read from any thread.
+unsafe impl Send for Mapping {}
+unsafe impl Sync for Mapping {}
+
+impl Mapping {
+    /// Map `file` read-only (falling back to an in-memory copy when
+    /// mapping is unsupported or fails).
+    pub fn map_file(file: &mut File) -> io::Result<Mapping> {
+        let len = file.metadata()?.len();
+        if len > usize::MAX as u64 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "file too large to map on this platform",
+            ));
+        }
+        let len = len as usize;
+        if len == 0 {
+            return Ok(Mapping {
+                ptr: std::ptr::NonNull::<u8>::dangling().as_ptr(),
+                len: 0,
+                owned: Some(Vec::new()),
+            });
+        }
+        #[cfg(all(
+            target_os = "linux",
+            any(target_arch = "x86_64", target_arch = "aarch64")
+        ))]
+        {
+            // SAFETY: `file` is a valid open descriptor and `len` is its
+            // exact current length.
+            if let Ok(ptr) = unsafe { sys::mmap_readonly(file, len) } {
+                return Ok(Mapping {
+                    ptr,
+                    len,
+                    owned: None,
+                });
+            }
+        }
+        Mapping::read_into_buffer(file, len)
+    }
+
+    /// Portable fallback: read the whole file into an 8-byte-aligned
+    /// owned buffer.
+    fn read_into_buffer(file: &mut File, len: usize) -> io::Result<Mapping> {
+        let words = len.div_ceil(8);
+        let mut buf = vec![0u64; words];
+        let ptr = buf.as_mut_ptr() as *mut u8;
+        // SAFETY: `buf` owns `words * 8 >= len` initialized bytes; the u64
+        // buffer is only ever viewed as bytes from here on.
+        let bytes = unsafe { std::slice::from_raw_parts_mut(ptr, len) };
+        file.seek(SeekFrom::Start(0))?;
+        file.read_exact(bytes)?;
+        Ok(Mapping {
+            ptr: ptr as *const u8,
+            len,
+            owned: Some(buf),
+        })
+    }
+
+    /// The mapped bytes.
+    #[inline]
+    pub fn bytes(&self) -> &[u8] {
+        if self.len == 0 {
+            return &[];
+        }
+        // SAFETY: `ptr..ptr + len` is valid and immutable for `self`'s
+        // lifetime (kernel mapping or owned buffer).
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+
+    /// Length in bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the region is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// True when backed by a real kernel mapping (zero heap bytes);
+    /// false when the portable read-into-buffer fallback was used.
+    #[inline]
+    pub fn is_mmap(&self) -> bool {
+        self.owned.is_none()
+    }
+}
+
+impl Drop for Mapping {
+    fn drop(&mut self) {
+        #[cfg(all(
+            target_os = "linux",
+            any(target_arch = "x86_64", target_arch = "aarch64")
+        ))]
+        if self.owned.is_none() && self.len > 0 {
+            // SAFETY: `ptr` came from a successful mmap of exactly `len`
+            // bytes and has not been unmapped yet.
+            unsafe { sys::munmap(self.ptr, self.len) };
+        }
+    }
+}
+
+impl std::fmt::Debug for Mapping {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mapping")
+            .field("len", &self.len)
+            .field("mmap", &self.is_mmap())
+            .finish()
+    }
+}
+
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+mod sys {
+    use std::fs::File;
+    use std::io;
+    use std::os::unix::io::AsRawFd;
+
+    const PROT_READ: usize = 1;
+    const MAP_PRIVATE: usize = 2;
+
+    /// Issue the raw `mmap(NULL, len, PROT_READ, MAP_PRIVATE, fd, 0)`
+    /// syscall. Returns the mapped address or the kernel's errno.
+    pub unsafe fn mmap_readonly(file: &File, len: usize) -> io::Result<*const u8> {
+        let fd = file.as_raw_fd() as isize;
+        let ret: isize;
+        #[cfg(target_arch = "x86_64")]
+        {
+            std::arch::asm!(
+                "syscall",
+                inlateout("rax") 9isize => ret, // __NR_mmap
+                in("rdi") 0usize,
+                in("rsi") len,
+                in("rdx") PROT_READ,
+                in("r10") MAP_PRIVATE,
+                in("r8") fd,
+                in("r9") 0usize,
+                lateout("rcx") _,
+                lateout("r11") _,
+                options(nostack)
+            );
+        }
+        #[cfg(target_arch = "aarch64")]
+        {
+            std::arch::asm!(
+                "svc 0",
+                in("x8") 222isize, // __NR_mmap
+                inlateout("x0") 0usize => ret,
+                in("x1") len,
+                in("x2") PROT_READ,
+                in("x3") MAP_PRIVATE,
+                in("x4") fd,
+                in("x5") 0usize,
+                options(nostack)
+            );
+        }
+        if ret < 0 && ret > -4096 {
+            return Err(io::Error::from_raw_os_error(-ret as i32));
+        }
+        Ok(ret as *const u8)
+    }
+
+    /// Issue the raw `munmap(addr, len)` syscall; errors are ignored by
+    /// the caller (drop path).
+    pub unsafe fn munmap(addr: *const u8, len: usize) {
+        let _ret: isize;
+        #[cfg(target_arch = "x86_64")]
+        {
+            std::arch::asm!(
+                "syscall",
+                inlateout("rax") 11isize => _ret, // __NR_munmap
+                in("rdi") addr,
+                in("rsi") len,
+                lateout("rcx") _,
+                lateout("r11") _,
+                options(nostack)
+            );
+        }
+        #[cfg(target_arch = "aarch64")]
+        {
+            std::arch::asm!(
+                "svc 0",
+                in("x8") 215isize, // __NR_munmap
+                inlateout("x0") addr => _ret,
+                in("x1") len,
+                options(nostack)
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("graphmine-mmap-{tag}-{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn maps_file_contents() {
+        let path = temp_path("basic");
+        let data: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        std::fs::File::create(&path)
+            .unwrap()
+            .write_all(&data)
+            .unwrap();
+        let mut f = File::open(&path).unwrap();
+        let m = Mapping::map_file(&mut f).unwrap();
+        assert_eq!(m.len(), data.len());
+        assert_eq!(m.bytes(), &data[..]);
+        #[cfg(all(
+            target_os = "linux",
+            any(target_arch = "x86_64", target_arch = "aarch64")
+        ))]
+        assert!(m.is_mmap());
+        drop(m);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_file_maps_to_empty_slice() {
+        let path = temp_path("empty");
+        std::fs::File::create(&path).unwrap();
+        let mut f = File::open(&path).unwrap();
+        let m = Mapping::map_file(&mut f).unwrap();
+        assert!(m.is_empty());
+        assert_eq!(m.bytes(), &[] as &[u8]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fallback_buffer_is_eight_byte_aligned() {
+        let path = temp_path("align");
+        std::fs::File::create(&path)
+            .unwrap()
+            .write_all(&[1, 2, 3, 4, 5])
+            .unwrap();
+        let mut f = File::open(&path).unwrap();
+        let m = Mapping::read_into_buffer(&mut f, 5).unwrap();
+        assert_eq!(m.bytes(), &[1, 2, 3, 4, 5]);
+        assert_eq!(m.bytes().as_ptr() as usize % 8, 0);
+        assert!(!m.is_mmap());
+        std::fs::remove_file(&path).ok();
+    }
+}

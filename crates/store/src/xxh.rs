@@ -1,0 +1,141 @@
+//! Self-contained XXH64 implementation.
+//!
+//! The store checksums every section with XXH64 (the same algorithm the
+//! LMDB/zstd/lz4 ecosystems use for frame integrity): non-cryptographic,
+//! a few bytes of state, and fast enough (~GB/s scalar) that verifying a
+//! packed graph is I/O-bound. Implemented here directly from the xxHash
+//! specification because the workspace deliberately carries no external
+//! hashing dependency.
+
+const P1: u64 = 0x9E37_79B1_85EB_CA87;
+const P2: u64 = 0xC2B2_AE3D_27D4_EB4F;
+const P3: u64 = 0x1656_67B1_9E37_79F9;
+const P4: u64 = 0x85EB_CA77_C2B2_AE63;
+const P5: u64 = 0x27D4_EB2F_1656_67C5;
+
+#[inline]
+fn read_u64(bytes: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(bytes[at..at + 8].try_into().expect("8-byte read"))
+}
+
+#[inline]
+fn read_u32(bytes: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4-byte read"))
+}
+
+#[inline]
+fn round(acc: u64, input: u64) -> u64 {
+    acc.wrapping_add(input.wrapping_mul(P2))
+        .rotate_left(31)
+        .wrapping_mul(P1)
+}
+
+#[inline]
+fn merge_round(acc: u64, val: u64) -> u64 {
+    (acc ^ round(0, val)).wrapping_mul(P1).wrapping_add(P4)
+}
+
+/// XXH64 of `data` with the given seed.
+pub fn xxh64(data: &[u8], seed: u64) -> u64 {
+    let mut rest = data;
+    let mut h = if data.len() >= 32 {
+        let mut v1 = seed.wrapping_add(P1).wrapping_add(P2);
+        let mut v2 = seed.wrapping_add(P2);
+        let mut v3 = seed;
+        let mut v4 = seed.wrapping_sub(P1);
+        while rest.len() >= 32 {
+            v1 = round(v1, read_u64(rest, 0));
+            v2 = round(v2, read_u64(rest, 8));
+            v3 = round(v3, read_u64(rest, 16));
+            v4 = round(v4, read_u64(rest, 24));
+            rest = &rest[32..];
+        }
+        let mut h = v1
+            .rotate_left(1)
+            .wrapping_add(v2.rotate_left(7))
+            .wrapping_add(v3.rotate_left(12))
+            .wrapping_add(v4.rotate_left(18));
+        h = merge_round(h, v1);
+        h = merge_round(h, v2);
+        h = merge_round(h, v3);
+        merge_round(h, v4)
+    } else {
+        seed.wrapping_add(P5)
+    };
+    h = h.wrapping_add(data.len() as u64);
+    while rest.len() >= 8 {
+        h ^= round(0, read_u64(rest, 0));
+        h = h.rotate_left(27).wrapping_mul(P1).wrapping_add(P4);
+        rest = &rest[8..];
+    }
+    if rest.len() >= 4 {
+        h ^= (read_u32(rest, 0) as u64).wrapping_mul(P1);
+        h = h.rotate_left(23).wrapping_mul(P2).wrapping_add(P3);
+        rest = &rest[4..];
+    }
+    for &b in rest {
+        h ^= (b as u64).wrapping_mul(P5);
+        h = h.rotate_left(11).wrapping_mul(P1);
+    }
+    h ^= h >> 33;
+    h = h.wrapping_mul(P2);
+    h ^= h >> 29;
+    h = h.wrapping_mul(P3);
+    h ^ (h >> 32)
+}
+
+/// Incrementally hash a stream of `u64` words (used for fingerprints over
+/// derived values rather than raw bytes).
+pub fn xxh64_words(words: &[u64], seed: u64) -> u64 {
+    let mut bytes = Vec::with_capacity(words.len() * 8);
+    for w in words {
+        bytes.extend_from_slice(&w.to_le_bytes());
+    }
+    xxh64(&bytes, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input_reference_vector() {
+        // Reference vector from the xxHash specification.
+        assert_eq!(xxh64(b"", 0), 0xEF46_DB37_51D8_E999);
+    }
+
+    #[test]
+    fn deterministic_and_sensitive() {
+        let data: Vec<u8> = (0..1000u32).flat_map(|i| i.to_le_bytes()).collect();
+        let h = xxh64(&data, 0);
+        assert_eq!(h, xxh64(&data, 0));
+        let mut flipped = data.clone();
+        flipped[123] ^= 0x01;
+        assert_ne!(h, xxh64(&flipped, 0));
+        assert_ne!(h, xxh64(&data, 1));
+        assert_ne!(h, xxh64(&data[..data.len() - 1], 0));
+    }
+
+    #[test]
+    fn covers_every_tail_length() {
+        // Exercise all `len % 32` tail paths (8-byte, 4-byte, single-byte).
+        let base: Vec<u8> = (0..96u8).collect();
+        let mut seen = std::collections::HashSet::new();
+        for len in 0..=base.len() {
+            assert!(
+                seen.insert(xxh64(&base[..len], 7)),
+                "collision at len {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn word_stream_matches_byte_stream() {
+        let words = [1u64, u64::MAX, 0xDEAD_BEEF];
+        let mut bytes = Vec::new();
+        for w in words {
+            bytes.extend_from_slice(&w.to_le_bytes());
+        }
+        assert_eq!(xxh64_words(&words, 3), xxh64(&bytes, 3));
+    }
+}

@@ -1,0 +1,124 @@
+//! Store round-trip fidelity: a packed-and-reloaded workload must be
+//! indistinguishable from the original to every algorithm of the suite.
+//!
+//! The unit tests in `graphmine-store` prove the bytes round-trip; these
+//! tests prove the *behavior* does — each of the 14 algorithms is run on
+//! the in-memory workload and on its mmap-loaded twin, and the full
+//! behavior traces (iterations, active counts, work, convergence) must be
+//! bit-identical once wall-clock noise is stripped.
+
+use graphmine_algos::{run_algorithm, AlgorithmKind, Domain, SuiteConfig, Workload};
+use graphmine_store::{load_workload, pack_workload, StoreError, StoredGraph};
+use std::fs::{self, OpenOptions};
+use std::io::{Seek, SeekFrom, Write};
+use std::path::PathBuf;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("graphmine-store-it-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&p);
+    fs::create_dir_all(&p).unwrap();
+    p
+}
+
+/// The workload each algorithm's domain expects, at probe scale.
+fn workload_for(algorithm: AlgorithmKind, seed: u64) -> Workload {
+    match algorithm.domain() {
+        Domain::GraphAnalytics | Domain::Clustering => Workload::powerlaw(2_000, 2.5, seed),
+        Domain::CollaborativeFiltering => Workload::ratings(2_000, 2.5, seed),
+        Domain::LinearSolver => Workload::matrix(64, seed),
+        Domain::GraphicalModel => {
+            if algorithm == AlgorithmKind::Lbp {
+                Workload::grid(16, seed)
+            } else {
+                Workload::mrf(1_000, seed)
+            }
+        }
+    }
+}
+
+#[test]
+fn all_fourteen_algorithms_trace_identically_after_round_trip() {
+    let dir = temp_dir("traces");
+    let config = SuiteConfig::default();
+    for algorithm in AlgorithmKind::ALL {
+        let seed = 7;
+        let original = workload_for(algorithm, seed);
+        let path = dir.join(format!("{}.gmg", algorithm.abbrev()));
+        pack_workload(&path, &original, "test", seed).unwrap();
+        let stored = StoredGraph::open(&path).unwrap();
+        stored.verify().unwrap();
+        let loaded = load_workload(&stored).unwrap();
+        // Satellite guarantee: on mmap platforms the reloaded topology
+        // lives in the file, not on the heap.
+        if stored.is_mmap() {
+            assert_eq!(
+                loaded.graph().topology_heap_bytes(),
+                0,
+                "{}: mmap-backed load copied its topology",
+                algorithm.abbrev()
+            );
+        }
+        let reference = run_algorithm(algorithm, &original, &config).unwrap();
+        let replayed = run_algorithm(algorithm, &loaded, &config).unwrap();
+        assert_eq!(
+            reference.without_wall_clock(),
+            replayed.without_wall_clock(),
+            "{}: stored-graph trace diverged from the in-memory run",
+            algorithm.abbrev()
+        );
+    }
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn reordered_round_trip_still_traces_identically() {
+    // Degree-reordering after load is how the service applies `reorder` to
+    // stored graphs; it must commute with the round trip.
+    let dir = temp_dir("reorder");
+    let original = Workload::powerlaw(2_000, 2.5, 11);
+    let path = dir.join("pl.gmg");
+    pack_workload(&path, &original, "test", 11).unwrap();
+    let loaded = load_workload(&StoredGraph::open(&path).unwrap()).unwrap();
+    let config = SuiteConfig::default();
+    for algorithm in [AlgorithmKind::Pr, AlgorithmKind::Cc, AlgorithmKind::Sssp] {
+        let a = run_algorithm(algorithm, &original.reordered_by_degree(), &config).unwrap();
+        let b = run_algorithm(algorithm, &loaded.reordered_by_degree(), &config).unwrap();
+        assert_eq!(
+            a.without_wall_clock(),
+            b.without_wall_clock(),
+            "{}: reorder-after-load diverged",
+            algorithm.abbrev()
+        );
+    }
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupted_payload_is_caught_before_any_algorithm_runs() {
+    let dir = temp_dir("corrupt");
+    let workload = Workload::powerlaw(1_000, 2.5, 3);
+    let path = dir.join("pl.gmg");
+    pack_workload(&path, &workload, "test", 3).unwrap();
+    // Flip one byte in the last data section (well past header and TOC).
+    let stored = StoredGraph::open(&path).unwrap();
+    let last = stored
+        .sections()
+        .iter()
+        .max_by_key(|s| s.offset)
+        .unwrap()
+        .clone();
+    drop(stored);
+    let at = last.offset + last.len_bytes - 1;
+    let flipped = !fs::read(&path).unwrap()[at as usize];
+    let mut f = OpenOptions::new().write(true).open(&path).unwrap();
+    f.seek(SeekFrom::Start(at)).unwrap();
+    f.write_all(&[flipped]).unwrap();
+    drop(f);
+    let stored = StoredGraph::open(&path).unwrap();
+    match stored.verify() {
+        Err(StoreError::ChecksumMismatch { section, .. }) => assert_eq!(section, last.name),
+        other => panic!("expected ChecksumMismatch, got {other:?}"),
+    }
+    fs::remove_dir_all(&dir).ok();
+}
