@@ -35,6 +35,18 @@ pub struct AlsGlobal {
 }
 
 /// Gathered normal equations: `(XᵀX, Xᵀr)`.
+// Not derivable: `[f64; FACTOR_DIM * FACTOR_DIM]` exceeds the 32-element
+// `Default` impl for arrays.
+impl Default for Normal {
+    fn default() -> Normal {
+        Normal {
+            xtx: [0.0; FACTOR_DIM * FACTOR_DIM],
+            xtr: [0.0; FACTOR_DIM],
+            count: 0,
+        }
+    }
+}
+
 #[derive(Debug, Clone)]
 pub struct Normal {
     xtx: [f64; FACTOR_DIM * FACTOR_DIM],

@@ -34,4 +34,7 @@ pub mod suite;
 pub mod svd;
 pub mod tc;
 
-pub use suite::{run_algorithm, AlgorithmKind, Domain, SuiteConfig, Workload, WorkloadMismatch};
+pub use suite::{
+    run_algorithm, run_algorithm_digest, AlgorithmKind, Domain, SuiteConfig, Workload,
+    WorkloadMismatch,
+};

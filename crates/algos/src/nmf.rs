@@ -16,7 +16,7 @@ use graphmine_graph::{EdgeId, Graph, VertexId};
 pub const PAPER_ITERATION_CAP: usize = 20;
 
 /// Accumulated multiplicative-update terms.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct NmfAccum {
     /// Numerator Σ rating · h.
     numerator: Factor,

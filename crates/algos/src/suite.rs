@@ -10,7 +10,7 @@ use graphmine_gen::{
     gaussian_edge_weights, gaussian_points, mrf_graph, powerlaw_graph, BipartiteConfig, GridMrf,
     MatrixSystem, MrfConfig, MrfGraph, PowerLawConfig, RatingGraph,
 };
-use graphmine_graph::Graph;
+use graphmine_graph::{Graph, Representation};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -267,6 +267,48 @@ impl Workload {
             other => other.clone(),
         }
     }
+
+    /// The same workload with its topology converted to `repr`
+    /// (delta-varint compressed or plain adjacency). Conversion rebuilds
+    /// only the neighbor arrays — vertex/edge numbering, weights, and every
+    /// data column are untouched, so results are bit-identical across
+    /// representations by construction. Errors when the topology's rows are
+    /// not sorted (compression requires dedup builds; every generator here
+    /// produces them).
+    pub fn with_representation(&self, repr: Representation) -> Result<Workload, String> {
+        let convert = |g: &Graph| g.to_representation(repr);
+        Ok(match self {
+            Workload::PowerLaw {
+                graph,
+                weights,
+                points,
+            } => Workload::PowerLaw {
+                graph: convert(graph)?,
+                weights: weights.clone(),
+                points: points.clone(),
+            },
+            Workload::Ratings(rg) => {
+                let mut rg = rg.clone();
+                rg.graph = convert(&rg.graph)?;
+                Workload::Ratings(rg)
+            }
+            Workload::Matrix(sys) => {
+                let mut sys = sys.clone();
+                sys.graph = convert(&sys.graph)?;
+                Workload::Matrix(sys)
+            }
+            Workload::Grid(mrf) => {
+                let mut mrf = mrf.clone();
+                mrf.graph = convert(&mrf.graph)?;
+                Workload::Grid(mrf)
+            }
+            Workload::Mrf(mrf) => {
+                let mut mrf = mrf.clone();
+                mrf.graph = convert(&mrf.graph)?;
+                Workload::Mrf(mrf)
+            }
+        })
+    }
 }
 
 /// Suite-level execution knobs.
@@ -317,33 +359,136 @@ pub fn run_algorithm(
     workload: &Workload,
     config: &SuiteConfig,
 ) -> Result<RunTrace, WorkloadMismatch> {
+    run_algorithm_digest(algorithm, workload, config).map(|(_, trace)| trace)
+}
+
+/// FNV-1a over a byte stream; the result digest of
+/// [`run_algorithm_digest`].
+fn fnv1a(bytes: impl IntoIterator<Item = u8>) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Run `algorithm` on `workload`, returning a 64-bit digest of the exact
+/// bytes of the final result (labels, distances, factors, …) alongside the
+/// behavior trace. Two runs share a digest iff their results are
+/// bit-identical — the representation/direction/segmentation parity tests
+/// compare digests instead of hauling the states around.
+pub fn run_algorithm_digest(
+    algorithm: AlgorithmKind,
+    workload: &Workload,
+    config: &SuiteConfig,
+) -> Result<(u64, RunTrace), WorkloadMismatch> {
     let exec = &config.exec;
     let mismatch = |expected: &'static str| WorkloadMismatch {
         algorithm,
         expected,
     };
-    let trace = match (algorithm, workload) {
-        (AlgorithmKind::Cc, Workload::PowerLaw { graph, .. }) => cc::run_cc(graph, exec).1,
-        (AlgorithmKind::Kc, Workload::PowerLaw { graph, .. }) => kcore::run_kcore(graph, exec).1,
-        (AlgorithmKind::Tc, Workload::PowerLaw { graph, .. }) => tc::run_tc(graph, exec).1,
+    fn f64s(xs: &[f64]) -> u64 {
+        fnv1a(xs.iter().flat_map(|x| x.to_bits().to_le_bytes()))
+    }
+    fn u32s(xs: &[u32]) -> u64 {
+        fnv1a(xs.iter().flat_map(|x| x.to_le_bytes()))
+    }
+    fn usizes(xs: &[usize]) -> u64 {
+        fnv1a(xs.iter().flat_map(|&x| (x as u64).to_le_bytes()))
+    }
+    fn factors(xs: &[crate::linalg::Factor]) -> u64 {
+        fnv1a(
+            xs.iter()
+                .flat_map(|f| f.iter())
+                .flat_map(|x| x.to_bits().to_le_bytes()),
+        )
+    }
+    let (digest, trace) = match (algorithm, workload) {
+        (AlgorithmKind::Cc, Workload::PowerLaw { graph, .. }) => {
+            let (labels, trace) = cc::run_cc(graph, exec);
+            (u32s(&labels), trace)
+        }
+        (AlgorithmKind::Kc, Workload::PowerLaw { graph, .. }) => {
+            let (cores, trace) = kcore::run_kcore(graph, exec);
+            (u32s(&cores), trace)
+        }
+        (AlgorithmKind::Tc, Workload::PowerLaw { graph, .. }) => {
+            let (count, trace) = tc::run_tc(graph, exec);
+            (fnv1a(count.to_le_bytes()), trace)
+        }
         (AlgorithmKind::Sssp, Workload::PowerLaw { graph, weights, .. }) => {
             let source = config.sssp_source.min(graph.num_vertices() as u32 - 1);
-            sssp::run_sssp(graph, weights, source, exec).1
+            let (dist, trace) = sssp::run_sssp(graph, weights, source, exec);
+            (f64s(&dist), trace)
         }
         (AlgorithmKind::Pr, Workload::PowerLaw { graph, .. }) => {
-            pagerank::run_pagerank(graph, exec).1
+            let (ranks, trace) = pagerank::run_pagerank(graph, exec);
+            (f64s(&ranks), trace)
         }
-        (AlgorithmKind::Ad, Workload::PowerLaw { graph, .. }) => adiam::run_adiam(graph, exec).1,
+        (AlgorithmKind::Ad, Workload::PowerLaw { graph, .. }) => {
+            let (est, trace) = adiam::run_adiam(graph, exec);
+            (
+                fnv1a(
+                    (est.diameter as u64)
+                        .to_le_bytes()
+                        .into_iter()
+                        .chain(est.neighborhood_function.to_bits().to_le_bytes()),
+                ),
+                trace,
+            )
+        }
         (AlgorithmKind::Km, Workload::PowerLaw { graph, points, .. }) => {
-            kmeans::run_kmeans(graph, points, config.kmeans_k, exec).1
+            let (assign, trace) = kmeans::run_kmeans(graph, points, config.kmeans_k, exec);
+            (u32s(&assign), trace)
         }
-        (AlgorithmKind::Als, Workload::Ratings(rg)) => als::run_als(rg, exec).1,
-        (AlgorithmKind::Nmf, Workload::Ratings(rg)) => nmf::run_nmf(rg, exec).1,
-        (AlgorithmKind::Sgd, Workload::Ratings(rg)) => sgd::run_sgd(rg, exec).1,
-        (AlgorithmKind::Svd, Workload::Ratings(rg)) => svd::run_svd(rg, exec).1,
-        (AlgorithmKind::Jacobi, Workload::Matrix(sys)) => jacobi::run_jacobi(sys, exec).1,
-        (AlgorithmKind::Lbp, Workload::Grid(mrf)) => lbp::run_lbp(mrf, exec).1,
-        (AlgorithmKind::Dd, Workload::Mrf(mrf)) => dd::run_dd(mrf, exec).1,
+        (AlgorithmKind::Als, Workload::Ratings(rg)) => {
+            let (f, trace) = als::run_als(rg, exec);
+            (factors(&f), trace)
+        }
+        (AlgorithmKind::Nmf, Workload::Ratings(rg)) => {
+            let (f, trace) = nmf::run_nmf(rg, exec);
+            (factors(&f), trace)
+        }
+        (AlgorithmKind::Sgd, Workload::Ratings(rg)) => {
+            let (f, trace) = sgd::run_sgd(rg, exec);
+            (factors(&f), trace)
+        }
+        (AlgorithmKind::Svd, Workload::Ratings(rg)) => {
+            let (result, trace) = svd::run_svd(rg, exec);
+            (
+                fnv1a(
+                    result
+                        .sigma
+                        .to_bits()
+                        .to_le_bytes()
+                        .into_iter()
+                        .chain(result.vector.iter().flat_map(|x| x.to_bits().to_le_bytes())),
+                ),
+                trace,
+            )
+        }
+        (AlgorithmKind::Jacobi, Workload::Matrix(sys)) => {
+            let (x, trace) = jacobi::run_jacobi(sys, exec);
+            (f64s(&x), trace)
+        }
+        (AlgorithmKind::Lbp, Workload::Grid(mrf)) => {
+            let (labels, trace) = lbp::run_lbp(mrf, exec);
+            (usizes(&labels), trace)
+        }
+        (AlgorithmKind::Dd, Workload::Mrf(mrf)) => {
+            let (result, trace) = dd::run_dd(mrf, exec);
+            (
+                fnv1a(
+                    result
+                        .labels
+                        .iter()
+                        .flat_map(|&l| (l as u64).to_le_bytes())
+                        .chain(result.energy.to_bits().to_le_bytes()),
+                ),
+                trace,
+            )
+        }
         (
             AlgorithmKind::Cc
             | AlgorithmKind::Kc
@@ -361,7 +506,7 @@ pub fn run_algorithm(
         (AlgorithmKind::Lbp, _) => return Err(mismatch("grid")),
         (AlgorithmKind::Dd, _) => return Err(mismatch("mrf")),
     };
-    Ok(trace)
+    Ok((digest, trace))
 }
 
 #[cfg(test)]

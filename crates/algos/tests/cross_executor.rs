@@ -13,14 +13,16 @@
 
 use graphmine_algos::cc::ConnectedComponents;
 use graphmine_algos::sssp::{dijkstra, ShortestPath};
-use graphmine_algos::{run_algorithm, AlgorithmKind, Domain, SuiteConfig, Workload};
+use graphmine_algos::{
+    run_algorithm, run_algorithm_digest, AlgorithmKind, Domain, SuiteConfig, Workload,
+};
 use graphmine_engine::{
     async_run, edge_centric_run, AsyncConfig, DirectionChoice, DirectionMode, EdgeCentricConfig,
     ExecutionConfig, FrontierMode, IterationStats, NoGlobal, RunTrace, SyncEngine,
     SPARSE_FRONTIER_THRESHOLD,
 };
 use graphmine_gen::{gaussian_edge_weights, powerlaw_graph, PowerLawConfig};
-use graphmine_graph::Graph;
+use graphmine_graph::{Graph, Representation};
 
 /// A ~50k-vertex scale-free graph (mean degree 16 ⇒ 400k edges / 8).
 fn big_powerlaw() -> Graph {
@@ -28,7 +30,10 @@ fn big_powerlaw() -> Graph {
 }
 
 fn strip(t: &RunTrace) -> Vec<IterationStats> {
-    t.iterations.iter().map(IterationStats::normalized).collect()
+    t.iterations
+        .iter()
+        .map(IterationStats::normalized)
+        .collect()
 }
 
 #[test]
@@ -151,6 +156,121 @@ fn frontier_mode_preserves_counters_on_full_suite() {
             "{alg}: dense vs adaptive counters diverged"
         );
         assert_eq!(dense.converged, adaptive.converged, "{alg}: convergence");
+    }
+}
+
+/// Delta-varint compressed adjacency must be invisible to every
+/// algorithm: across the full 14-algorithm suite and all three scatter
+/// modes, the final result (labels, distances, factors, …) must be
+/// **bit-identical** between `Plain` and `Compressed` — the engine
+/// traverses both through the same `incident()` iterator in the same
+/// order, so even non-associative f64 reductions agree exactly.
+#[test]
+fn compressed_representation_is_bit_identical_on_full_suite() {
+    let pl = Workload::powerlaw(20_000, 2.5, 11);
+    let ratings = Workload::ratings(8_000, 2.5, 12);
+    let matrix = Workload::matrix(300, 13);
+    let grid = Workload::grid(12, 14);
+    let mrf = Workload::mrf(1_000, 15);
+
+    let config_with = |dir: DirectionMode| SuiteConfig {
+        exec: ExecutionConfig::with_max_iterations(40).with_direction(dir),
+        ..SuiteConfig::default()
+    };
+
+    for plain in [&pl, &ratings, &matrix, &grid, &mrf] {
+        let compressed = plain
+            .with_representation(Representation::Compressed)
+            .expect("suite workloads have sorted rows");
+        assert_eq!(
+            compressed.graph().representation(),
+            Representation::Compressed
+        );
+        // The compressed rows must genuinely shrink the neighbor payload
+        // (guards against a silent fall-back to plain).
+        let plain_bytes = plain
+            .graph()
+            .neighbor_payload_bytes(graphmine_graph::Direction::Out);
+        let packed_bytes = compressed
+            .graph()
+            .neighbor_payload_bytes(graphmine_graph::Direction::Out);
+        assert!(
+            packed_bytes < plain_bytes,
+            "compression did not shrink payload: {packed_bytes} vs {plain_bytes}"
+        );
+        for alg in AlgorithmKind::ALL {
+            let expected = match alg.domain() {
+                Domain::GraphAnalytics | Domain::Clustering => &pl,
+                Domain::CollaborativeFiltering => &ratings,
+                Domain::LinearSolver => &matrix,
+                Domain::GraphicalModel => {
+                    if alg == AlgorithmKind::Lbp {
+                        &grid
+                    } else {
+                        &mrf
+                    }
+                }
+            };
+            if !std::ptr::eq(expected as *const _, plain as *const _) {
+                continue;
+            }
+            for dir in [
+                DirectionMode::Push,
+                DirectionMode::Pull,
+                DirectionMode::Auto,
+            ] {
+                let (d_plain, t_plain) = run_algorithm_digest(alg, plain, &config_with(dir))
+                    .unwrap_or_else(|e| panic!("{alg}: {e}"));
+                let (d_packed, t_packed) =
+                    run_algorithm_digest(alg, &compressed, &config_with(dir))
+                        .unwrap_or_else(|e| panic!("{alg}: {e}"));
+                assert_eq!(
+                    d_plain, d_packed,
+                    "{alg} ({dir:?}): plain vs compressed results diverged"
+                );
+                assert_eq!(
+                    t_plain.without_wall_clock(),
+                    t_packed.without_wall_clock(),
+                    "{alg} ({dir:?}): plain vs compressed counters diverged"
+                );
+            }
+        }
+    }
+}
+
+/// The cache-blocking segment size must never change results: segments
+/// only group destination chunks into tasks, and chunks inside a segment
+/// process in the same ascending order with unchanged per-chunk merge
+/// order. Referenced by the `ExecutionConfig::segment_bytes` docs.
+#[test]
+fn segment_bytes_is_bit_identical() {
+    let pl = Workload::powerlaw(20_000, 2.5, 11);
+    let compressed = pl
+        .with_representation(Representation::Compressed)
+        .expect("power-law has sorted rows");
+    let config_with = |bytes: usize| SuiteConfig {
+        exec: ExecutionConfig::with_max_iterations(40)
+            .with_direction(DirectionMode::Auto)
+            .with_segment_bytes(bytes),
+        ..SuiteConfig::default()
+    };
+    for alg in [AlgorithmKind::Pr, AlgorithmKind::Sssp, AlgorithmKind::Cc] {
+        for workload in [&pl, &compressed] {
+            // 0 clamps to one chunk per task; 1 MiB spans many chunks; the
+            // default sits between.
+            let digests: Vec<u64> = [0usize, 16 * 1024, 256 * 1024, 1024 * 1024]
+                .into_iter()
+                .map(|bytes| {
+                    run_algorithm_digest(alg, workload, &config_with(bytes))
+                        .unwrap_or_else(|e| panic!("{alg}: {e}"))
+                        .0
+                })
+                .collect();
+            assert!(
+                digests.windows(2).all(|w| w[0] == w[1]),
+                "{alg}: segment size changed results: {digests:?}"
+            );
+        }
     }
 }
 

@@ -72,6 +72,8 @@ fn journal_append_throughput(c: &mut Criterion) {
         checkpoint_every: None,
         direction: None,
         reorder: false,
+        representation: None,
+        segment_bytes: None,
     };
     let mut g = c.benchmark_group("journal_append");
     g.sample_size(20).measurement_time(Duration::from_secs(3));

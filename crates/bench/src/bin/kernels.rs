@@ -1,0 +1,245 @@
+//! `kernels` — measure edges-per-second for the bandwidth-bound kernels
+//! across adjacency representation × scatter direction, and write the
+//! machine-readable summary `BENCH_kernels.json`.
+//!
+//! Unlike the Criterion benches (statistical, human-oriented), this is the
+//! summarizer CI and the experiment log consume: one JSON file with one
+//! record per kernel × workload × representation × direction, each carrying
+//! wall-clock, the deterministic edge-traversal count from the behavior
+//! trace, and the derived edges/sec. Workload records carry the
+//! neighbor-payload byte counts of both representations, so the compression
+//! ratio is part of the same artifact as the throughput numbers.
+//!
+//! Usage: `kernels [--out PATH] [--edges N] [--grid-side N] [--iters N]
+//! [--runs N] [--baseline PATH]` (defaults: BENCH_kernels.json, 500000,
+//! 256, 20, 3; the reported wall-clock is the best of `runs`). With
+//! `--baseline`, a previous BENCH_kernels.json is read and every record
+//! that matches on kernel × workload × representation × direction gains
+//! `baseline_edges_per_sec` and `speedup_vs_baseline` fields — run it
+//! against the checked-in file to see the per-PR perf delta.
+
+use graphmine_algos::{run_algorithm_digest, AlgorithmKind, SuiteConfig, Workload};
+use graphmine_engine::{DirectionMode, ExecutionConfig, RunTrace};
+use graphmine_graph::{Direction, Representation};
+use serde_json::{json, Value};
+use std::time::Instant;
+
+struct Args {
+    out: std::path::PathBuf,
+    edges: usize,
+    grid_side: usize,
+    iters: usize,
+    runs: usize,
+    baseline: Option<std::path::PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut out = Args {
+        out: std::path::PathBuf::from("BENCH_kernels.json"),
+        edges: 500_000,
+        grid_side: 256,
+        iters: 20,
+        runs: 3,
+        baseline: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--out" => out.out = std::path::PathBuf::from(value("--out")?),
+            "--edges" => {
+                out.edges = value("--edges")?
+                    .parse()
+                    .map_err(|_| "unparseable --edges")?
+            }
+            "--grid-side" => {
+                out.grid_side = value("--grid-side")?
+                    .parse()
+                    .map_err(|_| "unparseable --grid-side")?
+            }
+            "--iters" => {
+                out.iters = value("--iters")?
+                    .parse()
+                    .map_err(|_| "unparseable --iters")?
+            }
+            "--runs" => {
+                out.runs = value("--runs")?
+                    .parse::<usize>()
+                    .map_err(|_| "unparseable --runs")?
+                    .max(1)
+            }
+            "--baseline" => out.baseline = Some(std::path::PathBuf::from(value("--baseline")?)),
+            other => return Err(format!("unknown kernels flag `{other}`")),
+        }
+    }
+    Ok(out)
+}
+
+/// Edge traversals of a run: gather-side edge reads plus scatter-side
+/// pre-combine messages. Deterministic (trace counters), so the same for
+/// both representations — only the wall-clock denominator differs.
+fn edge_traversals(trace: &RunTrace) -> u64 {
+    trace
+        .iterations
+        .iter()
+        .map(|it| it.edge_reads + it.messages)
+        .sum()
+}
+
+fn workload_record(name: &str, plain: &Workload) -> (Value, Workload) {
+    let compressed = plain
+        .with_representation(Representation::Compressed)
+        .expect("benchmark workloads have sorted rows");
+    let g = plain.graph();
+    let plain_bytes = g.neighbor_payload_bytes(Direction::Out);
+    let packed_bytes = compressed.graph().neighbor_payload_bytes(Direction::Out);
+    let record = json!({
+        "workload": name,
+        "vertices": g.num_vertices(),
+        "edges": g.num_edges(),
+        "neighbor_bytes_plain": plain_bytes,
+        "neighbor_bytes_compressed": packed_bytes,
+        "compression_ratio": plain_bytes as f64 / packed_bytes.max(1) as f64,
+    });
+    (record, compressed)
+}
+
+fn main() -> std::process::ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return std::process::ExitCode::FAILURE;
+        }
+    };
+
+    let powerlaw = Workload::powerlaw(args.edges, 2.5, 42);
+    let grid = Workload::grid(args.grid_side, 42);
+    let (pl_record, pl_compressed) = workload_record("powerlaw", &powerlaw);
+    let (grid_record, grid_compressed) = workload_record("grid", &grid);
+
+    // The bandwidth-bound kernels of the suite: PR (dense pull-friendly),
+    // SSSP (sparse push-friendly), CC (label flood) on power-law; LBP on
+    // the grid for the regular-topology contrast.
+    let cells: Vec<(AlgorithmKind, &str, &Workload, &Workload)> = vec![
+        (AlgorithmKind::Pr, "powerlaw", &powerlaw, &pl_compressed),
+        (AlgorithmKind::Sssp, "powerlaw", &powerlaw, &pl_compressed),
+        (AlgorithmKind::Cc, "powerlaw", &powerlaw, &pl_compressed),
+        (AlgorithmKind::Lbp, "grid", &grid, &grid_compressed),
+    ];
+
+    let mut records = Vec::new();
+    for (alg, wname, plain, compressed) in &cells {
+        for dir in [
+            DirectionMode::Push,
+            DirectionMode::Pull,
+            DirectionMode::Auto,
+        ] {
+            let dir_name = match dir {
+                DirectionMode::Push => "push",
+                DirectionMode::Pull => "pull",
+                DirectionMode::Auto => "auto",
+            };
+            let config = SuiteConfig {
+                exec: ExecutionConfig::with_max_iterations(args.iters).with_direction(dir),
+                ..SuiteConfig::default()
+            };
+            let mut digests = Vec::new();
+            for (repr, workload) in [
+                (Representation::Plain, *plain),
+                (Representation::Compressed, *compressed),
+            ] {
+                // Warm-up run, then best-of-N timed runs.
+                let (digest, trace) = run_algorithm_digest(*alg, workload, &config)
+                    .unwrap_or_else(|e| panic!("{alg}: {e}"));
+                let traversals = edge_traversals(&trace);
+                let mut best = f64::INFINITY;
+                for _ in 0..args.runs {
+                    let t0 = Instant::now();
+                    let _ = run_algorithm_digest(*alg, workload, &config);
+                    best = best.min(t0.elapsed().as_secs_f64());
+                }
+                digests.push(digest);
+                records.push(json!({
+                    "kernel": alg.abbrev(),
+                    "workload": wname,
+                    "representation": repr.name(),
+                    "direction": dir_name,
+                    "iterations": trace.num_iterations(),
+                    "edge_traversals": traversals,
+                    "wall_ms": best * 1e3,
+                    "edges_per_sec": traversals as f64 / best.max(1e-12),
+                }));
+            }
+            // The whole exercise is void if the representations disagree.
+            assert_eq!(
+                digests[0], digests[1],
+                "{alg} ({dir_name}): plain vs compressed results diverged"
+            );
+        }
+    }
+
+    // Derived per-kernel speedups (compressed vs plain at equal direction).
+    let mut speedups = Vec::new();
+    for pair in records.chunks(2) {
+        let (p, c) = (&pair[0], &pair[1]);
+        let plain_eps = p["edges_per_sec"].as_f64().unwrap_or(0.0);
+        let packed_eps = c["edges_per_sec"].as_f64().unwrap_or(0.0);
+        speedups.push(json!({
+            "kernel": p["kernel"],
+            "workload": p["workload"],
+            "direction": p["direction"],
+            "speedup_compressed_vs_plain": if plain_eps > 0.0 { packed_eps / plain_eps } else { 0.0 },
+        }));
+    }
+
+    // Annotate against a previous BENCH_kernels.json, keyed by
+    // kernel × workload × representation × direction.
+    let mut baseline_source = Value::Null;
+    if let Some(path) = &args.baseline {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {}: {e}", path.display()));
+        let base: Value = serde_json::from_str(&text)
+            .unwrap_or_else(|e| panic!("unparseable baseline {}: {e}", path.display()));
+        let empty = Vec::new();
+        let base_records = base["kernels"].as_array().unwrap_or(&empty);
+        for record in &mut records {
+            let baseline_eps = base_records
+                .iter()
+                .find(|b| {
+                    ["kernel", "workload", "representation", "direction"]
+                        .iter()
+                        .all(|k| b[*k] == record[*k])
+                })
+                .and_then(|b| b["edges_per_sec"].as_f64());
+            if let Some(eps) = baseline_eps {
+                let ours = record["edges_per_sec"].as_f64().unwrap_or(0.0);
+                record["baseline_edges_per_sec"] = json!(eps);
+                record["speedup_vs_baseline"] = json!(if eps > 0.0 { ours / eps } else { 0.0 });
+            }
+        }
+        baseline_source = json!(path.display().to_string());
+    }
+
+    let doc = json!({
+        "schema": "graphmine/bench-kernels/v1",
+        "baseline_source": baseline_source,
+        "config": {
+            "powerlaw_edges": args.edges,
+            "grid_side": args.grid_side,
+            "max_iterations": args.iters,
+            "timed_runs": args.runs,
+            "threads": std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        },
+        "workloads": [pl_record, grid_record],
+        "kernels": records,
+        "speedups": speedups,
+    });
+    let text = serde_json::to_string_pretty(&doc).expect("static JSON serializes");
+    if let Err(e) = std::fs::write(&args.out, text) {
+        eprintln!("cannot write {}: {e}", args.out.display());
+        return std::process::ExitCode::FAILURE;
+    }
+    println!("wrote {}", args.out.display());
+    std::process::ExitCode::SUCCESS
+}

@@ -93,6 +93,7 @@ pub mod checkpoint;
 pub mod edge_centric;
 pub mod fault;
 pub mod program;
+pub mod soa;
 pub mod sync_engine;
 pub mod trace;
 
@@ -104,6 +105,7 @@ pub use checkpoint::{
 pub use edge_centric::{edge_centric_run, EdgeCentricConfig};
 pub use fault::{FaultKind, FaultPlan, FaultSite};
 pub use program::{ActiveInit, ApplyInfo, EdgeSet, NoGlobal, VertexProgram};
+pub use soa::{SlotChunk, SlotTable};
 pub use sync_engine::{
     chunk_size, DirectionMode, ExecutionConfig, FrontierMode, SyncEngine, PULL_COST_FACTOR,
     SPARSE_FRONTIER_THRESHOLD,

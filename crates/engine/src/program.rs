@@ -72,10 +72,14 @@ pub trait VertexProgram: Sync {
     type State: Clone + Send + Sync;
     /// Immutable per-edge data (weights, ratings, potentials).
     type EdgeData: Send + Sync;
-    /// Gather accumulator.
-    type Accum: Send;
+    /// Gather accumulator. `Default` lets the engine store accumulators in
+    /// a structure-of-arrays slot table (dense value plane + presence
+    /// bytes) instead of `Vec<Option<_>>`; taking a value out leaves
+    /// `Default::default()` behind, which the engine never observes.
+    type Accum: Send + Default;
     /// Inter-vertex message (the paper's "signal" carrying data).
-    type Message: Clone + Send + Sync;
+    /// `Default` for the same slot-table reason as [`Self::Accum`].
+    type Message: Clone + Send + Sync + Default;
     /// Global (aggregator) state shared read-only within an iteration.
     type Global: Clone + Send + Sync;
 

@@ -78,6 +78,7 @@ use crate::checkpoint::{
 };
 use crate::fault::{FaultPlan, FaultSite};
 use crate::program::{ActiveInit, ApplyInfo, EdgeSet, VertexProgram};
+use crate::soa::{SlotChunk, SlotTable};
 use crate::trace::{DirectionChoice, IterationStats, RunTrace};
 use graphmine_graph::{chunk_edge_spans, Direction, Graph, VertexId};
 use rayon::prelude::*;
@@ -193,7 +194,21 @@ pub struct ExecutionConfig {
     /// [`FaultSite::CheckpointWrite`] before each checkpoint write; `None`
     /// (the default) costs one branch per boundary.
     pub fault_plan: Option<Arc<FaultPlan>>,
+    /// Cache-blocking granularity for the exchange and pull phases, in
+    /// bytes of destination inbox state per task. Destination chunks are
+    /// grouped into segments of roughly this many inbox bytes and each
+    /// segment is processed by one task, chunks ascending — so a task's
+    /// writes stay inside an L2-sized window instead of striding the whole
+    /// inbox. Like the frontier and direction knobs this **never changes
+    /// results**: per destination chunk the merge order is fixed by the
+    /// outbox walk, and chunks are independent, so any segment size yields
+    /// bit-identical state (see `segment_bytes_is_bit_identical`). The
+    /// default (256 KiB) targets common per-core L2 capacities.
+    pub segment_bytes: usize,
 }
+
+/// Default for [`ExecutionConfig::segment_bytes`].
+pub const DEFAULT_SEGMENT_BYTES: usize = 256 * 1024;
 
 impl Default for ExecutionConfig {
     fn default() -> ExecutionConfig {
@@ -207,6 +222,7 @@ impl Default for ExecutionConfig {
             direction: DirectionMode::Auto,
             checkpoint: None,
             fault_plan: None,
+            segment_bytes: DEFAULT_SEGMENT_BYTES,
         }
     }
 }
@@ -262,6 +278,13 @@ impl ExecutionConfig {
     /// Attach a deterministic fault-injection plan (chaos tests only).
     pub fn with_fault_plan(mut self, plan: Arc<FaultPlan>) -> ExecutionConfig {
         self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Set the exchange/pull cache-blocking granularity (bytes of inbox
+    /// state per task). `0` is clamped to one chunk per task.
+    pub fn with_segment_bytes(mut self, bytes: usize) -> ExecutionConfig {
+        self.segment_bytes = bytes;
         self
     }
 
@@ -449,6 +472,38 @@ impl FrontierSet {
     }
 }
 
+/// [`select_chunks_mut`] over both planes of a [`SlotTable`], zipped back
+/// into per-chunk [`SlotChunk`] views.
+fn select_slot_chunks_mut<'a, T: Default>(
+    table: &'a mut SlotTable<T>,
+    cs: usize,
+    ids: impl IntoIterator<Item = usize> + Clone,
+) -> Vec<SlotChunk<'a, T>> {
+    let present = select_chunks_mut(&mut table.present, cs, ids.clone());
+    let values = select_chunks_mut(&mut table.values, cs, ids);
+    present
+        .into_iter()
+        .zip(values)
+        .map(|(p, v)| SlotChunk::from_planes(p, v))
+        .collect()
+}
+
+/// Group ascending `(chunk_index, item)` pairs into cache-sized segments:
+/// chunks whose indices share `ci / seg_chunks` land in one segment, to be
+/// processed by a single task in ascending order. Segmentation only groups
+/// work — per-chunk processing order is untouched, so results are
+/// bit-identical for every `seg_chunks`.
+fn segment_chunks<T>(chunks: Vec<(usize, T)>, seg_chunks: usize) -> Vec<Vec<(usize, T)>> {
+    let mut segments: Vec<Vec<(usize, T)>> = Vec::new();
+    for (ci, item) in chunks {
+        match segments.last_mut() {
+            Some(seg) if seg[0].0 / seg_chunks == ci / seg_chunks => seg.push((ci, item)),
+            _ => segments.push(vec![(ci, item)]),
+        }
+    }
+    segments
+}
+
 /// Pair each ascending chunk index in `ids` with its mutable chunk of
 /// `data`. One forward pass over the chunk iterator — O(num_chunks) pointer
 /// arithmetic, no allocation beyond the output.
@@ -479,20 +534,42 @@ struct RangeOutbox<M> {
 }
 
 /// Group `msgs` by destination chunk, preserving emission order within each
-/// chunk (stable sort — this order is part of the determinism contract).
-fn bucket_by_dest_chunk<M>(mut msgs: Vec<(VertexId, M)>, cs: usize) -> RangeOutbox<M> {
-    msgs.sort_by_key(|&(target, _)| target as usize / cs);
-    let mut groups = Vec::new();
-    let mut i = 0;
-    while i < msgs.len() {
-        let d = msgs[i].0 as usize / cs;
-        let start = i;
-        while i < msgs.len() && msgs[i].0 as usize / cs == d {
-            i += 1;
-        }
-        groups.push((d, start, i));
+/// chunk (this order is part of the determinism contract).
+///
+/// Binning instead of sorting: one pass drops each message into its
+/// destination chunk's bin (pushes keep emission order — same guarantee a
+/// stable sort gives, at O(msgs + chunk_range) instead of
+/// O(msgs log msgs)), a second pass concatenates the bins ascending. The
+/// bin table spans only the range of chunks this outbox actually targets.
+fn bucket_by_dest_chunk<M>(msgs: Vec<(VertexId, M)>, cs: usize) -> RangeOutbox<M> {
+    if msgs.is_empty() {
+        return RangeOutbox {
+            msgs,
+            groups: Vec::new(),
+        };
     }
-    RangeOutbox { msgs, groups }
+    let mut lo = usize::MAX;
+    let mut hi = 0usize;
+    for &(target, _) in &msgs {
+        let c = target as usize / cs;
+        lo = lo.min(c);
+        hi = hi.max(c);
+    }
+    let mut bins: Vec<Vec<(VertexId, M)>> = (0..hi - lo + 1).map(|_| Vec::new()).collect();
+    for (target, msg) in msgs {
+        bins[target as usize / cs - lo].push((target, msg));
+    }
+    let mut out = Vec::new();
+    let mut groups = Vec::new();
+    for (i, bin) in bins.into_iter().enumerate() {
+        if bin.is_empty() {
+            continue;
+        }
+        let start = out.len();
+        out.extend(bin);
+        groups.push((lo + i, start, out.len()));
+    }
+    RangeOutbox { msgs: out, groups }
 }
 
 /// A deserialized iteration boundary handed to [`SyncEngine::run_core`] to
@@ -525,7 +602,7 @@ struct BoundaryView<'a, P: VertexProgram> {
     completed_iterations: usize,
     states: &'a [P::State],
     frontier: &'a FrontierSet,
-    inbox: &'a [Option<P::Message>],
+    inbox: &'a SlotTable<P::Message>,
     global: &'a P::Global,
     trace: &'a RunTrace,
 }
@@ -624,7 +701,7 @@ impl<'g, P: VertexProgram> SyncEngine<'g, P> {
         let out_prefix: &[u64] = self.graph.degree_prefix(Direction::Out);
         let in_spans: Vec<u64> = chunk_edge_spans(self.graph, Direction::In, cs);
         let mut frontier = FrontierSet::new(n, cs, config.frontier_mode);
-        let mut inbox: Vec<Option<P::Message>> = (0..n).map(|_| None).collect();
+        let mut inbox: SlotTable<P::Message> = SlotTable::new(n);
 
         // A boundary is fully described by (states, frontier, undelivered
         // inbox, global, trace-so-far): the accumulator table is drained by
@@ -638,7 +715,7 @@ impl<'g, P: VertexProgram> SyncEngine<'g, P> {
                 trace.iterations = r.trace.iterations;
                 frontier.init_subset(r.frontier, out_prefix);
                 for (v, msg) in r.inbox {
-                    inbox[v as usize] = Some(msg);
+                    inbox.set(v as usize, msg);
                 }
                 r.completed_iterations
             }
@@ -657,7 +734,7 @@ impl<'g, P: VertexProgram> SyncEngine<'g, P> {
             .step_by(cs)
             .map(|start| (start, (start + cs).min(n)))
             .collect();
-        let mut accums: Vec<Option<P::Accum>> = (0..n).map(|_| None).collect();
+        let mut accums: SlotTable<P::Accum> = SlotTable::new(n);
         let mut next_states = self.states.clone();
         let mut pending = PendingSync::Clean;
 
@@ -737,8 +814,8 @@ impl<'g, P: VertexProgram> SyncEngine<'g, P> {
         frontier: &FrontierSet,
         ranges: &[(usize, usize)],
         in_spans: &[u64],
-        accums: &mut [Option<P::Accum>],
-        inbox: &mut [Option<P::Message>],
+        accums: &mut SlotTable<P::Accum>,
+        inbox: &mut SlotTable<P::Message>,
         next_states: &mut [P::State],
         pending: &PendingSync,
         track_receivers: bool,
@@ -753,6 +830,10 @@ impl<'g, P: VertexProgram> SyncEngine<'g, P> {
         let active = &frontier.bitmap;
         let sparse = frontier.sparse;
         let active_count = frontier.count as u64;
+        // Destination chunks per cache-blocked exchange/pull segment: one
+        // inbox slot costs the message payload plus its presence byte.
+        let slot_bytes = std::mem::size_of::<P::Message>() + 1;
+        let seg_chunks = (config.segment_bytes / (cs * slot_bytes).max(1)).max(1);
 
         let sum2 = |a: (u64, u64), b: (u64, u64)| (a.0 + b.0, a.1 + b.1);
 
@@ -807,20 +888,21 @@ impl<'g, P: VertexProgram> SyncEngine<'g, P> {
             let (total, remote) = if sparse {
                 // Only chunks holding active vertices, and within each only
                 // the listed vertices.
-                type GatherItem<'a, A> = (&'a mut [Option<A>], usize, &'a [VertexId]);
+                type GatherItem<'a, A> = (SlotChunk<'a, A>, usize, &'a [VertexId]);
                 let work: Vec<GatherItem<'_, P::Accum>> =
-                    select_chunks_mut(accums, cs, frontier.chunks.iter().map(|c| c.0))
+                    select_slot_chunks_mut(accums, cs, frontier.chunks.iter().map(|c| c.0))
                         .into_iter()
                         .zip(frontier.chunks.iter())
                         .map(|(chunk, &(ci, lo, hi))| (chunk, ci, &frontier.list[lo..hi]))
                         .collect();
                 let per_item =
-                    |(chunk, ci, verts): (&mut [Option<P::Accum>], usize, &[VertexId])| {
+                    |(mut chunk, ci, verts): (SlotChunk<'_, P::Accum>, usize, &[VertexId])| {
                         let base = ci * cs;
                         let mut local: u64 = 0;
                         let mut remote: u64 = 0;
                         for &v in verts {
-                            chunk[v as usize - base] = gather_one(v, &mut local, &mut remote);
+                            let acc = gather_one(v, &mut local, &mut remote);
+                            chunk.set_opt(v as usize - base, acc);
                         }
                         (local, remote)
                     };
@@ -830,14 +912,15 @@ impl<'g, P: VertexProgram> SyncEngine<'g, P> {
                     work.into_par_iter().map(per_item).reduce(|| (0, 0), sum2)
                 }
             } else {
-                let per_chunk = |(ci, chunk): (usize, &mut [Option<P::Accum>])| -> (u64, u64) {
+                let per_chunk = |(ci, mut chunk): (usize, SlotChunk<'_, P::Accum>)| -> (u64, u64) {
                     let base = ci * cs;
                     let mut local: u64 = 0;
                     let mut remote: u64 = 0;
-                    for (off, slot) in chunk.iter_mut().enumerate() {
+                    for off in 0..chunk.len() {
                         let v = (base + off) as VertexId;
                         if active[v as usize] {
-                            *slot = gather_one(v, &mut local, &mut remote);
+                            let acc = gather_one(v, &mut local, &mut remote);
+                            chunk.set_opt(off, acc);
                         }
                     }
                     (local, remote)
@@ -850,9 +933,11 @@ impl<'g, P: VertexProgram> SyncEngine<'g, P> {
                         .fold((0, 0), sum2)
                 } else {
                     accums
+                        .present
                         .par_chunks_mut(cs)
+                        .zip(accums.values.par_chunks_mut(cs))
                         .enumerate()
-                        .map(per_chunk)
+                        .map(|(ci, (p, v))| per_chunk((ci, SlotChunk::from_planes(p, v))))
                         .reduce(|| (0, 0), sum2)
                 }
             };
@@ -911,12 +996,12 @@ impl<'g, P: VertexProgram> SyncEngine<'g, P> {
         let (apply_ns, apply_ops) = if sparse {
             let ids = || frontier.chunks.iter().map(|c| c.0);
             let dst_chunks = select_chunks_mut(next_states, cs, ids());
-            let acc_chunks = select_chunks_mut(accums, cs, ids());
-            let inb_chunks = select_chunks_mut(inbox, cs, ids());
+            let acc_chunks = select_slot_chunks_mut(accums, cs, ids());
+            let inb_chunks = select_slot_chunks_mut(inbox, cs, ids());
             type ApplyItem<'a, P> = (
                 &'a mut [<P as VertexProgram>::State],
-                &'a mut [Option<<P as VertexProgram>::Accum>],
-                &'a mut [Option<<P as VertexProgram>::Message>],
+                SlotChunk<'a, <P as VertexProgram>::Accum>,
+                SlotChunk<'a, <P as VertexProgram>::Message>,
                 usize,
                 &'a [VertexId],
             );
@@ -929,7 +1014,7 @@ impl<'g, P: VertexProgram> SyncEngine<'g, P> {
                     (dst, acc, inb, ci, &frontier.list[lo..hi])
                 })
                 .collect();
-            let per_item = |(dst, acc, inb, ci, verts): ApplyItem<'_, P>| -> (u64, u64) {
+            let per_item = |(dst, mut acc, mut inb, ci, verts): ApplyItem<'_, P>| -> (u64, u64) {
                 let base = ci * cs;
                 let mut ns: u64 = 0;
                 let mut ops: u64 = 0;
@@ -938,8 +1023,8 @@ impl<'g, P: VertexProgram> SyncEngine<'g, P> {
                     apply_one(
                         v,
                         &mut dst[off],
-                        acc[off].take(),
-                        inb[off].take(),
+                        acc.take(off),
+                        inb.take(off),
                         &mut ns,
                         &mut ops,
                     );
@@ -960,32 +1045,28 @@ impl<'g, P: VertexProgram> SyncEngine<'g, P> {
                             &'a mut [<P as VertexProgram>::State],
                             &'a [<P as VertexProgram>::State],
                         ),
-                        &'a mut [Option<<P as VertexProgram>::Accum>],
+                        SlotChunk<'a, <P as VertexProgram>::Accum>,
                     ),
-                    &'a mut [Option<<P as VertexProgram>::Message>],
+                    SlotChunk<'a, <P as VertexProgram>::Message>,
                 ),
             );
-            let per_chunk = |(ci, (((dst, src), acc), inb)): DenseItem<'_, P>| -> (u64, u64) {
-                if fused_sync {
-                    dst.clone_from_slice(src);
-                }
-                let base = ci * cs;
-                let mut ns: u64 = 0;
-                let mut ops: u64 = 0;
-                for (off, ((slot, acc_slot), inb_slot)) in dst
-                    .iter_mut()
-                    .zip(acc.iter_mut())
-                    .zip(inb.iter_mut())
-                    .enumerate()
-                {
-                    let v = (base + off) as VertexId;
-                    if !active[v as usize] {
-                        continue;
+            let per_chunk =
+                |(ci, (((dst, src), mut acc), mut inb)): DenseItem<'_, P>| -> (u64, u64) {
+                    if fused_sync {
+                        dst.clone_from_slice(src);
                     }
-                    apply_one(v, slot, acc_slot.take(), inb_slot.take(), &mut ns, &mut ops);
-                }
-                (ns, ops)
-            };
+                    let base = ci * cs;
+                    let mut ns: u64 = 0;
+                    let mut ops: u64 = 0;
+                    for (off, slot) in dst.iter_mut().enumerate() {
+                        let v = (base + off) as VertexId;
+                        if !active[v as usize] {
+                            continue;
+                        }
+                        apply_one(v, slot, acc.take(off), inb.take(off), &mut ns, &mut ops);
+                    }
+                    (ns, ops)
+                };
             if config.sequential {
                 next_states
                     .chunks_mut(cs)
@@ -999,10 +1080,28 @@ impl<'g, P: VertexProgram> SyncEngine<'g, P> {
                 next_states
                     .par_chunks_mut(cs)
                     .zip(states.par_chunks(cs))
-                    .zip(accums.par_chunks_mut(cs))
-                    .zip(inbox.par_chunks_mut(cs))
+                    .zip(
+                        accums
+                            .present
+                            .par_chunks_mut(cs)
+                            .zip(accums.values.par_chunks_mut(cs)),
+                    )
+                    .zip(
+                        inbox
+                            .present
+                            .par_chunks_mut(cs)
+                            .zip(inbox.values.par_chunks_mut(cs)),
+                    )
                     .enumerate()
-                    .map(per_chunk)
+                    .map(|(ci, (((dst, src), (ap, av)), (ip, iv)))| {
+                        per_chunk((
+                            ci,
+                            (
+                                ((dst, src), SlotChunk::from_planes(ap, av)),
+                                SlotChunk::from_planes(ip, iv),
+                            ),
+                        ))
+                    })
                     .reduce(|| (0, 0), sum2)
             }
         };
@@ -1041,49 +1140,51 @@ impl<'g, P: VertexProgram> SyncEngine<'g, P> {
             // exchange fused, no outboxes, no bucketing sort. In-rows list
             // sources ascending on deduplicated builds, so per destination
             // this is byte-for-byte the push exchange's combine order.
-            // Chunks with no in-slots are skipped via the cached spans.
-            let items: Vec<(usize, &mut [Option<P::Message>])> = inbox
+            // Chunks with no in-slots are skipped via the cached spans, and
+            // the surviving chunks are grouped into cache-sized segments —
+            // one task walks its segment's chunks ascending, so its inbox
+            // writes stay inside an L2-sized window.
+            let chunks: Vec<(usize, SlotChunk<'_, P::Message>)> = inbox
                 .chunks_mut(cs)
                 .enumerate()
                 .filter(|&(ci, _)| in_spans[ci] > 0)
                 .collect();
+            let items = segment_chunks(chunks, seg_chunks);
             type PullResult = (Vec<VertexId>, u64, u64, u64);
-            let per_chunk = |(ci, chunk): (usize, &mut [Option<P::Message>])| -> PullResult {
-                let base = ci * cs;
+            let per_segment = |seg: Vec<(usize, SlotChunk<'_, P::Message>)>| -> PullResult {
                 let mut hits: Vec<VertexId> = Vec::new();
                 let mut count = 0u64;
                 let mut remote = 0u64;
                 let mut visited = 0u64;
-                for (off, slot) in chunk.iter_mut().enumerate() {
-                    let v = (base + off) as VertexId;
-                    for (e, u) in graph.incident(v, Direction::In) {
-                        visited += 1;
-                        if !active[u as usize] {
-                            continue;
-                        }
-                        if let Some(msg) = program.scatter(
-                            graph,
-                            u,
-                            e,
-                            v,
-                            &next_states_ref[u as usize],
-                            &states[v as usize],
-                            &edge_data[e as usize],
-                            global,
-                        ) {
-                            count += 1;
-                            if let Some(p) = partition {
-                                if p[u as usize] != p[v as usize] {
-                                    remote += 1;
-                                }
+                for (ci, mut chunk) in seg {
+                    let base = ci * cs;
+                    for off in 0..chunk.len() {
+                        let v = (base + off) as VertexId;
+                        for (e, u) in graph.incident(v, Direction::In) {
+                            visited += 1;
+                            if !active[u as usize] {
+                                continue;
                             }
-                            match slot {
-                                Some(existing) => program.combine(existing, msg),
-                                None => {
-                                    *slot = Some(msg);
-                                    if track_receivers {
-                                        hits.push(v);
+                            if let Some(msg) = program.scatter(
+                                graph,
+                                u,
+                                e,
+                                v,
+                                &next_states_ref[u as usize],
+                                &states[v as usize],
+                                &edge_data[e as usize],
+                                global,
+                            ) {
+                                count += 1;
+                                if let Some(p) = partition {
+                                    if p[u as usize] != p[v as usize] {
+                                        remote += 1;
                                     }
+                                }
+                                let inserted =
+                                    chunk.merge_or_insert(off, msg, |a, b| program.combine(a, b));
+                                if inserted && track_receivers {
+                                    hits.push(v);
                                 }
                             }
                         }
@@ -1092,9 +1193,9 @@ impl<'g, P: VertexProgram> SyncEngine<'g, P> {
                 (hits, count, remote, visited)
             };
             let collected: Vec<PullResult> = if config.sequential {
-                items.into_iter().map(per_chunk).collect()
+                items.into_iter().map(per_segment).collect()
             } else {
-                items.into_par_iter().map(per_chunk).collect()
+                items.into_par_iter().map(per_segment).collect()
             };
             // Chunks ascend and each chunk's hits ascend, so the receiver
             // list comes out sorted without a final sort.
@@ -1201,11 +1302,13 @@ impl<'g, P: VertexProgram> SyncEngine<'g, P> {
             }
 
             // Exchange: combine messages into the inbox. Apply drained
-            // every delivered message above, so the inbox is all-None here
-            // — no O(|V|) clear. Each destination chunk is merged by one
-            // task, walking the source outboxes in ascending chunk order
-            // and each group in emission order: the exact combine order a
-            // single-threaded merge of the un-bucketed outboxes would use.
+            // every delivered message above, so the inbox is all-empty here
+            // — no O(|V|) clear. Destination chunks are grouped into
+            // cache-sized segments; within a segment one task merges its
+            // chunks ascending, each chunk walking the source outboxes in
+            // ascending chunk order and each group in emission order: the
+            // exact combine order a single-threaded merge of the
+            // un-bucketed outboxes would use, for any segment size.
             if outboxes.iter().any(|ob| !ob.msgs.is_empty()) {
                 let mut dest_chunks: Vec<usize> = outboxes
                     .iter()
@@ -1214,41 +1317,48 @@ impl<'g, P: VertexProgram> SyncEngine<'g, P> {
                 dest_chunks.sort_unstable();
                 dest_chunks.dedup();
                 let outboxes_ref = &outboxes;
-                let items: Vec<(usize, &mut [Option<P::Message>])> = dest_chunks
+                let chunks: Vec<(usize, SlotChunk<'_, P::Message>)> = dest_chunks
                     .iter()
                     .copied()
-                    .zip(select_chunks_mut(inbox, cs, dest_chunks.iter().copied()))
+                    .zip(select_slot_chunks_mut(
+                        inbox,
+                        cs,
+                        dest_chunks.iter().copied(),
+                    ))
                     .collect();
-                let merge_chunk =
-                    |(ci, chunk): (usize, &mut [Option<P::Message>])| -> Vec<VertexId> {
-                        let base = ci * cs;
-                        let mut hits: Vec<VertexId> = Vec::new();
-                        for ob in outboxes_ref {
-                            if let Ok(gi) = ob.groups.binary_search_by_key(&ci, |g| g.0) {
-                                let (_, start, end) = ob.groups[gi];
-                                for (target, msg) in &ob.msgs[start..end] {
-                                    let slot = &mut chunk[*target as usize - base];
-                                    match slot {
-                                        Some(existing) => program.combine(existing, msg.clone()),
-                                        None => {
-                                            *slot = Some(msg.clone());
-                                            if track_receivers {
-                                                hits.push(*target);
-                                            }
+                let items = segment_chunks(chunks, seg_chunks);
+                let merge_segment =
+                    |seg: Vec<(usize, SlotChunk<'_, P::Message>)>| -> Vec<VertexId> {
+                        let mut all_hits: Vec<VertexId> = Vec::new();
+                        for (ci, mut chunk) in seg {
+                            let base = ci * cs;
+                            let mut hits: Vec<VertexId> = Vec::new();
+                            for ob in outboxes_ref {
+                                if let Ok(gi) = ob.groups.binary_search_by_key(&ci, |g| g.0) {
+                                    let (_, start, end) = ob.groups[gi];
+                                    for (target, msg) in &ob.msgs[start..end] {
+                                        let off = *target as usize - base;
+                                        let inserted =
+                                            chunk.merge_or_insert(off, msg.clone(), |a, b| {
+                                                program.combine(a, b)
+                                            });
+                                        if inserted && track_receivers {
+                                            hits.push(*target);
                                         }
                                     }
                                 }
                             }
+                            hits.sort_unstable();
+                            all_hits.extend(hits);
                         }
-                        hits.sort_unstable();
-                        hits
+                        all_hits
                     };
-                let per_chunk_receivers: Vec<Vec<VertexId>> = if config.sequential {
-                    items.into_iter().map(merge_chunk).collect()
+                let per_segment_receivers: Vec<Vec<VertexId>> = if config.sequential {
+                    items.into_iter().map(merge_segment).collect()
                 } else {
-                    items.into_par_iter().map(merge_chunk).collect()
+                    items.into_par_iter().map(merge_segment).collect()
                 };
-                for r in per_chunk_receivers {
+                for r in per_segment_receivers {
                     receivers.extend(r);
                 }
             }
@@ -1369,9 +1479,8 @@ where
                 frontier: b.frontier.snapshot_list(),
                 inbox: b
                     .inbox
-                    .iter()
-                    .enumerate()
-                    .filter_map(|(v, m)| m.as_ref().map(|m| (v as VertexId, m.clone())))
+                    .iter_present()
+                    .map(|(v, m)| (v as VertexId, m.clone()))
                     .collect(),
                 global: b.global.clone(),
                 trace: b.trace.clone(),
@@ -1522,7 +1631,10 @@ mod tests {
             SyncEngine::new(&g, MinLabel, states.clone(), vec![(); 199]).run(&cfg)
         };
         let strip = |t: &RunTrace| -> Vec<IterationStats> {
-            t.iterations.iter().map(IterationStats::normalized).collect()
+            t.iterations
+                .iter()
+                .map(IterationStats::normalized)
+                .collect()
         };
         let (s_adaptive, t_adaptive) = run(FrontierMode::Adaptive);
         let (s_dense, t_dense) = run(FrontierMode::Dense);

@@ -65,9 +65,7 @@ impl VertexProgram for PushRank {
         _edge: &(),
         _g: &NoGlobal,
     ) -> Option<f64> {
-        let deg = graph
-            .neighbor_slice(v, graphmine_graph::Direction::Out)
-            .len();
+        let deg = graph.neighbors(v, graphmine_graph::Direction::Out).len();
         Some(*state / deg as f64)
     }
     fn combine(&self, into: &mut f64, from: f64) {
@@ -127,9 +125,7 @@ impl VertexProgram for Diffuse {
         _edge: &(),
         _g: &NoGlobal,
     ) -> Option<f64> {
-        let deg = graph
-            .neighbor_slice(v, graphmine_graph::Direction::Out)
-            .len();
+        let deg = graph.neighbors(v, graphmine_graph::Direction::Out).len();
         let share = *state * 0.2 / deg as f64;
         (share > 1e-4).then_some(share)
     }
@@ -139,7 +135,10 @@ impl VertexProgram for Diffuse {
 }
 
 fn strip(t: &RunTrace) -> Vec<IterationStats> {
-    t.iterations.iter().map(IterationStats::normalized).collect()
+    t.iterations
+        .iter()
+        .map(IterationStats::normalized)
+        .collect()
 }
 
 fn graph() -> Graph {
@@ -230,6 +229,61 @@ fn pushrank_forced_push_bit_identical_across_thread_counts() {
             strip(&ref_trace),
             "{threads}-thread forced-pull trace"
         );
+    }
+}
+
+#[test]
+fn compressed_adjacency_bit_identical_across_thread_counts() {
+    // Delta-varint rows feed the exact same `incident()` traversal order
+    // as plain slots, so the float combine order — and therefore every
+    // state bit — must match the plain run under any pool size, in both
+    // scatter directions and for both programs.
+    let plain = graph();
+    let packed = plain
+        .to_representation(graphmine_graph::Representation::Compressed)
+        .expect("dedup build has sorted rows");
+    let n = plain.num_vertices();
+    let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+
+    let rank_init = vec![1.0f64; n];
+    let rank = |g: &Graph, cfg: ExecutionConfig| {
+        let edge_data = vec![(); g.num_edges()];
+        SyncEngine::new(g, PushRank, rank_init.clone(), edge_data).run(&cfg)
+    };
+    let diffuse_init = vec![0.0f64; n];
+    let diffuse = |g: &Graph, cfg: ExecutionConfig| {
+        let edge_data = vec![(); g.num_edges()];
+        let cfg = ExecutionConfig {
+            max_iterations: 40,
+            ..cfg
+        };
+        SyncEngine::new(g, Diffuse, diffuse_init.clone(), edge_data).run(&cfg)
+    };
+
+    for dir in [
+        DirectionMode::Push,
+        DirectionMode::Pull,
+        DirectionMode::Auto,
+    ] {
+        let cfg = || ExecutionConfig::default().with_direction(dir);
+        let (ref_rank, ref_rank_trace) = rank(&plain, cfg().sequential());
+        let (ref_diff, ref_diff_trace) = diffuse(&plain, cfg().sequential());
+        for threads in [1, 2, 8] {
+            let (states, trace) = run_in_pool(threads, || rank(&packed, cfg()));
+            assert_eq!(
+                bits(&states),
+                bits(&ref_rank),
+                "{threads}-thread compressed pushrank ({dir:?}) diverged from plain"
+            );
+            assert_eq!(strip(&trace), strip(&ref_rank_trace), "{threads} ({dir:?})");
+            let (states, trace) = run_in_pool(threads, || diffuse(&packed, cfg()));
+            assert_eq!(
+                bits(&states),
+                bits(&ref_diff),
+                "{threads}-thread compressed diffusion ({dir:?}) diverged from plain"
+            );
+            assert_eq!(strip(&trace), strip(&ref_diff_trace), "{threads} ({dir:?})");
+        }
     }
 }
 

@@ -9,6 +9,7 @@
 //! incident edge once).
 
 use crate::storage::SharedSlice;
+use crate::varint::{self, RowDecoder};
 use serde::{Deserialize, Serialize};
 
 /// Index of a vertex. Dense in `0..num_vertices`.
@@ -38,13 +39,129 @@ impl Direction {
     }
 }
 
+/// How a [`Graph`] stores its neighbor arrays.
+///
+/// The two representations are observationally identical — every row-level
+/// accessor yields the same neighbor sequence in the same order, so engine
+/// traces (including floating-point combine orders) are bit-identical
+/// between them. They differ only in bytes moved per traversed edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Representation {
+    /// Plain 4-byte neighbor slots (the CSR default).
+    #[default]
+    Plain,
+    /// Delta-varint compressed rows (see [`crate::varint`]): the first
+    /// neighbor absolute, later neighbors as gaps, decoded streaming.
+    /// Requires [`Graph::has_sorted_rows`].
+    Compressed,
+}
+
+impl Representation {
+    /// Short lowercase name (`plain` / `compressed`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Representation::Plain => "plain",
+            Representation::Compressed => "compressed",
+        }
+    }
+}
+
+impl std::str::FromStr for Representation {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Representation, String> {
+        match s {
+            "plain" => Ok(Representation::Plain),
+            "compressed" => Ok(Representation::Compressed),
+            other => Err(format!(
+                "unknown representation `{other}` (want plain|compressed)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for Representation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Physical storage of one adjacency's neighbor slots.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) enum NeighborStore {
+    /// One `u32` per slot, indexable by the slot-offset array.
+    Plain(SharedSlice<VertexId>),
+    /// Per-row delta-varint byte streams: row `v` spans
+    /// `byte_offsets[v]..byte_offsets[v + 1]` in `data`.
+    Compressed {
+        byte_offsets: SharedSlice<u64>,
+        data: SharedSlice<u8>,
+    },
+}
+
+impl NeighborStore {
+    fn heap_bytes(&self) -> u64 {
+        match self {
+            NeighborStore::Plain(nb) => nb.heap_bytes(),
+            NeighborStore::Compressed { byte_offsets, data } => {
+                byte_offsets.heap_bytes() + data.heap_bytes()
+            }
+        }
+    }
+
+    fn is_mapped(&self) -> bool {
+        match self {
+            NeighborStore::Plain(nb) => nb.is_mapped(),
+            NeighborStore::Compressed { byte_offsets, data } => {
+                byte_offsets.is_mapped() || data.is_mapped()
+            }
+        }
+    }
+}
+
+/// Streaming iterator over one adjacency row's neighbor ids, monomorphic
+/// over both representations so `Graph::neighbors`/`Graph::incident` have a
+/// single return type. The decoded sequence is identical between variants;
+/// only the bytes read differ.
+#[derive(Debug, Clone)]
+pub enum NeighborIter<'a> {
+    /// Plain slice walk.
+    Plain(std::iter::Copied<std::slice::Iter<'a, VertexId>>),
+    /// Delta-varint streaming decode.
+    Compressed(RowDecoder<'a>),
+}
+
+impl Iterator for NeighborIter<'_> {
+    type Item = VertexId;
+
+    #[inline]
+    fn next(&mut self) -> Option<VertexId> {
+        match self {
+            NeighborIter::Plain(it) => it.next(),
+            NeighborIter::Compressed(it) => it.next(),
+        }
+    }
+
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self {
+            NeighborIter::Plain(it) => it.size_hint(),
+            NeighborIter::Compressed(it) => it.size_hint(),
+        }
+    }
+}
+
+impl ExactSizeIterator for NeighborIter<'_> {}
+
 /// One CSR adjacency index: row `v` spans
-/// `offsets[v] as usize .. offsets[v + 1] as usize` in the `neighbors` /
-/// `edges` arrays.
+/// `offsets[v] as usize .. offsets[v + 1] as usize` in the neighbor /
+/// `edges` slot arrays. Neighbor slots are stored plain or delta-varint
+/// compressed ([`NeighborStore`]); the slot-offset and edge-id arrays are
+/// always plain, so degrees and edge-id lookups never decode anything.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub(crate) struct Adjacency {
     pub(crate) offsets: SharedSlice<u64>,
-    pub(crate) neighbors: SharedSlice<VertexId>,
+    pub(crate) neighbors: NeighborStore,
     pub(crate) edges: SharedSlice<EdgeId>,
 }
 
@@ -53,6 +170,79 @@ impl Adjacency {
     fn row(&self, v: VertexId) -> std::ops::Range<usize> {
         let v = v as usize;
         self.offsets[v] as usize..self.offsets[v + 1] as usize
+    }
+
+    /// Streaming iterator over row `v`'s neighbors, either representation.
+    #[inline]
+    fn neighbor_iter(&self, v: VertexId) -> NeighborIter<'_> {
+        let row = self.row(v);
+        match &self.neighbors {
+            NeighborStore::Plain(nb) => NeighborIter::Plain(nb[row].iter().copied()),
+            NeighborStore::Compressed { byte_offsets, data } => {
+                let v = v as usize;
+                let span = byte_offsets[v] as usize..byte_offsets[v + 1] as usize;
+                NeighborIter::Compressed(RowDecoder::new(&data[span], row.len()))
+            }
+        }
+    }
+
+    /// Row `v` as a contiguous slice; `None` for compressed storage.
+    #[inline]
+    fn neighbor_row_slice(&self, v: VertexId) -> Option<&[VertexId]> {
+        match &self.neighbors {
+            NeighborStore::Plain(nb) => Some(&nb[self.row(v)]),
+            NeighborStore::Compressed { .. } => None,
+        }
+    }
+
+    /// Delta-varint encode a plain adjacency (rows must be sorted).
+    fn compress(&self, num_vertices: usize) -> Adjacency {
+        let NeighborStore::Plain(nb) = &self.neighbors else {
+            return self.clone();
+        };
+        let mut byte_offsets = Vec::with_capacity(num_vertices + 1);
+        let mut data = Vec::new();
+        byte_offsets.push(0u64);
+        for v in 0..num_vertices {
+            let row = self.row(v as VertexId);
+            varint::encode_row(nb[row].iter().copied(), &mut data);
+            byte_offsets.push(data.len() as u64);
+        }
+        Adjacency {
+            offsets: self.offsets.clone(),
+            neighbors: NeighborStore::Compressed {
+                byte_offsets: byte_offsets.into(),
+                data: data.into(),
+            },
+            edges: self.edges.clone(),
+        }
+    }
+
+    /// Decode a compressed adjacency back to plain slots.
+    fn decompress(&self, num_vertices: usize) -> Adjacency {
+        if matches!(self.neighbors, NeighborStore::Plain(_)) {
+            return self.clone();
+        }
+        let total = self.offsets[num_vertices] as usize;
+        let mut nb = Vec::with_capacity(total);
+        for v in 0..num_vertices {
+            nb.extend(self.neighbor_iter(v as VertexId));
+        }
+        Adjacency {
+            offsets: self.offsets.clone(),
+            neighbors: NeighborStore::Plain(nb.into()),
+            edges: self.edges.clone(),
+        }
+    }
+
+    /// Bytes of the neighbor payload: 4 per slot plain, the varint stream
+    /// length compressed (the row index overhead is reported separately by
+    /// heap accounting).
+    fn neighbor_payload_bytes(&self) -> u64 {
+        match &self.neighbors {
+            NeighborStore::Plain(nb) => (nb.len() * std::mem::size_of::<VertexId>()) as u64,
+            NeighborStore::Compressed { data, .. } => data.len() as u64,
+        }
     }
 
     /// Build from `(endpoint, neighbor, edge id)` triples.
@@ -79,7 +269,7 @@ impl Adjacency {
         }
         Adjacency {
             offsets: counts.into(),
-            neighbors: neighbors.into(),
+            neighbors: NeighborStore::Plain(neighbors.into()),
             edges: edges.into(),
         }
     }
@@ -197,21 +387,25 @@ impl Graph {
     }
 
     /// Iterate over the neighbor vertices of `v` in the given direction.
+    /// Streams over both representations: plain rows walk the slice,
+    /// compressed rows decode one varint per `next()` without ever
+    /// materializing the row.
     #[inline]
-    pub fn neighbors(
-        &self,
-        v: VertexId,
-        dir: Direction,
-    ) -> impl ExactSizeIterator<Item = VertexId> + '_ {
-        let adj = self.adj(dir);
-        adj.neighbors[adj.row(v)].iter().copied()
+    pub fn neighbors(&self, v: VertexId, dir: Direction) -> NeighborIter<'_> {
+        self.adj(dir).neighbor_iter(v)
     }
 
     /// Neighbor vertices of `v` as a contiguous slice (CSR row).
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`Representation::Compressed`] graphs, whose rows have no
+    /// slice form — use [`Graph::neighbors`] (streaming) instead.
     #[inline]
     pub fn neighbor_slice(&self, v: VertexId, dir: Direction) -> &[VertexId] {
-        let adj = self.adj(dir);
-        &adj.neighbors[adj.row(v)]
+        self.adj(dir)
+            .neighbor_row_slice(v)
+            .expect("neighbor_slice requires Representation::Plain; use neighbors()")
     }
 
     /// Iterate over `(edge id, neighbor)` pairs incident to `v` in the given
@@ -223,11 +417,10 @@ impl Graph {
         dir: Direction,
     ) -> impl ExactSizeIterator<Item = (EdgeId, VertexId)> + '_ {
         let adj = self.adj(dir);
-        let row = adj.row(v);
-        adj.edges[row.clone()]
+        adj.edges[adj.row(v)]
             .iter()
             .copied()
-            .zip(adj.neighbors[row].iter().copied())
+            .zip(adj.neighbor_iter(v))
     }
 
     /// Iterate over all vertex ids.
@@ -263,10 +456,88 @@ impl Graph {
     /// For undirected graphs both directions alias the same arrays. Used
     /// by serializers (e.g. `graphmine-store`) that persist the index
     /// verbatim; everything else should prefer the row-level accessors.
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`Representation::Compressed`] graphs — serializers
+    /// branch on [`Graph::representation`] and use
+    /// [`Graph::compressed_slices`] there.
     #[inline]
     pub fn csr_slices(&self, dir: Direction) -> (&[u64], &[VertexId], &[EdgeId]) {
         let adj = self.adj(dir);
-        (&adj.offsets, &adj.neighbors, &adj.edges)
+        let NeighborStore::Plain(nb) = &adj.neighbors else {
+            panic!("csr_slices requires Representation::Plain; use compressed_slices()");
+        };
+        (&adj.offsets, nb, &adj.edges)
+    }
+
+    /// The raw compressed arrays for `dir` as `(slot_offsets, byte_offsets,
+    /// varint_data, edge_ids)`; `None` for plain graphs. The serializer
+    /// counterpart of [`Graph::csr_slices`].
+    #[inline]
+    pub fn compressed_slices(&self, dir: Direction) -> Option<(&[u64], &[u64], &[u8], &[EdgeId])> {
+        let adj = self.adj(dir);
+        match &adj.neighbors {
+            NeighborStore::Plain(_) => None,
+            NeighborStore::Compressed { byte_offsets, data } => {
+                Some((&adj.offsets, byte_offsets, data, &adj.edges))
+            }
+        }
+    }
+
+    /// Which physical neighbor representation this graph uses.
+    #[inline]
+    pub fn representation(&self) -> Representation {
+        match self.out.neighbors {
+            NeighborStore::Plain(_) => Representation::Plain,
+            NeighborStore::Compressed { .. } => Representation::Compressed,
+        }
+    }
+
+    /// A copy of this graph in the requested representation. Slot-offset,
+    /// edge-id, and edge-list arrays are shared (`Arc` clones), so
+    /// converting costs only the neighbor payload. Conversion to
+    /// [`Representation::Compressed`] requires sorted rows (deduplicating
+    /// builds) — gap encoding is meaningless on unsorted rows.
+    pub fn to_representation(&self, repr: Representation) -> Result<Graph, String> {
+        if self.representation() == repr {
+            return Ok(self.clone());
+        }
+        let n = self.num_vertices;
+        let (out, in_) = match repr {
+            Representation::Compressed => {
+                if !self.sorted_rows {
+                    return Err("compressed representation requires sorted adjacency rows \
+                         (build with dedup)"
+                        .to_string());
+                }
+                (
+                    self.out.compress(n),
+                    self.in_.as_ref().map(|a| a.compress(n)),
+                )
+            }
+            Representation::Plain => (
+                self.out.decompress(n),
+                self.in_.as_ref().map(|a| a.decompress(n)),
+            ),
+        };
+        Ok(Graph {
+            directed: self.directed,
+            num_vertices: n,
+            edge_list: self.edge_list.clone(),
+            out,
+            in_,
+            sorted_rows: self.sorted_rows,
+            remap: self.remap.clone(),
+            inverse: self.inverse.clone(),
+        })
+    }
+
+    /// Bytes of the neighbor payload for `dir`: `4 × slots` plain, the
+    /// varint stream length compressed. The compression-ratio metric
+    /// reported by benchmarks and `graphmine graph inspect`.
+    pub fn neighbor_payload_bytes(&self, dir: Direction) -> u64 {
+        self.adj(dir).neighbor_payload_bytes()
     }
 
     /// Whether every adjacency row lists neighbors in ascending vertex
@@ -305,6 +576,7 @@ impl Graph {
                 return Err(format!("edge ({s},{d}) out of range (n={n})"));
             }
         }
+        let sorted = self.sorted_rows;
         let check_adj = |adj: &Adjacency, name: &str| -> Result<(), String> {
             if adj.offsets.len() != n + 1 {
                 return Err(format!("{name}: offsets len {} != n+1", adj.offsets.len()));
@@ -312,17 +584,48 @@ impl Graph {
             if adj.offsets.windows(2).any(|w| w[0] > w[1]) {
                 return Err(format!("{name}: offsets not monotone"));
             }
-            if adj.neighbors.len() != adj.offsets[n] as usize
-                || adj.edges.len() != adj.neighbors.len()
-            {
+            let slots = adj.offsets[n] as usize;
+            if adj.edges.len() != slots {
                 return Err(format!("{name}: slot arrays inconsistent"));
             }
-            for (&nb, &e) in adj.neighbors.iter().zip(adj.edges.iter()) {
-                if nb as usize >= n {
-                    return Err(format!("{name}: neighbor {nb} out of range"));
-                }
+            for &e in adj.edges.iter() {
                 if e as usize >= m {
                     return Err(format!("{name}: edge id {e} out of range"));
+                }
+            }
+            match &adj.neighbors {
+                NeighborStore::Plain(nbs) => {
+                    if nbs.len() != slots {
+                        return Err(format!("{name}: slot arrays inconsistent"));
+                    }
+                    for &nb in nbs.iter() {
+                        if nb as usize >= n {
+                            return Err(format!("{name}: neighbor {nb} out of range"));
+                        }
+                    }
+                }
+                NeighborStore::Compressed { byte_offsets, data } => {
+                    if byte_offsets.len() != n + 1 {
+                        return Err(format!(
+                            "{name}: byte offsets len {} != n+1",
+                            byte_offsets.len()
+                        ));
+                    }
+                    if byte_offsets[0] != 0 || byte_offsets[n] as usize != data.len() {
+                        return Err(format!("{name}: byte offsets do not span the data"));
+                    }
+                    if byte_offsets.windows(2).any(|w| w[0] > w[1]) {
+                        return Err(format!("{name}: byte offsets not monotone"));
+                    }
+                    // Decode every row: well-formed varints consuming the
+                    // exact byte span, monotone (strictly ascending on
+                    // dedup builds), in-bounds neighbor ids.
+                    for v in 0..n {
+                        let row = byte_offsets[v] as usize..byte_offsets[v + 1] as usize;
+                        let len = (adj.offsets[v + 1] - adj.offsets[v]) as usize;
+                        varint::decode_row_checked(&data[row], len, n, sorted)
+                            .map_err(|e| format!("{name}: row {v}: {e}"))?;
+                    }
                 }
             }
             Ok(())
@@ -357,28 +660,67 @@ impl Graph {
     pub fn from_parts(parts: GraphParts) -> Result<Graph, String> {
         let n = parts.num_vertices;
         let m = parts.edge_list.len();
+        let sorted_rows = parts.sorted_rows;
         let check = |offsets: &SharedSlice<u64>,
-                     neighbors: &SharedSlice<VertexId>,
+                     neighbors: &NeighborsPart,
                      edges: &SharedSlice<EdgeId>,
                      name: &str|
          -> Result<(), String> {
             if offsets.len() != n + 1 {
-                return Err(format!("{name}: offsets len {} != n+1 ({})", offsets.len(), n + 1));
+                return Err(format!(
+                    "{name}: offsets len {} != n+1 ({})",
+                    offsets.len(),
+                    n + 1
+                ));
             }
             if offsets[0] != 0 {
                 return Err(format!("{name}: offsets[0] != 0"));
             }
             let slots = offsets[n] as usize;
-            if neighbors.len() != slots || edges.len() != slots {
+            if edges.len() != slots {
                 return Err(format!(
-                    "{name}: slot arrays ({} neighbors, {} edges) != offsets total {slots}",
-                    neighbors.len(),
+                    "{name}: edge-id slots ({}) != offsets total {slots}",
                     edges.len()
                 ));
             }
+            match neighbors {
+                NeighborsPart::Plain(nbs) => {
+                    if nbs.len() != slots {
+                        return Err(format!(
+                            "{name}: neighbor slots ({}) != offsets total {slots}",
+                            nbs.len()
+                        ));
+                    }
+                }
+                NeighborsPart::Compressed { byte_offsets, data } => {
+                    if !sorted_rows {
+                        return Err(format!("{name}: compressed neighbors require sorted rows"));
+                    }
+                    if byte_offsets.len() != n + 1 {
+                        return Err(format!(
+                            "{name}: byte offsets len {} != n+1 ({})",
+                            byte_offsets.len(),
+                            n + 1
+                        ));
+                    }
+                    if byte_offsets[0] != 0 || byte_offsets[n] as usize != data.len() {
+                        return Err(format!(
+                            "{name}: byte offsets span {}..{} but data holds {} bytes",
+                            byte_offsets[0],
+                            byte_offsets[n],
+                            data.len()
+                        ));
+                    }
+                }
+            }
             Ok(())
         };
-        check(&parts.out_offsets, &parts.out_neighbors, &parts.out_edges, "out")?;
+        check(
+            &parts.out_offsets,
+            &parts.out_neighbors,
+            &parts.out_edges,
+            "out",
+        )?;
         let expected_out_slots = if parts.directed { m } else { 2 * m };
         if parts.out_offsets[n] as usize != expected_out_slots {
             return Err(format!(
@@ -397,7 +739,7 @@ impl Graph {
                 }
                 Some(Adjacency {
                     offsets,
-                    neighbors,
+                    neighbors: neighbors.into_store(),
                     edges,
                 })
             }
@@ -415,7 +757,7 @@ impl Graph {
             edge_list: parts.edge_list,
             out: Adjacency {
                 offsets: parts.out_offsets,
-                neighbors: parts.out_neighbors,
+                neighbors: parts.out_neighbors.into_store(),
                 edges: parts.out_edges,
             },
             in_,
@@ -452,6 +794,33 @@ impl Graph {
     }
 }
 
+/// Neighbor slots handed to [`Graph::from_parts`]: plain `u32` slots or a
+/// pre-compressed delta-varint payload (a `graphmine-store` file packed
+/// with [`Representation::Compressed`], mapped zero-copy).
+pub enum NeighborsPart {
+    /// One `u32` per slot.
+    Plain(SharedSlice<VertexId>),
+    /// Per-row varint streams: row `v` spans
+    /// `byte_offsets[v]..byte_offsets[v + 1]` of `data`.
+    Compressed {
+        /// `n + 1` byte offsets into `data`.
+        byte_offsets: SharedSlice<u64>,
+        /// Concatenated delta-varint row encodings.
+        data: SharedSlice<u8>,
+    },
+}
+
+impl NeighborsPart {
+    fn into_store(self) -> NeighborStore {
+        match self {
+            NeighborsPart::Plain(nb) => NeighborStore::Plain(nb),
+            NeighborsPart::Compressed { byte_offsets, data } => {
+                NeighborStore::Compressed { byte_offsets, data }
+            }
+        }
+    }
+}
+
 /// The raw CSR arrays accepted by [`Graph::from_parts`]. Each array is a
 /// [`SharedSlice`], so callers can hand in owned vectors or zero-copy views
 /// into a mapped file interchangeably.
@@ -465,18 +834,19 @@ pub struct GraphParts {
     /// Out-adjacency degree-prefix array (undirected: the single shared
     /// adjacency, with both orientations of every edge).
     pub out_offsets: SharedSlice<u64>,
-    /// Out-adjacency neighbor slots.
-    pub out_neighbors: SharedSlice<VertexId>,
+    /// Out-adjacency neighbor slots, plain or compressed.
+    pub out_neighbors: NeighborsPart,
     /// Out-adjacency edge-id slots.
     pub out_edges: SharedSlice<EdgeId>,
     /// In-adjacency arrays; required for directed graphs, forbidden for
     /// undirected ones.
     pub in_offsets: Option<SharedSlice<u64>>,
     /// See [`GraphParts::in_offsets`].
-    pub in_neighbors: Option<SharedSlice<VertexId>>,
+    pub in_neighbors: Option<NeighborsPart>,
     /// See [`GraphParts::in_offsets`].
     pub in_edges: Option<SharedSlice<EdgeId>>,
     /// Whether adjacency rows are ascending (see [`Graph::has_sorted_rows`]).
+    /// Compressed neighbor parts require `true`.
     pub sorted_rows: bool,
 }
 
@@ -607,7 +977,10 @@ mod tests {
     fn undirected_in_slots_equal_out_slots() {
         let g = GraphBuilder::undirected(3).edge(0, 1).edge(1, 2).build();
         assert_eq!(g.total_in_slots(), g.total_out_slots());
-        assert_eq!(g.degree_prefix(Direction::In), g.degree_prefix(Direction::Out));
+        assert_eq!(
+            g.degree_prefix(Direction::In),
+            g.degree_prefix(Direction::Out)
+        );
     }
 
     #[test]
@@ -639,6 +1012,129 @@ mod tests {
                 }
             }
         }
+    }
+
+    fn pl_like() -> Graph {
+        let mut b = GraphBuilder::directed(40);
+        // A hub-heavy directed graph with varied gaps.
+        for d in 1..40u32 {
+            b = b.edge(0, d);
+        }
+        b.edge(5, 7)
+            .edge(5, 39)
+            .edge(17, 3)
+            .edge(17, 4)
+            .edge(17, 38)
+            .edge(39, 0)
+            .build()
+    }
+
+    #[test]
+    fn compressed_round_trip_preserves_every_row() {
+        let ring = {
+            let mut b = GraphBuilder::undirected(6);
+            b.extend_edges([(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (4, 5), (0, 5)]);
+            b.build()
+        };
+        for g in [
+            pl_like(),
+            ring,
+            GraphBuilder::directed(10).edge(0, 9).build(),
+            GraphBuilder::undirected(0).build(),
+        ] {
+            assert_eq!(g.representation(), Representation::Plain);
+            let c = g.to_representation(Representation::Compressed).unwrap();
+            assert_eq!(c.representation(), Representation::Compressed);
+            assert!(c.validate().is_ok());
+            assert_eq!(c.num_vertices(), g.num_vertices());
+            assert_eq!(c.edge_list(), g.edge_list());
+            for dir in [Direction::Out, Direction::In] {
+                for v in g.vertices() {
+                    assert_eq!(c.degree_dir(v, dir), g.degree_dir(v, dir));
+                    let plain: Vec<_> = g.incident(v, dir).collect();
+                    let comp: Vec<_> = c.incident(v, dir).collect();
+                    assert_eq!(plain, comp, "row {v} {dir:?}");
+                    assert_eq!(c.neighbors(v, dir).len(), g.degree_dir(v, dir));
+                }
+            }
+            // Converting back yields the identical plain arrays.
+            let back = c.to_representation(Representation::Plain).unwrap();
+            assert_eq!(back.representation(), Representation::Plain);
+            for dir in [Direction::Out, Direction::In] {
+                assert_eq!(back.csr_slices(dir), g.csr_slices(dir));
+            }
+        }
+    }
+
+    #[test]
+    fn compression_shrinks_neighbor_payload() {
+        let g = pl_like();
+        let c = g.to_representation(Representation::Compressed).unwrap();
+        for dir in [Direction::Out, Direction::In] {
+            assert!(c.neighbor_payload_bytes(dir) < g.neighbor_payload_bytes(dir));
+        }
+    }
+
+    #[test]
+    fn compression_requires_sorted_rows() {
+        let g = GraphBuilder::directed(3)
+            .allow_parallel_edges()
+            .edge(0, 2)
+            .edge(0, 1)
+            .build();
+        assert!(g.to_representation(Representation::Compressed).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "neighbor_slice requires Representation::Plain")]
+    fn neighbor_slice_panics_on_compressed() {
+        let c = pl_like()
+            .to_representation(Representation::Compressed)
+            .unwrap();
+        let _ = c.neighbor_slice(0, Direction::Out);
+    }
+
+    #[test]
+    fn validate_rejects_corrupt_compressed_rows() {
+        let c = pl_like()
+            .to_representation(Representation::Compressed)
+            .unwrap();
+        let (offsets, byte_offsets, data, edges) = c.compressed_slices(Direction::Out).unwrap();
+        // Out-of-range neighbor: replace row 0's first (absolute) id with a
+        // varint decoding past num_vertices.
+        let mut bad = data.to_vec();
+        bad[0] = 0x7F; // 127 >= 40 vertices
+        let parts = |data: Vec<u8>, byte_offsets: Vec<u64>| GraphParts {
+            directed: true,
+            num_vertices: c.num_vertices(),
+            edge_list: SharedSlice::from_vec(c.edge_list().to_vec()),
+            out_offsets: SharedSlice::from_vec(offsets.to_vec()),
+            out_neighbors: NeighborsPart::Compressed {
+                byte_offsets: SharedSlice::from_vec(byte_offsets),
+                data: SharedSlice::from_vec(data),
+            },
+            out_edges: SharedSlice::from_vec(edges.to_vec()),
+            in_offsets: Some(SharedSlice::from_vec(
+                c.compressed_slices(Direction::In).unwrap().0.to_vec(),
+            )),
+            in_neighbors: Some(NeighborsPart::Compressed {
+                byte_offsets: SharedSlice::from_vec(
+                    c.compressed_slices(Direction::In).unwrap().1.to_vec(),
+                ),
+                data: SharedSlice::from_vec(c.compressed_slices(Direction::In).unwrap().2.to_vec()),
+            }),
+            in_edges: Some(SharedSlice::from_vec(
+                c.compressed_slices(Direction::In).unwrap().3.to_vec(),
+            )),
+            sorted_rows: true,
+        };
+        let g = Graph::from_parts(parts(bad, byte_offsets.to_vec())).unwrap();
+        assert!(g.validate().unwrap_err().contains("row 0"));
+        // Structurally broken byte offsets are caught already by from_parts.
+        let mut bad_offsets = byte_offsets.to_vec();
+        let last = bad_offsets.len() - 1;
+        bad_offsets[last] += 1;
+        assert!(Graph::from_parts(parts(data.to_vec(), bad_offsets)).is_err());
     }
 
     #[test]

@@ -37,10 +37,12 @@ pub mod partition;
 pub mod properties;
 pub mod stats;
 pub mod storage;
+pub mod varint;
 
 pub use builder::GraphBuilder;
-pub use csr::{Direction, EdgeId, Graph, GraphParts, VertexId};
-pub use storage::{SharedSlice, SliceKeeper};
+pub use csr::{
+    Direction, EdgeId, Graph, GraphParts, NeighborIter, NeighborsPart, Representation, VertexId,
+};
 pub use degree::{estimate_powerlaw_alpha, DegreeHistogram, DegreeStats};
 pub use edgelist::{parse_edge_list, write_edge_list, EdgeListError};
 pub use partition::{
@@ -51,3 +53,4 @@ pub use properties::{
     bfs_distances, connected_components_count, is_connected, union_find_components,
 };
 pub use stats::{degree_assortativity, global_clustering_coefficient};
+pub use storage::{SharedSlice, SliceKeeper};

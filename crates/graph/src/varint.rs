@@ -1,0 +1,271 @@
+//! Delta-varint codec for sorted adjacency rows.
+//!
+//! Deduplicating builds guarantee strictly ascending neighbor ids within
+//! every CSR row ([`crate::Graph::has_sorted_rows`]), which makes rows
+//! gap-encodable: the first neighbor is stored absolute, every later one as
+//! the difference to its predecessor. Gaps on power-law graphs are small —
+//! most fit one byte — so LEB128 (7 data bits per byte, high bit =
+//! continuation) typically shrinks the 4-byte neighbor slots by 2–4×.
+//!
+//! The decoder is a streaming iterator: a row is never materialized, each
+//! `next()` reads one varint and adds it to the running value. The length
+//! comes from the slot-offset array (degrees are not stored in the byte
+//! stream), so [`RowDecoder`] is an [`ExactSizeIterator`] like the plain
+//! slice path.
+
+/// Maximum encoded size of one `u32` varint (⌈32/7⌉ bytes).
+pub const MAX_VARINT_LEN: usize = 5;
+
+/// Append the LEB128 encoding of `x` to `out`.
+#[inline]
+pub fn write_varint(out: &mut Vec<u8>, mut x: u32) {
+    while x >= 0x80 {
+        out.push((x as u8 & 0x7F) | 0x80);
+        x >>= 7;
+    }
+    out.push(x as u8);
+}
+
+/// Read one LEB128 varint from `bytes[*pos..]`, advancing `pos`. Returns
+/// `None` on truncated input or an encoding longer than
+/// [`MAX_VARINT_LEN`] (which would overflow `u32`).
+#[inline]
+pub fn read_varint(bytes: &[u8], pos: &mut usize) -> Option<u32> {
+    let mut x: u32 = 0;
+    let mut shift = 0u32;
+    loop {
+        let b = *bytes.get(*pos)?;
+        *pos += 1;
+        if shift == 28 && b > 0x0F {
+            return None; // fifth byte may only carry the top 4 bits
+        }
+        x |= ((b & 0x7F) as u32) << shift;
+        if b & 0x80 == 0 {
+            return Some(x);
+        }
+        shift += 7;
+        if shift >= 32 {
+            return None;
+        }
+    }
+}
+
+/// Append the delta-varint encoding of one sorted row to `out`: the first
+/// neighbor absolute, each later neighbor as the gap to its predecessor.
+/// Rows must be non-decreasing (strictly ascending for dedup builds);
+/// callers gate on [`crate::Graph::has_sorted_rows`].
+pub fn encode_row(row: impl IntoIterator<Item = u32>, out: &mut Vec<u8>) {
+    let mut prev: Option<u32> = None;
+    for v in row {
+        match prev {
+            None => write_varint(out, v),
+            Some(p) => {
+                debug_assert!(v >= p, "delta-varint rows must be non-decreasing");
+                write_varint(out, v.wrapping_sub(p));
+            }
+        }
+        prev = Some(v);
+    }
+}
+
+/// Streaming decoder over one encoded row. Yields exactly `len` neighbor
+/// ids; the length is supplied by the caller (from the slot-offset array),
+/// never read from the byte stream.
+///
+/// Decoding is infallible by construction on encoder output; on corrupt
+/// bytes the iterator saturates (truncated varints decode as whatever the
+/// remaining bits give, missing bytes as 0) — integrity is the job of
+/// [`decode_row_checked`] and the store's checksums, not the hot loop.
+#[derive(Debug, Clone)]
+pub struct RowDecoder<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    remaining: usize,
+    value: u32,
+    first: bool,
+}
+
+impl<'a> RowDecoder<'a> {
+    /// Decoder over `bytes`, yielding `len` ids.
+    #[inline]
+    pub fn new(bytes: &'a [u8], len: usize) -> RowDecoder<'a> {
+        RowDecoder {
+            bytes,
+            pos: 0,
+            remaining: len,
+            value: 0,
+            first: true,
+        }
+    }
+}
+
+impl Iterator for RowDecoder<'_> {
+    type Item = u32;
+
+    #[inline]
+    fn next(&mut self) -> Option<u32> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let delta = read_varint(self.bytes, &mut self.pos).unwrap_or(0);
+        if self.first {
+            self.first = false;
+            self.value = delta;
+        } else {
+            self.value = self.value.wrapping_add(delta);
+        }
+        Some(self.value)
+    }
+
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for RowDecoder<'_> {}
+
+/// Strictly validate one encoded row: every varint must be well-formed,
+/// exactly `bytes` must be consumed, the decoded ids must be monotone
+/// non-decreasing (strictly ascending after the first when `strict`), and
+/// each id must be `< num_vertices`. Used by [`crate::Graph::validate`] and
+/// the store's deep verify pass.
+pub fn decode_row_checked(
+    bytes: &[u8],
+    len: usize,
+    num_vertices: usize,
+    strict: bool,
+) -> Result<(), String> {
+    let mut pos = 0usize;
+    let mut value: u32 = 0;
+    for i in 0..len {
+        let Some(delta) = read_varint(bytes, &mut pos) else {
+            return Err(format!("truncated or overlong varint at slot {i}"));
+        };
+        if i == 0 {
+            value = delta;
+        } else {
+            if strict && delta == 0 {
+                return Err(format!("zero gap at slot {i} (row not strictly ascending)"));
+            }
+            value = value
+                .checked_add(delta)
+                .ok_or_else(|| format!("gap at slot {i} overflows u32"))?;
+        }
+        if value as usize >= num_vertices {
+            return Err(format!("neighbor {value} at slot {i} out of range"));
+        }
+    }
+    if pos != bytes.len() {
+        return Err(format!(
+            "row has {} trailing bytes after {len} slots",
+            bytes.len() - pos
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(row: &[u32]) -> Vec<u32> {
+        let mut buf = Vec::new();
+        encode_row(row.iter().copied(), &mut buf);
+        RowDecoder::new(&buf, row.len()).collect()
+    }
+
+    #[test]
+    fn empty_row_encodes_to_nothing() {
+        let mut buf = Vec::new();
+        encode_row(std::iter::empty(), &mut buf);
+        assert!(buf.is_empty());
+        assert_eq!(RowDecoder::new(&buf, 0).count(), 0);
+    }
+
+    #[test]
+    fn single_neighbor_rows() {
+        for v in [0u32, 1, 127, 128, 1 << 20, u32::MAX] {
+            assert_eq!(round_trip(&[v]), vec![v]);
+        }
+    }
+
+    #[test]
+    fn max_delta_round_trips() {
+        // A first id of 0 followed by u32::MAX exercises the largest
+        // possible gap (and the 5-byte varint encoding).
+        assert_eq!(round_trip(&[0, u32::MAX]), vec![0, u32::MAX]);
+        assert_eq!(round_trip(&[u32::MAX]), vec![u32::MAX]);
+    }
+
+    #[test]
+    fn dense_row_uses_one_byte_per_gap() {
+        let row: Vec<u32> = (100..200).collect();
+        let mut buf = Vec::new();
+        encode_row(row.iter().copied(), &mut buf);
+        // 1 byte absolute + 99 single-byte gaps.
+        assert_eq!(buf.len(), 100);
+        assert_eq!(round_trip(&row), row);
+    }
+
+    #[test]
+    fn decoder_is_exact_size() {
+        let row: Vec<u32> = vec![3, 10, 11, 500_000];
+        let mut buf = Vec::new();
+        encode_row(row.iter().copied(), &mut buf);
+        let mut d = RowDecoder::new(&buf, row.len());
+        assert_eq!(d.len(), 4);
+        d.next();
+        assert_eq!(d.len(), 3);
+    }
+
+    #[test]
+    fn checked_decode_accepts_encoder_output() {
+        let row: Vec<u32> = vec![0, 5, 6, 1000, 65_535];
+        let mut buf = Vec::new();
+        encode_row(row.iter().copied(), &mut buf);
+        assert!(decode_row_checked(&buf, row.len(), 65_536, true).is_ok());
+    }
+
+    #[test]
+    fn checked_decode_rejects_out_of_range() {
+        let mut buf = Vec::new();
+        encode_row([10u32, 20].into_iter(), &mut buf);
+        assert!(decode_row_checked(&buf, 2, 21, true).is_ok());
+        assert!(decode_row_checked(&buf, 2, 20, true).is_err());
+    }
+
+    #[test]
+    fn checked_decode_rejects_truncation_and_trailing_bytes() {
+        let mut buf = Vec::new();
+        encode_row([300u32, 600].into_iter(), &mut buf);
+        assert!(decode_row_checked(&buf[..buf.len() - 1], 2, 1000, true).is_err());
+        let mut extended = buf.clone();
+        extended.push(0);
+        assert!(decode_row_checked(&extended, 2, 1000, true).is_err());
+    }
+
+    #[test]
+    fn checked_decode_rejects_zero_gap_when_strict() {
+        let mut buf = Vec::new();
+        encode_row([7u32, 7].into_iter(), &mut buf);
+        assert!(decode_row_checked(&buf, 2, 10, true).is_err());
+        assert!(decode_row_checked(&buf, 2, 10, false).is_ok());
+    }
+
+    #[test]
+    fn checked_decode_rejects_overlong_varint() {
+        // Six continuation bytes can never be a valid u32 varint.
+        let bytes = [0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01];
+        assert!(decode_row_checked(&bytes, 1, usize::MAX, true).is_err());
+    }
+
+    #[test]
+    fn checked_decode_rejects_u32_overflow() {
+        let mut buf = Vec::new();
+        write_varint(&mut buf, u32::MAX);
+        write_varint(&mut buf, 1);
+        assert!(decode_row_checked(&buf, 2, usize::MAX, true).is_err());
+    }
+}

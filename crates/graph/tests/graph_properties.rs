@@ -1,8 +1,8 @@
 //! Property-based tests over the graph substrate.
 
 use graphmine_graph::{
-    estimate_powerlaw_alpha, union_find_components, DegreeHistogram, DegreeStats, Direction,
-    GraphBuilder,
+    estimate_powerlaw_alpha, union_find_components, varint, DegreeHistogram, DegreeStats,
+    Direction, GraphBuilder, Representation,
 };
 use proptest::prelude::*;
 
@@ -111,5 +111,107 @@ proptest! {
             prop_assert!(alpha > 1.0);
             prop_assert!(alpha.is_finite());
         }
+    }
+}
+
+/// Strategy: a sorted, strictly-ascending neighbor row drawn from the full
+/// u32 range (delta-varint legality requires ascending rows, which dedup
+/// builds guarantee).
+fn arb_sorted_row(max_len: usize) -> impl Strategy<Value = Vec<u32>> {
+    proptest::collection::btree_set(any::<u32>(), 0..max_len).prop_map(|s| s.into_iter().collect())
+}
+
+proptest! {
+    /// Delta-varint rows round-trip exactly for arbitrary sorted rows,
+    /// including rows whose gaps span the whole u32 range.
+    #[test]
+    fn varint_row_round_trips(row in arb_sorted_row(200)) {
+        let mut bytes = Vec::new();
+        varint::encode_row(row.iter().copied(), &mut bytes);
+        let decoded: Vec<u32> = varint::RowDecoder::new(&bytes, row.len()).collect();
+        prop_assert_eq!(&decoded, &row);
+        // The checked decoder accepts exactly what the encoder produced.
+        let max = row.last().map(|&v| v as usize + 1).unwrap_or(0);
+        prop_assert!(varint::decode_row_checked(&bytes, row.len(), max.max(1), true).is_ok());
+    }
+
+    /// Single u32 values survive a varint round trip, and never exceed the
+    /// documented maximum encoded length.
+    #[test]
+    fn varint_scalar_round_trips(v in any::<u32>()) {
+        let mut bytes = Vec::new();
+        varint::write_varint(&mut bytes, v);
+        prop_assert!(bytes.len() <= varint::MAX_VARINT_LEN);
+        let mut pos = 0usize;
+        let decoded = varint::read_varint(&bytes, &mut pos).expect("wrote it");
+        prop_assert_eq!(decoded, v);
+        prop_assert_eq!(pos, bytes.len());
+    }
+
+    /// A graph converted to compressed representation exposes exactly the
+    /// same adjacency as its plain twin, row by row, in order.
+    #[test]
+    fn compressed_graph_preserves_adjacency((n, edges) in arb_edges(30, 90)) {
+        for directed in [false, true] {
+            let g = {
+                let mut b = if directed {
+                    GraphBuilder::directed(n)
+                } else {
+                    GraphBuilder::undirected(n)
+                };
+                b.extend_edges(edges.clone());
+                b.build()
+            };
+            let c = g.to_representation(Representation::Compressed).unwrap();
+            prop_assert!(c.validate().is_ok());
+            for v in g.vertices() {
+                let plain: Vec<u32> = g.neighbors(v, Direction::Out).collect();
+                let packed: Vec<u32> = c.neighbors(v, Direction::Out).collect();
+                prop_assert_eq!(plain, packed);
+                if directed {
+                    let plain: Vec<u32> = g.neighbors(v, Direction::In).collect();
+                    let packed: Vec<u32> = c.neighbors(v, Direction::In).collect();
+                    prop_assert_eq!(plain, packed);
+                }
+            }
+            // And back: decompressing restores the original payload bytes.
+            let back = c.to_representation(Representation::Plain).unwrap();
+            prop_assert_eq!(
+                back.neighbor_payload_bytes(Direction::Out),
+                g.neighbor_payload_bytes(Direction::Out)
+            );
+        }
+    }
+}
+
+/// Edge cases the strategies may not hit every run: empty rows, a single
+/// neighbor, a max-degree row, and u32::MAX-sized deltas.
+#[test]
+fn varint_edge_case_rows_round_trip() {
+    let cases: Vec<Vec<u32>> = vec![
+        vec![],
+        vec![0],
+        vec![u32::MAX],
+        vec![0, u32::MAX],
+        (0..10_000).collect(),
+        vec![
+            5,
+            6,
+            7,
+            0x7F,
+            0x80,
+            0x3FFF,
+            0x4000,
+            0x001F_FFFF,
+            0x0020_0000,
+            u32::MAX - 1,
+            u32::MAX,
+        ],
+    ];
+    for row in cases {
+        let mut bytes = Vec::new();
+        varint::encode_row(row.iter().copied(), &mut bytes);
+        let decoded: Vec<u32> = varint::RowDecoder::new(&bytes, row.len()).collect();
+        assert_eq!(decoded, row, "row of len {}", row.len());
     }
 }

@@ -10,7 +10,7 @@
 
 use graphmine_algos::Workload;
 use graphmine_gen::gaussian_points;
-use graphmine_graph::parse_edge_list;
+use graphmine_graph::{parse_edge_list, Representation};
 use graphmine_store::{infer_vertex_count, pack_workload, ElemType, StoredGraph};
 use std::fs::File;
 use std::io::BufReader;
@@ -20,6 +20,7 @@ use std::time::Instant;
 
 fn usage() -> String {
     "usage: graphmine graph pack --out FILE.gmg [--seed N]\n\
+     \x20        [--representation plain|compressed]\n\
      \x20        (--input EDGELIST [--directed] [--num-vertices N]\n\
      \x20         | --class powerlaw|ratings|matrix|grid|mrf --size N [--alpha A])\n\
      \x20      graphmine graph inspect FILE.gmg\n\
@@ -36,6 +37,7 @@ struct PackArgs {
     size: usize,
     alpha: f64,
     seed: u64,
+    representation: Representation,
 }
 
 fn parse_pack(mut args: impl Iterator<Item = String>) -> Result<PackArgs, String> {
@@ -49,6 +51,7 @@ fn parse_pack(mut args: impl Iterator<Item = String>) -> Result<PackArgs, String
         size: 10_000,
         alpha: 2.5,
         seed: 0,
+        representation: Representation::Plain,
     };
     while let Some(flag) = args.next() {
         let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
@@ -85,6 +88,9 @@ fn parse_pack(mut args: impl Iterator<Item = String>) -> Result<PackArgs, String
             }
             "--seed" => {
                 parsed.seed = value("--seed")?.parse().map_err(|_| "unparseable --seed")?;
+            }
+            "--representation" => {
+                parsed.representation = value("--representation")?.parse::<Representation>()?;
             }
             other => return Err(format!("unknown pack flag `{other}`")),
         }
@@ -128,6 +134,13 @@ fn pack(args: impl Iterator<Item = String>) -> Result<String, String> {
     let args = parse_pack(args)?;
     let built = Instant::now();
     let (workload, source) = build_workload(&args)?;
+    let workload = if args.representation == Representation::Compressed {
+        workload
+            .with_representation(Representation::Compressed)
+            .map_err(|e| format!("cannot compress workload: {e}"))?
+    } else {
+        workload
+    };
     let build_ms = built.elapsed().as_secs_f64() * 1e3;
     let packed = Instant::now();
     let fingerprint = pack_workload(&args.out, &workload, &source, args.seed)
@@ -289,6 +302,40 @@ mod tests {
         assert!(info.contains("out_neighbors"), "{info}");
         let ok = verify(&out).unwrap();
         assert!(ok.starts_with("ok:"), "{ok}");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn pack_compressed_verifies_and_is_smaller() {
+        let dir = temp_dir("compressed");
+        let plain = dir.join("plain.gmg");
+        let packed = dir.join("packed.gmg");
+        for (out, repr) in [(&plain, "plain"), (&packed, "compressed")] {
+            run_pack(&[
+                "--out",
+                out.to_str().unwrap(),
+                "--class",
+                "powerlaw",
+                "--size",
+                "2000",
+                "--seed",
+                "3",
+                "--representation",
+                repr,
+            ])
+            .unwrap();
+        }
+        let ok = verify(&packed).unwrap();
+        assert!(ok.starts_with("ok:"), "{ok}");
+        let info = inspect(&packed).unwrap();
+        assert!(info.contains("out_nbr_data"), "{info}");
+        let plain_len = fs::metadata(&plain).unwrap().len();
+        let packed_len = fs::metadata(&packed).unwrap().len();
+        assert!(
+            packed_len < plain_len,
+            "compressed file {packed_len} not smaller than plain {plain_len}"
+        );
+        assert!(run_pack(&["--out", "x.gmg", "--representation", "bogus"]).is_err());
         fs::remove_dir_all(&dir).ok();
     }
 

@@ -29,6 +29,7 @@ struct LoadgenArgs {
     algorithm: Option<String>,
     graph: Option<String>,
     graph_dir: Option<PathBuf>,
+    representation: Option<String>,
     max_retries: u32,
     concurrency: usize,
     sweep: Option<Vec<f64>>,
@@ -43,7 +44,7 @@ fn usage() -> String {
      \x20      [--mode open|closed] [--process poisson|uniform] [--rate R]\n\
      \x20      [--clients N] [--think-ms MS] [--duration 5s] [--seed N]\n\
      \x20      [--size N] [--hot-ratio F] [--algorithm ABBREV]\n\
-     \x20      [--graph NAME] [--graph-dir DIR]\n\
+     \x20      [--graph NAME] [--graph-dir DIR] [--representation plain|compressed]\n\
      \x20      [--max-retries N] [--concurrency N] [--sweep R1,R2,...]\n\
      \x20      [--slo-p99-ms MS [--max-probes N]] [--json PATH] [--fail-on-errors]"
         .to_string()
@@ -83,6 +84,7 @@ fn parse(mut args: impl Iterator<Item = String>) -> Result<LoadgenArgs, String> 
         algorithm: None,
         graph: None,
         graph_dir: None,
+        representation: None,
         max_retries: 3,
         concurrency: 16,
         sweep: None,
@@ -141,6 +143,11 @@ fn parse(mut args: impl Iterator<Item = String>) -> Result<LoadgenArgs, String> 
             "--algorithm" => out.algorithm = Some(value("--algorithm")?),
             "--graph" => out.graph = Some(value("--graph")?),
             "--graph-dir" => out.graph_dir = Some(PathBuf::from(value("--graph-dir")?)),
+            "--representation" => {
+                let v = value("--representation")?;
+                v.parse::<graphmine_graph::Representation>()?;
+                out.representation = Some(v);
+            }
             "--max-retries" => {
                 out.max_retries = value("--max-retries")?
                     .parse()
@@ -189,6 +196,9 @@ fn base_config(args: &LoadgenArgs, addr: &str) -> RunConfig {
     };
     if let Some(graph) = &args.graph {
         mix = mix.with_graph(graph);
+    }
+    if let Some(representation) = &args.representation {
+        mix = mix.with_representation(representation);
     }
     let mode = if args.mode == "closed" {
         Mode::Closed {

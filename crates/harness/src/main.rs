@@ -30,6 +30,7 @@ mod loadgen_cli;
 
 use graphmine_core::WorkMetric;
 use graphmine_engine::DirectionMode;
+use graphmine_graph::Representation;
 use graphmine_harness::{
     analyze_edge_list_file, export_runs_csv, render_cluster, render_correlations, render_figure,
     render_predict, run_or_load, run_or_load_with, write_plots, MatrixOptions, ScaleProfile,
@@ -55,6 +56,9 @@ struct Args {
     direction: DirectionMode,
     direction_given: Option<String>,
     reorder: bool,
+    representation: Representation,
+    representation_given: Option<String>,
+    segment_bytes: Option<usize>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -75,6 +79,9 @@ fn parse_args() -> Result<Args, String> {
     let mut direction = DirectionMode::Auto;
     let mut direction_given: Option<String> = None;
     let mut reorder = false;
+    let mut representation = Representation::Plain;
+    let mut representation_given: Option<String> = None;
+    let mut segment_bytes: Option<usize> = None;
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--profile" => {
@@ -152,6 +159,18 @@ fn parse_args() -> Result<Args, String> {
             "--reorder" => {
                 reorder = true;
             }
+            "--representation" => {
+                let v = args.next().ok_or("--representation needs a value")?;
+                representation = v.parse::<Representation>()?;
+                representation_given = Some(v);
+            }
+            "--segment-bytes" => {
+                let v = args.next().ok_or("--segment-bytes needs a value")?;
+                segment_bytes = Some(
+                    v.parse()
+                        .map_err(|_| format!("unparseable segment size `{v}`"))?,
+                );
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -172,16 +191,21 @@ fn parse_args() -> Result<Args, String> {
         direction,
         direction_given,
         reorder,
+        representation,
+        representation_given,
+        segment_bytes,
     })
 }
 
 fn usage() -> String {
     format!(
         "usage: graphmine <command> [--profile quick|default|full] [--db PATH] [--work wall|ops] [--input EDGELIST]\n\
-         \x20      graphmine run   [--direction auto|push|pull] [--reorder] ...\n\
+         \x20      graphmine run   [--direction auto|push|pull] [--reorder]\n\
+         \x20                      [--representation plain|compressed] [--segment-bytes N] ...\n\
          \x20      graphmine serve [--addr HOST:PORT] [--workers N] [--cache-mb MB] [--db PATH]\n\
          \x20                      [--retry-budget N] [--max-queue-depth N] [--spill-dir DIR]\n\
          \x20                      [--graph-dir DIR] [--direction auto|push|pull] [--reorder]\n\
+         \x20                      [--representation plain|compressed] [--segment-bytes N]\n\
          \x20      graphmine loadgen [--spawn | --addr HOST:PORT] [--mode open|closed] [--rate R]\n\
          \x20                      [--duration 5s] [--sweep R1,R2,...] [--slo-p99-ms MS] [--json PATH]\n\
          \x20      graphmine graph pack|inspect|verify ...\n\
@@ -216,6 +240,8 @@ fn main() -> ExitCode {
             MatrixOptions {
                 direction: args.direction,
                 reorder: args.reorder,
+                representation: args.representation,
+                segment_bytes: args.segment_bytes,
             },
             &args.db,
             |line| eprintln!("{line}"),
@@ -297,6 +323,8 @@ fn main() -> ExitCode {
                 graph_dir: args.graph_dir.clone(),
                 default_direction: args.direction_given.clone(),
                 default_reorder: args.reorder,
+                default_representation: args.representation_given.clone(),
+                default_segment_bytes: args.segment_bytes,
                 ..graphmine_service::ServiceConfig::default()
             };
             match graphmine_service::Server::start(config) {

@@ -4,6 +4,7 @@ use crate::matrix::{build_matrix, ExperimentCell, ScaleProfile};
 use graphmine_algos::{run_algorithm, AlgorithmKind, Domain, SuiteConfig, Workload};
 use graphmine_core::{GraphSpec, RunDb, RunRecord};
 use graphmine_engine::{DirectionMode, ExecutionConfig};
+use graphmine_graph::Representation;
 use std::collections::HashMap;
 use std::path::Path;
 
@@ -57,14 +58,20 @@ fn workload_for(cell: &ExperimentCell) -> (WorkloadKey, fn(&ExperimentCell) -> W
 }
 
 /// Execution knobs the CLI threads into a matrix run, orthogonal to the
-/// scale profile: scatter direction and CSR vertex reordering. Any setting
-/// yields identical behavior counters — these change wall-clock only.
+/// scale profile: scatter direction, CSR vertex reordering, adjacency
+/// representation, and the propagation segment size. Any setting yields
+/// identical behavior counters — these change wall-clock only.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct MatrixOptions {
     /// Scatter direction for every engine run.
     pub direction: DirectionMode,
     /// Permute each generated graph degree-descending before running.
     pub reorder: bool,
+    /// Adjacency representation for every generated graph.
+    pub representation: Representation,
+    /// Cache-blocking segment size in bytes (`None` keeps the engine
+    /// default, [`graphmine_engine::DEFAULT_SEGMENT_BYTES`]).
+    pub segment_bytes: Option<usize>,
 }
 
 /// Run the full experiment matrix for `profile`, logging progress through
@@ -80,9 +87,13 @@ pub fn run_matrix_with(
     mut progress: impl FnMut(&str),
 ) -> RunDb {
     let cells = build_matrix(profile);
+    let mut exec = ExecutionConfig::with_max_iterations(profile.max_iterations())
+        .with_direction(options.direction);
+    if let Some(bytes) = options.segment_bytes {
+        exec = exec.with_segment_bytes(bytes);
+    }
     let config = SuiteConfig {
-        exec: ExecutionConfig::with_max_iterations(profile.max_iterations())
-            .with_direction(options.direction),
+        exec,
         ..SuiteConfig::default()
     };
     let mut db = RunDb::new();
@@ -95,8 +106,14 @@ pub fn run_matrix_with(
         let (key, build) = workload_for(cell);
         let workload = workloads.entry(key).or_insert_with(|| {
             let w = build(cell);
-            if options.reorder {
+            let w = if options.reorder {
                 w.reordered_by_degree()
+            } else {
+                w
+            };
+            if options.representation == Representation::Compressed {
+                w.with_representation(Representation::Compressed)
+                    .expect("generated graphs have sorted rows")
             } else {
                 w
             }

@@ -33,6 +33,11 @@ pub struct JobClass {
     /// of the class behaves as hot after the first touch.
     #[serde(default)]
     pub graph: Option<String>,
+    /// Adjacency representation forwarded to the service ("plain" |
+    /// "compressed"). `None` leaves the server default. Part of the
+    /// service's cache key, so a compressed class warms its own slot.
+    #[serde(default)]
+    pub representation: Option<String>,
     /// Scale profile forwarded to the service (`"quick"` keeps probe jobs
     /// short).
     pub profile: Option<String>,
@@ -109,6 +114,7 @@ impl JobMix {
                     size,
                     alpha: None,
                     graph: None,
+                    representation: None,
                     profile: Some("quick".to_string()),
                     hot: true,
                     weight: hot_ratio,
@@ -121,6 +127,7 @@ impl JobMix {
                     size,
                     alpha: None,
                     graph: None,
+                    representation: None,
                     profile: Some("quick".to_string()),
                     hot: false,
                     weight: 1.0 - hot_ratio,
@@ -138,6 +145,7 @@ impl JobMix {
             size,
             alpha: None,
             graph: None,
+            representation: None,
             profile: Some("quick".to_string()),
             hot,
             weight: 1.0,
@@ -151,6 +159,15 @@ impl JobMix {
     pub fn with_graph(mut self, graph: &str) -> JobMix {
         for c in &mut self.classes {
             c.graph = Some(graph.to_string());
+        }
+        self
+    }
+
+    /// The same mix with every class requesting `representation`
+    /// ("plain" | "compressed") from the service.
+    pub fn with_representation(mut self, representation: &str) -> JobMix {
+        for c in &mut self.classes {
+            c.representation = Some(representation.to_string());
         }
         self
     }
@@ -195,6 +212,9 @@ impl JobMix {
         if let Some(profile) = &c.profile {
             body["profile"] = json!(profile);
         }
+        if let Some(representation) = &c.representation {
+            body["representation"] = json!(representation);
+        }
         body
     }
 }
@@ -235,6 +255,7 @@ mod tests {
                 size: 100,
                 alpha: None,
                 graph: None,
+                representation: None,
                 profile: None,
                 hot: true,
                 weight: 3.0,
@@ -245,6 +266,7 @@ mod tests {
                 size: 100,
                 alpha: None,
                 graph: None,
+                representation: None,
                 profile: None,
                 hot: false,
                 weight: 1.0,
@@ -304,6 +326,24 @@ mod tests {
     }
 
     #[test]
+    fn with_representation_marks_every_class_and_body() {
+        let mix = JobMix::suite(300, 0.5).with_representation("compressed");
+        assert!(mix
+            .classes()
+            .iter()
+            .all(|c| c.representation.as_deref() == Some("compressed")));
+        let mut rng = SplitMix64::new(9);
+        let body = mix.request_body(0, &mut rng);
+        assert_eq!(body["representation"], json!("compressed"));
+        let plain = JobMix::single("PR", 100, true);
+        let mut rng = SplitMix64::new(9);
+        assert!(plain
+            .request_body(0, &mut rng)
+            .get("representation")
+            .is_none());
+    }
+
+    #[test]
     fn bad_mixes_are_rejected() {
         assert!(JobMix::new(vec![]).is_err());
         let class = |name: &str, weight: f64| JobClass {
@@ -312,6 +352,7 @@ mod tests {
             size: 10,
             alpha: None,
             graph: None,
+            representation: None,
             profile: None,
             hot: true,
             weight,

@@ -35,6 +35,10 @@ pub enum CacheKey {
         /// workload is a different in-memory object than its natural-order
         /// twin, so it must never share a cache slot with it.
         reorder: bool,
+        /// Delta-varint compressed adjacency requested — a compressed
+        /// workload holds different row bytes than its plain twin and
+        /// must occupy its own slot.
+        compressed: bool,
     },
     /// A named graph from the store catalog. The content fingerprint is
     /// part of the identity: re-ingesting a name with different bytes
@@ -47,6 +51,8 @@ pub enum CacheKey {
         fingerprint: u64,
         /// Degree-descending reordering applied after load.
         reorder: bool,
+        /// Compressed adjacency requested for the loaded graph.
+        compressed: bool,
     },
 }
 
@@ -230,6 +236,7 @@ mod tests {
             alpha_milli: 2500,
             seed,
             reorder: false,
+            compressed: false,
         }
     }
 
@@ -369,11 +376,13 @@ mod tests {
             name: "g".to_string(),
             fingerprint: 7,
             reorder: false,
+            compressed: false,
         };
         let restamped = CacheKey::Stored {
             name: "g".to_string(),
             fingerprint: 8,
             reorder: false,
+            compressed: false,
         };
         cache.get_or_build(key(1), || build(1));
         let (_, hit) = cache.get_or_build(stored.clone(), || build(1));

@@ -4,6 +4,7 @@
 use crate::cache::CacheKey;
 use graphmine_algos::{AlgorithmKind, Domain, Workload};
 use graphmine_engine::DirectionMode;
+use graphmine_graph::Representation;
 use serde::{Deserialize, Serialize};
 use serde_json::json;
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
@@ -55,6 +56,15 @@ pub struct JobRequest {
     /// running (hub-first CSR locality). Off by default.
     #[serde(default)]
     pub reorder: bool,
+    /// Adjacency representation: "plain" (default) or "compressed"
+    /// (delta-varint rows). Either choice produces bit-identical results;
+    /// only memory footprint and wall-clock differ.
+    #[serde(default)]
+    pub representation: Option<String>,
+    /// Cache-blocking segment size in bytes for the propagation phase
+    /// (absent = engine default). Never changes results.
+    #[serde(default)]
+    pub segment_bytes: Option<usize>,
 }
 
 fn default_size() -> u64 {
@@ -260,6 +270,14 @@ impl Job {
     }
 }
 
+/// Parse a request's adjacency-representation field; `None` means `Plain`.
+pub fn parse_representation(name: Option<&str>) -> Result<Representation, String> {
+    match name {
+        None => Ok(Representation::Plain),
+        Some(s) => s.to_ascii_lowercase().parse::<Representation>(),
+    }
+}
+
 /// Parse a request's scatter-direction field; `None` means `Auto`.
 pub fn parse_direction(name: Option<&str>) -> Result<DirectionMode, String> {
     match name {
@@ -330,6 +348,8 @@ pub fn cache_key(algorithm: AlgorithmKind, request: &JobRequest) -> CacheKey {
         alpha_milli,
         seed: request.seed,
         reorder: request.reorder,
+        compressed: parse_representation(request.representation.as_deref()).unwrap_or_default()
+            == Representation::Compressed,
     }
 }
 
@@ -351,8 +371,17 @@ pub fn build_workload(algorithm: AlgorithmKind, request: &JobRequest) -> Workloa
             }
         }
     };
-    if request.reorder {
+    let workload = if request.reorder {
         workload.reordered_by_degree()
+    } else {
+        workload
+    };
+    if parse_representation(request.representation.as_deref()).unwrap_or_default()
+        == Representation::Compressed
+    {
+        workload
+            .with_representation(Representation::Compressed)
+            .expect("generated graphs have sorted rows")
     } else {
         workload
     }
@@ -375,6 +404,8 @@ mod tests {
             checkpoint_every: None,
             direction: None,
             reorder: false,
+            representation: None,
+            segment_bytes: None,
         }
     }
 
@@ -433,6 +464,24 @@ mod tests {
     }
 
     #[test]
+    fn representation_changes_the_cache_key_and_the_workload() {
+        let plain = request("PR");
+        let mut compressed = request("PR");
+        compressed.representation = Some("compressed".into());
+        assert_ne!(
+            cache_key(AlgorithmKind::Pr, &plain),
+            cache_key(AlgorithmKind::Pr, &compressed),
+            "a compressed workload must not share a cache slot with plain"
+        );
+        let w = build_workload(AlgorithmKind::Pr, &compressed);
+        assert_eq!(
+            w.graph().representation(),
+            graphmine_graph::Representation::Compressed
+        );
+        assert!(parse_representation(Some("sideways")).is_err());
+    }
+
+    #[test]
     fn reorder_changes_the_cache_key() {
         let natural = request("PR");
         let mut reordered = request("PR");
@@ -455,7 +504,7 @@ mod tests {
         // Hub-first: out-degrees must be non-increasing.
         let degs: Vec<usize> = g
             .vertices()
-            .map(|v| g.neighbor_slice(v, graphmine_graph::Direction::Out).len())
+            .map(|v| g.neighbors(v, graphmine_graph::Direction::Out).len())
             .collect();
         assert!(degs.windows(2).all(|w| w[0] >= w[1]));
     }

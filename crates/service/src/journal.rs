@@ -284,6 +284,8 @@ mod tests {
             checkpoint_every: None,
             direction: None,
             reorder: false,
+            representation: None,
+            segment_bytes: None,
         }
     }
 

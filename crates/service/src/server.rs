@@ -34,8 +34,8 @@
 use crate::cache::{CacheKey, GraphCache};
 use crate::http::{self, Request};
 use crate::job::{
-    build_workload, cache_key, domain_name, parse_algorithm, parse_direction, Job, JobRequest,
-    JobState,
+    build_workload, cache_key, domain_name, parse_algorithm, parse_direction, parse_representation,
+    Job, JobRequest, JobState,
 };
 use crate::journal::{self, Journal, JournalEvent};
 use crate::metrics::{Metrics, StageHistograms};
@@ -104,6 +104,12 @@ pub struct ServiceConfig {
     /// Degree-descending vertex reordering for every job that does not set
     /// `reorder` itself.
     pub default_reorder: bool,
+    /// Server-wide adjacency representation ("plain" | "compressed")
+    /// applied to jobs that omit `representation`.
+    pub default_representation: Option<String>,
+    /// Server-wide propagation segment size for jobs that omit
+    /// `segment_bytes`. `None` leaves the engine default.
+    pub default_segment_bytes: Option<usize>,
     /// Catalog directory of stored graphs, enabling the `/graphs` ingest
     /// API and `"graph": "<name>"` job requests. `None` disables both.
     pub graph_dir: Option<PathBuf>,
@@ -126,6 +132,8 @@ impl Default for ServiceConfig {
             fault_plan: None,
             default_direction: None,
             default_reorder: false,
+            default_representation: None,
+            default_segment_bytes: None,
             graph_dir: None,
         }
     }
@@ -715,21 +723,31 @@ fn execute_job(state: &Arc<ServiceState>, job: &Arc<Job>) {
     };
     let resolved = match &stored_entry {
         Some(entry) => {
+            let representation =
+                parse_representation(request.representation.as_deref()).unwrap_or_default();
             let key = CacheKey::Stored {
                 name: entry.name.clone(),
                 fingerprint: entry.fingerprint,
                 reorder: request.reorder,
+                compressed: representation == graphmine_graph::Representation::Compressed,
             };
             let path = entry.path.clone();
             let reorder = request.reorder;
             state.cache.get_or_try_build(key, || {
                 let stored = StoredGraph::open(&path)?;
                 let workload = load_workload(&stored)?;
-                Ok::<_, StoreError>(if reorder {
+                let workload = if reorder {
                     workload.reordered_by_degree()
                 } else {
                     workload
-                })
+                };
+                if representation == graphmine_graph::Representation::Compressed {
+                    workload.with_representation(representation).map_err(|e| {
+                        StoreError::Corrupt(format!("cannot compress stored graph: {e}"))
+                    })
+                } else {
+                    Ok::<_, StoreError>(workload)
+                }
             })
         }
         None => {
@@ -780,6 +798,9 @@ fn execute_job(state: &Arc<ServiceState>, job: &Arc<Job>) {
     let mut exec = ExecutionConfig::with_max_iterations(job.resolved_max_iterations())
         .with_direction(direction)
         .with_cancel_flag(Arc::clone(&job.cancel));
+    if let Some(bytes) = request.segment_bytes {
+        exec = exec.with_segment_bytes(bytes);
+    }
     let checkpointing = match request.checkpoint_every.filter(|&every| every > 0) {
         Some(every) => match state.spill_dir() {
             Some(dir) => {
@@ -1383,7 +1404,16 @@ fn submit_job(state: &Arc<ServiceState>, body: &[u8]) -> (u16, Value) {
         request.direction = state.config.default_direction.clone();
     }
     request.reorder = request.reorder || state.config.default_reorder;
+    if request.representation.is_none() {
+        request.representation = state.config.default_representation.clone();
+    }
+    if request.segment_bytes.is_none() {
+        request.segment_bytes = state.config.default_segment_bytes;
+    }
     if let Err(e) = parse_direction(request.direction.as_deref()) {
+        return (400, json!({"error": e}));
+    }
+    if let Err(e) = parse_representation(request.representation.as_deref()) {
         return (400, json!({"error": e}));
     }
     let job = {

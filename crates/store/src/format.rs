@@ -33,8 +33,14 @@ use crate::StoreError;
 
 /// File magic.
 pub const MAGIC: [u8; 8] = *b"GMSTORE1";
-/// Current (and only) format version.
+/// Baseline format version: plain (uncompressed) neighbor-slot sections.
 pub const FORMAT_VERSION: u16 = 1;
+/// Format version for files carrying delta-varint compressed adjacency
+/// payloads ([`FLAG_COMPRESSED`], `*_nbr_offsets`/`*_nbr_data` sections).
+/// Plain packs keep writing version 1, so readers that predate compression
+/// open them unchanged; they fail closed on version-2 files with
+/// [`StoreError::UnsupportedVersion`].
+pub const FORMAT_VERSION_COMPRESSED: u16 = 2;
 /// Endianness tag as written by a same-endian writer.
 pub const ENDIAN_TAG: u16 = 0xFEFF;
 /// Alignment of every data section, chosen to match cache lines; 8-byte
@@ -51,6 +57,11 @@ pub const SECTION_NAME_LEN: usize = 32;
 pub const FLAG_DIRECTED: u32 = 1;
 /// Header flag: adjacency rows are in ascending neighbor order.
 pub const FLAG_SORTED_ROWS: u32 = 1 << 1;
+/// Header flag: neighbor ids are stored delta-varint compressed
+/// (`*_nbr_offsets` + `*_nbr_data` sections replace `*_neighbors`).
+/// Requires [`FLAG_SORTED_ROWS`] and format version ≥
+/// [`FORMAT_VERSION_COMPRESSED`].
+pub const FLAG_COMPRESSED: u32 = 1 << 2;
 
 /// Element type of a section's payload.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -167,7 +178,7 @@ impl Header {
             )));
         }
         let version = u16_at(8);
-        if version != FORMAT_VERSION {
+        if version != FORMAT_VERSION && version != FORMAT_VERSION_COMPRESSED {
             return Err(StoreError::UnsupportedVersion(version));
         }
         let stored = u64_at(56);
@@ -178,6 +189,12 @@ impl Header {
                 expected: stored,
                 actual,
             });
+        }
+        let flags = u32_at(12);
+        if flags & FLAG_COMPRESSED != 0 && version < FORMAT_VERSION_COMPRESSED {
+            return Err(StoreError::Corrupt(format!(
+                "compressed-adjacency flag set on format version {version}"
+            )));
         }
         Ok(Header {
             version,
@@ -283,6 +300,16 @@ pub const SEC_IN_OFFSETS: &str = "in_offsets";
 pub const SEC_IN_NEIGHBORS: &str = "in_neighbors";
 /// Name of the in-adjacency edge-id-slot section (directed only).
 pub const SEC_IN_EDGES: &str = "in_edges";
+/// Name of the compressed out-adjacency per-row byte-offset section
+/// (`u64`, `n + 1` entries; present only with [`FLAG_COMPRESSED`]).
+pub const SEC_OUT_NBR_OFFSETS: &str = "out_nbr_offsets";
+/// Name of the compressed out-adjacency delta-varint payload section
+/// (raw bytes; present only with [`FLAG_COMPRESSED`]).
+pub const SEC_OUT_NBR_DATA: &str = "out_nbr_data";
+/// Compressed in-adjacency byte-offset section (directed + compressed).
+pub const SEC_IN_NBR_OFFSETS: &str = "in_nbr_offsets";
+/// Compressed in-adjacency payload section (directed + compressed).
+pub const SEC_IN_NBR_DATA: &str = "in_nbr_data";
 /// Prefix of data-column sections (`c:weights`, `c:px`, …).
 pub const COLUMN_PREFIX: &str = "c:";
 
@@ -454,14 +481,33 @@ mod tests {
 
     #[test]
     fn header_rejects_version_and_endianness() {
-        let mut v2 = header().encode();
-        v2[8..10].copy_from_slice(&2u16.to_ne_bytes());
+        let mut v3 = header().encode();
+        v3[8..10].copy_from_slice(&3u16.to_ne_bytes());
         // Re-stamp the checksum so the version check is what fires.
+        let sum = xxh64(&v3[0..56], 0);
+        v3[56..64].copy_from_slice(&sum.to_ne_bytes());
+        assert!(matches!(
+            Header::decode(&v3),
+            Err(StoreError::UnsupportedVersion(3))
+        ));
+
+        // Version 2 (compressed adjacency) is within the supported range.
+        let mut v2 = header().encode();
+        v2[8..10].copy_from_slice(&FORMAT_VERSION_COMPRESSED.to_ne_bytes());
         let sum = xxh64(&v2[0..56], 0);
         v2[56..64].copy_from_slice(&sum.to_ne_bytes());
+        assert_eq!(Header::decode(&v2).unwrap().version, 2);
+
+        // The compressed flag on a version-1 header is a fail-closed error:
+        // a pre-compression writer can never have produced it.
+        let mut flagged = header().encode();
+        let flags = header().flags | FLAG_COMPRESSED;
+        flagged[12..16].copy_from_slice(&flags.to_ne_bytes());
+        let sum = xxh64(&flagged[0..56], 0);
+        flagged[56..64].copy_from_slice(&sum.to_ne_bytes());
         assert!(matches!(
-            Header::decode(&v2),
-            Err(StoreError::UnsupportedVersion(2))
+            Header::decode(&flagged),
+            Err(StoreError::Corrupt(_))
         ));
 
         let mut swapped = header().encode();

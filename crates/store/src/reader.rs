@@ -16,14 +16,15 @@
 //! size.
 
 use crate::format::{
-    pair_layout_matches, ElemType, Header, SectionEntry, StoreMeta, FLAG_DIRECTED,
-    FLAG_SORTED_ROWS, HEADER_LEN, SEC_EDGE_LIST, SEC_IN_EDGES, SEC_IN_NEIGHBORS, SEC_IN_OFFSETS,
-    SEC_META, SEC_OUT_EDGES, SEC_OUT_NEIGHBORS, SEC_OUT_OFFSETS, TOC_ENTRY_LEN,
+    pair_layout_matches, ElemType, Header, SectionEntry, StoreMeta, FLAG_COMPRESSED, FLAG_DIRECTED,
+    FLAG_SORTED_ROWS, HEADER_LEN, SEC_EDGE_LIST, SEC_IN_EDGES, SEC_IN_NBR_DATA, SEC_IN_NBR_OFFSETS,
+    SEC_IN_NEIGHBORS, SEC_IN_OFFSETS, SEC_META, SEC_OUT_EDGES, SEC_OUT_NBR_DATA,
+    SEC_OUT_NBR_OFFSETS, SEC_OUT_NEIGHBORS, SEC_OUT_OFFSETS, TOC_ENTRY_LEN,
 };
 use crate::mmap::Mapping;
 use crate::xxh::xxh64;
 use crate::StoreError;
-use graphmine_graph::{Graph, GraphParts, SharedSlice, SliceKeeper};
+use graphmine_graph::{Graph, GraphParts, NeighborsPart, SharedSlice, SliceKeeper};
 use std::fs::File;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -204,10 +205,31 @@ impl StoredGraph {
                 self.header.num_edges
             )));
         }
+        let compressed = self.header.flags & FLAG_COMPRESSED != 0;
+        // Compressed stores map the per-row byte offsets plus the varint
+        // payload; plain stores map the neighbor-slot array. Both are
+        // zero-copy views into the file.
+        let neighbors_part =
+            |nbr: &str, boff: &str, data: &str| -> Result<NeighborsPart, StoreError> {
+                if compressed {
+                    Ok(NeighborsPart::Compressed {
+                        byte_offsets: self.typed_slice::<u64>(self.required(boff)?)?,
+                        data: self.typed_slice::<u8>(self.required(data)?)?,
+                    })
+                } else {
+                    Ok(NeighborsPart::Plain(
+                        self.typed_slice::<u32>(self.required(nbr)?)?,
+                    ))
+                }
+            };
         let (in_offsets, in_neighbors, in_edges) = if directed {
             (
                 Some(self.typed_slice::<u64>(self.required(SEC_IN_OFFSETS)?)?),
-                Some(self.typed_slice::<u32>(self.required(SEC_IN_NEIGHBORS)?)?),
+                Some(neighbors_part(
+                    SEC_IN_NEIGHBORS,
+                    SEC_IN_NBR_OFFSETS,
+                    SEC_IN_NBR_DATA,
+                )?),
                 Some(self.typed_slice::<u32>(self.required(SEC_IN_EDGES)?)?),
             )
         } else {
@@ -218,7 +240,11 @@ impl StoredGraph {
             num_vertices: self.header.num_vertices as usize,
             edge_list,
             out_offsets: self.typed_slice::<u64>(self.required(SEC_OUT_OFFSETS)?)?,
-            out_neighbors: self.typed_slice::<u32>(self.required(SEC_OUT_NEIGHBORS)?)?,
+            out_neighbors: neighbors_part(
+                SEC_OUT_NEIGHBORS,
+                SEC_OUT_NBR_OFFSETS,
+                SEC_OUT_NBR_DATA,
+            )?,
             out_edges: self.typed_slice::<u32>(self.required(SEC_OUT_EDGES)?)?,
             in_offsets,
             in_neighbors,

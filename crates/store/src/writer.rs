@@ -9,11 +9,13 @@
 
 use crate::format::{
     align_up, pair_bytes, u32_bytes, u64_bytes, ElemType, Header, SectionEntry, StoreMeta,
-    FLAG_DIRECTED, FLAG_SORTED_ROWS, FORMAT_VERSION, HEADER_LEN, SEC_EDGE_LIST, SEC_IN_EDGES,
-    SEC_IN_NEIGHBORS, SEC_IN_OFFSETS, SEC_META, SEC_OUT_EDGES, SEC_OUT_NEIGHBORS, SEC_OUT_OFFSETS,
-    TOC_ENTRY_LEN,
+    FLAG_COMPRESSED, FLAG_DIRECTED, FLAG_SORTED_ROWS, FORMAT_VERSION, FORMAT_VERSION_COMPRESSED,
+    HEADER_LEN, SEC_EDGE_LIST, SEC_IN_EDGES, SEC_IN_NBR_DATA, SEC_IN_NBR_OFFSETS, SEC_IN_NEIGHBORS,
+    SEC_IN_OFFSETS, SEC_META, SEC_OUT_EDGES, SEC_OUT_NBR_DATA, SEC_OUT_NBR_OFFSETS,
+    SEC_OUT_NEIGHBORS, SEC_OUT_OFFSETS, TOC_ENTRY_LEN,
 };
 use crate::StoreError;
+use graphmine_graph::Representation;
 use graphmine_graph::{Direction, Graph};
 use std::borrow::Cow;
 use std::fs::{self, File};
@@ -38,6 +40,7 @@ pub fn write_store(
     path: &Path,
     directed: bool,
     sorted_rows: bool,
+    compressed: bool,
     num_vertices: u64,
     num_edges: u64,
     workload_class: u32,
@@ -50,6 +53,14 @@ pub fn write_store(
     if sorted_rows {
         flags |= FLAG_SORTED_ROWS;
     }
+    // Compressed payloads bump the format version; plain files stay at
+    // version 1 so pre-compression readers keep opening them.
+    let version = if compressed {
+        flags |= FLAG_COMPRESSED;
+        FORMAT_VERSION_COMPRESSED
+    } else {
+        FORMAT_VERSION
+    };
 
     // Lay out sections and hash them before writing anything: the header
     // (which comes first in the file) commits to every section checksum.
@@ -76,7 +87,7 @@ pub fn write_store(
         entries.iter().map(|e| e.checksum),
     );
     let header = Header {
-        version: FORMAT_VERSION,
+        version,
         flags,
         num_vertices,
         num_edges,
@@ -127,12 +138,12 @@ pub fn write_store(
 /// The topology sections are borrowed views of the graph's own CSR arrays
 /// (no copies); `columns` carries the workload's data sections (named with
 /// the `c:` prefix by convention). Returns the content fingerprint.
-pub fn write_graph_store(
+pub fn write_graph_store<'a>(
     path: &Path,
-    graph: &Graph,
+    graph: &'a Graph,
     meta: &StoreMeta,
     workload_class: u32,
-    columns: Vec<SectionData<'_>>,
+    columns: Vec<SectionData<'a>>,
 ) -> Result<u64, StoreError> {
     let mut sections = Vec::with_capacity(9 + columns.len());
     sections.push(SectionData {
@@ -145,45 +156,81 @@ pub fn write_graph_store(
         elem: ElemType::PairU32,
         bytes: pair_bytes(graph.edge_list()),
     });
-    let (offsets, neighbors, edges) = graph.csr_slices(Direction::Out);
-    sections.push(SectionData {
-        name: SEC_OUT_OFFSETS.to_string(),
-        elem: ElemType::U64,
-        bytes: Cow::Borrowed(u64_bytes(offsets)),
-    });
-    sections.push(SectionData {
-        name: SEC_OUT_NEIGHBORS.to_string(),
-        elem: ElemType::U32,
-        bytes: Cow::Borrowed(u32_bytes(neighbors)),
-    });
-    sections.push(SectionData {
-        name: SEC_OUT_EDGES.to_string(),
-        elem: ElemType::U32,
-        bytes: Cow::Borrowed(u32_bytes(edges)),
-    });
+    let compressed = graph.representation() == Representation::Compressed;
+    // Topology sections per direction: plain graphs write neighbor-slot
+    // arrays, compressed graphs write per-row byte offsets plus the
+    // delta-varint payload. The degree-prefix and edge-id sections are the
+    // same in both layouts.
+    let push_dir = |sections: &mut Vec<SectionData<'a>>, dir: Direction| {
+        let (off_name, nbr_name, edge_name, boff_name, data_name) = match dir {
+            Direction::Out => (
+                SEC_OUT_OFFSETS,
+                SEC_OUT_NEIGHBORS,
+                SEC_OUT_EDGES,
+                SEC_OUT_NBR_OFFSETS,
+                SEC_OUT_NBR_DATA,
+            ),
+            Direction::In => (
+                SEC_IN_OFFSETS,
+                SEC_IN_NEIGHBORS,
+                SEC_IN_EDGES,
+                SEC_IN_NBR_OFFSETS,
+                SEC_IN_NBR_DATA,
+            ),
+        };
+        if compressed {
+            let (offsets, byte_offsets, data, edges) = graph
+                .compressed_slices(dir)
+                .expect("compressed graph exposes compressed slices");
+            sections.push(SectionData {
+                name: off_name.to_string(),
+                elem: ElemType::U64,
+                bytes: Cow::Borrowed(u64_bytes(offsets)),
+            });
+            sections.push(SectionData {
+                name: boff_name.to_string(),
+                elem: ElemType::U64,
+                bytes: Cow::Borrowed(u64_bytes(byte_offsets)),
+            });
+            sections.push(SectionData {
+                name: data_name.to_string(),
+                elem: ElemType::Bytes,
+                bytes: Cow::Borrowed(data),
+            });
+            sections.push(SectionData {
+                name: edge_name.to_string(),
+                elem: ElemType::U32,
+                bytes: Cow::Borrowed(u32_bytes(edges)),
+            });
+        } else {
+            let (offsets, neighbors, edges) = graph.csr_slices(dir);
+            sections.push(SectionData {
+                name: off_name.to_string(),
+                elem: ElemType::U64,
+                bytes: Cow::Borrowed(u64_bytes(offsets)),
+            });
+            sections.push(SectionData {
+                name: nbr_name.to_string(),
+                elem: ElemType::U32,
+                bytes: Cow::Borrowed(u32_bytes(neighbors)),
+            });
+            sections.push(SectionData {
+                name: edge_name.to_string(),
+                elem: ElemType::U32,
+                bytes: Cow::Borrowed(u32_bytes(edges)),
+            });
+        }
+    };
+    push_dir(&mut sections, Direction::Out);
     if graph.is_directed() {
-        let (offsets, neighbors, edges) = graph.csr_slices(Direction::In);
-        sections.push(SectionData {
-            name: SEC_IN_OFFSETS.to_string(),
-            elem: ElemType::U64,
-            bytes: Cow::Borrowed(u64_bytes(offsets)),
-        });
-        sections.push(SectionData {
-            name: SEC_IN_NEIGHBORS.to_string(),
-            elem: ElemType::U32,
-            bytes: Cow::Borrowed(u32_bytes(neighbors)),
-        });
-        sections.push(SectionData {
-            name: SEC_IN_EDGES.to_string(),
-            elem: ElemType::U32,
-            bytes: Cow::Borrowed(u32_bytes(edges)),
-        });
+        push_dir(&mut sections, Direction::In);
     }
     sections.extend(columns);
     write_store(
         path,
         graph.is_directed(),
         graph.has_sorted_rows(),
+        compressed,
         graph.num_vertices() as u64,
         graph.num_edges() as u64,
         workload_class,

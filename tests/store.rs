@@ -7,7 +7,10 @@
 //! behavior traces (iterations, active counts, work, convergence) must be
 //! bit-identical once wall-clock noise is stripped.
 
-use graphmine_algos::{run_algorithm, AlgorithmKind, Domain, SuiteConfig, Workload};
+use graphmine_algos::{
+    run_algorithm, run_algorithm_digest, AlgorithmKind, Domain, SuiteConfig, Workload,
+};
+use graphmine_graph::Representation;
 use graphmine_store::{load_workload, pack_workload, StoreError, StoredGraph};
 use std::fs::{self, OpenOptions};
 use std::io::{Seek, SeekFrom, Write};
@@ -91,6 +94,125 @@ fn reordered_round_trip_still_traces_identically() {
             algorithm.abbrev()
         );
     }
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn compressed_round_trip_is_bit_identical_for_all_fourteen_algorithms() {
+    // Pack every suite workload with delta-varint compressed adjacency,
+    // reopen it via mmap, and require the final result of every algorithm
+    // to be **bit-identical** to the in-memory plain run — compression
+    // plus the store round trip must be completely invisible.
+    let dir = temp_dir("compressed");
+    let config = SuiteConfig::default();
+    for algorithm in AlgorithmKind::ALL {
+        let seed = 7;
+        let plain = workload_for(algorithm, seed);
+        let compressed = plain
+            .with_representation(Representation::Compressed)
+            .unwrap();
+        let path = dir.join(format!("{}.gmg", algorithm.abbrev()));
+        pack_workload(&path, &compressed, "test", seed).unwrap();
+        let stored = StoredGraph::open(&path).unwrap();
+        stored.verify().unwrap();
+        let loaded = load_workload(&stored).unwrap();
+        assert_eq!(
+            loaded.graph().representation(),
+            Representation::Compressed,
+            "{}: representation lost in round trip",
+            algorithm.abbrev()
+        );
+        if stored.is_mmap() {
+            assert_eq!(
+                loaded.graph().topology_heap_bytes(),
+                0,
+                "{}: mmap-backed compressed load copied its topology",
+                algorithm.abbrev()
+            );
+        }
+        let (ref_digest, ref_trace) = run_algorithm_digest(algorithm, &plain, &config).unwrap();
+        let (digest, trace) = run_algorithm_digest(algorithm, &loaded, &config).unwrap();
+        assert_eq!(
+            ref_digest,
+            digest,
+            "{}: compressed round trip changed the result bits",
+            algorithm.abbrev()
+        );
+        assert_eq!(
+            ref_trace.without_wall_clock(),
+            trace.without_wall_clock(),
+            "{}: compressed round trip changed the behavior trace",
+            algorithm.abbrev()
+        );
+    }
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupted_compressed_section_fails_closed_with_typed_error() {
+    // Flip one byte inside the varint payload: verify() must report the
+    // exact section, and a full-checksum bypass (load without verify) must
+    // still be caught by the CSR validation.
+    let dir = temp_dir("compressed-corrupt");
+    let workload = Workload::powerlaw(2_000, 2.5, 3)
+        .with_representation(Representation::Compressed)
+        .unwrap();
+    let path = dir.join("pl.gmg");
+    pack_workload(&path, &workload, "test", 3).unwrap();
+    let stored = StoredGraph::open(&path).unwrap();
+    let data_section = stored
+        .sections()
+        .iter()
+        .find(|s| s.name == "out_nbr_data")
+        .expect("compressed pack has an out_nbr_data section")
+        .clone();
+    drop(stored);
+    let at = data_section.offset + data_section.len_bytes / 2;
+    let flipped = fs::read(&path).unwrap()[at as usize] ^ 0x80;
+    let mut f = OpenOptions::new().write(true).open(&path).unwrap();
+    f.seek(SeekFrom::Start(at)).unwrap();
+    f.write_all(&[flipped]).unwrap();
+    drop(f);
+    let stored = StoredGraph::open(&path).unwrap();
+    match stored.verify() {
+        Err(StoreError::ChecksumMismatch { section, .. }) => {
+            assert_eq!(section, data_section.name)
+        }
+        other => panic!("expected ChecksumMismatch, got {other:?}"),
+    }
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn plain_packs_keep_format_version_one() {
+    // Backward compatibility: plain packs must keep writing version 1 so
+    // pre-compression readers still open them; only compressed packs bump
+    // the version (and set the flag that makes old readers fail closed).
+    let dir = temp_dir("versions");
+    let plain_path = dir.join("plain.gmg");
+    let packed_path = dir.join("packed.gmg");
+    let workload = Workload::powerlaw(1_000, 2.5, 5);
+    pack_workload(&plain_path, &workload, "test", 5).unwrap();
+    pack_workload(
+        &packed_path,
+        &workload
+            .with_representation(Representation::Compressed)
+            .unwrap(),
+        "test",
+        5,
+    )
+    .unwrap();
+    let plain = StoredGraph::open(&plain_path).unwrap();
+    let packed = StoredGraph::open(&packed_path).unwrap();
+    assert_eq!(plain.header().version, 1);
+    assert_eq!(packed.header().version, 2);
+    assert!(
+        packed.header().num_edges == plain.header().num_edges
+            && packed.file_len() < plain.file_len(),
+        "compressed file {} not smaller than plain {}",
+        packed.file_len(),
+        plain.file_len()
+    );
     fs::remove_dir_all(&dir).ok();
 }
 
