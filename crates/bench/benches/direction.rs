@@ -88,7 +88,11 @@ impl VertexProgram for SeededFlood {
 fn seeds(n: usize, permille: usize) -> Vec<VertexId> {
     let count = (n * permille / 1000).max(1);
     let stride = (n / count).max(1);
-    (0..n).step_by(stride).take(count).map(|v| v as VertexId).collect()
+    (0..n)
+        .step_by(stride)
+        .take(count)
+        .map(|v| v as VertexId)
+        .collect()
 }
 
 /// Square grid graph (4-neighborhood), the paper's LBP topology without

@@ -2,7 +2,7 @@
 //! produced, with enough metadata to rebuild every figure.
 
 use crate::behavior::{normalize_behaviors, BehaviorVector, RawBehavior, WorkMetric};
-use graphmine_engine::RunTrace;
+use graphmine_engine::{FaultSite, IoShim, RunTrace};
 use serde::{Deserialize, Serialize};
 use std::io;
 use std::path::Path;
@@ -201,12 +201,18 @@ impl RunDb {
     /// a crash mid-write can never leave a truncated database behind — the
     /// previous version stays intact until the rename commits.
     pub fn save(&self, path: &Path) -> io::Result<()> {
+        self.save_with(path, &IoShim::disabled())
+    }
+
+    /// [`RunDb::save`] with durable I/O routed through a fault-injection
+    /// shim at the [`FaultSite::DbPersist`] site. An injected fault errors
+    /// out of the save while the previous on-disk version stays intact
+    /// (torn writes land only in the temp sibling, which the recovery path
+    /// in [`RunDb::load_or_recover`] already knows to triage).
+    pub fn save_with(&self, path: &Path, shim: &IoShim) -> io::Result<()> {
         let json = serde_json::to_string(self).map_err(io::Error::other)?;
         let tmp = tmp_path_for(path);
-        std::fs::write(&tmp, json)?;
-        std::fs::rename(&tmp, path).inspect_err(|_| {
-            let _ = std::fs::remove_file(&tmp);
-        })
+        shim.write_atomic(FaultSite::DbPersist, None, path, &tmp, json.as_bytes())
     }
 
     /// Load from JSON at `path`, distinguishing I/O failure from corrupt
@@ -380,12 +386,29 @@ impl SharedRunDb {
         self.lock().save(path)
     }
 
+    /// [`SharedRunDb::save`] through a fault-injection shim.
+    pub fn save_with(&self, path: &Path, shim: &IoShim) -> io::Result<()> {
+        self.lock().save_with(path, shim)
+    }
+
     /// Append then persist in one critical section.
     pub fn append_and_save(&self, record: RunRecord, path: &Path) -> io::Result<usize> {
+        self.append_and_save_with(record, path, &IoShim::disabled())
+    }
+
+    /// [`SharedRunDb::append_and_save`] through a fault-injection shim. The
+    /// append lands in memory even when the persist faults: the record is
+    /// not lost, only its durability is delayed until the next save.
+    pub fn append_and_save_with(
+        &self,
+        record: RunRecord,
+        path: &Path,
+        shim: &IoShim,
+    ) -> io::Result<usize> {
         let mut db = self.lock();
         db.push(record);
         let index = db.len() - 1;
-        db.save(path)?;
+        db.save_with(path, shim)?;
         Ok(index)
     }
 }
@@ -509,6 +532,31 @@ mod tests {
         let back = RunDb::load(&path).unwrap();
         assert_eq!(db, back);
         std::fs::remove_file(&orphan).unwrap();
+    }
+
+    #[test]
+    fn injected_persist_fault_leaves_previous_db_intact() {
+        use graphmine_engine::{FaultKind, FaultPlan};
+        let dir =
+            std::env::temp_dir().join(format!("graphmine_rundb_shim_test_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("db.json");
+        let db = sample_db();
+        db.save(&path).unwrap();
+
+        let mut bigger = db.clone();
+        bigger.push(record("PR", 1000, 2.5, 7));
+        let plan = FaultPlan::new();
+        plan.arm(FaultSite::DbPersist, 0, FaultKind::TornWrite);
+        let shim = IoShim::armed(std::sync::Arc::new(plan));
+        let err = bigger.save_with(&path, &shim).unwrap_err();
+        assert!(err.to_string().contains("injected torn write"));
+        // The canonical file still holds the previous generation.
+        assert_eq!(RunDb::load(&path).unwrap(), db);
+        // A retry through the now-exhausted plan lands the new version.
+        bigger.save_with(&path, &shim).unwrap();
+        assert_eq!(RunDb::load(&path).unwrap(), bigger);
     }
 
     #[test]

@@ -17,6 +17,8 @@
 //! iteration zero. Either way the spill directory never holds a torn file
 //! under its canonical name.
 
+use crate::fault::FaultSite;
+use crate::faultfs::IoShim;
 use crate::trace::RunTrace;
 use graphmine_graph::VertexId;
 use serde::de::DeserializeOwned;
@@ -29,6 +31,9 @@ use std::sync::Arc;
 /// Bumped whenever [`EngineCheckpoint`]'s layout changes; resume refuses
 /// checkpoints from other versions rather than misinterpreting them.
 pub const CHECKPOINT_FORMAT_VERSION: u32 = 1;
+
+/// How many checkpoint generations a policy retains by default.
+pub const DEFAULT_CHECKPOINT_KEEP: usize = 3;
 
 /// When and where the engine writes checkpoints.
 #[derive(Debug, Clone)]
@@ -45,16 +50,27 @@ pub struct CheckpointPolicy {
     pub tag: String,
     /// Optional shared counters (`/metrics` robustness section).
     pub stats: Option<Arc<CheckpointStats>>,
+    /// How many checkpoint generations to retain (older ones are pruned
+    /// after each successful write). Resume falls back along the chain to
+    /// the newest generation that still validates.
+    pub keep: usize,
+    /// The I/O shim checkpoint writes and reads flow through (disabled by
+    /// default; chaos harnesses arm it with a fault plan).
+    pub shim: IoShim,
 }
 
 impl CheckpointPolicy {
-    /// Checkpoint every `every` iterations into `dir/tag.ckpt.json`.
+    /// Checkpoint every `every` iterations into a generation chain
+    /// `dir/tag.ckpt.<gen>.json`, keeping [`DEFAULT_CHECKPOINT_KEEP`]
+    /// generations.
     pub fn new(every: usize, dir: impl Into<PathBuf>, tag: impl Into<String>) -> CheckpointPolicy {
         CheckpointPolicy {
             every,
             dir: dir.into(),
             tag: tag.into(),
             stats: None,
+            keep: DEFAULT_CHECKPOINT_KEEP,
+            shim: IoShim::disabled(),
         }
     }
 
@@ -64,9 +80,51 @@ impl CheckpointPolicy {
         self
     }
 
-    /// The checkpoint file this policy reads and writes.
+    /// Retain `keep` generations (at least 1).
+    pub fn with_keep(mut self, keep: usize) -> CheckpointPolicy {
+        self.keep = keep.max(1);
+        self
+    }
+
+    /// Route checkpoint I/O through `shim`.
+    pub fn with_shim(mut self, shim: IoShim) -> CheckpointPolicy {
+        self.shim = shim;
+        self
+    }
+
+    /// The legacy single-file checkpoint path (pre-generation-chain
+    /// layouts; still honored as the last resume fallback).
     pub fn path(&self) -> PathBuf {
         self.dir.join(format!("{}.ckpt.json", self.tag))
+    }
+
+    /// The checkpoint file for generation `gen` (the completed-iteration
+    /// count it covers).
+    pub fn gen_path(&self, gen: u64) -> PathBuf {
+        self.dir.join(format!("{}.ckpt.{gen}.json", self.tag))
+    }
+
+    /// Every on-disk generation for this tag, ascending by generation.
+    pub fn generations(&self) -> Vec<(u64, PathBuf)> {
+        let mut out = Vec::new();
+        let Ok(dir) = std::fs::read_dir(&self.dir) else {
+            return out;
+        };
+        let prefix = format!("{}.ckpt.", self.tag);
+        for item in dir.flatten() {
+            let name = item.file_name().to_string_lossy().into_owned();
+            let Some(rest) = name.strip_prefix(&prefix) else {
+                continue;
+            };
+            let Some(gen) = rest.strip_suffix(".json") else {
+                continue;
+            };
+            if let Ok(gen) = gen.parse::<u64>() {
+                out.push((gen, item.path()));
+            }
+        }
+        out.sort_by_key(|(gen, _)| *gen);
+        out
     }
 }
 
@@ -79,6 +137,9 @@ pub struct CheckpointStats {
     pub write_failures: AtomicU64,
     /// Runs that resumed from an existing checkpoint.
     pub restored: AtomicU64,
+    /// Resumes that skipped one or more corrupt/unreadable generations and
+    /// fell back to an older one (the self-healing path).
+    pub fallbacks: AtomicU64,
 }
 
 /// A serialized engine boundary: everything needed to continue the run.
@@ -209,6 +270,95 @@ where
         .map_err(|e| CheckpointError::Corrupt(format!("{}: {e}", path.display())))
 }
 
+/// Write `ckpt` as generation `ckpt.completed_iterations` of the policy's
+/// chain, routed through the policy's I/O shim, then prune generations
+/// beyond `policy.keep`. Pruning never removes the generation just
+/// written, and a pruning failure is ignored (stale generations are
+/// harmless — resume picks the newest valid one).
+pub fn write_checkpoint_generation<S, M, G>(
+    policy: &CheckpointPolicy,
+    ckpt: &EngineCheckpoint<S, M, G>,
+) -> io::Result<PathBuf>
+where
+    S: Serialize,
+    M: Serialize,
+    G: Serialize,
+{
+    let gen = ckpt.completed_iterations as u64;
+    let path = policy.gen_path(gen);
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let json = serde_json::to_vec(ckpt).map_err(io::Error::other)?;
+    let tmp = tmp_sibling(&path);
+    policy
+        .shim
+        .write_atomic(FaultSite::CheckpointWrite, Some(gen), &path, &tmp, &json)?;
+    let gens = policy.generations();
+    if gens.len() > policy.keep {
+        for (g, old) in &gens[..gens.len() - policy.keep] {
+            if *g != gen {
+                let _ = std::fs::remove_file(old);
+            }
+        }
+    }
+    Ok(path)
+}
+
+/// Resume from the newest generation that reads and validates against
+/// `(num_vertices, num_edges)`, walking the chain backwards past corrupt
+/// or mismatched generations, and finally trying the legacy single-file
+/// path. Returns `Ok(None)` when nothing on disk is usable (a fresh run),
+/// and the number of generations skipped on the way to the winner.
+pub fn read_latest_checkpoint<S, M, G>(
+    policy: &CheckpointPolicy,
+    num_vertices: usize,
+    num_edges: usize,
+) -> (Option<EngineCheckpoint<S, M, G>>, u64)
+where
+    S: DeserializeOwned,
+    M: DeserializeOwned,
+    G: DeserializeOwned,
+{
+    let mut skipped = 0u64;
+    let mut candidates: Vec<PathBuf> = policy
+        .generations()
+        .into_iter()
+        .rev()
+        .map(|(_, p)| p)
+        .collect();
+    candidates.push(policy.path());
+    for path in candidates {
+        match read_checkpoint_shimmed::<S, M, G>(&policy.shim, &path) {
+            Ok(ckpt) if ckpt.validate(num_vertices, num_edges).is_ok() => {
+                return (Some(ckpt), skipped);
+            }
+            Err(CheckpointError::Io(e)) if e.kind() == io::ErrorKind::NotFound => {}
+            _ => skipped += 1,
+        }
+    }
+    (None, skipped)
+}
+
+/// [`read_checkpoint`] routed through an [`IoShim`] (site
+/// [`FaultSite::StoreRead`]) so chaos storms can inject short reads and
+/// bit flips on the resume path too.
+pub fn read_checkpoint_shimmed<S, M, G>(
+    shim: &IoShim,
+    path: &Path,
+) -> Result<EngineCheckpoint<S, M, G>, CheckpointError>
+where
+    S: DeserializeOwned,
+    M: DeserializeOwned,
+    G: DeserializeOwned,
+{
+    let bytes = shim
+        .read(FaultSite::StoreRead, None, path)
+        .map_err(CheckpointError::Io)?;
+    serde_json::from_slice(&bytes)
+        .map_err(|e| CheckpointError::Corrupt(format!("{}: {e}", path.display())))
+}
+
 /// Unique temp sibling in the target's directory (rename stays on one
 /// filesystem, so it is atomic on POSIX).
 fn tmp_sibling(path: &Path) -> PathBuf {
@@ -309,6 +459,66 @@ mod tests {
             wrong_ver.validate(4, 3),
             Err(CheckpointError::Mismatch(_))
         ));
+    }
+
+    #[test]
+    fn generation_chain_writes_prune_and_fall_back() {
+        let dir = temp_dir("chain");
+        let policy = CheckpointPolicy::new(1, &dir, "job-chain").with_keep(2);
+        for gens in 1..=4usize {
+            let mut ckpt = sample();
+            ckpt.completed_iterations = gens;
+            ckpt.trace.iterations = vec![Default::default(); gens];
+            write_checkpoint_generation(&policy, &ckpt).unwrap();
+        }
+        let gens: Vec<u64> = policy.generations().iter().map(|(g, _)| *g).collect();
+        assert_eq!(gens, vec![3, 4], "keep=2 retains the newest two");
+        // Newest generation valid: resume picks it, skipping nothing.
+        let (got, skipped) = read_latest_checkpoint::<u32, u32, ()>(&policy, 4, 3);
+        assert_eq!(got.unwrap().completed_iterations, 4);
+        assert_eq!(skipped, 0);
+        // Corrupt generation 4: resume falls back to generation 3.
+        std::fs::write(policy.gen_path(4), b"{ torn").unwrap();
+        let (got, skipped) = read_latest_checkpoint::<u32, u32, ()>(&policy, 4, 3);
+        assert_eq!(got.unwrap().completed_iterations, 3);
+        assert_eq!(skipped, 1);
+        // Corrupt every generation: a fresh run, not an error.
+        std::fs::write(policy.gen_path(3), b"").unwrap();
+        let (got, skipped) = read_latest_checkpoint::<u32, u32, ()>(&policy, 4, 3);
+        assert!(got.is_none());
+        assert_eq!(skipped, 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn legacy_single_file_checkpoint_still_resumes() {
+        let dir = temp_dir("legacy");
+        let policy = CheckpointPolicy::new(1, &dir, "job-legacy");
+        write_checkpoint(&policy.path(), &sample()).unwrap();
+        let (got, skipped) = read_latest_checkpoint::<u32, u32, ()>(&policy, 4, 3);
+        assert_eq!(got.unwrap(), sample());
+        assert_eq!(skipped, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn chain_write_with_torn_fault_keeps_prior_generation() {
+        use crate::fault::{FaultKind, FaultPlan, FaultSite};
+        let dir = temp_dir("chainfault");
+        let plan = Arc::new(FaultPlan::new());
+        plan.arm(FaultSite::CheckpointWrite, 3, FaultKind::TornWrite);
+        let policy =
+            CheckpointPolicy::new(1, &dir, "job-fault").with_shim(IoShim::armed(plan.clone()));
+        let mut ckpt = sample();
+        write_checkpoint_generation(&policy, &ckpt).unwrap(); // gen 2
+        ckpt.completed_iterations = 3;
+        ckpt.trace.iterations = vec![Default::default(); 3];
+        assert!(write_checkpoint_generation(&policy, &ckpt).is_err());
+        assert_eq!(plan.fired(), 1);
+        // The torn gen-3 write never renamed into place; gen 2 resumes.
+        let (got, _) = read_latest_checkpoint::<u32, u32, ()>(&policy, 4, 3);
+        assert_eq!(got.unwrap().completed_iterations, 2);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

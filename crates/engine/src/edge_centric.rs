@@ -389,7 +389,10 @@ mod tests {
     }
 
     fn strip(t: &RunTrace) -> Vec<IterationStats> {
-        t.iterations.iter().map(IterationStats::normalized).collect()
+        t.iterations
+            .iter()
+            .map(IterationStats::normalized)
+            .collect()
     }
 
     #[test]

@@ -40,6 +40,30 @@ pub enum FaultSite {
     /// A service run-database persistence point; the index is the sequence
     /// number of the persistence attempt.
     DbPersist,
+    /// A store-file write (pack, ingest finalize, catalog install); the
+    /// index is the sequence number of the write as counted by the shim.
+    StoreWrite,
+    /// A whole-file durable read (journal replay, checkpoint read); the
+    /// index is the sequence number of the read as counted by the shim.
+    StoreRead,
+    /// A journal record append; the index is the number of records appended
+    /// so far on this journal handle.
+    JournalAppend,
+    /// An ingest chunk commit; the index is the chunk sequence number.
+    IngestChunk,
+}
+
+impl FaultSite {
+    /// The storage sites a seeded storage storm draws from (every durable
+    /// write/read path routed through [`crate::faultfs::IoShim`]).
+    pub const STORAGE: [FaultSite; 6] = [
+        FaultSite::CheckpointWrite,
+        FaultSite::DbPersist,
+        FaultSite::StoreWrite,
+        FaultSite::StoreRead,
+        FaultSite::JournalAppend,
+        FaultSite::IngestChunk,
+    ];
 }
 
 /// What happens when an armed fault fires.
@@ -57,6 +81,38 @@ pub enum FaultKind {
         /// Sleep duration in milliseconds.
         ms: u64,
     },
+    /// Persist only a prefix of the payload, then fail as if the process
+    /// crashed mid-write (a torn/short write). Atomic temp-sibling writers
+    /// leave a partial temp file behind; appenders leave a truncated final
+    /// record.
+    TornWrite,
+    /// Return only a prefix of the requested bytes from a durable read.
+    ShortRead,
+    /// Fail the write before any byte reaches disk, as `ENOSPC` would.
+    Enospc,
+    /// Write every byte, then fail the `fsync`, so the caller must assume
+    /// nothing is durable.
+    FsyncFail,
+    /// Silently flip one bit of the payload (chosen deterministically from
+    /// the fault coordinate) and report success — the corruption a checksum
+    /// pass must catch later.
+    BitFlip,
+    /// Complete the write and rename, but leave a stale temp sibling
+    /// behind, as a crash between a retried write's temp creation and its
+    /// rename would.
+    StaleRename,
+}
+
+impl FaultKind {
+    /// The storage kinds a seeded storage storm cycles through.
+    pub const STORAGE: [FaultKind; 6] = [
+        FaultKind::TornWrite,
+        FaultKind::ShortRead,
+        FaultKind::Enospc,
+        FaultKind::FsyncFail,
+        FaultKind::BitFlip,
+        FaultKind::StaleRename,
+    ];
 }
 
 /// A deterministic, one-shot set of injected faults.
@@ -109,13 +165,57 @@ impl FaultPlan {
         plan
     }
 
+    /// Derive `count` *storage* faults from a seed: sites drawn from
+    /// [`FaultSite::STORAGE`], indices uniform in `0..max_index`, kinds
+    /// drawn from [`FaultKind::STORAGE`]. Identical seeds produce identical
+    /// storms, so a failing chaos run replays exactly.
+    pub fn seeded_storage(seed: u64, max_index: u64, count: usize) -> FaultPlan {
+        let plan = FaultPlan::new();
+        let mut x = seed;
+        let mut next = move || -> u64 {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        for _ in 0..count {
+            let site = FaultSite::STORAGE[(next() % FaultSite::STORAGE.len() as u64) as usize];
+            let index = next() % max_index.max(1);
+            let kind = FaultKind::STORAGE[(next() % FaultKind::STORAGE.len() as u64) as usize];
+            plan.arm(site, index, kind);
+        }
+        plan
+    }
+
+    /// Consume (disarm and count) the fault armed at `(site, index)`
+    /// without interpreting it. This is how the I/O shim
+    /// ([`crate::faultfs::IoShim`]) claims storage faults: the shim itself
+    /// implements the byte-level behavior, so `fire`'s panic/stall/error
+    /// semantics do not apply.
+    pub fn take(&self, site: FaultSite, index: u64) -> Option<FaultKind> {
+        let kind = self.lock().remove(&(site, index))?;
+        self.fired.fetch_add(1, Ordering::Relaxed);
+        Some(kind)
+    }
+
     /// Check-and-fire the fault armed at `(site, index)`, if any. Disarms
     /// it first (one-shot), then: `Panic` panics with a recognizable
     /// "injected panic" message, `Stall` sleeps and returns `Ok`, `IoError`
     /// returns an injected error the caller surfaces through its normal
     /// I/O error path. Unarmed coordinates return `Ok` untouched.
     pub fn fire(&self, site: FaultSite, index: u64) -> io::Result<()> {
-        let kind = self.lock().remove(&(site, index));
+        let kind = {
+            let mut map = self.lock();
+            match map.get(&(site, index)) {
+                None => return Ok(()),
+                // Storage kinds are claimed by the I/O shim via
+                // [`FaultPlan::take`] at the byte level; a `fire` probe at
+                // the same coordinate must not consume them.
+                Some(k) if FaultKind::STORAGE.contains(k) => return Ok(()),
+                Some(_) => map.remove(&(site, index)),
+            }
+        };
         let Some(kind) = kind else {
             return Ok(());
         };
@@ -129,6 +229,11 @@ impl FaultPlan {
                 "injected I/O fault at {site:?}[{index}]"
             ))),
             FaultKind::Panic => panic!("injected panic at {site:?}[{index}]"),
+            // Storage kinds reached through `fire` (a site not routed
+            // through the I/O shim) degrade to a plain injected error.
+            _ => Err(io::Error::other(format!(
+                "injected storage fault {kind:?} at {site:?}[{index}]"
+            ))),
         }
     }
 

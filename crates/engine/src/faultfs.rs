@@ -1,0 +1,429 @@
+//! The I/O shim: a single choke point for every durable write and read,
+//! where seeded storage faults from a [`FaultPlan`] are applied at the
+//! byte level.
+//!
+//! Components that persist state — the store writer, checkpoint writer,
+//! journal appender, run-database saver, ingest chunk committer — route
+//! their file operations through an [`IoShim`]. A disabled shim (the
+//! production default) forwards straight to `std::fs` and costs one
+//! `Option` check; a shim armed with a plan consults
+//! [`FaultPlan::take`] at each operation's `(site, index)` coordinate and,
+//! when a fault is armed there, reproduces the corresponding failure mode:
+//!
+//! | kind          | behavior                                                    |
+//! |---------------|-------------------------------------------------------------|
+//! | `TornWrite`   | persist a prefix, then fail (crash mid-write)               |
+//! | `ShortRead`   | return a prefix of the file                                 |
+//! | `Enospc`      | fail before any byte is written (`StorageFull`)             |
+//! | `FsyncFail`   | write fully, fail the sync (durability unknown)             |
+//! | `BitFlip`     | flip one payload bit, report success (silent corruption)    |
+//! | `StaleRename` | complete the write but leave a stale temp sibling behind    |
+//!
+//! Non-storage kinds (`Panic`, `IoError`, `Stall`) keep their
+//! [`FaultPlan::fire`] semantics so legacy plans still work at shim sites.
+//!
+//! Faults are one-shot and seeded, so a chaos storm replays bit-for-bit;
+//! the recovery machinery (checksum triage, checkpoint generation chains,
+//! journal tail truncation, orphan GC) is what turns each injected failure
+//! into a typed error or a counted recovery instead of silent corruption.
+
+use crate::fault::{FaultKind, FaultPlan, FaultSite};
+use std::fs::{self, File};
+use std::io::{self, Read, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A cloneable handle through which durable I/O flows, optionally armed
+/// with a [`FaultPlan`]. Each site keeps its own operation counter so
+/// `(site, index)` coordinates are assigned deterministically in call
+/// order.
+#[derive(Debug, Clone, Default)]
+pub struct IoShim {
+    inner: Option<Arc<ShimInner>>,
+}
+
+#[derive(Debug)]
+struct ShimInner {
+    plan: Arc<FaultPlan>,
+    // One counter per storage site, indexed by position in
+    // `FaultSite::STORAGE`.
+    counters: [AtomicU64; FaultSite::STORAGE.len()],
+}
+
+impl IoShim {
+    /// A pass-through shim: every operation forwards to `std::fs`.
+    pub fn disabled() -> IoShim {
+        IoShim { inner: None }
+    }
+
+    /// A shim that consults `plan` at every operation.
+    pub fn armed(plan: Arc<FaultPlan>) -> IoShim {
+        IoShim {
+            inner: Some(Arc::new(ShimInner {
+                plan,
+                counters: Default::default(),
+            })),
+        }
+    }
+
+    /// Whether a plan is attached (false for [`IoShim::disabled`]).
+    pub fn is_armed(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Claim the fault armed at `(site, index)`, if any. `index` of `None`
+    /// draws the site's next sequence number (for call sites without a
+    /// natural index, like store writes).
+    pub fn take(&self, site: FaultSite, index: Option<u64>) -> Option<(FaultKind, u64)> {
+        let inner = self.inner.as_ref()?;
+        let index = match index {
+            Some(i) => i,
+            None => {
+                let slot = FaultSite::STORAGE.iter().position(|&s| s == site)?;
+                inner.counters[slot].fetch_add(1, Ordering::Relaxed)
+            }
+        };
+        inner.plan.take(site, index).map(|k| (k, index))
+    }
+
+    /// Write `bytes` to `tmp`, sync, and rename onto `path` — the
+    /// crash-safe temp-sibling idiom — applying any fault armed at
+    /// `(site, index)`. On a clean failure the temp file is removed; fault
+    /// kinds that model a crash (`TornWrite`, `FsyncFail`) leave it behind
+    /// exactly as a real crash would, for orphan GC to collect.
+    pub fn write_atomic(
+        &self,
+        site: FaultSite,
+        index: Option<u64>,
+        path: &Path,
+        tmp: &Path,
+        bytes: &[u8],
+    ) -> io::Result<()> {
+        match self.take(site, index) {
+            None => {
+                if let Err(e) = write_sync(tmp, bytes) {
+                    let _ = fs::remove_file(tmp);
+                    return Err(e);
+                }
+                fs::rename(tmp, path).inspect_err(|_| {
+                    let _ = fs::remove_file(tmp);
+                })
+            }
+            Some((kind, index)) => match kind {
+                FaultKind::Enospc => Err(io::Error::new(
+                    io::ErrorKind::StorageFull,
+                    format!("injected ENOSPC at {site:?}[{index}]"),
+                )),
+                FaultKind::TornWrite => {
+                    let _ = write_sync(tmp, &bytes[..bytes.len() / 2]);
+                    Err(io::Error::other(format!(
+                        "injected torn write at {site:?}[{index}]"
+                    )))
+                }
+                FaultKind::FsyncFail => {
+                    let _ = write_sync(tmp, bytes);
+                    Err(io::Error::other(format!(
+                        "injected fsync failure at {site:?}[{index}]"
+                    )))
+                }
+                FaultKind::BitFlip => {
+                    let mut corrupt = bytes.to_vec();
+                    flip_bit(&mut corrupt, index);
+                    write_sync(tmp, &corrupt)?;
+                    fs::rename(tmp, path)
+                }
+                FaultKind::StaleRename => {
+                    write_sync(tmp, bytes)?;
+                    fs::rename(tmp, path)?;
+                    // Leave a stale sibling, as a crashed earlier attempt
+                    // would have.
+                    let _ = fs::write(tmp, &bytes[..bytes.len() / 2]);
+                    Ok(())
+                }
+                FaultKind::IoError => Err(io::Error::other(format!(
+                    "injected I/O fault at {site:?}[{index}]"
+                ))),
+                FaultKind::Stall { ms } => {
+                    std::thread::sleep(Duration::from_millis(ms));
+                    self.write_atomic_plain(path, tmp, bytes)
+                }
+                FaultKind::Panic => panic!("injected panic at {site:?}[{index}]"),
+                FaultKind::ShortRead => {
+                    // A read fault armed at a write coordinate: degrade to a
+                    // plain injected error.
+                    Err(io::Error::other(format!(
+                        "injected storage fault at {site:?}[{index}]"
+                    )))
+                }
+            },
+        }
+    }
+
+    fn write_atomic_plain(&self, path: &Path, tmp: &Path, bytes: &[u8]) -> io::Result<()> {
+        if let Err(e) = write_sync(tmp, bytes) {
+            let _ = fs::remove_file(tmp);
+            return Err(e);
+        }
+        fs::rename(tmp, path).inspect_err(|_| {
+            let _ = fs::remove_file(tmp);
+        })
+    }
+
+    /// Append `bytes` to an open file and flush it, applying any fault
+    /// armed at `(site, index)`. A `TornWrite` persists a prefix of the
+    /// record and fails — the truncated-final-record crash that journal
+    /// replay must tolerate. A `BitFlip` appends a silently corrupted
+    /// record.
+    pub fn append(
+        &self,
+        site: FaultSite,
+        index: Option<u64>,
+        file: &mut File,
+        bytes: &[u8],
+    ) -> io::Result<()> {
+        match self.take(site, index) {
+            None => {
+                file.write_all(bytes)?;
+                file.flush()
+            }
+            Some((kind, index)) => match kind {
+                FaultKind::Enospc => Err(io::Error::new(
+                    io::ErrorKind::StorageFull,
+                    format!("injected ENOSPC at {site:?}[{index}]"),
+                )),
+                FaultKind::TornWrite => {
+                    let cut = (bytes.len() / 2).max(1);
+                    let _ = file.write_all(&bytes[..cut]);
+                    let _ = file.flush();
+                    Err(io::Error::other(format!(
+                        "injected torn append at {site:?}[{index}]"
+                    )))
+                }
+                FaultKind::FsyncFail => {
+                    file.write_all(bytes)?;
+                    let _ = file.flush();
+                    Err(io::Error::other(format!(
+                        "injected fsync failure at {site:?}[{index}]"
+                    )))
+                }
+                FaultKind::BitFlip => {
+                    let mut corrupt = bytes.to_vec();
+                    // Keep the record framing intact: never flip the
+                    // trailing newline of a line-oriented append.
+                    let limit = corrupt.len().saturating_sub(1).max(1);
+                    flip_bit(&mut corrupt[..limit], index);
+                    file.write_all(&corrupt)?;
+                    file.flush()
+                }
+                FaultKind::StaleRename | FaultKind::ShortRead => Err(io::Error::other(format!(
+                    "injected storage fault at {site:?}[{index}]"
+                ))),
+                FaultKind::IoError => Err(io::Error::other(format!(
+                    "injected I/O fault at {site:?}[{index}]"
+                ))),
+                FaultKind::Stall { ms } => {
+                    std::thread::sleep(Duration::from_millis(ms));
+                    file.write_all(bytes)?;
+                    file.flush()
+                }
+                FaultKind::Panic => panic!("injected panic at {site:?}[{index}]"),
+            },
+        }
+    }
+
+    /// Read a whole file, applying any fault armed at `(site, index)`: a
+    /// `ShortRead` returns a prefix, a `BitFlip` flips one bit of the
+    /// returned buffer (the file itself is untouched), anything else
+    /// surfaces as an injected error.
+    pub fn read(&self, site: FaultSite, index: Option<u64>, path: &Path) -> io::Result<Vec<u8>> {
+        match self.take(site, index) {
+            None => fs::read(path),
+            Some((kind, index)) => match kind {
+                FaultKind::ShortRead => {
+                    let mut buf = fs::read(path)?;
+                    buf.truncate(buf.len() / 2);
+                    Ok(buf)
+                }
+                FaultKind::BitFlip => {
+                    let mut buf = fs::read(path)?;
+                    flip_bit(&mut buf, index);
+                    Ok(buf)
+                }
+                FaultKind::Stall { ms } => {
+                    std::thread::sleep(Duration::from_millis(ms));
+                    fs::read(path)
+                }
+                FaultKind::Panic => panic!("injected panic at {site:?}[{index}]"),
+                _ => Err(io::Error::other(format!(
+                    "injected storage fault {kind:?} at {site:?}[{index}]"
+                ))),
+            },
+        }
+    }
+}
+
+/// Write bytes to `path` and sync them to disk.
+fn write_sync(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let mut f = File::create(path)?;
+    f.write_all(bytes)?;
+    f.sync_all()
+}
+
+/// Flip one bit of `buf`, chosen deterministically from `salt` (the fault
+/// coordinate), so the same storm corrupts the same byte every run.
+fn flip_bit(buf: &mut [u8], salt: u64) {
+    if buf.is_empty() {
+        return;
+    }
+    let mut z = salt.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    let at = (z % buf.len() as u64) as usize;
+    buf[at] ^= 1 << ((z >> 32) % 8);
+}
+
+/// Read a whole file without a shim (helper mirroring [`IoShim::read`] for
+/// call sites that only sometimes have a shim in scope).
+pub fn read_file(path: &Path) -> io::Result<Vec<u8>> {
+    let mut buf = Vec::new();
+    File::open(path)?.read_to_end(&mut buf)?;
+    Ok(buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("graphmine-faultfs-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&p);
+        fs::create_dir_all(&p).unwrap();
+        p
+    }
+
+    fn armed(site: FaultSite, index: u64, kind: FaultKind) -> IoShim {
+        let plan = FaultPlan::new();
+        plan.arm(site, index, kind);
+        IoShim::armed(Arc::new(plan))
+    }
+
+    #[test]
+    fn disabled_shim_writes_atomically() {
+        let dir = temp_dir("disabled");
+        let (path, tmp) = (dir.join("f"), dir.join(".f.tmp"));
+        let shim = IoShim::disabled();
+        shim.write_atomic(FaultSite::StoreWrite, None, &path, &tmp, b"hello")
+            .unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"hello");
+        assert!(!tmp.exists());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_write_leaves_prior_file_intact() {
+        let dir = temp_dir("torn");
+        let (path, tmp) = (dir.join("f"), dir.join(".f.tmp"));
+        fs::write(&path, b"old contents").unwrap();
+        let shim = armed(FaultSite::StoreWrite, 0, FaultKind::TornWrite);
+        let err = shim
+            .write_atomic(FaultSite::StoreWrite, None, &path, &tmp, b"new contents!!")
+            .unwrap_err();
+        assert!(err.to_string().contains("torn"), "{err}");
+        // The destination is untouched; the torn temp sibling remains for GC.
+        assert_eq!(fs::read(&path).unwrap(), b"old contents");
+        assert!(tmp.exists());
+        assert!(fs::read(&tmp).unwrap().len() < b"new contents!!".len());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn enospc_fails_before_writing() {
+        let dir = temp_dir("enospc");
+        let (path, tmp) = (dir.join("f"), dir.join(".f.tmp"));
+        let shim = armed(FaultSite::DbPersist, 5, FaultKind::Enospc);
+        let err = shim
+            .write_atomic(FaultSite::DbPersist, Some(5), &path, &tmp, b"data")
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+        assert!(!path.exists());
+        assert!(!tmp.exists());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bit_flip_is_silent_and_deterministic() {
+        let dir = temp_dir("flip");
+        let shim1 = armed(FaultSite::StoreWrite, 0, FaultKind::BitFlip);
+        let shim2 = armed(FaultSite::StoreWrite, 0, FaultKind::BitFlip);
+        let payload = vec![0u8; 64];
+        for (i, shim) in [shim1, shim2].into_iter().enumerate() {
+            let path = dir.join(format!("f{i}"));
+            let tmp = dir.join(format!(".f{i}.tmp"));
+            shim.write_atomic(FaultSite::StoreWrite, None, &path, &tmp, &payload)
+                .unwrap();
+        }
+        let a = fs::read(dir.join("f0")).unwrap();
+        let b = fs::read(dir.join("f1")).unwrap();
+        assert_ne!(a, payload, "exactly one bit should differ");
+        assert_eq!(a, b, "same coordinate flips the same bit");
+        assert_eq!(
+            a.iter()
+                .zip(&payload)
+                .map(|(x, y)| (x ^ y).count_ones())
+                .sum::<u32>(),
+            1
+        );
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stale_rename_succeeds_but_leaves_sibling() {
+        let dir = temp_dir("stale");
+        let (path, tmp) = (dir.join("f"), dir.join(".f.tmp"));
+        let shim = armed(FaultSite::StoreWrite, 0, FaultKind::StaleRename);
+        shim.write_atomic(FaultSite::StoreWrite, None, &path, &tmp, b"payload!")
+            .unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"payload!");
+        assert!(tmp.exists());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn short_read_returns_prefix() {
+        let dir = temp_dir("short");
+        let path = dir.join("f");
+        fs::write(&path, b"0123456789").unwrap();
+        let shim = armed(FaultSite::StoreRead, 0, FaultKind::ShortRead);
+        let buf = shim.read(FaultSite::StoreRead, None, &path).unwrap();
+        assert_eq!(buf, b"01234");
+        // One-shot: the second read is clean.
+        assert_eq!(
+            shim.read(FaultSite::StoreRead, None, &path).unwrap(),
+            b"0123456789"
+        );
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_append_leaves_truncated_record() {
+        let dir = temp_dir("append");
+        let path = dir.join("log");
+        let mut file = File::create(&path).unwrap();
+        let shim = armed(FaultSite::JournalAppend, 1, FaultKind::TornWrite);
+        shim.append(FaultSite::JournalAppend, Some(0), &mut file, b"{\"a\":1}\n")
+            .unwrap();
+        let err = shim
+            .append(FaultSite::JournalAppend, Some(1), &mut file, b"{\"b\":2}\n")
+            .unwrap_err();
+        assert!(err.to_string().contains("torn"), "{err}");
+        let bytes = fs::read(&path).unwrap();
+        assert!(bytes.starts_with(b"{\"a\":1}\n"));
+        assert!(bytes.len() > 8 && bytes.len() < 16, "partial second record");
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -92,6 +92,7 @@ pub mod async_engine;
 pub mod checkpoint;
 pub mod edge_centric;
 pub mod fault;
+pub mod faultfs;
 pub mod program;
 pub mod soa;
 pub mod sync_engine;
@@ -99,11 +100,13 @@ pub mod trace;
 
 pub use async_engine::{async_run, AsyncConfig, AsyncStats, Scheduler};
 pub use checkpoint::{
-    read_checkpoint, write_checkpoint, CheckpointError, CheckpointPolicy, CheckpointStats,
-    EngineCheckpoint, CHECKPOINT_FORMAT_VERSION,
+    read_checkpoint, read_latest_checkpoint, write_checkpoint, write_checkpoint_generation,
+    CheckpointError, CheckpointPolicy, CheckpointStats, EngineCheckpoint,
+    CHECKPOINT_FORMAT_VERSION, DEFAULT_CHECKPOINT_KEEP,
 };
 pub use edge_centric::{edge_centric_run, EdgeCentricConfig};
 pub use fault::{FaultKind, FaultPlan, FaultSite};
+pub use faultfs::IoShim;
 pub use program::{ActiveInit, ApplyInfo, EdgeSet, NoGlobal, VertexProgram};
 pub use soa::{SlotChunk, SlotTable};
 pub use sync_engine::{

@@ -73,8 +73,8 @@
 //! on push for programs whose combine order is semantically load-bearing.
 
 use crate::checkpoint::{
-    read_checkpoint, write_checkpoint, CheckpointError, CheckpointPolicy, EngineCheckpoint,
-    CHECKPOINT_FORMAT_VERSION,
+    read_latest_checkpoint, write_checkpoint_generation, CheckpointError, CheckpointPolicy,
+    EngineCheckpoint, CHECKPOINT_FORMAT_VERSION,
 };
 use crate::fault::{FaultPlan, FaultSite};
 use crate::program::{ActiveInit, ApplyInfo, EdgeSet, VertexProgram};
@@ -1160,6 +1160,14 @@ impl<'g, P: VertexProgram> SyncEngine<'g, P> {
                     let base = ci * cs;
                     for off in 0..chunk.len() {
                         let v = (base + off) as VertexId;
+                        // Gather specialization: one destination's whole
+                        // combine chain runs in a register, so the SoA
+                        // present/value arrays are read once and written
+                        // once per destination instead of once per in-edge
+                        // — same combine order (slot value first, then
+                        // in-row order), so results stay bit-identical.
+                        let mut acc: Option<P::Message> = chunk.take(off);
+                        let had_prior = acc.is_some();
                         for (e, u) in graph.incident(v, Direction::In) {
                             visited += 1;
                             if !active[u as usize] {
@@ -1181,12 +1189,17 @@ impl<'g, P: VertexProgram> SyncEngine<'g, P> {
                                         remote += 1;
                                     }
                                 }
-                                let inserted =
-                                    chunk.merge_or_insert(off, msg, |a, b| program.combine(a, b));
-                                if inserted && track_receivers {
-                                    hits.push(v);
+                                match acc.as_mut() {
+                                    Some(a) => program.combine(a, msg),
+                                    None => acc = Some(msg),
                                 }
                             }
+                        }
+                        if acc.is_some() {
+                            if !had_prior && track_receivers {
+                                hits.push(v);
+                            }
+                            chunk.set_opt(off, acc);
                         }
                     }
                 }
@@ -1421,20 +1434,22 @@ where
         };
         // A missing checkpoint is the normal first-attempt case; an
         // unreadable, corrupt, or mismatched one must never lose the job —
-        // fall back to a fresh run and let the next write replace it.
-        let resume = match read_checkpoint::<P::State, P::Message, P::Global>(&policy.path()) {
-            Ok(ckpt)
-                if ckpt
-                    .validate(self.graph.num_vertices(), self.graph.num_edges())
-                    .is_ok() =>
-            {
-                if let Some(stats) = &policy.stats {
-                    stats.restored.fetch_add(1, Ordering::Relaxed);
-                }
-                Some(ckpt)
+        // the chain walks back to the newest generation that validates
+        // (counting the fallback), and a fully unusable chain just means a
+        // fresh run whose next write replaces it.
+        let (resume, skipped) = read_latest_checkpoint::<P::State, P::Message, P::Global>(
+            &policy,
+            self.graph.num_vertices(),
+            self.graph.num_edges(),
+        );
+        if let Some(stats) = &policy.stats {
+            if resume.is_some() {
+                stats.restored.fetch_add(1, Ordering::Relaxed);
             }
-            _ => None,
-        };
+            if skipped > 0 && resume.is_some() {
+                stats.fallbacks.fetch_add(1, Ordering::Relaxed);
+            }
+        }
         self.run_checkpointed(config, &policy, resume)
     }
 
@@ -1463,7 +1478,6 @@ where
         policy: &CheckpointPolicy,
         resume: Option<EngineCheckpoint<P::State, P::Message, P::Global>>,
     ) -> (Vec<P::State>, P::Global, RunTrace) {
-        let path = policy.path();
         let num_vertices = self.graph.num_vertices() as u64;
         let num_edges = self.graph.num_edges() as u64;
         let mut observer = |b: BoundaryView<'_, P>| {
@@ -1489,7 +1503,7 @@ where
                 if let Some(plan) = &config.fault_plan {
                     plan.fire(FaultSite::CheckpointWrite, b.completed_iterations as u64)?;
                 }
-                write_checkpoint(&path, &ckpt)
+                write_checkpoint_generation(policy, &ckpt).map(|_| ())
             })();
             // A failed write is not fatal to the run: the previous
             // checkpoint (if any) is still intact thanks to the atomic
@@ -1509,7 +1523,10 @@ where
         // the next attempt continues instead of restarting.
         let was_cancelled = cancelled.is_some_and(|f| f.load(Ordering::Relaxed));
         if !was_cancelled {
-            let _ = std::fs::remove_file(&path);
+            let _ = std::fs::remove_file(policy.path());
+            for (_, gen_path) in policy.generations() {
+                let _ = std::fs::remove_file(gen_path);
+            }
         }
         out
     }

@@ -219,7 +219,11 @@ impl RunTrace {
         RunTrace {
             num_vertices: self.num_vertices,
             num_edges: self.num_edges,
-            iterations: self.iterations.iter().map(IterationStats::normalized).collect(),
+            iterations: self
+                .iterations
+                .iter()
+                .map(IterationStats::normalized)
+                .collect(),
             converged: self.converged,
         }
     }

@@ -15,9 +15,11 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 /// Min-label propagation with a self-cancel tripwire: the program raises
-/// the shared cancel flag in `before_iteration` of iteration `stop_at`,
-/// so the engine stops deterministically at that boundary — no racing
-/// threads, no timing.
+/// the shared cancel flag while iteration `stop_at - 1` runs, and the
+/// engine (which checks the flag at the next iteration boundary, letting
+/// the raising iteration complete — pinned by
+/// `cancel_flag_stops_run_mid_flight`) then stops with exactly `stop_at`
+/// completed iterations — no racing threads, no timing.
 struct SelfCancelMinLabel {
     stop_at: Option<usize>,
     cancel: Arc<AtomicBool>,
@@ -40,7 +42,7 @@ impl VertexProgram for SelfCancelMinLabel {
         ActiveInit::All
     }
     fn before_iteration(&self, iter: usize, _states: &[u32], _global: &mut NoGlobal) {
-        if self.stop_at == Some(iter) {
+        if self.stop_at == Some(iter + 1) {
             self.cancel.store(true, Ordering::Relaxed);
         }
     }
@@ -130,8 +132,9 @@ fn resumed_run_is_bitwise_equal_to_uninterrupted() {
         let stats = Arc::new(CheckpointStats::default());
         let policy = CheckpointPolicy::new(1, &dir, format!("resume-{stop_at}"))
             .with_stats(Arc::clone(&stats));
-        let path = policy.path();
-        let _ = std::fs::remove_file(&path);
+        for (_, gen) in policy.generations() {
+            let _ = std::fs::remove_file(gen);
+        }
 
         // Interrupted attempt: the program cancels itself at `stop_at`.
         let cancel = Arc::new(AtomicBool::new(false));
@@ -142,11 +145,15 @@ fn resumed_run_is_bitwise_equal_to_uninterrupted() {
             engine(&g, Some(stop_at), Arc::clone(&cancel)).run_resumable(&interrupted_cfg);
         assert!(!interrupted_trace.converged, "stop_at={stop_at}");
         assert_eq!(interrupted_trace.num_iterations(), stop_at);
-        assert!(path.exists(), "cancelled run must keep its checkpoint");
+        assert_eq!(
+            policy.generations().len(),
+            stop_at,
+            "cancelled run must keep its checkpoint generations"
+        );
         assert_eq!(stats.written.load(Ordering::Relaxed), stop_at as u64);
 
         // Resume: fresh engine, same policy → picks the checkpoint up.
-        let resume_cfg = ExecutionConfig::with_max_iterations(100).with_checkpoint(policy);
+        let resume_cfg = ExecutionConfig::with_max_iterations(100).with_checkpoint(policy.clone());
         let (resumed_states, resumed_trace) =
             engine(&g, None, Arc::new(AtomicBool::new(false))).run_resumable(&resume_cfg);
         assert_eq!(stats.restored.load(Ordering::Relaxed), 1);
@@ -158,8 +165,8 @@ fn resumed_run_is_bitwise_equal_to_uninterrupted() {
             "stop_at={stop_at}"
         );
         assert!(
-            !path.exists(),
-            "completed run must delete its checkpoint (stop_at={stop_at})"
+            policy.generations().is_empty(),
+            "completed run must delete its checkpoint generations (stop_at={stop_at})"
         );
     }
 }
@@ -174,7 +181,11 @@ fn resume_is_bitwise_exact_under_every_direction_mode() {
     // flips as the min-label frontier collapses.
     let g = test_graph();
 
-    for dir in [DirectionMode::Push, DirectionMode::Pull, DirectionMode::Auto] {
+    for dir in [
+        DirectionMode::Push,
+        DirectionMode::Pull,
+        DirectionMode::Auto,
+    ] {
         let config = ExecutionConfig::with_max_iterations(100).with_direction(dir);
         let (ref_states, ref_trace) =
             engine(&g, None, Arc::new(AtomicBool::new(false))).run_resumable(&config);
@@ -188,8 +199,9 @@ fn resume_is_bitwise_exact_under_every_direction_mode() {
         let dir_tag = format!("direction-{dir:?}");
         let ckpt = ckpt_dir(&dir_tag);
         let policy = CheckpointPolicy::new(1, &ckpt, dir_tag.clone());
-        let path = policy.path();
-        let _ = std::fs::remove_file(&path);
+        for (_, gen) in policy.generations() {
+            let _ = std::fs::remove_file(gen);
+        }
 
         let cancel = Arc::new(AtomicBool::new(false));
         let interrupted_cfg = ExecutionConfig::with_max_iterations(100)
@@ -199,7 +211,10 @@ fn resume_is_bitwise_exact_under_every_direction_mode() {
         let (_, interrupted_trace) =
             engine(&g, Some(stop_at), Arc::clone(&cancel)).run_resumable(&interrupted_cfg);
         assert!(!interrupted_trace.converged, "{dir:?}");
-        assert!(path.exists(), "{dir:?}: cancelled run must keep checkpoint");
+        assert!(
+            !policy.generations().is_empty(),
+            "{dir:?}: cancelled run must keep checkpoint"
+        );
 
         let resume_cfg = ExecutionConfig::with_max_iterations(100)
             .with_direction(dir)
@@ -235,17 +250,18 @@ fn explicit_resume_from_checkpoint_object() {
     let g = test_graph();
     let dir = ckpt_dir("explicit");
     let policy = CheckpointPolicy::new(1, &dir, "explicit");
-    let path = policy.path();
-    let _ = std::fs::remove_file(&path);
+    for (_, gen) in policy.generations() {
+        let _ = std::fs::remove_file(gen);
+    }
 
     let cancel = Arc::new(AtomicBool::new(false));
     let cfg = ExecutionConfig::with_max_iterations(100)
         .with_cancel_flag(Arc::clone(&cancel))
-        .with_checkpoint(policy);
+        .with_checkpoint(policy.clone());
     let (_, trace) = engine(&g, Some(2), Arc::clone(&cancel)).run_resumable(&cfg);
     assert_eq!(trace.num_iterations(), 2);
 
-    let ckpt = read_checkpoint::<u32, u32, NoGlobal>(&path).unwrap();
+    let ckpt = read_checkpoint::<u32, u32, NoGlobal>(&policy.gen_path(2)).unwrap();
     assert_eq!(ckpt.completed_iterations, 2);
 
     // Continuation without any further checkpointing.
@@ -257,7 +273,9 @@ fn explicit_resume_from_checkpoint_object() {
         engine(&g, None, Arc::new(AtomicBool::new(false))).run_resumable(&bare);
     assert_eq!(states, ref_states);
     assert_eq!(resumed.without_wall_clock(), ref_trace.without_wall_clock());
-    let _ = std::fs::remove_file(&path);
+    for (_, gen) in policy.generations() {
+        let _ = std::fs::remove_file(gen);
+    }
 }
 
 #[test]
@@ -285,6 +303,60 @@ fn injected_checkpoint_write_faults_never_corrupt_the_run() {
     assert!(stats.write_failures.load(Ordering::Relaxed) > 0);
     assert_eq!(stats.written.load(Ordering::Relaxed), 0);
     assert!(plan.fired() > 0);
+}
+
+#[test]
+fn damaged_generations_fall_back_along_the_chain_bitwise() {
+    let g = test_graph();
+    let bare = ExecutionConfig::with_max_iterations(100);
+    let (ref_states, ref_trace) =
+        engine(&g, None, Arc::new(AtomicBool::new(false))).run_resumable(&bare);
+    assert!(ref_trace.converged);
+    assert!(
+        ref_trace.num_iterations() >= 4,
+        "graph converged too fast to interrupt"
+    );
+
+    let dir = ckpt_dir("gen-fallback");
+    let stats = Arc::new(CheckpointStats::default());
+    let policy = CheckpointPolicy::new(1, &dir, "gen-fallback")
+        .with_stats(Arc::clone(&stats))
+        .with_keep(3);
+
+    // Interrupt after three iterations: generations 1, 2, 3 are on disk.
+    let cancel = Arc::new(AtomicBool::new(false));
+    let interrupted_cfg = ExecutionConfig::with_max_iterations(100)
+        .with_cancel_flag(Arc::clone(&cancel))
+        .with_checkpoint(policy.clone());
+    let (_, interrupted_trace) =
+        engine(&g, Some(3), Arc::clone(&cancel)).run_resumable(&interrupted_cfg);
+    assert!(!interrupted_trace.converged);
+    let gens: Vec<u64> = policy.generations().iter().map(|(n, _)| *n).collect();
+    assert_eq!(gens, vec![1, 2, 3]);
+
+    // Tear the newest generation (a crash mid-write that beat the rename)
+    // and corrupt the one before it: resume must walk back to generation
+    // 1, count the fallback, and still reproduce the reference bitwise.
+    let g3 = std::fs::read(policy.gen_path(3)).unwrap();
+    std::fs::write(policy.gen_path(3), &g3[..g3.len() / 3]).unwrap();
+    std::fs::write(policy.gen_path(2), b"{\"version\":").unwrap();
+
+    let resume_cfg = ExecutionConfig::with_max_iterations(100).with_checkpoint(policy);
+    let (resumed_states, resumed_trace) =
+        engine(&g, None, Arc::new(AtomicBool::new(false))).run_resumable(&resume_cfg);
+    assert_eq!(stats.restored.load(Ordering::Relaxed), 1);
+    assert_eq!(
+        stats.fallbacks.load(Ordering::Relaxed),
+        1,
+        "resume must record that it skipped damaged generations"
+    );
+    assert!(resumed_trace.converged);
+    assert_eq!(resumed_states, ref_states);
+    assert_eq!(
+        resumed_trace.without_wall_clock(),
+        ref_trace.without_wall_clock(),
+        "fallback resume from generation K-2 must be bitwise-exact"
+    );
 }
 
 #[test]

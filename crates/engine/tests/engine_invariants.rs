@@ -120,7 +120,10 @@ fn parallel_equals_sequential_states_bitwise() {
     let (s_seq, t_seq) = run_probe(&graph, 6, true);
     assert_eq!(s_par, s_seq);
     let strip = |t: &RunTrace| -> Vec<IterationStats> {
-        t.iterations.iter().map(IterationStats::normalized).collect()
+        t.iterations
+            .iter()
+            .map(IterationStats::normalized)
+            .collect()
     };
     assert_eq!(strip(&t_par), strip(&t_seq));
 }

@@ -163,7 +163,9 @@ impl<T: Serialize> Serialize for SharedSlice<T> {
 }
 
 impl<'de, T: Deserialize<'de>> Deserialize<'de> for SharedSlice<T> {
-    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<SharedSlice<T>, D::Error> {
+    fn deserialize<D: serde::Deserializer<'de>>(
+        deserializer: D,
+    ) -> Result<SharedSlice<T>, D::Error> {
         Vec::<T>::deserialize(deserializer).map(SharedSlice::from_vec)
     }
 }

@@ -9,9 +9,12 @@
 //! server sharing that directory can run jobs against it by name.
 
 use graphmine_algos::Workload;
+use graphmine_engine::IoShim;
 use graphmine_gen::gaussian_points;
 use graphmine_graph::{parse_edge_list, Representation};
-use graphmine_store::{infer_vertex_count, pack_workload, ElemType, StoredGraph};
+use graphmine_store::{
+    infer_vertex_count, pack_workload, scrub_catalog, Catalog, ElemType, ScrubOutcome, StoredGraph,
+};
 use std::fs::File;
 use std::io::BufReader;
 use std::path::{Path, PathBuf};
@@ -24,7 +27,8 @@ fn usage() -> String {
      \x20        (--input EDGELIST [--directed] [--num-vertices N]\n\
      \x20         | --class powerlaw|ratings|matrix|grid|mrf --size N [--alpha A])\n\
      \x20      graphmine graph inspect FILE.gmg\n\
-     \x20      graphmine graph verify FILE.gmg"
+     \x20      graphmine graph verify FILE.gmg\n\
+     \x20      graphmine graph scrub DIR"
         .to_string()
 }
 
@@ -227,6 +231,40 @@ fn verify(path: &Path) -> Result<String, String> {
     ))
 }
 
+/// Self-healing sweep over a whole catalog directory: verify every
+/// `.gmg` file, quarantine corrupt ones as `*.corrupt`, re-pack the
+/// quarantined graphs whose edge-list source file is still present, and
+/// collect orphaned temp siblings.
+fn scrub(dir: &Path) -> Result<String, String> {
+    let started = Instant::now();
+    let catalog = Catalog::open(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    let report = scrub_catalog(&catalog, &IoShim::disabled())
+        .map_err(|e| format!("scrub of {} failed: {e}", dir.display()))?;
+    let mut out = String::new();
+    for (name, outcome) in &report.entries {
+        match outcome {
+            ScrubOutcome::Clean => out.push_str(&format!("  {name}: clean\n")),
+            ScrubOutcome::Repacked { detail } => {
+                out.push_str(&format!("  {name}: repacked ({detail})\n"));
+            }
+            ScrubOutcome::Quarantined { detail } => {
+                out.push_str(&format!("  {name}: quarantined ({detail})\n"));
+            }
+        }
+    }
+    let ms = started.elapsed().as_secs_f64() * 1e3;
+    out.push_str(&format!(
+        "scrubbed {} graphs in {ms:.1} ms: {} clean, {} repacked, {} quarantined; \
+         {} orphan temp files removed",
+        report.scanned(),
+        report.clean(),
+        report.repacked(),
+        report.quarantined(),
+        report.orphans_removed,
+    ));
+    Ok(out)
+}
+
 /// Entry point for `graphmine graph <subcommand> <flags>`.
 pub fn main(mut args: impl Iterator<Item = String>) -> ExitCode {
     let Some(sub) = args.next() else {
@@ -250,6 +288,10 @@ pub fn main(mut args: impl Iterator<Item = String>) -> ExitCode {
                 _ => Err(format!("graph {sub} takes exactly one FILE argument")),
             }
         }
+        "scrub" => match (args.next(), args.next()) {
+            (Some(dir), None) => scrub(&PathBuf::from(dir)),
+            _ => Err("graph scrub takes exactly one DIR argument".to_string()),
+        },
         other => Err(format!("unknown graph subcommand `{other}`")),
     };
     match result {
@@ -365,6 +407,38 @@ mod tests {
         assert!(run_pack(&["--out", "x.gmg", "--class", "bogus"]).is_err());
         assert!(run_pack(&["--out", "x.gmg", "--size", "0"]).is_err());
         assert!(run_pack(&["--bogus"]).is_err());
+    }
+
+    #[test]
+    fn scrub_quarantines_a_bit_flipped_pack() {
+        let dir = temp_dir("scrub");
+        let out = dir.join("pl.gmg");
+        run_pack(&[
+            "--out",
+            out.to_str().unwrap(),
+            "--class",
+            "powerlaw",
+            "--size",
+            "400",
+            "--seed",
+            "7",
+        ])
+        .unwrap();
+        let msg = scrub(&dir).unwrap();
+        assert!(msg.contains("1 clean"), "{msg}");
+        // One flipped payload bit must be detected and quarantined.
+        let mut bytes = fs::read(&out).unwrap();
+        let n = bytes.len();
+        bytes[n - 3] ^= 0x10;
+        fs::write(&out, &bytes).unwrap();
+        let msg = scrub(&dir).unwrap();
+        assert!(msg.contains("1 quarantined"), "{msg}");
+        assert!(!out.exists(), "corrupt file should have been renamed away");
+        assert!(dir.join("pl.gmg.corrupt").exists());
+        // The next sweep sees an empty (healthy) catalog.
+        let msg = scrub(&dir).unwrap();
+        assert!(msg.contains("scrubbed 0 graphs"), "{msg}");
+        fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

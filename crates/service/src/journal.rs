@@ -15,10 +15,12 @@
 
 use crate::job::JobRequest;
 use graphmine_core::RunRecord;
+use graphmine_engine::{FaultSite, IoShim};
 use serde::{Deserialize, Serialize};
-use std::fs::{File, OpenOptions};
-use std::io::{self, BufRead, BufReader, Write};
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard};
 
 /// One journaled lifecycle transition.
@@ -110,6 +112,10 @@ pub struct Recovery {
     /// Complete lines that failed to parse (corruption other than the
     /// expected torn tail).
     pub skipped_lines: usize,
+    /// Bytes cut from the end of the file to remove a torn final record,
+    /// so post-recovery appends start at a clean line boundary instead of
+    /// concatenating onto the partial record.
+    pub truncated_bytes: u64,
 }
 
 /// The append handle. `None` inside means journaling is disabled (no
@@ -118,15 +124,25 @@ pub struct Recovery {
 pub struct Journal {
     file: Mutex<Option<File>>,
     path: Option<PathBuf>,
+    shim: IoShim,
+    appended: AtomicU64,
 }
 
 impl Journal {
     /// Open (creating if absent) the journal at `path` for appending.
     pub fn open(path: &Path) -> io::Result<Journal> {
+        Journal::open_with(path, IoShim::disabled())
+    }
+
+    /// [`Journal::open`] with an [`IoShim`] through which appends flow;
+    /// the fault index is the number of records appended on this handle.
+    pub fn open_with(path: &Path, shim: IoShim) -> io::Result<Journal> {
         let file = OpenOptions::new().create(true).append(true).open(path)?;
         Ok(Journal {
             file: Mutex::new(Some(file)),
             path: Some(path.to_path_buf()),
+            shim,
+            appended: AtomicU64::new(0),
         })
     }
 
@@ -135,6 +151,8 @@ impl Journal {
         Journal {
             file: Mutex::new(None),
             path: None,
+            shim: IoShim::disabled(),
+            appended: AtomicU64::new(0),
         }
     }
 
@@ -161,8 +179,9 @@ impl Journal {
         };
         let mut line = serde_json::to_string(event).map_err(io::Error::other)?;
         line.push('\n');
-        file.write_all(line.as_bytes())?;
-        file.flush()
+        let index = self.appended.fetch_add(1, Ordering::Relaxed);
+        self.shim
+            .append(FaultSite::JournalAppend, Some(index), file, line.as_bytes())
     }
 
     /// Replace the journal's contents with exactly `events` (used after
@@ -193,39 +212,91 @@ impl Journal {
 }
 
 /// Read a journal file and fold it into a [`Recovery`]. A missing file is
-/// an empty recovery; a torn final line is silently dropped (it is the
-/// expected crash artifact); torn or corrupt lines elsewhere are counted
-/// in `skipped_lines` but do not abort the replay.
+/// an empty recovery. Parsing is byte-level (a record torn mid-UTF-8
+/// sequence cannot abort the replay): a corrupt *final* record — the
+/// expected artifact of a crashed append — is dropped and the file is
+/// truncated back to the last valid line boundary, so subsequent appends
+/// never concatenate onto the partial record; corrupt lines elsewhere are
+/// counted in `skipped_lines` but do not abort the replay.
 pub fn replay(path: &Path) -> io::Result<Recovery> {
-    let file = match File::open(path) {
-        Ok(f) => f,
+    let bytes = match fs::read(path) {
+        Ok(b) => b,
         Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Recovery::default()),
         Err(e) => return Err(e),
     };
-    let reader = BufReader::new(file);
-    let lines: Vec<String> = reader.lines().collect::<io::Result<_>>()?;
     let mut events: Vec<JournalEvent> = Vec::new();
     let mut skipped = 0usize;
-    let last = lines.len().saturating_sub(1);
-    for (i, line) in lines.iter().enumerate() {
-        if line.trim().is_empty() {
+    // Byte offset just past the last line that parsed (or was blank):
+    // everything after it is the torn/corrupt tail.
+    let mut valid_end = 0usize;
+    let mut skipped_before_valid_end = 0usize;
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        let (line_end, next) = match bytes[pos..].iter().position(|&b| b == b'\n') {
+            Some(i) => (pos + i, pos + i + 1),
+            None => (bytes.len(), bytes.len()),
+        };
+        let line = trim_bytes(&bytes[pos..line_end]);
+        if line.is_empty() {
+            valid_end = next.min(bytes.len());
+            skipped_before_valid_end = skipped;
+            pos = next;
             continue;
         }
-        match serde_json::from_str::<JournalEvent>(line) {
-            Ok(event) => events.push(event),
-            // The torn tail of a crashed append is expected, not corruption.
-            Err(_) if i == last => {}
+        match serde_json::from_slice::<JournalEvent>(line) {
+            Ok(event) => {
+                events.push(event);
+                valid_end = next.min(bytes.len());
+                skipped_before_valid_end = skipped;
+            }
             Err(_) => skipped += 1,
         }
+        pos = next;
     }
-    Ok(fold(events, skipped))
+    let mut truncated = 0u64;
+    if valid_end < bytes.len() {
+        // The invalid tail (a torn or bit-flipped final record, possibly
+        // preceded by further debris) is expected crash fallout, not
+        // mid-file corruption — cut it so the journal ends on a clean
+        // boundary. Lines inside the cut are not "skipped": they no longer
+        // exist.
+        skipped = skipped_before_valid_end;
+        truncated = (bytes.len() - valid_end) as u64;
+        let f = OpenOptions::new().write(true).open(path)?;
+        f.set_len(valid_end as u64)?;
+        f.sync_all()?;
+    }
+    let mut recovery = fold(events, skipped);
+    recovery.truncated_bytes = truncated;
+    Ok(recovery)
+}
+
+fn trim_bytes(mut b: &[u8]) -> &[u8] {
+    while let [first, rest @ ..] = b {
+        if first.is_ascii_whitespace() {
+            b = rest;
+        } else {
+            break;
+        }
+    }
+    while let [rest @ .., last] = b {
+        if last.is_ascii_whitespace() {
+            b = rest;
+        } else {
+            break;
+        }
+    }
+    b
 }
 
 fn fold(events: Vec<JournalEvent>, skipped_lines: usize) -> Recovery {
     // Submission order is journal order; track per-id state by index into
-    // `pending` so a Finished event can retire its Submitted entry.
+    // `pending` so a Finished event can retire its Submitted entry. The
+    // fold is idempotent per id: re-appended duplicates (a crash between
+    // the append landing and the ack, then a retry) change nothing.
     let mut pending: Vec<Option<PendingJob>> = Vec::new();
     let mut index_of: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+    let mut finished: std::collections::HashSet<u64> = std::collections::HashSet::new();
     let mut finished_records = Vec::new();
     for event in events {
         match event {
@@ -236,6 +307,9 @@ fn fold(events: Vec<JournalEvent>, skipped_lines: usize) -> Recovery {
                 attempt,
                 request,
             } => {
+                if index_of.contains_key(&id) || finished.contains(&id) {
+                    continue; // duplicate submission of a known id
+                }
                 index_of.insert(id, pending.len());
                 pending.push(Some(PendingJob {
                     old_id: id,
@@ -254,8 +328,10 @@ fn fold(events: Vec<JournalEvent>, skipped_lines: usize) -> Recovery {
                 if let Some(&i) = index_of.get(&id) {
                     pending[i] = None;
                 }
-                if let Some(record) = record {
-                    finished_records.push(record);
+                if finished.insert(id) {
+                    if let Some(record) = record {
+                        finished_records.push(record);
+                    }
                 }
             }
         }
@@ -264,6 +340,7 @@ fn fold(events: Vec<JournalEvent>, skipped_lines: usize) -> Recovery {
         pending: pending.into_iter().flatten().collect(),
         finished_records,
         skipped_lines,
+        truncated_bytes: 0,
     }
 }
 
@@ -341,22 +418,134 @@ mod tests {
     }
 
     #[test]
-    fn torn_tail_is_ignored() {
+    fn torn_tail_is_dropped_and_truncated_away() {
         let dir = std::env::temp_dir().join(format!("gm-journal-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("torn.journal");
         let _ = std::fs::remove_file(&path);
         let j = Journal::open(&path).unwrap();
         j.append(&submitted(0, "PR")).unwrap();
+        let clean_len = std::fs::metadata(&path).unwrap().len();
         {
             let mut f = OpenOptions::new().append(true).open(&path).unwrap();
             f.write_all(b"{\"event\":\"finished\",\"id\":0,\"outc")
                 .unwrap();
         }
         let rec = replay(&path).unwrap();
-        // The torn Finished never landed, so the job is still pending.
+        // The torn Finished never landed, so the job is still pending, and
+        // the file is cut back to the last valid boundary so the next
+        // append starts a fresh line.
         assert_eq!(rec.pending.len(), 1);
         assert_eq!(rec.skipped_lines, 0);
+        assert!(rec.truncated_bytes > 0);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), clean_len);
+        // Replay after truncation is clean and idempotent.
+        let rec = replay(&path).unwrap();
+        assert_eq!(rec.pending.len(), 1);
+        assert_eq!(rec.truncated_bytes, 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_with_invalid_utf8_is_tolerated() {
+        let dir = std::env::temp_dir().join(format!("gm-journal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("utf8.journal");
+        let _ = std::fs::remove_file(&path);
+        let j = Journal::open(&path).unwrap();
+        j.append(&submitted(0, "PR")).unwrap();
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            // A record torn mid-UTF-8 sequence: raw continuation bytes.
+            f.write_all(b"{\"event\":\"fini\xC3\x28\xFF\xFE").unwrap();
+        }
+        let rec = replay(&path).unwrap();
+        assert_eq!(rec.pending.len(), 1);
+        assert!(rec.truncated_bytes > 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn duplicate_entries_replay_idempotently() {
+        let dir = std::env::temp_dir().join(format!("gm-journal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("dup.journal");
+        let _ = std::fs::remove_file(&path);
+        let j = Journal::open(&path).unwrap();
+        // A crash between an append landing and its ack makes the writer
+        // retry: every event can appear twice.
+        for _ in 0..2 {
+            j.append(&submitted(0, "PR")).unwrap();
+        }
+        for _ in 0..2 {
+            j.append(&JournalEvent::Started { id: 0, attempt: 1 })
+                .unwrap();
+        }
+        for _ in 0..2 {
+            j.append(&submitted(1, "CC")).unwrap();
+        }
+        for _ in 0..2 {
+            j.append(&JournalEvent::Finished {
+                id: 0,
+                outcome: "done".into(),
+                record: None,
+            })
+            .unwrap();
+        }
+        let rec = replay(&path).unwrap();
+        // Job 0 finished (once), job 1 is pending (once).
+        assert_eq!(rec.pending.len(), 1);
+        assert_eq!(rec.pending[0].old_id, 1);
+        assert!(rec.finished_records.is_empty());
+        assert_eq!(rec.skipped_lines, 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn mid_file_corruption_is_skipped_not_truncated() {
+        let dir = std::env::temp_dir().join(format!("gm-journal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mid.journal");
+        let _ = std::fs::remove_file(&path);
+        let j = Journal::open(&path).unwrap();
+        j.append(&submitted(0, "PR")).unwrap();
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(b"garbage line that is complete\n").unwrap();
+        }
+        j.append(&submitted(1, "CC")).unwrap();
+        let len_before = std::fs::metadata(&path).unwrap().len();
+        let rec = replay(&path).unwrap();
+        assert_eq!(rec.pending.len(), 2);
+        assert_eq!(rec.skipped_lines, 1);
+        assert_eq!(rec.truncated_bytes, 0);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), len_before);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn injected_torn_append_is_recovered_on_replay() {
+        use graphmine_engine::{FaultKind, FaultPlan};
+        use std::sync::Arc;
+        let dir = std::env::temp_dir().join(format!("gm-journal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("shim.journal");
+        let _ = std::fs::remove_file(&path);
+        let plan = FaultPlan::new();
+        plan.arm(FaultSite::JournalAppend, 1, FaultKind::TornWrite);
+        let j = Journal::open_with(&path, IoShim::armed(Arc::new(plan))).unwrap();
+        j.append(&submitted(0, "PR")).unwrap();
+        assert!(j
+            .append(&JournalEvent::Finished {
+                id: 0,
+                outcome: "done".into(),
+                record: None,
+            })
+            .is_err());
+        let rec = replay(&path).unwrap();
+        // The torn Finished is cut away: the job replays as pending.
+        assert_eq!(rec.pending.len(), 1);
+        assert!(rec.truncated_bytes > 0);
         std::fs::remove_file(&path).unwrap();
     }
 

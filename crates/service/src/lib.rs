@@ -29,6 +29,7 @@ pub mod client;
 pub mod http;
 pub mod job;
 pub mod journal;
+pub mod lock;
 pub mod metrics;
 pub mod queue;
 pub mod server;
@@ -38,6 +39,7 @@ pub use client::{Client, Response};
 pub use http::RequestError;
 pub use job::{parse_algorithm, Job, JobRequest, JobState, JobStatus};
 pub use journal::{Journal, JournalEvent, PendingJob, Recovery};
+pub use lock::{AlreadyLocked, LockGuard};
 pub use metrics::{Metrics, StageHistograms, LATENCY_BUCKETS_MS};
 pub use queue::WorkQueue;
 pub use server::{Server, ServerHandle, ServiceConfig};

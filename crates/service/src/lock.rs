@@ -1,0 +1,201 @@
+//! Cooperative lock files guarding a server's durable directories.
+//!
+//! Two `graphmine serve` processes pointed at the same `--db` or
+//! `--spill-dir` would interleave run-database temp-sibling renames,
+//! journal appends, and checkpoint generations — each individually
+//! atomic, collectively a corruption machine. A lock file
+//! (`{path}.lock`, holding the owner's pid) makes the second server
+//! refuse to start with a typed [`AlreadyLocked`] error instead.
+//!
+//! Staleness: a crashed server leaves its lock file behind, so an
+//! acquisition that finds an existing lock checks whether the recorded
+//! pid is still alive (via `/proc/{pid}`; on platforms without procfs
+//! the lock is conservatively treated as held). Dead-owner and
+//! unparseable lock files are reclaimed silently.
+
+use std::fs::{self, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// The lock is held by a live process. Carried inside the `io::Error`
+/// returned by [`acquire`] so callers can downcast and explain, while
+/// `Server::start`'s `io::Result` signature stays unchanged.
+#[derive(Debug)]
+pub struct AlreadyLocked {
+    /// The lock file that is held.
+    pub path: PathBuf,
+    /// Pid recorded in the lock file.
+    pub pid: u32,
+}
+
+impl std::fmt::Display for AlreadyLocked {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "lock file {} is held by running process {}; another server is \
+             using this database or spill directory (stop it, or pass a \
+             different --db / --spill-dir)",
+            self.path.display(),
+            self.pid
+        )
+    }
+}
+
+impl std::error::Error for AlreadyLocked {}
+
+/// A held lock file; dropping the guard removes it. `simulate_crash`
+/// relies on this too: a same-process "restart" must be able to
+/// re-acquire, and the pid-liveness check cannot tell a crashed handle
+/// from a running one inside a single test process.
+#[derive(Debug)]
+pub struct LockGuard {
+    path: PathBuf,
+}
+
+impl LockGuard {
+    /// The lock file this guard owns.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for LockGuard {
+    fn drop(&mut self) {
+        let _ = fs::remove_file(&self.path);
+    }
+}
+
+/// Whether the process that recorded `pid` is still alive. Errs on the
+/// side of "alive" when procfs is unavailable: refusing to start is
+/// recoverable, two writers sharing a journal is not.
+fn pid_alive(pid: u32) -> bool {
+    if Path::new("/proc").is_dir() {
+        Path::new(&format!("/proc/{pid}")).exists()
+    } else {
+        true
+    }
+}
+
+/// Create `path` exclusively, writing our pid into it. An existing lock
+/// held by a live process fails with [`AlreadyLocked`] (wrapped in an
+/// `io::Error` of kind `ResourceBusy`); a stale one is reclaimed.
+pub fn acquire(path: &Path) -> io::Result<LockGuard> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            fs::create_dir_all(parent)?;
+        }
+    }
+    // Two rounds: the first may reclaim a stale lock, the second takes it.
+    // A third contender between our remove and create loses cleanly.
+    for _ in 0..2 {
+        match OpenOptions::new().write(true).create_new(true).open(path) {
+            Ok(mut file) => {
+                write!(file, "{}", std::process::id())?;
+                file.sync_all()?;
+                return Ok(LockGuard {
+                    path: path.to_path_buf(),
+                });
+            }
+            Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
+                let holder = fs::read_to_string(path)
+                    .ok()
+                    .and_then(|s| s.trim().parse::<u32>().ok());
+                match holder {
+                    Some(pid) if pid_alive(pid) => {
+                        return Err(io::Error::new(
+                            io::ErrorKind::ResourceBusy,
+                            AlreadyLocked {
+                                path: path.to_path_buf(),
+                                pid,
+                            },
+                        ));
+                    }
+                    // Dead owner or garbage content: reclaim and retry.
+                    _ => {
+                        let _ = fs::remove_file(path);
+                    }
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Err(io::Error::new(
+        io::ErrorKind::ResourceBusy,
+        format!("lock file {} contended during acquisition", path.display()),
+    ))
+}
+
+/// The lock file guarding `path` (a database file or spill directory).
+pub fn lock_path(path: &Path) -> PathBuf {
+    PathBuf::from(format!("{}.lock", path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("graphmine_lock_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn acquire_release_reacquire() {
+        let dir = test_dir("cycle");
+        let lock = lock_path(&dir.join("db.json"));
+        let guard = acquire(&lock).unwrap();
+        assert!(lock.is_file());
+        assert_eq!(
+            fs::read_to_string(&lock).unwrap(),
+            std::process::id().to_string()
+        );
+        drop(guard);
+        assert!(!lock.exists());
+        let _again = acquire(&lock).unwrap();
+    }
+
+    #[test]
+    fn second_acquire_fails_typed_while_held() {
+        let dir = test_dir("held");
+        let lock = lock_path(&dir.join("db.json"));
+        let _guard = acquire(&lock).unwrap();
+        let err = acquire(&lock).unwrap_err();
+        let typed = err
+            .get_ref()
+            .and_then(|e| e.downcast_ref::<AlreadyLocked>())
+            .expect("error should downcast to AlreadyLocked");
+        assert_eq!(typed.pid, std::process::id());
+        assert!(err.to_string().contains("held by running process"));
+    }
+
+    #[test]
+    fn stale_lock_from_dead_pid_is_reclaimed() {
+        let dir = test_dir("stale");
+        let lock = lock_path(&dir.join("db.json"));
+        // Pids are capped well below this on Linux, so it cannot be alive.
+        fs::write(&lock, "4194304999").unwrap();
+        let _guard = acquire(&lock).unwrap();
+        assert_eq!(
+            fs::read_to_string(&lock).unwrap(),
+            std::process::id().to_string()
+        );
+    }
+
+    #[test]
+    fn garbage_lock_content_is_reclaimed() {
+        let dir = test_dir("garbage");
+        let lock = lock_path(&dir.join("db.json"));
+        fs::write(&lock, "not a pid").unwrap();
+        let _guard = acquire(&lock).unwrap();
+    }
+
+    #[test]
+    fn missing_parent_directory_is_created() {
+        let dir = test_dir("parent");
+        let lock = lock_path(&dir.join("deep").join("nested").join("db.json"));
+        let _guard = acquire(&lock).unwrap();
+        assert!(lock.is_file());
+    }
+}

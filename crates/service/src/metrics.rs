@@ -38,6 +38,15 @@ pub struct Metrics {
     pub watchdog_requeues: AtomicU64,
     /// Jobs re-enqueued from the journal at startup.
     pub jobs_recovered: AtomicU64,
+    /// Stored-graph loads that failed checksum or CSR validation and were
+    /// re-derived from the canonical edge-list section instead.
+    pub store_rebuilds: AtomicU64,
+    /// Jobs that requested the compressed representation but fell back to
+    /// plain after compression/row-decode failed.
+    pub compressed_fallbacks: AtomicU64,
+    /// Orphaned temp files and expired ingest sessions collected by the
+    /// startup GC sweep.
+    pub orphans_collected: AtomicU64,
     /// Engine iterations that ran the push (scatter-along-out-edges) path.
     pub push_iterations: AtomicU64,
     /// Engine iterations that ran the pull (gather-over-in-edges) path.
@@ -198,6 +207,9 @@ mod tests {
             &m.jobs_shed,
             &m.watchdog_requeues,
             &m.jobs_recovered,
+            &m.store_rebuilds,
+            &m.compressed_fallbacks,
+            &m.orphans_collected,
             &m.push_iterations,
             &m.pull_iterations,
         ] {

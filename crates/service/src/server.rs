@@ -38,6 +38,7 @@ use crate::job::{
     Job, JobRequest, JobState,
 };
 use crate::journal::{self, Journal, JournalEvent};
+use crate::lock::{self, LockGuard};
 use crate::metrics::{Metrics, StageHistograms};
 use crate::queue::WorkQueue;
 use graphmine_algos::{run_algorithm, AlgorithmKind, Domain, SuiteConfig, WorkloadMismatch};
@@ -48,10 +49,12 @@ use graphmine_core::{
 use graphmine_engine::RunTrace;
 use graphmine_engine::{
     CheckpointPolicy, CheckpointStats, DirectionChoice, ExecutionConfig, FaultPlan, FaultSite,
+    IoShim,
 };
 use graphmine_store::{
-    finalize_ingest, load_workload, Catalog, CatalogEntry, IngestConfig, IngestSession, StoreError,
-    StoredGraph,
+    finalize_ingest_with, gc_orphan_temps, gc_sessions, load_workload, rebuild_workload_plain,
+    Catalog, CatalogEntry, IngestConfig, IngestSession, StoreError, StoredGraph,
+    DEFAULT_INGEST_EXPIRY,
 };
 use parking_lot::{Mutex, RwLock};
 use serde::Deserialize;
@@ -186,6 +189,10 @@ struct ServiceState {
     conn_queue: WorkQueue<TcpStream>,
     metrics: Metrics,
     journal: Journal,
+    /// Fault-injection shim every durable write/read goes through:
+    /// checkpoints, journal appends, database saves, store packs, ingest
+    /// chunk commits. Disabled (pure pass-through) without a fault plan.
+    shim: IoShim,
     ckpt_stats: Arc<CheckpointStats>,
     running: AtomicU64,
     completed: AtomicU64,
@@ -246,8 +253,9 @@ impl ServiceState {
                 }
                 // Persistence failures must not take down the worker; the
                 // in-memory database stays authoritative and the final
-                // shutdown save retries.
-                let _ = self.db.save(path);
+                // shutdown save retries. Storage-kind faults (torn write,
+                // ENOSPC, …) are applied inside the shim at byte level.
+                let _ = self.db.save_with(path, &self.shim);
             }
         }
     }
@@ -261,6 +269,9 @@ pub struct ServerHandle {
     addr: SocketAddr,
     state: Arc<ServiceState>,
     threads: Vec<JoinHandle<()>>,
+    /// Lock files on the database and spill directory; released on drop,
+    /// which covers `wait`, `simulate_crash`, and panicking tests alike.
+    _locks: Vec<LockGuard>,
 }
 
 impl Server {
@@ -270,6 +281,25 @@ impl Server {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
+
+        // Exclusive lock on the durable paths before touching them: a
+        // second server sharing the database (and its journal) or an
+        // explicit spill directory would corrupt both. Fails with a
+        // downcastable `AlreadyLocked` inside the `io::Error`.
+        let mut locks: Vec<LockGuard> = Vec::new();
+        if let Some(path) = &config.db_path {
+            locks.push(lock::acquire(&lock::lock_path(path))?);
+        }
+        if let Some(dir) = &config.spill_dir {
+            locks.push(lock::acquire(&lock::lock_path(dir))?);
+        }
+
+        // One shim instance for every durable-I/O site; per-site operation
+        // counters only mean something if all writers share it.
+        let shim = match &config.fault_plan {
+            Some(plan) => IoShim::armed(Arc::clone(plan)),
+            None => IoShim::disabled(),
+        };
 
         // Load the database, falling back to the best parseable temp
         // sibling when the canonical file is corrupt (a crash mid-save).
@@ -286,8 +316,10 @@ impl Server {
                     Err(e) => return Err(e.into()),
                 };
                 let jpath = journal_path(path);
+                // Replay truncates a torn final record (a crash mid-append)
+                // so post-recovery appends start at a record boundary.
                 recovery = journal::replay(&jpath).unwrap_or_default();
-                (db, Journal::open(&jpath)?)
+                (db, Journal::open_with(&jpath, shim.clone())?)
             }
             None => (RunDb::new(), Journal::disabled()),
         };
@@ -303,11 +335,23 @@ impl Server {
         let db = SharedRunDb::new(db);
 
         let cache = GraphCache::new(config.cache_bytes);
+        let mut orphans_collected = 0u64;
         let store = match &config.graph_dir {
-            Some(dir) => Some(StoreState {
-                catalog: Catalog::open(dir).map_err(io::Error::other)?,
-                sessions: Mutex::new(HashMap::new()),
-            }),
+            Some(dir) => {
+                let catalog = Catalog::open(dir).map_err(io::Error::other)?;
+                // Startup self-healing sweep: temp siblings left by crashed
+                // (or fault-injected) pack writers, plus ingest sessions
+                // past their expiry or missing their journal.
+                orphans_collected +=
+                    gc_orphan_temps(catalog.dir()).map_err(io::Error::other)? as u64;
+                let gc = gc_sessions(&catalog.dir().join(".ingest"), DEFAULT_INGEST_EXPIRY)
+                    .map_err(io::Error::other)?;
+                orphans_collected += (gc.sessions_removed + gc.temp_files_removed) as u64;
+                Some(StoreState {
+                    catalog,
+                    sessions: Mutex::new(HashMap::new()),
+                })
+            }
             None => None,
         };
         let workers = config.workers.max(1);
@@ -321,6 +365,7 @@ impl Server {
             conn_queue: WorkQueue::new(),
             metrics: Metrics::new(),
             journal,
+            shim,
             ckpt_stats: Arc::new(CheckpointStats::default()),
             running: AtomicU64::new(0),
             completed: AtomicU64::new(0),
@@ -369,6 +414,19 @@ impl Server {
                 state.db.save(path)?;
             }
         }
+        // Only after recovery has mined temp siblings for salvageable
+        // state is it safe to sweep them; the lock file guarantees no
+        // concurrent writer is mid-rename.
+        if let Some(path) = &state.config.db_path {
+            orphans_collected += gc_db_temp_siblings(path);
+        }
+        if let Some(dir) = state.spill_dir() {
+            orphans_collected += gc_temp_siblings(&dir);
+        }
+        state
+            .metrics
+            .orphans_collected
+            .fetch_add(orphans_collected, Ordering::Relaxed);
 
         let mut threads = Vec::with_capacity(workers + http_workers + 2);
         {
@@ -391,8 +449,49 @@ impl Server {
             addr,
             state,
             threads,
+            _locks: locks,
         })
     }
+}
+
+/// Remove `{db_name}.tmp.*` siblings of the run database — debris from
+/// saves that crashed (or were fault-injected) between write and rename.
+/// Matches only the database's own temp naming so unrelated files in the
+/// directory are never touched.
+fn gc_db_temp_siblings(db_path: &Path) -> u64 {
+    let Some(name) = db_path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+    else {
+        return 0;
+    };
+    let dir = match db_path.parent() {
+        Some(d) if !d.as_os_str().is_empty() => d.to_path_buf(),
+        _ => PathBuf::from("."),
+    };
+    let prefix = format!("{name}.tmp.");
+    remove_matching(&dir, |file| file.starts_with(&prefix))
+}
+
+/// Remove every `*.tmp.*` file in the spill directory — checkpoint
+/// generations whose writer died mid-rename (or whose shim injected a
+/// torn write or stale rename).
+fn gc_temp_siblings(dir: &Path) -> u64 {
+    remove_matching(dir, |file| file.contains(".tmp."))
+}
+
+fn remove_matching(dir: &Path, matches: impl Fn(&str) -> bool) -> u64 {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return 0;
+    };
+    let mut removed = 0;
+    for entry in entries.flatten() {
+        let file = entry.file_name().to_string_lossy().into_owned();
+        if matches(&file) && entry.path().is_file() && std::fs::remove_file(entry.path()).is_ok() {
+            removed += 1;
+        }
+    }
+    removed
 }
 
 impl ServerHandle {
@@ -735,16 +834,44 @@ fn execute_job(state: &Arc<ServiceState>, job: &Arc<Job>) {
             let reorder = request.reorder;
             state.cache.get_or_try_build(key, || {
                 let stored = StoredGraph::open(&path)?;
-                let workload = load_workload(&stored)?;
+                // Corrupt CSR or column sections degrade to a rebuild from
+                // the canonical edge-list section (bit-identical topology)
+                // instead of failing the job, as long as the edge list
+                // itself still checksums.
+                let workload = match load_workload(&stored) {
+                    Ok(w) => w,
+                    Err(
+                        e @ (StoreError::CorruptSection { .. }
+                        | StoreError::ChecksumMismatch { .. }
+                        | StoreError::Corrupt(_)),
+                    ) => match rebuild_workload_plain(&stored) {
+                        Ok(w) => {
+                            state.metrics.store_rebuilds.fetch_add(1, Ordering::Relaxed);
+                            w
+                        }
+                        Err(_) => return Err(e),
+                    },
+                    Err(e) => return Err(e),
+                };
                 let workload = if reorder {
                     workload.reordered_by_degree()
                 } else {
                     workload
                 };
                 if representation == graphmine_graph::Representation::Compressed {
-                    workload.with_representation(representation).map_err(|e| {
-                        StoreError::Corrupt(format!("cannot compress stored graph: {e}"))
-                    })
+                    match workload.with_representation(representation) {
+                        Ok(w) => Ok(w),
+                        Err(_) => {
+                            // Row compression (or decode of the compressed
+                            // form) failed: run on the plain representation
+                            // — identical results, slower traversal.
+                            state
+                                .metrics
+                                .compressed_fallbacks
+                                .fetch_add(1, Ordering::Relaxed);
+                            Ok(workload)
+                        }
+                    }
                 } else {
                     Ok::<_, StoreError>(workload)
                 }
@@ -806,7 +933,8 @@ fn execute_job(state: &Arc<ServiceState>, job: &Arc<Job>) {
             Some(dir) => {
                 exec = exec.with_checkpoint(
                     CheckpointPolicy::new(every, dir, job.ckpt_tag.clone())
-                        .with_stats(Arc::clone(&state.ckpt_stats)),
+                        .with_stats(Arc::clone(&state.ckpt_stats))
+                        .with_shim(state.shim.clone()),
                 );
                 true
             }
@@ -1220,6 +1348,7 @@ fn begin_graph_ingest(state: &Arc<ServiceState>, body: &[u8]) -> (u16, Value) {
     }
     match IngestSession::begin(&store.ingest_root(), config) {
         Ok(session) => {
+            let session = session.with_shim(state.shim.clone());
             let resumed = session.next_seq() > 0;
             let response = json!({
                 "name": req.name,
@@ -1258,7 +1387,7 @@ fn append_graph_chunk(
         // Journaled session from a previous process: resume it from disk.
         match IngestSession::resume(&store.ingest_root(), name) {
             Ok(session) => {
-                sessions.insert(name.to_string(), session);
+                sessions.insert(name.to_string(), session.with_shim(state.shim.clone()));
             }
             Err(e) => return store_error(&e),
         }
@@ -1274,7 +1403,17 @@ fn append_graph_chunk(
                 "duplicate": ack.duplicate,
             }),
         ),
-        Err(e) => store_error(&e),
+        Err(e) => {
+            // A failed append (torn write, ENOSPC, failed sync) may have
+            // left bytes past the last journaled boundary. Drop the
+            // in-memory session so the next request resumes from disk,
+            // which truncates the data file back to that boundary before
+            // the client re-uploads.
+            if matches!(e, StoreError::Io(_)) {
+                sessions.remove(name);
+            }
+            store_error(&e)
+        }
     }
 }
 
@@ -1296,7 +1435,7 @@ fn finalize_graph(state: &Arc<ServiceState>, name: &str) -> (u16, Value) {
             },
         }
     };
-    match finalize_ingest(&store.catalog, session) {
+    match finalize_ingest_with(&store.catalog, session, &state.shim) {
         Ok(entry) => (201, entry_json(&entry)),
         Err(e) => store_error(&e),
     }
@@ -1537,12 +1676,16 @@ fn metrics_json(state: &ServiceState) -> Value {
             "jobs_shed": state.metrics.jobs_shed.load(Ordering::Relaxed),
             "watchdog_requeues": state.metrics.watchdog_requeues.load(Ordering::Relaxed),
             "jobs_recovered": state.metrics.jobs_recovered.load(Ordering::Relaxed),
+            "store_rebuilds": state.metrics.store_rebuilds.load(Ordering::Relaxed),
+            "compressed_fallbacks": state.metrics.compressed_fallbacks.load(Ordering::Relaxed),
+            "orphans_collected": state.metrics.orphans_collected.load(Ordering::Relaxed),
             "retry_pending": state.retries.lock().len(),
             "journal_enabled": state.journal.is_enabled(),
             "checkpoints": {
                 "written": state.ckpt_stats.written.load(Ordering::Relaxed),
                 "write_failures": state.ckpt_stats.write_failures.load(Ordering::Relaxed),
                 "restored": state.ckpt_stats.restored.load(Ordering::Relaxed),
+                "fallbacks": state.ckpt_stats.fallbacks.load(Ordering::Relaxed),
             },
         },
         "cache": {
@@ -1709,12 +1852,46 @@ mod tests {
             "jobs_shed",
             "watchdog_requeues",
             "jobs_recovered",
+            "store_rebuilds",
+            "compressed_fallbacks",
+            "orphans_collected",
         ] {
             assert_eq!(rob[key], 0, "missing or nonzero robustness key {key}");
         }
         assert_eq!(rob["journal_enabled"], false);
         assert_eq!(rob["checkpoints"]["written"], 0);
+        assert_eq!(rob["checkpoints"]["fallbacks"], 0);
         stop(&addr, handle);
+    }
+
+    #[test]
+    fn second_server_on_same_db_is_refused_with_typed_lock_error() {
+        let dir =
+            std::env::temp_dir().join(format!("graphmine-service-lock-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let config = ServiceConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 1,
+            http_workers: 1,
+            db_path: Some(dir.join("db.json")),
+            persist_every: 0,
+            ..ServiceConfig::default()
+        };
+        let first = Server::start(config.clone()).unwrap();
+        let err = Server::start(config.clone()).expect_err("second server must be refused");
+        let typed = err
+            .get_ref()
+            .and_then(|e| e.downcast_ref::<crate::lock::AlreadyLocked>())
+            .expect("error should downcast to AlreadyLocked");
+        assert_eq!(typed.pid, std::process::id());
+        let addr = first.addr().to_string();
+        stop(&addr, first);
+        // The lock is released on shutdown; a restart succeeds.
+        let again = Server::start(config).unwrap();
+        let addr = again.addr().to_string();
+        stop(&addr, again);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -18,9 +18,12 @@
 use crate::catalog::Catalog;
 use crate::json;
 use crate::StoreError;
+use graphmine_engine::fault::FaultSite;
+use graphmine_engine::IoShim;
 use std::fs::{self, File, OpenOptions};
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::time::{Duration, SystemTime};
 
 /// Immutable parameters of an ingest session, fixed at `begin` time.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -54,6 +57,7 @@ pub struct IngestSession {
     config: IngestConfig,
     next_seq: u64,
     bytes_received: u64,
+    shim: IoShim,
 }
 
 impl IngestSession {
@@ -83,9 +87,16 @@ impl IngestSession {
             config,
             next_seq: 0,
             bytes_received: 0,
+            shim: IoShim::disabled(),
         };
         session.persist_state()?;
         Ok(session)
+    }
+
+    /// Route this session's chunk appends through `shim` (chaos testing).
+    pub fn with_shim(mut self, shim: IoShim) -> IngestSession {
+        self.shim = shim;
+        self
     }
 
     /// Resume an existing session by name, recovering from a crash
@@ -130,6 +141,7 @@ impl IngestSession {
             config,
             next_seq,
             bytes_received,
+            shim: IoShim::disabled(),
         })
     }
 
@@ -167,7 +179,11 @@ impl IngestSession {
         let mut f = OpenOptions::new()
             .append(true)
             .open(self.dir.join("chunks.bin"))?;
-        f.write_all(bytes)?;
+        // An injected fault here (torn append, ENOSPC, failed sync) leaves
+        // the journal un-advanced, so resume truncates the data file back
+        // to the last acknowledged boundary and the client re-uploads.
+        self.shim
+            .append(FaultSite::IngestChunk, Some(seq), &mut f, bytes)?;
         f.sync_data()?;
         self.next_seq += 1;
         self.bytes_received += bytes.len() as u64;
@@ -210,6 +226,61 @@ impl IngestSession {
         fs::rename(&tmp, &path)?;
         Ok(())
     }
+}
+
+/// Default age after which an untouched ingest session expires (the
+/// journal's mtime advances on every accepted chunk, so only genuinely
+/// abandoned uploads age out).
+pub const DEFAULT_INGEST_EXPIRY: Duration = Duration::from_secs(7 * 24 * 60 * 60);
+
+/// Result of an ingest-root garbage-collection sweep.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct IngestGcReport {
+    /// Session directories removed (expired or missing their journal).
+    pub sessions_removed: usize,
+    /// Orphaned temp files removed (crashed journal rewrites).
+    pub temp_files_removed: usize,
+}
+
+/// Sweep the ingest root: remove orphaned `.state.json.tmp` files left by
+/// crashed journal rewrites, session directories whose journal is missing
+/// entirely (a crash between `create_dir_all` and the first state write),
+/// and sessions whose journal has not been touched for `max_age`. The
+/// service runs this on every start; a missing root is a no-op.
+pub fn gc_sessions(root: &Path, max_age: Duration) -> Result<IngestGcReport, StoreError> {
+    let mut report = IngestGcReport::default();
+    let entries = match fs::read_dir(root) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(report),
+        Err(e) => return Err(e.into()),
+    };
+    let now = SystemTime::now();
+    for entry in entries {
+        let entry = entry?;
+        let dir = entry.path();
+        if !entry.file_type()?.is_dir() {
+            continue;
+        }
+        let tmp = dir.join(".state.json.tmp");
+        if tmp.is_file() {
+            fs::remove_file(&tmp)?;
+            report.temp_files_removed += 1;
+        }
+        let state = dir.join("state.json");
+        let expired = match fs::metadata(&state) {
+            Err(_) => true, // no journal: debris from a crashed begin
+            Ok(meta) => meta
+                .modified()
+                .ok()
+                .and_then(|m| now.duration_since(m).ok())
+                .is_some_and(|age| age >= max_age),
+        };
+        if expired {
+            fs::remove_dir_all(&dir)?;
+            report.sessions_removed += 1;
+        }
+    }
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -308,6 +379,63 @@ mod tests {
             Err(StoreError::NotFound(_))
         ));
         fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn injected_chunk_fault_is_recovered_by_resume() {
+        use graphmine_engine::{FaultKind, FaultPlan};
+        use std::sync::Arc;
+        let root = temp_root("chunkfault");
+        let plan = FaultPlan::new();
+        plan.arm(FaultSite::IngestChunk, 1, FaultKind::TornWrite);
+        let shim = IoShim::armed(Arc::new(plan));
+        let mut s = IngestSession::begin(&root, config("g"))
+            .unwrap()
+            .with_shim(shim);
+        s.append_chunk(0, b"0 1\n").unwrap();
+        // The torn append persists a prefix of the chunk but fails, so the
+        // journal never advances past it.
+        assert!(s.append_chunk(1, b"1 2\n").is_err());
+        drop(s);
+        let mut s = IngestSession::resume(&root, "g").unwrap();
+        assert_eq!(s.next_seq(), 1);
+        assert_eq!(fs::read(s.data_path()).unwrap(), b"0 1\n");
+        // The client's retry of the same chunk now lands cleanly.
+        let ack = s.append_chunk(1, b"1 2\n").unwrap();
+        assert_eq!(ack.next_seq, 2);
+        assert_eq!(fs::read(s.data_path()).unwrap(), b"0 1\n1 2\n");
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn gc_removes_orphans_debris_and_expired_sessions() {
+        let root = temp_root("gc");
+        // Live session: journal present and fresh.
+        let mut live = IngestSession::begin(&root, config("live")).unwrap();
+        live.append_chunk(0, b"0 1\n").unwrap();
+        // Crashed journal rewrite: stale temp next to a fresh journal.
+        fs::write(root.join("live").join(".state.json.tmp"), b"{}").unwrap();
+        // Debris: a session dir that never got its first journal write.
+        fs::create_dir_all(root.join("debris")).unwrap();
+        fs::write(root.join("debris").join("chunks.bin"), b"").unwrap();
+        let report = gc_sessions(&root, Duration::from_secs(3600)).unwrap();
+        assert_eq!(report.sessions_removed, 1);
+        assert_eq!(report.temp_files_removed, 1);
+        assert!(!root.join("debris").exists());
+        assert!(IngestSession::resume(&root, "live").is_ok());
+        // With a zero max-age, the fresh session expires too.
+        let report = gc_sessions(&root, Duration::ZERO).unwrap();
+        assert_eq!(report.sessions_removed, 1);
+        assert!(matches!(
+            IngestSession::resume(&root, "live"),
+            Err(StoreError::NotFound(_))
+        ));
+        // A missing root is a no-op.
+        fs::remove_dir_all(&root).ok();
+        assert_eq!(
+            gc_sessions(&root, Duration::ZERO).unwrap(),
+            IngestGcReport::default()
+        );
     }
 
     #[test]

@@ -28,6 +28,10 @@
 //!   vertex/edge-count validation.
 //! * **Ingest** ([`ingest`]): resumable, journaled chunked upload sessions
 //!   backing the service's `POST /graphs` bulk-ingest endpoint.
+//! * **Scrub** ([`scrub`]): a self-healing verification sweep over a whole
+//!   catalog — every store file is checksum-verified, corrupt files are
+//!   quarantined (renamed to `*.corrupt`), and graphs packed from a
+//!   still-present edge-list source are re-packed in place.
 
 #![warn(missing_docs)]
 
@@ -37,16 +41,21 @@ pub mod ingest;
 mod json;
 pub mod mmap;
 pub mod reader;
+pub mod scrub;
 pub mod workload;
 pub mod writer;
 pub mod xxh;
 
 pub use catalog::{Catalog, CatalogEntry};
 pub use format::{ElemType, Header, SectionEntry, StoreMeta};
-pub use ingest::{ChunkAck, IngestConfig, IngestSession};
+pub use ingest::{
+    gc_sessions, ChunkAck, IngestConfig, IngestGcReport, IngestSession, DEFAULT_INGEST_EXPIRY,
+};
 pub use reader::StoredGraph;
+pub use scrub::{gc_orphan_temps, scrub_catalog, ScrubOutcome, ScrubReport};
 pub use workload::{
-    class_code, class_name, finalize_ingest, infer_vertex_count, load_workload, pack_workload,
+    class_code, class_name, finalize_ingest, finalize_ingest_with, infer_vertex_count,
+    load_workload, pack_workload, pack_workload_with, rebuild_workload_plain,
 };
 pub use xxh::xxh64;
 
@@ -81,6 +90,13 @@ pub enum StoreError {
         /// Checksum of the bytes actually read.
         actual: u64,
     },
+    /// A full-verify pass found one or more corrupt payload sections. The
+    /// store file should be quarantined and re-packed (see [`scrub`]);
+    /// sections not listed are intact and may still be readable.
+    CorruptSection {
+        /// Names of every section whose checksum failed.
+        sections: Vec<String>,
+    },
     /// Any other structural inconsistency (bad TOC, bad meta, invalid CSR).
     Corrupt(String),
     /// A graph or session name failed validation or shadows a path.
@@ -112,6 +128,11 @@ impl fmt::Display for StoreError {
             } => write!(
                 f,
                 "checksum mismatch in section `{section}`: stored {expected:#018x}, computed {actual:#018x}"
+            ),
+            StoreError::CorruptSection { sections } => write!(
+                f,
+                "corrupt store section(s): {} (quarantine and re-pack)",
+                sections.join(", ")
             ),
             StoreError::Corrupt(msg) => write!(f, "corrupt store file: {msg}"),
             StoreError::InvalidName(name) => {

@@ -176,20 +176,43 @@ impl StoredGraph {
 
     /// Hash every section and compare against its recorded checksum, then
     /// load the graph and run its deep structural validation. This is the
-    /// thorough pass: it touches every page.
+    /// thorough pass: it touches every page. Checksum failures are
+    /// aggregated across all sections into one
+    /// [`StoreError::CorruptSection`] so a scrub can report the full damage
+    /// in a single verify.
     pub fn verify(&self) -> Result<(), StoreError> {
-        for entry in &self.sections {
-            let actual = xxh64(self.section_payload(entry), 0);
-            if actual != entry.checksum {
-                return Err(StoreError::ChecksumMismatch {
-                    section: entry.name.clone(),
-                    expected: entry.checksum,
-                    actual,
-                });
-            }
+        let corrupt = self.triage();
+        if !corrupt.is_empty() {
+            return Err(StoreError::CorruptSection { sections: corrupt });
         }
         let graph = self.load_graph()?;
         graph.validate().map_err(StoreError::Corrupt)
+    }
+
+    /// Hash every section against its recorded checksum and return the
+    /// names of those that fail (empty = all payload bytes intact). Unlike
+    /// [`StoredGraph::verify`] this never errors and checks *all* sections,
+    /// which is what a scrub wants for its damage report.
+    pub fn triage(&self) -> Vec<String> {
+        self.sections
+            .iter()
+            .filter(|entry| xxh64(self.section_payload(entry), 0) != entry.checksum)
+            .map(|entry| entry.name.clone())
+            .collect()
+    }
+
+    /// Verify only the named section's checksum. Used by recovery paths
+    /// that need one trusted section (e.g. the canonical edge list) out of
+    /// an otherwise damaged file.
+    pub fn verify_section(&self, name: &str) -> Result<(), StoreError> {
+        let entry = self.required(name)?;
+        let actual = xxh64(self.section_payload(entry), 0);
+        if actual != entry.checksum {
+            return Err(StoreError::CorruptSection {
+                sections: vec![entry.name.clone()],
+            });
+        }
+        Ok(())
     }
 
     /// Build a zero-copy [`Graph`] view over the mapped CSR sections. The
@@ -519,11 +542,18 @@ mod tests {
         let stored = StoredGraph::open(&path).unwrap();
         // … but verify names the damaged section.
         match stored.verify() {
-            Err(StoreError::ChecksumMismatch { section, .. }) => {
-                assert_eq!(section, SEC_OUT_NEIGHBORS);
+            Err(StoreError::CorruptSection { sections }) => {
+                assert_eq!(sections, vec![SEC_OUT_NEIGHBORS.to_string()]);
             }
-            other => panic!("expected ChecksumMismatch, got {other:?}"),
+            other => panic!("expected CorruptSection, got {other:?}"),
         }
+        // Triage agrees, and the intact edge list still verifies alone.
+        assert_eq!(stored.triage(), vec![SEC_OUT_NEIGHBORS.to_string()]);
+        stored.verify_section(SEC_EDGE_LIST).unwrap();
+        assert!(matches!(
+            stored.verify_section(SEC_OUT_NEIGHBORS),
+            Err(StoreError::CorruptSection { .. })
+        ));
         fs::remove_dir_all(&dir).ok();
     }
 

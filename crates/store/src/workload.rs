@@ -10,14 +10,17 @@
 //! bit-identical run traces.
 
 use crate::catalog::{Catalog, CatalogEntry};
-use crate::format::{f64_bytes, ElemType, StoreMeta};
+use crate::format::{
+    f64_bytes, ElemType, StoreMeta, FLAG_DIRECTED, FLAG_SORTED_ROWS, SEC_EDGE_LIST, SEC_META,
+};
 use crate::ingest::IngestSession;
 use crate::reader::StoredGraph;
-use crate::writer::{write_graph_store, SectionData};
+use crate::writer::{write_graph_store_with, SectionData};
 use crate::StoreError;
 use graphmine_algos::Workload;
+use graphmine_engine::IoShim;
 use graphmine_gen::{gaussian_points, GridMrf, MatrixSystem, MrfGraph, RatingGraph};
-use graphmine_graph::parse_edge_list;
+use graphmine_graph::{parse_edge_list, Graph, GraphBuilder};
 use std::borrow::Cow;
 use std::fs::{self, File};
 use std::io::{BufRead, BufReader};
@@ -108,6 +111,18 @@ pub fn pack_workload(
     source: &str,
     seed: u64,
 ) -> Result<u64, StoreError> {
+    pack_workload_with(path, workload, source, seed, &IoShim::disabled())
+}
+
+/// [`pack_workload`] with an explicit [`IoShim`] through which the file
+/// hits disk (chaos testing and scrub re-packs).
+pub fn pack_workload_with(
+    path: &Path,
+    workload: &Workload,
+    source: &str,
+    seed: u64,
+    shim: &IoShim,
+) -> Result<u64, StoreError> {
     let code = class_code(workload);
     let mut meta = StoreMeta {
         class: class_name(code).to_string(),
@@ -156,7 +171,7 @@ pub fn pack_workload(
             ]
         }
     };
-    write_graph_store(path, workload.graph(), &meta, code, columns)
+    write_graph_store_with(path, workload.graph(), &meta, code, columns, shim)
 }
 
 fn column_exact(stored: &StoredGraph, name: &str, expected: usize) -> Result<Vec<f64>, StoreError> {
@@ -179,6 +194,72 @@ fn unflatten(flat: Vec<f64>, width: usize) -> Vec<Vec<f64>> {
 /// columns are small relative to topology and are copied into `Vec`s.
 pub fn load_workload(stored: &StoredGraph) -> Result<Workload, StoreError> {
     let graph = stored.load_graph()?;
+    workload_from_graph(stored, graph)
+}
+
+/// Rebuild the workload with *plain* CSR topology re-derived from the
+/// canonical edge-list section, bypassing the compressed neighbor
+/// sections entirely.
+///
+/// This is the self-healing path for a compressed (v2) store whose varint
+/// payload fails to decode: the edge list is verified against its own
+/// checksum first (so a damaged edge list cannot silently rebuild a wrong
+/// graph), then the CSR indexes are reconstructed exactly as the original
+/// plain pack would have built them — the stored edge list is already
+/// canonical, so the rebuild is bit-identical to a plain load. Fails with
+/// [`StoreError::CorruptSection`] when the damage extends beyond the
+/// topology sections (edge list, meta, or a data column is corrupt).
+pub fn rebuild_workload_plain(stored: &StoredGraph) -> Result<Workload, StoreError> {
+    let essential: Vec<String> = stored
+        .triage()
+        .into_iter()
+        .filter(|s| s == SEC_EDGE_LIST || s == SEC_META || s.starts_with("c:"))
+        .collect();
+    if !essential.is_empty() {
+        return Err(StoreError::CorruptSection {
+            sections: essential,
+        });
+    }
+    let header = stored.header();
+    let directed = header.flags & FLAG_DIRECTED != 0;
+    let sorted_rows = header.flags & FLAG_SORTED_ROWS != 0;
+    let entry = stored
+        .section(SEC_EDGE_LIST)
+        .ok_or_else(|| StoreError::Corrupt(format!("missing section `{SEC_EDGE_LIST}`")))?
+        .clone();
+    let bytes = stored.section_payload(&entry);
+    let mut b = if directed {
+        GraphBuilder::directed(header.num_vertices as usize)
+    } else {
+        GraphBuilder::undirected(header.num_vertices as usize)
+    };
+    if !sorted_rows {
+        b = b.allow_parallel_edges();
+    }
+    b = b.with_edge_capacity(bytes.len() / 8);
+    for pair in bytes.chunks_exact(8) {
+        let src = u32::from_ne_bytes(pair[..4].try_into().expect("4 bytes"));
+        let dst = u32::from_ne_bytes(pair[4..].try_into().expect("4 bytes"));
+        if src == dst || src as u64 >= header.num_vertices || dst as u64 >= header.num_vertices {
+            return Err(StoreError::Corrupt(format!(
+                "edge ({src},{dst}) invalid for {} vertices",
+                header.num_vertices
+            )));
+        }
+        b.push_edge(src, dst);
+    }
+    let graph = b.build();
+    if graph.num_edges() as u64 != header.num_edges {
+        return Err(StoreError::Corrupt(format!(
+            "rebuilt graph has {} edges, header says {}",
+            graph.num_edges(),
+            header.num_edges
+        )));
+    }
+    workload_from_graph(stored, graph)
+}
+
+fn workload_from_graph(stored: &StoredGraph, graph: Graph) -> Result<Workload, StoreError> {
     let n = graph.num_vertices();
     let m = graph.num_edges();
     let meta = stored.meta();
@@ -279,6 +360,16 @@ pub fn finalize_ingest(
     catalog: &Catalog,
     session: IngestSession,
 ) -> Result<CatalogEntry, StoreError> {
+    finalize_ingest_with(catalog, session, &IoShim::disabled())
+}
+
+/// [`finalize_ingest`] with an explicit [`IoShim`] through which the
+/// packed store hits disk.
+pub fn finalize_ingest_with(
+    catalog: &Catalog,
+    session: IngestSession,
+    shim: &IoShim,
+) -> Result<CatalogEntry, StoreError> {
     let config = session.config().clone();
     let data = session.data_path();
     let num_vertices = if config.num_vertices == 0 {
@@ -306,7 +397,7 @@ pub fn finalize_ingest(
         std::process::id()
     ));
     let result = (|| {
-        pack_workload(&staging, &workload, "ingest:edgelist", config.seed)?;
+        pack_workload_with(&staging, &workload, "ingest:edgelist", config.seed, shim)?;
         StoredGraph::open(&staging)?.verify()?;
         catalog.install(&config.name, &staging)
     })();
@@ -447,6 +538,64 @@ mod tests {
             panic!("ingest should produce a powerlaw workload");
         };
         assert!(weights.contains(&0.5));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rebuild_plain_recovers_from_corrupt_compressed_payload() {
+        use graphmine_graph::{Direction, Representation};
+        let dir = temp_dir("rebuild");
+        let path = dir.join("w.gmg");
+        let reference = Workload::powerlaw(300, 2.0, 11);
+        let compressed = Workload::powerlaw(300, 2.0, 11)
+            .with_representation(Representation::Compressed)
+            .unwrap();
+        pack_workload(&path, &compressed, "test", 11).unwrap();
+        let stored = StoredGraph::open(&path).unwrap();
+        let sec = stored
+            .sections()
+            .iter()
+            .find(|s| s.name == "out_nbr_data")
+            .expect("compressed pack has varint payload")
+            .clone();
+        drop(stored);
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[(sec.offset + sec.len_bytes / 2) as usize] ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+        let stored = StoredGraph::open(&path).unwrap();
+        assert!(stored.verify().is_err());
+        // The fallback rebuilds the exact plain CSR from the edge list.
+        let rebuilt = rebuild_workload_plain(&stored).unwrap();
+        assert_eq!(rebuilt.graph().edge_list(), reference.graph().edge_list());
+        let (ro, rn, re) = rebuilt.graph().csr_slices(Direction::Out);
+        let (eo, en, ee) = reference.graph().csr_slices(Direction::Out);
+        assert_eq!(ro, eo);
+        assert_eq!(rn, en);
+        assert_eq!(re, ee);
+        let (Workload::PowerLaw { weights: wa, .. }, Workload::PowerLaw { weights: wb, .. }) =
+            (&reference, &rebuilt)
+        else {
+            panic!("class changed in rebuild");
+        };
+        assert_eq!(wa, wb);
+        // Damage reaching the edge list itself is not recoverable.
+        let edge_sec = stored
+            .sections()
+            .iter()
+            .find(|s| s.name == SEC_EDGE_LIST)
+            .unwrap()
+            .clone();
+        drop(stored);
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[(edge_sec.offset + 1) as usize] ^= 0x01;
+        fs::write(&path, &bytes).unwrap();
+        let stored = StoredGraph::open(&path).unwrap();
+        match rebuild_workload_plain(&stored) {
+            Err(StoreError::CorruptSection { sections }) => {
+                assert!(sections.contains(&SEC_EDGE_LIST.to_string()))
+            }
+            other => panic!("expected CorruptSection, got {other:?}"),
+        }
         fs::remove_dir_all(&dir).ok();
     }
 

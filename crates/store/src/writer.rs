@@ -15,6 +15,8 @@ use crate::format::{
     SEC_OUT_NEIGHBORS, SEC_OUT_OFFSETS, TOC_ENTRY_LEN,
 };
 use crate::StoreError;
+use graphmine_engine::fault::FaultSite;
+use graphmine_engine::IoShim;
 use graphmine_graph::Representation;
 use graphmine_graph::{Direction, Graph};
 use std::borrow::Cow;
@@ -45,6 +47,36 @@ pub fn write_store(
     num_edges: u64,
     workload_class: u32,
     sections: &[SectionData<'_>],
+) -> Result<u64, StoreError> {
+    write_store_with(
+        path,
+        directed,
+        sorted_rows,
+        compressed,
+        num_vertices,
+        num_edges,
+        workload_class,
+        sections,
+        &IoShim::disabled(),
+    )
+}
+
+/// [`write_store`] with an explicit [`IoShim`] through which the file
+/// hits disk. The disabled shim streams sections straight to the temp
+/// sibling (no whole-file buffer); an armed shim assembles the file in
+/// memory so byte-level faults (torn write, bit flip, stale rename) can be
+/// applied to the exact on-disk image.
+#[allow(clippy::too_many_arguments)]
+pub fn write_store_with(
+    path: &Path,
+    directed: bool,
+    sorted_rows: bool,
+    compressed: bool,
+    num_vertices: u64,
+    num_edges: u64,
+    workload_class: u32,
+    sections: &[SectionData<'_>],
+    shim: &IoShim,
 ) -> Result<u64, StoreError> {
     let mut flags = 0u32;
     if directed {
@@ -105,6 +137,22 @@ pub fn write_store(
         .to_string_lossy()
         .into_owned();
     let tmp = path.with_file_name(format!(".{file_name}.tmp-{}", std::process::id()));
+    if shim.is_armed() {
+        // Assemble the exact on-disk image so the shim can tear, flip, or
+        // drop it at the byte level. Chaos runs only; the production path
+        // below never buffers the whole file.
+        let mut image = Vec::with_capacity(file_len as usize);
+        image.extend_from_slice(&header.encode());
+        for e in &entries {
+            image.extend_from_slice(&e.encode()?);
+        }
+        for (e, s) in entries.iter().zip(sections) {
+            image.resize(e.offset as usize, 0);
+            image.extend_from_slice(&s.bytes);
+        }
+        shim.write_atomic(FaultSite::StoreWrite, None, path, &tmp, &image)?;
+        return Ok(fingerprint);
+    }
     let write_all = || -> Result<(), StoreError> {
         let mut w = BufWriter::new(File::create(&tmp)?);
         w.write_all(&header.encode())?;
@@ -144,6 +192,26 @@ pub fn write_graph_store<'a>(
     meta: &StoreMeta,
     workload_class: u32,
     columns: Vec<SectionData<'a>>,
+) -> Result<u64, StoreError> {
+    write_graph_store_with(
+        path,
+        graph,
+        meta,
+        workload_class,
+        columns,
+        &IoShim::disabled(),
+    )
+}
+
+/// [`write_graph_store`] with an explicit [`IoShim`] (see
+/// [`write_store_with`]).
+pub fn write_graph_store_with<'a>(
+    path: &Path,
+    graph: &'a Graph,
+    meta: &StoreMeta,
+    workload_class: u32,
+    columns: Vec<SectionData<'a>>,
+    shim: &IoShim,
 ) -> Result<u64, StoreError> {
     let mut sections = Vec::with_capacity(9 + columns.len());
     sections.push(SectionData {
@@ -226,7 +294,7 @@ pub fn write_graph_store<'a>(
         push_dir(&mut sections, Direction::In);
     }
     sections.extend(columns);
-    write_store(
+    write_store_with(
         path,
         graph.is_directed(),
         graph.has_sorted_rows(),
@@ -235,5 +303,6 @@ pub fn write_graph_store<'a>(
         graph.num_edges() as u64,
         workload_class,
         &sections,
+        shim,
     )
 }

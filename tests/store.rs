@@ -175,10 +175,10 @@ fn corrupted_compressed_section_fails_closed_with_typed_error() {
     drop(f);
     let stored = StoredGraph::open(&path).unwrap();
     match stored.verify() {
-        Err(StoreError::ChecksumMismatch { section, .. }) => {
-            assert_eq!(section, data_section.name)
+        Err(StoreError::CorruptSection { sections }) => {
+            assert_eq!(sections, vec![data_section.name.clone()])
         }
-        other => panic!("expected ChecksumMismatch, got {other:?}"),
+        other => panic!("expected CorruptSection, got {other:?}"),
     }
     fs::remove_dir_all(&dir).ok();
 }
@@ -239,8 +239,8 @@ fn corrupted_payload_is_caught_before_any_algorithm_runs() {
     drop(f);
     let stored = StoredGraph::open(&path).unwrap();
     match stored.verify() {
-        Err(StoreError::ChecksumMismatch { section, .. }) => assert_eq!(section, last.name),
-        other => panic!("expected ChecksumMismatch, got {other:?}"),
+        Err(StoreError::CorruptSection { sections }) => assert_eq!(sections, vec![last.name]),
+        other => panic!("expected CorruptSection, got {other:?}"),
     }
     fs::remove_dir_all(&dir).ok();
 }
