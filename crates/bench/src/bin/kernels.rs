@@ -1,20 +1,29 @@
 //! `kernels` — measure edges-per-second for the bandwidth-bound kernels
-//! across adjacency representation × scatter direction, and write the
-//! machine-readable summary `BENCH_kernels.json`.
+//! across adjacency representation × scatter direction × thread count, and
+//! write the machine-readable summary `BENCH_kernels.json`.
 //!
 //! Unlike the Criterion benches (statistical, human-oriented), this is the
 //! summarizer CI and the experiment log consume: one JSON file with one
-//! record per kernel × workload × representation × direction, each carrying
-//! wall-clock, the deterministic edge-traversal count from the behavior
-//! trace, and the derived edges/sec. Workload records carry the
-//! neighbor-payload byte counts of both representations, so the compression
-//! ratio is part of the same artifact as the throughput numbers.
+//! record per kernel × workload × representation × direction × threads,
+//! each carrying wall-clock, the deterministic edge-traversal count from
+//! the behavior trace, and the derived edges/sec. Workload records carry
+//! the neighbor-payload byte counts of both representations, so the
+//! compression ratio is part of the same artifact as the throughput
+//! numbers.
+//!
+//! Each swept thread count runs inside its own rayon pool built with
+//! exactly that many workers; every record carries both the requested
+//! pool size (`threads`) and the worker count the pool actually reported
+//! (`pool_threads`), so a harness that cannot deliver the requested
+//! parallelism is visible in the artifact instead of silently mislabeled.
 //!
 //! Usage: `kernels [--out PATH] [--edges N] [--grid-side N] [--iters N]
-//! [--runs N] [--baseline PATH]` (defaults: BENCH_kernels.json, 500000,
-//! 256, 20, 3; the reported wall-clock is the best of `runs`). With
-//! `--baseline`, a previous BENCH_kernels.json is read and every record
-//! that matches on kernel × workload × representation × direction gains
+//! [--runs N] [--threads LIST] [--baseline PATH]` (defaults:
+//! BENCH_kernels.json, 500000, 256, 20, 3, "1,4,8"; the reported
+//! wall-clock is the best of `runs`). With `--baseline`, a previous
+//! BENCH_kernels.json is read and every record that matches on
+//! kernel × workload × representation × direction × threads (baseline
+//! rows without a `threads` field are treated as single-threaded) gains
 //! `baseline_edges_per_sec` and `speedup_vs_baseline` fields — run it
 //! against the checked-in file to see the per-PR perf delta.
 
@@ -30,6 +39,7 @@ struct Args {
     grid_side: usize,
     iters: usize,
     runs: usize,
+    threads: Vec<usize>,
     baseline: Option<std::path::PathBuf>,
 }
 
@@ -40,6 +50,7 @@ fn parse_args() -> Result<Args, String> {
         grid_side: 256,
         iters: 20,
         runs: 3,
+        threads: vec![1, 4, 8],
         baseline: None,
     };
     let mut args = std::env::args().skip(1);
@@ -67,6 +78,21 @@ fn parse_args() -> Result<Args, String> {
                     .parse::<usize>()
                     .map_err(|_| "unparseable --runs")?
                     .max(1)
+            }
+            "--threads" => {
+                out.threads = value("--threads")?
+                    .split(',')
+                    .map(|t| {
+                        t.trim()
+                            .parse::<usize>()
+                            .ok()
+                            .filter(|&n| n > 0)
+                            .ok_or_else(|| format!("unparseable --threads entry `{t}`"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                if out.threads.is_empty() {
+                    return Err("--threads needs at least one count".to_string());
+                }
             }
             "--baseline" => out.baseline = Some(std::path::PathBuf::from(value("--baseline")?)),
             other => return Err(format!("unknown kernels flag `{other}`")),
@@ -128,58 +154,94 @@ fn main() -> std::process::ExitCode {
         (AlgorithmKind::Lbp, "grid", &grid, &grid_compressed),
     ];
 
+    // Results must be bit-identical across representations, directions are
+    // checked pairwise inside the sweep, and across thread counts: the same
+    // cell × direction × representation must digest identically at every
+    // pool size (the scaling story is free to change wall-clock, never
+    // bits).
+    let mut reference_digests: std::collections::BTreeMap<String, u64> =
+        std::collections::BTreeMap::new();
+
     let mut records = Vec::new();
-    for (alg, wname, plain, compressed) in &cells {
-        for dir in [
-            DirectionMode::Push,
-            DirectionMode::Pull,
-            DirectionMode::Auto,
-        ] {
-            let dir_name = match dir {
-                DirectionMode::Push => "push",
-                DirectionMode::Pull => "pull",
-                DirectionMode::Auto => "auto",
-            };
-            let config = SuiteConfig {
-                exec: ExecutionConfig::with_max_iterations(args.iters).with_direction(dir),
-                ..SuiteConfig::default()
-            };
-            let mut digests = Vec::new();
-            for (repr, workload) in [
-                (Representation::Plain, *plain),
-                (Representation::Compressed, *compressed),
-            ] {
-                // Warm-up run, then best-of-N timed runs.
-                let (digest, trace) = run_algorithm_digest(*alg, workload, &config)
-                    .unwrap_or_else(|e| panic!("{alg}: {e}"));
-                let traversals = edge_traversals(&trace);
-                let mut best = f64::INFINITY;
-                for _ in 0..args.runs {
-                    let t0 = Instant::now();
-                    let _ = run_algorithm_digest(*alg, workload, &config);
-                    best = best.min(t0.elapsed().as_secs_f64());
-                }
-                digests.push(digest);
-                records.push(json!({
-                    "kernel": alg.abbrev(),
-                    "workload": wname,
-                    "representation": repr.name(),
-                    "direction": dir_name,
-                    "iterations": trace.num_iterations(),
-                    "edge_traversals": traversals,
-                    "wall_ms": best * 1e3,
-                    "edges_per_sec": traversals as f64 / best.max(1e-12),
-                }));
+    for &threads in &args.threads {
+        let pool = match rayon::ThreadPoolBuilder::new().num_threads(threads).build() {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("cannot build {threads}-thread pool: {e}");
+                return std::process::ExitCode::FAILURE;
             }
-            // The whole exercise is void if the representations disagree.
-            assert_eq!(
-                digests[0], digests[1],
-                "{alg} ({dir_name}): plain vs compressed results diverged"
-            );
-        }
+        };
+        pool.install(|| {
+            // The parallelism the pool actually delivers; recorded per row
+            // so a harness pinned to fewer workers is visible in the data.
+            let pool_threads = rayon::current_num_threads();
+            for (alg, wname, plain, compressed) in &cells {
+                for dir in [
+                    DirectionMode::Push,
+                    DirectionMode::Pull,
+                    DirectionMode::Auto,
+                ] {
+                    let dir_name = match dir {
+                        DirectionMode::Push => "push",
+                        DirectionMode::Pull => "pull",
+                        DirectionMode::Auto => "auto",
+                    };
+                    let config = SuiteConfig {
+                        exec: ExecutionConfig::with_max_iterations(args.iters).with_direction(dir),
+                        ..SuiteConfig::default()
+                    };
+                    let mut digests = Vec::new();
+                    for (repr, workload) in [
+                        (Representation::Plain, *plain),
+                        (Representation::Compressed, *compressed),
+                    ] {
+                        // Warm-up run, then best-of-N timed runs.
+                        let (digest, trace) = run_algorithm_digest(*alg, workload, &config)
+                            .unwrap_or_else(|e| panic!("{alg}: {e}"));
+                        let traversals = edge_traversals(&trace);
+                        let mut best = f64::INFINITY;
+                        for _ in 0..args.runs {
+                            let t0 = Instant::now();
+                            let _ = run_algorithm_digest(*alg, workload, &config);
+                            best = best.min(t0.elapsed().as_secs_f64());
+                        }
+                        let cell_key =
+                            format!("{} {} {} {}", alg.abbrev(), wname, repr.name(), dir_name);
+                        match reference_digests.get(&cell_key) {
+                            Some(&expected) => assert_eq!(
+                                expected, digest,
+                                "{cell_key}: digest changed between thread counts"
+                            ),
+                            None => {
+                                reference_digests.insert(cell_key, digest);
+                            }
+                        }
+                        digests.push(digest);
+                        records.push(json!({
+                            "kernel": alg.abbrev(),
+                            "workload": wname,
+                            "representation": repr.name(),
+                            "direction": dir_name,
+                            "threads": threads,
+                            "pool_threads": pool_threads,
+                            "iterations": trace.num_iterations(),
+                            "edge_traversals": traversals,
+                            "wall_ms": best * 1e3,
+                            "edges_per_sec": traversals as f64 / best.max(1e-12),
+                        }));
+                    }
+                    // The whole exercise is void if the representations disagree.
+                    assert_eq!(
+                        digests[0], digests[1],
+                        "{alg} ({dir_name}, {threads}t): plain vs compressed results diverged"
+                    );
+                }
+            }
+        });
     }
 
-    // Derived per-kernel speedups (compressed vs plain at equal direction).
+    // Derived per-kernel speedups (compressed vs plain at equal direction
+    // and thread count; plain/compressed records are pushed adjacently).
     let mut speedups = Vec::new();
     for pair in records.chunks(2) {
         let (p, c) = (&pair[0], &pair[1]);
@@ -189,12 +251,15 @@ fn main() -> std::process::ExitCode {
             "kernel": p["kernel"],
             "workload": p["workload"],
             "direction": p["direction"],
+            "threads": p["threads"],
             "speedup_compressed_vs_plain": if plain_eps > 0.0 { packed_eps / plain_eps } else { 0.0 },
         }));
     }
 
     // Annotate against a previous BENCH_kernels.json, keyed by
-    // kernel × workload × representation × direction.
+    // kernel × workload × representation × direction × threads. Baseline
+    // rows from before the threads sweep carry no `threads` field and are
+    // treated as single-threaded.
     let mut baseline_source = Value::Null;
     if let Some(path) = &args.baseline {
         let text = std::fs::read_to_string(path)
@@ -210,6 +275,7 @@ fn main() -> std::process::ExitCode {
                     ["kernel", "workload", "representation", "direction"]
                         .iter()
                         .all(|k| b[*k] == record[*k])
+                        && b["threads"].as_u64().unwrap_or(1) == record["threads"].as_u64().unwrap()
                 })
                 .and_then(|b| b["edges_per_sec"].as_f64());
             if let Some(eps) = baseline_eps {
@@ -222,14 +288,15 @@ fn main() -> std::process::ExitCode {
     }
 
     let doc = json!({
-        "schema": "graphmine/bench-kernels/v1",
+        "schema": "graphmine/bench-kernels/v2",
         "baseline_source": baseline_source,
         "config": {
             "powerlaw_edges": args.edges,
             "grid_side": args.grid_side,
             "max_iterations": args.iters,
             "timed_runs": args.runs,
-            "threads": std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            "threads_swept": args.threads,
+            "host_parallelism": std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
         },
         "workloads": [pl_record, grid_record],
         "kernels": records,

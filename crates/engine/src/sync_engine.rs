@@ -843,48 +843,64 @@ impl<'g, P: VertexProgram> SyncEngine<'g, P> {
         let gather_dir = program.gather_edges();
         let mut edge_reads: u64 = 0;
         let mut remote_edge_reads: u64 = 0;
+        // Rows prefetched one vertex ahead target the first direction a
+        // gather/scatter visits.
+        let lead_dir = |set: EdgeSet| match set {
+            EdgeSet::In => Direction::In,
+            _ => Direction::Out,
+        };
         if gather_dir != EdgeSet::None {
-            let gather_one =
-                |v: VertexId, local_reads: &mut u64, remote: &mut u64| -> Option<P::Accum> {
-                    let v_state = &states[v as usize];
-                    let mut acc: Option<P::Accum> = None;
-                    let mut visit = |dir: Direction| {
-                        for (e, nbr) in graph.incident(v, dir) {
-                            *local_reads += 1;
-                            if let Some(p) = partition {
-                                if p[v as usize] != p[nbr as usize] {
-                                    *remote += 1;
-                                }
-                            }
-                            let contrib = program.gather(
-                                graph,
-                                v,
-                                e,
-                                nbr,
-                                v_state,
-                                &states[nbr as usize],
-                                &edge_data[e as usize],
-                                global,
-                            );
-                            match &mut acc {
-                                Some(a) => program.merge(a, contrib),
-                                None => acc = Some(contrib),
+            let gather_pf = lead_dir(gather_dir);
+            // Each parallel task owns a reusable row buffer: compressed
+            // rows batch-decode into it (guard-elided, see
+            // `graphmine_graph::varint::decode_row_into`), plain rows
+            // bypass it entirely. Decode order is unchanged, so traces
+            // stay bit-identical to the streaming path.
+            let gather_one = |v: VertexId,
+                              row: &mut Vec<VertexId>,
+                              local_reads: &mut u64,
+                              remote: &mut u64|
+             -> Option<P::Accum> {
+                let v_state = &states[v as usize];
+                let mut acc: Option<P::Accum> = None;
+                let mut visit = |dir: Direction, row: &mut Vec<VertexId>| {
+                    let (eids, nbrs) = graph.incident_row(v, dir, row);
+                    *local_reads += eids.len() as u64;
+                    for (&e, &nbr) in eids.iter().zip(nbrs) {
+                        if let Some(p) = partition {
+                            if p[v as usize] != p[nbr as usize] {
+                                *remote += 1;
                             }
                         }
-                    };
-                    match gather_dir {
-                        EdgeSet::In => visit(Direction::In),
-                        EdgeSet::Out => visit(Direction::Out),
-                        EdgeSet::Both => {
-                            visit(Direction::Out);
-                            if graph.is_directed() {
-                                visit(Direction::In);
-                            }
+                        let contrib = program.gather(
+                            graph,
+                            v,
+                            e,
+                            nbr,
+                            v_state,
+                            &states[nbr as usize],
+                            &edge_data[e as usize],
+                            global,
+                        );
+                        match &mut acc {
+                            Some(a) => program.merge(a, contrib),
+                            None => acc = Some(contrib),
                         }
-                        EdgeSet::None => {}
                     }
-                    acc
                 };
+                match gather_dir {
+                    EdgeSet::In => visit(Direction::In, row),
+                    EdgeSet::Out => visit(Direction::Out, row),
+                    EdgeSet::Both => {
+                        visit(Direction::Out, row);
+                        if graph.is_directed() {
+                            visit(Direction::In, row);
+                        }
+                    }
+                    EdgeSet::None => {}
+                }
+                acc
+            };
             let (total, remote) = if sparse {
                 // Only chunks holding active vertices, and within each only
                 // the listed vertices.
@@ -898,10 +914,14 @@ impl<'g, P: VertexProgram> SyncEngine<'g, P> {
                 let per_item =
                     |(mut chunk, ci, verts): (SlotChunk<'_, P::Accum>, usize, &[VertexId])| {
                         let base = ci * cs;
+                        let mut row: Vec<VertexId> = Vec::new();
                         let mut local: u64 = 0;
                         let mut remote: u64 = 0;
-                        for &v in verts {
-                            let acc = gather_one(v, &mut local, &mut remote);
+                        for (i, &v) in verts.iter().enumerate() {
+                            if let Some(&nv) = verts.get(i + 1) {
+                                graph.prefetch_row(nv, gather_pf);
+                            }
+                            let acc = gather_one(v, &mut row, &mut local, &mut remote);
                             chunk.set_opt(v as usize - base, acc);
                         }
                         (local, remote)
@@ -914,12 +934,14 @@ impl<'g, P: VertexProgram> SyncEngine<'g, P> {
             } else {
                 let per_chunk = |(ci, mut chunk): (usize, SlotChunk<'_, P::Accum>)| -> (u64, u64) {
                     let base = ci * cs;
+                    let mut row: Vec<VertexId> = Vec::new();
                     let mut local: u64 = 0;
                     let mut remote: u64 = 0;
                     for off in 0..chunk.len() {
                         let v = (base + off) as VertexId;
                         if active[v as usize] {
-                            let acc = gather_one(v, &mut local, &mut remote);
+                            graph.prefetch_row(v + 1, gather_pf);
+                            let acc = gather_one(v, &mut row, &mut local, &mut remote);
                             chunk.set_opt(off, acc);
                         }
                     }
@@ -1153,6 +1175,9 @@ impl<'g, P: VertexProgram> SyncEngine<'g, P> {
             type PullResult = (Vec<VertexId>, u64, u64, u64);
             let per_segment = |seg: Vec<(usize, SlotChunk<'_, P::Message>)>| -> PullResult {
                 let mut hits: Vec<VertexId> = Vec::new();
+                // Per-task row buffer for the batch row decode
+                // of compressed in-rows (plain in-rows bypass it).
+                let mut row: Vec<VertexId> = Vec::new();
                 let mut count = 0u64;
                 let mut remote = 0u64;
                 let mut visited = 0u64;
@@ -1160,6 +1185,9 @@ impl<'g, P: VertexProgram> SyncEngine<'g, P> {
                     let base = ci * cs;
                     for off in 0..chunk.len() {
                         let v = (base + off) as VertexId;
+                        // The next destination's in-row payload is fetched
+                        // while this one decodes and combines.
+                        graph.prefetch_row(v + 1, Direction::In);
                         // Gather specialization: one destination's whole
                         // combine chain runs in a register, so the SoA
                         // present/value arrays are read once and written
@@ -1168,8 +1196,9 @@ impl<'g, P: VertexProgram> SyncEngine<'g, P> {
                         // in-row order), so results stay bit-identical.
                         let mut acc: Option<P::Message> = chunk.take(off);
                         let had_prior = acc.is_some();
-                        for (e, u) in graph.incident(v, Direction::In) {
-                            visited += 1;
+                        let (eids, nbrs) = graph.incident_row(v, Direction::In, &mut row);
+                        visited += eids.len() as u64;
+                        for (&e, &u) in eids.iter().zip(nbrs) {
                             if !active[u as usize] {
                                 continue;
                             }
@@ -1222,15 +1251,18 @@ impl<'g, P: VertexProgram> SyncEngine<'g, P> {
             // Push: active vertices emit into per-range outboxes, then the
             // exchange merges them into the inbox.
             let mut outboxes: Vec<RangeOutbox<P::Message>> = Vec::new();
+            let scatter_pf = lead_dir(scatter_dir);
             let scatter_one = |v: VertexId,
+                               row: &mut Vec<VertexId>,
                                out: &mut Vec<(VertexId, P::Message)>,
                                count: &mut u64,
                                remote: &mut u64,
                                visited: &mut u64| {
                 let v_state = &next_states_ref[v as usize];
-                let mut visit = |dir: Direction| {
-                    for (e, nbr) in graph.incident(v, dir) {
-                        *visited += 1;
+                let mut visit = |dir: Direction, row: &mut Vec<VertexId>| {
+                    let (eids, nbrs) = graph.incident_row(v, dir, row);
+                    *visited += eids.len() as u64;
+                    for (&e, &nbr) in eids.iter().zip(nbrs) {
                         if let Some(msg) = program.scatter(
                             graph,
                             v,
@@ -1252,12 +1284,12 @@ impl<'g, P: VertexProgram> SyncEngine<'g, P> {
                     }
                 };
                 match scatter_dir {
-                    EdgeSet::In => visit(Direction::In),
-                    EdgeSet::Out => visit(Direction::Out),
+                    EdgeSet::In => visit(Direction::In, row),
+                    EdgeSet::Out => visit(Direction::Out, row),
                     EdgeSet::Both => {
-                        visit(Direction::Out);
+                        visit(Direction::Out, row);
                         if graph.is_directed() {
-                            visit(Direction::In);
+                            visit(Direction::In, row);
                         }
                     }
                     EdgeSet::None => {}
@@ -1267,11 +1299,16 @@ impl<'g, P: VertexProgram> SyncEngine<'g, P> {
             let collected: Vec<PushResult<P::Message>> = if sparse {
                 let per_item = |&(ci, lo, hi): &(usize, usize, usize)| {
                     let mut out = Vec::new();
+                    let mut row: Vec<VertexId> = Vec::new();
                     let mut count = 0u64;
                     let mut remote = 0u64;
                     let mut visited = 0u64;
-                    for &v in &frontier.list[lo..hi] {
-                        scatter_one(v, &mut out, &mut count, &mut remote, &mut visited);
+                    let verts = &frontier.list[lo..hi];
+                    for (i, &v) in verts.iter().enumerate() {
+                        if let Some(&nv) = verts.get(i + 1) {
+                            graph.prefetch_row(nv, scatter_pf);
+                        }
+                        scatter_one(v, &mut row, &mut out, &mut count, &mut remote, &mut visited);
                     }
                     let _ = ci;
                     (bucket_by_dest_chunk(out, cs), count, remote, visited)
@@ -1284,13 +1321,17 @@ impl<'g, P: VertexProgram> SyncEngine<'g, P> {
             } else {
                 let per_range = |&(start, end): &(usize, usize)| {
                     let mut out = Vec::new();
+                    let mut row: Vec<VertexId> = Vec::new();
                     let mut count = 0u64;
                     let mut remote = 0u64;
                     let mut visited = 0u64;
                     for (i, &is_active) in active[start..end].iter().enumerate() {
                         if is_active {
+                            let v = (start + i) as VertexId;
+                            graph.prefetch_row(v + 1, scatter_pf);
                             scatter_one(
-                                (start + i) as VertexId,
+                                v,
+                                &mut row,
                                 &mut out,
                                 &mut count,
                                 &mut remote,

@@ -195,7 +195,11 @@ impl Adjacency {
         }
     }
 
-    /// Delta-varint encode a plain adjacency (rows must be sorted).
+    /// Delta-varint encode a plain adjacency (rows must be sorted). The
+    /// payload is padded to the word-aligned layout
+    /// ([`varint::padded_payload_len`]) so every row is eligible for the
+    /// guard-elided batch decoder; `byte_offsets[n]` still records the
+    /// logical payload length.
     fn compress(&self, num_vertices: usize) -> Adjacency {
         let NeighborStore::Plain(nb) = &self.neighbors else {
             return self.clone();
@@ -208,6 +212,7 @@ impl Adjacency {
             varint::encode_row(nb[row].iter().copied(), &mut data);
             byte_offsets.push(data.len() as u64);
         }
+        data.resize(varint::padded_payload_len(data.len()), 0);
         Adjacency {
             offsets: self.offsets.clone(),
             neighbors: NeighborStore::Compressed {
@@ -235,14 +240,79 @@ impl Adjacency {
         }
     }
 
-    /// Bytes of the neighbor payload: 4 per slot plain, the varint stream
-    /// length compressed (the row index overhead is reported separately by
-    /// heap accounting).
+    /// Bytes of the neighbor payload: 4 per slot plain, the *logical*
+    /// varint stream length compressed — word-alignment padding is a fixed
+    /// ≤ 15-byte overhead excluded from the compression-ratio metric (the
+    /// row index overhead is likewise reported separately by heap
+    /// accounting).
     fn neighbor_payload_bytes(&self) -> u64 {
         match &self.neighbors {
             NeighborStore::Plain(nb) => (nb.len() * std::mem::size_of::<VertexId>()) as u64,
-            NeighborStore::Compressed { data, .. } => data.len() as u64,
+            NeighborStore::Compressed { byte_offsets, .. } => byte_offsets[byte_offsets.len() - 1],
         }
+    }
+
+    /// Decode row `v` into `scratch` and return it as a slice; plain rows
+    /// come back as the CSR slice itself with `scratch` untouched. The
+    /// returned sequence is identical to [`Adjacency::neighbor_iter`]'s —
+    /// compressed rows go through the guard-elided batch decoder when the
+    /// payload has guard bytes past the row (always true under the padded
+    /// layout; unpadded v1/v2 mapped payloads batch-decode every row except
+    /// the last few bytes' worth, which fall back to the scalar decoder so
+    /// no load can cross the mapping edge).
+    #[inline]
+    fn neighbor_row_into<'a>(
+        &'a self,
+        v: VertexId,
+        scratch: &'a mut Vec<VertexId>,
+    ) -> &'a [VertexId] {
+        let row = self.row(v);
+        match &self.neighbors {
+            NeighborStore::Plain(nb) => &nb[row],
+            NeighborStore::Compressed { byte_offsets, data } => {
+                let v = v as usize;
+                let (start, end) = (byte_offsets[v] as usize, byte_offsets[v + 1] as usize);
+                if end + varint::WORD_GUARD <= data.len() {
+                    varint::decode_row_into(data, start, end, row.len(), scratch);
+                } else {
+                    scratch.clear();
+                    scratch.extend(RowDecoder::new(&data[start..end], row.len()));
+                }
+                scratch
+            }
+        }
+    }
+
+    /// Issue a software prefetch for the first bytes of row `v`'s neighbor
+    /// payload (no-op off x86_64). Hot loops call this one row ahead so the
+    /// payload line is in flight while the current row decodes.
+    #[inline(always)]
+    fn prefetch_row(&self, v: VertexId) {
+        let v = v as usize;
+        let at: *const u8 = match &self.neighbors {
+            NeighborStore::Plain(nb) => {
+                let slot = self.offsets[v] as usize;
+                if slot >= nb.len() {
+                    return;
+                }
+                &nb[slot] as *const VertexId as *const u8
+            }
+            NeighborStore::Compressed { byte_offsets, data } => {
+                let at = byte_offsets[v] as usize;
+                if at >= data.len() {
+                    return;
+                }
+                &data[at]
+            }
+        };
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `at` points into a live slice; prefetch has no
+        // architectural effect beyond the cache.
+        unsafe {
+            core::arch::x86_64::_mm_prefetch(at as *const i8, core::arch::x86_64::_MM_HINT_T0)
+        };
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = at;
     }
 
     /// Build from `(endpoint, neighbor, edge id)` triples.
@@ -283,6 +353,28 @@ impl Adjacency {
     pub(crate) fn is_mapped(&self) -> bool {
         self.offsets.is_mapped() || self.neighbors.is_mapped() || self.edges.is_mapped()
     }
+}
+
+/// Check that a compressed payload's physical length matches its logical
+/// length: exactly `logical` bytes (the unpadded v1/v2 layout) or the
+/// word-aligned padded length with all-zero padding (the v3 layout and the
+/// in-memory builder). Shared by [`Graph::validate`] and
+/// [`Graph::from_parts`].
+fn check_payload_span(logical: usize, data: &[u8]) -> Result<(), String> {
+    if data.len() == logical {
+        return Ok(());
+    }
+    if data.len() != varint::padded_payload_len(logical) {
+        return Err(format!(
+            "byte offsets span 0..{logical} but data holds {} bytes \
+             (neither unpadded nor word-padded)",
+            data.len()
+        ));
+    }
+    if data[logical..].iter().any(|&b| b != 0) {
+        return Err("nonzero bytes in the word-alignment padding".to_string());
+    }
+    Ok(())
 }
 
 /// Immutable graph topology in CSR form.
@@ -421,6 +513,47 @@ impl Graph {
             .iter()
             .copied()
             .zip(adj.neighbor_iter(v))
+    }
+
+    /// Row `v` materialized: the `(edge id, neighbor)` columns of
+    /// [`Graph::incident`] as parallel slices, decoding compressed rows
+    /// into `scratch` with the guard-elided batch decoder. Plain rows
+    /// borrow the CSR arrays directly and leave `scratch` untouched. The
+    /// neighbor sequence is identical to the streaming iterator's, so
+    /// engine traces are unchanged; only bytes-per-decoded-id differs.
+    #[inline]
+    pub fn incident_row<'a>(
+        &'a self,
+        v: VertexId,
+        dir: Direction,
+        scratch: &'a mut Vec<VertexId>,
+    ) -> (&'a [EdgeId], &'a [VertexId]) {
+        let adj = self.adj(dir);
+        (&adj.edges[adj.row(v)], adj.neighbor_row_into(v, scratch))
+    }
+
+    /// Software-prefetch the start of row `v`'s neighbor payload in `dir`
+    /// (no-op off x86_64, and for `v` out of range so loops can blindly
+    /// prefetch `v + 1`). Hot loops issue this one row ahead of the decode.
+    #[inline(always)]
+    pub fn prefetch_row(&self, v: VertexId, dir: Direction) {
+        if (v as usize) < self.num_vertices {
+            self.adj(dir).prefetch_row(v);
+        }
+    }
+
+    /// Whether every compressed row of `dir` is eligible for the batch
+    /// decoder, i.e. the payload carries the word-aligned guard padding.
+    /// `false` for plain graphs and for unpadded (format ≤ v2) mapped
+    /// payloads, where the trailing rows fall back to scalar decode.
+    /// Diagnostic for tests and CI coverage of the batch path.
+    pub fn compressed_batch_capable(&self, dir: Direction) -> bool {
+        match &self.adj(dir).neighbors {
+            NeighborStore::Plain(_) => false,
+            NeighborStore::Compressed { byte_offsets, data } => {
+                byte_offsets[byte_offsets.len() - 1] as usize + varint::WORD_GUARD <= data.len()
+            }
+        }
     }
 
     /// Iterate over all vertex ids.
@@ -611,9 +744,11 @@ impl Graph {
                             byte_offsets.len()
                         ));
                     }
-                    if byte_offsets[0] != 0 || byte_offsets[n] as usize != data.len() {
-                        return Err(format!("{name}: byte offsets do not span the data"));
+                    if byte_offsets[0] != 0 {
+                        return Err(format!("{name}: byte offsets do not start at 0"));
                     }
+                    check_payload_span(byte_offsets[n] as usize, data)
+                        .map_err(|e| format!("{name}: {e}"))?;
                     if byte_offsets.windows(2).any(|w| w[0] > w[1]) {
                         return Err(format!("{name}: byte offsets not monotone"));
                     }
@@ -703,14 +838,11 @@ impl Graph {
                             n + 1
                         ));
                     }
-                    if byte_offsets[0] != 0 || byte_offsets[n] as usize != data.len() {
-                        return Err(format!(
-                            "{name}: byte offsets span {}..{} but data holds {} bytes",
-                            byte_offsets[0],
-                            byte_offsets[n],
-                            data.len()
-                        ));
+                    if byte_offsets[0] != 0 {
+                        return Err(format!("{name}: byte offsets do not start at 0"));
                     }
+                    check_payload_span(byte_offsets[n] as usize, data)
+                        .map_err(|e| format!("{name}: {e}"))?;
                 }
             }
             Ok(())
@@ -1130,11 +1262,102 @@ mod tests {
         };
         let g = Graph::from_parts(parts(bad, byte_offsets.to_vec())).unwrap();
         assert!(g.validate().unwrap_err().contains("row 0"));
-        // Structurally broken byte offsets are caught already by from_parts.
+        // An off-by-one final byte offset is caught structurally (when the
+        // padded length no longer matches) or by the deep row decode (when
+        // the stolen byte is padding) — either way it never validates.
         let mut bad_offsets = byte_offsets.to_vec();
         let last = bad_offsets.len() - 1;
         bad_offsets[last] += 1;
-        assert!(Graph::from_parts(parts(data.to_vec(), bad_offsets)).is_err());
+        let caught = match Graph::from_parts(parts(data.to_vec(), bad_offsets)) {
+            Err(_) => true,
+            Ok(g) => g.validate().is_err(),
+        };
+        assert!(caught);
+        // Nonzero guard padding is corruption, not decodable payload.
+        let mut dirty = data.to_vec();
+        let len = dirty.len();
+        dirty[len - 1] = 0x01;
+        assert!(Graph::from_parts(parts(dirty, byte_offsets.to_vec()))
+            .unwrap_err()
+            .contains("padding"));
+    }
+
+    #[test]
+    fn compressed_builds_are_padded_and_batch_capable() {
+        let c = pl_like()
+            .to_representation(Representation::Compressed)
+            .unwrap();
+        for dir in [Direction::Out, Direction::In] {
+            assert!(c.compressed_batch_capable(dir));
+            let (_, byte_offsets, data, _) = c.compressed_slices(dir).unwrap();
+            let logical = byte_offsets[byte_offsets.len() - 1] as usize;
+            assert_eq!(data.len(), varint::padded_payload_len(logical));
+            assert!(data[logical..].iter().all(|&b| b == 0));
+            // The ratio metric reports logical bytes, not padded bytes.
+            assert_eq!(c.neighbor_payload_bytes(dir), logical as u64);
+        }
+        assert!(!pl_like().compressed_batch_capable(Direction::Out));
+    }
+
+    #[test]
+    fn incident_row_matches_incident_on_both_representations() {
+        let g = pl_like();
+        let c = g.to_representation(Representation::Compressed).unwrap();
+        let mut scratch = Vec::new();
+        for graph in [&g, &c] {
+            for dir in [Direction::Out, Direction::In] {
+                for v in graph.vertices() {
+                    graph.prefetch_row(v + 1, dir); // includes one-past-end
+                    let streamed: Vec<_> = graph.incident(v, dir).collect();
+                    let (eids, nbrs) = graph.incident_row(v, dir, &mut scratch);
+                    let rowed: Vec<_> = eids.iter().copied().zip(nbrs.iter().copied()).collect();
+                    assert_eq!(streamed, rowed, "row {v} {dir:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unpadded_compressed_parts_still_decode_via_scalar_fallback() {
+        // A v1/v2-style payload with no guard bytes: from_parts accepts it,
+        // batch capability reports false, and incident_row falls back to
+        // the scalar decoder for the trailing rows — same sequences.
+        let c = pl_like()
+            .to_representation(Representation::Compressed)
+            .unwrap();
+        let (offsets, byte_offsets, data, edges) = c.compressed_slices(Direction::Out).unwrap();
+        let logical = byte_offsets[byte_offsets.len() - 1] as usize;
+        let (in_offsets, in_boffs, in_data, in_edges) = c.compressed_slices(Direction::In).unwrap();
+        let in_logical = in_boffs[in_boffs.len() - 1] as usize;
+        let g = Graph::from_parts(GraphParts {
+            directed: true,
+            num_vertices: c.num_vertices(),
+            edge_list: SharedSlice::from_vec(c.edge_list().to_vec()),
+            out_offsets: SharedSlice::from_vec(offsets.to_vec()),
+            out_neighbors: NeighborsPart::Compressed {
+                byte_offsets: SharedSlice::from_vec(byte_offsets.to_vec()),
+                data: SharedSlice::from_vec(data[..logical].to_vec()),
+            },
+            out_edges: SharedSlice::from_vec(edges.to_vec()),
+            in_offsets: Some(SharedSlice::from_vec(in_offsets.to_vec())),
+            in_neighbors: Some(NeighborsPart::Compressed {
+                byte_offsets: SharedSlice::from_vec(in_boffs.to_vec()),
+                data: SharedSlice::from_vec(in_data[..in_logical].to_vec()),
+            }),
+            in_edges: Some(SharedSlice::from_vec(in_edges.to_vec())),
+            sorted_rows: true,
+        })
+        .unwrap();
+        assert!(g.validate().is_ok());
+        assert!(!g.compressed_batch_capable(Direction::Out));
+        let mut scratch = Vec::new();
+        for dir in [Direction::Out, Direction::In] {
+            for v in g.vertices() {
+                let want: Vec<_> = c.neighbors(v, dir).collect();
+                let (_, nbrs) = g.incident_row(v, dir, &mut scratch);
+                assert_eq!(nbrs, &want[..], "row {v} {dir:?}");
+            }
+        }
     }
 
     #[test]

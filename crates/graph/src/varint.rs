@@ -7,14 +7,124 @@
 //! most fit one byte — so LEB128 (7 data bits per byte, high bit =
 //! continuation) typically shrinks the 4-byte neighbor slots by 2–4×.
 //!
-//! The decoder is a streaming iterator: a row is never materialized, each
-//! `next()` reads one varint and adds it to the running value. The length
-//! comes from the slot-offset array (degrees are not stored in the byte
-//! stream), so [`RowDecoder`] is an [`ExactSizeIterator`] like the plain
-//! slice path.
+//! Two decoders share the format. [`RowDecoder`] is a streaming iterator:
+//! a row is never materialized, each `next()` reads one varint and adds it
+//! to the running value; the length comes from the slot-offset array
+//! (degrees are not stored in the byte stream), so it is an
+//! [`ExactSizeIterator`] like the plain slice path. [`decode_row_into`] is
+//! the engine's hot path: it materializes a whole row into a reusable
+//! scratch `Vec` and uses the guard-padding contract ([`WORD_GUARD`],
+//! [`padded_payload_len`]) to run with no per-byte bounds checks.
 
 /// Maximum encoded size of one `u32` varint (⌈32/7⌉ bytes).
 pub const MAX_VARINT_LEN: usize = 5;
+
+/// Guard bytes required past a row's logical end before
+/// [`decode_row_into`] may batch-decode it: the unchecked decode loop may
+/// read up to [`MAX_VARINT_LEN`] bytes from any in-row position without
+/// re-checking bounds, so the final varint's speculative reads can reach
+/// past the payload. One full word of zero padding covers that and keeps
+/// sections word-aligned.
+pub const WORD_GUARD: usize = 8;
+
+/// Padded length of a varint payload section under the word-aligned
+/// layout (store format v3 and the in-memory compressed builder): the
+/// logical length plus at least [`WORD_GUARD`] zero bytes, rounded up to a
+/// word multiple. Padding bytes are always zero.
+#[inline]
+pub fn padded_payload_len(logical: usize) -> usize {
+    (logical + WORD_GUARD).div_ceil(WORD_GUARD) * WORD_GUARD
+}
+
+/// Batch-decode one delta-varint row into `out`, replacing its contents
+/// with the `len` absolute neighbor ids of the row at
+/// `data[start..end]`.
+///
+/// The caller must guarantee [`WORD_GUARD`] readable bytes past `end`
+/// (asserted). That guard is what makes this the hot path: the decode
+/// loop reads up to [`MAX_VARINT_LEN`] bytes per gap with no slice bounds
+/// checks, and each byte's address depends only on the branch-predicted
+/// lengths of earlier gaps, so the loads never serialize. On every
+/// encoder-produced payload the output is identical to draining
+/// [`RowDecoder`]; on corrupt input it stays deterministic and in bounds
+/// (truncated rows saturate with the running value, overlong varints are
+/// masked to the bits that fit a `u32`) but may differ from the checked
+/// decoders, which is fine — corruption is [`decode_row_checked`]'s job.
+#[inline]
+pub fn decode_row_into(data: &[u8], start: usize, end: usize, len: usize, out: &mut Vec<u32>) {
+    assert!(
+        end + WORD_GUARD <= data.len() && start <= end,
+        "decode_row_into requires {WORD_GUARD} guard bytes past the row"
+    );
+    out.clear();
+    if len == 0 {
+        return;
+    }
+    out.reserve(len);
+    let dst = out.as_mut_ptr();
+    let base = data.as_ptr();
+    let mut produced = 0usize;
+    let mut pos = start;
+    let mut value: u32 = 0;
+    while produced < len {
+        if pos >= end {
+            // Truncated row: saturate remaining slots with the last prefix
+            // sum, matching `RowDecoder`'s zero-gap semantics.
+            for i in produced..len {
+                // SAFETY: i < len <= reserved capacity.
+                unsafe { dst.add(i).write(value) };
+            }
+            produced = len;
+            break;
+        }
+        // SAFETY: pos < end and end + WORD_GUARD <= data.len() (entry
+        // assert), so pos + MAX_VARINT_LEN stays in bounds — the guard
+        // lets the decode run with no per-byte bounds checks. A varint
+        // that overruns `end` (corrupt input only; a valid row's varints
+        // all terminate before `end`) reads guard bytes, which the v3
+        // layout zero-fills, so the result stays deterministic.
+        let gap = unsafe {
+            let b0 = *base.add(pos) as u32;
+            if b0 < 0x80 {
+                pos += 1;
+                b0
+            } else {
+                let b1 = *base.add(pos + 1) as u32;
+                if b1 < 0x80 {
+                    pos += 2;
+                    (b0 & 0x7F) | (b1 << 7)
+                } else {
+                    let b2 = *base.add(pos + 2) as u32;
+                    if b2 < 0x80 {
+                        pos += 3;
+                        (b0 & 0x7F) | ((b1 & 0x7F) << 7) | (b2 << 14)
+                    } else {
+                        let b3 = *base.add(pos + 3) as u32;
+                        if b3 < 0x80 {
+                            pos += 4;
+                            (b0 & 0x7F) | ((b1 & 0x7F) << 7) | ((b2 & 0x7F) << 14) | (b3 << 21)
+                        } else {
+                            let b4 = *base.add(pos + 4) as u32;
+                            pos += 5;
+                            (b0 & 0x7F)
+                                | ((b1 & 0x7F) << 7)
+                                | ((b2 & 0x7F) << 14)
+                                | ((b3 & 0x7F) << 21)
+                                | ((b4 & 0x0F) << 28)
+                        }
+                    }
+                }
+            }
+        };
+        value = value.wrapping_add(gap);
+        // SAFETY: produced < len <= reserved capacity.
+        unsafe { dst.add(produced).write(value) };
+        produced += 1;
+    }
+    debug_assert_eq!(produced, len);
+    // SAFETY: exactly `len` elements were written at 0..len above.
+    unsafe { out.set_len(len) };
+}
 
 /// Append the LEB128 encoding of `x` to `out`.
 #[inline]
@@ -259,6 +369,94 @@ mod tests {
         // Six continuation bytes can never be a valid u32 varint.
         let bytes = [0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01];
         assert!(decode_row_checked(&bytes, 1, usize::MAX, true).is_err());
+    }
+
+    /// Encode `row`, pad with guard bytes, batch-decode.
+    fn batch_round_trip(row: &[u32]) -> Vec<u32> {
+        let mut buf = Vec::new();
+        encode_row(row.iter().copied(), &mut buf);
+        let end = buf.len();
+        buf.resize(padded_payload_len(end), 0);
+        let mut out = Vec::new();
+        decode_row_into(&buf, 0, end, row.len(), &mut out);
+        out
+    }
+
+    #[test]
+    fn batch_decode_matches_scalar_on_representative_rows() {
+        let rows: Vec<Vec<u32>> = vec![
+            vec![],
+            vec![0],
+            vec![u32::MAX],
+            vec![0, u32::MAX],
+            (100..200).collect(),                     // pure 1-byte gaps
+            (0..64).map(|i| i * 200).collect(),       // pure 2-byte gaps
+            (0..16).map(|i| i * 300_000).collect(),   // 3-byte gaps
+            (0..9).map(|i| i * 40_000_000).collect(), // 4-byte gaps
+            vec![5, 6, 7, 1_000_000, 1_000_001, 4_000_000_000], // mixed widths
+            (0..7).collect(),                         // shorter than a word
+            (0..8).collect(),                         // exactly one word batch
+            (0..11).collect(),                        // word batch + tail
+        ];
+        for row in rows {
+            assert_eq!(batch_round_trip(&row), row, "row {row:?}");
+        }
+    }
+
+    #[test]
+    fn batch_decode_handles_rows_ending_at_word_boundaries() {
+        // Rows whose encoded length is an exact word multiple, so the last
+        // load's tail is entirely guard bytes.
+        for len in [8usize, 16, 24, 64] {
+            let row: Vec<u32> = (7..7 + len as u32).collect(); // 1 byte per id
+            let mut buf = Vec::new();
+            encode_row(row.iter().copied(), &mut buf);
+            assert_eq!(buf.len(), len);
+            assert_eq!(batch_round_trip(&row), row);
+        }
+    }
+
+    #[test]
+    fn batch_decode_works_mid_payload() {
+        // Two concatenated rows: decoding the second uses nonzero start.
+        let (a, b): (Vec<u32>, Vec<u32>) = ((0..10).collect(), (5..25).map(|i| i * 3).collect());
+        let mut buf = Vec::new();
+        encode_row(a.iter().copied(), &mut buf);
+        let split = buf.len();
+        encode_row(b.iter().copied(), &mut buf);
+        let end = buf.len();
+        buf.resize(padded_payload_len(end), 0);
+        let mut out = Vec::new();
+        decode_row_into(&buf, split, end, b.len(), &mut out);
+        assert_eq!(out, b);
+        decode_row_into(&buf, 0, split, a.len(), &mut out);
+        assert_eq!(out, a);
+    }
+
+    #[test]
+    fn batch_decode_saturates_on_truncated_rows_without_overrun() {
+        // A row claiming 5 ids but holding only 2: the batch decoder must
+        // stay in bounds and fill deterministically, like RowDecoder.
+        let mut buf = Vec::new();
+        encode_row([3u32, 9].into_iter(), &mut buf);
+        let end = buf.len();
+        buf.resize(padded_payload_len(end), 0);
+        let mut out = Vec::new();
+        decode_row_into(&buf, 0, end, 5, &mut out);
+        assert_eq!(out.len(), 5);
+        assert_eq!(&out[..2], &[3, 9]);
+    }
+
+    #[test]
+    fn padded_payload_len_always_leaves_a_full_guard() {
+        for logical in 0..100usize {
+            let padded = padded_payload_len(logical);
+            assert!(padded >= logical + WORD_GUARD);
+            assert_eq!(padded % WORD_GUARD, 0);
+        }
+        assert_eq!(padded_payload_len(0), 8);
+        assert_eq!(padded_payload_len(8), 16);
+        assert_eq!(padded_payload_len(9), 24);
     }
 
     #[test]

@@ -148,6 +148,53 @@ proptest! {
         prop_assert_eq!(pos, bytes.len());
     }
 
+    /// Differential fuzz of the batch row decoder: on arbitrary
+    /// sorted rows (including empty, single-neighbor, and u32::MAX-gap
+    /// rows) the batch decode of a guard-padded payload must agree element
+    /// for element with the streaming `RowDecoder`, with the original row,
+    /// and with what `decode_row_checked` accepts.
+    #[test]
+    fn batch_decoder_matches_streaming_and_checked(row in arb_sorted_row(300)) {
+        let mut bytes = Vec::new();
+        varint::encode_row(row.iter().copied(), &mut bytes);
+        let logical = bytes.len();
+        bytes.resize(varint::padded_payload_len(logical), 0);
+        let mut batch = Vec::new();
+        varint::decode_row_into(&bytes, 0, logical, row.len(), &mut batch);
+        let streaming: Vec<u32> = varint::RowDecoder::new(&bytes[..logical], row.len()).collect();
+        prop_assert_eq!(&batch, &streaming);
+        prop_assert_eq!(&batch, &row);
+        let max = row.last().map(|&v| v as usize + 1).unwrap_or(0).max(1);
+        prop_assert!(varint::decode_row_checked(&bytes[..logical], row.len(), max, true).is_ok());
+    }
+
+    /// Multi-row sections: rows packed back to back under a single trailing
+    /// guard pad must batch-decode identically at every row boundary — the
+    /// word loads of one row may overlap the next row's bytes, but never
+    /// its decoded values.
+    #[test]
+    fn batch_decoder_matches_streaming_across_packed_sections(
+        rows in proptest::collection::vec(arb_sorted_row(48), 0..10)
+    ) {
+        let mut data = Vec::new();
+        let mut byte_offsets = vec![0u64];
+        for row in &rows {
+            varint::encode_row(row.iter().copied(), &mut data);
+            byte_offsets.push(data.len() as u64);
+        }
+        let logical = data.len();
+        data.resize(varint::padded_payload_len(logical), 0);
+        let mut scratch = Vec::new();
+        for (i, row) in rows.iter().enumerate() {
+            let (start, end) = (byte_offsets[i] as usize, byte_offsets[i + 1] as usize);
+            varint::decode_row_into(&data, start, end, row.len(), &mut scratch);
+            prop_assert_eq!(&scratch, row);
+            let streaming: Vec<u32> =
+                varint::RowDecoder::new(&data[start..end], row.len()).collect();
+            prop_assert_eq!(&scratch, &streaming);
+        }
+    }
+
     /// A graph converted to compressed representation exposes exactly the
     /// same adjacency as its plain twin, row by row, in order.
     #[test]
@@ -185,10 +232,11 @@ proptest! {
 }
 
 /// Edge cases the strategies may not hit every run: empty rows, a single
-/// neighbor, a max-degree row, and u32::MAX-sized deltas.
+/// neighbor, a max-degree row, u32::MAX-sized deltas, and rows whose
+/// encodings end exactly on a word boundary. Both decoders must agree.
 #[test]
 fn varint_edge_case_rows_round_trip() {
-    let cases: Vec<Vec<u32>> = vec![
+    let mut cases: Vec<Vec<u32>> = vec![
         vec![],
         vec![0],
         vec![u32::MAX],
@@ -208,10 +256,20 @@ fn varint_edge_case_rows_round_trip() {
             u32::MAX,
         ],
     ];
+    // Rows of 1-byte gaps sized to land exactly on word boundaries — the
+    // shapes the 8-wide and 4-wide batch lanes consume whole.
+    for len in [4u32, 8, 12, 16, 64] {
+        cases.push((0..len).collect());
+    }
     for row in cases {
         let mut bytes = Vec::new();
         varint::encode_row(row.iter().copied(), &mut bytes);
         let decoded: Vec<u32> = varint::RowDecoder::new(&bytes, row.len()).collect();
         assert_eq!(decoded, row, "row of len {}", row.len());
+        let logical = bytes.len();
+        bytes.resize(varint::padded_payload_len(logical), 0);
+        let mut batch = Vec::new();
+        varint::decode_row_into(&bytes, 0, logical, row.len(), &mut batch);
+        assert_eq!(batch, row, "batch decode of row of len {}", row.len());
     }
 }

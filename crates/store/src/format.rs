@@ -41,6 +41,16 @@ pub const FORMAT_VERSION: u16 = 1;
 /// open them unchanged; they fail closed on version-2 files with
 /// [`StoreError::UnsupportedVersion`].
 pub const FORMAT_VERSION_COMPRESSED: u16 = 2;
+/// Format version for compressed packs whose `*_nbr_data` sections carry
+/// the word-aligned guard padding
+/// ([`graphmine_graph::varint::padded_payload_len`]): at least 8 zero
+/// bytes past the logical payload, so the guard-elided batch decoder can
+/// load a full `u64` from any in-row position of a mapped section without
+/// crossing the mapping edge. `*_nbr_offsets[n]` still records the logical
+/// length. v1/v2 files stay readable (unpadded tails fall back to scalar
+/// decode); readers that predate padding fail closed on version-3 files
+/// with [`StoreError::UnsupportedVersion`].
+pub const FORMAT_VERSION_PADDED: u16 = 3;
 /// Endianness tag as written by a same-endian writer.
 pub const ENDIAN_TAG: u16 = 0xFEFF;
 /// Alignment of every data section, chosen to match cache lines; 8-byte
@@ -178,7 +188,7 @@ impl Header {
             )));
         }
         let version = u16_at(8);
-        if version != FORMAT_VERSION && version != FORMAT_VERSION_COMPRESSED {
+        if !(FORMAT_VERSION..=FORMAT_VERSION_PADDED).contains(&version) {
             return Err(StoreError::UnsupportedVersion(version));
         }
         let stored = u64_at(56);
@@ -481,22 +491,26 @@ mod tests {
 
     #[test]
     fn header_rejects_version_and_endianness() {
-        let mut v3 = header().encode();
-        v3[8..10].copy_from_slice(&3u16.to_ne_bytes());
+        // Version 4 is from the future: a stale reader (like this one, for
+        // a hypothetical v4) must fail closed with the typed error.
+        let mut v4 = header().encode();
+        v4[8..10].copy_from_slice(&4u16.to_ne_bytes());
         // Re-stamp the checksum so the version check is what fires.
-        let sum = xxh64(&v3[0..56], 0);
-        v3[56..64].copy_from_slice(&sum.to_ne_bytes());
+        let sum = xxh64(&v4[0..56], 0);
+        v4[56..64].copy_from_slice(&sum.to_ne_bytes());
         assert!(matches!(
-            Header::decode(&v3),
-            Err(StoreError::UnsupportedVersion(3))
+            Header::decode(&v4),
+            Err(StoreError::UnsupportedVersion(4))
         ));
 
-        // Version 2 (compressed adjacency) is within the supported range.
-        let mut v2 = header().encode();
-        v2[8..10].copy_from_slice(&FORMAT_VERSION_COMPRESSED.to_ne_bytes());
-        let sum = xxh64(&v2[0..56], 0);
-        v2[56..64].copy_from_slice(&sum.to_ne_bytes());
-        assert_eq!(Header::decode(&v2).unwrap().version, 2);
+        // Versions 2 (compressed) and 3 (padded compressed) are supported.
+        for version in [FORMAT_VERSION_COMPRESSED, FORMAT_VERSION_PADDED] {
+            let mut v = header().encode();
+            v[8..10].copy_from_slice(&version.to_ne_bytes());
+            let sum = xxh64(&v[0..56], 0);
+            v[56..64].copy_from_slice(&sum.to_ne_bytes());
+            assert_eq!(Header::decode(&v).unwrap().version, version);
+        }
 
         // The compressed flag on a version-1 header is a fail-closed error:
         // a pre-compression writer can never have produced it.

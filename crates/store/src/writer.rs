@@ -9,7 +9,7 @@
 
 use crate::format::{
     align_up, pair_bytes, u32_bytes, u64_bytes, ElemType, Header, SectionEntry, StoreMeta,
-    FLAG_COMPRESSED, FLAG_DIRECTED, FLAG_SORTED_ROWS, FORMAT_VERSION, FORMAT_VERSION_COMPRESSED,
+    FLAG_COMPRESSED, FLAG_DIRECTED, FLAG_SORTED_ROWS, FORMAT_VERSION, FORMAT_VERSION_PADDED,
     HEADER_LEN, SEC_EDGE_LIST, SEC_IN_EDGES, SEC_IN_NBR_DATA, SEC_IN_NBR_OFFSETS, SEC_IN_NEIGHBORS,
     SEC_IN_OFFSETS, SEC_META, SEC_OUT_EDGES, SEC_OUT_NBR_DATA, SEC_OUT_NBR_OFFSETS,
     SEC_OUT_NEIGHBORS, SEC_OUT_OFFSETS, TOC_ENTRY_LEN,
@@ -85,11 +85,12 @@ pub fn write_store_with(
     if sorted_rows {
         flags |= FLAG_SORTED_ROWS;
     }
-    // Compressed payloads bump the format version; plain files stay at
-    // version 1 so pre-compression readers keep opening them.
+    // Compressed payloads bump the format version (v3: word-padded varint
+    // sections); plain files stay at version 1 so pre-compression readers
+    // keep opening them.
     let version = if compressed {
         flags |= FLAG_COMPRESSED;
-        FORMAT_VERSION_COMPRESSED
+        FORMAT_VERSION_PADDED
     } else {
         FORMAT_VERSION
     };
@@ -260,10 +261,22 @@ pub fn write_graph_store_with<'a>(
                 elem: ElemType::U64,
                 bytes: Cow::Borrowed(u64_bytes(byte_offsets)),
             });
+            // v3 files pad each varint payload to a word multiple with at
+            // least one full guard word of zeroes so readers can batch-decode
+            // every row. Graphs built in memory are already padded; graphs
+            // adopted zero-copy from an unpadded v2 file are padded here.
+            let logical = byte_offsets.last().copied().unwrap_or(0) as usize;
+            let padded = graphmine_graph::varint::padded_payload_len(logical);
             sections.push(SectionData {
                 name: data_name.to_string(),
                 elem: ElemType::Bytes,
-                bytes: Cow::Borrowed(data),
+                bytes: if data.len() >= padded {
+                    Cow::Borrowed(data)
+                } else {
+                    let mut owned = data.to_vec();
+                    owned.resize(padded, 0);
+                    Cow::Owned(owned)
+                },
             });
             sections.push(SectionData {
                 name: edge_name.to_string(),
