@@ -1,0 +1,124 @@
+//! Sharded execution must be a pure regrouping of work: for every
+//! algorithm of the 14-suite, every direction mode, and every shard
+//! count, the per-vertex state digest and the (wall-clock-stripped)
+//! behavior counters must be *bit-identical* to the unsharded run.
+//!
+//! This is the contract that lets the service enable shard-per-core
+//! execution for multi-tenant isolation without perturbing the measured
+//! behavior the paper's figures are built on — sharding may only change
+//! where work happens, never what it computes.
+
+use graphmine_algos::{run_algorithm_digest, AlgorithmKind, Domain, SuiteConfig, Workload};
+use graphmine_engine::{DirectionMode, ExecutionConfig};
+use graphmine_graph::Representation;
+use graphmine_shard::ShardPlan;
+
+const DIRECTIONS: [DirectionMode; 3] = [
+    DirectionMode::Push,
+    DirectionMode::Pull,
+    DirectionMode::Auto,
+];
+
+fn config_with(dir: DirectionMode, shards: usize) -> SuiteConfig {
+    SuiteConfig {
+        exec: ExecutionConfig::with_max_iterations(40)
+            .with_direction(dir)
+            .with_shards(shards),
+        ..SuiteConfig::default()
+    }
+}
+
+/// The suite's workload for one algorithm, shared across the module.
+fn workload_for(alg: AlgorithmKind) -> Workload {
+    match alg.domain() {
+        Domain::GraphAnalytics | Domain::Clustering => Workload::powerlaw(20_000, 2.5, 11),
+        Domain::CollaborativeFiltering => Workload::ratings(8_000, 2.5, 12),
+        Domain::LinearSolver => Workload::matrix(300, 13),
+        Domain::GraphicalModel => {
+            if alg == AlgorithmKind::Lbp {
+                Workload::grid(12, 14)
+            } else {
+                Workload::mrf(1_000, 15)
+            }
+        }
+    }
+}
+
+#[test]
+fn sharded_runs_are_bit_identical_across_the_suite() {
+    let mut checked = 0usize;
+    for alg in AlgorithmKind::ALL {
+        let workload = workload_for(alg);
+        for dir in DIRECTIONS {
+            let (d0, t0) = run_algorithm_digest(alg, &workload, &config_with(dir, 0))
+                .unwrap_or_else(|e| panic!("{alg}: {e}"));
+            for shards in [1usize, 2, 8] {
+                let (d, t) = run_algorithm_digest(alg, &workload, &config_with(dir, shards))
+                    .unwrap_or_else(|e| panic!("{alg}: {e}"));
+                assert_eq!(d0, d, "{alg} ({dir:?}) shards={shards}: digest diverged");
+                assert_eq!(
+                    t0.without_wall_clock(),
+                    t.without_wall_clock(),
+                    "{alg} ({dir:?}) shards={shards}: counters diverged"
+                );
+                checked += 1;
+            }
+        }
+    }
+    // 14 algorithms x 3 directions x 3 shard counts.
+    assert_eq!(checked, 126);
+}
+
+#[test]
+fn sharded_runs_are_bit_identical_on_compressed_representation() {
+    let compressed = Workload::powerlaw(20_000, 2.5, 11)
+        .with_representation(Representation::Compressed)
+        .expect("power-law has sorted rows");
+    for alg in [AlgorithmKind::Pr, AlgorithmKind::Sssp, AlgorithmKind::Cc] {
+        for dir in DIRECTIONS {
+            let (d0, _) = run_algorithm_digest(alg, &compressed, &config_with(dir, 0))
+                .unwrap_or_else(|e| panic!("{alg}: {e}"));
+            for shards in [2usize, 8] {
+                let (d, _) = run_algorithm_digest(alg, &compressed, &config_with(dir, shards))
+                    .unwrap_or_else(|e| panic!("{alg}: {e}"));
+                assert_eq!(
+                    d0, d,
+                    "{alg} ({dir:?}) compressed shards={shards}: digest diverged"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn shard_plan_accounting_counts_traffic_without_changing_results() {
+    let workload = Workload::powerlaw(20_000, 2.5, 11);
+    let base = || ExecutionConfig::with_max_iterations(40).with_direction(DirectionMode::Push);
+    let plain = SuiteConfig {
+        exec: base(),
+        ..SuiteConfig::default()
+    };
+    let (d0, _) = run_algorithm_digest(AlgorithmKind::Pr, &workload, &plain).unwrap();
+    // The plan must cover the graph's real vertex space (`powerlaw`
+    // takes an *edge* count) or every vertex lands in shard 0.
+    let plan = ShardPlan::contiguous(workload.graph().num_vertices(), 4);
+    // The plan's config is exactly the engine's shard grouping…
+    let planned = SuiteConfig {
+        exec: plan.config(base()),
+        ..SuiteConfig::default()
+    };
+    let (d1, _) = run_algorithm_digest(AlgorithmKind::Pr, &workload, &planned).unwrap();
+    assert_eq!(d0, d1, "plan.config diverged from unsharded digest");
+    // …and turning on cross-shard traffic accounting changes only the
+    // remote-traffic counters, never the computed states.
+    let accounted = SuiteConfig {
+        exec: plan.config_with_accounting(base()),
+        ..SuiteConfig::default()
+    };
+    let (d2, trace) = run_algorithm_digest(AlgorithmKind::Pr, &workload, &accounted).unwrap();
+    assert_eq!(d0, d2, "accounting perturbed the digest");
+    assert!(
+        trace.remote_msg() > 0.0,
+        "4-shard PageRank should cross shard boundaries"
+    );
+}

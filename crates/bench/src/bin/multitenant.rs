@@ -1,0 +1,480 @@
+//! `multitenant` — the multi-tenant isolation benchmark behind
+//! `BENCH_multitenant.json`: N deterministically derived tenants share one
+//! DRR-scheduled worker pool running real engine jobs, tenant 0 floods
+//! small jobs far past its admission quota, and the artifact records
+//! whether the victims noticed.
+//!
+//! The service demonstrates isolation over HTTP (see the loadgen
+//! `--tenants` flags and the CI shard smoke); this binary is the
+//! *in-process* version of the same story so the committed artifact is
+//! reproducible without sockets: the exact [`DrrQueue`] +
+//! [`TenantRegistry`] pair the server schedules with, fed by open-loop
+//! submitters whose latency clock starts at the *intended* send time
+//! (coordinated-omission-corrected, like the load generator).
+//!
+//! Three phases:
+//!
+//! 1. **Calibrate** — time one victim job and one noisy job (best of
+//!    three) on an idle single-thread engine; the offered rates are
+//!    derived from these so the scenario lands at the same operating
+//!    point on any host: victims together offer `victim_util` of one
+//!    worker's capacity, the noisy tenant offers `noisy_util` times the
+//!    capacity left over — an overload by construction.
+//! 2. **Baseline** — victims only, each submitting evenly staggered
+//!    jobs. Their pooled p99 is the isolated reference.
+//! 3. **Mixed** — same victim schedule plus the noisy flood. The lane
+//!    quota sheds most of the flood at admission; DRR serves what is
+//!    admitted without letting it push a victim's next job more than one
+//!    rotation away.
+//!
+//! Isolation holds when the victims' pooled p99 in the mixed phase is
+//! within `--tolerance` (default 10%) of baseline while the noisy lane
+//! visibly sheds. `--strict` turns those two checks into the exit code.
+//!
+//! Usage: `multitenant [--out PATH] [--tenants N] [--workers N]
+//! [--quota N] [--duration-ms N] [--victim-util F] [--noisy-util F]
+//! [--victim-edges N] [--noisy-edges N] [--victim-iters N]
+//! [--noisy-iters N] [--tolerance F] [--strict]` (defaults:
+//! BENCH_multitenant.json, 8, host parallelism, 4, 15000, 0.4, 1.5,
+//! 200000, 5000, 10, 5, 0.10).
+
+use graphmine_algos::{run_algorithm_digest, AlgorithmKind, SuiteConfig, Workload};
+use graphmine_engine::ExecutionConfig;
+use graphmine_shard::{DrrQueue, TenantRegistry};
+use serde_json::{json, Value};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+struct Args {
+    out: std::path::PathBuf,
+    tenants: usize,
+    workers: usize,
+    quota: usize,
+    duration_ms: u64,
+    victim_util: f64,
+    noisy_util: f64,
+    victim_edges: usize,
+    noisy_edges: usize,
+    victim_iters: usize,
+    noisy_iters: usize,
+    tolerance: f64,
+    strict: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut out = Args {
+        out: std::path::PathBuf::from("BENCH_multitenant.json"),
+        tenants: 8,
+        workers: 0, // 0 = host parallelism
+        quota: 4,
+        duration_ms: 15_000,
+        victim_util: 0.4,
+        noisy_util: 1.5,
+        victim_edges: 200_000,
+        noisy_edges: 5_000,
+        victim_iters: 10,
+        noisy_iters: 5,
+        tolerance: 0.10,
+        strict: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
+        fn num<T: std::str::FromStr>(v: String, name: &str) -> Result<T, String> {
+            v.parse().map_err(|_| format!("unparseable {name}"))
+        }
+        match flag.as_str() {
+            "--out" => out.out = std::path::PathBuf::from(value("--out")?),
+            "--tenants" => out.tenants = num(value("--tenants")?, "--tenants")?,
+            "--workers" => out.workers = num(value("--workers")?, "--workers")?,
+            "--quota" => out.quota = num(value("--quota")?, "--quota")?,
+            "--duration-ms" => out.duration_ms = num(value("--duration-ms")?, "--duration-ms")?,
+            "--victim-util" => out.victim_util = num(value("--victim-util")?, "--victim-util")?,
+            "--noisy-util" => out.noisy_util = num(value("--noisy-util")?, "--noisy-util")?,
+            "--victim-edges" => out.victim_edges = num(value("--victim-edges")?, "--victim-edges")?,
+            "--noisy-edges" => out.noisy_edges = num(value("--noisy-edges")?, "--noisy-edges")?,
+            "--victim-iters" => out.victim_iters = num(value("--victim-iters")?, "--victim-iters")?,
+            "--noisy-iters" => out.noisy_iters = num(value("--noisy-iters")?, "--noisy-iters")?,
+            "--tolerance" => out.tolerance = num(value("--tolerance")?, "--tolerance")?,
+            "--strict" => out.strict = true,
+            other => return Err(format!("unknown multitenant flag `{other}`")),
+        }
+    }
+    if out.tenants < 2 {
+        return Err("--tenants needs at least 2 (one noisy, one victim)".to_string());
+    }
+    if !(out.victim_util > 0.0 && out.victim_util < 1.0) {
+        return Err("--victim-util must be in (0, 1)".to_string());
+    }
+    if out.noisy_util <= 0.0 {
+        return Err("--noisy-util must be > 0".to_string());
+    }
+    if out.quota == 0 {
+        return Err("--quota must be ≥ 1".to_string());
+    }
+    Ok(out)
+}
+
+/// One admitted job: whose lane it came through and when it was *meant*
+/// to be sent — the open-loop latency clock.
+#[derive(Clone, Copy)]
+struct Job {
+    tenant: usize,
+    intended_s: f64,
+}
+
+fn suite_config(iters: usize) -> SuiteConfig {
+    SuiteConfig {
+        exec: ExecutionConfig::with_max_iterations(iters),
+        ..SuiteConfig::default()
+    }
+}
+
+/// Best-of-3 service time of one job on an idle single-thread engine.
+fn calibrate(workload: &Workload, config: &SuiteConfig) -> f64 {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .expect("1-thread pool");
+    pool.install(|| {
+        let _ = run_algorithm_digest(AlgorithmKind::Pr, workload, config)
+            .unwrap_or_else(|e| panic!("calibration job: {e}"));
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let t0 = Instant::now();
+            let _ = run_algorithm_digest(AlgorithmKind::Pr, workload, config);
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        best
+    })
+}
+
+/// What one phase observed, indexed by tenant lane.
+struct PhaseResult {
+    /// CO-corrected latency (ms) of each completed job.
+    latencies_ms: Vec<Vec<f64>>,
+    /// Jobs the open-loop schedule offered (admitted + shed).
+    offered: Vec<u64>,
+    /// Jobs refused at admission because the lane was at quota.
+    shed: Vec<u64>,
+}
+
+/// Per-tenant completed-job latencies, shared across worker threads.
+type LatencySink = Arc<Vec<Mutex<Vec<f64>>>>;
+
+/// Everything a phase run needs besides the per-tenant rates.
+struct Scenario {
+    registry: TenantRegistry,
+    quota: usize,
+    workers: usize,
+    duration: Duration,
+    victim: Arc<Workload>,
+    noisy: Arc<Workload>,
+    victim_cfg: SuiteConfig,
+    noisy_cfg: SuiteConfig,
+}
+
+impl Scenario {
+    /// Run one phase: per-tenant open-loop submitters at `rates` jobs/sec
+    /// (0 = tenant sits out) against `workers` threads draining one shared
+    /// DRR queue. Each worker runs jobs on its own single-thread engine
+    /// pool so service times do not drift with worker concurrency.
+    fn run_phase(&self, rates: &[f64]) -> PhaseResult {
+        let n = self.registry.len();
+        let queue: Arc<DrrQueue<Job>> = Arc::new(DrrQueue::new(&self.registry.weights()));
+        let latencies: LatencySink = Arc::new((0..n).map(|_| Mutex::new(Vec::new())).collect());
+        let offered: Arc<Vec<AtomicU64>> = Arc::new((0..n).map(|_| AtomicU64::new(0)).collect());
+        let shed: Arc<Vec<AtomicU64>> = Arc::new((0..n).map(|_| AtomicU64::new(0)).collect());
+        let epoch = Instant::now();
+
+        let worker_handles: Vec<_> = (0..self.workers)
+            .map(|_| {
+                let queue = Arc::clone(&queue);
+                let latencies = Arc::clone(&latencies);
+                let victim = Arc::clone(&self.victim);
+                let noisy = Arc::clone(&self.noisy);
+                let victim_cfg = self.victim_cfg.clone();
+                let noisy_cfg = self.noisy_cfg.clone();
+                std::thread::spawn(move || {
+                    let pool = rayon::ThreadPoolBuilder::new()
+                        .num_threads(1)
+                        .build()
+                        .expect("1-thread pool");
+                    pool.install(|| {
+                        while let Some(job) = queue.pop() {
+                            let (workload, config) = if job.tenant == 0 {
+                                (&noisy, &noisy_cfg)
+                            } else {
+                                (&victim, &victim_cfg)
+                            };
+                            run_algorithm_digest(AlgorithmKind::Pr, workload, config)
+                                .unwrap_or_else(|e| panic!("benchmark job: {e}"));
+                            let lat_ms =
+                                (epoch.elapsed().as_secs_f64() - job.intended_s).max(0.0) * 1e3;
+                            latencies[job.tenant]
+                                .lock()
+                                .unwrap_or_else(|e| e.into_inner())
+                                .push(lat_ms);
+                        }
+                    })
+                })
+            })
+            .collect();
+
+        let n_active = rates.iter().filter(|&&r| r > 0.0).count().max(1);
+        let submitters: Vec<_> = rates
+            .iter()
+            .enumerate()
+            .filter(|&(_, &rate)| rate > 0.0)
+            .map(|(tenant, &rate)| {
+                let queue = Arc::clone(&queue);
+                let offered = Arc::clone(&offered);
+                let shed = Arc::clone(&shed);
+                let quota = self.quota;
+                let horizon_s = self.duration.as_secs_f64();
+                // Stagger same-rate tenants evenly across one inter-arrival
+                // gap so the open-loop schedule never sends a synchronized
+                // burst by construction.
+                let phase_s = tenant as f64 / (rate * n_active as f64);
+                std::thread::spawn(move || {
+                    for i in 0u64.. {
+                        let intended_s = phase_s + i as f64 / rate;
+                        if intended_s >= horizon_s {
+                            break;
+                        }
+                        let behind = intended_s - epoch.elapsed().as_secs_f64();
+                        // Sub-millisecond gaps are submitted back to back;
+                        // the intended stamps stay exact either way.
+                        if behind > 1e-3 {
+                            std::thread::sleep(Duration::from_secs_f64(behind));
+                        }
+                        offered[tenant].fetch_add(1, Ordering::Relaxed);
+                        if queue.lane_len(tenant) >= quota {
+                            shed[tenant].fetch_add(1, Ordering::Relaxed);
+                        } else {
+                            assert!(
+                                queue.push(tenant, Job { tenant, intended_s }),
+                                "queue closed while submitting"
+                            );
+                        }
+                    }
+                })
+            })
+            .collect();
+
+        for s in submitters {
+            s.join().expect("submitter thread");
+        }
+        queue.close(); // graceful: workers drain the sub-quota backlog
+        for w in worker_handles {
+            w.join().expect("worker thread");
+        }
+
+        PhaseResult {
+            latencies_ms: latencies
+                .iter()
+                .map(|m| m.lock().unwrap_or_else(|e| e.into_inner()).clone())
+                .collect(),
+            offered: offered.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+            shed: shed.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+        }
+    }
+}
+
+fn sorted(mut v: Vec<f64>) -> Vec<f64> {
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    v
+}
+
+fn pct(sorted_ms: &[f64], q: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() as f64 - 1.0) * q).round() as usize;
+    sorted_ms[idx.min(sorted_ms.len() - 1)]
+}
+
+/// Per-tenant report rows plus the victims' pooled sorted latencies.
+fn phase_rows(
+    registry: &TenantRegistry,
+    rates: &[f64],
+    phase: &PhaseResult,
+) -> (Vec<Value>, Vec<f64>) {
+    let mut rows = Vec::new();
+    let mut victims_pool = Vec::new();
+    for (i, spec) in registry.iter().enumerate() {
+        if rates[i] <= 0.0 {
+            continue;
+        }
+        let lat = sorted(phase.latencies_ms[i].clone());
+        if i != 0 {
+            victims_pool.extend_from_slice(&lat);
+        }
+        rows.push(json!({
+            "tenant": spec.id,
+            "rate_per_s": rates[i],
+            "offered": phase.offered[i],
+            "admitted": phase.offered[i] - phase.shed[i],
+            "shed": phase.shed[i],
+            "done": lat.len(),
+            "p50_ms": pct(&lat, 0.50),
+            "p99_ms": pct(&lat, 0.99),
+            "max_ms": lat.last().copied().unwrap_or(0.0),
+        }));
+    }
+    (rows, sorted(victims_pool))
+}
+
+fn main() -> std::process::ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return std::process::ExitCode::FAILURE;
+        }
+    };
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let workers = if args.workers == 0 {
+        host
+    } else {
+        args.workers
+    };
+    let duration = Duration::from_millis(args.duration_ms);
+
+    let registry = TenantRegistry::derived(args.tenants, args.quota).expect("derived registry");
+    let scenario = Scenario {
+        registry,
+        quota: args.quota,
+        workers,
+        duration,
+        victim: Arc::new(Workload::powerlaw(args.victim_edges, 2.5, 21)),
+        noisy: Arc::new(Workload::powerlaw(args.noisy_edges, 2.5, 22)),
+        victim_cfg: suite_config(args.victim_iters),
+        noisy_cfg: suite_config(args.noisy_iters),
+    };
+
+    // Calibrate, then derive the operating point: victims together fill
+    // `victim_util` of one worker's capacity, and the noisy tenant
+    // offers `noisy_util` times everything the pool has left — an
+    // overload its quota must absorb.
+    let victim_svc_s = calibrate(&scenario.victim, &scenario.victim_cfg);
+    let noisy_svc_s = calibrate(&scenario.noisy, &scenario.noisy_cfg);
+    let n_victims = args.tenants - 1;
+    let victim_rate = args.victim_util / victim_svc_s / n_victims as f64;
+    let leftover = workers as f64 - args.victim_util;
+    let noisy_rate = args.noisy_util * leftover.max(0.1) / noisy_svc_s;
+    eprintln!(
+        "calibrated: victim job {:.2} ms, noisy job {:.3} ms; \
+         {n_victims} victims at {victim_rate:.2}/s each, noisy at {noisy_rate:.0}/s \
+         ({workers} workers, quota {})",
+        victim_svc_s * 1e3,
+        noisy_svc_s * 1e3,
+        args.quota
+    );
+
+    let mut baseline_rates = vec![victim_rate; args.tenants];
+    baseline_rates[0] = 0.0;
+    let mut mixed_rates = baseline_rates.clone();
+    mixed_rates[0] = noisy_rate;
+
+    eprintln!("baseline phase: victims only, {} ms", args.duration_ms);
+    let baseline = scenario.run_phase(&baseline_rates);
+    eprintln!(
+        "mixed phase: victims + noisy flood, {} ms",
+        args.duration_ms
+    );
+    let mixed = scenario.run_phase(&mixed_rates);
+
+    let (base_rows, base_victims) = phase_rows(&scenario.registry, &baseline_rates, &baseline);
+    let (mixed_rows, mixed_victims) = phase_rows(&scenario.registry, &mixed_rates, &mixed);
+    let base_p99 = pct(&base_victims, 0.99);
+    let mixed_p99 = pct(&mixed_victims, 0.99);
+    let ratio = if base_p99 > 0.0 {
+        mixed_p99 / base_p99
+    } else {
+        0.0
+    };
+    let within = ratio > 0.0 && ratio <= 1.0 + args.tolerance;
+    let noisy_shed = mixed.shed[0];
+    let throttled = noisy_shed > 0;
+
+    let noisy_lat = sorted(mixed.latencies_ms[0].clone());
+    let noisy_offered = mixed.offered[0];
+    let doc = json!({
+        "schema": "graphmine/bench-multitenant/v1",
+        "config": {
+            "tenants": args.tenants,
+            "victims": n_victims,
+            "workers": workers,
+            "host_parallelism": host,
+            "quota_max_queued": args.quota,
+            "drr_weights": scenario.registry.weights(),
+            "duration_ms": args.duration_ms,
+            "victim_util": args.victim_util,
+            "noisy_util": args.noisy_util,
+            "victim_workload": {
+                "powerlaw_edges": args.victim_edges,
+                "max_iterations": args.victim_iters,
+                "service_ms": victim_svc_s * 1e3,
+                "rate_per_s_each": victim_rate,
+            },
+            "noisy_workload": {
+                "powerlaw_edges": args.noisy_edges,
+                "max_iterations": args.noisy_iters,
+                "service_ms": noisy_svc_s * 1e3,
+                "rate_per_s": noisy_rate,
+            },
+            "tolerance": args.tolerance,
+        },
+        "baseline": {
+            "per_tenant": base_rows,
+            "victims_done": base_victims.len(),
+            "victims_p50_ms": pct(&base_victims, 0.50),
+            "victims_p99_ms": base_p99,
+        },
+        "mixed": {
+            "per_tenant": mixed_rows,
+            "victims_done": mixed_victims.len(),
+            "victims_p50_ms": pct(&mixed_victims, 0.50),
+            "victims_p99_ms": mixed_p99,
+            "noisy": {
+                "offered": noisy_offered,
+                "admitted": noisy_offered - noisy_shed,
+                "shed": noisy_shed,
+                "shed_fraction": noisy_shed as f64 / noisy_offered.max(1) as f64,
+                "done": noisy_lat.len(),
+                "p99_ms": pct(&noisy_lat, 0.99),
+            },
+        },
+        "isolation": {
+            "victims_p99_baseline_ms": base_p99,
+            "victims_p99_mixed_ms": mixed_p99,
+            "victims_p99_ratio": ratio,
+            "within_tolerance": within,
+            "noisy_quota_throttled": throttled,
+        },
+    });
+    let text = serde_json::to_string_pretty(&doc).expect("static JSON serializes");
+    if let Err(e) = std::fs::write(&args.out, text) {
+        eprintln!("cannot write {}: {e}", args.out.display());
+        return std::process::ExitCode::FAILURE;
+    }
+
+    println!(
+        "victims p99: {base_p99:.2} ms isolated -> {mixed_p99:.2} ms under flood \
+         (ratio {ratio:.3}); noisy shed {noisy_shed}/{noisy_offered} \
+         ({:.0}%); wrote {}",
+        100.0 * noisy_shed as f64 / noisy_offered.max(1) as f64,
+        args.out.display()
+    );
+    if args.strict && !(within && throttled) {
+        eprintln!(
+            "strict check failed: within_tolerance={within} noisy_quota_throttled={throttled}"
+        );
+        return std::process::ExitCode::FAILURE;
+    }
+    std::process::ExitCode::SUCCESS
+}

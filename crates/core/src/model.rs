@@ -240,6 +240,7 @@ mod tests {
                 behavior_wall: raw,
                 behavior_ops: raw,
                 runtime_ms: 0.0,
+                tenant: None,
             };
             let x = features(&record);
             let log_y: f64 = x.iter().zip(true_w.iter()).map(|(a, w)| a * w).sum();

@@ -57,6 +57,10 @@ pub struct RunRecord {
     /// not measured — e.g. records built directly from traces).
     #[serde(default)]
     pub runtime_ms: f64,
+    /// Tenant that submitted the run, when the producing server had
+    /// multi-tenancy enabled (`None` for single-tenant and offline runs).
+    #[serde(default)]
+    pub tenant: Option<String>,
 }
 
 impl RunRecord {
@@ -86,12 +90,19 @@ impl RunRecord {
             behavior_wall: RawBehavior::from_trace(trace, WorkMetric::WallNanos),
             behavior_ops: RawBehavior::from_trace(trace, WorkMetric::LogicalOps),
             runtime_ms: 0.0,
+            tenant: None,
         }
     }
 
     /// Attach a measured end-to-end runtime.
     pub fn with_runtime_ms(mut self, ms: f64) -> RunRecord {
         self.runtime_ms = ms;
+        self
+    }
+
+    /// Attach the submitting tenant's id.
+    pub fn with_tenant(mut self, tenant: Option<String>) -> RunRecord {
+        self.tenant = tenant;
         self
     }
 

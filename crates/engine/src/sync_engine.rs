@@ -205,6 +205,20 @@ pub struct ExecutionConfig {
     /// bit-identical state (see `segment_bytes_is_bit_identical`). The
     /// default (256 KiB) targets common per-core L2 capacities.
     pub segment_bytes: usize,
+    /// Shard-per-core execution: partition the destination chunk space
+    /// into this many contiguous shards. `0` or `1` (the default) runs
+    /// unsharded. When ≥ 2, (a) scatter tasks are grouped per source
+    /// shard, so each shard fills exactly one outbox (per-shard scratch)
+    /// walking its chunks ascending, and (b) exchange/pull segments never
+    /// straddle a shard boundary, so every inbox chunk is written by
+    /// exactly one shard's task. Like `segment_bytes` this **never
+    /// changes results**: per destination chunk the combine order (source
+    /// chunk ascending, emission order within) is exactly the order a
+    /// single-shard merge uses, so any shard count yields bit-identical
+    /// state (see the `sharded identity` suites). Cross-shard traffic is
+    /// accounted by pairing this with [`ExecutionConfig::partition`] set
+    /// to the shard map — see `graphmine-shard`.
+    pub num_shards: usize,
 }
 
 /// Default for [`ExecutionConfig::segment_bytes`].
@@ -223,6 +237,7 @@ impl Default for ExecutionConfig {
             checkpoint: None,
             fault_plan: None,
             segment_bytes: DEFAULT_SEGMENT_BYTES,
+            num_shards: 0,
         }
     }
 }
@@ -285,6 +300,13 @@ impl ExecutionConfig {
     /// state per task). `0` is clamped to one chunk per task.
     pub fn with_segment_bytes(mut self, bytes: usize) -> ExecutionConfig {
         self.segment_bytes = bytes;
+        self
+    }
+
+    /// Partition execution into `shards` contiguous chunk shards (0/1 =
+    /// unsharded). Results are bit-identical for every shard count.
+    pub fn with_shards(mut self, shards: usize) -> ExecutionConfig {
+        self.num_shards = shards;
         self
     }
 
@@ -490,14 +512,26 @@ fn select_slot_chunks_mut<'a, T: Default>(
 
 /// Group ascending `(chunk_index, item)` pairs into cache-sized segments:
 /// chunks whose indices share `ci / seg_chunks` land in one segment, to be
-/// processed by a single task in ascending order. Segmentation only groups
-/// work — per-chunk processing order is untouched, so results are
-/// bit-identical for every `seg_chunks`.
-fn segment_chunks<T>(chunks: Vec<(usize, T)>, seg_chunks: usize) -> Vec<Vec<(usize, T)>> {
+/// processed by a single task in ascending order. A segment additionally
+/// never crosses a shard boundary (`ci / shard_chunks`), so under sharded
+/// execution every inbox chunk is owned by exactly one shard's task
+/// (`usize::MAX` disables the bound). Segmentation only groups work —
+/// per-chunk processing order is untouched, so results are bit-identical
+/// for every `seg_chunks` and every shard count.
+fn segment_chunks<T>(
+    chunks: Vec<(usize, T)>,
+    seg_chunks: usize,
+    shard_chunks: usize,
+) -> Vec<Vec<(usize, T)>> {
     let mut segments: Vec<Vec<(usize, T)>> = Vec::new();
     for (ci, item) in chunks {
         match segments.last_mut() {
-            Some(seg) if seg[0].0 / seg_chunks == ci / seg_chunks => seg.push((ci, item)),
+            Some(seg)
+                if seg[0].0 / seg_chunks == ci / seg_chunks
+                    && seg[0].0 / shard_chunks == ci / shard_chunks =>
+            {
+                seg.push((ci, item))
+            }
             _ => segments.push(vec![(ci, item)]),
         }
     }
@@ -834,6 +868,16 @@ impl<'g, P: VertexProgram> SyncEngine<'g, P> {
         // inbox slot costs the message payload plus its presence byte.
         let slot_bytes = std::mem::size_of::<P::Message>() + 1;
         let seg_chunks = (config.segment_bytes / (cs * slot_bytes).max(1)).max(1);
+        // Shard geometry: `shard_chunks` contiguous chunks per shard. A
+        // shard count above the chunk count degenerates to one chunk per
+        // shard; 0/1 shards disable the boundary entirely.
+        let num_chunks = n.div_ceil(cs);
+        let shard_chunks = if config.num_shards >= 2 {
+            num_chunks.div_ceil(config.num_shards.min(num_chunks))
+        } else {
+            usize::MAX
+        };
+        let sharded = config.num_shards >= 2;
 
         let sum2 = |a: (u64, u64), b: (u64, u64)| (a.0 + b.0, a.1 + b.1);
 
@@ -1171,7 +1215,7 @@ impl<'g, P: VertexProgram> SyncEngine<'g, P> {
                 .enumerate()
                 .filter(|&(ci, _)| in_spans[ci] > 0)
                 .collect();
-            let items = segment_chunks(chunks, seg_chunks);
+            let items = segment_chunks(chunks, seg_chunks, shard_chunks);
             type PullResult = (Vec<VertexId>, u64, u64, u64);
             let per_segment = |seg: Vec<(usize, SlotChunk<'_, P::Message>)>| -> PullResult {
                 let mut hits: Vec<VertexId> = Vec::new();
@@ -1296,39 +1340,33 @@ impl<'g, P: VertexProgram> SyncEngine<'g, P> {
                 }
             };
             type PushResult<M> = (RangeOutbox<M>, u64, u64, u64);
+            // Per-shard scratch: under sharded execution all of a source
+            // shard's chunks fill ONE outbox, walked ascending — the
+            // flattened emission order per destination chunk is identical
+            // to walking one outbox per source chunk in ascending order,
+            // so the exchange's combine order (and every result bit) is
+            // unchanged. Unsharded keeps today's one-task-per-chunk shape
+            // (a shard span of one chunk).
+            let scatter_span = if sharded { shard_chunks } else { 1 };
             let collected: Vec<PushResult<P::Message>> = if sparse {
-                let per_item = |&(ci, lo, hi): &(usize, usize, usize)| {
+                let items: Vec<(usize, (usize, usize))> = frontier
+                    .chunks
+                    .iter()
+                    .map(|&(ci, lo, hi)| (ci, (lo, hi)))
+                    .collect();
+                let groups = segment_chunks(items, scatter_span, usize::MAX);
+                let per_group = |group: Vec<(usize, (usize, usize))>| {
                     let mut out = Vec::new();
                     let mut row: Vec<VertexId> = Vec::new();
                     let mut count = 0u64;
                     let mut remote = 0u64;
                     let mut visited = 0u64;
-                    let verts = &frontier.list[lo..hi];
-                    for (i, &v) in verts.iter().enumerate() {
-                        if let Some(&nv) = verts.get(i + 1) {
-                            graph.prefetch_row(nv, scatter_pf);
-                        }
-                        scatter_one(v, &mut row, &mut out, &mut count, &mut remote, &mut visited);
-                    }
-                    let _ = ci;
-                    (bucket_by_dest_chunk(out, cs), count, remote, visited)
-                };
-                if config.sequential {
-                    frontier.chunks.iter().map(per_item).collect()
-                } else {
-                    frontier.chunks.par_iter().map(per_item).collect()
-                }
-            } else {
-                let per_range = |&(start, end): &(usize, usize)| {
-                    let mut out = Vec::new();
-                    let mut row: Vec<VertexId> = Vec::new();
-                    let mut count = 0u64;
-                    let mut remote = 0u64;
-                    let mut visited = 0u64;
-                    for (i, &is_active) in active[start..end].iter().enumerate() {
-                        if is_active {
-                            let v = (start + i) as VertexId;
-                            graph.prefetch_row(v + 1, scatter_pf);
+                    for &(_, (lo, hi)) in &group {
+                        let verts = &frontier.list[lo..hi];
+                        for (i, &v) in verts.iter().enumerate() {
+                            if let Some(&nv) = verts.get(i + 1) {
+                                graph.prefetch_row(nv, scatter_pf);
+                            }
                             scatter_one(
                                 v,
                                 &mut row,
@@ -1342,9 +1380,42 @@ impl<'g, P: VertexProgram> SyncEngine<'g, P> {
                     (bucket_by_dest_chunk(out, cs), count, remote, visited)
                 };
                 if config.sequential {
-                    ranges.iter().map(per_range).collect()
+                    groups.into_iter().map(per_group).collect()
                 } else {
-                    ranges.par_iter().map(per_range).collect()
+                    groups.into_par_iter().map(per_group).collect()
+                }
+            } else {
+                let items: Vec<(usize, (usize, usize))> =
+                    ranges.iter().copied().enumerate().collect();
+                let groups = segment_chunks(items, scatter_span, usize::MAX);
+                let per_group = |group: Vec<(usize, (usize, usize))>| {
+                    let mut out = Vec::new();
+                    let mut row: Vec<VertexId> = Vec::new();
+                    let mut count = 0u64;
+                    let mut remote = 0u64;
+                    let mut visited = 0u64;
+                    for &(_, (start, end)) in &group {
+                        for (i, &is_active) in active[start..end].iter().enumerate() {
+                            if is_active {
+                                let v = (start + i) as VertexId;
+                                graph.prefetch_row(v + 1, scatter_pf);
+                                scatter_one(
+                                    v,
+                                    &mut row,
+                                    &mut out,
+                                    &mut count,
+                                    &mut remote,
+                                    &mut visited,
+                                );
+                            }
+                        }
+                    }
+                    (bucket_by_dest_chunk(out, cs), count, remote, visited)
+                };
+                if config.sequential {
+                    groups.into_iter().map(per_group).collect()
+                } else {
+                    groups.into_par_iter().map(per_group).collect()
                 }
             };
             outboxes.reserve(collected.len());
@@ -1380,7 +1451,7 @@ impl<'g, P: VertexProgram> SyncEngine<'g, P> {
                         dest_chunks.iter().copied(),
                     ))
                     .collect();
-                let items = segment_chunks(chunks, seg_chunks);
+                let items = segment_chunks(chunks, seg_chunks, shard_chunks);
                 let merge_segment =
                     |seg: Vec<(usize, SlotChunk<'_, P::Message>)>| -> Vec<VertexId> {
                         let mut all_hits: Vec<VertexId> = Vec::new();

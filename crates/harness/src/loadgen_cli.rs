@@ -7,8 +7,9 @@
 
 use graphmine_loadgen::{
     find_max_sustainable, run, sweep_table, ArrivalProcess, JobMix, LoadReport, Mode, RunConfig,
-    SloConfig,
+    SloConfig, TenantLoad,
 };
+use graphmine_shard::TenantSpec;
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Duration;
@@ -37,6 +38,10 @@ struct LoadgenArgs {
     max_probes: usize,
     json: Option<PathBuf>,
     fail_on_errors: bool,
+    tenants: usize,
+    tenants_file: Option<PathBuf>,
+    noisy_factor: u32,
+    tenant_quota: usize,
 }
 
 fn usage() -> String {
@@ -46,6 +51,7 @@ fn usage() -> String {
      \x20      [--size N] [--hot-ratio F] [--algorithm ABBREV]\n\
      \x20      [--graph NAME] [--graph-dir DIR] [--representation plain|compressed]\n\
      \x20      [--max-retries N] [--concurrency N] [--sweep R1,R2,...]\n\
+     \x20      [--tenants N [--noisy-factor F] [--tenant-quota Q] | --tenants-file PATH]\n\
      \x20      [--slo-p99-ms MS [--max-probes N]] [--json PATH] [--fail-on-errors]"
         .to_string()
 }
@@ -92,6 +98,10 @@ fn parse(mut args: impl Iterator<Item = String>) -> Result<LoadgenArgs, String> 
         max_probes: 12,
         json: None,
         fail_on_errors: false,
+        tenants: 0,
+        tenants_file: None,
+        noisy_factor: 1,
+        tenant_quota: 0,
     };
     while let Some(flag) = args.next() {
         let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
@@ -183,10 +193,70 @@ fn parse(mut args: impl Iterator<Item = String>) -> Result<LoadgenArgs, String> 
             }
             "--json" => out.json = Some(PathBuf::from(value("--json")?)),
             "--fail-on-errors" => out.fail_on_errors = true,
+            "--tenants" => {
+                out.tenants = value("--tenants")?
+                    .parse()
+                    .map_err(|_| "unparseable --tenants")?;
+            }
+            "--tenants-file" => out.tenants_file = Some(PathBuf::from(value("--tenants-file")?)),
+            "--noisy-factor" => {
+                out.noisy_factor = value("--noisy-factor")?
+                    .parse()
+                    .map_err(|_| "unparseable --noisy-factor")?;
+                if out.noisy_factor == 0 {
+                    return Err("--noisy-factor must be at least 1".to_string());
+                }
+            }
+            "--tenant-quota" => {
+                out.tenant_quota = value("--tenant-quota")?
+                    .parse()
+                    .map_err(|_| "unparseable --tenant-quota")?;
+            }
             other => return Err(format!("unknown loadgen flag `{other}`")),
         }
     }
     Ok(out)
+}
+
+/// The tenant population, from `--tenants-file` or derived from
+/// `--tenants N` (the same derivation the spawned server uses, so keys
+/// line up without a file handoff). `None` when single-tenant.
+fn tenant_specs(args: &LoadgenArgs) -> Result<Option<Vec<TenantSpec>>, String> {
+    if let Some(path) = &args.tenants_file {
+        let registry = graphmine_shard::TenantRegistry::load(path)
+            .map_err(|e| format!("failed to load tenants from {}: {e}", path.display()))?;
+        return Ok(Some(registry.iter().cloned().collect()));
+    }
+    if args.tenants == 0 {
+        return Ok(None);
+    }
+    let specs = (0..args.tenants)
+        .map(|i| {
+            let spec = TenantSpec::derived(i);
+            if args.tenant_quota > 0 {
+                spec.with_max_queued(args.tenant_quota)
+            } else {
+                spec
+            }
+        })
+        .collect();
+    Ok(Some(specs))
+}
+
+/// Traffic assignment per tenant: tenant 0 is the (optionally) noisy one
+/// offering `--noisy-factor` times everyone else's share.
+fn tenant_loads(args: &LoadgenArgs) -> Result<Vec<TenantLoad>, String> {
+    let Some(specs) = tenant_specs(args)? else {
+        return Ok(Vec::new());
+    };
+    Ok(specs
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let share = if i == 0 { args.noisy_factor } else { 1 };
+            TenantLoad::new(&s.id, &s.key).with_share(share)
+        })
+        .collect())
 }
 
 fn base_config(args: &LoadgenArgs, addr: &str) -> RunConfig {
@@ -220,14 +290,16 @@ fn base_config(args: &LoadgenArgs, addr: &str) -> RunConfig {
         max_retries: args.max_retries,
         concurrency: args.concurrency,
         job_timeout: Duration::from_secs(30),
+        tenants: Vec::new(),
     }
 }
 
 /// Errors that should fail a `--fail-on-errors` run: everything except
 /// clean completions. Shed requests count — a smoke test that sheds is
-/// overdriving its target.
+/// overdriving its target — and so does any tenant-stamp mismatch, which
+/// is cross-tenant leakage.
 fn error_count(r: &LoadReport) -> u64 {
-    r.counts.failed + r.counts.transport_errors + r.counts.shed
+    r.counts.failed + r.counts.transport_errors + r.counts.shed + r.tenant_mismatches
 }
 
 fn write_json(path: &PathBuf, value: &serde_json::Value) -> Result<(), String> {
@@ -245,7 +317,16 @@ pub fn main(args: impl Iterator<Item = String>) -> ExitCode {
         }
     };
 
-    // Spawn an in-process server on an ephemeral port when asked.
+    // Spawn an in-process server on an ephemeral port when asked. A
+    // multi-tenant run hands the spawned server the same derived specs
+    // the generator will submit with.
+    let tenants = match tenant_specs(&args) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let mut spawned = None;
     let addr = if args.spawn {
         let config = graphmine_service::ServiceConfig {
@@ -253,6 +334,7 @@ pub fn main(args: impl Iterator<Item = String>) -> ExitCode {
             workers: args.workers,
             persist_every: 0,
             graph_dir: args.graph_dir.clone(),
+            tenants: tenants.clone(),
             ..graphmine_service::ServiceConfig::default()
         };
         match graphmine_service::Server::start(config) {
@@ -293,7 +375,7 @@ pub fn main(args: impl Iterator<Item = String>) -> ExitCode {
 }
 
 fn drive(args: &LoadgenArgs, addr: &str) -> Result<ExitCode, String> {
-    let base = base_config(args, addr);
+    let base = base_config(args, addr).with_tenants(tenant_loads(args)?);
 
     // SLO search mode.
     if let Some(limit_ms) = args.slo_p99_ms {
@@ -361,11 +443,12 @@ fn drive(args: &LoadgenArgs, addr: &str) -> Result<ExitCode, String> {
     }
     if args.fail_on_errors && error_count(&report) > 0 {
         eprintln!(
-            "loadgen: {} errored requests (failed={} transport={} shed={})",
+            "loadgen: {} errored requests (failed={} transport={} shed={} tenant_mismatches={})",
             error_count(&report),
             report.counts.failed,
             report.counts.transport_errors,
-            report.counts.shed
+            report.counts.shed,
+            report.tenant_mismatches
         );
         return Ok(ExitCode::FAILURE);
     }
@@ -440,6 +523,34 @@ mod tests {
             .classes()
             .iter()
             .all(|c| c.graph.as_deref() == Some("twitter")));
+    }
+
+    #[test]
+    fn tenant_flags_derive_a_weighted_population() {
+        let a = parse_ok(&[
+            "--tenants",
+            "4",
+            "--noisy-factor",
+            "8",
+            "--tenant-quota",
+            "16",
+        ]);
+        let specs = tenant_specs(&a).unwrap().expect("multi-tenant");
+        assert_eq!(specs.len(), 4);
+        assert!(specs.iter().all(|s| s.max_queued == 16));
+        // The derivation matches what a spawned server would register.
+        assert_eq!(specs[2], TenantSpec::derived(2).with_max_queued(16));
+        let loads = tenant_loads(&a).unwrap();
+        assert_eq!(loads.len(), 4);
+        assert_eq!(loads[0].share, 8, "tenant-0 is the noisy one");
+        assert!(loads[1..].iter().all(|t| t.share == 1));
+        assert_eq!(loads[1].id, "tenant-1");
+        assert_eq!(loads[1].key, TenantSpec::derived(1).key);
+        // Single-tenant default: no specs, no loads, bad factor rejected.
+        let plain = parse_ok(&[]);
+        assert!(tenant_specs(&plain).unwrap().is_none());
+        assert!(tenant_loads(&plain).unwrap().is_empty());
+        assert!(parse(["--noisy-factor".to_string(), "0".to_string()].into_iter()).is_err());
     }
 
     #[test]

@@ -13,8 +13,10 @@
 //! graphmine serve   [--addr HOST:PORT] [--workers N] [--cache-mb MB] [--db PATH]
 //!                   [--retry-budget N] [--max-queue-depth N] [--spill-dir DIR]
 //!                   [--graph-dir DIR] [--direction auto|push|pull] [--reorder]
+//!                   [--shards N] [--tenants-file PATH]
 //! graphmine loadgen [--addr HOST:PORT | --spawn] [--mode open|closed] [--rate R]
 //!                   [--duration 5s] [--seed N] [--sweep R1,R2,...]
+//!                   [--tenants N] [--noisy-factor F] [--tenant-quota Q]
 //!                   [--slo-p99-ms MS] [--json PATH] [--fail-on-errors]
 //! graphmine graph   pack|inspect|verify ...          # binary store files
 //! graphmine list
@@ -59,6 +61,8 @@ struct Args {
     representation: Representation,
     representation_given: Option<String>,
     segment_bytes: Option<usize>,
+    shards: usize,
+    tenants_file: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -82,6 +86,8 @@ fn parse_args() -> Result<Args, String> {
     let mut representation = Representation::Plain;
     let mut representation_given: Option<String> = None;
     let mut segment_bytes: Option<usize> = None;
+    let mut shards = 0usize;
+    let mut tenants_file: Option<PathBuf> = None;
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--profile" => {
@@ -171,6 +177,17 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|_| format!("unparseable segment size `{v}`"))?,
                 );
             }
+            "--shards" => {
+                let v = args.next().ok_or("--shards needs a value")?;
+                shards = v
+                    .parse()
+                    .map_err(|_| format!("unparseable shard count `{v}` (0 = unsharded)"))?;
+            }
+            "--tenants-file" => {
+                tenants_file = Some(PathBuf::from(
+                    args.next().ok_or("--tenants-file needs a value")?,
+                ));
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -194,6 +211,8 @@ fn parse_args() -> Result<Args, String> {
         representation,
         representation_given,
         segment_bytes,
+        shards,
+        tenants_file,
     })
 }
 
@@ -206,8 +225,10 @@ fn usage() -> String {
          \x20                      [--retry-budget N] [--max-queue-depth N] [--spill-dir DIR]\n\
          \x20                      [--graph-dir DIR] [--direction auto|push|pull] [--reorder]\n\
          \x20                      [--representation plain|compressed] [--segment-bytes N]\n\
+         \x20                      [--shards N] [--tenants-file PATH]\n\
          \x20      graphmine loadgen [--spawn | --addr HOST:PORT] [--mode open|closed] [--rate R]\n\
          \x20                      [--duration 5s] [--sweep R1,R2,...] [--slo-p99-ms MS] [--json PATH]\n\
+         \x20                      [--tenants N] [--noisy-factor F] [--tenant-quota Q] [--tenants-file PATH]\n\
          \x20      graphmine graph pack|inspect|verify ...\n\
          commands: run, all, list, predict, analyze, export, cluster, correlations, plot, serve, loadgen, graph, {}",
         FIGURE_IDS.join(", ")
@@ -312,6 +333,19 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         "serve" => {
+            // A tenants file switches the server into multi-tenant mode:
+            // keyed submissions, per-tenant quotas, DRR fair queueing.
+            let tenants = match &args.tenants_file {
+                Some(path) => match graphmine_shard::TenantRegistry::load(path) {
+                    Ok(registry) => Some(registry.iter().cloned().collect::<Vec<_>>()),
+                    Err(e) => {
+                        eprintln!("failed to load tenants from {}: {e}", path.display());
+                        return ExitCode::FAILURE;
+                    }
+                },
+                None => None,
+            };
+            let tenant_count = tenants.as_ref().map(Vec::len);
             let config = graphmine_service::ServiceConfig {
                 addr: args.addr.clone(),
                 workers: args.workers,
@@ -325,6 +359,8 @@ fn main() -> ExitCode {
                 default_reorder: args.reorder,
                 default_representation: args.representation_given.clone(),
                 default_segment_bytes: args.segment_bytes,
+                shards: args.shards,
+                tenants,
                 ..graphmine_service::ServiceConfig::default()
             };
             match graphmine_service::Server::start(config) {
@@ -336,6 +372,16 @@ fn main() -> ExitCode {
                         args.cache_mb,
                         args.db.display()
                     );
+                    if let Some(n) = tenant_count {
+                        println!(
+                            "multi-tenant mode: {n} tenants, DRR fair queueing{}",
+                            if args.shards > 0 {
+                                format!(", {} engine shards", args.shards)
+                            } else {
+                                String::new()
+                            }
+                        );
+                    }
                     println!("POST /shutdown to drain and exit");
                     match handle.wait() {
                         Ok(()) => ExitCode::SUCCESS,

@@ -35,8 +35,8 @@ pub mod schedule;
 pub mod slo;
 
 pub use mix::{JobClass, JobMix, HOT_SEED, SUITE_ALGORITHMS};
-pub use report::{sweep_table, ClassReport, Counts, LoadReport, STAGE_NAMES};
+pub use report::{sweep_table, ClassReport, Counts, LoadReport, TenantReport, STAGE_NAMES};
 pub use rng::SplitMix64;
-pub use run::{run, Mode, Outcome, RunConfig, RunResult, Sample};
+pub use run::{run, Mode, Outcome, RunConfig, RunResult, Sample, TenantLoad};
 pub use schedule::{build_schedule, ArrivalProcess, ScheduledRequest};
 pub use slo::{find_max_sustainable, Probe, SloConfig, SloResult};

@@ -36,6 +36,31 @@ pub struct ClassReport {
     pub latency: Value,
 }
 
+/// Outcome counts and corrected-latency summary for one tenant of a
+/// multi-tenant run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TenantReport {
+    /// Tenant id (as the server stamps it).
+    pub id: String,
+    /// Traffic share this tenant was offered.
+    pub share: u32,
+    pub counts: Counts,
+    /// Corrected latency summary over this tenant's `done` jobs, µs.
+    pub latency: Value,
+}
+
+impl TenantReport {
+    /// Corrected p99 in milliseconds for this tenant (0 when no job
+    /// completed) — the per-tenant isolation criterion.
+    pub fn p99_ms(&self) -> f64 {
+        self.latency
+            .get("p99_us")
+            .and_then(Value::as_u64)
+            .unwrap_or(0) as f64
+            / 1000.0
+    }
+}
+
 /// The full report of one load run. Serializes to the machine-readable
 /// JSON the harness emits; [`LoadReport::text_table`] renders the human
 /// view.
@@ -63,6 +88,14 @@ pub struct LoadReport {
     pub latency_histogram: LogHistogram,
     /// Per-class corrected latency summaries.
     pub per_class: Vec<ClassReport>,
+    /// Per-tenant outcome counts and corrected latency summaries; empty
+    /// for single-tenant runs.
+    #[serde(default)]
+    pub per_tenant: Vec<TenantReport>,
+    /// Requests whose server-side tenant stamp disagreed with the key
+    /// that submitted them. Any nonzero value is cross-tenant leakage.
+    #[serde(default)]
+    pub tenant_mismatches: u64,
     /// Service-side per-stage summaries for the run window (snapshot
     /// difference), µs per stage.
     pub service_stages: Value,
@@ -128,6 +161,8 @@ impl LoadReport {
                     latency: h.summary_json("us"),
                 })
                 .collect(),
+            per_tenant: per_tenant_reports(cfg, result),
+            tenant_mismatches: result.tenant_mismatches(),
             latency_histogram: overall,
             service_stages: stage_window(&result.metrics_before, &result.metrics_after),
         }
@@ -185,6 +220,28 @@ impl LoadReport {
                 ));
             }
         }
+        if !self.per_tenant.is_empty() {
+            out.push_str(&format!(
+                "{:<14} {:>5} {:>7} {:>7} {:>6} {:>9} {:>9}\n",
+                "tenant", "share", "subm", "done", "shed", "p50_us", "p99_us"
+            ));
+            for t in &self.per_tenant {
+                out.push_str(&format!(
+                    "{:<14} {:>5} {:>7} {:>7} {:>6} {:>9} {:>9}\n",
+                    t.id,
+                    t.share,
+                    t.counts.submitted,
+                    t.counts.done,
+                    t.counts.shed,
+                    t.latency["p50_us"],
+                    t.latency["p99_us"],
+                ));
+            }
+            out.push_str(&format!(
+                "tenant stamp mismatches: {}\n",
+                self.tenant_mismatches
+            ));
+        }
         out.push_str("service stages us (run window):\n");
         for stage in STAGE_NAMES {
             if let Some(s) = self.service_stages.get(stage) {
@@ -200,6 +257,36 @@ fn summary_line(s: &Value) -> String {
         "count={} p50={} p90={} p99={} p999={} max={}",
         s["count"], s["p50_us"], s["p90_us"], s["p99_us"], s["p999_us"], s["max_us"]
     )
+}
+
+/// Slice the samples by tenant into per-tenant counts and corrected
+/// latency summaries. Empty for single-tenant runs.
+fn per_tenant_reports(cfg: &RunConfig, result: &RunResult) -> Vec<TenantReport> {
+    cfg.tenants
+        .iter()
+        .enumerate()
+        .map(|(i, t)| {
+            let mine = || result.samples.iter().filter(move |s| s.tenant == i);
+            let count = |o: Outcome| mine().filter(|s| s.outcome == o).count() as u64;
+            let mut hist = LogHistogram::new();
+            for s in mine().filter(|s| s.outcome == Outcome::Done) {
+                hist.record(s.latency_us);
+            }
+            TenantReport {
+                id: t.id.clone(),
+                share: t.share,
+                counts: Counts {
+                    submitted: mine().count() as u64,
+                    done: count(Outcome::Done),
+                    failed: count(Outcome::Failed),
+                    shed: count(Outcome::Shed),
+                    transport_errors: count(Outcome::TransportError),
+                    http_429: mine().map(|s| u64::from(s.http_429s)).sum(),
+                },
+                latency: hist.summary_json("us"),
+            }
+        })
+        .collect()
 }
 
 /// Per-stage summaries for exactly the run window: deserialize each
@@ -256,11 +343,13 @@ mod tests {
         let cfg = RunConfig::open("127.0.0.1:1", 50.0, Duration::from_secs(2), 99, mix);
         let mk = |latency_us: u64, outcome: Outcome| Sample {
             class: 0,
+            tenant: 0,
             intended: Duration::ZERO,
             latency_us,
             service_ms: 0.5,
             outcome,
             http_429s: 0,
+            tenant_ok: true,
         };
         let hist = |values: &[u64]| {
             let mut h = LogHistogram::new();
@@ -331,6 +420,41 @@ mod tests {
         let back: LoadReport = serde_json::from_value(v).unwrap();
         assert_eq!(back.counts.done, 2);
         assert_eq!(back.latency_histogram, report.latency_histogram);
+    }
+
+    #[test]
+    fn per_tenant_slices_counts_latency_and_mismatches() {
+        use crate::run::TenantLoad;
+        let (mut cfg, mut result) = fake_result();
+        cfg = cfg.with_tenants(vec![
+            TenantLoad::new("tenant-0", "k0").with_share(4),
+            TenantLoad::new("tenant-1", "k1"),
+        ]);
+        // Reassign the fake samples: two done for tenant-0, the shed one
+        // (with a forged stamp) for tenant-1.
+        result.samples[2].tenant = 1;
+        result.samples[2].tenant_ok = false;
+        let report = LoadReport::build(&cfg, &result);
+        assert_eq!(report.per_tenant.len(), 2);
+        let t0 = &report.per_tenant[0];
+        assert_eq!(t0.id, "tenant-0");
+        assert_eq!(t0.share, 4);
+        assert_eq!(t0.counts.submitted, 2);
+        assert_eq!(t0.counts.done, 2);
+        assert_eq!(t0.latency["count"], 2);
+        assert!(t0.p99_ms() > 0.0);
+        let t1 = &report.per_tenant[1];
+        assert_eq!(t1.counts.shed, 1);
+        assert_eq!(t1.counts.done, 0);
+        assert_eq!(t1.latency["count"], 0);
+        assert_eq!(report.tenant_mismatches, 1);
+        let text = report.text_table();
+        assert!(text.contains("tenant-0"));
+        assert!(text.contains("tenant stamp mismatches: 1"));
+        // The per-tenant section round-trips through JSON.
+        let back: LoadReport = serde_json::from_value(report.to_json()).unwrap();
+        assert_eq!(back.per_tenant.len(), 2);
+        assert_eq!(back.tenant_mismatches, 1);
     }
 
     #[test]

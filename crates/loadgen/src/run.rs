@@ -49,6 +49,40 @@ impl Mode {
     }
 }
 
+/// One tenant of a multi-tenant load population: the credentials to
+/// submit as that tenant plus its share of the offered traffic.
+///
+/// The `share` is a *traffic* weight (how often the generator draws this
+/// tenant), deliberately separate from the server-side DRR service
+/// weight — the interesting experiments offer a tenant far more traffic
+/// than its fair service share.
+#[derive(Debug, Clone)]
+pub struct TenantLoad {
+    /// Tenant id the server is expected to stamp on this tenant's jobs.
+    pub id: String,
+    /// API key sent as `X-Api-Key`.
+    pub key: String,
+    /// Relative traffic share (≥ 1; zero is treated as 1).
+    pub share: u32,
+}
+
+impl TenantLoad {
+    /// A tenant with an equal (unit) traffic share.
+    pub fn new(id: &str, key: &str) -> TenantLoad {
+        TenantLoad {
+            id: id.to_string(),
+            key: key.to_string(),
+            share: 1,
+        }
+    }
+
+    /// The same tenant offering `share` times the unit traffic.
+    pub fn with_share(mut self, share: u32) -> TenantLoad {
+        self.share = share;
+        self
+    }
+}
+
 /// One load-generation run.
 #[derive(Debug, Clone)]
 pub struct RunConfig {
@@ -67,6 +101,10 @@ pub struct RunConfig {
     pub concurrency: usize,
     /// Cap on waiting for any single job to reach a terminal state.
     pub job_timeout: Duration,
+    /// Multi-tenant population; empty means unauthenticated single-tenant
+    /// load. Each request draws a tenant by `share` weight (deterministic
+    /// under the master seed) and submits with that tenant's key.
+    pub tenants: Vec<TenantLoad>,
 }
 
 impl RunConfig {
@@ -90,6 +128,7 @@ impl RunConfig {
             max_retries: 3,
             concurrency: 16,
             job_timeout: Duration::from_secs(30),
+            tenants: Vec::new(),
         }
     }
 
@@ -111,7 +150,14 @@ impl RunConfig {
             max_retries: 3,
             concurrency: 16,
             job_timeout: Duration::from_secs(30),
+            tenants: Vec::new(),
         }
+    }
+
+    /// The same run offered by a multi-tenant population.
+    pub fn with_tenants(mut self, tenants: Vec<TenantLoad>) -> RunConfig {
+        self.tenants = tenants;
+        self
     }
 
     /// Requests per second this config offers (closed loop: the zero-think
@@ -144,6 +190,8 @@ pub enum Outcome {
 pub struct Sample {
     /// Index into the mix's class table.
     pub class: usize,
+    /// Index into the run's tenant table (0 for single-tenant runs).
+    pub tenant: usize,
     /// Intended send offset from run start.
     pub intended: Duration,
     /// Coordinated-omission-corrected latency: intended send time to
@@ -156,6 +204,10 @@ pub struct Sample {
     /// 429 responses absorbed by this request (including a final one that
     /// exhausted the budget).
     pub http_429s: u32,
+    /// Whether every tenant stamp the server returned for this request
+    /// matched the tenant whose key submitted it. `false` is evidence of
+    /// cross-tenant leakage and is counted by the report.
+    pub tenant_ok: bool,
 }
 
 /// Everything a run produced, before aggregation into a report.
@@ -190,6 +242,29 @@ impl RunResult {
             self.count(Outcome::Done) as f64 / s
         }
     }
+
+    /// Requests whose server-side tenant stamp did not match the key that
+    /// submitted them. Anything above zero is cross-tenant leakage.
+    pub fn tenant_mismatches(&self) -> u64 {
+        self.samples.iter().filter(|s| !s.tenant_ok).count() as u64
+    }
+}
+
+/// Weighted tenant draw by traffic `share`; `None` on single-tenant runs.
+fn pick_tenant(tenants: &[TenantLoad], rng: &mut SplitMix64) -> Option<usize> {
+    if tenants.is_empty() {
+        return None;
+    }
+    let total: u64 = tenants.iter().map(|t| u64::from(t.share.max(1))).sum();
+    let mut roll = rng.next_u64() % total;
+    for (i, t) in tenants.iter().enumerate() {
+        let share = u64::from(t.share.max(1));
+        if roll < share {
+            return Some(i);
+        }
+        roll -= share;
+    }
+    Some(tenants.len() - 1)
 }
 
 /// Execute one load run against a live server.
@@ -245,10 +320,17 @@ fn run_open(cfg: &RunConfig, schedule: Vec<ScheduledRequest>, start: Instant) ->
                     if req.intended > now {
                         std::thread::sleep(req.intended - now);
                     }
+                    // The tenant draw is a pure function of (seed, index),
+                    // so the assignment is identical whichever worker
+                    // thread picks the request up.
+                    let mut trng =
+                        SplitMix64::new(cfg.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ i as u64);
+                    let tenant = pick_tenant(&cfg.tenants, &mut trng);
                     local.push(drive_request(
                         &mut client,
                         &cfg,
                         req.class,
+                        tenant,
                         req.intended,
                         &req.body,
                         start,
@@ -278,6 +360,7 @@ fn run_closed(cfg: &RunConfig, clients: usize, think: Duration, start: Instant) 
                 while start.elapsed() < cfg.duration {
                     let class = cfg.mix.sample_class(&mut rng);
                     let body = cfg.mix.request_body(class, &mut rng);
+                    let tenant = pick_tenant(&cfg.tenants, &mut rng);
                     // Closed loop sends the moment it decides to: the
                     // intended time IS the send time, so the correction
                     // is a no-op by construction.
@@ -286,6 +369,7 @@ fn run_closed(cfg: &RunConfig, clients: usize, think: Duration, start: Instant) 
                         &mut client,
                         &cfg,
                         class,
+                        tenant,
                         intended,
                         &body,
                         start,
@@ -313,32 +397,44 @@ fn drive_request(
     client: &mut Client,
     cfg: &RunConfig,
     class: usize,
+    tenant: Option<usize>,
     intended: Duration,
     body: &Value,
     start: Instant,
 ) -> Sample {
+    // Submit as the drawn tenant; the connection stays kept-alive across
+    // key changes because the key travels per request.
+    client.set_api_key(tenant.map(|t| cfg.tenants[t].key.as_str()));
+    let expected = tenant.map(|t| cfg.tenants[t].id.as_str());
+    let stamp_matches = |doc: &Value| match expected {
+        None => true,
+        Some(id) => doc.get("tenant").and_then(Value::as_str) == Some(id),
+    };
     let latency_from_intended = |start: Instant, intended: Duration| {
         start.elapsed().saturating_sub(intended).as_micros() as u64
     };
     let mut http_429s = 0u32;
     let mut retries_left = cfg.max_retries;
-    let finish = |outcome: Outcome, service_ms: f64, http_429s: u32| Sample {
+    let finish = |outcome: Outcome, service_ms: f64, http_429s: u32, tenant_ok: bool| Sample {
         class,
+        tenant: tenant.unwrap_or(0),
         intended,
         latency_us: latency_from_intended(start, intended),
         service_ms,
         outcome,
         http_429s,
+        tenant_ok,
     };
     loop {
         let response = match client.send("POST", "/jobs", Some(body)) {
             Ok(r) => r,
-            Err(_) => return finish(Outcome::TransportError, 0.0, http_429s),
+            Err(_) => return finish(Outcome::TransportError, 0.0, http_429s, true),
         };
         match response.status {
             202 => {
+                let accepted_ok = stamp_matches(&response.body);
                 let Some(id) = response.body.get("id").and_then(Value::as_u64) else {
-                    return finish(Outcome::TransportError, 0.0, http_429s);
+                    return finish(Outcome::TransportError, 0.0, http_429s, accepted_ok);
                 };
                 return match wait_terminal(client, id, cfg.job_timeout) {
                     Ok(status_doc) => {
@@ -359,15 +455,16 @@ fn drive_request(
                         } else {
                             Outcome::Failed
                         };
-                        finish(outcome, service_ms, http_429s)
+                        let ok = accepted_ok && stamp_matches(&status_doc);
+                        finish(outcome, service_ms, http_429s, ok)
                     }
-                    Err(_) => finish(Outcome::Failed, 0.0, http_429s),
+                    Err(_) => finish(Outcome::Failed, 0.0, http_429s, accepted_ok),
                 };
             }
             429 => {
                 http_429s += 1;
                 if retries_left == 0 {
-                    return finish(Outcome::Shed, 0.0, http_429s);
+                    return finish(Outcome::Shed, 0.0, http_429s, true);
                 }
                 retries_left -= 1;
                 // Honor Retry-After, but clamp: the advertised horizon can
@@ -377,7 +474,7 @@ fn drive_request(
                 let backoff = Duration::from_millis((advertised * 1000).clamp(10, 1_000));
                 std::thread::sleep(backoff);
             }
-            _ => return finish(Outcome::TransportError, 0.0, http_429s),
+            _ => return finish(Outcome::TransportError, 0.0, http_429s, true),
         }
     }
 }
@@ -414,11 +511,13 @@ mod tests {
     fn sample(outcome: Outcome, latency_us: u64, http_429s: u32) -> Sample {
         Sample {
             class: 0,
+            tenant: 0,
             intended: Duration::ZERO,
             latency_us,
             service_ms: 0.0,
             outcome,
             http_429s,
+            tenant_ok: true,
         }
     }
 
@@ -459,5 +558,35 @@ mod tests {
         );
         assert_eq!(closed.offered_rate(), None);
         assert_eq!(closed.mode.as_str(), "closed");
+    }
+
+    #[test]
+    fn tenant_draws_follow_traffic_shares() {
+        let tenants = vec![
+            TenantLoad::new("tenant-0", "k0").with_share(3),
+            TenantLoad::new("tenant-1", "k1"),
+        ];
+        let mut rng = SplitMix64::new(17);
+        let n = 8_000;
+        let zero = (0..n)
+            .filter(|_| pick_tenant(&tenants, &mut rng) == Some(0))
+            .count() as f64;
+        let frac = zero / n as f64;
+        assert!((frac - 0.75).abs() < 0.03, "tenant-0 fraction {frac}");
+        // Single-tenant runs draw no tenant at all.
+        assert_eq!(pick_tenant(&[], &mut rng), None);
+    }
+
+    #[test]
+    fn mismatched_stamps_are_counted_as_leakage() {
+        let mut bad = sample(Outcome::Done, 1_000, 0);
+        bad.tenant_ok = false;
+        let r = RunResult {
+            samples: vec![sample(Outcome::Done, 500, 0), bad],
+            elapsed: Duration::from_secs(1),
+            metrics_before: json!({}),
+            metrics_after: json!({}),
+        };
+        assert_eq!(r.tenant_mismatches(), 1);
     }
 }

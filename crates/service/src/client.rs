@@ -34,6 +34,7 @@ pub struct Client {
     addr: String,
     stream: Option<TcpStream>,
     read_timeout: Duration,
+    api_key: Option<String>,
 }
 
 impl Client {
@@ -44,6 +45,7 @@ impl Client {
             addr: addr.to_string(),
             stream: None,
             read_timeout: Duration::from_secs(30),
+            api_key: None,
         }
     }
 
@@ -51,6 +53,17 @@ impl Client {
     pub fn with_timeout(mut self, timeout: Duration) -> Client {
         self.read_timeout = timeout;
         self
+    }
+
+    /// Attach a tenant API key, sent as `X-Api-Key` on every request.
+    pub fn with_api_key(mut self, key: &str) -> Client {
+        self.set_api_key(Some(key));
+        self
+    }
+
+    /// Set or clear the tenant API key on an existing client.
+    pub fn set_api_key(&mut self, key: Option<&str>) {
+        self.api_key = key.map(str::to_string);
     }
 
     fn connect(&mut self) -> io::Result<&mut TcpStream> {
@@ -116,8 +129,13 @@ impl Client {
         content_type: &str,
     ) -> io::Result<Response> {
         let addr = self.addr.clone();
+        let auth = self
+            .api_key
+            .as_deref()
+            .map(|k| format!("X-Api-Key: {k}\r\n"))
+            .unwrap_or_default();
         let head = format!(
-            "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n",
+            "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n{auth}Connection: keep-alive\r\n\r\n",
             payload.len()
         );
         let result = (|| {

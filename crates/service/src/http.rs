@@ -36,6 +36,9 @@ pub struct Request {
     /// (`Connection: keep-alive`). Connection reuse is opt-in: absent or
     /// any other value means close-after-response.
     pub keep_alive: bool,
+    /// Value of the `X-Api-Key` header, when present — tenant identity on
+    /// a multi-tenant server (ignored otherwise).
+    pub api_key: Option<String>,
 }
 
 /// Why a request could not be read, mapped to a status by the handler:
@@ -143,6 +146,7 @@ pub fn read_request(stream: &mut TcpStream, carry: &mut Vec<u8>) -> Result<Reque
 
     let mut content_length: Option<usize> = None;
     let mut keep_alive = false;
+    let mut api_key: Option<String> = None;
     for line in lines {
         if let Some((name, value)) = line.split_once(':') {
             let name = name.trim();
@@ -155,6 +159,8 @@ pub fn read_request(stream: &mut TcpStream, carry: &mut Vec<u8>) -> Result<Reque
                 );
             } else if name.eq_ignore_ascii_case("connection") {
                 keep_alive = value.trim().eq_ignore_ascii_case("keep-alive");
+            } else if name.eq_ignore_ascii_case("x-api-key") {
+                api_key = Some(value.trim().to_string());
             }
         }
     }
@@ -195,6 +201,7 @@ pub fn read_request(stream: &mut TcpStream, carry: &mut Vec<u8>) -> Result<Reque
         query,
         body,
         keep_alive,
+        api_key,
     })
 }
 
@@ -203,6 +210,7 @@ fn reason_phrase(status: u16) -> &'static str {
         200 => "OK",
         202 => "Accepted",
         400 => "Bad Request",
+        401 => "Unauthorized",
         404 => "Not Found",
         405 => "Method Not Allowed",
         409 => "Conflict",
@@ -333,6 +341,14 @@ mod tests {
     fn connection_close_header_is_not_keep_alive() {
         let req = parse(b"GET /health HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
         assert!(!req.keep_alive);
+    }
+
+    #[test]
+    fn api_key_header_is_parsed_case_insensitively() {
+        let req = parse(b"GET /jobs HTTP/1.1\r\nx-API-key: tk-0-abc \r\n\r\n").unwrap();
+        assert_eq!(req.api_key.as_deref(), Some("tk-0-abc"));
+        let bare = parse(b"GET /jobs HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert!(bare.api_key.is_none());
     }
 
     #[test]

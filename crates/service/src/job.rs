@@ -65,6 +65,17 @@ pub struct JobRequest {
     /// (absent = engine default). Never changes results.
     #[serde(default)]
     pub segment_bytes: Option<usize>,
+    /// Submitting tenant's id. Server-authoritative on a multi-tenant
+    /// server: admission overwrites it from the authenticated API key, so
+    /// a client cannot label its jobs as another tenant's. `None` on
+    /// single-tenant servers.
+    #[serde(default)]
+    pub tenant: Option<String>,
+    /// API key presented with the submission (`X-Api-Key` wins when both
+    /// are present). Never echoed back: the server strips it before the
+    /// request is journaled or rendered.
+    #[serde(default, skip_serializing)]
+    pub api_key: Option<String>,
 }
 
 fn default_size() -> u64 {
@@ -241,6 +252,7 @@ impl Job {
         json!({
             "id": self.id,
             "algorithm": self.algorithm.abbrev(),
+            "tenant": self.request.tenant,
             "request": self.request,
             "state": status.state.as_str(),
             "error": status.error,
@@ -406,6 +418,8 @@ mod tests {
             reorder: false,
             representation: None,
             segment_bytes: None,
+            tenant: None,
+            api_key: None,
         }
     }
 
@@ -424,6 +438,19 @@ mod tests {
         assert_eq!(req.seed, 0);
         assert!(req.alpha.is_none());
         assert!(req.timeout_ms.is_none());
+    }
+
+    #[test]
+    fn api_key_is_never_serialized_but_tenant_is() {
+        let mut req = request("PR");
+        req.tenant = Some("tenant-1".into());
+        req.api_key = Some("tk-secret".into());
+        let v = serde_json::to_value(&req).unwrap();
+        assert_eq!(v["tenant"], "tenant-1");
+        assert!(v.get("api_key").is_none(), "api key must not leak: {v}");
+        let round: JobRequest = serde_json::from_value(v).unwrap();
+        assert_eq!(round.tenant.as_deref(), Some("tenant-1"));
+        assert!(round.api_key.is_none());
     }
 
     #[test]

@@ -32,6 +32,7 @@ pub mod journal;
 pub mod lock;
 pub mod metrics;
 pub mod queue;
+pub mod scheduler;
 pub mod server;
 
 pub use cache::{workload_resident_bytes, CacheKey, GraphCache};
@@ -40,6 +41,7 @@ pub use http::RequestError;
 pub use job::{parse_algorithm, Job, JobRequest, JobState, JobStatus};
 pub use journal::{Journal, JournalEvent, PendingJob, Recovery};
 pub use lock::{AlreadyLocked, LockGuard};
-pub use metrics::{Metrics, StageHistograms, LATENCY_BUCKETS_MS};
+pub use metrics::{Metrics, StageHistograms, TenantMetrics, LATENCY_BUCKETS_MS};
 pub use queue::WorkQueue;
+pub use scheduler::JobScheduler;
 pub use server::{Server, ServerHandle, ServiceConfig};

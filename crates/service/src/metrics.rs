@@ -105,6 +105,64 @@ impl StageHistograms {
     }
 }
 
+/// Per-tenant counters and stage histograms, allocated once per tenant at
+/// startup when multi-tenancy is enabled. The global [`Metrics`] keep
+/// counting everything; these slice the same events by tenant so
+/// `GET /metrics` can show isolation (one tenant's queue growing while
+/// the others' stay flat) without any cross-tenant aggregation step.
+#[derive(Debug)]
+pub struct TenantMetrics {
+    /// Tenant id the counters belong to.
+    pub id: String,
+    /// Jobs accepted from this tenant.
+    pub submitted: AtomicU64,
+    /// This tenant's jobs finished successfully.
+    pub done: AtomicU64,
+    /// This tenant's jobs that panicked or were rejected.
+    pub failed: AtomicU64,
+    /// This tenant's jobs stopped by an explicit cancel.
+    pub cancelled: AtomicU64,
+    /// This tenant's jobs stopped by the watchdog deadline.
+    pub timed_out: AtomicU64,
+    /// This tenant's submissions shed with `429` (per-tenant quota or
+    /// global admission control).
+    pub shed: AtomicU64,
+    /// Per-stage latency histograms over this tenant's jobs alone.
+    pub stages: StageHistograms,
+}
+
+impl TenantMetrics {
+    /// Fresh all-zero counters for tenant `id`.
+    pub fn new(id: &str) -> TenantMetrics {
+        TenantMetrics {
+            id: id.to_string(),
+            submitted: AtomicU64::new(0),
+            done: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
+            timed_out: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            stages: StageHistograms::default(),
+        }
+    }
+
+    /// JSON rendering for the `/metrics` `tenants` section.
+    pub fn json(&self) -> serde_json::Value {
+        let c = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        json!({
+            "jobs": {
+                "submitted": c(&self.submitted),
+                "done": c(&self.done),
+                "failed": c(&self.failed),
+                "cancelled": c(&self.cancelled),
+                "timed_out": c(&self.timed_out),
+                "shed": c(&self.shed),
+            },
+            "stages": self.stages.json(),
+        })
+    }
+}
+
 impl Metrics {
     /// Fresh all-zero counters.
     pub fn new() -> Metrics {
@@ -196,6 +254,22 @@ mod tests {
         // 250 ms = 250_000 µs, within the 3.1% bucket quantization.
         let p50 = h.value_at_quantile(0.5);
         assert!((242_000..=258_000).contains(&p50), "p50 = {p50}");
+    }
+
+    #[test]
+    fn tenant_metrics_render_counters_and_stages() {
+        let t = TenantMetrics::new("tenant-3");
+        t.submitted.fetch_add(5, Ordering::Relaxed);
+        t.done.fetch_add(4, Ordering::Relaxed);
+        t.shed.fetch_add(2, Ordering::Relaxed);
+        StageHistograms::record_ms(&t.stages.total, 12.0);
+        let v = t.json();
+        assert_eq!(v["jobs"]["submitted"], 5);
+        assert_eq!(v["jobs"]["done"], 4);
+        assert_eq!(v["jobs"]["shed"], 2);
+        assert_eq!(v["jobs"]["failed"], 0);
+        assert_eq!(v["stages"]["total"]["summary"]["count"], 1);
+        assert_eq!(t.id, "tenant-3");
     }
 
     #[test]

@@ -1,0 +1,138 @@
+//! The server's pluggable job scheduler: plain FIFO for single-tenant
+//! operation, deficit-round-robin fair queueing across tenant lanes when
+//! multi-tenancy is enabled.
+//!
+//! Both variants share the [`WorkQueue`] lifecycle contract — blocking
+//! `pop` that drains after `close`, push-refusal once closed,
+//! `close_and_clear` for the crash path — so the worker pool, watchdog,
+//! recovery, and shutdown code run unchanged against either. The only
+//! scheduler-specific surface is the `lane` argument (tenant index;
+//! ignored by FIFO) and [`JobScheduler::lane_len`], which admission
+//! control reads for per-tenant quota checks.
+
+use crate::queue::WorkQueue;
+use graphmine_shard::DrrQueue;
+
+/// A FIFO or deficit-round-robin job queue behind one interface.
+pub enum JobScheduler<T> {
+    /// Single lane, strict submission order (single-tenant servers).
+    Fifo(WorkQueue<T>),
+    /// One weighted lane per tenant, served deficit-round-robin.
+    Drr(DrrQueue<T>),
+}
+
+impl<T> JobScheduler<T> {
+    /// A single-lane FIFO scheduler.
+    pub fn fifo() -> JobScheduler<T> {
+        JobScheduler::Fifo(WorkQueue::new())
+    }
+
+    /// A DRR scheduler with one lane per entry of `weights`.
+    pub fn drr(weights: &[u32]) -> JobScheduler<T> {
+        JobScheduler::Drr(DrrQueue::new(weights))
+    }
+
+    /// Enqueue `item` on `lane` (FIFO ignores the lane). Returns `false`
+    /// when the queue is closed (or, under DRR, the lane is unknown); the
+    /// caller keeps the item.
+    pub fn push(&self, lane: usize, item: T) -> bool {
+        match self {
+            JobScheduler::Fifo(q) => q.push(item),
+            JobScheduler::Drr(q) => q.push(lane, item),
+        }
+    }
+
+    /// Dequeue the next item in scheduler order, blocking while open and
+    /// empty; `None` once closed and drained.
+    pub fn pop(&self) -> Option<T> {
+        match self {
+            JobScheduler::Fifo(q) => q.pop(),
+            JobScheduler::Drr(q) => q.pop(),
+        }
+    }
+
+    /// Stop accepting items; blocked `pop`s drain the backlog then see
+    /// `None`.
+    pub fn close(&self) {
+        match self {
+            JobScheduler::Fifo(q) => q.close(),
+            JobScheduler::Drr(q) => q.close(),
+        }
+    }
+
+    /// Close and abandon the backlog (crash path); returns the number of
+    /// items dropped.
+    pub fn close_and_clear(&self) -> usize {
+        match self {
+            JobScheduler::Fifo(q) => q.close_and_clear(),
+            JobScheduler::Drr(q) => q.close_and_clear(),
+        }
+    }
+
+    /// Total queued items.
+    pub fn len(&self) -> usize {
+        match self {
+            JobScheduler::Fifo(q) => q.len(),
+            JobScheduler::Drr(q) => q.len(),
+        }
+    }
+
+    /// Whether no items are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Items queued on one tenant's lane — the per-tenant quota check.
+    /// FIFO has no lanes and reports 0 (no per-tenant quota applies).
+    pub fn lane_len(&self, lane: usize) -> usize {
+        match self {
+            JobScheduler::Fifo(_) => 0,
+            JobScheduler::Drr(q) => q.lane_len(lane),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_ignores_the_lane_and_preserves_order() {
+        let s = JobScheduler::fifo();
+        assert!(s.push(9, 1));
+        assert!(s.push(0, 2));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.lane_len(9), 0, "FIFO has no lanes");
+        assert_eq!(s.pop(), Some(1));
+        assert_eq!(s.pop(), Some(2));
+    }
+
+    #[test]
+    fn drr_interleaves_lanes_and_reports_lane_depth() {
+        let s = JobScheduler::drr(&[1, 1]);
+        assert!(s.push(0, (0, 0)));
+        assert!(s.push(0, (0, 1)));
+        assert!(s.push(1, (1, 0)));
+        assert_eq!(s.lane_len(0), 2);
+        assert_eq!(s.lane_len(1), 1);
+        assert_eq!(s.pop(), Some((0, 0)));
+        assert_eq!(s.pop(), Some((1, 0)));
+        assert_eq!(s.pop(), Some((0, 1)));
+    }
+
+    #[test]
+    fn both_variants_share_close_semantics() {
+        for s in [JobScheduler::fifo(), JobScheduler::drr(&[1])] {
+            assert!(s.push(0, 7));
+            s.close();
+            assert!(!s.push(0, 8));
+            assert_eq!(s.pop(), Some(7));
+            assert_eq!(s.pop(), None);
+        }
+        let s = JobScheduler::drr(&[1, 1]);
+        s.push(0, 1);
+        s.push(1, 2);
+        assert_eq!(s.close_and_clear(), 2);
+        assert!(s.is_empty());
+    }
+}

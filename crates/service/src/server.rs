@@ -39,8 +39,9 @@ use crate::job::{
 };
 use crate::journal::{self, Journal, JournalEvent};
 use crate::lock::{self, LockGuard};
-use crate::metrics::{Metrics, StageHistograms};
+use crate::metrics::{Metrics, StageHistograms, TenantMetrics};
 use crate::queue::WorkQueue;
+use crate::scheduler::JobScheduler;
 use graphmine_algos::{run_algorithm, AlgorithmKind, Domain, SuiteConfig, WorkloadMismatch};
 use graphmine_core::{
     best_coverage_ensemble, best_spread_ensemble, CoverageSampler, GraphSpec, LoadError, RunDb,
@@ -51,6 +52,7 @@ use graphmine_engine::{
     CheckpointPolicy, CheckpointStats, DirectionChoice, ExecutionConfig, FaultPlan, FaultSite,
     IoShim,
 };
+use graphmine_shard::{TenantRegistry, TenantSpec};
 use graphmine_store::{
     finalize_ingest_with, gc_orphan_temps, gc_sessions, load_workload, rebuild_workload_plain,
     Catalog, CatalogEntry, IngestConfig, IngestSession, StoreError, StoredGraph,
@@ -116,6 +118,14 @@ pub struct ServiceConfig {
     /// Catalog directory of stored graphs, enabling the `/graphs` ingest
     /// API and `"graph": "<name>"` job requests. `None` disables both.
     pub graph_dir: Option<PathBuf>,
+    /// Tenant set enabling multi-tenant operation: API-key authentication
+    /// on job routes, per-tenant admission quotas, deficit-round-robin
+    /// fair queueing, and per-tenant metrics. `None` (the default) keeps
+    /// the server single-tenant with a plain FIFO queue and no auth.
+    pub tenants: Option<Vec<TenantSpec>>,
+    /// Engine shards per job (shard-per-core message exchange). 0 or 1
+    /// runs unsharded; any value produces bit-identical results.
+    pub shards: usize,
 }
 
 impl Default for ServiceConfig {
@@ -138,6 +148,8 @@ impl Default for ServiceConfig {
             default_representation: None,
             default_segment_bytes: None,
             graph_dir: None,
+            tenants: None,
+            shards: 0,
         }
     }
 }
@@ -185,9 +197,14 @@ struct ServiceState {
     db: SharedRunDb,
     cache: GraphCache,
     jobs: RwLock<Vec<Arc<Job>>>,
-    job_queue: WorkQueue<Arc<Job>>,
+    job_queue: JobScheduler<Arc<Job>>,
     conn_queue: WorkQueue<TcpStream>,
     metrics: Metrics,
+    /// Tenant registry when multi-tenancy is enabled; lane order of the
+    /// DRR queue and index space of `tenant_metrics`.
+    tenants: Option<Arc<TenantRegistry>>,
+    /// Per-tenant counters and stage histograms, in registry order.
+    tenant_metrics: Vec<TenantMetrics>,
     journal: Journal,
     /// Fault-injection shim every durable write/read goes through:
     /// checkpoints, journal appends, database saves, store packs, ingest
@@ -215,6 +232,25 @@ impl ServiceState {
 
     fn job_by_id(&self, id: u64) -> Option<Arc<Job>> {
         self.jobs.read().get(id as usize).map(Arc::clone)
+    }
+
+    /// The queue lane a job belongs to: its tenant's registry index, or
+    /// lane 0 for tenant-less jobs (pre-tenancy journals, FIFO servers —
+    /// FIFO ignores the lane entirely).
+    fn job_lane(&self, job: &Job) -> usize {
+        self.tenants
+            .as_ref()
+            .zip(job.request.tenant.as_deref())
+            .and_then(|(registry, tenant)| registry.index_of(tenant))
+            .unwrap_or(0)
+    }
+
+    /// This job's tenant metrics slot, when the server is multi-tenant
+    /// and the job carries a known tenant id.
+    fn tenant_slot(&self, job: &Job) -> Option<&TenantMetrics> {
+        let registry = self.tenants.as_ref()?;
+        let idx = registry.index_of(job.request.tenant.as_deref()?)?;
+        self.tenant_metrics.get(idx)
     }
 
     fn crashed(&self) -> bool {
@@ -356,14 +392,35 @@ impl Server {
         };
         let workers = config.workers.max(1);
         let http_workers = config.http_workers.max(1);
+        // Multi-tenancy: validate the tenant set up front (duplicate ids
+        // or shared keys must fail startup, not authentication), swap the
+        // FIFO queue for a DRR queue with one weighted lane per tenant,
+        // and allocate the per-tenant metric slots.
+        let tenants = match config.tenants.clone() {
+            Some(specs) => Some(Arc::new(
+                TenantRegistry::new(specs).map_err(io::Error::other)?,
+            )),
+            None => None,
+        };
+        let job_queue = match &tenants {
+            Some(registry) => JobScheduler::drr(&registry.weights()),
+            None => JobScheduler::fifo(),
+        };
+        let tenant_metrics: Vec<TenantMetrics> = tenants
+            .iter()
+            .flat_map(|r| r.iter())
+            .map(|t| TenantMetrics::new(&t.id))
+            .collect();
         let state = Arc::new(ServiceState {
             config,
             db,
             cache,
             jobs: RwLock::new(Vec::new()),
-            job_queue: WorkQueue::new(),
+            job_queue,
             conn_queue: WorkQueue::new(),
             metrics: Metrics::new(),
+            tenants,
+            tenant_metrics,
             journal,
             shim,
             ckpt_stats: Arc::new(CheckpointStats::default()),
@@ -406,7 +463,10 @@ impl Server {
             });
             state.metrics.submitted.fetch_add(1, Ordering::Relaxed);
             state.metrics.jobs_recovered.fetch_add(1, Ordering::Relaxed);
-            state.job_queue.push(Arc::clone(&job));
+            if let Some(slot) = state.tenant_slot(&job) {
+                slot.submitted.fetch_add(1, Ordering::Relaxed);
+            }
+            state.job_queue.push(state.job_lane(&job), Arc::clone(&job));
         }
         let _ = state.journal.compact(&resubmitted);
         if db_recovered {
@@ -667,7 +727,8 @@ fn watchdog_loop(state: &ServiceState) {
             while i < retries.len() {
                 if draining || now >= retries[i].ready_at {
                     let entry = retries.swap_remove(i);
-                    if !state.job_queue.push(Arc::clone(&entry.job)) {
+                    let lane = state.job_lane(&entry.job);
+                    if !state.job_queue.push(lane, Arc::clone(&entry.job)) {
                         entry.job.status().state = JobState::Cancelled;
                         state.metrics.cancelled.fetch_add(1, Ordering::Relaxed);
                         state.journal(JournalEvent::Finished {
@@ -733,6 +794,16 @@ fn finish_job(
     let total_ms = job.submitted.elapsed().as_secs_f64() * 1e3;
     state.metrics.observe_latency_ms(total_ms);
     StageHistograms::record_ms(&state.metrics.stages.total, total_ms);
+    if let Some(slot) = state.tenant_slot(job) {
+        match final_state {
+            JobState::Done => slot.done.fetch_add(1, Ordering::Relaxed),
+            JobState::Failed => slot.failed.fetch_add(1, Ordering::Relaxed),
+            JobState::Cancelled => slot.cancelled.fetch_add(1, Ordering::Relaxed),
+            JobState::TimedOut => slot.timed_out.fetch_add(1, Ordering::Relaxed),
+            JobState::Queued | JobState::Running => unreachable!(),
+        };
+        StageHistograms::record_ms(&slot.stages.total, total_ms);
+    }
 }
 
 /// Put `job` back on the queue after a backoff, or quarantine it as
@@ -922,8 +993,11 @@ fn execute_job(state: &Arc<ServiceState>, job: &Arc<Job>) {
     // Direction was validated at submission; journal-recovered requests
     // predate validation only if hand-edited, so fall back to Auto.
     let direction = parse_direction(request.direction.as_deref()).unwrap_or_default();
+    // Shard-per-core exchange: results are bit-identical for any shard
+    // count, so this is purely an execution-layout knob (0 = unsharded).
     let mut exec = ExecutionConfig::with_max_iterations(job.resolved_max_iterations())
         .with_direction(direction)
+        .with_shards(state.config.shards)
         .with_cancel_flag(Arc::clone(&job.cancel));
     if let Some(bytes) = request.segment_bytes {
         exec = exec.with_segment_bytes(bytes);
@@ -984,6 +1058,11 @@ fn execute_job(state: &Arc<ServiceState>, job: &Arc<Job>) {
     StageHistograms::record_ms(&state.metrics.stages.queue_wait, queue_ms);
     StageHistograms::record_ms(&state.metrics.stages.cache_load, cache_ms);
     StageHistograms::record_ms(&state.metrics.stages.execute, execute_ms);
+    if let Some(slot) = state.tenant_slot(job) {
+        StageHistograms::record_ms(&slot.stages.queue_wait, queue_ms);
+        StageHistograms::record_ms(&slot.stages.cache_load, cache_ms);
+        StageHistograms::record_ms(&slot.stages.execute, execute_ms);
+    }
 
     match result {
         Err(payload) => {
@@ -1075,10 +1154,14 @@ fn execute_job(state: &Arc<ServiceState>, job: &Arc<Job>) {
                     request.seed,
                     &trace,
                 )
-                .with_runtime_ms(run_ms);
+                .with_runtime_ms(run_ms)
+                .with_tenant(request.tenant.clone());
                 let run_index = state.db.append(record.clone());
                 let serialize_ms = serialize_started.elapsed().as_secs_f64() * 1e3;
                 StageHistograms::record_ms(&state.metrics.stages.serialize, serialize_ms);
+                if let Some(slot) = state.tenant_slot(job) {
+                    StageHistograms::record_ms(&slot.stages.serialize, serialize_ms);
+                }
                 {
                     let mut status = job.status();
                     status.iterations = trace.num_iterations();
@@ -1123,6 +1206,48 @@ fn work_metric(name: Option<&str>) -> WorkMetric {
     }
 }
 
+/// Resolve a request's tenant on a multi-tenant server: `Ok(None)` when
+/// tenancy is off, `Ok(Some(index))` for a valid key, and a uniform 401
+/// otherwise — the body never distinguishes an absent key from an
+/// unknown one.
+fn authed_tenant(
+    state: &ServiceState,
+    api_key: Option<&str>,
+) -> Result<Option<usize>, (u16, Value)> {
+    let Some(registry) = &state.tenants else {
+        return Ok(None);
+    };
+    api_key
+        .and_then(|key| registry.authenticate(key))
+        .map(Some)
+        .ok_or((401, json!({"error": "missing or invalid API key"})))
+}
+
+/// The tenant id scoping a jobs route, from the request's `X-Api-Key`.
+fn job_scope(state: &ServiceState, request: &Request) -> Result<Option<String>, (u16, Value)> {
+    Ok(authed_tenant(state, request.api_key.as_deref())?.map(|i| {
+        state
+            .tenants
+            .as_ref()
+            .expect("authenticated index implies a registry")
+            .get(i)
+            .id
+            .clone()
+    }))
+}
+
+/// Whether a job is visible in `scope`. Tenant-owned jobs are visible
+/// only to their own tenant — a cross-tenant lookup 404s exactly like a
+/// nonexistent id, leaking neither the job's existence nor its owner.
+/// Tenant-less jobs (single-tenant servers, pre-tenancy journals) are
+/// visible to everyone.
+fn visible_to(job: &Job, scope: Option<&str>) -> bool {
+    match (&job.request.tenant, scope) {
+        (None, _) | (Some(_), None) => true,
+        (Some(owner), Some(scope)) => owner == scope,
+    }
+}
+
 fn route(state: &Arc<ServiceState>, request: &Request) -> (u16, Value) {
     let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
     let method = request.method.as_str();
@@ -1136,26 +1261,47 @@ fn route(state: &Arc<ServiceState>, request: &Request) -> (u16, Value) {
             append_graph_chunk(state, name, request.query.as_deref(), &request.body)
         }
         ("POST", ["graphs", name, "finalize"]) => finalize_graph(state, name),
-        ("POST", ["jobs"]) => submit_job(state, &request.body),
-        ("GET", ["jobs"]) => {
-            let jobs = state.jobs.read();
-            let list: Vec<Value> = jobs.iter().map(|j| j.to_json()).collect();
-            (200, json!({"count": list.len(), "jobs": list}))
-        }
-        ("GET", ["jobs", id]) => match id.parse::<u64>().ok().and_then(|i| state.job_by_id(i)) {
-            Some(job) => (200, job.to_json()),
-            None => (404, json!({"error": format!("no job {id}")})),
+        ("POST", ["jobs"]) => submit_job(state, &request.body, request.api_key.as_deref()),
+        ("GET", ["jobs"]) => match job_scope(state, request) {
+            Err(r) => r,
+            Ok(scope) => {
+                let jobs = state.jobs.read();
+                let list: Vec<Value> = jobs
+                    .iter()
+                    .filter(|j| visible_to(j, scope.as_deref()))
+                    .map(|j| j.to_json())
+                    .collect();
+                (200, json!({"count": list.len(), "jobs": list}))
+            }
         },
-        ("POST", ["jobs", id, "cancel"]) => {
-            match id.parse::<u64>().ok().and_then(|i| state.job_by_id(i)) {
+        ("GET", ["jobs", id]) => match job_scope(state, request) {
+            Err(r) => r,
+            Ok(scope) => match id
+                .parse::<u64>()
+                .ok()
+                .and_then(|i| state.job_by_id(i))
+                .filter(|j| visible_to(j, scope.as_deref()))
+            {
+                Some(job) => (200, job.to_json()),
+                None => (404, json!({"error": format!("no job {id}")})),
+            },
+        },
+        ("POST", ["jobs", id, "cancel"]) => match job_scope(state, request) {
+            Err(r) => r,
+            Ok(scope) => match id
+                .parse::<u64>()
+                .ok()
+                .and_then(|i| state.job_by_id(i))
+                .filter(|j| visible_to(j, scope.as_deref()))
+            {
                 Some(job) => {
                     job.cancel_requested.store(true, Ordering::Relaxed);
                     job.cancel.store(true, Ordering::Relaxed);
                     (200, json!({"id": job.id, "state": job.state().as_str()}))
                 }
                 None => (404, json!({"error": format!("no job {id}")})),
-            }
-        }
+            },
+        },
         ("GET", ["runs"]) => {
             let snapshot = state.db.snapshot();
             let runs: Vec<Value> = snapshot
@@ -1175,6 +1321,7 @@ fn route(state: &Arc<ServiceState>, request: &Request) -> (u16, Value) {
                         "num_vertices": r.num_vertices,
                         "num_edges": r.num_edges,
                         "runtime_ms": r.runtime_ms,
+                        "tenant": r.tenant,
                     })
                 })
                 .collect();
@@ -1477,18 +1624,58 @@ fn delete_graph(state: &Arc<ServiceState>, name: &str) -> (u16, Value) {
     }
 }
 
-fn submit_job(state: &Arc<ServiceState>, body: &[u8]) -> (u16, Value) {
+fn submit_job(state: &Arc<ServiceState>, body: &[u8], header_key: Option<&str>) -> (u16, Value) {
     if state.shutdown.load(Ordering::SeqCst) {
         return (503, json!({"error": "server is draining"}));
     }
-    // Admission control: beyond the configured depth, shed rather than
-    // queue — an unbounded queue turns overload into unbounded latency.
+    let mut request: JobRequest = match serde_json::from_slice(body) {
+        Ok(r) => r,
+        Err(e) => return (400, json!({"error": format!("bad job request: {e}")})),
+    };
+    // Authenticate before admission so the quota check knows the lane.
+    // The header wins; the body's `api_key` is a fallback for clients
+    // that cannot set custom headers.
+    let tenant_idx = match authed_tenant(state, header_key.or(request.api_key.as_deref())) {
+        Ok(idx) => idx,
+        Err(r) => return r,
+    };
+    let workers = state.config.workers.max(1) as u64;
+    // Per-tenant admission quota: a tenant's own backlog beyond its
+    // configured depth is shed with 429 — before the global check, so a
+    // noisy tenant hits its own wall first and cannot consume the shared
+    // budget.
+    if let (Some(idx), Some(registry)) = (tenant_idx, &state.tenants) {
+        let quota = registry.get(idx).max_queued;
+        let queued = state.job_queue.lane_len(idx);
+        if quota > 0 && queued >= quota {
+            state.metrics.jobs_shed.fetch_add(1, Ordering::Relaxed);
+            if let Some(slot) = state.tenant_metrics.get(idx) {
+                slot.shed.fetch_add(1, Ordering::Relaxed);
+            }
+            let retry_after_s = (queued as u64 / workers).clamp(1, 60);
+            return (
+                429,
+                json!({
+                    "error": format!(
+                        "tenant queue is full ({queued} queued, quota {quota})"
+                    ),
+                    "retry_after_s": retry_after_s,
+                    "tenant": registry.get(idx).id,
+                }),
+            );
+        }
+    }
+    // Global admission control: beyond the configured depth, shed rather
+    // than queue — an unbounded queue turns overload into unbounded
+    // latency.
     let max_depth = state.config.max_queue_depth;
     if max_depth > 0 {
         let queued = state.job_queue.len();
         if queued >= max_depth {
             state.metrics.jobs_shed.fetch_add(1, Ordering::Relaxed);
-            let workers = state.config.workers.max(1) as u64;
+            if let Some(slot) = tenant_idx.and_then(|i| state.tenant_metrics.get(i)) {
+                slot.shed.fetch_add(1, Ordering::Relaxed);
+            }
             let retry_after_s = (queued as u64 / workers).clamp(1, 60);
             return (
                 429,
@@ -1499,10 +1686,6 @@ fn submit_job(state: &Arc<ServiceState>, body: &[u8]) -> (u16, Value) {
             );
         }
     }
-    let mut request: JobRequest = match serde_json::from_slice(body) {
-        Ok(r) => r,
-        Err(e) => return (400, json!({"error": format!("bad job request: {e}")})),
-    };
     let Some(algorithm) = parse_algorithm(&request.algorithm) else {
         return (
             400,
@@ -1555,6 +1738,15 @@ fn submit_job(state: &Arc<ServiceState>, body: &[u8]) -> (u16, Value) {
     if let Err(e) = parse_representation(request.representation.as_deref()) {
         return (400, json!({"error": e}));
     }
+    // The tenant stamp is server-authoritative: derived from the
+    // authenticated key, never from a client-supplied label. The
+    // credential itself is dropped before the request is stored,
+    // journaled, or rendered.
+    request.tenant = match (tenant_idx, &state.tenants) {
+        (Some(idx), Some(registry)) => Some(registry.get(idx).id.clone()),
+        _ => None,
+    };
+    request.api_key = None;
     let job = {
         let mut jobs = state.jobs.write();
         let id = jobs.len() as u64;
@@ -1563,6 +1755,9 @@ fn submit_job(state: &Arc<ServiceState>, body: &[u8]) -> (u16, Value) {
         job
     };
     state.metrics.submitted.fetch_add(1, Ordering::Relaxed);
+    if let Some(slot) = tenant_idx.and_then(|i| state.tenant_metrics.get(i)) {
+        slot.submitted.fetch_add(1, Ordering::Relaxed);
+    }
     // Journal the acceptance BEFORE queueing: once a worker can see the
     // job, a crash must leave a Submitted record behind.
     state.journal(JournalEvent::Submitted {
@@ -1572,7 +1767,10 @@ fn submit_job(state: &Arc<ServiceState>, body: &[u8]) -> (u16, Value) {
         attempt: 0,
         request: job.request.clone(),
     });
-    if !state.job_queue.push(Arc::clone(&job)) {
+    if !state
+        .job_queue
+        .push(tenant_idx.unwrap_or(0), Arc::clone(&job))
+    {
         // Shutdown raced the submission; the job never reaches a worker.
         job.status().state = JobState::Cancelled;
         state.metrics.cancelled.fetch_add(1, Ordering::Relaxed);
@@ -1583,7 +1781,10 @@ fn submit_job(state: &Arc<ServiceState>, body: &[u8]) -> (u16, Value) {
         });
         return (503, json!({"error": "server is draining", "id": job.id}));
     }
-    (202, json!({"id": job.id, "state": "queued"}))
+    (
+        202,
+        json!({"id": job.id, "state": "queued", "tenant": job.request.tenant}),
+    )
 }
 
 fn ensemble_search(state: &Arc<ServiceState>, body: &[u8]) -> (u16, Value) {
@@ -1706,6 +1907,26 @@ fn metrics_json(state: &ServiceState) -> Value {
             "push_iterations": state.metrics.push_iterations.load(Ordering::Relaxed),
             "pull_iterations": state.metrics.pull_iterations.load(Ordering::Relaxed),
         },
+        "tenants": match state.tenants.as_ref() {
+            Some(registry) => {
+                let per_tenant: Vec<Value> = state
+                    .tenant_metrics
+                    .iter()
+                    .enumerate()
+                    .map(|(i, t)| {
+                        let mut v = t.json();
+                        v["id"] = json!(t.id);
+                        v["queued"] = json!(state.job_queue.lane_len(i));
+                        v["weight"] = json!(registry.get(i).weight);
+                        v["max_queued"] = json!(registry.get(i).max_queued);
+                        v
+                    })
+                    .collect();
+                json!({"enabled": true, "count": registry.len(), "per_tenant": per_tenant})
+            }
+            None => json!({"enabled": false}),
+        },
+        "shards": state.config.shards,
         "db_runs": state.db.len(),
         "draining": state.shutdown.load(Ordering::SeqCst),
     })
@@ -2081,6 +2302,154 @@ mod tests {
         for j in jobs["jobs"].as_array().unwrap() {
             let id = j["id"].as_u64().unwrap();
             let _ = client::request(&addr, "POST", &format!("/jobs/{id}/cancel"), None);
+        }
+        stop(&addr, handle);
+    }
+
+    #[test]
+    fn multi_tenant_auth_scoping_and_stamping() {
+        let specs = vec![TenantSpec::derived(0), TenantSpec::derived(1)];
+        let key0 = specs[0].key.clone();
+        let key1 = specs[1].key.clone();
+        let handle = Server::start(ServiceConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            http_workers: 2,
+            cache_bytes: 16 * 1024 * 1024,
+            default_timeout_ms: 60_000,
+            persist_every: 0,
+            tenants: Some(specs),
+            shards: 2,
+            ..ServiceConfig::default()
+        })
+        .unwrap();
+        let addr = handle.addr().to_string();
+        let job = json!({"algorithm": "PR", "size": 300, "profile": "quick"});
+
+        // Job routes demand a key: absent and unknown keys get the same
+        // uniform 401; operational routes stay open.
+        let (status, body) = client::request(&addr, "POST", "/jobs", Some(&job)).unwrap();
+        assert_eq!(status, 401, "{body}");
+        let (status, _) = client::request(&addr, "GET", "/jobs", None).unwrap();
+        assert_eq!(status, 401);
+        let mut bogus = client::Client::new(&addr).with_api_key("tk-0-0000000000000000");
+        let (status, _) = bogus.request("POST", "/jobs", Some(&job)).unwrap();
+        assert_eq!(status, 401);
+        let (status, _) = client::request(&addr, "GET", "/health", None).unwrap();
+        assert_eq!(status, 200);
+
+        // An authenticated submission is stamped server-side with the
+        // tenant resolved from the key — never from the request body.
+        let mut c0 = client::Client::new(&addr).with_api_key(&key0);
+        let mut c1 = client::Client::new(&addr).with_api_key(&key1);
+        let (status, body) = c0.request("POST", "/jobs", Some(&job)).unwrap();
+        assert_eq!(status, 202, "{body}");
+        assert_eq!(body["tenant"], "tenant-0");
+        let id = body["id"].as_u64().unwrap();
+
+        // Cross-tenant access is indistinguishable from a missing job.
+        let (status, _) = c1.request("GET", &format!("/jobs/{id}"), None).unwrap();
+        assert_eq!(status, 404);
+        let (status, _) = c1
+            .request("POST", &format!("/jobs/{id}/cancel"), None)
+            .unwrap();
+        assert_eq!(status, 404);
+        let (_, listing) = c1.request("GET", "/jobs", None).unwrap();
+        assert_eq!(listing["count"], 0);
+
+        // The owner sees the job through to completion, tenant-stamped and
+        // with the API key scrubbed from the stored request.
+        let done = client::wait_for_job_with(&mut c0, id, Duration::from_secs(60)).unwrap();
+        assert_eq!(done["state"], "done", "job failed: {done}");
+        assert_eq!(done["tenant"], "tenant-0");
+        assert_eq!(done["request"]["tenant"], "tenant-0");
+        assert!(done["request"].get("api_key").is_none(), "{done}");
+        let (_, listing) = c0.request("GET", "/jobs", None).unwrap();
+        assert_eq!(listing["count"], 1);
+
+        // The run record and the metrics are sliced by tenant.
+        let (_, runs) = client::request(&addr, "GET", "/runs", None).unwrap();
+        assert_eq!(runs["runs"][0]["tenant"], "tenant-0");
+        let (_, metrics) = client::request(&addr, "GET", "/metrics", None).unwrap();
+        assert_eq!(metrics["tenants"]["enabled"], true);
+        assert_eq!(metrics["tenants"]["count"], 2);
+        assert_eq!(metrics["shards"], 2);
+        let per = metrics["tenants"]["per_tenant"].as_array().unwrap();
+        assert_eq!(per[0]["id"], "tenant-0");
+        assert_eq!(per[0]["jobs"]["submitted"], 1);
+        assert_eq!(per[0]["jobs"]["done"], 1);
+        assert_eq!(per[1]["jobs"]["submitted"], 0);
+        assert!(
+            per[0]["stages"]["total"]["summary"]["count"]
+                .as_u64()
+                .unwrap()
+                >= 1,
+            "{metrics}"
+        );
+        stop(&addr, handle);
+    }
+
+    #[test]
+    fn tenant_quota_sheds_noisy_tenant_but_admits_the_other() {
+        // One worker held by a slow job; tenant-0 floods its own lane
+        // (quota 2) until it sheds, while tenant-1's lane stays open.
+        let specs = vec![
+            TenantSpec::derived(0).with_max_queued(2),
+            TenantSpec::derived(1).with_max_queued(2),
+        ];
+        let key0 = specs[0].key.clone();
+        let key1 = specs[1].key.clone();
+        let handle = Server::start(ServiceConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 1,
+            http_workers: 2,
+            cache_bytes: 16 * 1024 * 1024,
+            default_timeout_ms: 60_000,
+            persist_every: 0,
+            tenants: Some(specs),
+            ..ServiceConfig::default()
+        })
+        .unwrap();
+        let addr = handle.addr().to_string();
+        let mut c0 = client::Client::new(&addr).with_api_key(&key0);
+        let mut c1 = client::Client::new(&addr).with_api_key(&key1);
+
+        // Occupy the worker long enough for tenant-0's lane to fill.
+        let slow = json!({"algorithm": "PR", "size": 200_000, "max_iterations": 400});
+        let (status, _) = c0.request("POST", "/jobs", Some(&slow)).unwrap();
+        assert_eq!(status, 202);
+        let quick = json!({"algorithm": "PR", "size": 100, "profile": "quick"});
+        let mut shed = None;
+        for _ in 0..50 {
+            let (status, body) = c0.request("POST", "/jobs", Some(&quick)).unwrap();
+            if status == 429 {
+                shed = Some(body);
+                break;
+            }
+            assert_eq!(status, 202);
+        }
+        let body = shed.expect("tenant quota of 2 never shed");
+        assert!(body["error"].as_str().unwrap().contains("tenant queue"));
+        assert!(body["retry_after_s"].as_u64().unwrap() >= 1);
+        assert_eq!(body["tenant"], "tenant-0");
+
+        // The quiet tenant is not behind tenant-0's wall.
+        let (status, accepted) = c1.request("POST", "/jobs", Some(&quick)).unwrap();
+        assert_eq!(status, 202, "{accepted}");
+
+        // The shed is attributed to the noisy tenant alone.
+        let (_, metrics) = client::request(&addr, "GET", "/metrics", None).unwrap();
+        let per = metrics["tenants"]["per_tenant"].as_array().unwrap();
+        assert!(per[0]["jobs"]["shed"].as_u64().unwrap() >= 1);
+        assert_eq!(per[1]["jobs"]["shed"], 0);
+
+        // Cancel every job (each tenant sees only its own) for a prompt stop.
+        for c in [&mut c0, &mut c1] {
+            let (_, jobs) = c.request("GET", "/jobs", None).unwrap();
+            for j in jobs["jobs"].as_array().unwrap() {
+                let id = j["id"].as_u64().unwrap();
+                let _ = c.request("POST", &format!("/jobs/{id}/cancel"), None);
+            }
         }
         stop(&addr, handle);
     }

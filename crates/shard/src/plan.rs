@@ -1,0 +1,189 @@
+//! Contiguous, chunk-aligned shard plans over a graph's vertex space.
+//!
+//! A shard is a run of whole engine chunks. Chunk geometry is the
+//! engine's deterministic [`chunk_size`] (a function of the vertex count
+//! alone), and the chunks-per-shard split below reproduces the engine's
+//! own grouping (`num_chunks.div_ceil(shards.min(num_chunks))`) so a
+//! plan's boundaries are exactly the boundaries the sharded exchange
+//! uses. Keeping shards chunk-aligned is what makes sharding a pure
+//! grouping of work: no chunk is ever split across shards, per-chunk
+//! combine order is untouched, and results stay bit-identical for every
+//! shard count.
+
+use graphmine_engine::{chunk_size, ExecutionConfig};
+use std::ops::Range;
+
+/// A partition of `0..num_vertices` into contiguous chunk-aligned shards.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    num_vertices: usize,
+    chunk: usize,
+    shard_chunks: usize,
+    num_shards: usize,
+}
+
+impl ShardPlan {
+    /// Plan `shards` contiguous shards over `num_vertices` vertices.
+    ///
+    /// The request is clamped to `1..=num_chunks` (a shard must hold at
+    /// least one chunk), and the effective shard count is recomputed from
+    /// the chunks-per-shard split exactly as the engine does — asking for
+    /// 4 shards over 10 chunks yields ceil(10/3) = 4 shards of sizes
+    /// 3/3/3/1, while asking for 100 shards over 10 chunks yields 10.
+    pub fn contiguous(num_vertices: usize, shards: usize) -> ShardPlan {
+        let chunk = chunk_size(num_vertices);
+        let num_chunks = num_vertices.div_ceil(chunk).max(1);
+        let requested = shards.clamp(1, num_chunks);
+        let shard_chunks = num_chunks.div_ceil(requested);
+        let num_shards = num_chunks.div_ceil(shard_chunks);
+        ShardPlan {
+            num_vertices,
+            chunk,
+            shard_chunks,
+            num_shards,
+        }
+    }
+
+    /// Number of shards the plan actually produces (≤ the request).
+    pub fn num_shards(&self) -> usize {
+        self.num_shards
+    }
+
+    /// Vertices covered by the plan.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Vertices per engine chunk ([`chunk_size`] of the vertex count).
+    pub fn chunk_vertices(&self) -> usize {
+        self.chunk
+    }
+
+    /// Whole chunks per shard (the last shard may hold fewer).
+    pub fn shard_chunks(&self) -> usize {
+        self.shard_chunks
+    }
+
+    /// The shard owning vertex `v`.
+    pub fn shard_of(&self, v: usize) -> usize {
+        debug_assert!(v < self.num_vertices, "vertex {v} out of plan");
+        (v / self.chunk) / self.shard_chunks
+    }
+
+    /// The contiguous vertex range of shard `shard`.
+    pub fn vertex_range(&self, shard: usize) -> Range<usize> {
+        debug_assert!(shard < self.num_shards, "shard {shard} out of plan");
+        let span = self.shard_chunks * self.chunk;
+        let start = shard * span;
+        let end = (start + span).min(self.num_vertices);
+        start..end
+    }
+
+    /// All shard ranges in order; they tile `0..num_vertices` exactly.
+    pub fn ranges(&self) -> Vec<Range<usize>> {
+        (0..self.num_shards).map(|s| self.vertex_range(s)).collect()
+    }
+
+    /// Per-vertex shard map, suitable for the engine's cluster
+    /// simulation ([`ExecutionConfig::with_partition`]) to tally
+    /// cross-shard edge reads and messages in the run trace.
+    pub fn partition_vec(&self) -> Vec<u32> {
+        (0..self.num_vertices)
+            .map(|v| self.shard_of(v) as u32)
+            .collect()
+    }
+
+    /// Apply the plan to an execution config (shard-aware exchange with
+    /// per-shard scratch; bit-identical results for any shard count).
+    pub fn config(&self, base: ExecutionConfig) -> ExecutionConfig {
+        base.with_shards(self.num_shards)
+    }
+
+    /// Like [`ShardPlan::config`], additionally enabling the cluster
+    /// simulation over the shard map so the trace counts cross-shard
+    /// traffic (`remote_edge_reads` / `remote_messages`). States and
+    /// digests are unaffected; only those two counters change.
+    pub fn config_with_accounting(&self, base: ExecutionConfig) -> ExecutionConfig {
+        base.with_shards(self.num_shards)
+            .with_partition(self.partition_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_tile_the_vertex_space_exactly() {
+        for (n, shards) in [
+            (1usize, 1usize),
+            (63, 4),
+            (20_000, 1),
+            (20_000, 2),
+            (20_000, 8),
+            (20_000, 1000),
+            (1_000_000, 8),
+        ] {
+            let plan = ShardPlan::contiguous(n, shards);
+            let ranges = plan.ranges();
+            assert_eq!(ranges.len(), plan.num_shards());
+            assert_eq!(ranges[0].start, 0);
+            assert_eq!(ranges.last().unwrap().end, n);
+            for pair in ranges.windows(2) {
+                assert_eq!(pair[0].end, pair[1].start, "gap/overlap at {pair:?}");
+                assert!(!pair[0].is_empty());
+            }
+            assert!(!ranges.last().unwrap().is_empty());
+        }
+    }
+
+    #[test]
+    fn boundaries_are_chunk_aligned_and_match_engine_grouping() {
+        let n = 100_000;
+        let plan = ShardPlan::contiguous(n, 7);
+        let chunk = chunk_size(n);
+        let num_chunks = n.div_ceil(chunk);
+        // The engine groups destination chunks with the same arithmetic.
+        let engine_shard_chunks = num_chunks.div_ceil(7usize.min(num_chunks));
+        assert_eq!(plan.shard_chunks(), engine_shard_chunks);
+        for r in plan.ranges() {
+            assert_eq!(r.start % chunk, 0, "shard start not chunk-aligned");
+        }
+    }
+
+    #[test]
+    fn shard_of_agrees_with_vertex_range_and_partition_vec() {
+        let plan = ShardPlan::contiguous(20_000, 8);
+        let partition = plan.partition_vec();
+        assert_eq!(partition.len(), 20_000);
+        for (shard, range) in plan.ranges().into_iter().enumerate() {
+            for v in [range.start, (range.start + range.end) / 2, range.end - 1] {
+                assert_eq!(plan.shard_of(v), shard);
+                assert_eq!(partition[v] as usize, shard);
+            }
+        }
+    }
+
+    #[test]
+    fn request_is_clamped_to_the_chunk_count() {
+        // 100 vertices = 2 chunks of 64 — at most 2 shards.
+        let plan = ShardPlan::contiguous(100, 64);
+        assert_eq!(plan.num_shards(), 2);
+        // Zero shards behaves as one.
+        assert_eq!(ShardPlan::contiguous(100, 0).num_shards(), 1);
+        // An effective count smaller than requested: 10 chunks, 7 asked,
+        // ceil(10/ceil(10/7)) = 5 shards of 2 chunks.
+        let n = 8192 * 256; // chunk = 8192, 256 chunks
+        let plan = ShardPlan::contiguous(n, 255);
+        assert_eq!(plan.num_shards(), 128);
+    }
+
+    #[test]
+    fn config_applies_the_effective_shard_count() {
+        let plan = ShardPlan::contiguous(20_000, 4);
+        let cfg = plan.config(ExecutionConfig::with_max_iterations(5));
+        assert_eq!(cfg.num_shards, plan.num_shards());
+        let acc = plan.config_with_accounting(ExecutionConfig::with_max_iterations(5));
+        assert!(acc.partition.is_some());
+    }
+}
